@@ -1,0 +1,9 @@
+-- A source change script for `minview simulate` — the warehouse never
+-- re-reads the base tables while ingesting these.
+INSERT INTO sale VALUES (7, 3, 1, 1, 50);
+INSERT INTO sale VALUES (8, 2, 2, 1, 5);
+DELETE FROM sale WHERE id = 2;
+UPDATE sale SET price = 12 WHERE id = 1;
+UPDATE product SET brand = 'acme' WHERE id = 2;
+INSERT INTO time VALUES (5, 70, 3, 1997);
+INSERT INTO sale VALUES (9, 5, 3, 2, 77);

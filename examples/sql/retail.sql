@@ -1,0 +1,57 @@
+-- The paper's grocery-chain star schema (Section 1.1), ready for the CLI:
+--   minview derive examples/sql/retail.sql
+--   minview reconstruct examples/sql/retail.sql
+--   minview simulate examples/sql/retail.sql examples/sql/changes.sql
+--   minview verify examples/sql/retail.sql -n 500
+
+CREATE TABLE time (id INT PRIMARY KEY, day INT, month INT, year INT);
+CREATE TABLE product (id INT PRIMARY KEY, brand TEXT UPDATABLE,
+                      category TEXT);
+CREATE TABLE store (id INT PRIMARY KEY, street_address TEXT, city TEXT,
+                    country TEXT, manager TEXT UPDATABLE);
+CREATE TABLE sale (id INT PRIMARY KEY,
+                   timeid INT REFERENCES time,
+                   productid INT REFERENCES product,
+                   storeid INT REFERENCES store,
+                   price INT UPDATABLE);
+
+INSERT INTO time VALUES (1, 1, 1, 1997);
+INSERT INTO time VALUES (2, 15, 1, 1997);
+INSERT INTO time VALUES (3, 40, 2, 1997);
+INSERT INTO time VALUES (4, 1, 1, 1996);
+INSERT INTO product VALUES (1, 'acme', 'food');
+INSERT INTO product VALUES (2, 'apex', 'food');
+INSERT INTO product VALUES (3, 'zenith', 'drink');
+INSERT INTO store VALUES (1, '1 Main St', 'Aalborg', 'DK', 'm1');
+INSERT INTO store VALUES (2, '9 High St', 'Odense', 'DK', 'm2');
+INSERT INTO sale VALUES (1, 1, 1, 1, 10);
+INSERT INTO sale VALUES (2, 1, 1, 1, 10);
+INSERT INTO sale VALUES (3, 2, 2, 1, 25);
+INSERT INTO sale VALUES (4, 3, 2, 2, 30);
+INSERT INTO sale VALUES (5, 4, 1, 2, 99);
+INSERT INTO sale VALUES (6, 2, 3, 2, 12);
+
+-- Section 1.1's summary table
+CREATE VIEW product_sales AS
+  SELECT time.month, SUM(price) AS TotalPrice, COUNT(*) AS TotalCount,
+         COUNT(DISTINCT brand) AS DifferentBrands
+  FROM sale, time, product
+  WHERE time.year = 1997 AND sale.timeid = time.id
+    AND sale.productid = product.id
+  GROUP BY time.month;
+
+-- key-grouped: the fact table needs no detail copy (Section 3.3)
+CREATE VIEW sales_by_time AS
+  SELECT time.id, SUM(price) AS Revenue, COUNT(*) AS Sales
+  FROM sale, time
+  WHERE sale.timeid = time.id
+  GROUP BY time.id;
+
+-- restrictions on groups (HAVING) are maintained too: the full group state
+-- is kept and filtered at read time
+CREATE VIEW busy_months AS
+  SELECT time.month, COUNT(*) AS Sales, SUM(price) AS Revenue
+  FROM sale, time
+  WHERE sale.timeid = time.id
+  GROUP BY time.month
+  HAVING Sales >= 3;
