@@ -1,0 +1,282 @@
+(* minview: derive and exercise minimal auxiliary views for GPSJ views.
+
+   `minview derive schema.sql`   — print derivations for every CREATE VIEW
+   `minview dot schema.sql`      — print the extended join graphs in DOT
+   `minview simulate schema.sql changes.sql`
+                                 — load, register, ingest, print views
+   `minview demo`                — the paper's running example end to end *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_script path =
+  let db = Relational.Database.create () in
+  let outcomes = Sqlfront.Elaborate.run_script db (read_file path) in
+  (db, Sqlfront.Elaborate.views outcomes)
+
+let with_errors f =
+  try
+    f ();
+    0
+  with
+  | Sqlfront.Parser.Error m | Sqlfront.Elaborate.Error m ->
+    Printf.eprintf "SQL error: %s\n" m;
+    1
+  | Sqlfront.Lexer.Error { pos; message } ->
+    Printf.eprintf "lex error at offset %d: %s\n" pos message;
+    1
+  | Algebra.View.Invalid m ->
+    Printf.eprintf "invalid view: %s\n" m;
+    1
+  | Relational.Database.Violation m ->
+    Printf.eprintf "constraint violation: %s\n" m;
+    1
+
+let script_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"SCHEMA.SQL"
+        ~doc:"SQL script with CREATE TABLE / INSERT / CREATE VIEW statements.")
+
+let derive_cmd =
+  let run script =
+    with_errors (fun () ->
+        let db, views = load_script script in
+        if views = [] then prerr_endline "warning: script defines no views";
+        List.iter
+          (fun v ->
+            print_string (Mindetail.Explain.report (Mindetail.Derive.derive db v));
+            print_newline ())
+          views)
+  in
+  Cmd.v
+    (Cmd.info "derive"
+       ~doc:
+         "Run Algorithm 3.2 on every view in the script and print the \
+          extended join graph, Need sets and minimal auxiliary views.")
+    Term.(const run $ script_arg)
+
+let dot_cmd =
+  let run script =
+    with_errors (fun () ->
+        let db, views = load_script script in
+        List.iter
+          (fun v ->
+            print_string
+              (Mindetail.Explain.join_graph_dot
+                 (Mindetail.Derive.derive db v).Mindetail.Derive.graph))
+          views)
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Print the extended join graphs in Graphviz DOT form.")
+    Term.(const run $ script_arg)
+
+let changes_arg =
+  Arg.(
+    required
+    & pos 1 (some file) None
+    & info [] ~docv:"CHANGES.SQL"
+        ~doc:"SQL script of INSERT/DELETE/UPDATE statements to ingest.")
+
+let strategy_arg =
+  Arg.(
+    value
+    & opt (enum [ ("minimal", Warehouse.Minimal);
+                  ("psj", Warehouse.Psj);
+                  ("replicate", Warehouse.Replicate) ])
+        Warehouse.Minimal
+    & info [ "strategy" ] ~docv:"STRATEGY"
+        ~doc:"Detail-data strategy: $(b,minimal), $(b,psj) or $(b,replicate).")
+
+let print_view wh name =
+  let cols, rel = Warehouse.query wh name in
+  Printf.printf "-- %s --\n%s" name
+    (Relational.Table_printer.render_relation ~columns:cols rel)
+
+let simulate_cmd =
+  let run script changes strategy =
+    with_errors (fun () ->
+        let db, views = load_script script in
+        let wh = Warehouse.create db in
+        List.iter (Warehouse.add_view ~strategy wh) views;
+        let outcomes = Sqlfront.Elaborate.run_script db (read_file changes) in
+        Warehouse.ingest wh (Sqlfront.Elaborate.changes outcomes);
+        List.iter (print_view wh) (Warehouse.view_names wh);
+        print_newline ();
+        print_string (Warehouse.report wh))
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:
+         "Load the schema script, register its views, ingest the change \
+          script without re-reading base tables, and print the maintained \
+          views plus the detail-data report.")
+    Term.(const run $ script_arg $ changes_arg $ strategy_arg)
+
+let reconstruct_cmd =
+  let run script =
+    with_errors (fun () ->
+        let db, views = load_script script in
+        List.iter
+          (fun v ->
+            let d = Mindetail.Derive.derive db v in
+            match Mindetail.Reconstruct.to_sql d with
+            | sql -> print_endline (sql ^ "\n")
+            | exception Mindetail.Reconstruct.Not_reconstructible why ->
+              Printf.printf "-- %s: %s\n\n" v.Algebra.View.name why)
+          views)
+  in
+  Cmd.v
+    (Cmd.info "reconstruct"
+       ~doc:
+         "Print, for every view in the script, the SQL query that rebuilds \
+          it from its minimal auxiliary views (Section 3.2's rewriting).")
+    Term.(const run $ script_arg)
+
+let sharing_cmd =
+  let run script =
+    with_errors (fun () ->
+        let db, views = load_script script in
+        let named =
+          List.map (fun v -> (v.Algebra.View.name, Mindetail.Derive.derive db v)) views
+        in
+        print_string (Mindetail.Sharing.report named))
+  in
+  Cmd.v
+    (Cmd.info "sharing"
+       ~doc:
+         "Analyze which auxiliary views can be shared across the script's \
+          summary tables.")
+    Term.(const run $ script_arg)
+
+let verify_cmd =
+  let changes_opt =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "changes" ] ~docv:"CHANGES.SQL"
+          ~doc:
+            "SQL change script to ingest; without it a random legal stream \
+             of $(b,--n) changes is generated.")
+  in
+  let n_arg =
+    Arg.(
+      value & opt int 500
+      & info [ "n" ] ~docv:"N" ~doc:"Size of the generated change stream.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Seed of the generated stream.")
+  in
+  let run script changes n seed =
+    with_errors (fun () ->
+        let db, views = load_script script in
+        let wh = Warehouse.create db in
+        List.iter (Warehouse.add_view wh) views;
+        let deltas =
+          match changes with
+          | Some file ->
+            Sqlfront.Elaborate.changes
+              (Sqlfront.Elaborate.run_script db (read_file file))
+          | None ->
+            Workload.Delta_gen.stream (Workload.Prng.create seed) db ~n
+        in
+        Warehouse.ingest wh deltas;
+        let failures = ref 0 in
+        List.iter
+          (fun v ->
+            let name = v.Algebra.View.name in
+            let _, got = Warehouse.query wh name in
+            let expected = Algebra.Eval.eval db v in
+            let ok = Relational.Relation.equal got expected in
+            if not ok then incr failures;
+            Printf.printf "%-24s %s\n" name (if ok then "OK" else "MISMATCH"))
+          views;
+        Printf.printf "%d change(s) ingested, %d view(s), %d failure(s)\n"
+          (List.length deltas) (List.length views) !failures;
+        if !failures > 0 then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Self-maintenance check: load the schema, register its views, \
+          ingest a change stream, and compare every maintained view against \
+          recomputation from the (evolved) base tables.")
+    Term.(const run $ script_arg $ changes_opt $ n_arg $ seed_arg)
+
+let demo_cmd =
+  let run () =
+    with_errors (fun () ->
+        let db = Relational.Database.create () in
+        let schema = {|
+          CREATE TABLE time (id INT PRIMARY KEY, day INT, month INT, year INT);
+          CREATE TABLE product (id INT PRIMARY KEY, brand TEXT UPDATABLE,
+                                category TEXT);
+          CREATE TABLE store (id INT PRIMARY KEY, street_address TEXT,
+                              city TEXT, country TEXT, manager TEXT);
+          CREATE TABLE sale (id INT PRIMARY KEY, timeid INT REFERENCES time,
+                             productid INT REFERENCES product,
+                             storeid INT REFERENCES store,
+                             price INT UPDATABLE);
+        |} in
+        ignore (Sqlfront.Elaborate.run_script db schema);
+        let seed = {|
+          INSERT INTO time VALUES (1, 1, 1, 1997);
+          INSERT INTO time VALUES (2, 15, 1, 1997);
+          INSERT INTO time VALUES (3, 40, 2, 1997);
+          INSERT INTO time VALUES (4, 1, 1, 1996);
+          INSERT INTO product VALUES (1, 'acme', 'food');
+          INSERT INTO product VALUES (2, 'apex', 'food');
+          INSERT INTO store VALUES (1, '1 Main St', 'Aalborg', 'DK', 'm1');
+          INSERT INTO sale VALUES (1, 1, 1, 1, 10);
+          INSERT INTO sale VALUES (2, 1, 1, 1, 10);
+          INSERT INTO sale VALUES (3, 2, 2, 1, 25);
+          INSERT INTO sale VALUES (4, 3, 2, 1, 30);
+          INSERT INTO sale VALUES (5, 4, 1, 1, 99);
+        |} in
+        ignore (Sqlfront.Elaborate.run_script db seed);
+        let wh = Warehouse.create db in
+        Warehouse.add_view_sql wh
+          {|CREATE VIEW product_sales AS
+            SELECT time.month, SUM(price) AS TotalPrice, COUNT(*) AS TotalCount,
+                   COUNT(DISTINCT brand) AS DifferentBrands
+            FROM sale, time, product
+            WHERE time.year = 1997 AND sale.timeid = time.id
+              AND sale.productid = product.id
+            GROUP BY time.month;|};
+        print_string (Warehouse.report wh);
+        print_view wh "product_sales";
+        print_endline "\ningesting: two sales inserted, one deleted, one price update";
+        let changes =
+          Sqlfront.Elaborate.run_script db
+            {|INSERT INTO sale VALUES (6, 3, 1, 1, 50);
+              INSERT INTO sale VALUES (7, 2, 2, 1, 5);
+              DELETE FROM sale WHERE id = 2;
+              UPDATE sale SET price = 12 WHERE id = 1;|}
+          |> Sqlfront.Elaborate.changes
+        in
+        Warehouse.ingest wh changes;
+        print_view wh "product_sales")
+  in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Run the paper's running example end to end.")
+    Term.(const run $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "minview" ~version:"1.0.0"
+       ~doc:
+         "Minimizing detail data in data warehouses: derive minimal \
+          self-maintaining auxiliary views for GPSJ summary tables (Akinde, \
+          Jensen & Böhlen, EDBT 1998).")
+    [ derive_cmd; dot_cmd; simulate_cmd; reconstruct_cmd; sharing_cmd;
+      verify_cmd; demo_cmd ]
+
+let () = exit (Cmd.eval' main)

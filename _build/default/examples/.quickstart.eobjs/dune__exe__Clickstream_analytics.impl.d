@@ -1,0 +1,1 @@
+examples/clickstream_analytics.ml: Algebra List Maintenance Mindetail Printf Relational String Workload

@@ -1,0 +1,1 @@
+examples/clickstream_analytics.mli:

@@ -1,0 +1,1 @@
+examples/fact_table_elimination.ml: Algebra List Mindetail Printf Relational String Warehouse Workload

@@ -1,0 +1,1 @@
+examples/fact_table_elimination.mli:

@@ -1,0 +1,1 @@
+examples/old_detail_aging.ml: Algebra Array List Maintenance Printf Relational Warehouse Workload

@@ -1,0 +1,1 @@
+examples/old_detail_aging.mli:

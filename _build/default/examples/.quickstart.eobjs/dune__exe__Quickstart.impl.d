@@ -1,0 +1,1 @@
+examples/quickstart.ml: Algebra Mindetail Printf Relational Sqlfront Warehouse

@@ -1,0 +1,1 @@
+examples/retail_star.ml: Algebra List Mindetail Printf Relational Warehouse Workload

@@ -1,0 +1,1 @@
+examples/snowflake_rollup.ml: Algebra List Mindetail Printf Relational Warehouse Workload

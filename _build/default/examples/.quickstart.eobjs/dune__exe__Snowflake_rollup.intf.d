@@ -1,0 +1,1 @@
+examples/snowflake_rollup.mli:

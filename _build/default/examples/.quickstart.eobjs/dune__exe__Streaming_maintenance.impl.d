@@ -1,0 +1,1 @@
+examples/streaming_maintenance.ml: Algebra List Printf Relational Sys Warehouse Workload

@@ -1,0 +1,72 @@
+(* Quickstart: define a schema and a summary view in SQL, let the warehouse
+   derive its minimal detail data, and keep the summary fresh from a change
+   stream — without ever re-reading the base tables.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let schema =
+  {|
+  CREATE TABLE customer (id INT PRIMARY KEY, region TEXT, segment TEXT);
+  CREATE TABLE orders (id INT PRIMARY KEY,
+                       customerid INT REFERENCES customer,
+                       amount INT UPDATABLE);
+
+  INSERT INTO customer VALUES (1, 'north', 'retail');
+  INSERT INTO customer VALUES (2, 'north', 'wholesale');
+  INSERT INTO customer VALUES (3, 'south', 'retail');
+  INSERT INTO orders VALUES (10, 1, 120);
+  INSERT INTO orders VALUES (11, 2, 80);
+  INSERT INTO orders VALUES (12, 3, 200);
+|}
+
+let view_sql =
+  {|CREATE VIEW revenue_by_region AS
+    SELECT region, SUM(amount) AS Revenue, COUNT(*) AS Orders
+    FROM orders, customer
+    WHERE orders.customerid = customer.id
+    GROUP BY region;|}
+
+let print_view wh name =
+  let cols, rel = Warehouse.query wh name in
+  print_string (Relational.Table_printer.render_relation ~columns:cols rel)
+
+let () =
+  (* the operational store (simulated data sources) *)
+  let source = Relational.Database.create () in
+  ignore (Sqlfront.Elaborate.run_script source schema);
+
+  (* the warehouse: registering the view runs Algorithm 3.2 and performs the
+     one-time initial load *)
+  let wh = Warehouse.create source in
+  Warehouse.add_view_sql wh view_sql;
+
+  print_endline "derivation:";
+  (match Warehouse.derivation_of wh "revenue_by_region" with
+  | Some d -> print_string (Mindetail.Explain.report d)
+  | None -> assert false);
+
+  print_endline "initial contents:";
+  print_view wh "revenue_by_region";
+
+  (* sources change; the warehouse sees only the deltas *)
+  let changes =
+    Sqlfront.Elaborate.run_script source
+      {|INSERT INTO orders VALUES (13, 1, 50);
+        UPDATE orders SET amount = 100 WHERE id = 11;
+        DELETE FROM orders WHERE id = 12;|}
+    |> Sqlfront.Elaborate.changes
+  in
+  Warehouse.ingest wh changes;
+
+  print_endline "after one order added, one re-priced, one cancelled:";
+  print_view wh "revenue_by_region";
+
+  (* sanity: the maintained view equals recomputation from the source *)
+  let _, maintained = Warehouse.query wh "revenue_by_region" in
+  let expected =
+    match Warehouse.derivation_of wh "revenue_by_region" with
+    | Some d -> Algebra.Eval.eval source d.Mindetail.Derive.view
+    | None -> assert false
+  in
+  Printf.printf "matches recomputation: %b\n"
+    (Relational.Relation.equal maintained expected)

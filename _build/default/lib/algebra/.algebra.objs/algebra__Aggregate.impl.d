@@ -1,0 +1,1 @@
+lib/algebra/aggregate.ml: Attr Format List Option Printf Relational Set String

@@ -1,0 +1,1 @@
+lib/algebra/aggregate.mli: Attr Format Relational

@@ -1,0 +1,1 @@
+lib/algebra/cmp.ml: Format Relational

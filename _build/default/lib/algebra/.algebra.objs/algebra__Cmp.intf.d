@@ -1,0 +1,1 @@
+lib/algebra/cmp.mli: Format Relational

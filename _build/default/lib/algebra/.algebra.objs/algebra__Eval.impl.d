@@ -1,0 +1,1 @@
+lib/algebra/eval.ml: Aggregate Array Attr Hashtbl List Predicate Relational Select_item View

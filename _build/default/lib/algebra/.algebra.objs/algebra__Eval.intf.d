@@ -1,0 +1,1 @@
+lib/algebra/eval.mli: Attr Relational View

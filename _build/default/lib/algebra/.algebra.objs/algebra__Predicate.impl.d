@@ -1,0 +1,1 @@
+lib/algebra/predicate.ml: Attr Cmp Format Relational

@@ -1,0 +1,1 @@
+lib/algebra/predicate.mli: Attr Cmp Format Relational

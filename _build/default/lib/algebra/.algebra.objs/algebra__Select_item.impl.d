@@ -1,0 +1,1 @@
+lib/algebra/select_item.ml: Aggregate Attr Format String

@@ -1,0 +1,1 @@
+lib/algebra/select_item.mli: Aggregate Attr Format

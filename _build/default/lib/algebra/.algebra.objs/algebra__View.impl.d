@@ -1,0 +1,1 @@
+lib/algebra/view.ml: Aggregate Array Attr Cmp Format Hashtbl List Option Predicate Relational Select_item String

@@ -1,0 +1,1 @@
+lib/algebra/view.mli: Aggregate Attr Cmp Format Predicate Relational Select_item

@@ -1,0 +1,91 @@
+module Value = Relational.Value
+
+type func = Count_star | Count | Sum | Avg | Min | Max
+
+type t = {
+  func : func;
+  arg : Attr.t option;
+  distinct : bool;
+  alias : string;
+}
+
+let func_name = function
+  | Count_star -> "COUNT(*)"
+  | Count -> "COUNT"
+  | Sum -> "SUM"
+  | Avg -> "AVG"
+  | Min -> "MIN"
+  | Max -> "MAX"
+
+let make ?(distinct = false) ~alias func arg =
+  (match func, arg with
+  | Count_star, Some _ ->
+    invalid_arg "Aggregate.make: COUNT(*) takes no argument"
+  | Count_star, None when distinct ->
+    invalid_arg "Aggregate.make: COUNT(*) cannot be DISTINCT"
+  | (Count | Sum | Avg | Min | Max), None ->
+    invalid_arg
+      (Printf.sprintf "Aggregate.make: %s requires an argument"
+         (func_name func))
+  | _ -> ());
+  { func; arg; distinct; alias }
+
+let equal a b =
+  a.func = b.func && a.distinct = b.distinct
+  && String.equal a.alias b.alias
+  && Option.equal Attr.equal a.arg b.arg
+
+let attr t = t.arg
+
+let pp ppf t =
+  let body ppf () =
+    match t.func, t.arg with
+    | Count_star, _ -> Format.pp_print_string ppf "COUNT(*)"
+    | f, Some a ->
+      Format.fprintf ppf "%s(%s%a)"
+        (match f with
+        | Count -> "COUNT"
+        | Sum -> "SUM"
+        | Avg -> "AVG"
+        | Min -> "MIN"
+        | Max -> "MAX"
+        | Count_star -> assert false)
+        (if t.distinct then "DISTINCT " else "")
+        Attr.pp a
+    | _, None -> assert false
+  in
+  Format.fprintf ppf "%a AS %s" body () t.alias
+
+let dedup values =
+  let module VS = Set.Make (struct
+    type t = Value.t
+
+    let compare = Value.compare
+  end) in
+  VS.elements (VS.of_list (List.map fst values))
+
+let compute t occs =
+  if occs = [] then None
+  else
+    let occs =
+      if t.distinct then List.map (fun v -> (v, 1)) (dedup occs) else occs
+    in
+    let total_count () = List.fold_left (fun acc (_, n) -> acc + n) 0 occs in
+    let total_sum () =
+      List.fold_left
+        (fun acc (v, n) -> Value.add acc (Value.scale v n))
+        (Value.zero_like (fst (List.hd occs)))
+        occs
+    in
+    let extremum better =
+      List.fold_left
+        (fun acc (v, _) -> if better v acc then v else acc)
+        (fst (List.hd occs))
+        occs
+    in
+    match t.func with
+    | Count_star | Count -> Some (Value.Int (total_count ()))
+    | Sum -> Some (total_sum ())
+    | Avg -> Some (Value.div_as_float (total_sum ()) (Value.Int (total_count ())))
+    | Min -> Some (extremum (fun v acc -> Value.compare v acc < 0))
+    | Max -> Some (extremum (fun v acc -> Value.compare v acc > 0))

@@ -1,0 +1,36 @@
+(** SQL aggregate functions, with the [DISTINCT] modifier.
+
+    The paper considers all five SQL aggregates (Section 1.2); with the
+    no-null assumption, [COUNT(a)] is equivalent to ["COUNT(*)"]
+    (Section 3.1). *)
+
+type func = Count_star | Count | Sum | Avg | Min | Max
+
+type t = {
+  func : func;
+  arg : Attr.t option;  (** [None] exactly for [Count_star] *)
+  distinct : bool;
+  alias : string;  (** output column name *)
+}
+
+val make : ?distinct:bool -> alias:string -> func -> Attr.t option -> t
+(** @raise Invalid_argument when the arg is inconsistent with the function
+    ([Count_star] takes none, every other function takes one) or when
+    [distinct] is set on [Count_star]. *)
+
+val func_name : func -> string
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** Attribute the aggregate ranges over, if any. *)
+val attr : t -> Attr.t option
+
+(** [compute agg occs] evaluates the aggregate over a group given the bag of
+    argument values [occs] as (value, multiplicity) pairs with the
+    multiplicity of the {e joined} row the value came from. For [Count_star]
+    the values are ignored. Returns [None] on an empty group (the group does
+    not appear in the view).
+
+    AVG yields a [Float]; SUM/MIN/MAX keep their argument type; COUNT yields
+    an [Int]. *)
+val compute : t -> (Relational.Value.t * int) list -> Relational.Value.t option

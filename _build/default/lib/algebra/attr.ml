@@ -1,0 +1,20 @@
+type t = { table : string; column : string }
+
+let make table column = { table; column }
+
+let equal a b = String.equal a.table b.table && String.equal a.column b.column
+
+let compare a b =
+  match String.compare a.table b.table with
+  | 0 -> String.compare a.column b.column
+  | c -> c
+
+let pp ppf a = Format.fprintf ppf "%s.%s" a.table a.column
+let to_string a = a.table ^ "." ^ a.column
+
+let of_string s =
+  match String.index_opt s '.' with
+  | Some i ->
+    { table = String.sub s 0 i;
+      column = String.sub s (i + 1) (String.length s - i - 1) }
+  | None -> invalid_arg ("Attr.of_string: missing dot in " ^ s)

@@ -1,0 +1,12 @@
+(** Qualified attributes [table.column]. *)
+
+type t = { table : string; column : string }
+
+val make : string -> string -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Parses ["t.c"]. @raise Invalid_argument if there is no dot. *)
+val of_string : string -> t

@@ -1,0 +1,30 @@
+type t = Eq | Neq | Lt | Le | Gt | Ge
+
+let eval op a b =
+  let c = Relational.Value.compare a b in
+  match op with
+  | Eq -> c = 0
+  | Neq -> c <> 0
+  | Lt -> c < 0
+  | Le -> c <= 0
+  | Gt -> c > 0
+  | Ge -> c >= 0
+
+let to_string = function
+  | Eq -> "="
+  | Neq -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let pp ppf op = Format.pp_print_string ppf (to_string op)
+
+let of_string = function
+  | "=" -> Some Eq
+  | "<>" | "!=" -> Some Neq
+  | "<" -> Some Lt
+  | "<=" -> Some Le
+  | ">" -> Some Gt
+  | ">=" -> Some Ge
+  | _ -> None

@@ -1,0 +1,8 @@
+(** Comparison operators for selection conditions. *)
+
+type t = Eq | Neq | Lt | Le | Gt | Ge
+
+val eval : t -> Relational.Value.t -> Relational.Value.t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val of_string : string -> t option

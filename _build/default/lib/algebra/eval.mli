@@ -1,0 +1,24 @@
+(** Reference evaluator for GPSJ views over the operational store.
+
+    This is the semantics the self-maintenance machinery is tested against:
+    joins are evaluated along the join tree using key lookups, local
+    conditions filter each table, grouping and aggregation follow SQL
+    semantics. Only used for recomputation baselines and testing — the
+    warehouse proper never touches the base tables. *)
+
+(** [eval db v] materializes [v]; column order follows the select list.
+    [v] is assumed validated. *)
+val eval : Relational.Database.t -> View.t -> Relational.Relation.t
+
+(** Joined rows before projection: [rows db v f acc] folds [f] over each
+    result of σ_S(R1 ⋈ ... ⋈ Rn) as an environment mapping attributes to
+    values. Exposed for the auxiliary-view materializer. *)
+val rows :
+  Relational.Database.t ->
+  View.t ->
+  ((Attr.t -> Relational.Value.t) -> 'a -> 'a) ->
+  'a ->
+  'a
+
+(** Output column names of [v], in order. *)
+val output_columns : View.t -> string list

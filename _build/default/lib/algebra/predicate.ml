@@ -1,0 +1,28 @@
+type operand = Const of Relational.Value.t | Col of Attr.t
+
+type t = { left : Attr.t; op : Cmp.t; right : operand }
+
+let table p = p.left.Attr.table
+
+let attrs p =
+  match p.right with Const _ -> [ p.left ] | Col a -> [ p.left; a ]
+
+let holds p lookup =
+  let rv = match p.right with Const v -> v | Col a -> lookup a in
+  Cmp.eval p.op (lookup p.left) rv
+
+let operand_equal a b =
+  match a, b with
+  | Const x, Const y -> Relational.Value.equal x y
+  | Col x, Col y -> Attr.equal x y
+  | (Const _ | Col _), _ -> false
+
+let equal a b =
+  Attr.equal a.left b.left && a.op = b.op && operand_equal a.right b.right
+
+let pp ppf p =
+  let pp_operand ppf = function
+    | Const v -> Relational.Value.pp ppf v
+    | Col a -> Attr.pp ppf a
+  in
+  Format.fprintf ppf "%a %a %a" Attr.pp p.left Cmp.pp p.op pp_operand p.right

@@ -1,0 +1,22 @@
+(** Local selection conditions.
+
+    A local condition involves attributes of a single base table (Section
+    2.2); the right-hand side is either a constant or another column of the
+    same table. Join conditions are represented separately (see
+    {!View.join}). *)
+
+type operand = Const of Relational.Value.t | Col of Attr.t
+
+type t = { left : Attr.t; op : Cmp.t; right : operand }
+
+(** Table the condition is local to. For [Col] right-hand sides both sides
+    must name the same table; {!View.validate} enforces this. *)
+val table : t -> string
+
+val attrs : t -> Attr.t list
+
+(** [holds p lookup] evaluates [p] with [lookup] resolving attribute values. *)
+val holds : t -> (Attr.t -> Relational.Value.t) -> bool
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,25 @@
+type t =
+  | Group of { attr : Attr.t; alias : string }
+  | Agg of Aggregate.t
+
+let group ?alias attr =
+  let alias = match alias with Some a -> a | None -> attr.Attr.column in
+  Group { attr; alias }
+
+let alias = function Group g -> g.alias | Agg a -> a.Aggregate.alias
+
+let equal a b =
+  match a, b with
+  | Group x, Group y -> Attr.equal x.attr y.attr && String.equal x.alias y.alias
+  | Agg x, Agg y -> Aggregate.equal x y
+  | (Group _ | Agg _), _ -> false
+
+let pp ppf = function
+  | Group { attr; alias } ->
+    if String.equal alias attr.Attr.column then Attr.pp ppf attr
+    else Format.fprintf ppf "%a AS %s" Attr.pp attr alias
+  | Agg a -> Aggregate.pp ppf a
+
+let attrs = function
+  | Group { attr; _ } -> [ attr ]
+  | Agg a -> ( match Aggregate.attr a with Some x -> [ x ] | None -> [])

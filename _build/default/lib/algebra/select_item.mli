@@ -1,0 +1,15 @@
+(** Items of the generalized projection Π_A: regular attributes (which become
+    group-by attributes) and aggregates. *)
+
+type t =
+  | Group of { attr : Attr.t; alias : string }
+  | Agg of Aggregate.t
+
+val group : ?alias:string -> Attr.t -> t
+val alias : t -> string
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** Attributes occurring in the item (the group-by attribute, or the
+    aggregate's argument). *)
+val attrs : t -> Attr.t list

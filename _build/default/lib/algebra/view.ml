@@ -1,0 +1,269 @@
+module Database = Relational.Database
+module Schema = Relational.Schema
+module Datatype = Relational.Datatype
+
+type join = { src : Attr.t; dst : Attr.t }
+
+type having = {
+  h_column : string;
+  h_op : Cmp.t;
+  h_const : Relational.Value.t;
+}
+
+type t = {
+  name : string;
+  select : Select_item.t list;
+  tables : string list;
+  locals : Predicate.t list;
+  joins : join list;
+  having : having list;
+}
+
+exception Invalid of string
+
+let invalid fmt = Format.kasprintf (fun s -> raise (Invalid s)) fmt
+
+let group_attrs v =
+  List.filter_map
+    (function Select_item.Group { attr; _ } -> Some attr | Select_item.Agg _ -> None)
+    v.select
+
+let aggregates v =
+  List.filter_map
+    (function Select_item.Agg a -> Some a | Select_item.Group _ -> None)
+    v.select
+
+let has_aggregates v = aggregates v <> []
+
+let all_attrs v =
+  List.concat_map Select_item.attrs v.select
+  @ List.concat_map Predicate.attrs v.locals
+  @ List.concat_map (fun j -> [ j.src; j.dst ]) v.joins
+
+let joins_from v table =
+  List.filter (fun j -> String.equal j.src.Attr.table table) v.joins
+
+let join_into v table =
+  List.find_opt (fun j -> String.equal j.dst.Attr.table table) v.joins
+
+let root v =
+  match
+    List.filter (fun t -> Option.is_none (join_into v t)) v.tables
+  with
+  | [ r ] -> r
+  | [] -> invalid "view %s: join graph has a cycle (no root)" v.name
+  | rs ->
+    invalid "view %s: join graph is not connected (candidate roots: %s)"
+      v.name (String.concat ", " rs)
+
+let preserved_columns db v ~table =
+  let preserved =
+    List.concat_map Select_item.attrs v.select
+    |> List.filter (fun (a : Attr.t) -> String.equal a.table table)
+    |> List.map (fun (a : Attr.t) -> a.column)
+  in
+  let schema = Database.schema_of db table in
+  List.filter (fun c -> List.mem c preserved) (Schema.column_names schema)
+
+let columns_touching of_attr table xs =
+  List.concat_map of_attr xs
+  |> List.filter_map (fun (a : Attr.t) ->
+         if String.equal a.table table then Some a.column else None)
+  |> List.sort_uniq String.compare
+
+let join_columns v ~table =
+  columns_touching (fun j -> [ j.src; j.dst ]) table v.joins
+
+let local_columns v ~table = columns_touching Predicate.attrs table v.locals
+
+let locals_of v ~table =
+  List.filter (fun p -> String.equal (Predicate.table p) table) v.locals
+
+(* --- validation ------------------------------------------------------- *)
+
+let check_attr db v (a : Attr.t) =
+  if not (List.mem a.table v.tables) then
+    invalid "view %s: attribute %a references a table outside FROM" v.name
+      Attr.pp a;
+  let schema = Database.schema_of db a.table in
+  if not (Schema.mem schema a.column) then
+    invalid "view %s: unknown attribute %a" v.name Attr.pp a
+
+let attr_type db (a : Attr.t) =
+  Schema.type_of (Database.schema_of db a.table) a.column
+
+let check_tree v =
+  (* each table has at most one incoming edge, no self joins, and the graph
+     rooted at [root v] spans all tables acyclically *)
+  List.iter
+    (fun j ->
+      if String.equal j.src.Attr.table j.dst.Attr.table then
+        invalid "view %s: self-join on %s is not supported" v.name
+          j.src.Attr.table)
+    v.joins;
+  List.iter
+    (fun t ->
+      let incoming =
+        List.filter (fun j -> String.equal j.dst.Attr.table t) v.joins
+      in
+      if List.length incoming > 1 then
+        invalid "view %s: table %s has %d incoming joins (graph is not a tree)"
+          v.name t (List.length incoming))
+    v.tables;
+  let r = root v in
+  let visited = Hashtbl.create 8 in
+  let rec walk t =
+    if Hashtbl.mem visited t then
+      invalid "view %s: join graph has a cycle at %s" v.name t;
+    Hashtbl.add visited t ();
+    List.iter (fun j -> walk j.dst.Attr.table) (joins_from v t)
+  in
+  walk r;
+  List.iter
+    (fun t ->
+      if not (Hashtbl.mem visited t) then
+        invalid "view %s: table %s is not joined (graph is not connected)"
+          v.name t)
+    v.tables
+
+let validate db v =
+  if v.select = [] then invalid "view %s: empty select list" v.name;
+  if v.tables = [] then invalid "view %s: empty FROM clause" v.name;
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun t ->
+      if not (Database.mem_table db t) then
+        invalid "view %s: unknown table %s" v.name t;
+      if Hashtbl.mem seen t then
+        invalid "view %s: table %s listed twice in FROM" v.name t;
+      Hashtbl.add seen t ())
+    v.tables;
+  let aliases = Hashtbl.create 8 in
+  List.iter
+    (fun item ->
+      let a = Select_item.alias item in
+      if Hashtbl.mem aliases a then
+        invalid "view %s: duplicate output column %s" v.name a;
+      Hashtbl.add aliases a ())
+    v.select;
+  List.iter (check_attr db v) (all_attrs v);
+  List.iter
+    (fun p ->
+      match p.Predicate.right with
+      | Predicate.Col a ->
+        if not (String.equal a.Attr.table p.Predicate.left.Attr.table) then
+          invalid
+            "view %s: condition %a is not local to one table (use a join)"
+            v.name Predicate.pp p
+      | Predicate.Const c ->
+        let ty = attr_type db p.Predicate.left in
+        if not (Datatype.check ty c) then
+          invalid "view %s: condition %a compares %a with a %s constant"
+            v.name Predicate.pp p Datatype.pp ty (Relational.Value.type_name c))
+    v.locals;
+  List.iter
+    (fun j ->
+      let dst_schema = Database.schema_of db j.dst.Attr.table in
+      if not (String.equal j.dst.Attr.column dst_schema.Schema.key) then
+        invalid "view %s: join %a = %a does not target the key of %s" v.name
+          Attr.pp j.src Attr.pp j.dst j.dst.Attr.table;
+      if not (Datatype.equal (attr_type db j.src) (attr_type db j.dst)) then
+        invalid "view %s: join %a = %a has mismatched types" v.name Attr.pp
+          j.src Attr.pp j.dst)
+    v.joins;
+  check_tree v;
+  let out_aliases = List.map Select_item.alias v.select in
+  List.iter
+    (fun h ->
+      if not (List.mem h.h_column out_aliases) then
+        invalid "view %s: HAVING references unknown output column %s" v.name
+          h.h_column)
+    v.having;
+  let groups = group_attrs v in
+  List.iter
+    (fun (agg : Aggregate.t) ->
+      (match agg.Aggregate.func, agg.Aggregate.arg with
+      | (Aggregate.Sum | Aggregate.Avg), Some a ->
+        if not (Datatype.is_numeric (attr_type db a)) then
+          invalid "view %s: %s over non-numeric attribute %a" v.name
+            (Aggregate.func_name agg.Aggregate.func)
+            Attr.pp a
+      | _ -> ());
+      match agg.Aggregate.func, agg.Aggregate.arg with
+      | (Aggregate.Min | Aggregate.Max | Aggregate.Avg), Some a
+        when List.exists (Attr.equal a) groups ->
+        (* f(a) with a in GB(A) can be replaced by a: superfluous
+           (Section 2.1 footnote) *)
+        invalid "view %s: superfluous aggregate %a over group-by attribute"
+          v.name Aggregate.pp agg
+      | _ -> ())
+    (aggregates v)
+
+(* --- printing --------------------------------------------------------- *)
+
+let pp_list pp_item ppf xs =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+    pp_item ppf xs
+
+let pp ppf v =
+  Format.fprintf ppf "@[<v 2>CREATE VIEW %s AS@,@[<hov 2>SELECT %a@]@,FROM %s"
+    v.name (pp_list Select_item.pp) v.select
+    (String.concat ", " v.tables);
+  let conds =
+    List.map (Format.asprintf "%a" Predicate.pp) v.locals
+    @ List.map
+        (fun j -> Format.asprintf "%a = %a" Attr.pp j.src Attr.pp j.dst)
+        v.joins
+  in
+  if conds <> [] then
+    Format.fprintf ppf "@,WHERE %s" (String.concat " AND " conds);
+  (match group_attrs v with
+  | [] -> ()
+  | gs ->
+    Format.fprintf ppf "@,GROUP BY %s"
+      (String.concat ", " (List.map Attr.to_string gs)));
+  (match v.having with
+  | [] -> ()
+  | hs ->
+    Format.fprintf ppf "@,HAVING %s"
+      (String.concat " AND "
+         (List.map
+            (fun h ->
+              Format.asprintf "%s %a %a" h.h_column Cmp.pp h.h_op
+                Relational.Value.pp h.h_const)
+            hs)));
+  Format.fprintf ppf "@]"
+
+let to_sql v = Format.asprintf "%a" pp v
+
+let having_indices v =
+  let aliases = List.map Select_item.alias v.select in
+  List.map
+    (fun h ->
+      let rec index i = function
+        | [] -> invalid "view %s: HAVING column %s not in select" v.name
+                  h.h_column
+        | a :: rest -> if String.equal a h.h_column then i else index (i + 1) rest
+      in
+      (index 0 aliases, h))
+    v.having
+
+let passes_having v row =
+  List.for_all
+    (fun (i, h) -> Cmp.eval h.h_op row.(i) h.h_const)
+    (having_indices v)
+
+let filter_having v rel =
+  if v.having = [] then rel
+  else begin
+    let idx = having_indices v in
+    let keep row =
+      List.for_all (fun (i, h) -> Cmp.eval h.h_op row.(i) h.h_const) idx
+    in
+    let out = Relational.Relation.create () in
+    Relational.Relation.iter
+      (fun tup n -> if keep tup then Relational.Relation.insert ~count:n out tup)
+      rel;
+    out
+  end

@@ -1,0 +1,84 @@
+(** GPSJ views (Section 2.1):
+
+    {v V = Π_A σ_S (R1 ⋈C1 R2 ⋈C2 ... ⋈Cn-1 Rn) v}
+
+    where [A] mixes group-by attributes and aggregates, [S] is a conjunction
+    of local conditions, and every join condition [Ci] equates a foreign key
+    with the key of the joined table. The join graph must be a tree with no
+    self-joins (Section 3.3). *)
+
+type join = {
+  src : Attr.t;  (** the referencing side, [Ri.b] *)
+  dst : Attr.t;  (** the referenced side [Rj.a]; [a] must be the key of [Rj] *)
+}
+
+(** A restriction on groups (the HAVING clause — the first generalization the
+    paper's Section 4 calls for): a comparison between an output column of
+    the view and a constant. Maintenance keeps the full group state and
+    filters at read time, so HAVING changes nothing about the auxiliary-view
+    derivation. *)
+type having = {
+  h_column : string;  (** output alias *)
+  h_op : Cmp.t;
+  h_const : Relational.Value.t;
+}
+
+type t = {
+  name : string;
+  select : Select_item.t list;
+  tables : string list;  (** base tables referenced, R *)
+  locals : Predicate.t list;
+  joins : join list;
+  having : having list;  (** conjunctive; usually [] *)
+}
+
+exception Invalid of string
+
+(** [validate db v] checks the GPSJ well-formedness conditions: attribute
+    resolution, key joins, tree-shaped join graph, no self-joins, distinct
+    output aliases, typed aggregate arguments, local conditions local to one
+    table, and no superfluous MIN/MAX/AVG over a group-by attribute.
+    @raise Invalid with a diagnostic otherwise. *)
+val validate : Relational.Database.t -> t -> unit
+
+(** {2 Accessors} *)
+
+val group_attrs : t -> Attr.t list
+val aggregates : t -> Aggregate.t list
+val has_aggregates : t -> bool
+
+(** Distinct columns of [table] appearing in the select list (preserved in V,
+    Section 2.1), in schema order. *)
+val preserved_columns : Relational.Database.t -> t -> table:string -> string list
+
+(** Columns of [table] occurring in join conditions (either side). *)
+val join_columns : t -> table:string -> string list
+
+(** Columns of [table] occurring in local selection conditions. *)
+val local_columns : t -> table:string -> string list
+
+val locals_of : t -> table:string -> Predicate.t list
+
+(** Root of the join tree: the unique table with no incoming join. Single
+    table views are their own root.
+    @raise Invalid if the graph is not a tree (call [validate] first). *)
+val root : t -> string
+
+(** Joins whose source is [table] (outgoing tree edges). *)
+val joins_from : t -> string -> join list
+
+(** The join whose destination is [table], if [table] is not the root. *)
+val join_into : t -> string -> join option
+
+(** [passes_having v row] evaluates the HAVING conjunction on an output row
+    (in select order). *)
+val passes_having : t -> Relational.Tuple.t -> bool
+
+(** Filter a rendered result through the HAVING clause (identity when the
+    clause is empty). *)
+val filter_having : t -> Relational.Relation.t -> Relational.Relation.t
+
+val pp : Format.formatter -> t -> unit
+
+(** SQL rendering (re-parsable by {!Sqlfront.Parser}). *)
+val to_sql : t -> string

@@ -1,0 +1,1 @@
+lib/core/auxview.ml: Algebra Buffer Format List Printf String

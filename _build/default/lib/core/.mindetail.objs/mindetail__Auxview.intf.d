@@ -1,0 +1,1 @@
+lib/core/auxview.mli: Algebra Format

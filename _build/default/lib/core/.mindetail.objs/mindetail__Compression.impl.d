@@ -1,0 +1,1 @@
+lib/core/compression.ml: Algebra Auxview Classify List Reduction Relational String

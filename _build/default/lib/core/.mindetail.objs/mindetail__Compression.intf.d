@@ -1,0 +1,1 @@
+lib/core/compression.mli: Algebra Auxview Reduction Relational

@@ -1,0 +1,1 @@
+lib/core/derive.ml: Algebra Auxview Classify Compression Join_graph List Need Option Printf Reduction Relational String

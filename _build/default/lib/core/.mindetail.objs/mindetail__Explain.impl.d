@@ -1,0 +1,1 @@
+lib/core/explain.ml: Algebra Auxview Buffer Derive Join_graph List Printf Reconstruct String

@@ -1,0 +1,1 @@
+lib/core/explain.mli: Derive Join_graph

@@ -1,0 +1,1 @@
+lib/core/join_graph.ml: Algebra List Option Relational String

@@ -1,0 +1,1 @@
+lib/core/join_graph.mli: Algebra Relational

@@ -1,0 +1,1 @@
+lib/core/materialize.ml: Algebra Array Auxview Derive Hashtbl List Printf Relational

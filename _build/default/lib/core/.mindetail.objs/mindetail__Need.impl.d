@@ -1,0 +1,1 @@
+lib/core/need.ml: Join_graph List String

@@ -1,0 +1,1 @@
+lib/core/need.mli: Join_graph

@@ -1,0 +1,1 @@
+lib/core/psj.ml: Algebra Auxview Derive List

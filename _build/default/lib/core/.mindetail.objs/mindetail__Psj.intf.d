@@ -1,0 +1,1 @@
+lib/core/psj.mli: Algebra Derive Relational

@@ -1,0 +1,1 @@
+lib/core/reconstruct.ml: Algebra Array Auxview Buffer Derive Hashtbl List Materialize Option Printf Relational Set String

@@ -1,0 +1,1 @@
+lib/core/reduction.ml: Algebra Hashtbl List Relational

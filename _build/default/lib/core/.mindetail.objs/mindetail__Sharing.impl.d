@@ -1,0 +1,1 @@
+lib/core/sharing.ml: Algebra Auxview Buffer Derive Hashtbl List Printf String

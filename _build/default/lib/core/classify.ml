@@ -1,0 +1,41 @@
+open Algebra.Aggregate
+
+type change_kind = Insertion | Deletion
+
+let is_sma func kind =
+  match func, kind with
+  | (Count_star | Count), (Insertion | Deletion) -> true
+  | Sum, Insertion -> true
+  | Sum, Deletion -> false
+  | Avg, (Insertion | Deletion) -> false
+  | (Min | Max), Insertion -> true
+  | (Min | Max), Deletion -> false
+
+let smas_companions func kind =
+  match func, kind with
+  | (Count_star | Count), (Insertion | Deletion) -> Some []
+  | Sum, Insertion -> Some []
+  | Sum, Deletion -> Some [ Count_star ]
+  | Avg, (Insertion | Deletion) -> Some [ Sum; Count_star ]
+  | (Min | Max), Insertion -> Some []
+  | (Min | Max), Deletion -> None
+
+let replacement = function
+  | Count -> Some [ Count_star ]
+  | Count_star -> Some [ Count_star ]
+  | Sum -> Some [ Sum; Count_star ]
+  | Avg -> Some [ Sum; Count_star ]
+  | Min | Max -> None
+
+let is_distributive = function
+  | Count_star | Count | Sum | Min | Max -> true
+  | Avg -> false
+
+let is_csmas ?(append_only = false) (agg : t) =
+  (not agg.distinct)
+  &&
+  match agg.func with
+  | Count_star | Count | Sum | Avg -> true
+  | Min | Max -> append_only
+
+let class_name agg = if is_csmas agg then "CSMAS" else "non-CSMAS"

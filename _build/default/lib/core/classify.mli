@@ -1,0 +1,41 @@
+(** Classification of SQL aggregates (Section 3.1, Tables 1 and 2).
+
+    An aggregate is {e self-maintainable} (SMA) w.r.t. a change kind when its
+    new value is computable from its old value and the change alone; a set of
+    aggregates is a SMAS when the aggregates are jointly maintainable; a
+    {e completely self-maintainable aggregate set} (CSMAS, Definition 1) is
+    self-maintainable under both insertions and deletions. *)
+
+type change_kind = Insertion | Deletion
+
+(** Table 1, SMA column: is the aggregate self-maintainable on its own? *)
+val is_sma : Algebra.Aggregate.func -> change_kind -> bool
+
+(** Table 1, SMAS column: the companions that make the aggregate part of a
+    self-maintainable set for the given change kind, or [None] if no finite
+    companion set works (MIN/MAX under deletions). [Some []] means the
+    aggregate is a SMAS by itself. *)
+val smas_companions :
+  Algebra.Aggregate.func -> change_kind -> Algebra.Aggregate.func list option
+
+(** Table 2: the distributive replacement set, or [None] for aggregates that
+    are not replaced (MIN/MAX). COUNT is replaced by ["COUNT(*)"] (no nulls);
+    SUM and AVG by SUM and ["COUNT(*)"]. *)
+val replacement : Algebra.Aggregate.func -> Algebra.Aggregate.func list option
+
+(** Is a (non-DISTINCT) aggregate function distributive? *)
+val is_distributive : Algebra.Aggregate.func -> bool
+
+(** Table 2, Class column, extended with the DISTINCT rule: a DISTINCT
+    aggregate is never a CSMAS because DISTINCT destroys distributivity
+    (Section 3.1).
+
+    [append_only] applies the relaxation sketched for old detail data
+    (Section 4): when only insertions have to be considered, MIN and MAX are
+    self-maintainable and count as CSMASs; DISTINCT aggregates still are not
+    (newness of a value cannot be decided without the value set). Defaults to
+    [false], the paper's main setting. *)
+val is_csmas : ?append_only:bool -> Algebra.Aggregate.t -> bool
+
+(** Classification label for reports: ["CSMAS"] or ["non-CSMAS"]. *)
+val class_name : Algebra.Aggregate.t -> string

@@ -1,0 +1,166 @@
+module View = Algebra.View
+module Attr = Algebra.Attr
+module Aggregate = Algebra.Aggregate
+module Database = Relational.Database
+module Schema = Relational.Schema
+
+type usage = {
+  in_group_by : bool;
+  in_join : bool;
+  in_non_csmas : bool;
+  csmas_funcs : Aggregate.func list;
+}
+
+let usage_of ?(append_only = false) (v : View.t) ~table ~column =
+  let attr = Attr.make table column in
+  let aggs_over =
+    View.aggregates v
+    |> List.filter (fun (a : Aggregate.t) ->
+           match Aggregate.attr a with
+           | Some x -> Attr.equal x attr
+           | None -> false)
+  in
+  {
+    in_group_by = List.exists (Attr.equal attr) (View.group_attrs v);
+    in_join = List.mem column (View.join_columns v ~table);
+    in_non_csmas =
+      List.exists (fun a -> not (Classify.is_csmas ~append_only a)) aggs_over;
+    csmas_funcs =
+      List.filter_map
+        (fun (a : Aggregate.t) ->
+          if Classify.is_csmas ~append_only a then Some a.Aggregate.func
+          else None)
+        aggs_over;
+  }
+
+(* Fresh output-column names: aggregate columns must not collide with kept
+   base columns or each other. *)
+let fresh taken candidate =
+  let rec loop name = if List.mem name !taken then loop (name ^ "_") else name in
+  let name = loop candidate in
+  taken := name :: !taken;
+  name
+
+let semijoins_of (v : View.t) (red : Reduction.t) =
+  List.map
+    (fun target ->
+      let j =
+        match
+          List.find_opt
+            (fun (j : View.join) ->
+              String.equal j.View.dst.Attr.table target)
+            (View.joins_from v red.Reduction.table)
+        with
+        | Some j -> j
+        | None -> assert false (* depends_on only yields join targets *)
+      in
+      {
+        Auxview.fk = j.View.src.Attr.column;
+        target;
+        target_key = j.View.dst.Attr.column;
+      })
+    red.Reduction.depends_on
+
+(* Tuple-level spec (no duplicate compression): kept columns plus the base
+   key, all plain. Used when compression is disabled and as the degenerate
+   case of Algorithm 3.1. *)
+let tuple_level ~with_key db (red : Reduction.t) semijoins =
+  let table = red.Reduction.table in
+  let schema = Database.schema_of db table in
+  let kept =
+    List.filter
+      (fun c ->
+        List.mem c red.Reduction.kept_columns
+        || (with_key && String.equal c schema.Schema.key))
+      (Schema.column_names schema)
+  in
+  {
+    Auxview.base = table;
+    name = Auxview.default_name table;
+    locals = red.Reduction.locals;
+    columns = List.map (fun c -> (c, Auxview.Plain c)) kept;
+    semijoins;
+    compressed = false;
+  }
+
+let compress ?(enabled = true) ?(append_only = false) db (v : View.t)
+    (red : Reduction.t) =
+  let table = red.Reduction.table in
+  let schema = Database.schema_of db table in
+  let key = schema.Schema.key in
+  let semijoins = semijoins_of v red in
+  if not enabled then tuple_level ~with_key:true db red semijoins
+  else begin
+    let usages =
+      List.map
+        (fun c -> (c, usage_of ~append_only v ~table ~column:c))
+        red.Reduction.kept_columns
+    in
+    (* columns of view conditions that were NOT pushed into this view (the
+       no-pushdown ablation) must stay plainly available so readers can still
+       evaluate the residual conditions *)
+    let residual_cols =
+      View.locals_of v ~table
+      |> List.filter (fun p ->
+             not
+               (List.exists (Algebra.Predicate.equal p) red.Reduction.locals))
+      |> List.concat_map Algebra.Predicate.attrs
+      |> List.map (fun (a : Attr.t) -> a.Attr.column)
+    in
+    let plain_cols =
+      List.filter_map
+        (fun (c, u) ->
+          if
+            u.in_group_by || u.in_join || u.in_non_csmas
+            || List.mem c residual_cols
+          then Some c
+          else None)
+        usages
+    in
+    if List.mem key plain_cols then
+      (* Degenerate case: the grouping attributes include the key, so every
+         group holds exactly one tuple; COUNT( * ) and the replacements are
+         superfluous (Algorithm 3.1, step 2 note). *)
+      tuple_level ~with_key:false db red semijoins
+    else begin
+      let taken = ref plain_cols in
+      let agg_cols =
+        List.concat_map
+          (fun (c, u) ->
+            if u.in_group_by || u.in_join || u.in_non_csmas then []
+            else begin
+              let has f = List.mem f u.csmas_funcs in
+              let sum =
+                if has Aggregate.Sum || has Aggregate.Avg then
+                  [ (fresh taken ("sum_" ^ c), Auxview.Sum_of c) ]
+                else []
+              in
+              let mn =
+                if has Aggregate.Min then
+                  [ (fresh taken ("min_" ^ c), Auxview.Min_of c) ]
+                else []
+              in
+              let mx =
+                if has Aggregate.Max then
+                  [ (fresh taken ("max_" ^ c), Auxview.Max_of c) ]
+                else []
+              in
+              sum @ mn @ mx
+            end)
+          usages
+      in
+      let columns =
+        List.map (fun c -> (c, Auxview.Plain c)) plain_cols
+        @ agg_cols
+        @ [ (fresh taken "cnt", Auxview.Count_star) ]
+      in
+      {
+        Auxview.base = table;
+        name = Auxview.default_name table;
+        locals = red.Reduction.locals;
+        columns;
+        semijoins;
+        compressed = true;
+      }
+    end
+  end

@@ -1,0 +1,38 @@
+(** Smart duplicate compression (Algorithm 3.1, Tables 3 and 4).
+
+    Given a locally-reduced auxiliary view, a ["COUNT(*)"] is added (unless
+    superfluous) and every CSMAS usage of an attribute that is not needed in
+    non-CSMASs, join conditions or group-by clauses is replaced by its
+    distributive replacement set, turning the tuple-level detail view into an
+    aggregated — much smaller — one. When the grouping attributes include the
+    key of the base table the view degenerates into a PSJ-style view and no
+    compression is applied. *)
+
+(** How a kept base column is used by the view, deciding its fate under
+    Algorithm 3.1. *)
+type usage = {
+  in_group_by : bool;
+  in_join : bool;
+  in_non_csmas : bool;
+  csmas_funcs : Algebra.Aggregate.func list;
+      (** CSMAS aggregates applied to the column *)
+}
+
+val usage_of :
+  ?append_only:bool -> Algebra.View.t -> table:string -> column:string -> usage
+
+(** [compress db view reduction] builds the auxiliary-view spec for
+    [reduction.table], applying Algorithm 3.1 on top of the local and join
+    reductions.
+
+    With [~enabled:false] no duplicate compression is applied and the view is
+    a tuple-level projection that additionally keeps the base key (the
+    ablation / PSJ shape). With [~append_only:true] MIN/MAX usages are also
+    compressed into [Min_of]/[Max_of] columns (Section 4's relaxation). *)
+val compress :
+  ?enabled:bool ->
+  ?append_only:bool ->
+  Relational.Database.t ->
+  Algebra.View.t ->
+  Reduction.t ->
+  Auxview.t

@@ -1,0 +1,170 @@
+module View = Algebra.View
+module Attr = Algebra.Attr
+module Aggregate = Algebra.Aggregate
+module Predicate = Algebra.Predicate
+module Database = Relational.Database
+
+type decision = Retained of Auxview.t | Omitted of string
+
+type agg_source =
+  | From_plain of { table : string; column : string }
+  | From_sum of { table : string; column : string }
+  | From_min of { table : string; column : string }
+  | From_max of { table : string; column : string }
+  | From_count
+
+type options = {
+  push_locals : bool;
+  join_reductions : bool;
+  compression : bool;
+  elimination : bool;
+  append_only : bool;
+}
+
+let default_options =
+  {
+    push_locals = true;
+    join_reductions = true;
+    compression = true;
+    elimination = true;
+    append_only = false;
+  }
+
+let append_only_options = { default_options with append_only = true }
+
+type t = {
+  view : View.t;
+  graph : Join_graph.t;
+  needs : (string * string list) list;
+  exposed : string list;
+  depends : (string * string list) list;
+  decisions : (string * decision) list;
+  options : options;
+}
+
+let non_csmas_tables ~append_only (v : View.t) =
+  View.aggregates v
+  |> List.filter_map (fun (a : Aggregate.t) ->
+         if Classify.is_csmas ~append_only a then None
+         else
+           Option.map (fun (x : Attr.t) -> x.Attr.table) (Aggregate.attr a))
+  |> List.sort_uniq String.compare
+
+let derive_with options db (v : View.t) =
+  View.validate db v;
+  let graph = Join_graph.build db v in
+  let needs = Need.all graph in
+  let exposed =
+    List.filter (fun tbl -> Reduction.exposed_updates db v tbl) v.View.tables
+  in
+  let depends =
+    List.map (fun tbl -> (tbl, Reduction.depends_on db v tbl)) v.View.tables
+  in
+  let blocked_by_non_csmas =
+    non_csmas_tables ~append_only:options.append_only v
+  in
+  let retain table =
+    Retained
+      (Compression.compress ~enabled:options.compression
+         ~append_only:options.append_only db v
+         (Reduction.local ~push_locals:options.push_locals
+            ~join_reductions:options.join_reductions db v table))
+  in
+  let decide table =
+    let needed_by =
+      List.filter_map
+        (fun (rj, need_rj) ->
+          if (not (String.equal rj table)) && List.mem table need_rj then
+            Some rj
+          else None)
+        needs
+    in
+    let depends_all = Reduction.transitively_depends_on_all db v table in
+    let in_non_csmas = List.mem table blocked_by_non_csmas in
+    if
+      options.elimination && depends_all && needed_by = []
+      && not in_non_csmas
+    then
+      Omitted
+        (Printf.sprintf
+           "%s transitively depends on all other base tables, is in no Need \
+            set, and feeds no non-CSMAS aggregate"
+           table)
+    else retain table
+  in
+  {
+    view = v;
+    graph;
+    needs;
+    exposed;
+    depends;
+    decisions = List.map (fun tbl -> (tbl, decide tbl)) v.View.tables;
+    options;
+  }
+
+let derive db v = derive_with default_options db v
+
+let specs d =
+  List.filter_map
+    (fun (_, dec) -> match dec with Retained s -> Some s | Omitted _ -> None)
+    d.decisions
+
+let omitted_tables d =
+  List.filter_map
+    (fun (tbl, dec) ->
+      match dec with Omitted _ -> Some tbl | Retained _ -> None)
+    d.decisions
+
+let spec_for d table =
+  match List.assoc_opt table d.decisions with
+  | Some (Retained s) -> Some s
+  | Some (Omitted _) | None -> None
+
+let residual_locals d table =
+  let view_locals = View.locals_of d.view ~table in
+  match spec_for d table with
+  | None -> view_locals
+  | Some spec ->
+    List.filter
+      (fun p ->
+        not (List.exists (Predicate.equal p) spec.Auxview.locals))
+      view_locals
+
+let root d = Join_graph.root d.graph
+
+let agg_source d (agg : Aggregate.t) =
+  if not (List.exists (Aggregate.equal agg) (View.aggregates d.view)) then
+    invalid_arg "Derive.agg_source: aggregate not in view";
+  match Aggregate.attr agg with
+  | None -> Some From_count
+  | Some _
+    when agg.Aggregate.func = Aggregate.Count && not agg.Aggregate.distinct ->
+    (* no nulls: COUNT(a) ≡ COUNT( * ), reads only the root count *)
+    Some From_count
+  | Some (a : Attr.t) -> (
+    match spec_for d a.Attr.table with
+    | None -> None
+    | Some spec ->
+      let stored =
+        if agg.Aggregate.distinct then None
+        else
+          match agg.Aggregate.func with
+          | Aggregate.Sum | Aggregate.Avg
+            when Auxview.sum_position spec a.Attr.column <> None ->
+            Some (From_sum { table = a.Attr.table; column = a.Attr.column })
+          | Aggregate.Min
+            when Auxview.min_position spec a.Attr.column <> None ->
+            Some (From_min { table = a.Attr.table; column = a.Attr.column })
+          | Aggregate.Max
+            when Auxview.max_position spec a.Attr.column <> None ->
+            Some (From_max { table = a.Attr.table; column = a.Attr.column })
+          | _ -> None
+      in
+      (match stored with
+      | Some s -> Some s
+      | None ->
+        (* non-CSMAS aggregates and CSMASs over a column that stayed plain
+           (because of joins, group-bys or non-CSMAS co-usage) read the plain
+           projection, which Algorithm 3.1 guarantees is present *)
+        assert (Auxview.plain_index spec a.Attr.column <> None);
+        Some (From_plain { table = a.Attr.table; column = a.Attr.column })))

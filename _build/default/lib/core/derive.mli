@@ -1,0 +1,81 @@
+(** Algorithm 3.2: derivation of the minimal set of auxiliary views making
+    {V} ∪ X self-maintainable (Theorem 1).
+
+    For each base table Ri referenced in V, the auxiliary view X_Ri is
+    {e omitted} when (i) Ri transitively depends on all other base tables of
+    V, (ii) Ri is in the Need set of no other base table, and (iii) no
+    attribute of Ri is involved in a non-CSMAS — otherwise X_Ri is the
+    locally-reduced, join-reduced, duplicate-compressed view built by
+    {!Reduction} and {!Compression}.
+
+    {!derive_with} exposes each technique as a switch for ablation studies,
+    and the {e append-only} relaxation of Section 4 under which MIN/MAX are
+    completely self-maintainable and can themselves be compressed. *)
+
+type decision =
+  | Retained of Auxview.t
+  | Omitted of string  (** human-readable justification *)
+
+(** Where the reconstruction of a view aggregate reads its input, per
+    Section 3.2 ("Maintenance Issues under Duplicate Compression"): either an
+    attribute stored plainly in an auxiliary view — to be weighted by the
+    root ["COUNT(*)"] for CSMASs, [f(a ⊗ cnt_0)] — or an aggregate column
+    already accumulated by smart duplicate compression. *)
+type agg_source =
+  | From_plain of { table : string; column : string }
+  | From_sum of { table : string; column : string }
+  | From_min of { table : string; column : string }
+      (** append-only mode: a pre-aggregated MIN column *)
+  | From_max of { table : string; column : string }
+  | From_count  (** COUNT/COUNT( * ) — reads only the root count *)
+
+(** Derivation switches; {!default_options} is the paper's configuration. *)
+type options = {
+  push_locals : bool;  (** local reductions (condition pushdown) *)
+  join_reductions : bool;  (** semijoin reductions *)
+  compression : bool;  (** smart duplicate compression (Algorithm 3.1) *)
+  elimination : bool;  (** auxiliary-view elimination (Section 3.3) *)
+  append_only : bool;  (** Section 4 old-detail relaxation (insert-only) *)
+}
+
+val default_options : options
+
+(** Everything on plus [append_only]. *)
+val append_only_options : options
+
+type t = {
+  view : Algebra.View.t;
+  graph : Join_graph.t;
+  needs : (string * string list) list;  (** Need(Ri) per table *)
+  exposed : string list;  (** tables with exposed updates *)
+  depends : (string * string list) list;
+  decisions : (string * decision) list;  (** per table, in view order *)
+  options : options;
+}
+
+val derive : Relational.Database.t -> Algebra.View.t -> t
+
+val derive_with : options -> Relational.Database.t -> Algebra.View.t -> t
+
+(** Retained specs, in view-table order. *)
+val specs : t -> Auxview.t list
+
+(** Tables whose auxiliary view was omitted. *)
+val omitted_tables : t -> string list
+
+val spec_for : t -> string -> Auxview.t option
+
+(** View local conditions on [table] that are {e not} already enforced by its
+    auxiliary view's pushed-down conditions. Empty under {!default_options};
+    non-empty in the no-pushdown ablation, where readers of the auxiliary
+    data must evaluate them. *)
+val residual_locals : t -> string -> Algebra.Predicate.t list
+
+(** Where aggregate [agg] of the view reads from during reconstruction and
+    recomputation. [None] when the aggregate's table has no auxiliary view
+    (only possible for omitted tables, where reconstruction is not needed).
+    @raise Invalid_argument if [agg] is not an aggregate of the view. *)
+val agg_source : t -> Algebra.Aggregate.t -> agg_source option
+
+(** Root table of the join tree. *)
+val root : t -> string

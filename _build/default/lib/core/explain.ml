@@ -1,0 +1,89 @@
+let annot_suffix g table =
+  match Join_graph.annotation g table with
+  | Join_graph.Plain -> ""
+  | Join_graph.Grouped -> " [g]"
+  | Join_graph.Keyed -> " [k]"
+
+let join_graph_ascii g =
+  let buf = Buffer.create 128 in
+  let rec walk prefix is_last table =
+    Buffer.add_string buf prefix;
+    if prefix <> "" then Buffer.add_string buf (if is_last then "`-- " else "|-- ");
+    Buffer.add_string buf (table ^ annot_suffix g table);
+    Buffer.add_char buf '\n';
+    let children = Join_graph.children g table in
+    let n = List.length children in
+    List.iteri
+      (fun i c ->
+        let child_prefix =
+          if prefix = "" then "  "
+          else prefix ^ (if is_last then "    " else "|   ")
+        in
+        walk child_prefix (i = n - 1) c)
+      children
+  in
+  walk "" true (Join_graph.root g);
+  Buffer.contents buf
+
+let join_graph_dot g =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "digraph join_graph {\n  rankdir=TB;\n";
+  List.iter
+    (fun t ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s [label=\"%s%s\"];\n" t t (annot_suffix g t)))
+    (Join_graph.tables g);
+  List.iter
+    (fun t ->
+      List.iter
+        (fun c -> Buffer.add_string buf (Printf.sprintf "  %s -> %s;\n" t c))
+        (Join_graph.children g t))
+    (Join_graph.tables g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let options_note (o : Derive.options) =
+  let flags =
+    (if o.Derive.push_locals then [] else [ "no local pushdown" ])
+    @ (if o.Derive.join_reductions then [] else [ "no semijoin reductions" ])
+    @ (if o.Derive.compression then [] else [ "no duplicate compression" ])
+    @ (if o.Derive.elimination then [] else [ "no elimination" ])
+    @ if o.Derive.append_only then [ "append-only (Section 4)" ] else []
+  in
+  match flags with [] -> None | fs -> Some (String.concat ", " fs)
+
+let report (d : Derive.t) =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "== view ==\n%s\n\n" (Algebra.View.to_sql d.Derive.view);
+  (match options_note d.Derive.options with
+  | Some note -> add "derivation options: %s\n\n" note
+  | None -> ());
+  add "== extended join graph (root: %s) ==\n%s\n" (Derive.root d)
+    (join_graph_ascii d.Derive.graph);
+  (match d.Derive.exposed with
+  | [] -> add "exposed updates: none\n"
+  | ts -> add "exposed updates: %s\n" (String.concat ", " ts));
+  List.iter
+    (fun (t, deps) ->
+      if deps <> [] then add "%s depends on %s\n" t (String.concat ", " deps))
+    d.Derive.depends;
+  add "\n== Need sets ==\n";
+  List.iter
+    (fun (t, need) ->
+      add "Need(%s) = {%s}\n" t (String.concat ", " need))
+    d.Derive.needs;
+  add "\n== auxiliary views ==\n";
+  List.iter
+    (fun (t, decision) ->
+      match decision with
+      | Derive.Omitted why -> add "X_%s omitted: %s\n\n" t why
+      | Derive.Retained spec -> add "%s\n\n" (Auxview.to_sql spec))
+    d.Derive.decisions;
+  (match Reconstruct.to_sql d with
+  | sql -> add "== reconstruction of V from X ==\n%s\n" sql
+  | exception Reconstruct.Not_reconstructible _ ->
+    add
+      "== reconstruction ==\nthe root auxiliary view is omitted: V is its \
+       own record and is maintained directly\n");
+  Buffer.contents buf

@@ -1,0 +1,14 @@
+(** Human-readable reports of a derivation: the extended join graph
+    (Figure 2), the Need sets, the per-table decision and the auxiliary-view
+    SQL. Used by the CLI and the bench harness. *)
+
+(** ASCII tree rendering of the extended join graph, with g/k annotations. *)
+val join_graph_ascii : Join_graph.t -> string
+
+(** Graphviz DOT rendering. *)
+val join_graph_dot : Join_graph.t -> string
+
+(** Full derivation report: view SQL, join graph, exposed updates, depends-on
+    relation, Need sets, per-table decision, and CREATE VIEW statements for
+    the retained auxiliary views. *)
+val report : Derive.t -> string

@@ -1,0 +1,59 @@
+module View = Algebra.View
+module Attr = Algebra.Attr
+module Database = Relational.Database
+module Schema = Relational.Schema
+
+type annotation = Plain | Grouped | Keyed
+
+type t = {
+  view : View.t;
+  root : string;
+  annotations : (string * annotation) list;
+}
+
+let annotation_of db (v : View.t) table =
+  let key = (Database.schema_of db table).Schema.key in
+  let group_cols =
+    View.group_attrs v
+    |> List.filter_map (fun (a : Attr.t) ->
+           if String.equal a.table table then Some a.column else None)
+  in
+  if List.mem key group_cols then Keyed
+  else if group_cols <> [] then Grouped
+  else Plain
+
+let build db (v : View.t) =
+  {
+    view = v;
+    root = View.root v;
+    annotations =
+      List.map (fun tbl -> (tbl, annotation_of db v tbl)) v.View.tables;
+  }
+
+let view g = g.view
+let root g = g.root
+let tables g = g.view.View.tables
+let annotation g table = List.assoc table g.annotations
+
+let children g table =
+  List.map
+    (fun (j : View.join) -> j.View.dst.Attr.table)
+    (View.joins_from g.view table)
+
+let parent g table =
+  Option.map
+    (fun (j : View.join) -> j.View.src.Attr.table)
+    (View.join_into g.view table)
+
+let rec subtree g table =
+  table :: List.concat_map (subtree g) (children g table)
+
+let edge g ~parent ~child =
+  List.find_opt
+    (fun (j : View.join) -> String.equal j.View.dst.Attr.table child)
+    (View.joins_from g.view parent)
+
+let annotation_name = function
+  | Plain -> "plain"
+  | Grouped -> "g"
+  | Keyed -> "k"

@@ -1,0 +1,32 @@
+(** The extended join graph G(V) (Definition 2, Figure 2).
+
+    Vertices are the base tables referenced in V; there is a directed edge
+    e(Ri, Rj) for every join condition [Ri.b = Rj.a] with [a] the key of
+    [Rj]. A vertex is annotated [g] when it contributes group-by attributes,
+    and [k] when one of those is its key. The graph is required to be a tree
+    (checked by {!Algebra.View.validate}). *)
+
+type annotation = Plain | Grouped | Keyed
+
+type t
+
+(** [build db v] constructs the graph for a validated view. *)
+val build : Relational.Database.t -> Algebra.View.t -> t
+
+val view : t -> Algebra.View.t
+val root : t -> string
+val tables : t -> string list
+val annotation : t -> string -> annotation
+
+(** Children of a vertex, i.e. destinations of its outgoing edges. *)
+val children : t -> string -> string list
+
+val parent : t -> string -> string option
+
+(** All vertices of the subtree rooted at the given table, including it. *)
+val subtree : t -> string -> string list
+
+(** The join edge from [parent] into [child], if both are adjacent. *)
+val edge : t -> parent:string -> child:string -> Algebra.View.join option
+
+val annotation_name : annotation -> string

@@ -1,0 +1,158 @@
+module Database = Relational.Database
+module Schema = Relational.Schema
+module Relation = Relational.Relation
+module Tuple = Relational.Tuple
+module Value = Relational.Value
+module Predicate = Algebra.Predicate
+module Attr = Algebra.Attr
+
+module VH = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+module TH = Hashtbl.Make (struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+  let hash = Tuple.hash
+end)
+
+let rec materialize db (d : Derive.t) cache table =
+  match Hashtbl.find_opt cache table with
+  | Some rel -> rel
+  | None ->
+    let spec =
+      match Derive.spec_for d table with
+      | Some s -> s
+      | None ->
+        invalid_arg
+          (Printf.sprintf "Materialize.aux: auxiliary view for %s was omitted"
+             table)
+    in
+    let schema = Database.schema_of db table in
+    let col_idx c = Schema.index_of schema c in
+    let lookup tup (a : Attr.t) = tup.(col_idx a.Attr.column) in
+    let passes tup =
+      List.for_all (fun p -> Predicate.holds p (lookup tup)) spec.Auxview.locals
+    in
+    (* semijoin filters: per semijoin, the set of target-key values present
+       in the (recursively materialized) target auxiliary view *)
+    let filters =
+      List.map
+        (fun (sj : Auxview.semijoin) ->
+          let target_rel = materialize db d cache sj.Auxview.target in
+          let target_spec =
+            match Derive.spec_for d sj.Auxview.target with
+            | Some s -> s
+            | None -> assert false (* semijoin targets are never omitted *)
+          in
+          let key_idx =
+            match Auxview.plain_index target_spec sj.Auxview.target_key with
+            | Some i -> i
+            | None -> assert false (* semijoin targets keep their key *)
+          in
+          let keys = VH.create 64 in
+          Relation.iter
+            (fun tup _ -> VH.replace keys tup.(key_idx) ())
+            target_rel;
+          (col_idx sj.Auxview.fk, keys))
+        spec.Auxview.semijoins
+    in
+    let survives tup =
+      passes tup
+      && List.for_all (fun (i, keys) -> VH.mem keys tup.(i)) filters
+    in
+    (* group by the Plain columns, accumulating COUNT( * ) and the SUMs *)
+    let plain_idxs =
+      Array.of_list (List.map col_idx (Auxview.group_columns spec))
+    in
+    let sum_srcs =
+      List.filter_map
+        (fun (_, def) ->
+          match def with
+          | Auxview.Sum_of c -> Some (col_idx c)
+          | Auxview.Plain _ | Auxview.Min_of _ | Auxview.Max_of _
+          | Auxview.Count_star ->
+            None)
+        spec.Auxview.columns
+    in
+    let ext_srcs =
+      List.filter_map
+        (fun (_, def) ->
+          match def with
+          | Auxview.Min_of c -> Some (col_idx c, true)
+          | Auxview.Max_of c -> Some (col_idx c, false)
+          | Auxview.Plain _ | Auxview.Sum_of _ | Auxview.Count_star -> None)
+        spec.Auxview.columns
+    in
+    let combine_ext ~is_min cur v =
+      let c = Value.compare v cur in
+      if (is_min && c < 0) || ((not is_min) && c > 0) then v else cur
+    in
+    let groups : (int ref * Value.t array * Value.t array) TH.t =
+      TH.create 256
+    in
+    Database.fold db table
+      (fun tup () ->
+        if survives tup then begin
+          let key = Tuple.project tup plain_idxs in
+          match TH.find_opt groups key with
+          | Some (cnt, sums, exts) ->
+            incr cnt;
+            List.iteri
+              (fun i src -> sums.(i) <- Value.add sums.(i) tup.(src))
+              sum_srcs;
+            List.iteri
+              (fun i (src, is_min) ->
+                exts.(i) <- combine_ext ~is_min exts.(i) tup.(src))
+              ext_srcs
+          | None ->
+            TH.add groups key
+              ( ref 1,
+                Array.of_list (List.map (fun src -> tup.(src)) sum_srcs),
+                Array.of_list (List.map (fun (src, _) -> tup.(src)) ext_srcs)
+              )
+        end)
+      ();
+    let rel = Relation.create ~size_hint:(TH.length groups) () in
+    TH.iter
+      (fun key (cnt, sums, exts) ->
+        let gi = ref 0 and si = ref 0 and ei = ref 0 in
+        let row =
+          List.map
+            (fun (_, def) ->
+              match def with
+              | Auxview.Plain _ ->
+                let v = key.(!gi) in
+                incr gi;
+                v
+              | Auxview.Sum_of _ ->
+                let v = sums.(!si) in
+                incr si;
+                v
+              | Auxview.Min_of _ | Auxview.Max_of _ ->
+                let v = exts.(!ei) in
+                incr ei;
+                v
+              | Auxview.Count_star -> Value.Int !cnt)
+            spec.Auxview.columns
+        in
+        (* compressed views emit one row per group; degenerate PSJ views emit
+           the projected tuple with its multiplicity *)
+        if spec.Auxview.compressed then Relation.insert rel (Array.of_list row)
+        else Relation.insert ~count:!cnt rel (Array.of_list row))
+      groups;
+    Hashtbl.add cache table rel;
+    rel
+
+let aux db d table = materialize db d (Hashtbl.create 8) table
+
+let all db d =
+  let cache = Hashtbl.create 8 in
+  List.map
+    (fun (spec : Auxview.t) ->
+      (spec.Auxview.base, materialize db d cache spec.Auxview.base))
+    (Derive.specs d)

@@ -1,0 +1,16 @@
+(** Materialization of auxiliary views from the operational store.
+
+    Used at warehouse-initialization time (the one moment base data is
+    visible, Figure 1) and by the test suite as the specification the
+    incrementally-maintained auxiliary state must coincide with. *)
+
+(** [aux db derivation table] computes the contents of X_[table]; columns
+    follow the spec's column order. Semijoin reductions are resolved
+    recursively.
+    @raise Invalid_argument if [table]'s auxiliary view was omitted. *)
+val aux :
+  Relational.Database.t -> Derive.t -> string -> Relational.Relation.t
+
+(** Contents for every retained auxiliary view. *)
+val all :
+  Relational.Database.t -> Derive.t -> (string * Relational.Relation.t) list

@@ -1,0 +1,30 @@
+let rec need0 g ri =
+  match Join_graph.annotation g ri with
+  | Join_graph.Keyed -> []
+  | Join_graph.Grouped | Join_graph.Plain ->
+    List.concat_map
+      (fun rj ->
+        let annotated t =
+          match Join_graph.annotation g t with
+          | Join_graph.Keyed | Join_graph.Grouped -> true
+          | Join_graph.Plain -> false
+        in
+        if List.exists annotated (Join_graph.subtree g rj) then
+          rj :: need0 g rj
+        else [])
+      (Join_graph.children g ri)
+
+let need g ri =
+  let rec raw t =
+    match Join_graph.annotation g t with
+    | Join_graph.Keyed -> []
+    | Join_graph.Grouped | Join_graph.Plain -> (
+      match Join_graph.parent g t with
+      | Some rj -> rj :: raw rj
+      | None -> need0 g (Join_graph.root g))
+  in
+  raw ri
+  |> List.filter (fun t -> not (String.equal t ri))
+  |> List.sort_uniq String.compare
+
+let all g = List.map (fun t -> (t, need g t)) (Join_graph.tables g)

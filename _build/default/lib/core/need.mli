@@ -1,0 +1,18 @@
+(** The Need functions (Definitions 3 and 4).
+
+    [Need(Ri, G(V))] is the minimal set of base tables with which [Ri] must
+    join so that the view tuples associated with a given [Ri] tuple can be
+    identified — the auxiliary views required to propagate deletions and
+    protected updates of [Ri] to V. *)
+
+(** Definition 4: depth-first search from the root for the minimal set of
+    tables whose group-by attributes form a combined key to V; stops below
+    key-annotated vertices. *)
+val need0 : Join_graph.t -> string -> string list
+
+(** Definition 3. The result is deduplicated and sorted; it never contains
+    [Ri] itself. *)
+val need : Join_graph.t -> string -> string list
+
+(** [Need(Ri)] for every table, as an association list in view-table order. *)
+val all : Join_graph.t -> (string * string list) list

@@ -1,0 +1,18 @@
+module View = Algebra.View
+
+let options =
+  {
+    Derive.default_options with
+    Derive.compression = false;
+    elimination = false;
+  }
+
+let rename (table, decision) =
+  match decision with
+  | Derive.Retained spec ->
+    (table, Derive.Retained { spec with Auxview.name = table ^ "PSJ" })
+  | Derive.Omitted _ as o -> (table, o)
+
+let derive db (v : View.t) =
+  let d = Derive.derive_with options db v in
+  { d with Derive.decisions = List.map rename d.Derive.decisions }

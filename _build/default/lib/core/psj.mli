@@ -1,0 +1,11 @@
+(** The PSJ self-maintenance baseline of Quass et al. [14], extended
+    conservatively to GPSJ views.
+
+    Auxiliary views get local and join reductions and always keep the base
+    key, but {e no} smart duplicate compression — they store tuple-level
+    detail. Because the original algorithm does not reason about aggregates,
+    no auxiliary view is ever eliminated. The result plugs into the same
+    {!Maintenance.Engine}; it is the storage/maintenance baseline the paper's
+    Section 1.1 savings are measured against. *)
+
+val derive : Relational.Database.t -> Algebra.View.t -> Derive.t

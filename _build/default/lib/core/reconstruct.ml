@@ -1,0 +1,511 @@
+module Relation = Relational.Relation
+module Tuple = Relational.Tuple
+module Value = Relational.Value
+module View = Algebra.View
+module Attr = Algebra.Attr
+module Aggregate = Algebra.Aggregate
+module Select_item = Algebra.Select_item
+
+exception Not_reconstructible of string
+
+module VSet = Set.Make (struct
+  type t = Value.t
+
+  let compare = Value.compare
+end)
+
+module VH = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+module TH = Hashtbl.Make (struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+  let hash = Tuple.hash
+end)
+
+(* Accumulated state of one aggregate within one group. *)
+type acc = {
+  mutable count : int;
+  mutable sum : Value.t option;
+  mutable minv : Value.t option;
+  mutable maxv : Value.t option;
+  mutable dset : VSet.t;
+}
+
+let fresh_acc () =
+  { count = 0; sum = None; minv = None; maxv = None; dset = VSet.empty }
+
+let add_sum acc v =
+  acc.sum <- Some (match acc.sum with None -> v | Some s -> Value.add s v)
+
+let add_min acc v =
+  acc.minv <-
+    Some
+      (match acc.minv with
+      | None -> v
+      | Some m -> if Value.compare v m < 0 then v else m)
+
+let add_max acc v =
+  acc.maxv <-
+    Some
+      (match acc.maxv with
+      | None -> v
+      | Some m -> if Value.compare v m > 0 then v else m)
+
+(* [feed agg source] builds the per-row accumulation function for one view
+   aggregate: [look] resolves (table, plain column) pairs in the joined
+   auxiliary row, [sum_look] resolves (table, summed column) pairs, [cnt] is
+   the root COUNT( * ) of the row. *)
+let feed (agg : Aggregate.t) (source : Derive.agg_source) acc ~look ~sum_look
+    ~min_look ~max_look ~cnt =
+  match source with
+  | Derive.From_count -> acc.count <- acc.count + cnt
+  | Derive.From_sum { table; column } ->
+    add_sum acc (sum_look table column);
+    acc.count <- acc.count + cnt
+  | Derive.From_min { table; column } -> add_min acc (min_look table column)
+  | Derive.From_max { table; column } -> add_max acc (max_look table column)
+  | Derive.From_plain { table; column } ->
+    let a = look table column in
+    if agg.Aggregate.distinct then acc.dset <- VSet.add a acc.dset
+    else begin
+      match agg.Aggregate.func with
+      | Aggregate.Sum | Aggregate.Avg ->
+        (* f(a ⊗ cnt_0): weight the plain value by the root count *)
+        add_sum acc (Value.scale a cnt);
+        acc.count <- acc.count + cnt
+      | Aggregate.Min -> add_min acc a
+      | Aggregate.Max -> add_max acc a
+      | Aggregate.Count | Aggregate.Count_star ->
+        (* COUNT reads From_count; a plain source never feeds it *)
+        assert false
+    end
+
+let finalize (agg : Aggregate.t) acc =
+  let required = function
+    | Some v -> v
+    | None -> assert false (* groups are fed before being finalized *)
+  in
+  if agg.Aggregate.distinct then begin
+    let elts = VSet.elements acc.dset in
+    let n = List.length elts in
+    assert (n > 0);
+    match agg.Aggregate.func with
+    | Aggregate.Count -> Value.Int n
+    | Aggregate.Sum ->
+      List.fold_left Value.add (Value.zero_like (List.hd elts)) elts
+    | Aggregate.Avg ->
+      let s =
+        List.fold_left Value.add (Value.zero_like (List.hd elts)) elts
+      in
+      Value.div_as_float s (Value.Int n)
+    | Aggregate.Min -> List.hd elts
+    | Aggregate.Max -> List.nth elts (n - 1)
+    | Aggregate.Count_star -> assert false
+  end
+  else
+    match agg.Aggregate.func with
+    | Aggregate.Count | Aggregate.Count_star -> Value.Int acc.count
+    | Aggregate.Sum -> required acc.sum
+    | Aggregate.Avg -> Value.div_as_float (required acc.sum) (Value.Int acc.count)
+    | Aggregate.Min -> required acc.minv
+    | Aggregate.Max -> required acc.maxv
+
+(* Fold [f] over every joined auxiliary row. [contents] supplies auxiliary
+   relations; the env maps table names to their auxiliary tuple. *)
+let fold_joined_rows (d : Derive.t) contents f init =
+  let v = d.Derive.view in
+  let root = Derive.root d in
+  let root_spec =
+    match Derive.spec_for d root with
+    | Some s -> s
+    | None ->
+      raise
+        (Not_reconstructible
+           (Printf.sprintf
+              "auxiliary view for root table %s was omitted; V is its own \
+               record"
+              root))
+  in
+  let spec_of table =
+    match Derive.spec_for d table with
+    | Some s -> s
+    | None -> assert false (* non-root tables always retain their views *)
+  in
+  (* local conditions not already enforced by the auxiliary views (the
+     no-pushdown ablation); their columns are guaranteed to be kept *)
+  let residual table tup =
+    let spec = spec_of table in
+    let look (a : Attr.t) =
+      match Auxview.plain_index spec a.Attr.column with
+      | Some i -> tup.(i)
+      | None -> assert false (* unpushed condition columns stay plain *)
+    in
+    List.for_all
+      (fun p -> Algebra.Predicate.holds p look)
+      (Derive.residual_locals d table)
+  in
+  (* key-indexed dimension lookups *)
+  let index_of_table = Hashtbl.create 8 in
+  List.iter
+    (fun table ->
+      if not (String.equal table root) then begin
+        let spec = spec_of table in
+        let key_col =
+          match View.join_into v table with
+          | Some j -> j.View.dst.Attr.column
+          | None -> assert false
+        in
+        let key_idx =
+          match Auxview.plain_index spec key_col with
+          | Some i -> i
+          | None -> assert false (* join targets keep their key *)
+        in
+        let idx = VH.create 64 in
+        Relation.iter
+          (fun tup _ -> VH.replace idx tup.(key_idx) tup)
+          (contents table);
+        Hashtbl.add index_of_table table idx
+      end)
+    v.View.tables;
+  let root_rel = contents root in
+  let cnt_idx = Auxview.count_index root_spec in
+  let acc = ref init in
+  Relation.iter
+    (fun root_tup mult ->
+      let rec extend env table =
+        List.fold_left
+          (fun env_opt (j : View.join) ->
+            match env_opt with
+            | None -> None
+            | Some env -> (
+              let src_spec = spec_of j.View.src.Attr.table in
+              let src_tup = List.assoc j.View.src.Attr.table env in
+              let fk_idx =
+                match Auxview.plain_index src_spec j.View.src.Attr.column with
+                | Some i -> i
+                | None -> assert false (* join columns stay plain *)
+              in
+              let child = j.View.dst.Attr.table in
+              match
+                VH.find_opt
+                  (Hashtbl.find index_of_table child)
+                  src_tup.(fk_idx)
+              with
+              | None -> None
+              | Some child_tup ->
+                if residual child child_tup then
+                  extend ((child, child_tup) :: env) child
+                else None))
+          (Some env) (View.joins_from v table)
+      in
+      match
+        if residual root root_tup then extend [ (root, root_tup) ] root
+        else None
+      with
+      | None -> ()
+      | Some env ->
+        let cnt =
+          match cnt_idx with
+          | Some i -> ( match root_tup.(i) with Value.Int n -> n | _ -> 1)
+          | None -> mult
+        in
+        acc := f env cnt !acc)
+    root_rel;
+  !acc
+
+let view (d : Derive.t) contents =
+  let v = d.Derive.view in
+  (match Derive.spec_for d (Derive.root d) with
+  | Some _ -> ()
+  | None ->
+    raise
+      (Not_reconstructible
+         (Printf.sprintf
+            "auxiliary view for root table %s was omitted; V is its own record"
+            (Derive.root d))));
+  let spec_of table = Option.get (Derive.spec_for d table) in
+  let plain_value env table column =
+    let tup = List.assoc table env in
+    match Auxview.plain_index (spec_of table) column with
+    | Some i -> tup.(i)
+    | None -> assert false
+  in
+  let sum_value env table column =
+    let tup = List.assoc table env in
+    match Auxview.sum_index (spec_of table) column with
+    | Some i -> tup.(i)
+    | None -> assert false
+  in
+  (* extremum columns: locate the output position of MIN(col)/MAX(col) in
+     the spec's full column list *)
+  let ext_value ~is_min env table column =
+    let tup = List.assoc table env in
+    let spec = spec_of table in
+    let rec scan i = function
+      | [] -> assert false (* agg_source guaranteed the column exists *)
+      | (_, def) :: rest -> (
+        match def with
+        | Auxview.Min_of c when is_min && String.equal c column -> i
+        | Auxview.Max_of c when (not is_min) && String.equal c column -> i
+        | Auxview.Plain _ | Auxview.Sum_of _ | Auxview.Min_of _
+        | Auxview.Max_of _ | Auxview.Count_star ->
+          scan (i + 1) rest)
+    in
+    tup.(scan 0 spec.Auxview.columns)
+  in
+  let gattrs = Array.of_list (View.group_attrs v) in
+  let sources =
+    List.map
+      (fun item ->
+        match item with
+        | Select_item.Group _ -> None
+        | Select_item.Agg agg -> (
+          match Derive.agg_source d agg with
+          | Some s -> Some (agg, s)
+          | None -> assert false (* root spec exists, sources resolve *)))
+      v.View.select
+  in
+  let groups : acc array TH.t = TH.create 64 in
+  let () =
+    fold_joined_rows d contents
+      (fun env cnt () ->
+        let key =
+          Array.map
+            (fun (a : Attr.t) -> plain_value env a.Attr.table a.Attr.column)
+            gattrs
+        in
+        let accs =
+          match TH.find_opt groups key with
+          | Some accs -> accs
+          | None ->
+            let accs =
+              Array.of_list (List.map (fun _ -> fresh_acc ()) sources)
+            in
+            TH.add groups key accs;
+            accs
+        in
+        List.iteri
+          (fun i source ->
+            match source with
+            | None -> ()
+            | Some (agg, src) ->
+              feed agg src accs.(i)
+                ~look:(plain_value env)
+                ~sum_look:(sum_value env)
+                ~min_look:(ext_value ~is_min:true env)
+                ~max_look:(ext_value ~is_min:false env)
+                ~cnt)
+          sources;
+        ())
+      ()
+  in
+  let result = Relation.create ~size_hint:(TH.length groups) () in
+  TH.iter
+    (fun key accs ->
+      let gi = ref 0 in
+      let row =
+        List.mapi
+          (fun i item ->
+            match item with
+            | Select_item.Group _ ->
+              let v = key.(!gi) in
+              incr gi;
+              v
+            | Select_item.Agg agg -> finalize agg accs.(i))
+          v.View.select
+      in
+      Relation.insert result (Array.of_list row))
+    groups;
+  View.filter_having v result
+
+let check db d =
+  let expected = Algebra.Eval.eval db d.Derive.view in
+  let cache = Hashtbl.create 8 in
+  let contents table =
+    match Hashtbl.find_opt cache table with
+    | Some rel -> rel
+    | None ->
+      let rel = Materialize.aux db d table in
+      Hashtbl.add cache table rel;
+      rel
+  in
+  Relation.equal expected (view d contents)
+
+
+(* --- SQL rendering of the reconstruction query -------------------------- *)
+
+let to_sql (d : Derive.t) =
+  let v = d.Derive.view in
+  let root = Derive.root d in
+  let root_spec =
+    match Derive.spec_for d root with
+    | Some s -> s
+    | None ->
+      raise
+        (Not_reconstructible
+           (Printf.sprintf
+              "auxiliary view for root table %s was omitted; V is its own \
+               record"
+              root))
+  in
+  let spec_of table = Option.get (Derive.spec_for d table) in
+  let qualified table column =
+    (spec_of table).Auxview.name ^ "." ^ column
+  in
+  (* output column name of an aggregate column inside a spec *)
+  let out_name spec pred =
+    match List.find_opt (fun (_, def) -> pred def) spec.Auxview.columns with
+    | Some (name, _) -> name
+    | None -> assert false
+  in
+  let root_cnt () =
+    match Auxview.count_index root_spec with
+    | Some _ ->
+      Some
+        (qualified root
+           (out_name root_spec (function
+             | Auxview.Count_star -> true
+             | _ -> false)))
+    | None -> None
+  in
+  let count_expr () =
+    match root_cnt () with
+    | Some cnt -> "SUM(" ^ cnt ^ ")"
+    | None -> "COUNT(*)"
+  in
+  let weighted table column =
+    (* a plainly stored value, weighted by the root count under duplicate
+       compression: f(a x cnt_0) *)
+    match root_cnt () with
+    | Some cnt -> qualified table column ^ " * " ^ cnt
+    | None -> qualified table column
+  in
+  let item_sql item =
+    match item with
+    | Select_item.Group { attr; alias } ->
+      let col = qualified attr.Attr.table attr.Attr.column in
+      if String.equal alias attr.Attr.column then col
+      else col ^ " AS " ^ alias
+    | Select_item.Agg agg -> (
+      let alias = agg.Aggregate.alias in
+      let source = Option.get (Derive.agg_source d agg) in
+      let body =
+        match source with
+        | Derive.From_count -> count_expr ()
+        | Derive.From_sum { table; column } ->
+          let spec = spec_of table in
+          let name =
+            out_name spec (function
+              | Auxview.Sum_of c -> String.equal c column
+              | _ -> false)
+          in
+          let total = "SUM(" ^ qualified table name ^ ")" in
+          (match agg.Aggregate.func with
+          | Aggregate.Avg -> total ^ " / " ^ count_expr ()
+          | _ -> total)
+        | Derive.From_min { table; column } ->
+          let spec = spec_of table in
+          "MIN("
+          ^ qualified table
+              (out_name spec (function
+                | Auxview.Min_of c -> String.equal c column
+                | _ -> false))
+          ^ ")"
+        | Derive.From_max { table; column } ->
+          let spec = spec_of table in
+          "MAX("
+          ^ qualified table
+              (out_name spec (function
+                | Auxview.Max_of c -> String.equal c column
+                | _ -> false))
+          ^ ")"
+        | Derive.From_plain { table; column } ->
+          if agg.Aggregate.distinct then
+            Printf.sprintf "%s(DISTINCT %s)"
+              (match agg.Aggregate.func with
+              | Aggregate.Count -> "COUNT"
+              | Aggregate.Sum -> "SUM"
+              | Aggregate.Avg -> "AVG"
+              | Aggregate.Min -> "MIN"
+              | Aggregate.Max -> "MAX"
+              | Aggregate.Count_star -> assert false)
+              (qualified table column)
+          else begin
+            match agg.Aggregate.func with
+            | Aggregate.Min -> "MIN(" ^ qualified table column ^ ")"
+            | Aggregate.Max -> "MAX(" ^ qualified table column ^ ")"
+            | Aggregate.Sum -> "SUM(" ^ weighted table column ^ ")"
+            | Aggregate.Avg ->
+              "SUM(" ^ weighted table column ^ ") / " ^ count_expr ()
+            | Aggregate.Count | Aggregate.Count_star -> assert false
+          end
+      in
+      body ^ " AS " ^ alias)
+  in
+  let froms =
+    List.filter_map (fun t -> Derive.spec_for d t) v.View.tables
+    |> List.map (fun (s : Auxview.t) -> s.Auxview.name)
+  in
+  let join_conds =
+    List.map
+      (fun (j : View.join) ->
+        Printf.sprintf "%s = %s"
+          (qualified j.View.src.Attr.table j.View.src.Attr.column)
+          (qualified j.View.dst.Attr.table j.View.dst.Attr.column))
+      v.View.joins
+  in
+  let residual_conds =
+    List.concat_map
+      (fun t ->
+        List.map
+          (fun (p : Algebra.Predicate.t) ->
+            let rhs =
+              match p.Algebra.Predicate.right with
+              | Algebra.Predicate.Const c -> Value.to_string c
+              | Algebra.Predicate.Col a ->
+                qualified a.Attr.table a.Attr.column
+            in
+            Printf.sprintf "%s %s %s"
+              (qualified p.Algebra.Predicate.left.Attr.table
+                 p.Algebra.Predicate.left.Attr.column)
+              (Algebra.Cmp.to_string p.Algebra.Predicate.op)
+              rhs)
+          (Derive.residual_locals d t))
+      v.View.tables
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("CREATE VIEW " ^ v.View.name ^ " AS\n  SELECT ");
+  Buffer.add_string buf
+    (String.concat ", " (List.map item_sql v.View.select));
+  Buffer.add_string buf ("\n  FROM " ^ String.concat ", " froms);
+  (match join_conds @ residual_conds with
+  | [] -> ()
+  | cs -> Buffer.add_string buf ("\n  WHERE " ^ String.concat " AND " cs));
+  (match View.group_attrs v with
+  | [] -> ()
+  | gs ->
+    Buffer.add_string buf
+      ("\n  GROUP BY "
+      ^ String.concat ", "
+          (List.map
+             (fun (a : Attr.t) -> qualified a.Attr.table a.Attr.column)
+             gs)));
+  (match v.View.having with
+  | [] -> ()
+  | hs ->
+    Buffer.add_string buf
+      ("\n  HAVING "
+      ^ String.concat " AND "
+          (List.map
+             (fun (h : View.having) ->
+               Printf.sprintf "%s %s %s" h.View.h_column
+                 (Algebra.Cmp.to_string h.View.h_op)
+                 (Value.to_string h.View.h_const))
+             hs)));
+  Buffer.contents buf

@@ -1,0 +1,33 @@
+(** Reconstruction of a GPSJ view from its auxiliary views alone
+    (Section 1.1's rewritten [product_sales], Section 3.2's maintenance under
+    duplicate compression).
+
+    CSMAS aggregates are recomputed distributively from the compressed
+    auxiliary data: a ["COUNT(*)"] in V is the sum of the root counts, a SUM
+    is either the sum of the pre-aggregated SUM column or — for attributes
+    kept plainly — [f(a ⊗ cnt_0)], weighting each value by the root count.
+    MIN/MAX and DISTINCT aggregates ignore duplicates and read the plain
+    attributes directly. *)
+
+exception Not_reconstructible of string
+
+(** [view derivation contents] evaluates V over the auxiliary views;
+    [contents table] must return the current contents of X_[table] in spec
+    column order. Output columns follow the view's select list.
+    @raise Not_reconstructible when the root table's auxiliary view was
+    omitted (V is then its own only record, by design). *)
+val view :
+  Derive.t -> (string -> Relational.Relation.t) -> Relational.Relation.t
+
+(** [check db derivation] recomputes both sides from the store — V directly
+    via {!Algebra.Eval} and V from {!Materialize}d auxiliary views — and
+    reports equality. Diagnostic helper for tests and examples. *)
+val check : Relational.Database.t -> Derive.t -> bool
+
+(** SQL text of the reconstruction query: V rewritten over the auxiliary
+    views with CSMASs computed distributively — COUNT( * ) as the sum of the
+    root counts, plainly-stored CSMAS arguments weighted by the root count
+    (the paper's [SUM(price * SaleCount)] rewriting of Section 3.2), MIN/MAX
+    and DISTINCT aggregates reading the plain columns directly.
+    @raise Not_reconstructible when the root auxiliary view was omitted. *)
+val to_sql : Derive.t -> string

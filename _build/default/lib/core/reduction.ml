@@ -1,0 +1,62 @@
+module View = Algebra.View
+module Attr = Algebra.Attr
+module Database = Relational.Database
+module Schema = Relational.Schema
+module Integrity = Relational.Integrity
+
+type t = {
+  table : string;
+  kept_columns : string list;
+  locals : Algebra.Predicate.t list;
+  depends_on : string list;
+}
+
+let exposed_updates db (v : View.t) table =
+  let updatable = Database.updatable_columns db table in
+  let condition_cols =
+    View.local_columns v ~table @ View.join_columns v ~table
+  in
+  List.exists (fun c -> List.mem c condition_cols) updatable
+
+let depends_on db (v : View.t) table =
+  View.joins_from v table
+  |> List.filter_map (fun (j : View.join) ->
+         let target = j.View.dst.Attr.table in
+         let has_ri =
+           Integrity.covers (Database.references db) ~src:table
+             ~src_col:j.View.src.Attr.column ~dst:target
+         in
+         if has_ri && not (exposed_updates db v target) then Some target
+         else None)
+
+let transitively_depends_on_all db (v : View.t) table =
+  let reached = Hashtbl.create 8 in
+  let rec walk t =
+    if not (Hashtbl.mem reached t) then begin
+      Hashtbl.add reached t ();
+      List.iter walk (depends_on db v t)
+    end
+  in
+  walk table;
+  List.for_all (Hashtbl.mem reached) v.View.tables
+
+let local ?(push_locals = true) ?(join_reductions = true) db (v : View.t)
+    table =
+  let preserved = View.preserved_columns db v ~table in
+  let joins = View.join_columns v ~table in
+  (* without pushed-down selections the condition columns must be stored so
+     they remain evaluable downstream *)
+  let conditions = if push_locals then [] else View.local_columns v ~table in
+  let schema = Database.schema_of db table in
+  let kept_columns =
+    List.filter
+      (fun c ->
+        List.mem c preserved || List.mem c joins || List.mem c conditions)
+      (Schema.column_names schema)
+  in
+  {
+    table;
+    kept_columns;
+    locals = (if push_locals then View.locals_of v ~table else []);
+    depends_on = (if join_reductions then depends_on db v table else []);
+  }

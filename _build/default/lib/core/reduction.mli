@@ -1,0 +1,48 @@
+(** Local and join reductions (Section 2.2).
+
+    Local reductions push projections and local conditions down to each base
+    table: only attributes preserved in V or involved in join conditions are
+    stored, and only tuples passing the local conditions. Join reductions
+    semijoin-reduce an auxiliary view with the auxiliary views of the tables
+    it depends on. *)
+
+type t = {
+  table : string;
+  kept_columns : string list;
+      (** preserved-in-V ∪ join-condition columns, in schema order *)
+  locals : Algebra.Predicate.t list;
+  depends_on : string list;
+      (** tables Rj such that [table] {e depends on} Rj: V joins
+          [table.b = Rj.a] with [a] the key of [Rj], referential integrity
+          holds from [table.b] to [Rj], and [Rj] has no exposed updates *)
+}
+
+(** [exposed_updates db v table]: can source updates change a value involved
+    in a selection or join condition of [v]? Computed from the table's
+    declared updatable columns (Section 2.1). *)
+val exposed_updates :
+  Relational.Database.t -> Algebra.View.t -> string -> bool
+
+val depends_on :
+  Relational.Database.t -> Algebra.View.t -> string -> string list
+
+(** [local ~push_locals db v table]: when [push_locals] is false the local
+    conditions are {e not} pushed into the auxiliary view — the condition
+    columns are stored instead so the warehouse can still evaluate them
+    (ablation baseline; the result's [locals] is then empty). When
+    [join_reductions] is false the [depends_on] component is emptied, i.e. no
+    semijoin reductions are planned. Both default to [true], the paper's
+    configuration. *)
+
+(** Does [table] reach every other table of the view through the
+    depends-on relation? (Precondition of auxiliary-view elimination.) *)
+val transitively_depends_on_all :
+  Relational.Database.t -> Algebra.View.t -> string -> bool
+
+val local :
+  ?push_locals:bool ->
+  ?join_reductions:bool ->
+  Relational.Database.t ->
+  Algebra.View.t ->
+  string ->
+  t

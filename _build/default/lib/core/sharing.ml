@@ -1,0 +1,203 @@
+module Predicate = Algebra.Predicate
+
+type verdict = Identical | Subsumes | Unrelated
+
+let subset ~equal xs ys = List.for_all (fun x -> List.exists (equal x) ys) xs
+
+let semijoin_equal (a : Auxview.semijoin) (b : Auxview.semijoin) =
+  String.equal a.Auxview.fk b.Auxview.fk
+  && String.equal a.Auxview.target b.Auxview.target
+  && String.equal a.Auxview.target_key b.Auxview.target_key
+
+let out_col_equal (a : Auxview.out_col) (b : Auxview.out_col) =
+  match a, b with
+  | Auxview.Plain x, Auxview.Plain y
+  | Auxview.Sum_of x, Auxview.Sum_of y
+  | Auxview.Min_of x, Auxview.Min_of y
+  | Auxview.Max_of x, Auxview.Max_of y ->
+    String.equal x y
+  | Auxview.Count_star, Auxview.Count_star -> true
+  | ( ( Auxview.Plain _ | Auxview.Sum_of _ | Auxview.Min_of _
+      | Auxview.Max_of _ | Auxview.Count_star ),
+      _ ) ->
+    false
+
+let defs (spec : Auxview.t) = List.map snd spec.Auxview.columns
+
+let identical (a : Auxview.t) (b : Auxview.t) =
+  String.equal a.Auxview.base b.Auxview.base
+  && subset ~equal:Predicate.equal a.Auxview.locals b.Auxview.locals
+  && subset ~equal:Predicate.equal b.Auxview.locals a.Auxview.locals
+  && subset ~equal:semijoin_equal a.Auxview.semijoins b.Auxview.semijoins
+  && subset ~equal:semijoin_equal b.Auxview.semijoins a.Auxview.semijoins
+  && subset ~equal:out_col_equal (defs a) (defs b)
+  && subset ~equal:out_col_equal (defs b) (defs a)
+  && a.Auxview.compressed = b.Auxview.compressed
+
+(* Can column [def] of the narrower view be computed from [a]'s stored
+   columns when re-aggregating over [a]'s rows? Tuple-level views (not
+   compressed) can derive any aggregate of their stored columns. *)
+let derivable_col (a : Auxview.t) def =
+  let has_plain c = Auxview.plain_index a c <> None in
+  match def with
+  | Auxview.Plain c -> has_plain c
+  | Auxview.Sum_of c ->
+    (* a per-group SUM can be re-aggregated from a finer SUM or recomputed
+       from a tuple-level plain column weighted by the count *)
+    Auxview.sum_position a c <> None
+    || (has_plain c && (Auxview.count_index a <> None || not a.Auxview.compressed))
+  | Auxview.Min_of c -> Auxview.min_position a c <> None || has_plain c
+  | Auxview.Max_of c -> Auxview.max_position a c <> None || has_plain c
+  | Auxview.Count_star ->
+    Auxview.count_index a <> None || not a.Auxview.compressed
+
+(* A semijoin whose target view keeps every key (no conditions, and only
+   vacuous semijoins of its own) removes nothing: the source rows reference
+   existing keys by referential integrity. *)
+let rec vacuous_semijoin d (sj : Auxview.semijoin) =
+  match Derive.spec_for d sj.Auxview.target with
+  | None -> false
+  | Some ts ->
+    ts.Auxview.locals = []
+    && List.for_all (vacuous_semijoin d) ts.Auxview.semijoins
+
+(* [a]'s rows are a superset of [b]'s rows (same base): [a]'s conditions are
+   a subset of [b]'s and each of [a]'s semijoins is harmless w.r.t. [b]. *)
+let rec rows_superset da (a : Auxview.t) db_ (b : Auxview.t) =
+  String.equal a.Auxview.base b.Auxview.base
+  && subset ~equal:Predicate.equal a.Auxview.locals b.Auxview.locals
+  && List.for_all (fun sj -> semijoin_harmless da sj db_ b) a.Auxview.semijoins
+
+and semijoin_harmless da sj db_ (b : Auxview.t) =
+  vacuous_semijoin da sj
+  || (List.exists (semijoin_equal sj) b.Auxview.semijoins
+     &&
+     match
+       ( Derive.spec_for da sj.Auxview.target,
+         Derive.spec_for db_ sj.Auxview.target )
+     with
+     | Some ta, Some tb -> rows_superset da ta db_ tb
+     | _ -> false)
+
+(* Spec identity including, recursively, the contents of semijoin targets
+   across the two derivations. *)
+let rec identical_ctx da (a : Auxview.t) db_ (b : Auxview.t) =
+  identical a b
+  && List.for_all
+       (fun (sj : Auxview.semijoin) ->
+         match
+           ( Derive.spec_for da sj.Auxview.target,
+             Derive.spec_for db_ sj.Auxview.target )
+         with
+         | Some ta, Some tb -> identical_ctx da ta db_ tb
+         | _ -> false)
+       a.Auxview.semijoins
+
+let general_compare ~identical_here ~semijoin_covered (a : Auxview.t)
+    (b : Auxview.t) =
+  if identical_here a b then Identical
+  else if
+    String.equal a.Auxview.base b.Auxview.base
+    (* a retains at least b's rows *)
+    && subset ~equal:Predicate.equal a.Auxview.locals b.Auxview.locals
+    && List.for_all semijoin_covered a.Auxview.semijoins
+    (* b's grouping is coarser or equal *)
+    && List.for_all
+         (fun c -> Auxview.plain_index a c <> None)
+         (Auxview.group_columns b)
+    (* every column of b is derivable *)
+    && List.for_all (derivable_col a) (defs b)
+    (* b's extra conditions are checkable on a's plain columns *)
+    && List.for_all
+         (fun p ->
+           List.for_all
+             (fun (at : Algebra.Attr.t) ->
+               Auxview.plain_index a at.Algebra.Attr.column <> None)
+             (Predicate.attrs p))
+         (List.filter
+            (fun p -> not (List.exists (Predicate.equal p) a.Auxview.locals))
+            b.Auxview.locals)
+  then Subsumes
+  else Unrelated
+
+let compare_specs (a : Auxview.t) (b : Auxview.t) =
+  general_compare ~identical_here:identical
+    ~semijoin_covered:(fun sj ->
+      List.exists (semijoin_equal sj) b.Auxview.semijoins)
+    a b
+
+let compare_in_context da (a : Auxview.t) db_ (b : Auxview.t) =
+  general_compare
+    ~identical_here:(fun a b -> identical_ctx da a db_ b)
+    ~semijoin_covered:(fun sj -> semijoin_harmless da sj db_ b)
+    a b
+
+type opportunity = {
+  keep : string * Auxview.t;
+  served : (string * Auxview.t) list;
+  identical : bool;
+}
+
+let analyze named =
+  let all =
+    List.concat_map
+      (fun (view_name, d) ->
+        List.map (fun spec -> (view_name, d, spec)) (Derive.specs d))
+      named
+  in
+  let consumed = Hashtbl.create 8 in
+  let key (vn, (s : Auxview.t)) = vn ^ "#" ^ s.Auxview.name in
+  List.filter_map
+    (fun (vn, d, spec) ->
+      if Hashtbl.mem consumed (key (vn, spec)) then None
+      else begin
+        let served =
+          List.filter_map
+            (fun (vn', d', spec') ->
+              if
+                (not (String.equal (key (vn, spec)) (key (vn', spec'))))
+                && (not (Hashtbl.mem consumed (key (vn', spec'))))
+                && compare_in_context d spec d' spec' <> Unrelated
+              then Some (vn', d', spec')
+              else None)
+            all
+        in
+        if served = [] then None
+        else begin
+          List.iter
+            (fun (vn', _, s) -> Hashtbl.add consumed (key (vn', s)) ())
+            served;
+          Hashtbl.add consumed (key (vn, spec)) ();
+          Some
+            {
+              keep = (vn, spec);
+              served = List.map (fun (vn', _, s) -> (vn', s)) served;
+              identical =
+                List.for_all
+                  (fun (_, d', s) ->
+                    compare_in_context d spec d' s = Identical)
+                  served;
+            }
+        end
+      end)
+    all
+
+let report named =
+  match analyze named with
+  | [] -> "no sharing opportunities across the registered views\n"
+  | ops ->
+    let buf = Buffer.create 256 in
+    List.iter
+      (fun op ->
+        let vn, spec = op.keep in
+        Buffer.add_string buf
+          (Printf.sprintf "%s of view %s also serves: %s%s\n"
+             spec.Auxview.name vn
+             (String.concat ", "
+                (List.map
+                   (fun (vn', (s : Auxview.t)) ->
+                     Printf.sprintf "%s (%s)" s.Auxview.name vn')
+                   op.served))
+             (if op.identical then " [identical]" else " [by derivation]")))
+      ops;
+    Buffer.contents buf

@@ -1,0 +1,50 @@
+(** Sharing auxiliary views across summary tables.
+
+    A first step toward the paper's future-work item of determining minimal
+    detail data for {e classes} of summary data (Section 4): when a warehouse
+    maintains several GPSJ views over the same base tables, their auxiliary
+    views often coincide or subsume one another, and the detail data need
+    only be stored once.
+
+    The analysis is purely structural and conservative:
+    - two specs are {e identical} when they agree on base table, pushed-down
+      conditions, columns and semijoin reductions (names aside);
+    - spec [a] {e subsumes} [b] when every row and column of [b] can be
+      derived from [a] by a further selection, projection and re-aggregation:
+      [a]'s conditions and semijoins are a subset of [b]'s, [b]'s grouping
+      columns are grouping columns of [a], every aggregate column of [b] is
+      derivable from [a]'s columns, and [b]'s extra conditions mention only
+      columns [a] keeps plainly. *)
+
+type verdict = Identical | Subsumes | Unrelated
+
+(** [compare_specs a b]: can [a]'s stored detail serve [b]? Purely
+    structural: equal semijoin reductions are assumed to filter identically,
+    which only holds when both specs come from the same derivation (their
+    semijoin targets are then the same views). Across derivations use
+    {!compare_in_context}, which checks target contents recursively. *)
+val compare_specs : Auxview.t -> Auxview.t -> verdict
+
+(** [compare_in_context da a db b]: sound cross-derivation comparison. A
+    semijoin of [a] is harmless when it is {e vacuous} in [da] (its target
+    keeps every key: no conditions and only vacuous semijoins — referential
+    integrity then guarantees nothing is removed), or when [b] carries the
+    same semijoin and [a]'s target retains at least [b]'s target's rows,
+    recursively. Identity likewise requires the semijoin targets to agree. *)
+val compare_in_context :
+  Derive.t -> Auxview.t -> Derive.t -> Auxview.t -> verdict
+
+type opportunity = {
+  keep : string * Auxview.t;  (** (view name, spec) worth storing *)
+  served : (string * Auxview.t) list;
+      (** views whose spec is derivable from [keep] *)
+  identical : bool;  (** all served specs are identical to [keep] *)
+}
+
+(** [analyze named_derivations] groups the retained auxiliary views of
+    several derivations into sharing opportunities; specs that serve no other
+    view are not reported. *)
+val analyze : (string * Derive.t) list -> opportunity list
+
+(** Human-readable summary ("X_sale of product_sales also serves ..."). *)
+val report : (string * Derive.t) list -> string

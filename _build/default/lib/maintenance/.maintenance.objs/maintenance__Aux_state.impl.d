@@ -1,0 +1,1 @@
+lib/maintenance/aux_state.ml: Array Hashtbl List Mindetail Option Printf Relational String

@@ -1,0 +1,1 @@
+lib/maintenance/aux_state.mli: Mindetail Relational

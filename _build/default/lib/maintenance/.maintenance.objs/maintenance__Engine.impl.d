@@ -1,0 +1,1 @@
+lib/maintenance/engine.ml: Algebra Array Aux_state Format Hashtbl List Logs Mindetail Option Relational Set String View_state

@@ -1,0 +1,1 @@
+lib/maintenance/engine.mli: Mindetail Relational

@@ -1,0 +1,1 @@
+lib/maintenance/engines.ml: Algebra Engine List Mindetail Partitioned Relational

@@ -1,0 +1,1 @@
+lib/maintenance/engines.mli: Algebra Mindetail Partitioned Relational

@@ -1,0 +1,1 @@
+lib/maintenance/partitioned.ml: Algebra Array Engine Hashtbl List Mindetail Printf Relational String

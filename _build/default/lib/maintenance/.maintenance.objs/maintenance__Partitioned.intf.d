@@ -1,0 +1,1 @@
+lib/maintenance/partitioned.mli: Algebra Relational

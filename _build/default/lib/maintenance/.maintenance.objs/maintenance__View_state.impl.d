@@ -1,0 +1,1 @@
+lib/maintenance/view_state.ml: Algebra Array Hashtbl List Option Printf Relational

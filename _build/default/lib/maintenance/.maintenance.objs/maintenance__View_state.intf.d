@@ -1,0 +1,1 @@
+lib/maintenance/view_state.mli: Algebra Relational

@@ -1,0 +1,254 @@
+module Auxview = Mindetail.Auxview
+module Schema = Relational.Schema
+module Relation = Relational.Relation
+module Tuple = Relational.Tuple
+module Value = Relational.Value
+
+module TH = Hashtbl.Make (struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+  let hash = Tuple.hash
+end)
+
+module VH = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+type group = {
+  mutable cnt : int;
+  sums : Value.t array;
+  exts : Value.t array;
+}
+
+type t = {
+  spec : Auxview.t;
+  plain_src : int array;  (** base-schema index of each Plain column *)
+  sum_src : int array;  (** base-schema index of each Sum_of column *)
+  ext_src : (int * bool) array;
+      (** base-schema index and is-MIN flag of each extremum column *)
+  groups : group TH.t;
+  by_key : Tuple.t VH.t option;  (** base key value -> group key *)
+  key_plain_pos : int;  (** position of the base key among plains, or -1 *)
+  indexes : (int * unit TH.t VH.t) list;
+      (** per indexed column: its position among plains, and value -> set of
+          group keys *)
+  mutable total : int;
+}
+
+type row = { plains : Tuple.t; cnt : int; sums : Value.t array; exts : Value.t array }
+
+let create ?(indexed_columns = []) spec schema =
+  let idx c = Schema.index_of schema c in
+  let key_plain_pos =
+    match Auxview.plain_position spec schema.Schema.key with
+    | Some i -> i
+    | None -> -1
+  in
+  let indexes =
+    List.filter_map
+      (fun col ->
+        match Auxview.plain_position spec col with
+        | Some pos -> Some (pos, VH.create 256)
+        | None -> None)
+      (List.sort_uniq String.compare indexed_columns)
+  in
+  {
+    spec;
+    plain_src = Array.of_list (List.map idx (Auxview.group_columns spec));
+    sum_src = Array.of_list (List.map idx (Auxview.summed_columns spec));
+    ext_src =
+      Array.of_list
+        (List.map
+           (fun (c, is_min) -> (idx c, is_min))
+           (Auxview.ext_columns spec));
+    groups = TH.create 256;
+    by_key = (if key_plain_pos >= 0 then Some (VH.create 256) else None);
+    key_plain_pos;
+    indexes;
+    total = 0;
+  }
+
+let spec s = s.spec
+
+let group_key_of_base s tup = Tuple.project tup s.plain_src
+
+let index_add s key =
+  List.iter
+    (fun (pos, index) ->
+      let v = key.(pos) in
+      let bucket =
+        match VH.find_opt index v with
+        | Some b -> b
+        | None ->
+          let b = TH.create 4 in
+          VH.add index v b;
+          b
+      in
+      TH.replace bucket key ())
+    s.indexes
+
+let index_remove s key =
+  List.iter
+    (fun (pos, index) ->
+      match VH.find_opt index key.(pos) with
+      | None -> ()
+      | Some bucket ->
+        TH.remove bucket key;
+        if TH.length bucket = 0 then VH.remove index key.(pos))
+    s.indexes
+
+let combine_ext ~is_min cur v =
+  let c = Value.compare v cur in
+  if (is_min && c < 0) || ((not is_min) && c > 0) then v else cur
+
+let insert_base s tup =
+  let key = group_key_of_base s tup in
+  (match TH.find_opt s.groups key with
+  | Some g ->
+    g.cnt <- g.cnt + 1;
+    Array.iteri
+      (fun i src -> g.sums.(i) <- Value.add g.sums.(i) tup.(src))
+      s.sum_src;
+    Array.iteri
+      (fun i (src, is_min) ->
+        g.exts.(i) <- combine_ext ~is_min g.exts.(i) tup.(src))
+      s.ext_src
+  | None ->
+    TH.add s.groups key
+      {
+        cnt = 1;
+        sums = Array.map (fun src -> tup.(src)) s.sum_src;
+        exts = Array.map (fun (src, _) -> tup.(src)) s.ext_src;
+      };
+    Option.iter
+      (fun by_key -> VH.replace by_key key.(s.key_plain_pos) key)
+      s.by_key;
+    index_add s key);
+  s.total <- s.total + 1
+
+let delete_base s tup =
+  if Array.length s.ext_src > 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Aux_state.delete_base(%s): append-only view holds MIN/MAX columns"
+         s.spec.Auxview.name);
+  let key = group_key_of_base s tup in
+  match TH.find_opt s.groups key with
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Aux_state.delete_base(%s): group %s absent"
+         s.spec.Auxview.name (Tuple.to_string key))
+  | Some g ->
+    if g.cnt <= 0 then
+      invalid_arg
+        (Printf.sprintf "Aux_state.delete_base(%s): count underflow"
+           s.spec.Auxview.name);
+    g.cnt <- g.cnt - 1;
+    Array.iteri
+      (fun i src -> g.sums.(i) <- Value.sub g.sums.(i) tup.(src))
+      s.sum_src;
+    s.total <- s.total - 1;
+    if g.cnt = 0 then begin
+      TH.remove s.groups key;
+      Option.iter
+        (fun by_key -> VH.remove by_key key.(s.key_plain_pos))
+        s.by_key;
+      index_remove s key
+    end
+
+let row_count s = TH.length s.groups
+let base_count s = s.total
+
+let row_of key (g : group) =
+  { plains = key; cnt = g.cnt; sums = Array.copy g.sums; exts = Array.copy g.exts }
+
+let find_by_key s k =
+  match s.by_key with
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Aux_state.find_by_key(%s): key not kept"
+         s.spec.Auxview.name)
+  | Some by_key -> (
+    match VH.find_opt by_key k with
+    | None -> None
+    | Some key -> Some (row_of key (TH.find s.groups key)))
+
+let mem_key s k = find_by_key s k <> None
+
+let iter s f = TH.iter (fun key (g : group) -> f (row_of key g)) s.groups
+
+let rows_with s ~column v =
+  match
+    List.find_opt
+      (fun (pos, _) ->
+        match Auxview.plain_position s.spec column with
+        | Some p -> p = pos
+        | None -> false)
+      s.indexes
+  with
+  | Some (_, index) -> (
+    match VH.find_opt index v with
+    | None -> []
+    | Some bucket ->
+      TH.fold (fun key () acc -> row_of key (TH.find s.groups key) :: acc)
+        bucket [])
+  | None -> (
+    (* unindexed fallback: scan *)
+    match Auxview.plain_position s.spec column with
+    | None -> raise Not_found
+    | Some pos ->
+      TH.fold
+        (fun key (g : group) acc ->
+          if Value.equal key.(pos) v then row_of key g :: acc else acc)
+        s.groups [])
+
+let plain_of s row col =
+  match Auxview.plain_position s.spec col with
+  | Some i -> row.plains.(i)
+  | None -> raise Not_found
+
+let sum_of s row col =
+  match Auxview.sum_position s.spec col with
+  | Some i -> row.sums.(i)
+  | None -> raise Not_found
+
+let min_of s row col =
+  match Auxview.min_position s.spec col with
+  | Some i -> row.exts.(i)
+  | None -> raise Not_found
+
+let max_of s row col =
+  match Auxview.max_position s.spec col with
+  | Some i -> row.exts.(i)
+  | None -> raise Not_found
+
+let to_relation s =
+  let rel = Relation.create ~size_hint:(TH.length s.groups) () in
+  TH.iter
+    (fun key (g : group) ->
+      let gi = ref 0 and si = ref 0 and ei = ref 0 in
+      let cell (_, def) =
+        match def with
+        | Auxview.Plain _ ->
+          let v = key.(!gi) in
+          incr gi;
+          v
+        | Auxview.Sum_of _ ->
+          let v = g.sums.(!si) in
+          incr si;
+          v
+        | Auxview.Min_of _ | Auxview.Max_of _ ->
+          let v = g.exts.(!ei) in
+          incr ei;
+          v
+        | Auxview.Count_star -> Value.Int g.cnt
+      in
+      let row = Array.of_list (List.map cell s.spec.Auxview.columns) in
+      if s.spec.Auxview.compressed then Relation.insert rel row
+      else Relation.insert ~count:g.cnt rel row)
+    s.groups;
+  rel

@@ -1,0 +1,80 @@
+(** In-memory state of one materialized auxiliary view.
+
+    Rows are grouped by the spec's [Plain] columns; each group carries its
+    ["COUNT(*)"] and the running [Sum_of] values. Degenerate (uncompressed)
+    PSJ views use the same representation — their grouping key is the whole
+    kept tuple and the count is the tuple multiplicity. *)
+
+type t
+
+(** One group of the auxiliary view. [plains] follows
+    {!Mindetail.Auxview.group_columns} order; [sums] follows
+    {!Mindetail.Auxview.summed_columns} order; [exts] follows
+    {!Mindetail.Auxview.ext_columns} order (append-only MIN/MAX columns). *)
+type row = {
+  plains : Relational.Tuple.t;
+  cnt : int;
+  sums : Relational.Value.t array;
+  exts : Relational.Value.t array;
+}
+
+(** [create ?indexed_columns spec schema] prepares empty state.
+    [indexed_columns] (plain columns, typically the foreign keys of a root
+    view) get secondary indexes so {!rows_with} is O(matching groups) instead
+    of a scan — the engine uses this to make dimension-update propagation
+    proportional to the affected rows. *)
+val create :
+  ?indexed_columns:string list -> Mindetail.Auxview.t -> Relational.Schema.t -> t
+
+val spec : t -> Mindetail.Auxview.t
+
+(** [insert_base s tup] folds one base tuple in; the caller has already
+    checked local conditions and semijoin reductions. *)
+val insert_base : t -> Relational.Tuple.t -> unit
+
+(** [delete_base s tup] removes one base tuple's contribution.
+    @raise Invalid_argument if the tuple's group is absent or underflows, or
+    if the view carries append-only MIN/MAX columns (which are not
+    maintainable under deletions — the engine never lets this happen). *)
+val delete_base : t -> Relational.Tuple.t -> unit
+
+(** Number of groups (= stored rows). *)
+val row_count : t -> int
+
+(** Total base tuples folded in (Σ counts). *)
+val base_count : t -> int
+
+(** Key-indexed lookup, available when the base key is kept plainly (always
+    true for semijoin targets and join destinations).
+    @raise Invalid_argument when the key is not kept. *)
+val find_by_key : t -> Relational.Value.t -> row option
+
+val mem_key : t -> Relational.Value.t -> bool
+
+val iter : t -> (row -> unit) -> unit
+
+(** [rows_with s ~column v] are the groups whose plain [column] equals [v].
+    O(result) when [column] was indexed at {!create}; falls back to a scan
+    otherwise. *)
+val rows_with : t -> column:string -> Relational.Value.t -> row list
+
+(** [plain_of s row col] reads the projection of base column [col].
+    @raise Not_found if the column is not kept plainly. *)
+val plain_of : t -> row -> string -> Relational.Value.t
+
+(** [sum_of s row col] reads the running SUM over base column [col].
+    @raise Not_found if the column has no SUM. *)
+val sum_of : t -> row -> string -> Relational.Value.t
+
+(** [min_of s row col] / [max_of s row col] read the append-only extremum
+    columns. @raise Not_found if absent. *)
+val min_of : t -> row -> string -> Relational.Value.t
+
+val max_of : t -> row -> string -> Relational.Value.t
+
+(** Project one base tuple to the grouping key of this view. *)
+val group_key_of_base : t -> Relational.Tuple.t -> Relational.Tuple.t
+
+(** Contents in spec column order, as a relation (degenerate views expand the
+    count into tuple multiplicity). *)
+val to_relation : t -> Relational.Relation.t

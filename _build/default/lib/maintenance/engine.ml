@@ -1,0 +1,761 @@
+module View = Algebra.View
+module Attr = Algebra.Attr
+module Aggregate = Algebra.Aggregate
+module Select_item = Algebra.Select_item
+module Predicate = Algebra.Predicate
+module Derive = Mindetail.Derive
+module Auxview = Mindetail.Auxview
+module Join_graph = Mindetail.Join_graph
+module Database = Relational.Database
+module Schema = Relational.Schema
+module Relation = Relational.Relation
+module Tuple = Relational.Tuple
+module Value = Relational.Value
+module Delta = Relational.Delta
+
+module TH = Hashtbl.Make (struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+  let hash = Tuple.hash
+end)
+
+module VSet = Set.Make (struct
+  type t = Value.t
+
+  let compare = Value.compare
+end)
+
+(* A row participating in a join: either a base tuple carried by a delta, or
+   a stored auxiliary row. *)
+type rowval = Base of Tuple.t | Auxrow of Aux_state.t * Aux_state.row
+
+type agg_src = A_count | A_attr of { table : string; column : string }
+
+type item_plan =
+  | P_group of { table : string; column : string }
+  | P_agg of { agg : Aggregate.t; src : agg_src }
+
+type t = {
+  d : Derive.t;
+  view : View.t;
+  root : string;
+  schemas : (string, Schema.t) Hashtbl.t;
+  aux : (string, Aux_state.t) Hashtbl.t;
+  vstate : View_state.t;
+  plans : item_plan array;
+  group_plan : (string * string) array;  (** (table, column) per group attr *)
+  determined : bool;  (** the root auxiliary view was eliminated *)
+  residuals : (string, Predicate.t list) Hashtbl.t;
+      (** per table: view local conditions not enforced by its auxiliary
+          view (non-empty only in the no-pushdown ablation) *)
+  append_only : bool;
+}
+
+exception Invariant of string
+
+let invariant fmt = Format.kasprintf (fun s -> raise (Invariant s)) fmt
+
+let log_src = Logs.Src.create "mindetail.engine" ~doc:"self-maintenance engine"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let derivation t = t.d
+let schema t name = Hashtbl.find t.schemas name
+let aux_of t name = Hashtbl.find_opt t.aux name
+
+let dim_aux t name =
+  match aux_of t name with
+  | Some st -> st
+  | None -> invariant "auxiliary view for %s is missing" name
+
+(* --- reading attribute values out of a joined row -------------------- *)
+
+let read t env table column =
+  match List.assoc table env with
+  | Base tup -> tup.(Schema.index_of (schema t table) column)
+  | Auxrow (st, row) -> Aux_state.plain_of st row column
+
+let group_key t env =
+  Array.map (fun (table, column) -> read t env table column) t.group_plan
+
+(* View local conditions on [table] not already enforced by its auxiliary
+   view, evaluated against an auxiliary row (the condition columns are kept
+   plainly whenever the list is non-empty). *)
+let residual_ok t table (st : Aux_state.t) row =
+  match Hashtbl.find_opt t.residuals table with
+  | None | Some [] -> true
+  | Some ps ->
+    let look (a : Attr.t) = Aux_state.plain_of st row a.Attr.column in
+    List.for_all (fun p -> Predicate.holds p look) ps
+
+(* Extend an environment along the join tree; key joins find at most one
+   partner per table, all of them in dimension auxiliary views. *)
+let rec extend t env table =
+  List.fold_left
+    (fun env_opt (j : View.join) ->
+      match env_opt with
+      | None -> None
+      | Some env -> (
+        let fk = read t env j.View.src.Attr.table j.View.src.Attr.column in
+        let child = j.View.dst.Attr.table in
+        let child_st = dim_aux t child in
+        match Aux_state.find_by_key child_st fk with
+        | None -> None
+        | Some row ->
+          if residual_ok t child child_st row then
+            extend t ((child, Auxrow (child_st, row)) :: env) child
+          else None))
+    (Some env) (View.joins_from t.view table)
+
+(* Root auxiliary rows participate in the view only when they pass the view
+   conditions not already enforced by the root spec (no-pushdown ablation). *)
+let extend_root t root_st row =
+  if residual_ok t t.root root_st row then
+    extend t [ (t.root, Auxrow (root_st, row)) ] t.root
+  else None
+
+(* --- contributions ---------------------------------------------------- *)
+
+let is_csmas_sum (agg : Aggregate.t) =
+  (not agg.Aggregate.distinct)
+  && (agg.Aggregate.func = Aggregate.Sum || agg.Aggregate.func = Aggregate.Avg)
+
+let value_contrib (agg : Aggregate.t) a ~cnt =
+  if agg.Aggregate.distinct then View_state.C_value a
+  else
+    match agg.Aggregate.func with
+    | Aggregate.Min | Aggregate.Max -> View_state.C_value a
+    | Aggregate.Sum | Aggregate.Avg ->
+      View_state.C_sum { amount = Value.scale a cnt; n = cnt }
+    | Aggregate.Count | Aggregate.Count_star ->
+      (* COUNTs are planned as A_count *)
+      assert false
+
+let contribs t env ~cnt =
+  Array.map
+    (fun plan ->
+      match plan with
+      | P_group _ -> None
+      | P_agg { agg; src } ->
+        Some
+          (match src with
+          | A_count -> View_state.C_count cnt
+          | A_attr { table; column } -> (
+            match List.assoc table env with
+            | Base tup ->
+              value_contrib agg
+                tup.(Schema.index_of (schema t table) column)
+                ~cnt
+            | Auxrow (st, row) ->
+              let spec = Aux_state.spec st in
+              if
+                is_csmas_sum agg
+                && Auxview.sum_position spec column <> None
+              then
+                View_state.C_sum
+                  { amount = Aux_state.sum_of st row column; n = cnt }
+              else if
+                (not agg.Aggregate.distinct)
+                && agg.Aggregate.func = Aggregate.Min
+                && Auxview.min_position spec column <> None
+              then View_state.C_value (Aux_state.min_of st row column)
+              else if
+                (not agg.Aggregate.distinct)
+                && agg.Aggregate.func = Aggregate.Max
+                && Auxview.max_position spec column <> None
+              then View_state.C_value (Aux_state.max_of st row column)
+              else value_contrib agg (Aux_state.plain_of st row column) ~cnt)))
+    t.plans
+
+(* --- local conditions and semijoin membership ------------------------- *)
+
+let passes_locals t table tup =
+  let sch = schema t table in
+  let lookup (a : Attr.t) = tup.(Schema.index_of sch a.Attr.column) in
+  List.for_all
+    (fun p -> Predicate.holds p lookup)
+    (View.locals_of t.view ~table)
+
+let semijoin_ok t (spec : Auxview.t) tup =
+  let sch = schema t spec.Auxview.base in
+  List.for_all
+    (fun (sj : Auxview.semijoin) ->
+      let fk = tup.(Schema.index_of sch sj.Auxview.fk) in
+      Aux_state.mem_key (dim_aux t sj.Auxview.target) fk)
+    spec.Auxview.semijoins
+
+(* Membership in the auxiliary view is governed by the spec's own pushed-down
+   conditions and semijoins; the view's full conditions only gate the view
+   feed (they coincide except in the no-pushdown ablation). *)
+let passes_spec_locals t (spec : Auxview.t) tup =
+  let sch = schema t spec.Auxview.base in
+  let lookup (a : Attr.t) = tup.(Schema.index_of sch a.Attr.column) in
+  List.for_all (fun p -> Predicate.holds p lookup) spec.Auxview.locals
+
+let in_aux t table tup =
+  match aux_of t table with
+  | None -> false
+  | Some st ->
+    let spec = Aux_state.spec st in
+    passes_spec_locals t spec tup && semijoin_ok t spec tup
+
+(* --- root-table changes ----------------------------------------------- *)
+
+let root_view_feed t tup ~sign =
+  match extend t [ (t.root, Base tup) ] t.root with
+  | None -> ()
+  | Some env ->
+    let key = group_key t env in
+    let cs = contribs t env ~cnt:1 in
+    if sign > 0 then View_state.feed t.vstate ~key ~cnt:1 cs
+    else View_state.unfeed t.vstate ~key ~cnt:1 cs
+
+let root_insert t tup =
+  if in_aux t t.root tup then
+    Aux_state.insert_base (Option.get (aux_of t t.root)) tup;
+  if passes_locals t t.root tup then root_view_feed t tup ~sign:1
+
+let root_delete t tup =
+  if passes_locals t t.root tup then root_view_feed t tup ~sign:(-1);
+  if in_aux t t.root tup then
+    Aux_state.delete_base (Option.get (aux_of t t.root)) tup
+
+(* --- dimension-table changes ------------------------------------------ *)
+
+let dim_insert t table tup =
+  if in_aux t table tup then Aux_state.insert_base (dim_aux t table) tup
+
+let dim_delete t table tup =
+  if in_aux t table tup then Aux_state.delete_base (dim_aux t table) tup
+
+(* The unique join path root -> ... -> target, as a list of joins. *)
+let path_to t target =
+  let rec go from =
+    if String.equal from target then Some []
+    else
+      List.find_map
+        (fun (j : View.join) ->
+          Option.map (fun p -> j :: p) (go j.View.dst.Attr.table))
+        (View.joins_from t.view from)
+  in
+  match go t.root with
+  | Some p -> p
+  | None -> invariant "no join path from %s to %s" t.root target
+
+(* Keys of [j.src.table]'s auxiliary rows whose foreign key (j.src.column)
+   lies in [targets] — one upward step of reverse chain resolution. *)
+let reach_step t (j : View.join) targets =
+  let table = j.View.src.Attr.table in
+  let st = dim_aux t table in
+  let key_col = (schema t table).Schema.key in
+  VSet.fold
+    (fun v acc ->
+      List.fold_left
+        (fun acc r -> VSet.add (Aux_state.plain_of st r key_col) acc)
+        acc
+        (Aux_state.rows_with st ~column:j.View.src.Attr.column v))
+    targets VSet.empty
+
+(* Keys of the table at the top of [path] whose fk chain reaches [key_val]
+   at the bottom. [path] must be non-empty; its first join starts at the
+   table whose keys are returned. *)
+let keys_reaching t path key_val =
+  List.fold_left
+    (fun targets j -> reach_step t j targets)
+    (VSet.singleton key_val)
+    (List.rev path)
+
+(* Dimension update with unchanged key, root auxiliary view retained:
+   contribution diffing through the root auxiliary view. *)
+(* Columns of [table] whose value matters to the warehouse: anything kept in
+   its auxiliary view or used in its local conditions. *)
+let relevant_change t table ~before ~after =
+  let sch = schema t table in
+  let kept =
+    match aux_of t table with
+    | Some st -> Auxview.group_columns (Aux_state.spec st)
+    | None -> []
+  in
+  let locals = View.local_columns t.view ~table in
+  List.exists
+    (fun i ->
+      let col = sch.Schema.columns.(i).Schema.col_name in
+      List.mem col kept || List.mem col locals)
+    (Delta.changed_indices (Delta.Update { before; after }))
+
+let dim_update_diff t table ~before ~after =
+  let key_val = before.(Schema.key_index (schema t table)) in
+  Log.debug (fun m ->
+      m "dim update on %s key %a: contribution diffing through X_%s" table
+        Value.pp key_val t.root);
+  let root_st =
+    match aux_of t t.root with
+    | Some st -> st
+    | None -> invariant "dim_update_diff without a root auxiliary view"
+  in
+  let affected =
+    match path_to t table with
+    | [] -> invariant "dim_update_diff: empty join path"
+    | j1 :: rest ->
+      let fk_targets =
+        match rest with
+        | [] -> VSet.singleton key_val
+        | _ -> keys_reaching t rest key_val
+      in
+      VSet.fold
+        (fun v acc ->
+          Aux_state.rows_with root_st ~column:j1.View.src.Attr.column v @ acc)
+        fk_targets []
+  in
+  let affected = ref affected in
+  (* capture the old contributions before mutating X_table *)
+  let old_feeds =
+    List.filter_map
+      (fun row ->
+        match extend_root t root_st row with
+        | None -> None
+        | Some env ->
+          let cnt = row.Aux_state.cnt in
+          Some (group_key t env, cnt, contribs t env ~cnt))
+      !affected
+  in
+  let was_in = in_aux t table before in
+  let st = dim_aux t table in
+  if was_in then Aux_state.delete_base st before;
+  if in_aux t table after then Aux_state.insert_base st after;
+  let new_feeds =
+    List.filter_map
+      (fun row ->
+        match extend_root t root_st row with
+        | None -> None
+        | Some env ->
+          let cnt = row.Aux_state.cnt in
+          Some (group_key t env, cnt, contribs t env ~cnt))
+      !affected
+  in
+  List.iter
+    (fun (key, cnt, cs) -> View_state.unfeed t.vstate ~key ~cnt cs)
+    old_feeds;
+  List.iter
+    (fun (key, cnt, cs) -> View_state.feed t.vstate ~key ~cnt cs)
+    new_feeds
+
+(* Nearest key-annotated ancestor of [table] (possibly itself), strictly
+   below the root. Elimination of the root auxiliary view guarantees its
+   existence for every table with preserved attributes (Section 3.3). *)
+let keyed_ancestor t table =
+  let g = t.d.Derive.graph in
+  let rec up tbl =
+    if String.equal tbl t.root then
+      invariant
+        "no key-annotated ancestor for %s below the root; the root auxiliary \
+         view should not have been eliminated"
+        table
+    else if Join_graph.annotation g tbl = Join_graph.Keyed then tbl
+    else
+      match Join_graph.parent g tbl with
+      | Some p -> up p
+      | None -> invariant "table %s is outside the join tree" tbl
+  in
+  up table
+
+(* Dimension update with unchanged key while the root auxiliary view is
+   eliminated: rewrite the affected view groups through the nearest
+   key-annotated ancestor. *)
+let dim_update_rewrite t table ~before ~after =
+  let sch = schema t table in
+  let st = dim_aux t table in
+  let kept = Auxview.group_columns (Aux_state.spec st) in
+  let changed =
+    List.filter_map
+      (fun i ->
+        let col = sch.Schema.columns.(i).Schema.col_name in
+        if List.mem col kept then Some col else None)
+      (Delta.changed_indices (Delta.Update { before; after }))
+  in
+  if changed = [] then ()
+  else begin
+    Log.debug (fun m ->
+        m "dim update on %s with eliminated root: group rewrite through the \
+           keyed ancestor"
+          table);
+    (* membership cannot change here: condition columns of a non-exposed
+       table are not updatable *)
+    if in_aux t table before then begin
+      Aux_state.delete_base st before;
+      Aux_state.insert_base st after
+    end;
+    let key_val = before.(Schema.key_index sch) in
+    let anchor = keyed_ancestor t table in
+    (* key values of the anchor whose chain reaches the updated tuple *)
+    let anchor_keys =
+      if String.equal anchor table then
+        List.to_seq [ key_val ] |> VSet.of_seq
+      else begin
+        (* path from the anchor down to [table] *)
+        let full_path = path_to t table in
+        let rec drop_until = function
+          | [] -> invariant "anchor %s not on the path to %s" anchor table
+          | (j : View.join) :: rest ->
+            if String.equal j.View.src.Attr.table anchor then j :: rest
+            else drop_until rest
+        in
+        keys_reaching t (drop_until full_path) key_val
+      end
+    in
+    (* positions in the view group key *)
+    let anchor_key_attr =
+      Attr.make anchor (schema t anchor).Schema.key
+    in
+    let gattrs = View.group_attrs t.view in
+    let anchor_pos =
+      match
+        List.find_index (fun a -> Attr.equal a anchor_key_attr) gattrs
+      with
+      | Some i -> i
+      | None -> invariant "anchor key %s not in group-by" anchor
+    in
+    let table_positions =
+      List.filteri
+        (fun _ (a : Attr.t) -> String.equal a.Attr.table table)
+        gattrs
+      |> List.map (fun (a : Attr.t) ->
+             ( (match
+                  List.find_index (fun x -> Attr.equal x a) gattrs
+                with
+               | Some i -> i
+               | None -> assert false),
+               Schema.index_of sch a.Attr.column ))
+    in
+    let item_updates =
+      Array.to_list t.plans
+      |> List.mapi (fun i plan -> (i, plan))
+      |> List.filter_map (fun (i, plan) ->
+             match plan with
+             | P_agg { agg; src = A_attr { table = tb; column } }
+               when String.equal tb table && List.mem column changed ->
+               let ci = Schema.index_of sch column in
+               if is_csmas_sum agg then
+                 Some
+                   ( i,
+                     View_state.Shift_sum
+                       (Value.sub after.(ci) before.(ci)) )
+               else Some (i, View_state.Set_current after.(ci))
+             | P_agg _ | P_group _ -> None)
+    in
+    (* collect affected groups first, then rewrite *)
+    let affected_groups =
+      View_state.fold_groups t.vstate
+        (fun key _cnt acc ->
+          if VSet.mem key.(anchor_pos) anchor_keys then key :: acc else acc)
+        []
+    in
+    List.iter
+      (fun key ->
+        let new_key = Array.copy key in
+        List.iter
+          (fun (pos, src) ->
+            if not (Value.equal key.(pos) before.(src)) then
+              invariant "group key component does not match before-image";
+            new_key.(pos) <- after.(src))
+          table_positions;
+        View_state.adjust_group t.vstate ~key ~new_key item_updates)
+      affected_groups
+  end
+
+let dim_update t table ~before ~after =
+  let sch = schema t table in
+  let ki = Schema.key_index sch in
+  if not (Value.equal before.(ki) after.(ki)) then begin
+    (* key changed: only legal while unreferenced, so no view effect *)
+    dim_delete t table before;
+    dim_insert t table after
+  end
+  else if not (relevant_change t table ~before ~after) then ()
+  else if t.determined then dim_update_rewrite t table ~before ~after
+  else dim_update_diff t table ~before ~after
+
+(* --- recomputation of dirty non-CSMAS components ----------------------- *)
+
+let finalize_distinct (agg : Aggregate.t) set =
+  let elts = VSet.elements set in
+  let n = List.length elts in
+  if n = 0 then invariant "empty DISTINCT set during recomputation";
+  match agg.Aggregate.func with
+  | Aggregate.Count -> Value.Int n
+  | Aggregate.Sum ->
+    List.fold_left Value.add (Value.zero_like (List.hd elts)) elts
+  | Aggregate.Avg ->
+    let s = List.fold_left Value.add (Value.zero_like (List.hd elts)) elts in
+    Value.div_as_float s (Value.Int n)
+  | Aggregate.Min -> List.hd elts
+  | Aggregate.Max -> List.nth elts (n - 1)
+  | Aggregate.Count_star -> assert false
+
+type recompute_acc = R_extremum of Value.t option ref | R_distinct of VSet.t ref
+
+let flush t =
+  match View_state.take_dirty t.vstate with
+  | [] -> ()
+  | dirty_keys ->
+    Log.debug (fun m ->
+        m "recomputing %d dirty group(s) of %s from the auxiliary views"
+          (List.length dirty_keys) t.view.View.name);
+    if t.determined then
+      invariant "dirty groups cannot arise when the root view is eliminated";
+    let root_st =
+      match aux_of t t.root with
+      | Some st -> st
+      | None -> invariant "dirty groups without a root auxiliary view"
+    in
+    (* items needing recomputation: aggregates that are not CSMAS under the
+       paper's standard classification. Their value is re-derived from the
+       auxiliary rows — from the plain column, or (append-only mode, where
+       dimension updates can still regroup rows) from the pre-aggregated
+       MIN/MAX column of the root view. *)
+    let targets =
+      Array.to_list t.plans
+      |> List.mapi (fun i plan -> (i, plan))
+      |> List.filter_map (fun (i, plan) ->
+             match plan with
+             | P_agg { agg; src = _ } when not (Mindetail.Classify.is_csmas agg)
+               -> (
+               match Derive.agg_source t.d agg with
+               | Some (Derive.From_plain _ as src) -> Some (i, agg, src)
+               | Some ((Derive.From_min _ | Derive.From_max _) as src) ->
+                 Some (i, agg, src)
+               | _ -> None)
+             | P_agg _ | P_group _ -> None)
+    in
+    let dirty : recompute_acc array TH.t = TH.create 16 in
+    List.iter
+      (fun key ->
+        if not (TH.mem dirty key) then
+          TH.add dirty key
+            (Array.of_list
+               (List.map
+                  (fun (_, agg, _) ->
+                    if agg.Aggregate.distinct then R_distinct (ref VSet.empty)
+                    else R_extremum (ref None))
+                  targets)))
+      dirty_keys;
+    Aux_state.iter root_st (fun row ->
+        match extend_root t root_st row with
+        | None -> ()
+        | Some env ->
+          let key = group_key t env in
+          (match TH.find_opt dirty key with
+          | None -> ()
+          | Some accs ->
+            List.iteri
+              (fun j (_, agg, src) ->
+                let a =
+                  match src with
+                  | Derive.From_plain { table; column } ->
+                    read t env table column
+                  | Derive.From_min { table; column } -> (
+                    match List.assoc table env with
+                    | Auxrow (st, arow) -> Aux_state.min_of st arow column
+                    | Base tup ->
+                      tup.(Schema.index_of (schema t table) column))
+                  | Derive.From_max { table; column } -> (
+                    match List.assoc table env with
+                    | Auxrow (st, arow) -> Aux_state.max_of st arow column
+                    | Base tup ->
+                      tup.(Schema.index_of (schema t table) column))
+                  | Derive.From_sum _ | Derive.From_count ->
+                    invariant "CSMAS marked for recomputation"
+                in
+                match accs.(j) with
+                | R_distinct set -> set := VSet.add a !set
+                | R_extremum cur ->
+                  cur :=
+                    Some
+                      (match !cur with
+                      | None -> a
+                      | Some m ->
+                        let better =
+                          match agg.Aggregate.func with
+                          | Aggregate.Min -> Value.compare a m < 0
+                          | Aggregate.Max -> Value.compare a m > 0
+                          | _ -> assert false
+                        in
+                        if better then a else m))
+              targets));
+    TH.iter
+      (fun key accs ->
+        (* groups removed since being dirtied have no view entry and stay
+           silent in set_value *)
+        List.iteri
+          (fun j (i, agg, _) ->
+            match accs.(j) with
+            | R_distinct set ->
+              if not (VSet.is_empty !set) then
+                View_state.set_value t.vstate ~key ~item:i
+                  (finalize_distinct agg !set)
+            | R_extremum cur -> (
+              match !cur with
+              | Some v -> View_state.set_value t.vstate ~key ~item:i v
+              | None -> ()))
+          targets)
+      dirty
+
+(* --- initialization ---------------------------------------------------- *)
+
+let post_order g =
+  let rec walk tbl =
+    List.concat_map walk (Join_graph.children g tbl) @ [ tbl ]
+  in
+  walk (Join_graph.root g)
+
+let init ?(fk_index = true) db (d : Derive.t) =
+  let view = d.Derive.view in
+  let root = Derive.root d in
+  let schemas = Hashtbl.create 8 in
+  List.iter
+    (fun tbl -> Hashtbl.add schemas tbl (Database.schema_of db tbl))
+    view.View.tables;
+  let determined = Option.is_none (Derive.spec_for d root) in
+  let plans =
+    Array.of_list
+      (List.map
+         (fun item ->
+           match item with
+           | Select_item.Group { attr; _ } ->
+             P_group { table = attr.Attr.table; column = attr.Attr.column }
+           | Select_item.Agg agg ->
+             let src =
+               match agg.Aggregate.func, agg.Aggregate.distinct with
+               | Aggregate.Count_star, _ -> A_count
+               | Aggregate.Count, false -> A_count
+               | _ -> (
+                 match Aggregate.attr agg with
+                 | Some (a : Attr.t) ->
+                   A_attr { table = a.Attr.table; column = a.Attr.column }
+                 | None -> assert false)
+             in
+             P_agg { agg; src })
+         view.View.select)
+  in
+  let group_plan =
+    Array.of_list
+      (List.map
+         (fun (a : Attr.t) -> (a.Attr.table, a.Attr.column))
+         (View.group_attrs view))
+  in
+  let residuals = Hashtbl.create 8 in
+  List.iter
+    (fun tbl -> Hashtbl.add residuals tbl (Derive.residual_locals d tbl))
+    view.View.tables;
+  let t =
+    {
+      d;
+      view;
+      root;
+      schemas;
+      aux = Hashtbl.create 8;
+      vstate = View_state.create view ~determined;
+      plans;
+      group_plan;
+      determined;
+      residuals;
+      append_only = d.Derive.options.Derive.append_only;
+    }
+  in
+  (* build auxiliary states children-first so semijoin targets exist *)
+  List.iter
+    (fun tbl ->
+      match Derive.spec_for d tbl with
+      | None -> ()
+      | Some spec ->
+        (* index every auxiliary view on its outgoing foreign keys so
+           dimension-update propagation touches only the affected rows *)
+        let indexed_columns =
+          if fk_index then
+            List.map
+              (fun (j : View.join) -> j.View.src.Attr.column)
+              (View.joins_from view tbl)
+          else []
+        in
+        let st = Aux_state.create ~indexed_columns spec (schema t tbl) in
+        Hashtbl.add t.aux tbl st;
+        Database.fold db tbl
+          (fun tup () ->
+            if passes_spec_locals t spec tup && semijoin_ok t spec tup then
+              Aux_state.insert_base st tup)
+          ())
+    (post_order d.Derive.graph);
+  Log.info (fun m ->
+      m "initializing %s: %d auxiliary view(s), %s"
+        view.View.name (Hashtbl.length t.aux)
+        (if determined then "root view eliminated" else "root view retained"));
+  (* seed the view state from the root base rows *)
+  Database.fold db root
+    (fun tup () ->
+      if passes_locals t root tup then root_view_feed t tup ~sign:1)
+    ();
+  flush t;
+  t
+
+(* --- delta routing ----------------------------------------------------- *)
+
+let route t (delta : Delta.t) =
+  if List.mem delta.Delta.table t.view.View.tables then begin
+    (* append-only protects the detail (root) data: dimension tables stay
+       mutable (Section 4 concerns old fact rows, not the dimensions) *)
+    (if t.append_only && String.equal delta.Delta.table t.root then
+       match delta.Delta.change with
+       | Delta.Insert _ -> ()
+       | Delta.Delete _ | Delta.Update _ ->
+         invariant
+           "append-only warehouse: root table %s received a deletion or \
+            update"
+           delta.Delta.table);
+    if String.equal delta.Delta.table t.root then
+      match delta.Delta.change with
+      | Delta.Insert tup -> root_insert t tup
+      | Delta.Delete tup -> root_delete t tup
+      | Delta.Update { before; after } ->
+        (* exposed or not, a root update is a deletion then an insertion *)
+        root_delete t before;
+        root_insert t after
+    else
+      match delta.Delta.change with
+      | Delta.Insert tup -> dim_insert t delta.Delta.table tup
+      | Delta.Delete tup -> dim_delete t delta.Delta.table tup
+      | Delta.Update { before; after } ->
+        dim_update t delta.Delta.table ~before ~after
+  end
+
+let apply t delta =
+  route t delta;
+  flush t
+
+let apply_batch t deltas =
+  List.iter (route t) deltas;
+  flush t
+
+(* --- inspection -------------------------------------------------------- *)
+
+let view_contents t = View_state.render t.vstate
+
+let aux_contents t =
+  List.filter_map
+    (fun tbl ->
+      Option.map
+        (fun st -> (tbl, Aux_state.to_relation st))
+        (aux_of t tbl))
+    t.view.View.tables
+
+let storage_profile t =
+  (t.view.View.name, View_state.group_count t.vstate, Array.length t.plans)
+  :: List.filter_map
+       (fun tbl ->
+         Option.map
+           (fun st ->
+             ( (Aux_state.spec st).Auxview.name,
+               Aux_state.row_count st,
+               List.length (Aux_state.spec st).Auxview.columns ))
+           (aux_of t tbl))
+       t.view.View.tables

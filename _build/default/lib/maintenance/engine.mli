@@ -1,0 +1,64 @@
+(** The self-maintenance engine.
+
+    Given a derivation (Algorithm 3.2's auxiliary-view specs), the engine
+    holds the materialized view and its auxiliary views and keeps both
+    consistent under the source delta stream — {e without ever touching the
+    base tables} after {!init} (the engine retains no reference to the
+    store; this is the paper's self-maintainability in an executable form).
+
+    Handled changes:
+    - insertions/deletions/updates of the root (fact) table — updates split
+      into deletion + insertion (Section 2.1);
+    - insertions/deletions of dimension tables (no view effect, by
+      referential integrity);
+    - dimension updates, including {e exposed} ones, by contribution diffing
+      against the root auxiliary view, or — when the root auxiliary view was
+      eliminated — by group rewriting through the nearest key-annotated
+      ancestor;
+    - non-CSMAS components (MIN/MAX under deletion, DISTINCT) are recomputed
+      for affected groups from the auxiliary views, per Section 3.2.
+
+    The engine also serves the PSJ (Quass et al.) baseline: it accepts any
+    derivation whose specs are uncompressed. *)
+
+type t
+
+(** Raised when the engine's invariants are violated — e.g. a deletion
+    reaches an append-only warehouse, or the auxiliary state contradicts the
+    derivation. A correct derivation plus a legal delta stream never raises. *)
+exception Invariant of string
+
+(** Load the initial state from the store. This is the only moment base data
+    is read (Figure 1's initial extract).
+
+    [fk_index] (default true) builds secondary indexes on the foreign-key
+    columns of every auxiliary view, making dimension-update propagation
+    proportional to the affected rows instead of the detail size; disable it
+    only for the ablation benchmark. *)
+val init : ?fk_index:bool -> Relational.Database.t -> Mindetail.Derive.t -> t
+
+val derivation : t -> Mindetail.Derive.t
+
+(** Process one source change; non-CSMAS recomputation is flushed before
+    returning.
+
+    The engine trusts the stream: changes are assumed already validated and
+    applied by the source store (key uniqueness, referential integrity,
+    updatable columns, existing before-images). Violations of that contract
+    are detected best-effort — an underflow or a missing group raises
+    [Invalid_argument] / {!Invariant} — but a fabricated change that happens
+    to match existing state is indistinguishable from a legal one. *)
+val apply : t -> Relational.Delta.t -> unit
+
+(** Process a batch; recomputation is flushed once at the end. *)
+val apply_batch : t -> Relational.Delta.t list -> unit
+
+(** Current view contents, in select-list order. *)
+val view_contents : t -> Relational.Relation.t
+
+(** Current auxiliary-view contents, in spec column order. *)
+val aux_contents : t -> (string * Relational.Relation.t) list
+
+(** (name, rows, fields-per-row) for every stored object: the view itself and
+    each auxiliary view. Input to the storage model. *)
+val storage_profile : t -> (string * int * int) list

@@ -1,0 +1,67 @@
+module Database = Relational.Database
+module Relation = Relational.Relation
+module Schema = Relational.Schema
+module View = Algebra.View
+module Derive = Mindetail.Derive
+
+type t =
+  | Incremental of { name : string; engine : Engine.t }
+  | Recompute of { replica : Database.t; view : View.t }
+  | Split of Partitioned.t
+
+let name = function
+  | Incremental { name; _ } -> name
+  | Recompute _ -> "recompute"
+  | Split _ -> "partitioned"
+
+let minimal db view =
+  Incremental { name = "minimal"; engine = Engine.init db (Derive.derive db view) }
+
+let psj db view =
+  Incremental { name = "psj"; engine = Engine.init db (Mindetail.Psj.derive db view) }
+
+let with_options ~name options db view =
+  Incremental { name; engine = Engine.init db (Derive.derive_with options db view) }
+
+let append_only db view =
+  with_options ~name:"append-only" Derive.append_only_options db view
+
+let partitioned db view ~is_old = Split (Partitioned.init db view ~is_old)
+
+let as_partitioned = function
+  | Split p -> Some p
+  | Incremental _ | Recompute _ -> None
+
+let recompute db view =
+  View.validate db view;
+  Recompute { replica = Database.copy db; view }
+
+let apply_batch t deltas =
+  match t with
+  | Incremental { engine; _ } -> Engine.apply_batch engine deltas
+  | Recompute { replica; _ } -> Database.apply_all replica deltas
+  | Split p -> Partitioned.apply_batch p deltas
+
+let view_contents = function
+  | Incremental { engine; _ } -> Engine.view_contents engine
+  | Recompute { replica; view } -> Algebra.Eval.eval replica view
+  | Split p -> Partitioned.view_contents p
+
+let detail_profile = function
+  | Incremental { engine; _ } ->
+    (* drop the view itself: only detail data counts *)
+    (match Engine.storage_profile engine with
+    | _view :: aux -> aux
+    | [] -> [])
+  | Split p -> Partitioned.detail_profile p
+  | Recompute { replica; view } ->
+    List.map
+      (fun tbl ->
+        ( tbl,
+          Database.row_count replica tbl,
+          Schema.arity (Database.schema_of replica tbl) ))
+      view.View.tables
+
+let derivation = function
+  | Incremental { engine; _ } -> Some (Engine.derivation engine)
+  | Recompute _ | Split _ -> None

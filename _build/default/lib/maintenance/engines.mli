@@ -1,0 +1,59 @@
+(** The three warehouse configurations the evaluation compares.
+
+    - [minimal] — the paper's contribution: Algorithm 3.2 auxiliary views,
+      incrementally maintained.
+    - [psj] — Quass et al. tuple-level auxiliary views (no duplicate
+      compression), incrementally maintained by the same engine.
+    - [recompute] — a full replica of the sources; the view is recomputed
+      from scratch whenever it is read.
+
+    All three expose the same interface so benchmarks and tests can treat
+    them uniformly. *)
+
+type t
+
+val name : t -> string
+
+val minimal : Relational.Database.t -> Algebra.View.t -> t
+val psj : Relational.Database.t -> Algebra.View.t -> t
+val recompute : Relational.Database.t -> Algebra.View.t -> t
+
+(** Incremental configuration with explicit derivation options — used by the
+    ablation experiments (each reduction technique switchable) and by the
+    append-only old-detail mode of Section 4. *)
+val with_options :
+  name:string ->
+  Mindetail.Derive.options ->
+  Relational.Database.t ->
+  Algebra.View.t ->
+  t
+
+(** Incremental configuration for append-only (old) detail data: MIN/MAX are
+    pre-aggregated in the auxiliary views; deletions/updates of the root
+    (fact) table are rejected, while dimension tables stay mutable. *)
+val append_only : Relational.Database.t -> Algebra.View.t -> t
+
+(** Current/old split with an append-only old partition (Figure 1 +
+    Section 4); see {!Partitioned} for the restrictions and [age_out]. *)
+val partitioned :
+  Relational.Database.t ->
+  Algebra.View.t ->
+  is_old:(Relational.Tuple.t -> bool) ->
+  t
+
+(** The partitioned engine behind an [partitioned] configuration, for
+    warehouse-internal aging. *)
+val as_partitioned : t -> Partitioned.t option
+
+(** Process a batch of source changes. *)
+val apply_batch : t -> Relational.Delta.t list -> unit
+
+(** Current contents of the materialized view. *)
+val view_contents : t -> Relational.Relation.t
+
+(** (object name, rows, fields per row) of all detail data this
+    configuration stores besides the view itself. *)
+val detail_profile : t -> (string * int * int) list
+
+(** The derivation backing an incremental configuration, if any. *)
+val derivation : t -> Mindetail.Derive.t option

@@ -1,0 +1,173 @@
+module Database = Relational.Database
+module Relation = Relational.Relation
+module Tuple = Relational.Tuple
+module Value = Relational.Value
+module Delta = Relational.Delta
+module View = Algebra.View
+module Aggregate = Algebra.Aggregate
+module Select_item = Algebra.Select_item
+module Derive = Mindetail.Derive
+
+module TH = Hashtbl.Make (struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+  let hash = Tuple.hash
+end)
+
+type t = {
+  view : View.t;
+  root : string;
+  is_old : Tuple.t -> bool;
+  old_engine : Engine.t;
+  current_engine : Engine.t;
+  group_positions : int array;  (** select positions of the group items *)
+}
+
+exception Unsupported of string
+
+let check_mergeable (v : View.t) =
+  if v.View.having <> [] then
+    raise
+      (Unsupported
+         "partitioned maintenance cannot filter partial views with HAVING");
+  List.iter
+    (fun (agg : Aggregate.t) ->
+      if agg.Aggregate.distinct then
+        raise
+          (Unsupported
+             (Printf.sprintf
+                "partitioned maintenance cannot merge DISTINCT aggregate %s"
+                agg.Aggregate.alias));
+      if agg.Aggregate.func = Aggregate.Avg then
+        raise
+          (Unsupported
+             (Printf.sprintf
+                "partitioned maintenance cannot merge AVG %s: store SUM and \
+                 COUNT columns instead"
+                agg.Aggregate.alias)))
+    (View.aggregates v)
+
+(* A replica of [db] holding only the root tuples selected by [keep]. *)
+let partition_db db root keep =
+  let replica = Database.copy db in
+  let victims =
+    Database.fold replica root
+      (fun tup acc -> if keep tup then acc else tup :: acc)
+      []
+  in
+  List.iter (Database.delete replica root) victims;
+  replica
+
+let init db (v : View.t) ~is_old =
+  View.validate db v;
+  check_mergeable v;
+  let root = View.root v in
+  let old_db = partition_db db root is_old in
+  let current_db = partition_db db root (fun tup -> not (is_old tup)) in
+  {
+    view = v;
+    root;
+    is_old;
+    old_engine = Engine.init old_db (Derive.derive_with Derive.append_only_options old_db v);
+    current_engine = Engine.init current_db (Derive.derive current_db v);
+    group_positions =
+      List.filteri
+        (fun _ item ->
+          match item with Select_item.Group _ -> true | Select_item.Agg _ -> false)
+        v.View.select
+      |> List.map (fun item ->
+             let rec index i = function
+               | [] -> assert false
+               | x :: rest -> if x == item then i else index (i + 1) rest
+             in
+             index 0 v.View.select)
+      |> Array.of_list;
+  }
+
+let apply t (d : Delta.t) =
+  if String.equal d.Delta.table t.root then begin
+    let target before_image =
+      if t.is_old before_image then t.old_engine else t.current_engine
+    in
+    match d.Delta.change with
+    | Delta.Insert tup -> Engine.apply (target tup) d
+    | Delta.Delete tup -> Engine.apply (target tup) d
+    | Delta.Update { before; after } ->
+      if t.is_old before <> t.is_old after then
+        raise
+          (Engine.Invariant
+             "partitioned maintenance: update moves a root tuple across the \
+              old/current boundary")
+      else Engine.apply (target before) d
+  end
+  else begin
+    Engine.apply t.old_engine d;
+    Engine.apply t.current_engine d
+  end
+
+let apply_batch t = List.iter (apply t)
+
+let age_out t facts =
+  List.iter
+    (fun tup ->
+      Engine.apply t.current_engine (Delta.delete t.root tup);
+      Engine.apply t.old_engine (Delta.insert t.root tup))
+    facts
+
+(* Distributive merge of two partial view results. *)
+let merge_rows (v : View.t) group_positions a b =
+  let key tup = Tuple.project tup group_positions in
+  let acc : Tuple.t TH.t = TH.create 64 in
+  let combine existing incoming =
+    let out = Array.copy existing in
+    List.iteri
+      (fun idx item ->
+        match item with
+        | Select_item.Group _ -> ()
+        | Select_item.Agg agg ->
+          out.(idx) <-
+            (match agg.Aggregate.func with
+            | Aggregate.Count | Aggregate.Count_star | Aggregate.Sum ->
+              Value.add existing.(idx) incoming.(idx)
+            | Aggregate.Min ->
+              if Value.compare incoming.(idx) existing.(idx) < 0 then
+                incoming.(idx)
+              else existing.(idx)
+            | Aggregate.Max ->
+              if Value.compare incoming.(idx) existing.(idx) > 0 then
+                incoming.(idx)
+              else existing.(idx)
+            | Aggregate.Avg -> assert false (* rejected at init *)))
+      v.View.select;
+    out
+  in
+  let feed rel =
+    Relation.iter
+      (fun tup _ ->
+        let k = key tup in
+        match TH.find_opt acc k with
+        | None -> TH.add acc k tup
+        | Some existing -> TH.replace acc k (combine existing tup))
+      rel
+  in
+  feed a;
+  feed b;
+  let out = Relation.create ~size_hint:(TH.length acc) () in
+  TH.iter (fun _ tup -> Relation.insert out tup) acc;
+  out
+
+let view_contents t =
+  merge_rows t.view t.group_positions
+    (Engine.view_contents t.old_engine)
+    (Engine.view_contents t.current_engine)
+
+let detail_profile t =
+  List.map
+    (fun (n, r, f) -> ("old/" ^ n, r, f))
+    (match Engine.storage_profile t.old_engine with _ :: aux -> aux | [] -> [])
+  @ List.map
+      (fun (n, r, f) -> ("current/" ^ n, r, f))
+      (match Engine.storage_profile t.current_engine with
+      | _ :: aux -> aux
+      | [] -> [])

@@ -1,0 +1,243 @@
+module View = Algebra.View
+module Select_item = Algebra.Select_item
+module Aggregate = Algebra.Aggregate
+module Relation = Relational.Relation
+module Tuple = Relational.Tuple
+module Value = Relational.Value
+
+module TH = Hashtbl.Make (struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+  let hash = Tuple.hash
+end)
+
+type contrib =
+  | C_count of int
+  | C_sum of { amount : Value.t; n : int }
+  | C_value of Value.t
+
+(* One aggregate's internal components within a group. *)
+type agg_state =
+  | S_count of int
+  | S_sum of { sum : Value.t; n : int }
+  | S_extremum of Value.t option
+  | S_distinct of Value.t option
+
+type group = { mutable cnt0 : int; accs : agg_state array }
+
+type t = {
+  view : View.t;
+  determined : bool;
+  items : Select_item.t array;
+  groups : group TH.t;
+  dirty : unit TH.t;
+}
+
+let create view ~determined =
+  {
+    view;
+    determined;
+    items = Array.of_list view.View.select;
+    groups = TH.create 256;
+    dirty = TH.create 16;
+  }
+
+let view t = t.view
+let group_count t = TH.length t.groups
+
+let initial_state (item : Select_item.t) =
+  match item with
+  | Select_item.Group _ -> S_count 0 (* placeholder, never consulted *)
+  | Select_item.Agg agg -> (
+    if agg.Aggregate.distinct then S_distinct None
+    else
+      match agg.Aggregate.func with
+      | Aggregate.Count | Aggregate.Count_star -> S_count 0
+      | Aggregate.Sum | Aggregate.Avg -> S_sum { sum = Value.Int 0; n = 0 }
+      | Aggregate.Min | Aggregate.Max -> S_extremum None)
+
+let mark_dirty t key =
+  if not (TH.mem t.dirty key) then TH.add t.dirty key ()
+
+let combine_extremum (agg : Aggregate.t) cur v =
+  match cur with
+  | None -> Some v
+  | Some m ->
+    let better =
+      match agg.Aggregate.func with
+      | Aggregate.Min -> Value.compare v m < 0
+      | Aggregate.Max -> Value.compare v m > 0
+      | _ -> assert false
+    in
+    Some (if better then v else m)
+
+(* The finalized value of a DISTINCT aggregate over a singleton value set —
+   the determined case. *)
+let singleton_distinct (agg : Aggregate.t) v =
+  match agg.Aggregate.func with
+  | Aggregate.Count -> Value.Int 1
+  | Aggregate.Sum | Aggregate.Min | Aggregate.Max -> v
+  | Aggregate.Avg -> Value.div_as_float v (Value.Int 1)
+  | Aggregate.Count_star -> assert false
+
+let apply_contrib t key ~sign g i (item : Select_item.t) contrib =
+  let agg =
+    match item with
+    | Select_item.Agg a -> a
+    | Select_item.Group _ -> assert false (* group items carry no contrib *)
+  in
+  match g.accs.(i), contrib with
+  | S_count n, C_count d -> g.accs.(i) <- S_count (n + (sign * d))
+  | S_sum { sum; n }, C_sum { amount; n = dn } ->
+    let sum =
+      if sign > 0 then Value.add sum amount else Value.sub sum amount
+    in
+    g.accs.(i) <- S_sum { sum; n = n + (sign * dn) }
+  | S_extremum cur, C_value v ->
+    if sign > 0 then
+      g.accs.(i) <- S_extremum (combine_extremum agg cur v)
+    else if not t.determined then begin
+      (* deletion of the current extremum invalidates the component *)
+      match cur with
+      | Some m when Value.equal m v -> mark_dirty t key
+      | Some _ | None -> ()
+    end
+  | S_distinct cur, C_value v ->
+    if t.determined then begin
+      (* the argument is functionally determined by the group key: the value
+         set is a singleton fixed at group creation *)
+      if cur = None then g.accs.(i) <- S_distinct (Some (singleton_distinct agg v))
+    end
+    else mark_dirty t key
+  | (S_count _ | S_sum _ | S_extremum _ | S_distinct _), _ ->
+    invalid_arg "View_state: contribution does not match aggregate state"
+
+let feed t ~key ~cnt contribs =
+  let g =
+    match TH.find_opt t.groups key with
+    | Some g -> g
+    | None ->
+      let g = { cnt0 = 0; accs = Array.map initial_state t.items } in
+      TH.add t.groups key g;
+      g
+  in
+  g.cnt0 <- g.cnt0 + cnt;
+  Array.iteri
+    (fun i c ->
+      match c with
+      | Some contrib -> apply_contrib t key ~sign:1 g i t.items.(i) contrib
+      | None -> ())
+    contribs
+
+let unfeed t ~key ~cnt contribs =
+  match TH.find_opt t.groups key with
+  | None ->
+    invalid_arg
+      (Printf.sprintf "View_state.unfeed: group %s absent"
+         (Tuple.to_string key))
+  | Some g ->
+    if g.cnt0 < cnt then invalid_arg "View_state.unfeed: count underflow";
+    g.cnt0 <- g.cnt0 - cnt;
+    if g.cnt0 = 0 then begin
+      TH.remove t.groups key;
+      TH.remove t.dirty key
+    end
+    else
+      Array.iteri
+        (fun i c ->
+          match c with
+          | Some contrib -> apply_contrib t key ~sign:(-1) g i t.items.(i) contrib
+          | None -> ())
+        contribs
+
+let take_dirty t =
+  let keys = TH.fold (fun k () acc -> k :: acc) t.dirty [] in
+  TH.reset t.dirty;
+  keys
+
+let is_dirty_pending t = TH.length t.dirty > 0
+
+let set_value t ~key ~item v =
+  match TH.find_opt t.groups key with
+  | None -> ()
+  | Some g -> (
+    match g.accs.(item) with
+    | S_extremum _ -> g.accs.(item) <- S_extremum (Some v)
+    | S_distinct _ -> g.accs.(item) <- S_distinct (Some v)
+    | S_count _ | S_sum _ ->
+      invalid_arg "View_state.set_value: item is CSMAS-maintained")
+
+type component_update = Shift_sum of Value.t | Set_current of Value.t
+
+let adjust_group t ~key ~new_key updates =
+  match TH.find_opt t.groups key with
+  | None ->
+    invalid_arg
+      (Printf.sprintf "View_state.adjust_group: group %s absent"
+         (Tuple.to_string key))
+  | Some g ->
+    List.iter
+      (fun (i, upd) ->
+        let agg =
+          match t.items.(i) with
+          | Select_item.Agg a -> Some a
+          | Select_item.Group _ -> None
+        in
+        match g.accs.(i), upd with
+        | S_sum { sum; n }, Shift_sum delta ->
+          g.accs.(i) <- S_sum { sum = Value.add sum (Value.scale delta n); n }
+        | S_extremum _, Set_current v -> g.accs.(i) <- S_extremum (Some v)
+        | S_distinct _, Set_current v ->
+          (* the caller passes the witnessed (determined) value; finalize the
+             singleton DISTINCT here *)
+          g.accs.(i) <-
+            S_distinct (Some (singleton_distinct (Option.get agg) v))
+        | (S_count _ | S_sum _ | S_extremum _ | S_distinct _), _ ->
+          invalid_arg "View_state.adjust_group: update does not match state")
+      updates;
+    if not (Tuple.equal key new_key) then begin
+      if TH.mem t.groups new_key then
+        invalid_arg "View_state.adjust_group: new key collides";
+      TH.remove t.groups key;
+      TH.add t.groups new_key g;
+      if TH.mem t.dirty key then begin
+        TH.remove t.dirty key;
+        TH.add t.dirty new_key ()
+      end
+    end
+
+let fold_groups t f acc = TH.fold (fun k g acc -> f k g.cnt0 acc) t.groups acc
+
+let render t =
+  let result = Relation.create ~size_hint:(TH.length t.groups) () in
+  TH.iter
+    (fun key g ->
+      let gi = ref 0 in
+      let row =
+        Array.mapi
+          (fun i item ->
+            match item with
+            | Select_item.Group _ ->
+              let v = key.(!gi) in
+              incr gi;
+              v
+            | Select_item.Agg agg -> (
+              match g.accs.(i) with
+              | S_count n -> Value.Int n
+              | S_sum { sum; n } -> (
+                match agg.Aggregate.func with
+                | Aggregate.Sum -> sum
+                | Aggregate.Avg -> Value.div_as_float sum (Value.Int n)
+                | _ -> assert false)
+              | S_extremum (Some v) | S_distinct (Some v) -> v
+              | S_extremum None | S_distinct None ->
+                invalid_arg
+                  "View_state.render: non-CSMAS component pending recompute"))
+          t.items
+      in
+      Relation.insert result row)
+    t.groups;
+  (* restrictions on groups (HAVING) are applied at read time: the full group
+     state is what gets maintained *)
+  View.filter_having t.view result

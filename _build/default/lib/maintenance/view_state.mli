@@ -1,0 +1,69 @@
+(** Materialized state of the GPSJ view itself.
+
+    Following the paper's convention that view aggregates are replaced by
+    their Table 2 distributive components before maintenance (Section 3.1),
+    each group stores internal components — a base-row count [cnt0], running
+    SUM/COUNT pairs, current extrema and DISTINCT results — from which the
+    visible select-list values are rendered on demand.
+
+    CSMAS components are maintained exactly under both feeds and unfeeds;
+    non-CSMAS components (MIN/MAX under deletion, DISTINCT aggregates) mark
+    their group {e dirty} so the engine can recompute them from the auxiliary
+    views, exactly as Section 3.2 prescribes. In {e determined} mode (used
+    when the root auxiliary view has been eliminated, where every non-CSMAS
+    argument is functionally determined by the group key) they are set at
+    group creation and never dirtied. *)
+
+type contrib =
+  | C_count of int
+  | C_sum of { amount : Relational.Value.t; n : int }
+  | C_value of Relational.Value.t
+
+type t
+
+(** [create view ~determined] prepares empty state for a validated view. *)
+val create : Algebra.View.t -> determined:bool -> t
+
+val view : t -> Algebra.View.t
+val group_count : t -> int
+
+(** [feed t ~key ~cnt contribs] adds one (possibly weighted) row's
+    contribution; [contribs] has one entry per select item ([None] for
+    group-by items). Creates the group when new. *)
+val feed : t -> key:Relational.Tuple.t -> cnt:int -> contrib option array -> unit
+
+(** Reverse of {!feed}; removes the group when its base-row count reaches
+    zero.
+    @raise Invalid_argument on underflow or missing group. *)
+val unfeed :
+  t -> key:Relational.Tuple.t -> cnt:int -> contrib option array -> unit
+
+(** Groups marked dirty since the last call; clears the set. *)
+val take_dirty : t -> Relational.Tuple.t list
+
+val is_dirty_pending : t -> bool
+
+(** [set_value t ~key ~item v] overwrites the rendered value of a recomputed
+    non-CSMAS item. No-op if the group has disappeared. *)
+val set_value : t -> key:Relational.Tuple.t -> item:int -> Relational.Value.t -> unit
+
+(** [adjust_group t ~key ~new_key updates] rewrites a group's key and applies
+    per-item component updates (used for dimension updates when the root
+    auxiliary view is eliminated): [updates] maps item index to the update.
+    @raise Invalid_argument if the group is missing or [new_key] collides. *)
+type component_update =
+  | Shift_sum of Relational.Value.t  (** sum += delta * n *)
+  | Set_current of Relational.Value.t  (** extremum / distinct result := v *)
+
+val adjust_group :
+  t ->
+  key:Relational.Tuple.t ->
+  new_key:Relational.Tuple.t ->
+  (int * component_update) list ->
+  unit
+
+(** Fold over groups as (key, base-row count). *)
+val fold_groups : t -> (Relational.Tuple.t -> int -> 'a -> 'a) -> 'a -> 'a
+
+(** Render the view contents in select-list order. *)
+val render : t -> Relational.Relation.t

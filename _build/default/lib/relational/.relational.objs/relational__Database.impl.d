@@ -1,0 +1,1 @@
+lib/relational/database.ml: Array Datatype Delta Format Hashtbl Integrity List Relation Schema String Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/database.mli: Delta Integrity Schema Tuple Value

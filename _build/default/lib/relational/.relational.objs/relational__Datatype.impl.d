@@ -1,0 +1,1 @@
+lib/relational/datatype.ml: Format String Value

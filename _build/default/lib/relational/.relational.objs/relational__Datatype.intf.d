@@ -1,0 +1,1 @@
+lib/relational/datatype.mli: Format Value

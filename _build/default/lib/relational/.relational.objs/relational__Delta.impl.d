@@ -1,0 +1,1 @@
+lib/relational/delta.ml: Array Format Tuple Value

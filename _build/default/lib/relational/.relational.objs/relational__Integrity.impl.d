@@ -1,0 +1,1 @@
+lib/relational/integrity.ml: Format List String

@@ -1,0 +1,1 @@
+lib/relational/integrity.mli: Format

@@ -1,0 +1,1 @@
+lib/relational/schema.ml: Array Datatype Format Hashtbl List String

@@ -1,0 +1,1 @@
+lib/relational/table_printer.ml: Array Buffer List Relation String Value

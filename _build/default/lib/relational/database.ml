@@ -1,0 +1,202 @@
+module VH = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+type table = {
+  schema : Schema.t;
+  data : Relation.t;
+  by_key : Tuple.t VH.t;
+  updatable : string list;
+  (* rows referencing this table's keys, per key value, across all incoming
+     constraints; used for O(1) delete checks *)
+  incoming : int VH.t;
+}
+
+type t = {
+  tables : (string, table) Hashtbl.t;
+  mutable refs : Integrity.reference list;
+}
+
+exception Violation of string
+
+let violation fmt = Format.kasprintf (fun s -> raise (Violation s)) fmt
+
+let create () = { tables = Hashtbl.create 8; refs = [] }
+
+let table db name =
+  match Hashtbl.find_opt db.tables name with
+  | Some t -> t
+  | None -> violation "unknown table %s" name
+
+let add_table db (schema : Schema.t) ~updatable =
+  if Hashtbl.mem db.tables schema.name then
+    violation "table %s already exists" schema.name;
+  List.iter
+    (fun c ->
+      if not (Schema.mem schema c) then
+        violation "table %s: updatable column %s not in schema" schema.name c)
+    updatable;
+  Hashtbl.add db.tables schema.name
+    {
+      schema;
+      data = Relation.create ();
+      by_key = VH.create 64;
+      updatable;
+      incoming = VH.create 64;
+    }
+
+let add_reference db (r : Integrity.reference) =
+  let src = table db r.src_table in
+  let dst = table db r.dst_table in
+  if not (Schema.mem src.schema r.src_col) then
+    violation "reference %a: no column %s.%s" Integrity.pp r r.src_table
+      r.src_col;
+  let src_ty = Schema.type_of src.schema r.src_col in
+  let dst_ty = Schema.type_of dst.schema dst.schema.key in
+  if not (Datatype.equal src_ty dst_ty) then
+    violation "reference %a: type mismatch" Integrity.pp r;
+  if List.exists (Integrity.equal r) db.refs then
+    violation "reference %a declared twice" Integrity.pp r;
+  if not (Relation.is_empty src.data) then
+    violation "reference %a: declare constraints before loading data"
+      Integrity.pp r;
+  db.refs <- r :: db.refs
+
+let schema_of db name = (table db name).schema
+let references db = db.refs
+let updatable_columns db name = (table db name).updatable
+
+let table_names db =
+  Hashtbl.fold (fun name _ acc -> name :: acc) db.tables []
+  |> List.sort String.compare
+
+let mem_table db name = Hashtbl.mem db.tables name
+
+let key_of (t : table) tup = tup.(Schema.key_index t.schema)
+
+let outgoing_refs db name =
+  List.filter (fun (r : Integrity.reference) -> r.src_table = name) db.refs
+
+let bump_incoming db (r : Integrity.reference) v delta =
+  let dst = table db r.dst_table in
+  let cur = match VH.find_opt dst.incoming v with Some n -> n | None -> 0 in
+  let next = cur + delta in
+  if next < 0 then violation "internal: negative reference count";
+  if next = 0 then VH.remove dst.incoming v else VH.replace dst.incoming v next
+
+let check_fk db name (r : Integrity.reference) tup =
+  let src = table db name in
+  let v = tup.(Schema.index_of src.schema r.src_col) in
+  let dst = table db r.dst_table in
+  if not (VH.mem dst.by_key v) then
+    violation "insert into %s: dangling reference %a = %a" name Integrity.pp r
+      Value.pp v
+
+let insert db name tup =
+  let t = table db name in
+  if not (Schema.conforms t.schema tup) then
+    violation "insert into %s: tuple %a does not conform to schema" name
+      Tuple.pp tup;
+  let k = key_of t tup in
+  if VH.mem t.by_key k then
+    violation "insert into %s: duplicate key %a" name Value.pp k;
+  let out = outgoing_refs db name in
+  List.iter (fun r -> check_fk db name r tup) out;
+  Relation.insert t.data tup;
+  VH.replace t.by_key k tup;
+  List.iter
+    (fun (r : Integrity.reference) ->
+      bump_incoming db r tup.(Schema.index_of t.schema r.src_col) 1)
+    out
+
+let delete db name tup =
+  let t = table db name in
+  if not (Relation.mem t.data tup) then
+    violation "delete from %s: tuple %a not present" name Tuple.pp tup;
+  let k = key_of t tup in
+  (match VH.find_opt t.incoming k with
+  | Some n when n > 0 ->
+    violation "delete from %s: key %a is referenced by %d row(s)" name
+      Value.pp k n
+  | _ -> ());
+  ignore (Relation.delete t.data tup);
+  VH.remove t.by_key k;
+  List.iter
+    (fun (r : Integrity.reference) ->
+      bump_incoming db r tup.(Schema.index_of t.schema r.src_col) (-1))
+    (outgoing_refs db name)
+
+let update db name ~before ~after =
+  let t = table db name in
+  if not (Relation.mem t.data before) then
+    violation "update %s: tuple %a not present" name Tuple.pp before;
+  if not (Schema.conforms t.schema after) then
+    violation "update %s: tuple %a does not conform to schema" name Tuple.pp
+      after;
+  (* sources may only update columns declared updatable: the warehouse's
+     exposed-updates analysis (Section 2.1) relies on this contract *)
+  Array.iteri
+    (fun i v ->
+      if not (Value.equal v after.(i)) then begin
+        let col = t.schema.Schema.columns.(i).Schema.col_name in
+        if not (List.mem col t.updatable) then
+          violation "update %s: column %s is not declared updatable" name col
+      end)
+    before;
+  let kb = key_of t before and ka = key_of t after in
+  if not (Value.equal kb ka) then begin
+    (match VH.find_opt t.incoming kb with
+    | Some n when n > 0 ->
+      violation "update %s: cannot change referenced key %a" name Value.pp kb
+    | _ -> ());
+    if VH.mem t.by_key ka then
+      violation "update %s: new key %a already exists" name Value.pp ka
+  end;
+  let out = outgoing_refs db name in
+  List.iter (fun r -> check_fk db name r after) out;
+  ignore (Relation.delete t.data before);
+  Relation.insert t.data after;
+  VH.remove t.by_key kb;
+  VH.replace t.by_key ka after;
+  List.iter
+    (fun (r : Integrity.reference) ->
+      let i = Schema.index_of t.schema r.src_col in
+      bump_incoming db r before.(i) (-1);
+      bump_incoming db r after.(i) 1)
+    out
+
+let apply db (d : Delta.t) =
+  match d.change with
+  | Delta.Insert tup -> insert db d.table tup
+  | Delta.Delete tup -> delete db d.table tup
+  | Delta.Update { before; after } -> update db d.table ~before ~after
+
+let apply_all db = List.iter (apply db)
+
+let find_by_key db name k = VH.find_opt (table db name).by_key k
+
+let fold db name f acc =
+  Relation.fold (fun tup _n acc -> f tup acc) (table db name).data acc
+
+let row_count db name = Relation.cardinality (table db name).data
+
+let reference_count db name k =
+  match VH.find_opt (table db name).incoming k with Some n -> n | None -> 0
+
+let copy db =
+  let db' = { tables = Hashtbl.create 8; refs = db.refs } in
+  Hashtbl.iter
+    (fun name t ->
+      Hashtbl.add db'.tables name
+        {
+          schema = t.schema;
+          data = Relation.copy t.data;
+          by_key = VH.copy t.by_key;
+          updatable = t.updatable;
+          incoming = VH.copy t.incoming;
+        })
+    db.tables;
+  db'

@@ -1,0 +1,67 @@
+(** The operational store: a catalog of base tables with enforced key
+    uniqueness and referential integrity.
+
+    This plays the role of the paper's (inaccessible) data sources: the
+    warehouse never reads it after initial load; it only receives the
+    {!Delta.t} stream that [apply] validates. *)
+
+type t
+
+exception Violation of string
+
+val create : unit -> t
+
+(** [add_table db schema ~updatable] registers a base table. [updatable]
+    lists the columns that sources may change in place via updates; it drives
+    the {e exposed updates} analysis of Section 2.1 (an update is exposed if
+    an updatable column occurs in a selection or join condition).
+    @raise Violation if the name is taken. *)
+val add_table : t -> Schema.t -> updatable:string list -> unit
+
+(** Declares a referential-integrity constraint. The destination column is
+    implicitly the destination table's key; source column and key must have
+    the same type.
+    @raise Violation on dangling names or type mismatch. *)
+val add_reference : t -> Integrity.reference -> unit
+
+val schema_of : t -> string -> Schema.t
+val references : t -> Integrity.reference list
+val updatable_columns : t -> string -> string list
+val table_names : t -> string list
+val mem_table : t -> string -> bool
+
+(** [insert db table tup] enforces schema conformance, key uniqueness and
+    foreign-key existence.
+    @raise Violation on any failure. *)
+val insert : t -> string -> Tuple.t -> unit
+
+(** [delete db table tup] requires the exact tuple to be present and its key
+    to be unreferenced.
+    @raise Violation on any failure. *)
+val delete : t -> string -> Tuple.t -> unit
+
+(** [update db table ~before ~after]: [before] must be present; key changes
+    are allowed only while unreferenced; foreign keys of [after] must exist.
+    @raise Violation on any failure. *)
+val update : t -> string -> before:Tuple.t -> after:Tuple.t -> unit
+
+(** Validates and applies one source change. *)
+val apply : t -> Delta.t -> unit
+
+val apply_all : t -> Delta.t list -> unit
+
+(** [find_by_key db table k] is the unique tuple with key value [k], if any. *)
+val find_by_key : t -> string -> Value.t -> Tuple.t option
+
+(** [fold db table f acc] folds over the rows of [table]. *)
+val fold : t -> string -> (Tuple.t -> 'a -> 'a) -> 'a -> 'a
+
+val row_count : t -> string -> int
+
+(** Number of source rows currently referencing key value [k] of [table]
+    through any declared constraint. *)
+val reference_count : t -> string -> Value.t -> int
+
+(** Deep copy (used by the recomputation baseline, which is allowed to hold a
+    full replica of the sources). *)
+val copy : t -> t

@@ -1,0 +1,28 @@
+type t = TInt | TFloat | TString | TBool
+
+let equal (a : t) b = a = b
+
+let to_string = function
+  | TInt -> "INT"
+  | TFloat -> "FLOAT"
+  | TString -> "TEXT"
+  | TBool -> "BOOL"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let of_sql_name s =
+  match String.uppercase_ascii s with
+  | "INT" | "INTEGER" | "BIGINT" -> Some TInt
+  | "FLOAT" | "REAL" | "DOUBLE" | "DECIMAL" | "NUMERIC" -> Some TFloat
+  | "TEXT" | "VARCHAR" | "CHAR" | "STRING" -> Some TString
+  | "BOOL" | "BOOLEAN" -> Some TBool
+  | _ -> None
+
+let of_value = function
+  | Value.Int _ -> TInt
+  | Value.Float _ -> TFloat
+  | Value.String _ -> TString
+  | Value.Bool _ -> TBool
+
+let check t v = equal t (of_value v)
+let is_numeric = function TInt | TFloat -> true | TString | TBool -> false

@@ -1,0 +1,17 @@
+(** Column data types. *)
+
+type t = TInt | TFloat | TString | TBool
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** SQL spelling, e.g. ["INT"], as accepted by the parser. *)
+val of_sql_name : string -> t option
+
+val of_value : Value.t -> t
+
+(** [check t v] is [true] when [v] inhabits [t]. *)
+val check : t -> Value.t -> bool
+
+val is_numeric : t -> bool

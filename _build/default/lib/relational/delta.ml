@@ -1,0 +1,30 @@
+type change =
+  | Insert of Tuple.t
+  | Delete of Tuple.t
+  | Update of { before : Tuple.t; after : Tuple.t }
+
+type t = { table : string; change : change }
+
+let insert table tup = { table; change = Insert tup }
+let delete table tup = { table; change = Delete tup }
+let update table ~before ~after = { table; change = Update { before; after } }
+
+let as_delete_insert = function
+  | Update { before; after } -> [ Delete before; Insert after ]
+  | (Insert _ | Delete _) as c -> [ c ]
+
+let changed_indices = function
+  | Insert _ | Delete _ -> []
+  | Update { before; after } ->
+    let acc = ref [] in
+    for i = Array.length before - 1 downto 0 do
+      if not (Value.equal before.(i) after.(i)) then acc := i :: !acc
+    done;
+    !acc
+
+let pp ppf { table; change } =
+  match change with
+  | Insert t -> Format.fprintf ppf "+%s%a" table Tuple.pp t
+  | Delete t -> Format.fprintf ppf "-%s%a" table Tuple.pp t
+  | Update { before; after } ->
+    Format.fprintf ppf "%s%a->%a" table Tuple.pp before Tuple.pp after

@@ -1,0 +1,27 @@
+(** Changes to base tables, as emitted by the (simulated) data sources.
+
+    Updates carry both the old and new tuple: the maintenance algorithms of
+    the paper propagate {e exposed} updates as a deletion followed by an
+    insertion (Section 2.1), and need the before-image to do so. *)
+
+type change =
+  | Insert of Tuple.t
+  | Delete of Tuple.t
+  | Update of { before : Tuple.t; after : Tuple.t }
+
+(** A change to one named base table. *)
+type t = { table : string; change : change }
+
+val insert : string -> Tuple.t -> t
+val delete : string -> Tuple.t -> t
+val update : string -> before:Tuple.t -> after:Tuple.t -> t
+
+(** [as_delete_insert c] splits an update into its deletion and insertion
+    parts; inserts/deletes are returned unchanged (singleton list). *)
+val as_delete_insert : change -> change list
+
+(** Columns (by index) whose value differs between before and after image.
+    Empty for inserts/deletes. *)
+val changed_indices : change -> int list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,17 @@
+type reference = { src_table : string; src_col : string; dst_table : string }
+
+let equal a b =
+  String.equal a.src_table b.src_table
+  && String.equal a.src_col b.src_col
+  && String.equal a.dst_table b.dst_table
+
+let pp ppf r =
+  Format.fprintf ppf "%s.%s -> %s" r.src_table r.src_col r.dst_table
+
+let covers refs ~src ~src_col ~dst =
+  List.exists
+    (fun r ->
+      String.equal r.src_table src
+      && String.equal r.src_col src_col
+      && String.equal r.dst_table dst)
+    refs

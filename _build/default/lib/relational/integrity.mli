@@ -1,0 +1,14 @@
+(** Referential-integrity constraints.
+
+    A reference [{src_table; src_col; dst_table}] states that every value of
+    [src_table.src_col] appears as the key of some tuple in [dst_table]
+    (whose key attribute is fixed by [dst_table]'s schema). *)
+
+type reference = { src_table : string; src_col : string; dst_table : string }
+
+val equal : reference -> reference -> bool
+val pp : Format.formatter -> reference -> unit
+
+(** [covers refs ~src ~src_col ~dst] tests whether a constraint from
+    [src.src_col] to [dst]'s key is declared. *)
+val covers : reference list -> src:string -> src_col:string -> dst:string -> bool

@@ -1,0 +1,35 @@
+(** Base-table schemas.
+
+    Following the paper's simplifying assumption (Section 2.1), each base
+    table has a single-attribute key. *)
+
+type column = { col_name : string; col_type : Datatype.t }
+
+type t = private {
+  name : string;
+  columns : column array;
+  key : string;  (** name of the single key attribute *)
+}
+
+exception Invalid of string
+
+(** [make ~name ~key columns] validates that column names are distinct and
+    non-empty and that [key] is one of them.
+    @raise Invalid otherwise. *)
+val make : name:string -> key:string -> column list -> t
+
+val arity : t -> int
+
+(** [index_of s col] is the position of [col] in the tuple layout.
+    @raise Not_found if absent. *)
+val index_of : t -> string -> int
+
+val mem : t -> string -> bool
+val type_of : t -> string -> Datatype.t
+val key_index : t -> int
+val column_names : t -> string list
+
+(** [conforms s tup] checks arity and per-column types. *)
+val conforms : t -> Value.t array -> bool
+
+val pp : Format.formatter -> t -> unit

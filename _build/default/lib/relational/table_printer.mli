@@ -1,0 +1,11 @@
+(** ASCII rendering of relations, used by examples and the bench harness to
+    print the paper's example tables (Tables 3 and 4). *)
+
+(** [render ~header rows] draws a box table; every row must have the same
+    width as [header]. *)
+val render : header:string list -> string list list -> string
+
+(** [render_relation ~columns rel] formats a relation with the given column
+    names (multiplicities are expanded into a trailing [xN] marker column when
+    any tuple has multiplicity > 1). *)
+val render_relation : columns:string list -> Relation.t -> string

@@ -1,0 +1,16 @@
+(** Tuples are immutable-by-convention arrays of values. *)
+
+type t = Value.t array
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+(** [project tup idxs] extracts the listed positions, in order. *)
+val project : t -> int array -> t
+
+(** [concat a b] appends tuples (used when joining). *)
+val concat : t -> t -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,51 @@
+(** Atomic attribute values.
+
+    The paper assumes base tables contain no null values (Section 2.1), so
+    there is no [Null] constructor: absence is a schema-level error, not a
+    value. *)
+
+type t =
+  | Int of int
+  | Float of float
+  | String of string
+  | Bool of bool
+
+val equal : t -> t -> bool
+
+(** Total order. Values of distinct types are ordered by type tag; within a
+    type the natural order is used. [Int] and [Float] do not compare
+    numerically equal: schemas are typed, so cross-type comparison only occurs
+    between values of different columns, where any consistent order works. *)
+val compare : t -> t -> int
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** {2 Arithmetic}
+
+    Used by aggregate evaluation. [Int] and [Float] operands may be mixed; the
+    result is [Float] as soon as either operand is. Raises
+    [Invalid_argument] on non-numeric operands. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+(** [zero_like v] is the additive identity of [v]'s numeric type. *)
+val zero_like : t -> t
+
+val is_numeric : t -> bool
+
+(** [scale v n] is [v] added to itself [n] times ([mul v (Int n)], but total
+    on numeric values and kept separate for readability at call sites that
+    weight a value by a duplicate count). *)
+val scale : t -> int -> t
+
+(** [div_as_float a b] is the float quotient, used for AVG. *)
+val div_as_float : t -> t -> t
+
+(** Name of the value's type ("int", "float", "string", "bool"), for
+    diagnostics. *)
+val type_name : t -> string

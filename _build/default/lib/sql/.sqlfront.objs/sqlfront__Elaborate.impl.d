@@ -1,0 +1,1 @@
+lib/sql/elaborate.ml: Algebra Array Ast Format List Option Parser Printf Relational String

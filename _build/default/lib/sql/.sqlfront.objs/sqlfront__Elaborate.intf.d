@@ -1,0 +1,1 @@
+lib/sql/elaborate.mli: Algebra Ast Relational

@@ -1,0 +1,34 @@
+(** Name resolution and execution of parsed statements against a store.
+
+    Unqualified columns resolve when exactly one FROM table has the column.
+    WHERE conditions split into local conditions and key joins: an equality
+    between columns of two tables is a join and must target the key of one
+    side (GPSJ requirement); everything else must be local to one table. *)
+
+exception Error of string
+
+type outcome =
+  | Defined_table of string
+  | Defined_view of Algebra.View.t
+  | Applied of Relational.Delta.t list
+      (** DML: the validated source changes, already applied to the store *)
+  | Queried of string list * Relational.Relation.t
+      (** ad-hoc SELECT: output columns and rows *)
+
+val literal_value : Ast.literal -> Relational.Value.t
+
+(** Resolve a SELECT into a validated GPSJ view. *)
+val view_of_select :
+  Relational.Database.t -> name:string -> Ast.select -> Algebra.View.t
+
+(** Execute one statement. *)
+val run : Relational.Database.t -> Ast.statement -> outcome
+
+(** Parse and execute a whole script. *)
+val run_script : Relational.Database.t -> string -> outcome list
+
+(** Views defined by a script's outcomes. *)
+val views : outcome list -> Algebra.View.t list
+
+(** Source changes applied by a script's outcomes, in order. *)
+val changes : outcome list -> Relational.Delta.t list

@@ -1,0 +1,74 @@
+exception Error of { pos : int; message : string }
+
+let error pos fmt =
+  Format.kasprintf (fun message -> raise (Error { pos; message })) fmt
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let rec skip_line i = if i < n && input.[i] <> '\n' then skip_line (i + 1) else i in
+  let rec go i =
+    if i >= n then ()
+    else
+      let c = input.[i] in
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then go (i + 1)
+      else if c = '-' && i + 1 < n && input.[i + 1] = '-' then go (skip_line i)
+      else if is_digit c || (c = '-' && i + 1 < n && is_digit input.[i + 1])
+      then begin
+        let j = ref (if c = '-' then i + 1 else i) in
+        while !j < n && is_digit input.[!j] do incr j done;
+        if !j < n && input.[!j] = '.' && !j + 1 < n && is_digit input.[!j + 1]
+        then begin
+          incr j;
+          while !j < n && is_digit input.[!j] do incr j done;
+          emit (Token.Float_lit (float_of_string (String.sub input i (!j - i))))
+        end
+        else emit (Token.Int_lit (int_of_string (String.sub input i (!j - i))));
+        go !j
+      end
+      else if is_ident_start c then begin
+        let j = ref i in
+        while !j < n && is_ident_char input.[!j] do incr j done;
+        emit (Token.Ident (String.sub input i (!j - i)));
+        go !j
+      end
+      else if c = '\'' then begin
+        let buf = Buffer.create 16 in
+        let rec str j =
+          if j >= n then error i "unterminated string literal"
+          else if input.[j] = '\'' then
+            if j + 1 < n && input.[j + 1] = '\'' then begin
+              Buffer.add_char buf '\'';
+              str (j + 2)
+            end
+            else j + 1
+          else begin
+            Buffer.add_char buf input.[j];
+            str (j + 1)
+          end
+        in
+        let j = str (i + 1) in
+        emit (Token.String_lit (Buffer.contents buf));
+        go j
+      end
+      else
+        let two = if i + 1 < n then String.sub input i 2 else "" in
+        match two with
+        | "<>" | "<=" | ">=" | "!=" ->
+          emit (Token.Punct (if two = "!=" then "<>" else two));
+          go (i + 2)
+        | _ -> (
+          match c with
+          | '(' | ')' | ',' | ';' | '.' | '*' | '=' | '<' | '>' ->
+            emit (Token.Punct (String.make 1 c));
+            go (i + 1)
+          | _ -> error i "unexpected character %c" c)
+  in
+  go 0;
+  emit Token.Eof;
+  List.rev !tokens

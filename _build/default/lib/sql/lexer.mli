@@ -1,0 +1,7 @@
+(** Hand-written lexer for the SQL subset. Comments are [-- to end of line];
+    string literals use single quotes with [''] as the escape. *)
+
+exception Error of { pos : int; message : string }
+
+(** Tokenize a full input. The trailing {!Token.Eof} is included. *)
+val tokenize : string -> Token.t list

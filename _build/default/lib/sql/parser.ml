@@ -1,0 +1,294 @@
+exception Error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+type state = { mutable tokens : Token.t list }
+
+let peek st = match st.tokens with [] -> Token.Eof | t :: _ -> t
+
+let advance st =
+  match st.tokens with [] -> () | _ :: rest -> st.tokens <- rest
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let expect_punct st p =
+  match next st with
+  | Token.Punct q when String.equal p q -> ()
+  | t -> fail "expected '%s', found %s" p (Token.to_string t)
+
+let expect_keyword st kw =
+  let t = next st in
+  if not (Token.is_keyword t kw) then
+    fail "expected %s, found %s" kw (Token.to_string t)
+
+let accept_keyword st kw =
+  if Token.is_keyword (peek st) kw then begin
+    advance st;
+    true
+  end
+  else false
+
+let accept_punct st p =
+  match peek st with
+  | Token.Punct q when String.equal p q ->
+    advance st;
+    true
+  | _ -> false
+
+let reserved =
+  [ "SELECT"; "FROM"; "WHERE"; "GROUP"; "BY"; "HAVING"; "AND"; "AS"; "CREATE";
+    "TABLE";
+    "VIEW"; "INSERT"; "INTO"; "VALUES"; "DELETE"; "UPDATE"; "SET"; "PRIMARY";
+    "FOREIGN"; "KEY"; "REFERENCES"; "DISTINCT"; "UPDATABLE" ]
+
+let is_reserved s = List.mem (String.uppercase_ascii s) reserved
+
+let ident st =
+  match next st with
+  | Token.Ident s when not (is_reserved s) -> s
+  | t -> fail "expected identifier, found %s" (Token.to_string t)
+
+let literal st =
+  match next st with
+  | Token.Int_lit n -> Ast.L_int n
+  | Token.Float_lit f -> Ast.L_float f
+  | Token.String_lit s -> Ast.L_string s
+  | Token.Ident s when Token.is_keyword (Token.Ident s) "TRUE" -> Ast.L_bool true
+  | Token.Ident s when Token.is_keyword (Token.Ident s) "FALSE" -> Ast.L_bool false
+  | t -> fail "expected literal, found %s" (Token.to_string t)
+
+let column_ref st =
+  let first = ident st in
+  if accept_punct st "." then
+    { Ast.table = Some first; column = ident st }
+  else { Ast.table = None; column = first }
+
+let agg_func_of s =
+  match String.uppercase_ascii s with
+  | "COUNT" -> Some Ast.F_count
+  | "SUM" -> Some Ast.F_sum
+  | "AVG" -> Some Ast.F_avg
+  | "MIN" -> Some Ast.F_min
+  | "MAX" -> Some Ast.F_max
+  | _ -> None
+
+let select_expr st =
+  match peek st with
+  | Token.Ident s when agg_func_of s <> None
+                       && (match st.tokens with
+                          | _ :: Token.Punct "(" :: _ -> true
+                          | _ -> false) ->
+    advance st;
+    let func = Option.get (agg_func_of s) in
+    expect_punct st "(";
+    let distinct = accept_keyword st "DISTINCT" in
+    let arg =
+      if accept_punct st "*" then begin
+        if func <> Ast.F_count then fail "%s(*) is only valid for COUNT" s;
+        if distinct then fail "COUNT(DISTINCT *) is not valid";
+        None
+      end
+      else Some (column_ref st)
+    in
+    expect_punct st ")";
+    Ast.E_agg { func; distinct; arg }
+  | _ -> Ast.E_column (column_ref st)
+
+let select_item st =
+  let expr = select_expr st in
+  let alias = if accept_keyword st "AS" then Some (ident st) else None in
+  { Ast.expr; alias }
+
+let rec comma_separated st parse =
+  let first = parse st in
+  if accept_punct st "," then first :: comma_separated st parse
+  else [ first ]
+
+let operand st =
+  match peek st with
+  | Token.Int_lit _ | Token.Float_lit _ | Token.String_lit _ ->
+    Ast.O_literal (literal st)
+  | Token.Ident s
+    when Token.is_keyword (Token.Ident s) "TRUE"
+         || Token.is_keyword (Token.Ident s) "FALSE" ->
+    Ast.O_literal (literal st)
+  | _ -> Ast.O_column (column_ref st)
+
+let comparison_op st =
+  match next st with
+  | Token.Punct (("=" | "<>" | "<" | "<=" | ">" | ">=") as p) -> p
+  | t -> fail "expected comparison operator, found %s" (Token.to_string t)
+
+let condition st =
+  let left = operand st in
+  let op = comparison_op st in
+  let right = operand st in
+  { Ast.left; op; right }
+
+let rec and_separated st parse =
+  let first = parse st in
+  if accept_keyword st "AND" then first :: and_separated st parse
+  else [ first ]
+
+let where_clause st =
+  if accept_keyword st "WHERE" then and_separated st condition else []
+
+let select st =
+  expect_keyword st "SELECT";
+  let items = comma_separated st select_item in
+  expect_keyword st "FROM";
+  let from = comma_separated st ident in
+  let where = where_clause st in
+  let group_by =
+    if accept_keyword st "GROUP" then begin
+      expect_keyword st "BY";
+      comma_separated st column_ref
+    end
+    else []
+  in
+  let having =
+    if accept_keyword st "HAVING" then
+      and_separated st (fun st ->
+          let having_column = ident st in
+          let having_op = comparison_op st in
+          let having_value = literal st in
+          { Ast.having_column; having_op; having_value })
+    else []
+  in
+  { Ast.items; from; where; group_by; having }
+
+let column_def st =
+  let col_name = ident st in
+  let col_type =
+    match next st with
+    | Token.Ident s -> s
+    | t -> fail "expected a type, found %s" (Token.to_string t)
+  in
+  let primary_key = ref false
+  and references = ref None
+  and updatable = ref false in
+  let rec attrs () =
+    if accept_keyword st "PRIMARY" then begin
+      expect_keyword st "KEY";
+      primary_key := true;
+      attrs ()
+    end
+    else if accept_keyword st "REFERENCES" then begin
+      let target = ident st in
+      (* an optional (col) naming the target key is accepted and ignored:
+         references always target the key *)
+      if accept_punct st "(" then begin
+        ignore (ident st);
+        expect_punct st ")"
+      end;
+      references := Some target;
+      attrs ()
+    end
+    else if accept_keyword st "UPDATABLE" then begin
+      updatable := true;
+      attrs ()
+    end
+  in
+  attrs ();
+  {
+    Ast.col_name;
+    col_type;
+    primary_key = !primary_key;
+    references = !references;
+    updatable = !updatable;
+  }
+
+let create_table st =
+  expect_keyword st "TABLE";
+  let name = ident st in
+  expect_punct st "(";
+  let columns = ref [] and constraints = ref [] in
+  let rec elements () =
+    (if accept_keyword st "PRIMARY" then begin
+       expect_keyword st "KEY";
+       expect_punct st "(";
+       let c = ident st in
+       expect_punct st ")";
+       constraints := Ast.Primary_key c :: !constraints
+     end
+     else if accept_keyword st "FOREIGN" then begin
+       expect_keyword st "KEY";
+       expect_punct st "(";
+       let column = ident st in
+       expect_punct st ")";
+       expect_keyword st "REFERENCES";
+       let target = ident st in
+       if accept_punct st "(" then begin
+         ignore (ident st);
+         expect_punct st ")"
+       end;
+       constraints := Ast.Foreign_key { column; target } :: !constraints
+     end
+     else columns := column_def st :: !columns);
+    if accept_punct st "," then elements ()
+  in
+  elements ();
+  expect_punct st ")";
+  Ast.Create_table
+    { name; columns = List.rev !columns; constraints = List.rev !constraints }
+
+let statement_of st =
+  if accept_keyword st "CREATE" then
+    if accept_keyword st "VIEW" then begin
+      let name = ident st in
+      expect_keyword st "AS";
+      Ast.Create_view { name; select = select st }
+    end
+    else create_table st
+  else if accept_keyword st "INSERT" then begin
+    expect_keyword st "INTO";
+    let table = ident st in
+    expect_keyword st "VALUES";
+    expect_punct st "(";
+    let values = comma_separated st literal in
+    expect_punct st ")";
+    Ast.Insert { table; values }
+  end
+  else if accept_keyword st "DELETE" then begin
+    expect_keyword st "FROM";
+    let table = ident st in
+    let where = where_clause st in
+    Ast.Delete { table; where }
+  end
+  else if accept_keyword st "UPDATE" then begin
+    let table = ident st in
+    expect_keyword st "SET";
+    let assignments =
+      comma_separated st (fun st ->
+          let c = ident st in
+          expect_punct st "=";
+          (c, literal st))
+    in
+    let where = where_clause st in
+    Ast.Update { table; assignments; where }
+  end
+  else if Token.is_keyword (peek st) "SELECT" then Ast.Select_stmt (select st)
+  else fail "expected a statement, found %s" (Token.to_string (peek st))
+
+let script input =
+  let st = { tokens = Lexer.tokenize input } in
+  let rec loop acc =
+    if peek st = Token.Eof then List.rev acc
+    else begin
+      let s = statement_of st in
+      if not (accept_punct st ";") then
+        (if peek st <> Token.Eof then
+           fail "expected ';', found %s" (Token.to_string (peek st)));
+      loop (s :: acc)
+    end
+  in
+  loop []
+
+let statement input =
+  match script input with
+  | [ s ] -> s
+  | [] -> fail "empty input"
+  | _ -> fail "expected exactly one statement"

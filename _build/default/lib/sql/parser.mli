@@ -1,0 +1,23 @@
+(** Recursive-descent parser for the SQL subset:
+
+    {v
+    CREATE TABLE t (c TYPE [PRIMARY KEY] [REFERENCES t2] [UPDATABLE], ...,
+                    [PRIMARY KEY (c)], [FOREIGN KEY (c) REFERENCES t2]);
+    CREATE VIEW v AS SELECT ... FROM ... [WHERE ... AND ...] [GROUP BY ...]
+                     [HAVING <alias> <op> <literal> [AND ...]];
+    SELECT ...;
+    INSERT INTO t VALUES (...);
+    DELETE FROM t WHERE ...;
+    UPDATE t SET c = lit, ... WHERE ...;
+    v}
+
+    [UPDATABLE] is this library's extension for declaring which columns the
+    sources may update in place (driving the exposed-updates analysis). *)
+
+exception Error of string
+
+(** Parse a script of ;-separated statements. *)
+val script : string -> Ast.statement list
+
+(** Parse exactly one statement. *)
+val statement : string -> Ast.statement

@@ -1,0 +1,33 @@
+type t =
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string
+  | Punct of string
+  | Eof
+
+let equal (a : t) b =
+  match a, b with
+  | Ident x, Ident y -> String.equal (String.lowercase_ascii x) (String.lowercase_ascii y)
+  | Int_lit x, Int_lit y -> x = y
+  | Float_lit x, Float_lit y -> Float.equal x y
+  | String_lit x, String_lit y -> String.equal x y
+  | Punct x, Punct y -> String.equal x y
+  | Eof, Eof -> true
+  | (Ident _ | Int_lit _ | Float_lit _ | String_lit _ | Punct _ | Eof), _ ->
+    false
+
+let to_string = function
+  | Ident s -> s
+  | Int_lit n -> string_of_int n
+  | Float_lit f -> string_of_float f
+  | String_lit s -> "'" ^ s ^ "'"
+  | Punct p -> p
+  | Eof -> "<eof>"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let is_keyword t kw =
+  match t with
+  | Ident s -> String.equal (String.uppercase_ascii s) (String.uppercase_ascii kw)
+  | Int_lit _ | Float_lit _ | String_lit _ | Punct _ | Eof -> false

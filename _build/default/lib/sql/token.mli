@@ -1,0 +1,16 @@
+(** Tokens of the SQL subset. *)
+
+type t =
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string
+  | Punct of string  (** one of ( ) , ; . * = <> <= >= < > *)
+  | Eof
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Case-insensitive keyword test on identifiers. *)
+val is_keyword : t -> string -> bool

@@ -1,0 +1,189 @@
+module Storage = struct
+  type model = { bytes_per_field : int }
+
+  let paper_model = { bytes_per_field = 4 }
+
+  let bytes m ~rows ~fields = rows * fields * m.bytes_per_field
+
+  let show_bytes n =
+    let f = float_of_int n in
+    let kib = 1024. in
+    if f >= kib ** 3. then Printf.sprintf "%.1f GB" (f /. (kib ** 3.))
+    else if f >= kib ** 2. then Printf.sprintf "%.1f MB" (f /. (kib ** 2.))
+    else if f >= kib then Printf.sprintf "%.1f KB" (f /. kib)
+    else Printf.sprintf "%d B" n
+
+  let profile_bytes m profile =
+    List.fold_left
+      (fun acc (_, rows, fields) -> acc + bytes m ~rows ~fields)
+      0 profile
+
+  let render_profile m profile =
+    let rows =
+      List.map
+        (fun (name, rows, fields) ->
+          [
+            name; string_of_int rows; string_of_int fields;
+            show_bytes (bytes m ~rows ~fields);
+          ])
+        profile
+      @ [ [ "TOTAL"; ""; ""; show_bytes (profile_bytes m profile) ] ]
+    in
+    Relational.Table_printer.render
+      ~header:[ "object"; "rows"; "fields"; "size" ]
+      rows
+end
+
+module Database = Relational.Database
+module Relation = Relational.Relation
+module Delta = Relational.Delta
+module View = Algebra.View
+module Engines = Maintenance.Engines
+
+type strategy =
+  | Minimal
+  | Psj
+  | Replicate
+  | Aged of (Relational.Tuple.t -> bool)
+
+type registered = {
+  view : View.t;
+  strategy : strategy;
+  engine : Engines.t;
+}
+
+type t = {
+  source : Database.t;
+  mutable views : registered list;  (** newest first *)
+}
+
+let create source = { source; views = [] }
+
+let add_view ?(strategy = Minimal) t view =
+  if
+    List.exists
+      (fun r -> String.equal r.view.View.name view.View.name)
+      t.views
+  then failwith ("Warehouse.add_view: duplicate view " ^ view.View.name);
+  let engine =
+    match strategy with
+    | Minimal -> Engines.minimal t.source view
+    | Psj -> Engines.psj t.source view
+    | Replicate -> Engines.recompute t.source view
+    | Aged is_old -> Engines.partitioned t.source view ~is_old
+  in
+  t.views <- { view; strategy; engine } :: t.views
+
+let add_view_sql ?strategy t sql =
+  match Sqlfront.Parser.statement sql with
+  | Sqlfront.Ast.Create_view { name; select } ->
+    add_view ?strategy t (Sqlfront.Elaborate.view_of_select t.source ~name select)
+  | _ -> failwith "Warehouse.add_view_sql: expected CREATE VIEW"
+
+let ingest t deltas =
+  List.iter (fun r -> Engines.apply_batch r.engine deltas) t.views
+
+let view_names t = List.rev_map (fun r -> r.view.View.name) t.views
+
+let find t name =
+  match
+    List.find_opt (fun r -> String.equal r.view.View.name name) t.views
+  with
+  | Some r -> r
+  | None -> raise Not_found
+
+let query t name =
+  let r = find t name in
+  (Algebra.Eval.output_columns r.view, Engines.view_contents r.engine)
+
+let derivation_of t name = Engines.derivation (find t name).engine
+
+let age_out t name facts =
+  let r = find t name in
+  match Engines.as_partitioned r.engine with
+  | Some p -> Maintenance.Partitioned.age_out p facts
+  | None -> failwith ("Warehouse.age_out: view " ^ name ^ " is not Aged")
+
+let detail_profile t =
+  let qualify view_name (name, rows, fields) =
+    ((if List.length t.views > 1 then view_name ^ "/" ^ name else name),
+      rows, fields)
+  in
+  List.concat_map
+    (fun r ->
+      List.map (qualify r.view.View.name) (Engines.detail_profile r.engine))
+    (List.rev t.views)
+
+let strategy_name = function
+  | Minimal -> "minimal (Algorithm 3.2)"
+  | Psj -> "PSJ (Quass et al.)"
+  | Replicate -> "full replication"
+  | Aged _ -> "aged (current + append-only old partition)"
+
+(* --- persistence ------------------------------------------------------- *)
+
+let magic = "minview-warehouse-state/1\n"
+
+let save t path =
+  List.iter
+    (fun r ->
+      match r.strategy with
+      | Aged _ ->
+        failwith
+          ("Warehouse.save: view " ^ r.view.View.name
+         ^ " uses an Aged partition predicate and cannot be persisted")
+      | Minimal | Psj | Replicate -> ())
+    t.views;
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc magic;
+      Marshal.to_channel oc t [])
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let header = really_input_string ic (String.length magic) in
+      if not (String.equal header magic) then
+        failwith ("Warehouse.load: " ^ path ^ " is not a warehouse state file");
+      match (Marshal.from_channel ic : t) with
+      | t -> t
+      | exception (Failure _ as e) -> raise e
+      | exception _ ->
+        failwith ("Warehouse.load: " ^ path ^ " is corrupt or incompatible"))
+
+let report t =
+  let buf = Buffer.create 1024 in
+  let named =
+    List.filter_map
+      (fun r ->
+        Option.map
+          (fun d -> (r.view.View.name, d))
+          (Engines.derivation r.engine))
+      (List.rev t.views)
+  in
+  if List.length named > 1 then begin
+    Buffer.add_string buf "#### sharing across summary tables
+";
+    Buffer.add_string buf (Mindetail.Sharing.report named);
+    Buffer.add_char buf '
+'
+  end;
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "#### view %s [%s]\n" r.view.View.name
+           (strategy_name r.strategy));
+      (match Engines.derivation r.engine with
+      | Some d -> Buffer.add_string buf (Mindetail.Explain.report d)
+      | None -> Buffer.add_string buf "(full replica of referenced tables)\n");
+      Buffer.add_string buf "detail storage:\n";
+      Buffer.add_string buf
+        (Storage.render_profile Storage.paper_model
+           (Engines.detail_profile r.engine));
+      Buffer.add_char buf '\n')
+    (List.rev t.views);
+  Buffer.contents buf

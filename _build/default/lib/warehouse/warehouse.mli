@@ -1,0 +1,101 @@
+(** The data warehouse of Figure 1 — see the facade functions below — and
+    the storage accounting model. *)
+
+(** The paper's storage accounting (Section 1.1): size = rows x fields x
+    bytes-per-field, reported in binary units. *)
+module Storage : sig
+  (** The paper's storage accounting (Section 1.1): size = rows × fields ×
+      bytes-per-field, reported in binary units (the paper's "245 GBytes" is
+      13.14e9 tuples × 5 fields × 4 bytes ≈ 244.7 GiB). *)
+
+  type model = { bytes_per_field : int }
+
+  (** 4 bytes per field, as in the paper's case study. *)
+  val paper_model : model
+
+  val bytes : model -> rows:int -> fields:int -> int
+
+  (** Human-readable binary-unit rendering ("244.7 GB", "167.1 MB" — the paper
+      writes GBytes/MBytes for GiB/MiB). *)
+  val show_bytes : int -> string
+
+  (** Total bytes of a (name, rows, fields) profile. *)
+  val profile_bytes : model -> (string * int * int) list -> int
+
+  (** Render a profile as an ASCII table with per-object and total sizes. *)
+  val render_profile : model -> (string * int * int) list -> string
+end
+
+(** The data warehouse of Figure 1: summarized data (materialized GPSJ views)
+    over current detail data (the minimal auxiliary views), fed by the source
+    delta stream.
+
+    The warehouse reads the operational store exactly once per registered
+    view — at registration, mirroring the initial extract — and afterwards
+    maintains everything from {!ingest}ed deltas alone. *)
+
+type strategy =
+  | Minimal  (** Algorithm 3.2 auxiliary views (the paper) *)
+  | Psj  (** Quass et al. tuple-level auxiliary views *)
+  | Replicate  (** full base replica + recomputation *)
+  | Aged of (Relational.Tuple.t -> bool)
+      (** current/old split of the fact table: the predicate selects the
+          append-only old partition (Figure 1 + Section 4); the view must be
+          distributively mergeable (no AVG/DISTINCT) *)
+
+type t
+
+(** [create source] prepares a warehouse attached to an operational store. *)
+val create : Relational.Database.t -> t
+
+(** Register a summary table. Performs the initial load.
+    @raise Algebra.View.Invalid on malformed views, [Failure] on duplicate
+    names. *)
+val add_view : ?strategy:strategy -> t -> Algebra.View.t -> unit
+
+(** Register a view given as SQL text ([CREATE VIEW ... AS SELECT ...;]). *)
+val add_view_sql : ?strategy:strategy -> t -> string -> unit
+
+(** Feed source changes to every registered view. The changes are assumed
+    already applied at (and validated by) the source. *)
+val ingest : t -> Relational.Delta.t list -> unit
+
+val view_names : t -> string list
+
+(** Current contents of a view: output column names and rows.
+    @raise Not_found for unknown names. *)
+val query : t -> string -> string list * Relational.Relation.t
+
+(** The derivation behind a view (None for [Replicate]). *)
+val derivation_of : t -> string -> Mindetail.Derive.t option
+
+(** Detail-data storage profile across all views: (object, rows, fields). *)
+val detail_profile : t -> (string * int * int) list
+
+(** [age_out t view facts] moves the given fact tuples of an [Aged] view's
+    current partition into its append-only old partition (see
+    {!Maintenance.Partitioned.age_out} for the boundary-consistency
+    contract).
+    @raise Not_found for unknown views, [Failure] for non-[Aged] ones. *)
+val age_out : t -> string -> Relational.Tuple.t list -> unit
+
+(** Full textual report: per-view derivation and storage. *)
+val report : t -> string
+
+(** {2 Persistence}
+
+    A warehouse survives restarts: [save] writes the complete maintained
+    state — every view's groups and auxiliary views, plus the replicas of
+    [Replicate] views — and [load] restores it without touching any source.
+    Ingestion resumes from wherever the delta stream left off.
+
+    The format is OCaml's [Marshal] behind a versioned header: portable
+    across runs of the same binary, not across incompatible builds. [Aged]
+    views carry a partition predicate (a closure) and cannot be persisted;
+    [save] raises [Failure] if one is registered. *)
+
+val save : t -> string -> unit
+
+(** [load path] restores a saved warehouse.
+    @raise Failure on a missing/foreign/incompatible file. *)
+val load : string -> t

@@ -1,0 +1,1 @@
+lib/workload/clickstream.ml: Algebra Array List Printf Prng Relational

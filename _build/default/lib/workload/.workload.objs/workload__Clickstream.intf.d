@@ -1,0 +1,1 @@
+lib/workload/clickstream.mli: Algebra Relational

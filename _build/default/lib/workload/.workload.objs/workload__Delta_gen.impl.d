@@ -1,0 +1,1 @@
+lib/workload/delta_gen.ml: Array List Option Prng Relational String

@@ -1,0 +1,1 @@
+lib/workload/delta_gen.mli: Prng Relational

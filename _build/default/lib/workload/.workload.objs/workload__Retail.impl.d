@@ -1,0 +1,1 @@
+lib/workload/retail.ml: Algebra List Printf Prng Relational

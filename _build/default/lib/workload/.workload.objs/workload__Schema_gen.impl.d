@@ -1,0 +1,1 @@
+lib/workload/schema_gen.ml: Algebra Array Fun List Printf Prng Relational Scanf String

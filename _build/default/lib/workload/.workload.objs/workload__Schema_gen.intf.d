@@ -1,0 +1,1 @@
+lib/workload/schema_gen.mli: Algebra Prng Relational

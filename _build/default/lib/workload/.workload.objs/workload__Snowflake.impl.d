@@ -1,0 +1,1 @@
+lib/workload/snowflake.ml: Algebra List Printf Prng Relational

@@ -1,0 +1,170 @@
+module Database = Relational.Database
+module Schema = Relational.Schema
+module Value = Relational.Value
+module Datatype = Relational.Datatype
+module View = Algebra.View
+module Attr = Algebra.Attr
+module Aggregate = Algebra.Aggregate
+module Select_item = Algebra.Select_item
+
+type params = {
+  visitors : int;
+  sessions : int;
+  pages : int;
+  events : int;
+  seed : int;
+}
+
+let small_params =
+  { visitors = 40; sessions = 120; pages = 25; events = 2_000; seed = 2024 }
+
+let col name ty = { Schema.col_name = name; col_type = ty }
+
+let empty () =
+  let db = Database.create () in
+  Database.add_table db
+    (Schema.make ~name:"visitor" ~key:"id"
+       [ col "id" Datatype.TInt; col "country" Datatype.TString;
+         col "device" Datatype.TString ])
+    ~updatable:[ "country" ];
+  Database.add_table db
+    (Schema.make ~name:"session" ~key:"id"
+       [ col "id" Datatype.TInt; col "visitorid" Datatype.TInt;
+         col "channel" Datatype.TString ])
+    ~updatable:[];
+  Database.add_table db
+    (Schema.make ~name:"page" ~key:"id"
+       [ col "id" Datatype.TInt; col "url" Datatype.TString;
+         col "section" Datatype.TString ])
+    ~updatable:[ "section" ];
+  Database.add_table db
+    (Schema.make ~name:"event" ~key:"id"
+       [ col "id" Datatype.TInt; col "sessionid" Datatype.TInt;
+         col "pageid" Datatype.TInt; col "dwell_ms" Datatype.TInt;
+         col "clicks" Datatype.TInt ])
+    ~updatable:[ "dwell_ms"; "clicks" ];
+  List.iter
+    (fun (src_table, src_col, dst_table) ->
+      Database.add_reference db
+        { Relational.Integrity.src_table; src_col; dst_table })
+    [
+      ("session", "visitorid", "visitor");
+      ("event", "sessionid", "session");
+      ("event", "pageid", "page");
+    ];
+  db
+
+let channels = [| "search"; "social"; "direct"; "mail" |]
+let sections = [| "news"; "sport"; "culture"; "tech"; "shop" |]
+let devices = [| "phone"; "laptop"; "tablet" |]
+
+let load p =
+  let db = empty () in
+  let rng = Prng.create p.seed in
+  for v = 1 to p.visitors do
+    Database.insert db "visitor"
+      [| Value.Int v; Value.String (Printf.sprintf "c%d" (v mod 9));
+         Value.String devices.(Prng.int rng (Array.length devices)) |]
+  done;
+  for s = 1 to p.sessions do
+    Database.insert db "session"
+      [| Value.Int s; Value.Int (Prng.int rng p.visitors + 1);
+         Value.String channels.(Prng.int rng (Array.length channels)) |]
+  done;
+  for pg = 1 to p.pages do
+    Database.insert db "page"
+      [| Value.Int pg; Value.String (Printf.sprintf "/p/%d" pg);
+         Value.String sections.(Prng.int rng (Array.length sections)) |]
+  done;
+  for e = 1 to p.events do
+    Database.insert db "event"
+      [| Value.Int e; Value.Int (Prng.int rng p.sessions + 1);
+         Value.Int (Prng.int rng p.pages + 1);
+         Value.Int (Prng.int rng 30_000 + 100);
+         Value.Int (Prng.int rng 10) |]
+  done;
+  db
+
+let a = Attr.make
+let join src dst = { View.src; dst }
+
+let traffic_by_section =
+  {
+    View.name = "traffic_by_section";
+    having = [];
+    select =
+      [
+        Select_item.group (a "page" "section");
+        Select_item.Agg (Aggregate.make ~alias:"Views" Aggregate.Count_star None);
+        Select_item.Agg
+          (Aggregate.make ~alias:"TotalDwell" Aggregate.Sum
+             (Some (a "event" "dwell_ms")));
+        Select_item.Agg
+          (Aggregate.make ~alias:"AvgDwell" Aggregate.Avg
+             (Some (a "event" "dwell_ms")));
+      ];
+    tables = [ "event"; "page" ];
+    locals = [];
+    joins = [ join (a "event" "pageid") (a "page" "id") ];
+  }
+
+let engagement_by_channel =
+  {
+    View.name = "engagement_by_channel";
+    having = [];
+    select =
+      [
+        Select_item.group (a "session" "channel");
+        Select_item.Agg
+          (Aggregate.make ~alias:"Clicks" Aggregate.Sum
+             (Some (a "event" "clicks")));
+        Select_item.Agg (Aggregate.make ~alias:"Events" Aggregate.Count_star None);
+        Select_item.Agg
+          (Aggregate.make ~distinct:true ~alias:"Sections" Aggregate.Count
+             (Some (a "page" "section")));
+      ];
+    tables = [ "event"; "session"; "page" ];
+    locals = [];
+    joins =
+      [
+        join (a "event" "sessionid") (a "session" "id");
+        join (a "event" "pageid") (a "page" "id");
+      ];
+  }
+
+let events_per_session =
+  {
+    View.name = "events_per_session";
+    having = [];
+    select =
+      [
+        Select_item.group (a "session" "id");
+        Select_item.Agg (Aggregate.make ~alias:"Events" Aggregate.Count_star None);
+        Select_item.Agg
+          (Aggregate.make ~alias:"Clicks" Aggregate.Sum
+             (Some (a "event" "clicks")));
+      ];
+    tables = [ "event"; "session" ];
+    locals = [];
+    joins = [ join (a "event" "sessionid") (a "session" "id") ];
+  }
+
+let dwell_extremes =
+  {
+    View.name = "dwell_extremes";
+    having = [];
+    select =
+      [
+        Select_item.group (a "event" "pageid");
+        Select_item.Agg
+          (Aggregate.make ~alias:"MinDwell" Aggregate.Min
+             (Some (a "event" "dwell_ms")));
+        Select_item.Agg
+          (Aggregate.make ~alias:"MaxDwell" Aggregate.Max
+             (Some (a "event" "dwell_ms")));
+        Select_item.Agg (Aggregate.make ~alias:"Views" Aggregate.Count_star None);
+      ];
+    tables = [ "event" ];
+    locals = [];
+    joins = [];
+  }

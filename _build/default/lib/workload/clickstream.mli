@@ -1,0 +1,40 @@
+(** A second workload domain: web clickstream analytics.
+
+    {v
+    event(id, sessionid, pageid, dwell_ms, clicks)
+    session(id, visitorid, channel)
+    visitor(id, country, device)
+    page(id, url, section)
+    v}
+
+    The event fact references session and page; session references visitor —
+    a mixed star/snowflake. Events are naturally append-only, making this the
+    motivating domain for the Section 4 old-detail relaxation. *)
+
+type params = {
+  visitors : int;
+  sessions : int;
+  pages : int;
+  events : int;
+  seed : int;
+}
+
+val small_params : params
+
+val empty : unit -> Relational.Database.t
+val load : params -> Relational.Database.t
+
+(** Traffic per site section: COUNT, total and average dwell time. *)
+val traffic_by_section : Algebra.View.t
+
+(** Engagement per acquisition channel, with a DISTINCT section count
+    (three-table view through the session snowflake). *)
+val engagement_by_channel : Algebra.View.t
+
+(** Per-session event counts — grouped by the session key, so the huge event
+    fact table needs no detail copy at all. *)
+val events_per_session : Algebra.View.t
+
+(** Longest dwell per page — MIN/MAX view, fully self-maintainable only in
+    append-only mode. *)
+val dwell_extremes : Algebra.View.t

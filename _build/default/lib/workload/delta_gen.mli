@@ -1,0 +1,30 @@
+(** Schema-driven random source-change streams.
+
+    Generates insertions, deletions and updates that respect key uniqueness,
+    referential integrity and the declared updatable columns — i.e. exactly
+    the changes a legal operational source can emit — and applies them to the
+    given store as it goes, so the store always reflects the stream. *)
+
+type op_mix = {
+  insert : int;
+  delete : int;
+  update : int;  (** relative weights *)
+}
+
+val default_mix : op_mix
+
+(** [stream rng db ~n] generates and applies [n] valid changes (fewer only if
+    the store runs empty of legal targets). Value synthesis keeps domains
+    small (prices 1–100, short string pools) so that groups collide and
+    deletions hit interesting aggregates. *)
+val stream :
+  ?mix:op_mix -> Prng.t -> Relational.Database.t -> n:int -> Relational.Delta.t list
+
+(** [stream_for rng db ~tables ~n] restricts changes to the listed tables. *)
+val stream_for :
+  ?mix:op_mix ->
+  Prng.t ->
+  Relational.Database.t ->
+  tables:string list ->
+  n:int ->
+  Relational.Delta.t list

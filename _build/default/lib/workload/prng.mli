@@ -1,0 +1,22 @@
+(** Deterministic splitmix64 generator: workloads and delta streams are
+    reproducible across runs and platforms (no dependency on [Random]'s
+    global state). *)
+
+type t
+
+val create : int -> t
+
+(** Next raw 64-bit value. *)
+val next : t -> int64
+
+(** [int t n] is uniform in [0, n). @raise Invalid_argument if [n <= 0]. *)
+val int : t -> int -> int
+
+(** [pick t xs] picks a uniform element. @raise Invalid_argument on []. *)
+val pick : t -> 'a list -> 'a
+
+(** [chance t p] is true with probability [p] (0..1, in 1/1024 steps). *)
+val chance : t -> float -> bool
+
+(** Independent stream derived from this one. *)
+val split : t -> t

@@ -1,0 +1,227 @@
+module Database = Relational.Database
+module Schema = Relational.Schema
+module Value = Relational.Value
+module Datatype = Relational.Datatype
+module View = Algebra.View
+module Attr = Algebra.Attr
+module Aggregate = Algebra.Aggregate
+module Select_item = Algebra.Select_item
+module Predicate = Algebra.Predicate
+module Cmp = Algebra.Cmp
+
+type params = {
+  days : int;
+  stores : int;
+  products : int;
+  sold_per_store_day : int;
+  tx_per_product : int;
+  brands : int;
+  seed : int;
+}
+
+let paper_params =
+  {
+    days = 730;
+    stores = 300;
+    products = 30_000;
+    sold_per_store_day = 3_000;
+    tx_per_product = 20;
+    brands = 500;
+    seed = 1997;
+  }
+
+let small_params =
+  {
+    days = 20;
+    stores = 3;
+    products = 50;
+    sold_per_store_day = 10;
+    tx_per_product = 3;
+    brands = 8;
+    seed = 42;
+  }
+
+let fact_rows p = p.days * p.stores * p.sold_per_store_day * p.tx_per_product
+
+let col name ty = { Schema.col_name = name; col_type = ty }
+
+let time_schema =
+  Schema.make ~name:"time" ~key:"id"
+    [ col "id" Datatype.TInt; col "day" Datatype.TInt;
+      col "month" Datatype.TInt; col "year" Datatype.TInt ]
+
+let product_schema =
+  Schema.make ~name:"product" ~key:"id"
+    [ col "id" Datatype.TInt; col "brand" Datatype.TString;
+      col "category" Datatype.TString ]
+
+let store_schema =
+  Schema.make ~name:"store" ~key:"id"
+    [ col "id" Datatype.TInt; col "street_address" Datatype.TString;
+      col "city" Datatype.TString; col "country" Datatype.TString;
+      col "manager" Datatype.TString ]
+
+let sale_schema =
+  Schema.make ~name:"sale" ~key:"id"
+    [ col "id" Datatype.TInt; col "timeid" Datatype.TInt;
+      col "productid" Datatype.TInt; col "storeid" Datatype.TInt;
+      col "price" Datatype.TInt ]
+
+let empty ?(exposed_time = false) () =
+  let db = Database.create () in
+  Database.add_table db time_schema
+    ~updatable:(if exposed_time then [ "year"; "month" ] else [ "month" ]);
+  Database.add_table db product_schema ~updatable:[ "brand"; "category" ];
+  Database.add_table db store_schema ~updatable:[ "manager" ];
+  Database.add_table db sale_schema ~updatable:[ "price" ];
+  List.iter
+    (fun (src_col, dst_table) ->
+      Database.add_reference db
+        { Relational.Integrity.src_table = "sale"; src_col; dst_table })
+    [ ("timeid", "time"); ("productid", "product"); ("storeid", "store") ];
+  db
+
+let load ?exposed_time p =
+  let db = empty ?exposed_time () in
+  let rng = Prng.create p.seed in
+  let half = max 1 (p.days / 2) in
+  for d = 0 to p.days - 1 do
+    let year = if d < half then 1996 else 1997 in
+    let month = (d mod 360 / 30) + 1 in
+    Database.insert db "time"
+      [| Value.Int (d + 1); Value.Int ((d mod 30) + 1); Value.Int month;
+         Value.Int year |]
+  done;
+  for i = 0 to p.products - 1 do
+    Database.insert db "product"
+      [| Value.Int (i + 1);
+         Value.String (Printf.sprintf "brand%d" (i mod p.brands));
+         Value.String (Printf.sprintf "cat%d" (i mod 10)) |]
+  done;
+  for s = 0 to p.stores - 1 do
+    Database.insert db "store"
+      [| Value.Int (s + 1);
+         Value.String (Printf.sprintf "%d Main St" (100 + s));
+         Value.String (Printf.sprintf "city%d" (s mod 7));
+         Value.String "DK";
+         Value.String (Printf.sprintf "manager%d" (s mod 11)) |]
+  done;
+  let next_sale = ref 1 in
+  for d = 0 to p.days - 1 do
+    for s = 0 to p.stores - 1 do
+      for _ = 1 to p.sold_per_store_day do
+        let product = Prng.int rng p.products + 1 in
+        for _ = 1 to p.tx_per_product do
+          Database.insert db "sale"
+            [| Value.Int !next_sale; Value.Int (d + 1); Value.Int product;
+               Value.Int (s + 1); Value.Int (Prng.int rng 100 + 1) |];
+          incr next_sale
+        done
+      done
+    done
+  done;
+  db
+
+(* --- views ------------------------------------------------------------- *)
+
+let a = Attr.make
+
+let join src dst = { View.src; dst }
+
+let product_sales =
+  {
+    View.name = "product_sales";
+    having = [];
+    select =
+      [
+        Select_item.group (a "time" "month");
+        Select_item.Agg
+          (Aggregate.make ~alias:"TotalPrice" Aggregate.Sum
+             (Some (a "sale" "price")));
+        Select_item.Agg (Aggregate.make ~alias:"TotalCount" Aggregate.Count_star None);
+        Select_item.Agg
+          (Aggregate.make ~distinct:true ~alias:"DifferentBrands"
+             Aggregate.Count
+             (Some (a "product" "brand")));
+      ];
+    tables = [ "sale"; "time"; "product" ];
+    locals =
+      [
+        { Predicate.left = a "time" "year"; op = Cmp.Eq;
+          right = Predicate.Const (Value.Int 1997) };
+      ];
+    joins =
+      [
+        join (a "sale" "timeid") (a "time" "id");
+        join (a "sale" "productid") (a "product" "id");
+      ];
+  }
+
+let product_sales_max =
+  {
+    View.name = "product_sales_max";
+    having = [];
+    select =
+      [
+        Select_item.group (a "sale" "productid");
+        Select_item.Agg
+          (Aggregate.make ~alias:"MaxPrice" Aggregate.Max
+             (Some (a "sale" "price")));
+        Select_item.Agg
+          (Aggregate.make ~alias:"TotalPrice" Aggregate.Sum
+             (Some (a "sale" "price")));
+        Select_item.Agg (Aggregate.make ~alias:"TotalCount" Aggregate.Count_star None);
+      ];
+    tables = [ "sale" ];
+    locals = [];
+    joins = [];
+  }
+
+let sales_by_time =
+  {
+    View.name = "sales_by_time";
+    having = [];
+    select =
+      [
+        Select_item.group (a "time" "id");
+        Select_item.Agg
+          (Aggregate.make ~alias:"Revenue" Aggregate.Sum
+             (Some (a "sale" "price")));
+        Select_item.Agg (Aggregate.make ~alias:"Sales" Aggregate.Count_star None);
+      ];
+    tables = [ "sale"; "time" ];
+    locals = [];
+    joins = [ join (a "sale" "timeid") (a "time" "id") ];
+  }
+
+let monthly_revenue =
+  {
+    View.name = "monthly_revenue";
+    having = [];
+    select =
+      [
+        Select_item.group (a "time" "year");
+        Select_item.group (a "time" "month");
+        Select_item.Agg
+          (Aggregate.make ~alias:"Revenue" Aggregate.Sum
+             (Some (a "sale" "price")));
+        Select_item.Agg
+          (Aggregate.make ~alias:"AvgPrice" Aggregate.Avg
+             (Some (a "sale" "price")));
+        Select_item.Agg (Aggregate.make ~alias:"Sales" Aggregate.Count_star None);
+      ];
+    tables = [ "sale"; "time" ];
+    locals = [];
+    joins = [ join (a "sale" "timeid") (a "time" "id") ];
+  }
+
+let months =
+  {
+    View.name = "months";
+    having = [];
+    select =
+      [ Select_item.group (a "time" "year"); Select_item.group (a "time" "month") ];
+    tables = [ "time" ];
+    locals = [];
+    joins = [];
+  }

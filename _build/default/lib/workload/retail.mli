@@ -1,0 +1,59 @@
+(** The paper's running example: a retail data warehouse for a grocery chain
+    (Section 1.1), with the Kimball-style star schema
+
+    {v
+    sale(id, timeid, productid, storeid, price)
+    time(id, day, month, year)
+    product(id, brand, category)
+    store(id, street_address, city, country, manager)
+    v}
+
+    referential integrity from the fact foreign keys to each dimension key,
+    and the GPSJ views used throughout the paper and the experiments. *)
+
+type params = {
+  days : int;  (** paper: 730 (2 years) *)
+  stores : int;  (** paper: 300 *)
+  products : int;  (** paper: 30 000 *)
+  sold_per_store_day : int;  (** paper: 3 000 products sell per store per day *)
+  tx_per_product : int;  (** paper: 20 transactions per sold product *)
+  brands : int;
+  seed : int;
+}
+
+(** Paper-scale parameters (13.14e9 fact tuples — analytic use only). *)
+val paper_params : params
+
+(** A laptop-scale instance with the same shape. *)
+val small_params : params
+
+(** Number of fact-table rows [params] generates (days × stores ×
+    sold_per_store_day × tx_per_product). *)
+val fact_rows : params -> int
+
+(** Build and load the operational store. [sale.price] and [product.brand]
+    are declared updatable (non-exposed for the paper's views);
+    [time.year] exposure can be turned on with [~exposed_time:true] to
+    exercise the exposed-updates rules. *)
+val load : ?exposed_time:bool -> params -> Relational.Database.t
+
+(** Empty store with the retail schema only. *)
+val empty : ?exposed_time:bool -> unit -> Relational.Database.t
+
+(** {2 The paper's views} *)
+
+(** Section 1.1: monthly totals over 1997 with a DISTINCT brand count. *)
+val product_sales : Algebra.View.t
+
+(** Section 3.2: MAX + SUM + COUNT per product (exercises f(a ⊗ cnt₀)). *)
+val product_sales_max : Algebra.View.t
+
+(** Key-preserving view whose fact auxiliary view is eliminated
+    (Section 3.3 / experiment E9). *)
+val sales_by_time : Algebra.View.t
+
+(** A view without DISTINCT/MIN/MAX — fully CSMAS (fast path). *)
+val monthly_revenue : Algebra.View.t
+
+(** Single-table view over [time] (degenerates to no auxiliary data). *)
+val months : Algebra.View.t

@@ -1,0 +1,136 @@
+module Database = Relational.Database
+module Schema = Relational.Schema
+module Value = Relational.Value
+module Datatype = Relational.Datatype
+module View = Algebra.View
+module Attr = Algebra.Attr
+module Aggregate = Algebra.Aggregate
+module Select_item = Algebra.Select_item
+
+type params = {
+  days : int;
+  products : int;
+  brands : int;
+  categories : int;
+  sales : int;
+  seed : int;
+}
+
+let small_params =
+  { days = 10; products = 30; brands = 6; categories = 3; sales = 400; seed = 7 }
+
+let col name ty = { Schema.col_name = name; col_type = ty }
+
+let empty () =
+  let db = Database.create () in
+  Database.add_table db
+    (Schema.make ~name:"category" ~key:"id"
+       [ col "id" Datatype.TInt; col "name" Datatype.TString ])
+    ~updatable:[ "name" ];
+  Database.add_table db
+    (Schema.make ~name:"brand" ~key:"id"
+       [ col "id" Datatype.TInt; col "categoryid" Datatype.TInt;
+         col "name" Datatype.TString ])
+    ~updatable:[ "name" ];
+  Database.add_table db
+    (Schema.make ~name:"product" ~key:"id"
+       [ col "id" Datatype.TInt; col "brandid" Datatype.TInt;
+         col "name" Datatype.TString ])
+    ~updatable:[ "name" ];
+  Database.add_table db
+    (Schema.make ~name:"time" ~key:"id"
+       [ col "id" Datatype.TInt; col "month" Datatype.TInt ])
+    ~updatable:[];
+  Database.add_table db
+    (Schema.make ~name:"sale" ~key:"id"
+       [ col "id" Datatype.TInt; col "timeid" Datatype.TInt;
+         col "productid" Datatype.TInt; col "price" Datatype.TInt ])
+    ~updatable:[ "price" ];
+  List.iter
+    (fun (src_table, src_col, dst_table) ->
+      Database.add_reference db
+        { Relational.Integrity.src_table; src_col; dst_table })
+    [
+      ("brand", "categoryid", "category");
+      ("product", "brandid", "brand");
+      ("sale", "productid", "product");
+      ("sale", "timeid", "time");
+    ];
+  db
+
+let load p =
+  let db = empty () in
+  let rng = Prng.create p.seed in
+  for i = 1 to p.categories do
+    Database.insert db "category"
+      [| Value.Int i; Value.String (Printf.sprintf "category%d" i) |]
+  done;
+  for i = 1 to p.brands do
+    Database.insert db "brand"
+      [| Value.Int i; Value.Int ((i mod p.categories) + 1);
+         Value.String (Printf.sprintf "brand%d" i) |]
+  done;
+  for i = 1 to p.products do
+    Database.insert db "product"
+      [| Value.Int i; Value.Int ((i mod p.brands) + 1);
+         Value.String (Printf.sprintf "product%d" i) |]
+  done;
+  for i = 1 to p.days do
+    Database.insert db "time" [| Value.Int i; Value.Int ((i mod 12) + 1) |]
+  done;
+  for i = 1 to p.sales do
+    Database.insert db "sale"
+      [| Value.Int i; Value.Int (Prng.int rng p.days + 1);
+         Value.Int (Prng.int rng p.products + 1);
+         Value.Int (Prng.int rng 50 + 1) |]
+  done;
+  db
+
+let a = Attr.make
+let join src dst = { View.src; dst }
+
+let category_revenue =
+  {
+    View.name = "category_revenue";
+    having = [];
+    select =
+      [
+        Select_item.group ~alias:"category" (a "category" "name");
+        Select_item.Agg
+          (Aggregate.make ~alias:"Revenue" Aggregate.Sum
+             (Some (a "sale" "price")));
+        Select_item.Agg (Aggregate.make ~alias:"Sales" Aggregate.Count_star None);
+      ];
+    tables = [ "sale"; "product"; "brand"; "category" ];
+    locals = [];
+    joins =
+      [
+        join (a "sale" "productid") (a "product" "id");
+        join (a "product" "brandid") (a "brand" "id");
+        join (a "brand" "categoryid") (a "category" "id");
+      ];
+  }
+
+let product_brand_profile =
+  {
+    View.name = "product_brand_profile";
+    having = [];
+    select =
+      [
+        Select_item.group (a "product" "id");
+        Select_item.Agg
+          (Aggregate.make ~distinct:true ~alias:"Brands" Aggregate.Count
+             (Some (a "brand" "name")));
+        Select_item.Agg
+          (Aggregate.make ~alias:"Revenue" Aggregate.Sum
+             (Some (a "sale" "price")));
+        Select_item.Agg (Aggregate.make ~alias:"Sales" Aggregate.Count_star None);
+      ];
+    tables = [ "sale"; "product"; "brand" ];
+    locals = [];
+    joins =
+      [
+        join (a "sale" "productid") (a "product" "id");
+        join (a "product" "brandid") (a "brand" "id");
+      ];
+  }

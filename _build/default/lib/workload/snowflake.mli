@@ -1,0 +1,30 @@
+(** A snowflake variant of the retail schema (the paper's tree join graphs
+    cover snowflakes, Section 3.3): the product dimension is normalized into
+    a chain
+
+    {v sale -> product -> brand -> category v}
+
+    exercising multi-level semijoin reductions, chained Need sets and the
+    elimination of the fact auxiliary view below a key-annotated ancestor. *)
+
+type params = {
+  days : int;
+  products : int;
+  brands : int;
+  categories : int;
+  sales : int;
+  seed : int;
+}
+
+val small_params : params
+
+val load : params -> Relational.Database.t
+val empty : unit -> Relational.Database.t
+
+(** Revenue per category name (three-level join). *)
+val category_revenue : Algebra.View.t
+
+(** Grouped by the product key with a DISTINCT over brand — the aggregate is
+    functionally determined by the group key, so the fact auxiliary view is
+    eliminated even though a DISTINCT is present. *)
+val product_brand_profile : Algebra.View.t

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Algebra Array List Maintenance Printf Relational String Workload

@@ -1,0 +1,1 @@
+test/test_algebra.ml: Aggregate Alcotest Algebra Attr Cmp Helpers List Predicate Relation Sqlfront View Workload

@@ -1,0 +1,1 @@
+test/test_classify.ml: Alcotest Algebra Helpers List Mindetail Printf

@@ -1,0 +1,1 @@
+test/test_derive.ml: Aggregate Alcotest Algebra Cmp Datatype Helpers List Mindetail Relation Relational Schema Select_item String View Workload

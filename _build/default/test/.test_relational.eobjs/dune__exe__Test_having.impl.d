@@ -1,0 +1,1 @@
+test/test_having.ml: Alcotest Algebra Array Cmp Database Delta Helpers List Maintenance Mindetail Printf Relation Sqlfront View Workload

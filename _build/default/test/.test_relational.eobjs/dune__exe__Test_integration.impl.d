@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Algebra Array Database Delta Filename Helpers List Maintenance Option Relation Sys View Warehouse Workload

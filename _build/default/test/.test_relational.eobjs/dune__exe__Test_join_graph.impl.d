@@ -1,0 +1,1 @@
+test/test_join_graph.ml: Alcotest Attr Format Helpers Mindetail String View Workload

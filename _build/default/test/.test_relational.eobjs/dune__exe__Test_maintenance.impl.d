@@ -1,0 +1,1 @@
+test/test_maintenance.ml: Alcotest Algebra Array Database Datatype Delta Helpers List Maintenance Mindetail Option Printf Relation Relational Schema View Workload

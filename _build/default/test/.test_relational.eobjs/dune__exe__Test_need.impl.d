@@ -1,0 +1,1 @@
+test/test_need.ml: Alcotest Helpers List Mindetail String View Workload

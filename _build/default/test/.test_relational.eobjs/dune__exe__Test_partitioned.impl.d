@@ -1,0 +1,1 @@
+test/test_partitioned.ml: Alcotest Algebra Array Database Delta Helpers List Maintenance Option Printf String Tuple Value View Workload

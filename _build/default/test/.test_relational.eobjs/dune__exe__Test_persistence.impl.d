@@ -1,0 +1,1 @@
+test/test_persistence.ml: Alcotest Algebra Filename Helpers List Sys View Warehouse Workload

@@ -1,0 +1,1 @@
+test/test_reconstruct_sql.ml: Alcotest Algebra Array Datatype Helpers List Mindetail Option Relation Relational Schema Sqlfront Value Workload

@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Database Datatype Delta Helpers List Relation Relational Schema String Tuple Value

@@ -1,0 +1,1 @@
+test/test_schemas_odd.ml: Alcotest Algebra Cmp Database Datatype Delta Helpers List Maintenance Mindetail Option Relation Relational Schema View

@@ -1,0 +1,1 @@
+test/test_sharing.ml: Alcotest Cmp Helpers List Mindetail Option View Workload

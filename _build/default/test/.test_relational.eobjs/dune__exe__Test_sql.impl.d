@@ -1,0 +1,1 @@
+test/test_sql.ml: Aggregate Alcotest Array Attr Cmp Delta Helpers List Predicate Relational Sqlfront View

@@ -1,0 +1,1 @@
+test/test_variants.ml: Aggregate Alcotest Algebra Delta Helpers List Maintenance Mindetail Option Printf Relation Relational Schema View Workload

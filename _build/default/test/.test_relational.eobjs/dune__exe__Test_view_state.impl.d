@@ -1,0 +1,1 @@
+test/test_view_state.ml: Alcotest Array Helpers List Maintenance Relation Tuple View

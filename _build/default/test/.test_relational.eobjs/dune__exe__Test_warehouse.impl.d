@@ -1,0 +1,1 @@
+test/test_warehouse.ml: Alcotest Algebra Array Database Helpers List Value View Warehouse Workload

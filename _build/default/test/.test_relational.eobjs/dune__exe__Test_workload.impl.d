@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Algebra Array Database Delta Fun Helpers List Maintenance Mindetail Printf Schema String Value View Workload

@@ -1,0 +1,45 @@
+  $ cat > schema.sql <<'SQL'
+  > CREATE TABLE region (id INT PRIMARY KEY, name TEXT, zone TEXT);
+  > CREATE TABLE shop (id INT PRIMARY KEY, regionid INT REFERENCES region,
+  >                    kind TEXT);
+  > CREATE TABLE txn (id INT PRIMARY KEY, shopid INT REFERENCES shop,
+  >                   amount INT UPDATABLE);
+  > INSERT INTO region VALUES (1, 'north', 'a');
+  > INSERT INTO region VALUES (2, 'south', 'b');
+  > INSERT INTO shop VALUES (1, 1, 'grocery');
+  > INSERT INTO shop VALUES (2, 2, 'kiosk');
+  > INSERT INTO txn VALUES (1, 1, 10);
+  > INSERT INTO txn VALUES (2, 2, 30);
+  > CREATE VIEW zone_revenue AS
+  >   SELECT zone, SUM(amount) AS revenue, COUNT(*) AS txns
+  >   FROM txn, shop, region
+  >   WHERE txn.shopid = shop.id AND shop.regionid = region.id
+  >   GROUP BY zone;
+  > SQL
+  $ ../../bin/minview.exe derive schema.sql
+  $ cat > changes.sql <<'SQL'
+  > INSERT INTO txn VALUES (3, 1, 100);
+  > UPDATE txn SET amount = 15 WHERE id = 1;
+  > DELETE FROM txn WHERE id = 2;
+  > SQL
+  $ ../../bin/minview.exe simulate schema.sql changes.sql | head -7
+  $ ../../bin/minview.exe verify schema.sql -n 150 --seed 7
+  $ ../../bin/minview.exe dot schema.sql
+  $ ../../bin/minview.exe reconstruct schema.sql
+  $ cat > multi.sql <<'SQL'
+  > CREATE TABLE region (id INT PRIMARY KEY, name TEXT, zone TEXT);
+  > CREATE TABLE txn (id INT PRIMARY KEY, regionid INT REFERENCES region,
+  >                   amount INT UPDATABLE);
+  > CREATE VIEW by_zone AS
+  >   SELECT zone, SUM(amount) AS revenue FROM txn, region
+  >   WHERE txn.regionid = region.id GROUP BY zone;
+  > CREATE VIEW by_name AS
+  >   SELECT name, SUM(amount) AS revenue, COUNT(*) AS n FROM txn, region
+  >   WHERE txn.regionid = region.id GROUP BY name;
+  > SQL
+  $ ../../bin/minview.exe sharing multi.sql
+  $ cat > bad.sql <<'SQL'
+  > CREATE TABLE t (id INT PRIMARY KEY, x INT);
+  > CREATE VIEW v AS SELECT x, MIN(x) AS m FROM t GROUP BY x;
+  > SQL
+  $ ../../bin/minview.exe derive bad.sql

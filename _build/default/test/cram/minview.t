@@ -1,0 +1,142 @@
+The CLI end to end, on a small star schema.
+
+  $ cat > schema.sql <<'SQL'
+  > CREATE TABLE region (id INT PRIMARY KEY, name TEXT, zone TEXT);
+  > CREATE TABLE shop (id INT PRIMARY KEY, regionid INT REFERENCES region,
+  >                    kind TEXT);
+  > CREATE TABLE txn (id INT PRIMARY KEY, shopid INT REFERENCES shop,
+  >                   amount INT UPDATABLE);
+  > INSERT INTO region VALUES (1, 'north', 'a');
+  > INSERT INTO region VALUES (2, 'south', 'b');
+  > INSERT INTO shop VALUES (1, 1, 'grocery');
+  > INSERT INTO shop VALUES (2, 2, 'kiosk');
+  > INSERT INTO txn VALUES (1, 1, 10);
+  > INSERT INTO txn VALUES (2, 2, 30);
+  > CREATE VIEW zone_revenue AS
+  >   SELECT zone, SUM(amount) AS revenue, COUNT(*) AS txns
+  >   FROM txn, shop, region
+  >   WHERE txn.shopid = shop.id AND shop.regionid = region.id
+  >   GROUP BY zone;
+  > SQL
+
+Algorithm 3.2 derives the minimal auxiliary views:
+
+  $ ../../bin/minview.exe derive schema.sql
+  == view ==
+  CREATE VIEW zone_revenue AS
+    SELECT region.zone, SUM(txn.amount) AS revenue, COUNT(*) AS txns
+    FROM txn, shop, region
+    WHERE txn.shopid = shop.id AND shop.regionid = region.id
+    GROUP BY region.zone
+  
+  == extended join graph (root: txn) ==
+  txn
+    `-- shop
+        `-- region [g]
+  
+  exposed updates: none
+  txn depends on shop
+  shop depends on region
+  
+  == Need sets ==
+  Need(txn) = {region, shop}
+  Need(shop) = {region, txn}
+  Need(region) = {shop, txn}
+  
+  == auxiliary views ==
+  CREATE VIEW txnDTL AS
+    SELECT shopid, SUM(amount) AS sum_amount, COUNT(*) AS cnt
+    FROM txn
+    WHERE shopid IN (SELECT id FROM shopDTL)
+    GROUP BY shopid
+  
+  CREATE VIEW shopDTL AS
+    SELECT id, regionid
+    FROM shop
+    WHERE regionid IN (SELECT id FROM regionDTL)
+  
+  CREATE VIEW regionDTL AS
+    SELECT id, zone
+    FROM region
+  
+  == reconstruction of V from X ==
+  CREATE VIEW zone_revenue AS
+    SELECT regionDTL.zone, SUM(txnDTL.sum_amount) AS revenue, SUM(txnDTL.cnt) AS txns
+    FROM txnDTL, shopDTL, regionDTL
+    WHERE txnDTL.shopid = shopDTL.id AND shopDTL.regionid = regionDTL.id
+    GROUP BY regionDTL.zone
+  
+
+The warehouse maintains the view from a change script without re-reading
+the base tables:
+
+  $ cat > changes.sql <<'SQL'
+  > INSERT INTO txn VALUES (3, 1, 100);
+  > UPDATE txn SET amount = 15 WHERE id = 1;
+  > DELETE FROM txn WHERE id = 2;
+  > SQL
+
+  $ ../../bin/minview.exe simulate schema.sql changes.sql | head -7
+  -- zone_revenue --
+  +------+---------+------+
+  | zone | revenue | txns |
+  +------+---------+------+
+  | a    | 115     | 2    |
+  +------+---------+------+
+  
+
+Self-maintenance verification against recomputation:
+
+  $ ../../bin/minview.exe verify schema.sql -n 150 --seed 7
+  zone_revenue             OK
+  150 change(s) ingested, 1 view(s), 0 failure(s)
+
+The DOT rendering of the extended join graph:
+
+  $ ../../bin/minview.exe dot schema.sql
+  digraph join_graph {
+    rankdir=TB;
+    txn [label="txn"];
+    shop [label="shop"];
+    region [label="region [g]"];
+    txn -> shop;
+    shop -> region;
+  }
+
+The reconstruction query (Section 3.2's rewriting over the aux views):
+
+  $ ../../bin/minview.exe reconstruct schema.sql
+  CREATE VIEW zone_revenue AS
+    SELECT regionDTL.zone, SUM(txnDTL.sum_amount) AS revenue, SUM(txnDTL.cnt) AS txns
+    FROM txnDTL, shopDTL, regionDTL
+    WHERE txnDTL.shopid = shopDTL.id AND shopDTL.regionid = regionDTL.id
+    GROUP BY regionDTL.zone
+  
+
+Sharing analysis across several summaries:
+
+  $ cat > multi.sql <<'SQL'
+  > CREATE TABLE region (id INT PRIMARY KEY, name TEXT, zone TEXT);
+  > CREATE TABLE txn (id INT PRIMARY KEY, regionid INT REFERENCES region,
+  >                   amount INT UPDATABLE);
+  > CREATE VIEW by_zone AS
+  >   SELECT zone, SUM(amount) AS revenue FROM txn, region
+  >   WHERE txn.regionid = region.id GROUP BY zone;
+  > CREATE VIEW by_name AS
+  >   SELECT name, SUM(amount) AS revenue, COUNT(*) AS n FROM txn, region
+  >   WHERE txn.regionid = region.id GROUP BY name;
+  > SQL
+
+  $ ../../bin/minview.exe sharing multi.sql
+  txnDTL of view by_zone also serves: txnDTL (by_name) [by derivation]
+
+Rejected inputs produce diagnostics, not crashes:
+
+  $ cat > bad.sql <<'SQL'
+  > CREATE TABLE t (id INT PRIMARY KEY, x INT);
+  > CREATE VIEW v AS SELECT x, MIN(x) AS m FROM t GROUP BY x;
+  > SQL
+
+  $ ../../bin/minview.exe derive bad.sql
+  invalid view: view v: superfluous aggregate MIN(t.x) AS m over group-by attribute
+  [1]

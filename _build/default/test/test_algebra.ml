@@ -1,0 +1,301 @@
+(* Unit tests for the GPSJ algebra: predicates, aggregates, view validation
+   and the reference evaluator. *)
+
+open Helpers
+module Eval = Algebra.Eval
+
+let test case fn = Alcotest.test_case case `Quick fn
+
+(* --- comparison and predicates ------------------------------------------ *)
+
+let cmp_tests =
+  [
+    test "eval covers all operators" (fun () ->
+        let check op l r expected =
+          Alcotest.(check bool) (Cmp.to_string op) expected (Cmp.eval op l r)
+        in
+        check Cmp.Eq (i 1) (i 1) true;
+        check Cmp.Eq (i 1) (i 2) false;
+        check Cmp.Neq (i 1) (i 2) true;
+        check Cmp.Lt (i 1) (i 2) true;
+        check Cmp.Lt (i 2) (i 2) false;
+        check Cmp.Le (i 2) (i 2) true;
+        check Cmp.Gt (i 3) (i 2) true;
+        check Cmp.Ge (i 2) (i 3) false;
+        check Cmp.Lt (s "a") (s "b") true);
+    test "of_string round-trips to_string" (fun () ->
+        List.iter
+          (fun op ->
+            Alcotest.(check bool) (Cmp.to_string op) true
+              (Cmp.of_string (Cmp.to_string op) = Some op))
+          [ Cmp.Eq; Cmp.Neq; Cmp.Lt; Cmp.Le; Cmp.Gt; Cmp.Ge ]);
+    test "predicate against constant and column" (fun () ->
+        let env = function
+          | { Attr.table = "t"; column = "x" } -> i 5
+          | { Attr.table = "t"; column = "y" } -> i 7
+          | _ -> Alcotest.fail "unexpected attr"
+        in
+        let p1 = local (a "t" "x") Cmp.Lt (i 6) in
+        Alcotest.(check bool) "const" true (Predicate.holds p1 env);
+        let p2 =
+          { Predicate.left = a "t" "x"; op = Cmp.Lt; right = Predicate.Col (a "t" "y") }
+        in
+        Alcotest.(check bool) "col" true (Predicate.holds p2 env);
+        Alcotest.(check (list string)) "attrs" [ "t.x"; "t.y" ]
+          (List.map Attr.to_string (Predicate.attrs p2)));
+  ]
+
+(* --- aggregate computation ------------------------------------------------ *)
+
+let agg func ?(distinct = false) arg =
+  Aggregate.make ~distinct ~alias:"out" func arg
+
+let occs vs = List.map (fun (v, n) -> (v, n)) vs
+
+let agg_tests =
+  [
+    test "COUNT(*) counts with multiplicities" (fun () ->
+        Alcotest.(check (option value)) "count" (Some (i 5))
+          (Aggregate.compute (agg Aggregate.Count_star None)
+             (occs [ (i 0, 2); (i 0, 3) ])));
+    test "empty group yields None" (fun () ->
+        Alcotest.(check (option value)) "none" None
+          (Aggregate.compute (agg Aggregate.Count_star None) []));
+    test "SUM weights by multiplicity" (fun () ->
+        Alcotest.(check (option value)) "sum" (Some (i 26))
+          (Aggregate.compute (agg Aggregate.Sum (Some (a "t" "x")))
+             (occs [ (i 10, 2); (i 3, 2) ])));
+    test "AVG is float" (fun () ->
+        Alcotest.(check (option value)) "avg" (Some (f 6.5))
+          (Aggregate.compute (agg Aggregate.Avg (Some (a "t" "x")))
+             (occs [ (i 10, 2); (i 3, 2) ])));
+    test "MIN/MAX ignore multiplicities" (fun () ->
+        Alcotest.(check (option value)) "min" (Some (i 3))
+          (Aggregate.compute (agg Aggregate.Min (Some (a "t" "x")))
+             (occs [ (i 10, 5); (i 3, 1) ]));
+        Alcotest.(check (option value)) "max" (Some (i 10))
+          (Aggregate.compute (agg Aggregate.Max (Some (a "t" "x")))
+             (occs [ (i 10, 1); (i 3, 9) ])));
+    test "DISTINCT deduplicates before aggregating" (fun () ->
+        Alcotest.(check (option value)) "count distinct" (Some (i 2))
+          (Aggregate.compute (agg ~distinct:true Aggregate.Count (Some (a "t" "x")))
+             (occs [ (i 10, 3); (i 10, 1); (i 3, 2) ]));
+        Alcotest.(check (option value)) "sum distinct" (Some (i 13))
+          (Aggregate.compute (agg ~distinct:true Aggregate.Sum (Some (a "t" "x")))
+             (occs [ (i 10, 3); (i 10, 1); (i 3, 2) ])));
+    test "MIN over strings" (fun () ->
+        Alcotest.(check (option value)) "min" (Some (s "a"))
+          (Aggregate.compute (agg Aggregate.Min (Some (a "t" "x")))
+             (occs [ (s "b", 1); (s "a", 1) ])));
+    test "make rejects inconsistent shapes" (fun () ->
+        let expect_invalid f =
+          match f () with
+          | exception Invalid_argument _ -> ()
+          | _ -> Alcotest.fail "expected Invalid_argument"
+        in
+        expect_invalid (fun () ->
+            Aggregate.make ~alias:"x" Aggregate.Count_star (Some (a "t" "x")));
+        expect_invalid (fun () -> Aggregate.make ~alias:"x" Aggregate.Sum None);
+        expect_invalid (fun () ->
+            Aggregate.make ~distinct:true ~alias:"x" Aggregate.Count_star None));
+  ]
+
+(* --- view validation ------------------------------------------------------ *)
+
+let db () = Workload.Retail.empty ()
+
+let base_view =
+  {
+    View.name = "v";
+    having = [];
+    select = [ group (a "time" "month"); sum ~alias:"total" (a "sale" "price") ];
+    tables = [ "sale"; "time" ];
+    locals = [];
+    joins = [ join (a "sale" "timeid") (a "time" "id") ];
+  }
+
+let expect_invalid v =
+  match View.validate (db ()) v with
+  | exception View.Invalid _ -> ()
+  | () -> Alcotest.fail "expected View.Invalid"
+
+let validation_tests =
+  [
+    test "paper views validate" (fun () ->
+        View.validate (db ()) Workload.Retail.product_sales;
+        View.validate (db ()) Workload.Retail.product_sales_max;
+        View.validate (db ()) Workload.Retail.sales_by_time;
+        View.validate (db ()) Workload.Retail.monthly_revenue;
+        View.validate (db ()) Workload.Retail.months;
+        View.validate (Workload.Snowflake.empty ())
+          Workload.Snowflake.category_revenue);
+    test "empty select rejected" (fun () ->
+        expect_invalid { base_view with View.select = [] });
+    test "unknown table rejected" (fun () ->
+        expect_invalid { base_view with View.tables = [ "sale"; "nosuch" ] });
+    test "unknown attribute rejected" (fun () ->
+        expect_invalid
+          { base_view with
+            View.select = base_view.View.select @ [ group (a "time" "bogus") ] });
+    test "attribute outside FROM rejected" (fun () ->
+        expect_invalid
+          { base_view with
+            View.select = base_view.View.select @ [ group (a "product" "brand") ]
+          });
+    test "duplicate aliases rejected" (fun () ->
+        expect_invalid
+          { base_view with
+            View.select =
+              [ group ~alias:"x" (a "time" "month");
+                sum ~alias:"x" (a "sale" "price") ] });
+    test "join not on key rejected" (fun () ->
+        expect_invalid
+          { base_view with
+            View.joins = [ join (a "sale" "timeid") (a "time" "day") ] });
+    test "disconnected graph rejected" (fun () ->
+        expect_invalid { base_view with View.joins = [] });
+    test "two incoming joins rejected" (fun () ->
+        expect_invalid
+          { base_view with
+            View.tables = [ "sale"; "store"; "time" ];
+            joins =
+              [ join (a "sale" "timeid") (a "time" "id");
+                join (a "store" "id") (a "time" "id") ] });
+    test "non-numeric SUM rejected" (fun () ->
+        expect_invalid
+          { base_view with
+            View.tables = [ "sale"; "time"; "product" ];
+            joins =
+              base_view.View.joins
+              @ [ join (a "sale" "productid") (a "product" "id") ];
+            select =
+              base_view.View.select @ [ sum ~alias:"s2" (a "product" "brand") ]
+          });
+    test "superfluous MIN over group-by rejected" (fun () ->
+        expect_invalid
+          { base_view with
+            View.select =
+              base_view.View.select @ [ min_ ~alias:"m" (a "time" "month") ] });
+    test "type-mismatched local rejected" (fun () ->
+        expect_invalid
+          { base_view with
+            View.locals = [ local (a "time" "year") Cmp.Eq (s "1997") ] });
+    test "non-local column condition rejected" (fun () ->
+        expect_invalid
+          { base_view with
+            View.locals =
+              [ { Predicate.left = a "time" "day"; op = Cmp.Eq;
+                  right = Predicate.Col (a "sale" "price") } ] });
+    test "root and accessors" (fun () ->
+        Alcotest.(check string) "root" "sale" (View.root base_view);
+        Alcotest.(check (list string)) "preserved sale"
+          [ "price" ]
+          (View.preserved_columns (db ()) base_view ~table:"sale");
+        Alcotest.(check (list string)) "join cols sale" [ "timeid" ]
+          (View.join_columns base_view ~table:"sale");
+        Alcotest.(check (list string)) "join cols time" [ "id" ]
+          (View.join_columns base_view ~table:"time"));
+    test "to_sql re-parses" (fun () ->
+        let sql = View.to_sql Workload.Retail.product_sales ^ ";" in
+        match Sqlfront.Parser.statement sql with
+        | Sqlfront.Ast.Create_view { name; select } ->
+          let v = Sqlfront.Elaborate.view_of_select (db ()) ~name select in
+          Alcotest.(check bool) "equal" true (v = Workload.Retail.product_sales)
+        | _ -> Alcotest.fail "expected CREATE VIEW");
+  ]
+
+(* --- evaluation ------------------------------------------------------------ *)
+
+let eval_tests =
+  [
+    test "product_sales on the paper instance" (fun () ->
+        let db = paper_example_db () in
+        let got = Eval.eval db Workload.Retail.product_sales in
+        (* month 1: sales 1-6 (prices 10,10,10,15,15,20), brands acme+apex;
+           month 2: sale 7 (price 30), brand apex; 1996 sale filtered out *)
+        let expected =
+          rel
+            [
+              [ i 1; i 80; i 6; i 2 ];
+              [ i 2; i 30; i 1; i 1 ];
+            ]
+        in
+        Alcotest.check relation "contents" expected got);
+    test "filters drop non-qualifying rows" (fun () ->
+        let db = paper_example_db () in
+        (* no sale references the 1996 time tuple: the filtered view is empty *)
+        let v =
+          { base_view with
+            View.locals = [ local (a "time" "year") Cmp.Eq (i 1996) ] }
+        in
+        Alcotest.(check int) "no groups" 0
+          (Relation.cardinality (Eval.eval db v));
+        (* a price filter keeps only the qualifying facts *)
+        let v2 =
+          { base_view with
+            View.locals = [ local (a "sale" "price") Cmp.Ge (i 20) ] }
+        in
+        (* qualifying: (2,1,20) month 1 and (3,2,30) month 2 *)
+        Alcotest.check relation "price filter"
+          (rel [ [ i 1; i 20 ]; [ i 2; i 30 ] ])
+          (Eval.eval db v2));
+    test "single-table projection eliminates duplicates" (fun () ->
+        let db = paper_example_db () in
+        let got = Eval.eval db Workload.Retail.months in
+        (* distinct (year, month): (1997,1), (1997,2), (1996,1) *)
+        Alcotest.check relation "months"
+          (rel [ [ i 1997; i 1 ]; [ i 1997; i 2 ]; [ i 1996; i 1 ] ])
+          got);
+    test "view with no aggregates and joins" (fun () ->
+        let db = paper_example_db () in
+        let v =
+          {
+            View.name = "brands_sold";
+            having = [];
+            select = [ group (a "product" "brand") ];
+            tables = [ "sale"; "product" ];
+            locals = [];
+            joins = [ join (a "sale" "productid") (a "product" "id") ];
+          }
+        in
+        Alcotest.check relation "brands"
+          (rel [ [ s "acme" ]; [ s "apex" ] ])
+          (Eval.eval db v));
+    test "MAX and AVG across groups" (fun () ->
+        let db = paper_example_db () in
+        let v =
+          {
+            View.name = "by_product";
+            having = [];
+            select =
+              [ group (a "sale" "productid");
+                max_ ~alias:"mx" (a "sale" "price");
+                avg ~alias:"av" (a "sale" "price") ];
+            tables = [ "sale" ];
+            locals = [];
+            joins = [];
+          }
+        in
+        (* product 1: prices 10,10,15,15,20 -> max 20 avg 14;
+           product 2: prices 10,30 -> max 30 avg 20 *)
+        Alcotest.check relation "per-product"
+          (rel [ [ i 1; i 20; f 14. ]; [ i 2; i 30; f 20. ] ])
+          (Eval.eval db v));
+    test "empty base yields empty view" (fun () ->
+        let db = Workload.Retail.empty () in
+        Alcotest.(check int) "empty" 0
+          (Relation.cardinality (Eval.eval db Workload.Retail.product_sales)));
+    test "output_columns follow select order" (fun () ->
+        Alcotest.(check (list string)) "cols"
+          [ "month"; "TotalPrice"; "TotalCount"; "DifferentBrands" ]
+          (Eval.output_columns Workload.Retail.product_sales));
+  ]
+
+let () =
+  Alcotest.run "algebra"
+    [
+      ("cmp+predicate", cmp_tests);
+      ("aggregate", agg_tests);
+      ("view-validation", validation_tests);
+      ("eval", eval_tests);
+    ]

@@ -1,0 +1,127 @@
+(* Tests for the aggregate classification of Section 3.1 — these encode
+   Tables 1 and 2 of the paper verbatim. *)
+
+open Helpers
+module Classify = Mindetail.Classify
+open Algebra.Aggregate
+
+let test case fn = Alcotest.test_case case `Quick fn
+
+let mk ?(distinct = false) func =
+  match func with
+  | Count_star -> Algebra.Aggregate.make ~alias:"x" Count_star None
+  | f -> Algebra.Aggregate.make ~distinct ~alias:"x" f (Some (a "t" "c"))
+
+(* Table 1: SMA column *)
+let table1_sma =
+  [
+    (Count, Classify.Insertion, true);
+    (Count, Classify.Deletion, true);
+    (Count_star, Classify.Insertion, true);
+    (Count_star, Classify.Deletion, true);
+    (Sum, Classify.Insertion, true);
+    (Sum, Classify.Deletion, false);
+    (Avg, Classify.Insertion, false);
+    (Avg, Classify.Deletion, false);
+    (Min, Classify.Insertion, true);
+    (Min, Classify.Deletion, false);
+    (Max, Classify.Insertion, true);
+    (Max, Classify.Deletion, false);
+  ]
+
+(* Table 1: SMAS column (required companions) *)
+let table1_smas =
+  [
+    (Count, Classify.Insertion, Some []);
+    (Count, Classify.Deletion, Some []);
+    (Sum, Classify.Insertion, Some []);
+    (Sum, Classify.Deletion, Some [ Count_star ]);
+    (Avg, Classify.Insertion, Some [ Sum; Count_star ]);
+    (Avg, Classify.Deletion, Some [ Sum; Count_star ]);
+    (Min, Classify.Insertion, Some []);
+    (Min, Classify.Deletion, None);
+    (Max, Classify.Insertion, Some []);
+    (Max, Classify.Deletion, None);
+  ]
+
+(* Table 2: replacements and classes *)
+let table2 =
+  [
+    (Count, Some [ Count_star ], true);
+    (Sum, Some [ Sum; Count_star ], true);
+    (Avg, Some [ Sum; Count_star ], true);
+    (Min, None, false);
+    (Max, None, false);
+  ]
+
+let kind_name = function
+  | Classify.Insertion -> "ins"
+  | Classify.Deletion -> "del"
+
+let sma_tests =
+  List.map
+    (fun (func, kind, expected) ->
+      test
+        (Printf.sprintf "%s/%s SMA=%b" (func_name func) (kind_name kind)
+           expected)
+        (fun () ->
+          Alcotest.(check bool) "sma" expected (Classify.is_sma func kind)))
+    table1_sma
+
+let smas_tests =
+  List.map
+    (fun (func, kind, expected) ->
+      test (Printf.sprintf "%s/%s SMAS" (func_name func) (kind_name kind))
+        (fun () ->
+          Alcotest.(check bool) "companions" true
+            (Classify.smas_companions func kind = expected)))
+    table1_smas
+
+let replacement_tests =
+  List.map
+    (fun (func, repl, csmas) ->
+      test (Printf.sprintf "%s replacement+class" (func_name func)) (fun () ->
+          Alcotest.(check bool) "replacement" true
+            (Classify.replacement func = repl);
+          Alcotest.(check bool) "class" csmas (Classify.is_csmas (mk func))))
+    table2
+
+let distinct_tests =
+  [
+    test "DISTINCT is never CSMAS" (fun () ->
+        List.iter
+          (fun func ->
+            Alcotest.(check bool) (func_name func) false
+              (Classify.is_csmas (mk ~distinct:true func)))
+          [ Count; Sum; Avg; Min; Max ]);
+    test "DISTINCT destroys distributivity; AVG is not distributive" (fun () ->
+        Alcotest.(check bool) "count" true (Classify.is_distributive Count);
+        Alcotest.(check bool) "sum" true (Classify.is_distributive Sum);
+        Alcotest.(check bool) "min" true (Classify.is_distributive Min);
+        Alcotest.(check bool) "max" true (Classify.is_distributive Max);
+        Alcotest.(check bool) "avg" false (Classify.is_distributive Avg));
+    test "class names" (fun () ->
+        Alcotest.(check string) "csmas" "CSMAS" (Classify.class_name (mk Sum));
+        Alcotest.(check string) "non" "non-CSMAS" (Classify.class_name (mk Min)));
+    test "a SMAS under both change kinds is a CSMAS (Definition 1)" (fun () ->
+        (* consistency between Table 1 and Table 2: functions with companion
+           sets for both insertion and deletion are exactly the CSMAS ones *)
+        List.iter
+          (fun func ->
+            let has_smas =
+              Classify.smas_companions func Classify.Insertion <> None
+              && Classify.smas_companions func Classify.Deletion <> None
+            in
+            Alcotest.(check bool) (func_name func) has_smas
+              (Classify.is_csmas (mk func)))
+          [ Count; Sum; Avg; Min; Max ]);
+  ]
+
+let () =
+  Alcotest.run "classify"
+    [
+      ("table1-sma", sma_tests);
+      ("table1-smas", smas_tests);
+      ("table2", replacement_tests);
+      ("distinct+consistency", distinct_tests);
+    ]

@@ -1,0 +1,419 @@
+(* Tests for local/join reductions, smart duplicate compression (Algorithm
+   3.1, Tables 3 and 4), Algorithm 3.2's derivation and elimination rule, the
+   PSJ baseline, materialization and reconstruction. *)
+
+open Helpers
+module Derive = Mindetail.Derive
+module Auxview = Mindetail.Auxview
+module Reduction = Mindetail.Reduction
+module Compression = Mindetail.Compression
+module Materialize = Mindetail.Materialize
+module Reconstruct = Mindetail.Reconstruct
+module Psj = Mindetail.Psj
+
+let test case fn = Alcotest.test_case case `Quick fn
+
+let retail = Workload.Retail.empty ()
+let sset = Alcotest.slist Alcotest.string String.compare
+
+(* --- reductions ----------------------------------------------------------- *)
+
+let reduction_tests =
+  [
+    test "local reduction keeps preserved and join columns only" (fun () ->
+        let red = Reduction.local retail Workload.Retail.product_sales "sale" in
+        (* storeid is not referenced; id is not preserved; year only filters *)
+        Alcotest.(check (list string)) "sale kept"
+          [ "timeid"; "productid"; "price" ]
+          red.Reduction.kept_columns;
+        let red_t = Reduction.local retail Workload.Retail.product_sales "time" in
+        Alcotest.(check (list string)) "time kept" [ "id"; "month" ]
+          red_t.Reduction.kept_columns;
+        Alcotest.(check int) "time locals" 1 (List.length red_t.Reduction.locals));
+    test "depends-on requires RI and no exposed updates" (fun () ->
+        let deps = Reduction.depends_on retail Workload.Retail.product_sales in
+        Alcotest.check sset "sale" [ "time"; "product" ] (deps "sale");
+        Alcotest.check sset "time" [] (deps "time"));
+    test "exposed updates kill the dependency" (fun () ->
+        let db = Workload.Retail.empty ~exposed_time:true () in
+        (* time.year is updatable and year is a local-condition column *)
+        Alcotest.(check bool) "exposed" true
+          (Reduction.exposed_updates db Workload.Retail.product_sales "time");
+        Alcotest.check sset "sale depends only on product" [ "product" ]
+          (Reduction.depends_on db Workload.Retail.product_sales "sale"));
+    test "exposure is view-relative" (fun () ->
+        let db = Workload.Retail.empty ~exposed_time:true () in
+        (* sales_by_time has no condition on year/month *)
+        Alcotest.(check bool) "not exposed" false
+          (Reduction.exposed_updates db Workload.Retail.sales_by_time "time"));
+    test "transitively depends through a chain" (fun () ->
+        let db = Workload.Snowflake.empty () in
+        Alcotest.(check bool) "sale" true
+          (Reduction.transitively_depends_on_all db
+             Workload.Snowflake.category_revenue "sale");
+        Alcotest.(check bool) "brand" false
+          (Reduction.transitively_depends_on_all db
+             Workload.Snowflake.category_revenue "brand"));
+  ]
+
+(* --- compression (Tables 3 and 4) ----------------------------------------- *)
+
+let spec_of view table =
+  Compression.compress retail view (Reduction.local retail view table)
+
+let compression_tests =
+  [
+    test "saleDTL gets SUM(price) and COUNT(*) (Table 4)" (fun () ->
+        let spec = spec_of Workload.Retail.product_sales "sale" in
+        Alcotest.(check bool) "compressed" true spec.Auxview.compressed;
+        Alcotest.(check (list string)) "group cols" [ "timeid"; "productid" ]
+          (Auxview.group_columns spec);
+        Alcotest.(check bool) "sum over price" true
+          (Auxview.sum_index spec "price" <> None);
+        Alcotest.(check bool) "count" true (Auxview.count_index spec <> None);
+        (* price itself is not kept plainly: it feeds only a CSMAS *)
+        Alcotest.(check bool) "price not plain" true
+          (Auxview.plain_index spec "price" = None));
+    test "dimension views degenerate to PSJ (key kept)" (fun () ->
+        let spec = spec_of Workload.Retail.product_sales "time" in
+        Alcotest.(check bool) "not compressed" false spec.Auxview.compressed;
+        Alcotest.(check (list string)) "cols" [ "id"; "month" ]
+          (Auxview.column_names spec);
+        Alcotest.(check bool) "no count" true (Auxview.count_index spec = None));
+    test "non-CSMAS keeps the column plain (product_sales_max)" (fun () ->
+        (* price feeds MAX (non-CSMAS) and SUM (CSMAS): it must stay plain
+           and the SUM is computed as f(a x cnt0) at reconstruction *)
+        let spec = spec_of Workload.Retail.product_sales_max "sale" in
+        Alcotest.(check bool) "compressed" true spec.Auxview.compressed;
+        Alcotest.(check bool) "price plain" true
+          (Auxview.plain_index spec "price" <> None);
+        Alcotest.(check bool) "no sum col" true
+          (Auxview.sum_index spec "price" = None);
+        Alcotest.(check bool) "count" true (Auxview.count_index spec <> None));
+    test "COUNT-only attribute disappears after replacement" (fun () ->
+        let v =
+          {
+            View.name = "cnt_only";
+            having = [];
+            select =
+              [
+                group (a "sale" "productid");
+                Select_item.Agg
+                  (Aggregate.make ~alias:"c" Aggregate.Count
+                     (Some (a "sale" "price")));
+              ];
+            tables = [ "sale" ];
+            locals = [];
+            joins = [];
+          }
+        in
+        let spec = spec_of v "sale" in
+        Alcotest.(check bool) "price gone" true
+          (Auxview.plain_index spec "price" = None
+          && Auxview.sum_index spec "price" = None);
+        Alcotest.(check bool) "count present" true
+          (Auxview.count_index spec <> None));
+    test "group-by on the root key degenerates the root view" (fun () ->
+        let v =
+          {
+            View.name = "by_key";
+            having = [];
+            select = [ group (a "sale" "id"); sum ~alias:"p" (a "sale" "price") ];
+            tables = [ "sale" ];
+            locals = [];
+            joins = [];
+          }
+        in
+        let spec = spec_of v "sale" in
+        Alcotest.(check bool) "degenerate" false spec.Auxview.compressed;
+        Alcotest.(check (list string)) "cols" [ "id"; "price" ]
+          (Auxview.column_names spec));
+    test "aggregate column name avoids collisions" (fun () ->
+        let db = Relational.Database.create () in
+        Relational.Database.add_table db
+          (Schema.make ~name:"t" ~key:"id"
+             [
+               { Schema.col_name = "id"; col_type = Datatype.TInt };
+               { Schema.col_name = "g"; col_type = Datatype.TInt };
+               { Schema.col_name = "v"; col_type = Datatype.TInt };
+               { Schema.col_name = "cnt"; col_type = Datatype.TInt };
+               { Schema.col_name = "sum_v"; col_type = Datatype.TInt };
+             ])
+          ~updatable:[];
+        let v =
+          {
+            View.name = "collide";
+            having = [];
+            select =
+              [
+                group (a "t" "g");
+                sum ~alias:"s1" (a "t" "v");
+                sum ~alias:"s2" (a "t" "cnt");
+                sum ~alias:"s3" (a "t" "sum_v");
+              ];
+            tables = [ "t" ];
+            locals = [];
+            joins = [];
+          }
+        in
+        let spec =
+          Compression.compress db v (Reduction.local db v "t")
+        in
+        let names = Auxview.column_names spec in
+        Alcotest.(check int) "distinct names" (List.length names)
+          (List.length (List.sort_uniq String.compare names)));
+    test "usage analysis" (fun () ->
+        let u =
+          Compression.usage_of Workload.Retail.product_sales ~table:"sale"
+            ~column:"price"
+        in
+        Alcotest.(check bool) "not group" false u.Compression.in_group_by;
+        Alcotest.(check bool) "not join" false u.Compression.in_join;
+        Alcotest.(check bool) "not non-csmas" false u.Compression.in_non_csmas;
+        Alcotest.(check bool) "sum usage" true
+          (List.mem Aggregate.Sum u.Compression.csmas_funcs);
+        let u2 =
+          Compression.usage_of Workload.Retail.product_sales ~table:"product"
+            ~column:"brand"
+        in
+        Alcotest.(check bool) "distinct is non-csmas" true
+          u2.Compression.in_non_csmas);
+  ]
+
+(* --- Algorithm 3.2 decisions ---------------------------------------------- *)
+
+let derivation_tests =
+  [
+    test "product_sales retains all three views (Section 1.1)" (fun () ->
+        let d = Derive.derive retail Workload.Retail.product_sales in
+        Alcotest.check sset "retained" [ "sale"; "time"; "product" ]
+          (List.map (fun (s : Auxview.t) -> s.Auxview.base) (Derive.specs d));
+        Alcotest.(check (list string)) "omitted" [] (Derive.omitted_tables d));
+    test "sales_by_time omits the fact table (Section 3.3)" (fun () ->
+        let d = Derive.derive retail Workload.Retail.sales_by_time in
+        Alcotest.(check (list string)) "omitted" [ "sale" ]
+          (Derive.omitted_tables d);
+        Alcotest.(check bool) "no spec" true (Derive.spec_for d "sale" = None));
+    test "non-CSMAS on the root blocks elimination" (fun () ->
+        let v =
+          { Workload.Retail.sales_by_time with
+            View.name = "with_max";
+            having = [];
+            select =
+              Workload.Retail.sales_by_time.View.select
+              @ [ max_ ~alias:"mx" (a "sale" "price") ] }
+        in
+        let d = Derive.derive retail v in
+        Alcotest.(check (list string)) "retained" [] (Derive.omitted_tables d));
+    test "exposed updates block elimination via dependency" (fun () ->
+        (* make the time dimension exposed for a view that filters on year *)
+        let db = Workload.Retail.empty ~exposed_time:true () in
+        let v =
+          { Workload.Retail.sales_by_time with
+            View.name = "filtered";
+            having = [];
+            locals = [ local (a "time" "year") Cmp.Eq (i 1997) ] }
+        in
+        let d = Derive.derive db v in
+        Alcotest.(check (list string)) "nothing omitted" []
+          (Derive.omitted_tables d));
+    test "single-table CSMAS view stores nothing" (fun () ->
+        let d = Derive.derive retail Workload.Retail.months in
+        Alcotest.(check (list string)) "omitted" [ "time" ]
+          (Derive.omitted_tables d);
+        Alcotest.(check int) "no specs" 0 (List.length (Derive.specs d)));
+    test "snowflake keyed ancestor enables elimination with DISTINCT"
+      (fun () ->
+        let db = Workload.Snowflake.empty () in
+        let d = Derive.derive db Workload.Snowflake.product_brand_profile in
+        Alcotest.(check (list string)) "omitted" [ "sale" ]
+          (Derive.omitted_tables d));
+    test "agg_source resolution" (fun () ->
+        let d = Derive.derive retail Workload.Retail.product_sales_max in
+        let find alias =
+          List.find
+            (fun (g : Aggregate.t) -> String.equal g.Aggregate.alias alias)
+            (View.aggregates Workload.Retail.product_sales_max)
+        in
+        (match Derive.agg_source d (find "MaxPrice") with
+        | Some (Derive.From_plain { table = "sale"; column = "price" }) -> ()
+        | _ -> Alcotest.fail "MaxPrice should read the plain column");
+        (match Derive.agg_source d (find "TotalPrice") with
+        | Some (Derive.From_plain { table = "sale"; column = "price" }) -> ()
+        | _ -> Alcotest.fail "TotalPrice reads plain price (f(a x cnt0))");
+        match Derive.agg_source d (find "TotalCount") with
+        | Some Derive.From_count -> ()
+        | _ -> Alcotest.fail "TotalCount reads the root count");
+    test "agg_source prefers the SUM column when compressed" (fun () ->
+        let d = Derive.derive retail Workload.Retail.product_sales in
+        let total =
+          List.find
+            (fun (g : Aggregate.t) -> g.Aggregate.alias = "TotalPrice")
+            (View.aggregates Workload.Retail.product_sales)
+        in
+        match Derive.agg_source d total with
+        | Some (Derive.From_sum { table = "sale"; column = "price" }) -> ()
+        | _ -> Alcotest.fail "TotalPrice should read sum_price");
+    test "PSJ baseline keeps keys and never compresses" (fun () ->
+        let d = Psj.derive retail Workload.Retail.product_sales in
+        Alcotest.(check (list string)) "omitted" [] (Derive.omitted_tables d);
+        List.iter
+          (fun (spec : Auxview.t) ->
+            Alcotest.(check bool)
+              (spec.Auxview.base ^ " uncompressed")
+              false spec.Auxview.compressed;
+            let key =
+              (Relational.Database.schema_of retail spec.Auxview.base)
+                .Schema.key
+            in
+            Alcotest.(check bool) "keeps key" true
+              (Auxview.keeps_key spec ~key))
+          (Derive.specs d));
+    test "report covers all tables" (fun () ->
+        let d = Derive.derive retail Workload.Retail.product_sales in
+        let out = Mindetail.Explain.report d in
+        List.iter
+          (fun needle -> Alcotest.(check bool) needle true (contains out needle))
+          [ "saleDTL"; "timeDTL"; "productDTL"; "Need(sale)"; "GROUP BY" ]);
+  ]
+
+(* --- materialization and reconstruction ----------------------------------- *)
+
+let materialize_tests =
+  [
+    test "Table 4: compressed sale auxiliary view instance" (fun () ->
+        let db = paper_example_db () in
+        let d = Derive.derive db Workload.Retail.product_sales in
+        let got = Materialize.aux db d "sale" in
+        (* (timeid, productid, SUM(price), COUNT( * )) after compression:
+           seven base sales collapse into four groups *)
+        let expected =
+          rel
+            [
+              [ i 1; i 1; i 20; i 2 ];
+              [ i 1; i 2; i 10; i 1 ];
+              [ i 2; i 1; i 50; i 3 ];
+              [ i 3; i 2; i 30; i 1 ];
+            ]
+        in
+        Alcotest.check relation "saleDTL" expected got);
+    test "timeDTL filters 1996" (fun () ->
+        let db = paper_example_db () in
+        let d = Derive.derive db Workload.Retail.product_sales in
+        Alcotest.check relation "timeDTL"
+          (rel [ [ i 1; i 1 ]; [ i 2; i 1 ]; [ i 3; i 2 ] ])
+          (Materialize.aux db d "time"));
+    test "PSJ sale view keeps tuple-level rows" (fun () ->
+        let db = paper_example_db () in
+        let d = Psj.derive db Workload.Retail.product_sales in
+        let got = Materialize.aux db d "sale" in
+        Alcotest.(check int) "all seven sales kept at tuple level" 7
+          (Relation.cardinality got));
+    test "compression never has more rows than PSJ" (fun () ->
+        let db = Workload.Retail.load Workload.Retail.small_params in
+        let dmin = Derive.derive db Workload.Retail.product_sales in
+        let dpsj = Psj.derive db Workload.Retail.product_sales in
+        Alcotest.(check bool) "smaller" true
+          (Relation.cardinality (Materialize.aux db dmin "sale")
+          <= Relation.cardinality (Materialize.aux db dpsj "sale")));
+    test "materializing an omitted view raises" (fun () ->
+        let db = paper_example_db () in
+        let d = Derive.derive db Workload.Retail.sales_by_time in
+        match Materialize.aux db d "sale" with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument");
+    test "reconstruction equals direct evaluation (paper views)" (fun () ->
+        let db = paper_example_db () in
+        List.iter
+          (fun v ->
+            Alcotest.(check bool) v.View.name true
+              (Reconstruct.check db (Derive.derive db v)))
+          [
+            Workload.Retail.product_sales;
+            Workload.Retail.product_sales_max;
+            Workload.Retail.monthly_revenue;
+          ]);
+    test "reconstruction equals evaluation on a loaded instance" (fun () ->
+        let db = Workload.Retail.load Workload.Retail.small_params in
+        List.iter
+          (fun v ->
+            Alcotest.(check bool) v.View.name true
+              (Reconstruct.check db (Derive.derive db v));
+            Alcotest.(check bool) (v.View.name ^ " psj") true
+              (Reconstruct.check db (Psj.derive db v)))
+          [
+            Workload.Retail.product_sales;
+            Workload.Retail.product_sales_max;
+            Workload.Retail.monthly_revenue;
+          ]);
+    test "snowflake reconstruction" (fun () ->
+        let db = Workload.Snowflake.load Workload.Snowflake.small_params in
+        Alcotest.(check bool) "category_revenue" true
+          (Reconstruct.check db
+             (Derive.derive db Workload.Snowflake.category_revenue)));
+    test "reconstructing without the root view raises" (fun () ->
+        let db = paper_example_db () in
+        let d = Derive.derive db Workload.Retail.sales_by_time in
+        match Reconstruct.view d (fun _ -> Relation.create ()) with
+        | exception Reconstruct.Not_reconstructible _ -> ()
+        | _ -> Alcotest.fail "expected Not_reconstructible");
+  ]
+
+(* --- minimality surrogates ------------------------------------------------- *)
+
+let minimality_tests =
+  [
+    test "dropping the product view breaks reconstruction" (fun () ->
+        let db = paper_example_db () in
+        let d = Derive.derive db Workload.Retail.product_sales in
+        let contents table =
+          if String.equal table "product" then Relation.create ()
+          else Materialize.aux db d table
+        in
+        let got = Reconstruct.view d contents in
+        Alcotest.(check bool) "differs" false
+          (Relation.equal got (Algebra.Eval.eval db Workload.Retail.product_sales)));
+    test "dropping saleDTL rows breaks reconstruction" (fun () ->
+        let db = paper_example_db () in
+        let d = Derive.derive db Workload.Retail.product_sales in
+        let contents table =
+          let r = Materialize.aux db d table in
+          if String.equal table "sale" then begin
+            (match Relation.to_sorted_list r with
+            | (tup, n) :: _ -> ignore (Relation.delete ~count:n r tup)
+            | [] -> ());
+            r
+          end
+          else r
+        in
+        let got = Reconstruct.view d contents in
+        Alcotest.(check bool) "differs" false
+          (Relation.equal got (Algebra.Eval.eval db Workload.Retail.product_sales)));
+    test "the semijoin reduction is tight on this instance" (fun () ->
+        (* every saleDTL row joins a timeDTL row: removing a time row from
+           timeDTL changes the reconstruction *)
+        let db = paper_example_db () in
+        let d = Derive.derive db Workload.Retail.product_sales in
+        let contents table =
+          let r = Materialize.aux db d table in
+          if String.equal table "time" then begin
+            ignore (Relation.delete r (row [ i 1; i 1 ]));
+            r
+          end
+          else r
+        in
+        Alcotest.(check bool) "differs" false
+          (Relation.equal
+             (Reconstruct.view d contents)
+             (Algebra.Eval.eval db Workload.Retail.product_sales)));
+  ]
+
+let () =
+  Alcotest.run "derive"
+    [
+      ("reduction", reduction_tests);
+      ("compression", compression_tests);
+      ("algorithm-3.2", derivation_tests);
+      ("materialize+reconstruct", materialize_tests);
+      ("minimality", minimality_tests);
+    ]

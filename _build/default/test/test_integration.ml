@@ -1,0 +1,132 @@
+(* End-to-end integration scenarios: booting a warehouse over empty sources,
+   cascade-ordered batches, and a kitchen-sink warehouse carrying every
+   retail view through a long mixed stream. *)
+
+open Helpers
+module Engines = Maintenance.Engines
+
+let test case fn = Alcotest.test_case case `Quick fn
+
+let retail_views =
+  [
+    Workload.Retail.product_sales;
+    Workload.Retail.product_sales_max;
+    Workload.Retail.sales_by_time;
+    Workload.Retail.monthly_revenue;
+    Workload.Retail.months;
+  ]
+
+let tests =
+  [
+    test "warehouse boots over empty sources and fills up" (fun () ->
+        let db = Workload.Retail.empty () in
+        let wh = Warehouse.create db in
+        List.iter (Warehouse.add_view wh) retail_views;
+        List.iter
+          (fun view ->
+            let _, got = Warehouse.query wh view.View.name in
+            Alcotest.(check int) (view.View.name ^ " empty") 0
+              (Relation.cardinality got))
+          retail_views;
+        (* dimensions first, then facts, all through the delta stream *)
+        let rng = Workload.Prng.create 61 in
+        let dims =
+          Workload.Delta_gen.stream_for rng db
+            ~tables:[ "time"; "product"; "store" ] ~n:60
+            ~mix:{ Workload.Delta_gen.insert = 1; delete = 0; update = 0 }
+        in
+        Warehouse.ingest wh dims;
+        let mixed = Workload.Delta_gen.stream rng db ~n:400 in
+        Warehouse.ingest wh mixed;
+        List.iter
+          (fun view ->
+            let _, got = Warehouse.query wh view.View.name in
+            Alcotest.check relation view.View.name
+              (Algebra.Eval.eval db view)
+              got)
+          retail_views);
+    test "draining the warehouse back to empty" (fun () ->
+        let db = Workload.Retail.load Workload.Retail.small_params in
+        let view = Workload.Retail.product_sales in
+        let e = Engines.minimal db view in
+        (* delete every fact, then every dimension row *)
+        let deltas =
+          List.map (fun tup -> Delta.delete "sale" tup)
+            (Database.fold db "sale" (fun t acc -> t :: acc) [])
+          @ List.concat_map
+              (fun tbl ->
+                List.map (fun tup -> Delta.delete tbl tup)
+                  (Database.fold db tbl (fun t acc -> t :: acc) []))
+              [ "time"; "product"; "store" ]
+        in
+        Database.apply_all db deltas;
+        Engines.apply_batch e deltas;
+        Alcotest.(check int) "view empty" 0
+          (Relation.cardinality (Engines.view_contents e));
+        Alcotest.(check int) "no detail rows" 0
+          (List.fold_left (fun acc (_, r, _) -> acc + r) 0
+             (Engines.detail_profile e)));
+    test "cascade batch: facts of a dimension, then the dimension" (fun () ->
+        let db = Workload.Retail.load Workload.Retail.small_params in
+        let view = Workload.Retail.product_sales in
+        let e = Engines.minimal db view in
+        (* retire day 3: all its sales first, the time row second, in ONE
+           batch (the order a source transaction would emit) *)
+        let victims =
+          Database.fold db "sale"
+            (fun tup acc -> if tup.(1) = i 3 then tup :: acc else acc)
+            []
+        in
+        let time_row = Option.get (Database.find_by_key db "time" (i 3)) in
+        let batch =
+          List.map (fun tup -> Delta.delete "sale" tup) victims
+          @ [ Delta.delete "time" time_row ]
+        in
+        Database.apply_all db batch;
+        Engines.apply_batch e batch;
+        Alcotest.check relation "maintained"
+          (Algebra.Eval.eval db view)
+          (Engines.view_contents e));
+    test "long mixed stream across five views at once" (fun () ->
+        let db = Workload.Retail.load Workload.Retail.small_params in
+        let wh = Warehouse.create db in
+        List.iter (Warehouse.add_view wh) retail_views;
+        let rng = Workload.Prng.create 71 in
+        for _ = 1 to 4 do
+          Warehouse.ingest wh (Workload.Delta_gen.stream rng db ~n:500)
+        done;
+        List.iter
+          (fun view ->
+            let _, got = Warehouse.query wh view.View.name in
+            Alcotest.check relation view.View.name
+              (Algebra.Eval.eval db view)
+              got)
+          retail_views);
+    test "mixed strategies, one source, persistence in the middle" (fun () ->
+        let db = Workload.Retail.load Workload.Retail.small_params in
+        let wh = Warehouse.create db in
+        Warehouse.add_view wh Workload.Retail.product_sales;
+        Warehouse.add_view ~strategy:Warehouse.Psj wh
+          Workload.Retail.product_sales_max;
+        Warehouse.add_view ~strategy:Warehouse.Replicate wh
+          Workload.Retail.monthly_revenue;
+        let rng = Workload.Prng.create 81 in
+        Warehouse.ingest wh (Workload.Delta_gen.stream rng db ~n:300);
+        let path =
+          Filename.concat (Filename.get_temp_dir_name ()) "wh_mix.bin"
+        in
+        Warehouse.save wh path;
+        let wh = Warehouse.load path in
+        Sys.remove path;
+        Warehouse.ingest wh (Workload.Delta_gen.stream rng db ~n:300);
+        List.iter
+          (fun view ->
+            let _, got = Warehouse.query wh view.View.name in
+            Alcotest.check relation view.View.name
+              (Algebra.Eval.eval db view)
+              got)
+          [ Workload.Retail.product_sales; Workload.Retail.product_sales_max;
+            Workload.Retail.monthly_revenue ]);
+  ]
+
+let () = Alcotest.run "integration" [ ("end-to-end", tests) ]

@@ -1,0 +1,81 @@
+(* Tests for the extended join graph (Definition 2, Figure 2). *)
+
+open Helpers
+module Join_graph = Mindetail.Join_graph
+
+let test case fn = Alcotest.test_case case `Quick fn
+
+let graph view db = Join_graph.build db view
+
+let retail = Workload.Retail.empty ()
+let snow = Workload.Snowflake.empty ()
+
+let annot =
+  Alcotest.testable
+    (fun ppf x -> Format.pp_print_string ppf (Join_graph.annotation_name x))
+    ( = )
+
+let figure2_tests =
+  [
+    test "Figure 2: product_sales graph" (fun () ->
+        let g = graph Workload.Retail.product_sales retail in
+        Alcotest.(check string) "root" "sale" (Join_graph.root g);
+        Alcotest.(check (slist string String.compare)) "children"
+          [ "product"; "time" ]
+          (Join_graph.children g "sale");
+        Alcotest.check annot "time is g" Join_graph.Grouped
+          (Join_graph.annotation g "time");
+        Alcotest.check annot "product plain" Join_graph.Plain
+          (Join_graph.annotation g "product");
+        Alcotest.check annot "sale plain" Join_graph.Plain
+          (Join_graph.annotation g "sale"));
+    test "key annotation wins over grouped" (fun () ->
+        let g = graph Workload.Retail.sales_by_time retail in
+        Alcotest.check annot "time is k" Join_graph.Keyed
+          (Join_graph.annotation g "time"));
+    test "root key group-by annotates the root" (fun () ->
+        let g = graph Workload.Retail.product_sales_max retail in
+        (* grouped on sale.productid, not the key sale.id *)
+        Alcotest.check annot "sale grouped" Join_graph.Grouped
+          (Join_graph.annotation g "sale"));
+    test "parent relation" (fun () ->
+        let g = graph Workload.Retail.product_sales retail in
+        Alcotest.(check (option string)) "time" (Some "sale")
+          (Join_graph.parent g "time");
+        Alcotest.(check (option string)) "root" None (Join_graph.parent g "sale"));
+    test "subtree of snowflake chain" (fun () ->
+        let g = graph Workload.Snowflake.category_revenue snow in
+        Alcotest.(check (list string)) "product subtree"
+          [ "product"; "brand"; "category" ]
+          (Join_graph.subtree g "product");
+        Alcotest.(check (list string)) "leaf" [ "category" ]
+          (Join_graph.subtree g "category"));
+    test "edge lookup" (fun () ->
+        let g = graph Workload.Snowflake.category_revenue snow in
+        (match Join_graph.edge g ~parent:"brand" ~child:"category" with
+        | Some j ->
+          Alcotest.(check string) "src" "brand.categoryid"
+            (Attr.to_string j.View.src)
+        | None -> Alcotest.fail "edge missing");
+        Alcotest.(check bool) "absent" true
+          (Join_graph.edge g ~parent:"sale" ~child:"category" = None));
+    test "single-table graph" (fun () ->
+        let g = graph Workload.Retail.months retail in
+        Alcotest.(check string) "root" "time" (Join_graph.root g);
+        Alcotest.(check (list string)) "no children" []
+          (Join_graph.children g "time"));
+    test "ascii rendering mentions annotations" (fun () ->
+        let g = graph Workload.Retail.product_sales retail in
+        let out = Mindetail.Explain.join_graph_ascii g in
+        let contains needle = contains out needle in
+        Alcotest.(check bool) "time [g]" true (contains "time [g]");
+        Alcotest.(check bool) "sale root" true (contains "sale"));
+    test "dot rendering is well formed" (fun () ->
+        let g = graph Workload.Retail.product_sales retail in
+        let out = Mindetail.Explain.join_graph_dot g in
+        Alcotest.(check bool) "digraph" true
+          (String.length out > 8 && String.sub out 0 8 = "digraph ");
+        Alcotest.(check bool) "closed" true (String.contains out '}'));
+  ]
+
+let () = Alcotest.run "join_graph" [ ("figure2", figure2_tests) ]

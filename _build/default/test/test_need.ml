@@ -1,0 +1,89 @@
+(* Tests for the Need / Need0 functions (Definitions 3 and 4), including the
+   worked examples from the paper. *)
+
+open Helpers
+module Join_graph = Mindetail.Join_graph
+module Need = Mindetail.Need
+
+let test case fn = Alcotest.test_case case `Quick fn
+
+let retail = Workload.Retail.empty ()
+let snow = Workload.Snowflake.empty ()
+
+let need view db table =
+  Need.need (Join_graph.build db view) table
+
+let need0 view db table =
+  Need.need0 (Join_graph.build db view) table
+
+let sset = Alcotest.slist Alcotest.string String.compare
+
+let tests =
+  [
+    test "product_sales: Need(sale) = {time}" (fun () ->
+        (* Need0 walks to the g-annotated time vertex only: product carries
+           no group-by attributes *)
+        Alcotest.check sset "need sale" [ "time" ]
+          (need Workload.Retail.product_sales retail "sale"));
+    test "product_sales: Need(time) contains sale" (fun () ->
+        Alcotest.check sset "need time" [ "sale" ]
+          (need Workload.Retail.product_sales retail "time"));
+    test "product_sales: Need(product) = {sale, time}" (fun () ->
+        Alcotest.check sset "need product" [ "sale"; "time" ]
+          (need Workload.Retail.product_sales retail "product"));
+    test "keyed vertex needs nothing" (fun () ->
+        (* sales_by_time groups on time.id, so time is k-annotated *)
+        Alcotest.check sset "need time" []
+          (need Workload.Retail.sales_by_time retail "time"));
+    test "root stops at keyed child (Definition 4)" (fun () ->
+        Alcotest.check sset "need sale" [ "time" ]
+          (need Workload.Retail.sales_by_time retail "sale"));
+    test "need0 of keyed vertex is empty" (fun () ->
+        Alcotest.check sset "need0" []
+          (need0 Workload.Retail.sales_by_time retail "time"));
+    test "root annotated g uses its own key-less group-bys" (fun () ->
+        (* product_sales_max groups on sale.productid (root, non-key):
+           Need(sale) = Need0(sale) = {} since no child carries annotations *)
+        Alcotest.check sset "need sale" []
+          (need Workload.Retail.product_sales_max retail "sale"));
+    test "snowflake chain accumulates ancestors" (fun () ->
+        let v = Workload.Snowflake.category_revenue in
+        Alcotest.check sset "need category" [ "brand"; "product"; "sale" ]
+          (need v snow "category");
+        (* Definition 3 unions the parent chain with the root's Need0, which
+           reaches down to the g-annotated category vertex *)
+        Alcotest.check sset "need brand" [ "category"; "product"; "sale" ]
+          (need v snow "brand");
+        (* category is g-annotated, so the root's Need0 includes the whole
+           path down to it *)
+        Alcotest.check sset "need sale" [ "product"; "brand"; "category" ]
+          (need v snow "sale"));
+    test "keyed ancestor truncates Need below it" (fun () ->
+        let v = Workload.Snowflake.product_brand_profile in
+        (* product is k-annotated: Need(brand) = {product} and stops *)
+        Alcotest.check sset "need brand" [ "product" ] (need v snow "brand");
+        Alcotest.check sset "need product" [] (need v snow "product");
+        Alcotest.check sset "need sale" [ "product" ] (need v snow "sale"));
+    test "need never contains the table itself" (fun () ->
+        List.iter
+          (fun (v, db) ->
+            let g = Join_graph.build db v in
+            List.iter
+              (fun (t, ns) ->
+                Alcotest.(check bool)
+                  (v.View.name ^ "/" ^ t)
+                  false (List.mem t ns))
+              (Need.all g))
+          [
+            (Workload.Retail.product_sales, retail);
+            (Workload.Retail.sales_by_time, retail);
+            (Workload.Snowflake.category_revenue, snow);
+            (Workload.Snowflake.product_brand_profile, snow);
+          ]);
+    test "all covers every table" (fun () ->
+        let g = Join_graph.build retail Workload.Retail.product_sales in
+        Alcotest.check sset "tables" [ "sale"; "time"; "product" ]
+          (List.map fst (Need.all g)));
+  ]
+
+let () = Alcotest.run "need" [ ("definitions-3-4", tests) ]

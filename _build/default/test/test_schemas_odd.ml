@@ -1,0 +1,151 @@
+(* Tests for schema shapes the main workloads never exercise: string-typed
+   keys, key columns in non-first positions, single-column tables, and
+   boolean attributes — the machinery is value- and position-generic and
+   must not care. *)
+
+open Helpers
+module Derive = Mindetail.Derive
+module Engines = Maintenance.Engines
+
+let test case fn = Alcotest.test_case case `Quick fn
+
+(* currencies(code TEXT KEY in the middle), payments referencing them by
+   string code; key of payments is also not the first column *)
+let odd_db () =
+  let db = Database.create () in
+  Database.add_table db
+    (Schema.make ~name:"currency" ~key:"code"
+       [ { Schema.col_name = "symbol"; col_type = Datatype.TString };
+         { Schema.col_name = "code"; col_type = Datatype.TString };
+         { Schema.col_name = "major"; col_type = Datatype.TBool } ])
+    ~updatable:[ "major" ];
+  Database.add_table db
+    (Schema.make ~name:"payment" ~key:"ref"
+       [ { Schema.col_name = "amount"; col_type = Datatype.TInt };
+         { Schema.col_name = "currency"; col_type = Datatype.TString };
+         { Schema.col_name = "ref"; col_type = Datatype.TString } ])
+    ~updatable:[ "amount" ];
+  Database.add_reference db
+    { Relational.Integrity.src_table = "payment"; src_col = "currency";
+      dst_table = "currency" };
+  List.iter (Database.apply db)
+    [ Delta.insert "currency" (row [ s "$"; s "USD"; b true ]);
+      Delta.insert "currency" (row [ s "kr"; s "DKK"; b false ]);
+      Delta.insert "payment" (row [ i 10; s "USD"; s "p1" ]);
+      Delta.insert "payment" (row [ i 20; s "USD"; s "p2" ]);
+      Delta.insert "payment" (row [ i 7; s "DKK"; s "p3" ]) ];
+  db
+
+let by_currency =
+  {
+    View.name = "by_currency";
+    having = [];
+    select =
+      [
+        group (a "currency" "code");
+        sum ~alias:"Total" (a "payment" "amount");
+        count_star ~alias:"N" ();
+      ];
+    tables = [ "payment"; "currency" ];
+    locals = [];
+    joins = [ join (a "payment" "currency") (a "currency" "code") ];
+  }
+
+let major_only =
+  {
+    by_currency with
+    View.name = "major_only";
+    locals = [ local (a "currency" "major") Cmp.Eq (b true) ];
+  }
+
+let tests =
+  [
+    test "string keys derive the expected auxiliary views" (fun () ->
+        let db = odd_db () in
+        (* group by the symbol (not the key) so the fact view is retained *)
+        let v =
+          { by_currency with
+            View.name = "by_symbol";
+            select =
+              group (a "currency" "symbol")
+              :: List.tl by_currency.View.select }
+        in
+        let d = Derive.derive db v in
+        let spec = Option.get (Derive.spec_for d "payment") in
+        Alcotest.(check (list string)) "grouped by the string fk"
+          [ "currency" ]
+          (Mindetail.Auxview.group_columns spec);
+        Alcotest.(check bool) "compressed" true
+          spec.Mindetail.Auxview.compressed);
+    test "evaluation over string keys" (fun () ->
+        let db = odd_db () in
+        Alcotest.check relation "by_currency"
+          (rel [ [ s "USD"; i 30; i 2 ]; [ s "DKK"; i 7; i 1 ] ])
+          (Algebra.Eval.eval db by_currency));
+    test "maintenance over string keys and boolean conditions" (fun () ->
+        List.iter
+          (fun view ->
+            let db = odd_db () in
+            let e = Engines.minimal db view in
+            let deltas =
+              [ Delta.insert "payment" (row [ i 100; s "DKK"; s "p4" ]);
+                Delta.update "payment" ~before:(row [ i 10; s "USD"; s "p1" ])
+                  ~after:(row [ i 15; s "USD"; s "p1" ]);
+                Delta.delete "payment" (row [ i 20; s "USD"; s "p2" ]);
+                Delta.insert "currency" (row [ s "E"; s "EUR"; b true ]);
+                Delta.insert "payment" (row [ i 9; s "EUR"; s "p5" ]) ]
+            in
+            Database.apply_all db deltas;
+            Engines.apply_batch e deltas;
+            Alcotest.check relation view.View.name
+              (Algebra.Eval.eval db view)
+              (Engines.view_contents e))
+          [ by_currency; major_only ]);
+    test "exposed boolean update pulls payments in and out" (fun () ->
+        let db = odd_db () in
+        let e = Engines.minimal db major_only in
+        (* currency.major is updatable and used in a condition: exposed *)
+        let deltas =
+          [ Delta.update "currency" ~before:(row [ s "kr"; s "DKK"; b false ])
+              ~after:(row [ s "kr"; s "DKK"; b true ]) ]
+        in
+        Database.apply_all db deltas;
+        Engines.apply_batch e deltas;
+        Alcotest.check relation "DKK now visible"
+          (Algebra.Eval.eval db major_only)
+          (Engines.view_contents e);
+        Alcotest.(check int) "two groups" 2
+          (Relation.cardinality (Engines.view_contents e)));
+    test "string-keyed group-by eliminates the fact view" (fun () ->
+        let db = odd_db () in
+        (* currency.code is the key: the k-annotation fires *)
+        let d = Derive.derive db by_currency in
+        Alcotest.(check (list string)) "payment omitted" [ "payment" ]
+          (Derive.omitted_tables d));
+    test "single-column table" (fun () ->
+        let db = Database.create () in
+        Database.add_table db
+          (Schema.make ~name:"tag" ~key:"name"
+             [ { Schema.col_name = "name"; col_type = Datatype.TString } ])
+          ~updatable:[];
+        Database.insert db "tag" (row [ s "red" ]);
+        Database.insert db "tag" (row [ s "blue" ]);
+        let v =
+          {
+            View.name = "tags";
+            having = [];
+            select = [ group (a "tag" "name") ];
+            tables = [ "tag" ];
+            locals = [];
+            joins = [];
+          }
+        in
+        let e = Engines.minimal db v in
+        let deltas = [ Delta.delete "tag" (row [ s "red" ]) ] in
+        Database.apply_all db deltas;
+        Engines.apply_batch e deltas;
+        Alcotest.check relation "tags" (rel [ [ s "blue" ] ])
+          (Engines.view_contents e));
+  ]
+
+let () = Alcotest.run "odd_schemas" [ ("odd-shapes", tests) ]

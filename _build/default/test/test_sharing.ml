@@ -1,0 +1,168 @@
+(* Tests for the cross-view sharing analysis (future-work prototype: minimal
+   detail data for classes of summary data). *)
+
+open Helpers
+module Derive = Mindetail.Derive
+module Auxview = Mindetail.Auxview
+module Sharing = Mindetail.Sharing
+
+let test case fn = Alcotest.test_case case `Quick fn
+
+let db = Workload.Retail.empty ()
+
+let spec_of view table =
+  Option.get (Derive.spec_for (Derive.derive db view) table)
+
+(* a second view over the same schema needing the same product detail *)
+let brand_sales =
+  {
+    View.name = "brand_sales";
+    having = [];
+    select =
+      [
+        group (a "product" "brand");
+        sum ~alias:"Revenue" (a "sale" "price");
+        count_star ~alias:"Sales" ();
+      ];
+    tables = [ "sale"; "product" ];
+    locals = [];
+    joins = [ join (a "sale" "productid") (a "product" "id") ];
+  }
+
+(* same as product_sales but with a coarser select on the fact table *)
+let monthly_count =
+  {
+    View.name = "monthly_count";
+    having = [];
+    select =
+      [ group (a "time" "month"); count_star ~alias:"Sales" () ];
+    tables = [ "sale"; "time" ];
+    locals =
+      [ local (a "time" "year") Cmp.Eq (i 1997) ];
+    joins = [ join (a "sale" "timeid") (a "time" "id") ];
+  }
+
+let verdict_tests =
+  [
+    test "a spec is identical to itself" (fun () ->
+        let s = spec_of Workload.Retail.product_sales "sale" in
+        Alcotest.(check bool) "identical" true
+          (Sharing.compare_specs s s = Sharing.Identical));
+    test "identical product details across views" (fun () ->
+        let s1 = spec_of Workload.Retail.product_sales "product" in
+        let s2 = spec_of brand_sales "product" in
+        (* both keep (id, brand): identical modulo the view they serve *)
+        Alcotest.(check bool) "identical" true
+          (Sharing.compare_specs s1 s2 = Sharing.Identical));
+    test "tuple-level PSJ view subsumes the compressed one" (fun () ->
+        let compressed = spec_of Workload.Retail.product_sales "sale" in
+        let tuple_level =
+          Option.get
+            (Derive.spec_for
+               (Mindetail.Psj.derive db Workload.Retail.product_sales)
+               "sale")
+        in
+        Alcotest.(check bool) "subsumes" true
+          (Sharing.compare_specs tuple_level compressed <> Sharing.Unrelated);
+        (* but not the other way round: the compressed view lost the key *)
+        Alcotest.(check bool) "not backwards" true
+          (Sharing.compare_specs compressed tuple_level = Sharing.Unrelated));
+    test "finer grouping subsumes coarser (in context)" (fun () ->
+        (* product_sales groups saleDTL by (timeid, productid); monthly_count
+           needs only (timeid) with a count. The extra semijoin against
+           productDTL is vacuous (productDTL has no conditions), which only
+           the context-aware comparison can see. *)
+        let d = Derive.derive db Workload.Retail.product_sales in
+        let fine = Option.get (Derive.spec_for d "sale") in
+        let coarse = spec_of monthly_count "sale" in
+        Alcotest.(check bool) "conservative says unrelated" true
+          (Sharing.compare_specs fine coarse = Sharing.Unrelated);
+        let d_coarse = Derive.derive db monthly_count in
+        Alcotest.(check bool) "contextual subsumes" true
+          (Sharing.compare_in_context d fine d_coarse coarse
+          = Sharing.Subsumes));
+    test "different conditions are unrelated" (fun () ->
+        (* timeDTL of product_sales filters year = 1997; sales_by_time's
+           does not, so the filtered one cannot serve it *)
+        let filtered = spec_of Workload.Retail.product_sales "time" in
+        let unfiltered = spec_of Workload.Retail.sales_by_time "time" in
+        Alcotest.(check bool) "filtered cannot serve" true
+          (Sharing.compare_specs filtered unfiltered = Sharing.Unrelated);
+        (* the unfiltered one keeps id only: it cannot produce month *)
+        Alcotest.(check bool) "narrow columns cannot serve" true
+          (Sharing.compare_specs unfiltered filtered = Sharing.Unrelated));
+  ]
+
+let analyze_tests =
+  [
+    test "semijoins against differently-filtered targets block sharing"
+      (fun () ->
+        (* product_sales' saleDTL is semijoin-reduced by a year-filtered
+           timeDTL; monthly_revenue's is reduced by an unfiltered one, so the
+           structurally identical specs hold different rows and must not be
+           shared in that direction *)
+        let d_ps = Derive.derive db Workload.Retail.product_sales in
+        let d_mr = Derive.derive db Workload.Retail.monthly_revenue in
+        let s_ps = Option.get (Derive.spec_for d_ps "sale") in
+        let s_mr = Option.get (Derive.spec_for d_mr "sale") in
+        Alcotest.(check bool) "filtered cannot serve unfiltered" true
+          (Sharing.compare_in_context d_ps s_ps d_mr s_mr
+          = Sharing.Unrelated);
+        (* the unfiltered one subsumes the filtered one, since the year
+           condition is re-checkable through monthly_revenue's timeDTL...
+           which it is not (the filter lives on the time view), so it is
+           conservatively unrelated as well *)
+        Alcotest.(check bool) "reverse also conservative" true
+          (Sharing.compare_in_context d_mr s_mr d_ps s_ps
+          <> Sharing.Identical));
+    test "analyze groups identical specs once" (fun () ->
+        let named =
+          [
+            ("product_sales", Derive.derive db Workload.Retail.product_sales);
+            ("brand_sales", Derive.derive db brand_sales);
+          ]
+        in
+        let ops = Sharing.analyze named in
+        Alcotest.(check bool) "at least one opportunity" true (ops <> []);
+        (* the product detail tables are shared *)
+        Alcotest.(check bool) "product shared" true
+          (List.exists
+             (fun (op : Sharing.opportunity) ->
+               (snd op.Sharing.keep).Auxview.base = "product")
+             ops));
+    test "analyze finds subsumption across grains" (fun () ->
+        let named =
+          [
+            ("product_sales", Derive.derive db Workload.Retail.product_sales);
+            ("monthly_count", Derive.derive db monthly_count);
+          ]
+        in
+        let ops = Sharing.analyze named in
+        Alcotest.(check bool) "sale shared" true
+          (List.exists
+             (fun (op : Sharing.opportunity) ->
+               (snd op.Sharing.keep).Auxview.base = "sale")
+             ops));
+    test "no opportunities on disjoint views" (fun () ->
+        let named =
+          [ ("months", Derive.derive db Workload.Retail.months) ]
+        in
+        Alcotest.(check (list string)) "none" []
+          (List.map
+             (fun (op : Sharing.opportunity) -> fst op.Sharing.keep)
+             (Sharing.analyze named)));
+    test "report is readable" (fun () ->
+        let named =
+          [
+            ("product_sales", Derive.derive db Workload.Retail.product_sales);
+            ("brand_sales", Derive.derive db brand_sales);
+          ]
+        in
+        let out = Sharing.report named in
+        let contains needle = contains out needle in
+        Alcotest.(check bool) "mentions serving" true (contains "also serves"));
+  ]
+
+let () =
+  Alcotest.run "sharing"
+    [ ("verdicts", verdict_tests); ("analyze", analyze_tests) ]

@@ -1,0 +1,302 @@
+(* Tests for the SQL front-end: lexer, parser, elaboration and execution. *)
+
+open Helpers
+module Lexer = Sqlfront.Lexer
+module Parser = Sqlfront.Parser
+module Ast = Sqlfront.Ast
+module Elaborate = Sqlfront.Elaborate
+module Token = Sqlfront.Token
+
+let test case fn = Alcotest.test_case case `Quick fn
+
+(* --- lexer ----------------------------------------------------------------- *)
+
+let token = Alcotest.testable Token.pp Token.equal
+
+let lexer_tests =
+  [
+    test "identifiers, numbers, punctuation" (fun () ->
+        Alcotest.(check (list token)) "tokens"
+          [ Token.Ident "SELECT"; Token.Ident "x"; Token.Punct ",";
+            Token.Int_lit 42; Token.Punct ";"; Token.Eof ]
+          (Lexer.tokenize "SELECT x, 42;"));
+    test "floats vs qualified names" (fun () ->
+        Alcotest.(check (list token)) "float"
+          [ Token.Float_lit 1.5; Token.Eof ]
+          (Lexer.tokenize "1.5");
+        Alcotest.(check (list token)) "qualified"
+          [ Token.Ident "t"; Token.Punct "."; Token.Ident "c"; Token.Eof ]
+          (Lexer.tokenize "t.c"));
+    test "strings with escapes" (fun () ->
+        Alcotest.(check (list token)) "escape"
+          [ Token.String_lit "o'brien"; Token.Eof ]
+          (Lexer.tokenize "'o''brien'"));
+    test "comments are skipped" (fun () ->
+        Alcotest.(check (list token)) "comment"
+          [ Token.Int_lit 1; Token.Int_lit 2; Token.Eof ]
+          (Lexer.tokenize "1 -- ignored\n2"));
+    test "two-char operators" (fun () ->
+        Alcotest.(check (list token)) "ops"
+          [ Token.Punct "<="; Token.Punct "<>"; Token.Punct ">="; Token.Eof ]
+          (Lexer.tokenize "<= <> >=");
+        Alcotest.(check (list token)) "bang-eq normalizes"
+          [ Token.Punct "<>"; Token.Eof ]
+          (Lexer.tokenize "!="));
+    test "unterminated string raises" (fun () ->
+        match Lexer.tokenize "'oops" with
+        | exception Lexer.Error _ -> ()
+        | _ -> Alcotest.fail "expected Lexer.Error");
+    test "stray character raises" (fun () ->
+        match Lexer.tokenize "a @ b" with
+        | exception Lexer.Error _ -> ()
+        | _ -> Alcotest.fail "expected Lexer.Error");
+    test "negative literals" (fun () ->
+        Alcotest.(check (list token)) "int"
+          [ Token.Int_lit (-3); Token.Eof ]
+          (Lexer.tokenize "-3");
+        Alcotest.(check (list token)) "float"
+          [ Token.Float_lit (-2.5); Token.Eof ]
+          (Lexer.tokenize "-2.5");
+        (* a double dash is still a comment *)
+        Alcotest.(check (list token)) "comment"
+          [ Token.Eof ]
+          (Lexer.tokenize "--3"));
+    test "keywords are case-insensitive" (fun () ->
+        Alcotest.(check bool) "kw" true
+          (Token.is_keyword (Token.Ident "select") "SELECT"));
+  ]
+
+(* --- parser ----------------------------------------------------------------- *)
+
+let parse_one s = Parser.statement s
+
+let parser_tests =
+  [
+    test "lowercase statements parse" (fun () ->
+        match parse_one "select x from t where x > -2 group by x;" with
+        | Ast.Select_stmt s ->
+          Alcotest.(check int) "conds" 1 (List.length s.Ast.where)
+        | _ -> Alcotest.fail "expected SELECT");
+    test "aggregate names double as plain identifiers" (fun () ->
+        (* 'count' without parentheses is a column reference *)
+        match parse_one "SELECT count FROM t;" with
+        | Ast.Select_stmt { items = [ { expr = Ast.E_column c; _ } ]; _ } ->
+          Alcotest.(check string) "column" "count" c.Ast.column
+        | _ -> Alcotest.fail "expected a column item");
+    test "final semicolon is optional" (fun () ->
+        Alcotest.(check int) "one" 1
+          (List.length (Parser.script "SELECT x FROM t")));
+    test "qualified GROUP BY columns" (fun () ->
+        match parse_one "SELECT t.x FROM t GROUP BY t.x;" with
+        | Ast.Select_stmt { group_by = [ { table = Some "t"; column = "x" } ]; _ }
+          -> ()
+        | _ -> Alcotest.fail "expected qualified group-by");
+    test "negative values in DML" (fun () ->
+        match parse_one "INSERT INTO t VALUES (1, -5);" with
+        | Ast.Insert { values = [ Ast.L_int 1; Ast.L_int (-5) ]; _ } -> ()
+        | _ -> Alcotest.fail "expected negative literal");
+    test "select with aggregates and grouping" (fun () ->
+        match parse_one
+                "SELECT t.month, SUM(price) AS p, COUNT(*), \
+                 COUNT(DISTINCT brand) FROM sale, t WHERE sale.tid = t.id \
+                 GROUP BY t.month;"
+        with
+        | Ast.Select_stmt s ->
+          Alcotest.(check int) "items" 4 (List.length s.Ast.items);
+          Alcotest.(check (list string)) "from" [ "sale"; "t" ] s.Ast.from;
+          Alcotest.(check int) "conds" 1 (List.length s.Ast.where);
+          Alcotest.(check int) "groups" 1 (List.length s.Ast.group_by)
+        | _ -> Alcotest.fail "expected SELECT");
+    test "count star parses" (fun () ->
+        match parse_one "SELECT COUNT(*) FROM t;" with
+        | Ast.Select_stmt { items = [ { expr = Ast.E_agg { arg = None; _ }; _ } ]; _ } -> ()
+        | _ -> Alcotest.fail "expected COUNT(*)");
+    test "sum star rejected" (fun () ->
+        match parse_one "SELECT SUM(*) FROM t;" with
+        | exception Parser.Error _ -> ()
+        | _ -> Alcotest.fail "expected Parser.Error");
+    test "create table with inline and trailing constraints" (fun () ->
+        match
+          parse_one
+            "CREATE TABLE sale (id INT PRIMARY KEY, tid INT REFERENCES t, \
+             price INT UPDATABLE, FOREIGN KEY (tid) REFERENCES t);"
+        with
+        | Ast.Create_table { name; columns; constraints } ->
+          Alcotest.(check string) "name" "sale" name;
+          Alcotest.(check int) "cols" 3 (List.length columns);
+          Alcotest.(check int) "constraints" 1 (List.length constraints);
+          let tid = List.nth columns 1 in
+          Alcotest.(check bool) "refs" true (tid.Ast.references = Some "t");
+          Alcotest.(check bool) "updatable" true (List.nth columns 2).Ast.updatable
+        | _ -> Alcotest.fail "expected CREATE TABLE");
+    test "insert, delete, update" (fun () ->
+        (match parse_one "INSERT INTO t VALUES (1, 'x', 2.5, TRUE);" with
+        | Ast.Insert { values; _ } ->
+          Alcotest.(check int) "values" 4 (List.length values)
+        | _ -> Alcotest.fail "insert");
+        (match parse_one "DELETE FROM t WHERE id = 3 AND x <> 'y';" with
+        | Ast.Delete { where; _ } ->
+          Alcotest.(check int) "conds" 2 (List.length where)
+        | _ -> Alcotest.fail "delete");
+        match parse_one "UPDATE t SET x = 1, y = 'z' WHERE id = 1;" with
+        | Ast.Update { assignments; _ } ->
+          Alcotest.(check int) "assignments" 2 (List.length assignments)
+        | _ -> Alcotest.fail "update");
+    test "create view wraps a select" (fun () ->
+        match parse_one "CREATE VIEW v AS SELECT x FROM t;" with
+        | Ast.Create_view { name = "v"; select = { items = [ _ ]; _ } } -> ()
+        | _ -> Alcotest.fail "expected CREATE VIEW");
+    test "script splits on semicolons" (fun () ->
+        Alcotest.(check int) "two" 2
+          (List.length (Parser.script "SELECT x FROM t; SELECT y FROM u;")));
+    test "reserved word as identifier rejected" (fun () ->
+        match parse_one "SELECT select FROM t;" with
+        | exception Parser.Error _ -> ()
+        | _ -> Alcotest.fail "expected Parser.Error");
+    test "missing FROM rejected" (fun () ->
+        match parse_one "SELECT x;" with
+        | exception Parser.Error _ -> ()
+        | _ -> Alcotest.fail "expected Parser.Error");
+    test "statement rejects trailing garbage" (fun () ->
+        match Parser.statement "SELECT x FROM t; SELECT y FROM u;" with
+        | exception Parser.Error _ -> ()
+        | _ -> Alcotest.fail "expected Parser.Error");
+  ]
+
+(* --- elaboration ------------------------------------------------------------ *)
+
+let setup () =
+  let db = Relational.Database.create () in
+  ignore
+    (Elaborate.run_script db
+       {|CREATE TABLE dim (id INT PRIMARY KEY, label TEXT, size INT);
+         CREATE TABLE fact (id INT PRIMARY KEY, dimid INT REFERENCES dim,
+                            v INT UPDATABLE);
+         INSERT INTO dim VALUES (1, 'a', 10);
+         INSERT INTO dim VALUES (2, 'b', 20);
+         INSERT INTO fact VALUES (1, 1, 5);
+         INSERT INTO fact VALUES (2, 1, 7);
+         INSERT INTO fact VALUES (3, 2, 9);|});
+  db
+
+let view_of db sql =
+  match Parser.statement sql with
+  | Ast.Create_view { name; select } -> Elaborate.view_of_select db ~name select
+  | _ -> Alcotest.fail "expected CREATE VIEW"
+
+let expect_elab_error db sql =
+  match view_of db sql with
+  | exception Elaborate.Error _ -> ()
+  | _ -> Alcotest.fail "expected Elaborate.Error"
+
+let elaborate_tests =
+  [
+    test "unqualified columns resolve uniquely" (fun () ->
+        let db = setup () in
+        let v =
+          view_of db
+            "CREATE VIEW x AS SELECT label, SUM(v) AS total FROM fact, dim \
+             WHERE fact.dimid = dim.id GROUP BY label;"
+        in
+        Alcotest.(check string) "root" "fact" (View.root v);
+        Alcotest.(check int) "joins" 1 (List.length v.View.joins));
+    test "ambiguous column rejected" (fun () ->
+        let db = setup () in
+        expect_elab_error db
+          "CREATE VIEW x AS SELECT id FROM fact, dim WHERE fact.dimid = dim.id;");
+    test "unknown column rejected" (fun () ->
+        let db = setup () in
+        expect_elab_error db "CREATE VIEW x AS SELECT nosuch FROM dim;");
+    test "join orientation picks the key side" (fun () ->
+        let db = setup () in
+        let v =
+          view_of db
+            "CREATE VIEW x AS SELECT label FROM fact, dim WHERE dim.id = fact.dimid;"
+        in
+        (match v.View.joins with
+        | [ j ] ->
+          Alcotest.(check string) "src" "fact.dimid" (Attr.to_string j.View.src);
+          Alcotest.(check string) "dst" "dim.id" (Attr.to_string j.View.dst)
+        | _ -> Alcotest.fail "one join expected"));
+    test "non-key join rejected" (fun () ->
+        let db = setup () in
+        expect_elab_error db
+          "CREATE VIEW x AS SELECT label FROM fact, dim WHERE fact.v = dim.size;");
+    test "flipped literal condition normalizes" (fun () ->
+        let db = setup () in
+        let v = view_of db "CREATE VIEW x AS SELECT label FROM dim WHERE 15 < size;" in
+        match v.View.locals with
+        | [ { Predicate.left; op = Cmp.Gt; right = Predicate.Const c } ] ->
+          Alcotest.(check string) "left" "dim.size" (Attr.to_string left);
+          Alcotest.check value "const" (i 15) c
+        | _ -> Alcotest.fail "expected normalized local");
+    test "GROUP BY must match projected attributes" (fun () ->
+        let db = setup () in
+        expect_elab_error db
+          "CREATE VIEW x AS SELECT label, SUM(v) AS t FROM fact, dim \
+           WHERE fact.dimid = dim.id GROUP BY size;");
+    test "COUNT(a) becomes COUNT(*) under no-nulls" (fun () ->
+        let db = setup () in
+        let v =
+          view_of db
+            "CREATE VIEW x AS SELECT label, COUNT(v) AS c FROM fact, dim \
+             WHERE fact.dimid = dim.id GROUP BY label;"
+        in
+        match View.aggregates v with
+        | [ g ] ->
+          Alcotest.(check bool) "count star" true
+            (g.Aggregate.func = Aggregate.Count_star)
+        | _ -> Alcotest.fail "one aggregate");
+    test "DML delete selects matching rows" (fun () ->
+        let db = setup () in
+        match Elaborate.run db (Parser.statement "DELETE FROM fact WHERE dimid = 1;") with
+        | Elaborate.Applied ds ->
+          Alcotest.(check int) "two rows" 2 (List.length ds);
+          Alcotest.(check int) "remaining" 1
+            (Relational.Database.row_count db "fact")
+        | _ -> Alcotest.fail "expected Applied");
+    test "DML update produces before/after pairs" (fun () ->
+        let db = setup () in
+        match Elaborate.run db (Parser.statement "UPDATE fact SET v = 100 WHERE id = 1;") with
+        | Elaborate.Applied [ { Delta.change = Delta.Update { before; after }; _ } ] ->
+          Alcotest.check value "before" (i 5) before.(2);
+          Alcotest.check value "after" (i 100) after.(2)
+        | _ -> Alcotest.fail "expected one update");
+    test "ad-hoc select evaluates" (fun () ->
+        let db = setup () in
+        match
+          Elaborate.run db
+            (Parser.statement
+               "SELECT label, SUM(v) AS total FROM fact, dim \
+                WHERE fact.dimid = dim.id GROUP BY label;")
+        with
+        | Elaborate.Queried (cols, r) ->
+          Alcotest.(check (list string)) "cols" [ "label"; "total" ] cols;
+          Alcotest.check relation "rows"
+            (rel [ [ s "a"; i 12 ]; [ s "b"; i 9 ] ])
+            r
+        | _ -> Alcotest.fail "expected Queried");
+    test "create table without key rejected" (fun () ->
+        let db = Relational.Database.create () in
+        match Elaborate.run_script db "CREATE TABLE t (x INT);" with
+        | exception Elaborate.Error _ -> ()
+        | _ -> Alcotest.fail "expected Elaborate.Error");
+    test "views and changes extractors" (fun () ->
+        let db = setup () in
+        let outcomes =
+          Elaborate.run_script db
+            {|CREATE VIEW v AS SELECT label FROM dim;
+              INSERT INTO dim VALUES (3, 'c', 30);|}
+        in
+        Alcotest.(check int) "views" 1 (List.length (Elaborate.views outcomes));
+        Alcotest.(check int) "changes" 1
+          (List.length (Elaborate.changes outcomes)));
+  ]
+
+let () =
+  Alcotest.run "sql"
+    [
+      ("lexer", lexer_tests);
+      ("parser", parser_tests);
+      ("elaborate", elaborate_tests);
+    ]

@@ -1,0 +1,244 @@
+(* Tests for the workload substrate: the deterministic PRNG, the retail and
+   snowflake generators, and the legality of generated delta streams. *)
+
+open Helpers
+
+let test case fn = Alcotest.test_case case `Quick fn
+
+let prng_tests =
+  [
+    test "same seed yields the same stream" (fun () ->
+        let a = Workload.Prng.create 42 and b = Workload.Prng.create 42 in
+        for _ = 1 to 50 do
+          Alcotest.(check int) "step" (Workload.Prng.int a 1_000_000)
+            (Workload.Prng.int b 1_000_000)
+        done);
+    test "different seeds diverge" (fun () ->
+        let a = Workload.Prng.create 1 and b = Workload.Prng.create 2 in
+        let same = ref 0 in
+        for _ = 1 to 32 do
+          if Workload.Prng.int a 1000 = Workload.Prng.int b 1000 then incr same
+        done;
+        Alcotest.(check bool) "mostly different" true (!same < 8));
+    test "int stays in range" (fun () ->
+        let rng = Workload.Prng.create 7 in
+        for _ = 1 to 500 do
+          let x = Workload.Prng.int rng 13 in
+          Alcotest.(check bool) "range" true (x >= 0 && x < 13)
+        done);
+    test "int covers the range" (fun () ->
+        let rng = Workload.Prng.create 7 in
+        let seen = Array.make 8 false in
+        for _ = 1 to 400 do
+          seen.(Workload.Prng.int rng 8) <- true
+        done;
+        Alcotest.(check bool) "all buckets hit" true
+          (Array.for_all Fun.id seen));
+    test "int rejects non-positive bound" (fun () ->
+        let rng = Workload.Prng.create 7 in
+        match Workload.Prng.int rng 0 with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument");
+    test "pick selects from the list" (fun () ->
+        let rng = Workload.Prng.create 7 in
+        for _ = 1 to 50 do
+          Alcotest.(check bool) "member" true
+            (List.mem (Workload.Prng.pick rng [ 1; 2; 3 ]) [ 1; 2; 3 ])
+        done);
+    test "chance extremes" (fun () ->
+        let rng = Workload.Prng.create 7 in
+        for _ = 1 to 50 do
+          Alcotest.(check bool) "never" false (Workload.Prng.chance rng 0.);
+          Alcotest.(check bool) "always" true (Workload.Prng.chance rng 1.)
+        done);
+    test "split yields an independent stream" (fun () ->
+        let a = Workload.Prng.create 42 in
+        let b = Workload.Prng.split a in
+        (* consuming b must not change what a would have produced next
+           relative to a fresh clone advanced identically *)
+        let _ = Workload.Prng.int b 100 in
+        let x = Workload.Prng.int a 1_000_000 in
+        Alcotest.(check bool) "progresses" true (x >= 0));
+  ]
+
+let retail_tests =
+  [
+    test "fact_rows matches the paper's arithmetic" (fun () ->
+        Alcotest.(check int) "paper" 13_140_000_000
+          (Workload.Retail.fact_rows Workload.Retail.paper_params));
+    test "load produces the declared row counts" (fun () ->
+        let p = Workload.Retail.small_params in
+        let db = Workload.Retail.load p in
+        Alcotest.(check int) "time" p.Workload.Retail.days
+          (Database.row_count db "time");
+        Alcotest.(check int) "product" p.Workload.Retail.products
+          (Database.row_count db "product");
+        Alcotest.(check int) "store" p.Workload.Retail.stores
+          (Database.row_count db "store");
+        Alcotest.(check int) "sale" (Workload.Retail.fact_rows p)
+          (Database.row_count db "sale"));
+    test "load is deterministic per seed" (fun () ->
+        let p = Workload.Retail.small_params in
+        let r1 =
+          Algebra.Eval.eval (Workload.Retail.load p) Workload.Retail.monthly_revenue
+        in
+        let r2 =
+          Algebra.Eval.eval (Workload.Retail.load p) Workload.Retail.monthly_revenue
+        in
+        Alcotest.check relation "same" r1 r2);
+    test "both years are represented" (fun () ->
+        let db = Workload.Retail.load Workload.Retail.small_params in
+        let years =
+          Database.fold db "time"
+            (fun tup acc ->
+              if List.exists (Value.equal tup.(3)) acc then acc
+              else tup.(3) :: acc)
+            []
+        in
+        Alcotest.(check int) "two years" 2 (List.length years));
+    test "exposed_time changes the updatable declaration" (fun () ->
+        let db = Workload.Retail.empty ~exposed_time:true () in
+        Alcotest.(check bool) "year updatable" true
+          (List.mem "year" (Database.updatable_columns db "time"));
+        let db' = Workload.Retail.empty () in
+        Alcotest.(check bool) "year fixed" false
+          (List.mem "year" (Database.updatable_columns db' "time")));
+    test "snowflake load respects referential integrity" (fun () ->
+        let db = Workload.Snowflake.load Workload.Snowflake.small_params in
+        Alcotest.(check int) "sales"
+          Workload.Snowflake.small_params.Workload.Snowflake.sales
+          (Database.row_count db "sale"));
+  ]
+
+let clickstream_tests =
+  [
+    test "clickstream load respects declared sizes" (fun () ->
+        let p = Workload.Clickstream.small_params in
+        let db = Workload.Clickstream.load p in
+        Alcotest.(check int) "events" p.Workload.Clickstream.events
+          (Database.row_count db "event");
+        Alcotest.(check int) "sessions" p.Workload.Clickstream.sessions
+          (Database.row_count db "session"));
+    test "clickstream views validate and derive" (fun () ->
+        let db = Workload.Clickstream.empty () in
+        List.iter
+          (fun v -> View.validate db v)
+          [ Workload.Clickstream.traffic_by_section;
+            Workload.Clickstream.engagement_by_channel;
+            Workload.Clickstream.events_per_session;
+            Workload.Clickstream.dwell_extremes ];
+        let d =
+          Mindetail.Derive.derive db Workload.Clickstream.events_per_session
+        in
+        Alcotest.(check (list string)) "event omitted" [ "event" ]
+          (Mindetail.Derive.omitted_tables d));
+    test "clickstream views maintain under random streams" (fun () ->
+        List.iter
+          (fun view ->
+            let db = Workload.Clickstream.load Workload.Clickstream.small_params in
+            let e = Maintenance.Engines.minimal db view in
+            let rng = Workload.Prng.create 2_001 in
+            for round = 1 to 3 do
+              Maintenance.Engines.apply_batch e
+                (Workload.Delta_gen.stream rng db ~n:60);
+              Alcotest.check relation
+                (Printf.sprintf "%s round %d" view.View.name round)
+                (Algebra.Eval.eval db view)
+                (Maintenance.Engines.view_contents e)
+            done)
+          [ Workload.Clickstream.traffic_by_section;
+            Workload.Clickstream.engagement_by_channel;
+            Workload.Clickstream.events_per_session;
+            Workload.Clickstream.dwell_extremes ]);
+    test "dwell_extremes eliminates detail in append-only mode" (fun () ->
+        let db = Workload.Clickstream.empty () in
+        Alcotest.(check (list string)) "omitted" [ "event" ]
+          (Mindetail.Derive.omitted_tables
+             (Mindetail.Derive.derive_with
+                Mindetail.Derive.append_only_options db
+                Workload.Clickstream.dwell_extremes)));
+  ]
+
+let stream_tests =
+  [
+    test "streams only touch requested tables" (fun () ->
+        let db = Workload.Retail.load Workload.Retail.small_params in
+        let rng = Workload.Prng.create 3 in
+        let deltas =
+          Workload.Delta_gen.stream_for rng db ~tables:[ "sale" ] ~n:100
+        in
+        Alcotest.(check bool) "only sale" true
+          (List.for_all
+             (fun (d : Delta.t) -> String.equal d.Delta.table "sale")
+             deltas));
+    test "streams respect the op mix" (fun () ->
+        let db = Workload.Retail.load Workload.Retail.small_params in
+        let rng = Workload.Prng.create 3 in
+        let inserts_only =
+          { Workload.Delta_gen.insert = 1; delete = 0; update = 0 }
+        in
+        let deltas = Workload.Delta_gen.stream ~mix:inserts_only rng db ~n:80 in
+        Alcotest.(check bool) "inserts only" true
+          (List.for_all
+             (fun (d : Delta.t) ->
+               match d.Delta.change with Delta.Insert _ -> true | _ -> false)
+             deltas));
+    test "streams are already applied to the store" (fun () ->
+        let db = Workload.Retail.load Workload.Retail.small_params in
+        let before = Database.row_count db "sale" in
+        let rng = Workload.Prng.create 3 in
+        let inserts_only =
+          { Workload.Delta_gen.insert = 1; delete = 0; update = 0 }
+        in
+        let deltas =
+          Workload.Delta_gen.stream_for ~mix:inserts_only rng db
+            ~tables:[ "sale" ] ~n:25
+        in
+        Alcotest.(check int) "applied" (before + List.length deltas)
+          (Database.row_count db "sale"));
+    test "replaying a stream on a pre-stream replica is legal" (fun () ->
+        let db = Workload.Retail.load Workload.Retail.small_params in
+        let replica = Database.copy db in
+        let rng = Workload.Prng.create 9 in
+        let deltas = Workload.Delta_gen.stream rng db ~n:200 in
+        (* must not raise *)
+        Database.apply_all replica deltas;
+        Alcotest.(check int) "same sale count" (Database.row_count db "sale")
+          (Database.row_count replica "sale"));
+    test "updates only touch declared updatable columns" (fun () ->
+        let db = Workload.Retail.load Workload.Retail.small_params in
+        let rng = Workload.Prng.create 11 in
+        let deltas = Workload.Delta_gen.stream rng db ~n:300 in
+        List.iter
+          (fun (d : Delta.t) ->
+            match d.Delta.change with
+            | Delta.Update _ as c ->
+              let updatable = Database.updatable_columns db d.Delta.table in
+              let schema = Database.schema_of db d.Delta.table in
+              List.iter
+                (fun idx ->
+                  let col = schema.Schema.columns.(idx).Schema.col_name in
+                  Alcotest.(check bool) (d.Delta.table ^ "." ^ col) true
+                    (List.mem col updatable))
+                (Delta.changed_indices c)
+            | Delta.Insert _ | Delta.Delete _ -> ())
+          deltas);
+    test "empty store yields an empty stream gracefully" (fun () ->
+        let db = Workload.Retail.empty () in
+        let rng = Workload.Prng.create 1 in
+        let deltas =
+          Workload.Delta_gen.stream_for rng db ~tables:[ "sale" ] ~n:10
+            ~mix:{ Workload.Delta_gen.insert = 0; delete = 1; update = 0 }
+        in
+        Alcotest.(check (list string)) "none" []
+          (List.map (fun (d : Delta.t) -> d.Delta.table) deltas));
+  ]
+
+let () =
+  Alcotest.run "workload"
+    [
+      ("prng", prng_tests);
+      ("generators", retail_tests);
+      ("clickstream", clickstream_tests);
+      ("delta-streams", stream_tests);
+    ]
