@@ -4,6 +4,8 @@
    `minview dot schema.sql`      — print the extended join graphs in DOT
    `minview simulate schema.sql changes.sql`
                                  — load, register, ingest, print views
+   `minview recover state-dir`   — rebuild a durable warehouse after a crash
+   `minview audit state-dir`     — check maintained views against recomputation
    `minview demo`                — the paper's running example end to end *)
 
 open Cmdliner
@@ -36,6 +38,31 @@ let with_errors f =
   | Relational.Database.Violation m ->
     Printf.eprintf "constraint violation: %s\n" m;
     1
+  | Warehouse.Error { kind; detail } ->
+    Printf.eprintf "warehouse error [%s]: %s\n" (Warehouse.kind_label kind)
+      detail;
+    1
+  | Sys_error m ->
+    Printf.eprintf "i/o error: %s\n" m;
+    1
+  | Maintenance.Faults.Crash p ->
+    (* fault-injection harness: report the simulated crash distinctly so
+       scripts can tell it from a real failure *)
+    Printf.eprintf "fault injected: simulated crash at %s\n"
+      (Maintenance.Faults.to_string p);
+    3
+
+let verbose_arg =
+  Arg.(
+    value & flag
+    & info [ "verbose"; "v" ]
+        ~doc:"Enable debug logging (the mindetail.* log sources).")
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let setup_term = Term.(const setup_logs $ verbose_arg)
 
 let script_arg =
   Arg.(
@@ -99,17 +126,39 @@ let print_view wh name =
   Printf.printf "-- %s --\n%s" name
     (Relational.Table_printer.render_relation ~columns:cols rel)
 
+let print_dead_letters wh =
+  match Warehouse.dead_letters wh with
+  | [] -> ()
+  | dead ->
+    Printf.printf "%d change(s) in the dead-letter queue:\n" (List.length dead);
+    List.iter
+      (fun r -> Format.printf "  %a@." Relational.Delta.pp_rejection r)
+      dead
+
+let state_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "state" ] ~docv:"DIR"
+        ~doc:
+          "Attach the warehouse to a durable state directory: accepted \
+           batches are write-ahead logged there and $(b,minview recover) \
+           rebuilds the warehouse after a crash.")
+
 let simulate_cmd =
-  let run script changes strategy =
+  let run () script changes strategy state =
     with_errors (fun () ->
         let db, views = load_script script in
         let wh = Warehouse.create db in
         List.iter (Warehouse.add_view ~strategy wh) views;
+        Option.iter (fun dir -> Warehouse.attach wh ~dir) state;
         let outcomes = Sqlfront.Elaborate.run_script db (read_file changes) in
-        Warehouse.ingest wh (Sqlfront.Elaborate.changes outcomes);
+        let r = Warehouse.ingest_report wh (Sqlfront.Elaborate.changes outcomes) in
+        if r.Warehouse.rejected <> [] then print_dead_letters wh;
         List.iter (print_view wh) (Warehouse.view_names wh);
         print_newline ();
-        print_string (Warehouse.report wh))
+        print_string (Warehouse.report wh);
+        Warehouse.close wh)
   in
   Cmd.v
     (Cmd.info "simulate"
@@ -117,7 +166,8 @@ let simulate_cmd =
          "Load the schema script, register its views, ingest the change \
           script without re-reading base tables, and print the maintained \
           views plus the detail-data report.")
-    Term.(const run $ script_arg $ changes_arg $ strategy_arg)
+    Term.(const run $ setup_term $ script_arg $ changes_arg $ strategy_arg
+          $ state_arg)
 
 let reconstruct_cmd =
   let run script =
@@ -211,6 +261,62 @@ let verify_cmd =
           recomputation from the (evolved) base tables.")
     Term.(const run $ script_arg $ changes_opt $ n_arg $ seed_arg)
 
+let dir_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"STATE_DIR"
+        ~doc:
+          "Warehouse state directory (snapshot.bin + wal.bin), as written by \
+           $(b,--state).")
+
+let recover_cmd =
+  let run () dir =
+    with_errors (fun () ->
+        let wh = Warehouse.recover ~dir in
+        Printf.printf "recovered %d view(s) at batch %d from %s\n"
+          (List.length (Warehouse.view_names wh))
+          (Warehouse.ingested_batches wh)
+          dir;
+        print_dead_letters wh;
+        List.iter (print_view wh) (Warehouse.view_names wh);
+        Warehouse.close wh)
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:
+         "Rebuild a durable warehouse from its state directory — latest \
+          snapshot plus write-ahead-log replay — and print the recovered \
+          views.")
+    Term.(const run $ setup_term $ dir_arg)
+
+let audit_cmd =
+  let run () dir =
+    with_errors (fun () ->
+        let wh = Warehouse.recover ~dir in
+        let results =
+          Warehouse.audit wh ~reference:(Warehouse.believed_source wh)
+        in
+        List.iter
+          (fun (name, ok) ->
+            Printf.printf "%-24s %s\n" name (if ok then "OK" else "MISMATCH"))
+          results;
+        let failures = List.filter (fun (_, ok) -> not ok) results in
+        Printf.printf "%d batch(es) ingested, %d dead-letter(s), %d failure(s)\n"
+          (Warehouse.ingested_batches wh)
+          (List.length (Warehouse.dead_letters wh))
+          (List.length failures);
+        Warehouse.close wh;
+        if failures <> [] then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "Recover a durable warehouse and compare every maintained view \
+          against from-scratch recomputation over the believed source state; \
+          exit non-zero on any mismatch.")
+    Term.(const run $ setup_term $ dir_arg)
+
 let demo_cmd =
   let run () =
     with_errors (fun () ->
@@ -277,6 +383,14 @@ let main =
           self-maintaining auxiliary views for GPSJ summary tables (Akinde, \
           Jensen & Böhlen, EDBT 1998).")
     [ derive_cmd; dot_cmd; simulate_cmd; reconstruct_cmd; sharing_cmd;
-      verify_cmd; demo_cmd ]
+      verify_cmd; recover_cmd; audit_cmd; demo_cmd ]
 
-let () = exit (Cmd.eval' main)
+let () =
+  (* the fault-injection harness: MINVIEW_FAULT=<point>[:skip] arms a named
+     crash point before any command runs *)
+  (match Maintenance.Faults.arm_from_env () with
+  | () -> ()
+  | exception Invalid_argument m ->
+    prerr_endline m;
+    exit 2);
+  exit (Cmd.eval' main)

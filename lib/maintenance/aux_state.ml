@@ -160,6 +160,26 @@ let delete_base s tup =
       index_remove s key
     end
 
+let copy s =
+  let groups = TH.create (max 16 (TH.length s.groups)) in
+  TH.iter
+    (fun key (g : group) ->
+      TH.add groups key
+        { cnt = g.cnt; sums = Array.copy g.sums; exts = Array.copy g.exts })
+    s.groups;
+  {
+    s with
+    groups;
+    by_key = Option.map VH.copy s.by_key;
+    indexes =
+      List.map
+        (fun (pos, index) ->
+          let index' = VH.create (max 16 (VH.length index)) in
+          VH.iter (fun v bucket -> VH.add index' v (TH.copy bucket)) index;
+          (pos, index'))
+        s.indexes;
+  }
+
 let row_count s = TH.length s.groups
 let base_count s = s.total
 

@@ -28,6 +28,10 @@ val create :
 
 val spec : t -> Mindetail.Auxview.t
 
+(** Deep copy: groups, key index and secondary indexes are duplicated so the
+    copy and the original evolve independently (transactional rollback). *)
+val copy : t -> t
+
 (** [insert_base s tup] folds one base tuple in; the caller has already
     checked local conditions and semijoin reductions. *)
 val insert_base : t -> Relational.Tuple.t -> unit

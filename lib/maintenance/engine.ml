@@ -61,6 +61,14 @@ let log_src = Logs.Src.create "mindetail.engine" ~doc:"self-maintenance engine"
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
 let derivation t = t.d
+
+(* Deep copy of all mutable state; the derivation, plans and schemas are
+   immutable after [init] and stay shared. *)
+let copy t =
+  let aux = Hashtbl.create (Hashtbl.length t.aux) in
+  Hashtbl.iter (fun name st -> Hashtbl.add aux name (Aux_state.copy st)) t.aux;
+  { t with aux; vstate = View_state.copy t.vstate }
+
 let schema t name = Hashtbl.find t.schemas name
 let aux_of t name = Hashtbl.find_opt t.aux name
 

@@ -39,6 +39,11 @@ val init : ?fk_index:bool -> Relational.Database.t -> Mindetail.Derive.t -> t
 
 val derivation : t -> Mindetail.Derive.t
 
+(** Deep copy of the engine's mutable state (auxiliary views and view
+    groups); the derivation and plans are shared. Used for transactional
+    batch application: apply to the copy, swap on success. *)
+val copy : t -> t
+
 (** Process one source change; non-CSMAS recomputation is flushed before
     returning.
 

@@ -36,6 +36,11 @@ let recompute db view =
   View.validate db view;
   Recompute { replica = Database.copy db; view }
 
+let copy = function
+  | Incremental { name; engine } -> Incremental { name; engine = Engine.copy engine }
+  | Recompute { replica; view } -> Recompute { replica = Database.copy replica; view }
+  | Split p -> Split (Partitioned.copy p)
+
 let apply_batch t deltas =
   match t with
   | Incremental { engine; _ } -> Engine.apply_batch engine deltas

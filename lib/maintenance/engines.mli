@@ -45,6 +45,11 @@ val partitioned :
     warehouse-internal aging. *)
 val as_partitioned : t -> Partitioned.t option
 
+(** Deep copy of the configuration's mutable state. The warehouse applies
+    each batch to copies and swaps them in on success, so a failure mid-batch
+    can never leave views disagreeing about which deltas they have seen. *)
+val copy : t -> t
+
 (** Process a batch of source changes. *)
 val apply_batch : t -> Relational.Delta.t list -> unit
 

@@ -1,0 +1,64 @@
+type point =
+  | After_wal_append
+  | Mid_engine_apply
+  | Mid_checkpoint
+  | Before_wal_truncate
+
+exception Crash of point
+
+let all =
+  [ After_wal_append; Mid_engine_apply; Mid_checkpoint; Before_wal_truncate ]
+
+let to_string = function
+  | After_wal_append -> "after-wal-append"
+  | Mid_engine_apply -> "mid-engine-apply"
+  | Mid_checkpoint -> "mid-checkpoint"
+  | Before_wal_truncate -> "before-wal-truncate"
+
+let of_string s = List.find_opt (fun p -> String.equal (to_string p) s) all
+
+(* armed point and number of hits to survive before crashing *)
+let state : (point * int ref) option ref = ref None
+
+let arm ?(skip = 0) point = state := Some (point, ref skip)
+let disarm () = state := None
+let armed () = Option.map fst !state
+
+let hit point =
+  match !state with
+  | Some (p, remaining) when p = point ->
+    if !remaining = 0 then begin
+      (* disarm first: recovery code running in the same process after the
+         simulated crash must not crash again at the same point *)
+      disarm ();
+      raise (Crash point)
+    end
+    else decr remaining
+  | Some _ | None -> ()
+
+let env_var = "MINVIEW_FAULT"
+
+let arm_from_env () =
+  match Sys.getenv_opt env_var with
+  | None | Some "" -> ()
+  | Some spec ->
+    let name, skip =
+      match String.index_opt spec ':' with
+      | None -> (spec, 0)
+      | Some i ->
+        ( String.sub spec 0 i,
+          match
+            int_of_string_opt
+              (String.sub spec (i + 1) (String.length spec - i - 1))
+          with
+          | Some n when n >= 0 -> n
+          | Some _ | None ->
+            invalid_arg
+              (Printf.sprintf "%s: bad skip count in %S" env_var spec) )
+    in
+    (match of_string name with
+    | Some p -> arm ~skip p
+    | None ->
+      invalid_arg
+        (Printf.sprintf "%s: unknown crash point %S (known: %s)" env_var name
+           (String.concat ", " (List.map to_string all))))

@@ -1,0 +1,54 @@
+(** Fault injection: named crash points in the ingestion pipeline.
+
+    A crash point marks a place where a real deployment could lose the
+    process — power cut, OOM kill, operator error. Tests (and the CLI, via
+    the [MINVIEW_FAULT] environment variable) {!arm} a point; when the
+    pipeline reaches it, {!hit} raises {!Crash}, which the warehouse
+    deliberately never catches: the exception unwinds like a [kill -9],
+    leaving the on-disk state exactly as a real crash would. Recovery code
+    then has to cope with whatever was left behind.
+
+    The crash-point matrix (what is on disk when each point fires) is
+    documented in DESIGN.md. *)
+
+type point =
+  | After_wal_append
+      (** the batch is durable in the WAL; no engine has applied it *)
+  | Mid_engine_apply
+      (** the batch is durable; some engines applied it, the warehouse state
+          was not yet swapped in *)
+  | Mid_checkpoint
+      (** a snapshot temp file is partially written; the previous snapshot
+          and the full WAL are intact *)
+  | Before_wal_truncate
+      (** the new snapshot is in place; the WAL still holds the batches the
+          snapshot already contains *)
+
+(** The simulated crash. Deliberately not an [Error]-style exception: only
+    test harnesses and the CLI top level may catch it. *)
+exception Crash of point
+
+val all : point list
+
+(** Stable kebab-case names ("after-wal-append", ...). *)
+val to_string : point -> string
+
+val of_string : string -> point option
+
+(** [arm ?skip p] makes the [(skip+1)]-th {!hit} of [p] raise {!Crash}.
+    Arming replaces any previously armed point; the trigger disarms itself
+    before raising, so post-crash recovery in the same process runs clean. *)
+val arm : ?skip:int -> point -> unit
+
+val disarm : unit -> unit
+val armed : unit -> point option
+
+(** Called by the pipeline at each crash point; no-op unless armed. *)
+val hit : point -> unit
+
+(** ["MINVIEW_FAULT"] — set to ["<point>"] or ["<point>:<skip>"]. *)
+val env_var : string
+
+(** Arm from the environment (CLI entry point).
+    @raise Invalid_argument on an unknown point name or bad skip. *)
+val arm_from_env : unit -> unit

@@ -108,6 +108,13 @@ let apply t (d : Delta.t) =
 
 let apply_batch t = List.iter (apply t)
 
+let copy t =
+  {
+    t with
+    old_engine = Engine.copy t.old_engine;
+    current_engine = Engine.copy t.current_engine;
+  }
+
 let age_out t facts =
   List.iter
     (fun tup ->

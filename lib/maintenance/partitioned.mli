@@ -41,6 +41,10 @@ val apply : t -> Relational.Delta.t -> unit
 
 val apply_batch : t -> Relational.Delta.t list -> unit
 
+(** Deep copy of both partition engines (the partition predicate is
+    shared). Used for transactional batch application. *)
+val copy : t -> t
+
 (** [age_out t facts] moves the given current-partition fact tuples into the
     old partition (delete from current, insert into old). A warehouse-internal
     operation: the sources are not involved and the merged view is unchanged.

@@ -43,6 +43,14 @@ let create view ~determined =
     dirty = TH.create 16;
   }
 
+let copy t =
+  let groups = TH.create (max 16 (TH.length t.groups)) in
+  TH.iter
+    (fun key (g : group) ->
+      TH.add groups key { cnt0 = g.cnt0; accs = Array.copy g.accs })
+    t.groups;
+  { t with groups; dirty = TH.copy t.dirty }
+
 let view t = t.view
 let group_count t = TH.length t.groups
 

@@ -24,6 +24,10 @@ type t
 (** [create view ~determined] prepares empty state for a validated view. *)
 val create : Algebra.View.t -> determined:bool -> t
 
+(** Deep copy: groups (and their component arrays) and the dirty set are
+    duplicated so the copy and the original evolve independently. *)
+val copy : t -> t
+
 val view : t -> Algebra.View.t
 val group_count : t -> int
 

@@ -28,3 +28,30 @@ let pp ppf { table; change } =
   | Delete t -> Format.fprintf ppf "-%s%a" table Tuple.pp t
   | Update { before; after } ->
     Format.fprintf ppf "%s%a->%a" table Tuple.pp before Tuple.pp after
+
+(* --- rejections -------------------------------------------------------- *)
+
+type reason =
+  | Unknown_table
+  | Schema_mismatch
+  | Duplicate_key
+  | Missing_row
+  | Dangling_reference
+  | Referenced_key
+  | Not_updatable
+  | Engine_failure
+
+type rejection = { delta : t; reason : reason; detail : string }
+
+let reason_label = function
+  | Unknown_table -> "unknown-table"
+  | Schema_mismatch -> "schema-mismatch"
+  | Duplicate_key -> "duplicate-key"
+  | Missing_row -> "missing-row"
+  | Dangling_reference -> "dangling-reference"
+  | Referenced_key -> "referenced-key"
+  | Not_updatable -> "not-updatable"
+  | Engine_failure -> "engine-failure"
+
+let pp_rejection ppf r =
+  Format.fprintf ppf "[%s] %a: %s" (reason_label r.reason) pp r.delta r.detail

@@ -25,3 +25,29 @@ val as_delete_insert : change -> change list
 val changed_indices : change -> int list
 
 val pp : Format.formatter -> t -> unit
+
+(** {2 Rejections}
+
+    A change the warehouse refuses to ingest, with a machine-readable
+    reason. Produced by {!Validator} (constraint checks against the shadow
+    source) and by the warehouse's transactional apply ([Engine_failure]);
+    rejected changes land in the warehouse's dead-letter queue. *)
+
+type reason =
+  | Unknown_table  (** the named base table does not exist *)
+  | Schema_mismatch  (** wrong arity or column type *)
+  | Duplicate_key  (** insert (or key update) collides with an existing key *)
+  | Missing_row  (** delete/update of a tuple that is not present *)
+  | Dangling_reference  (** a foreign key has no referent *)
+  | Referenced_key  (** delete/key-update of a still-referenced key *)
+  | Not_updatable  (** update touches a column not declared UPDATABLE *)
+  | Engine_failure
+      (** the batch was valid but an engine failed mid-apply; the whole
+          batch was rolled back and quarantined *)
+
+type rejection = { delta : t; reason : reason; detail : string }
+
+(** Stable kebab-case tag of a reason (for logs and machine consumption). *)
+val reason_label : reason -> string
+
+val pp_rejection : Format.formatter -> rejection -> unit

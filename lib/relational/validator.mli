@@ -1,0 +1,34 @@
+(** Delta validation against a shadow of the source.
+
+    The warehouse never re-reads the operational store after the initial
+    extract, so it cannot ask the store whether an incoming change is legal.
+    The validator therefore keeps a {e shadow}: a private replica of the
+    source, captured at warehouse creation and advanced one accepted change
+    at a time. Every incoming delta is checked against the shadow — schema
+    conformance, key uniqueness, referential integrity, declared updatable
+    columns, presence of before-images — {e before} any maintenance engine
+    sees it, turning would-be mid-apply exceptions into structured
+    {!Delta.rejection}s that the warehouse can quarantine. *)
+
+type t
+
+(** [of_database db] snapshots [db] as the shadow. The copy is private:
+    later mutations of [db] are invisible to the validator. *)
+val of_database : Database.t -> t
+
+(** Deep copy, for transactional rollback of a batch. *)
+val copy : t -> t
+
+(** [restore v ~from] rolls [v] back to the state captured by [copy]. *)
+val restore : t -> from:t -> unit
+
+(** A private copy of the shadow: the warehouse's belief of the current
+    source contents (initial snapshot + every accepted delta). *)
+val believed_source : t -> Database.t
+
+(** [check v d] validates [d] against the shadow without advancing it. *)
+val check : t -> Delta.t -> (Delta.t, Delta.rejection) result
+
+(** [admit v d] validates [d] and, on success, applies it to the shadow so
+    subsequent changes are checked against the advanced state. *)
+val admit : t -> Delta.t -> (Delta.t, Delta.rejection) result

@@ -1,0 +1,21 @@
+(* CRC-32 (IEEE 802.3, reflected, polynomial 0xedb88320) over strings.
+   Used to detect torn writes and bit rot in WAL records and snapshots
+   before any byte reaches [Marshal.from_string] — unmarshalling corrupt
+   input is undefined behaviour, so every payload is checksum-gated. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let string s =
+  let table = Lazy.force table in
+  let crc = ref 0xffffffff in
+  String.iter
+    (fun ch -> crc := table.((!crc lxor Char.code ch) land 0xff) lxor (!crc lsr 8))
+    s;
+  !crc lxor 0xffffffff

@@ -1,0 +1,6 @@
+(** CRC-32 (IEEE, as in zip/png) integrity checksums for the durability
+    layer: WAL records and snapshot payloads are checksum-gated before they
+    are unmarshalled. *)
+
+(** [string s] is the CRC-32 of [s], in [0, 0xffffffff]. *)
+val string : string -> int

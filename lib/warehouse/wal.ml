@@ -1,0 +1,101 @@
+(* Write-ahead log: length-prefixed, CRC-checksummed records (see wal.mli). *)
+
+type record =
+  | Batch of { seq : int; deltas : Relational.Delta.t list }
+  | Abort of { seq : int }
+
+let seq_of = function Batch { seq; _ } -> seq | Abort { seq } -> seq
+
+exception Corrupt of string
+
+let corrupt fmt = Format.kasprintf (fun s -> raise (Corrupt s)) fmt
+
+let magic = "minview-wal/1\n"
+
+(* --- framing ----------------------------------------------------------- *)
+
+let frame record =
+  let payload = Marshal.to_string record [] in
+  let buf = Buffer.create (String.length payload + 8) in
+  Buffer.add_int32_le buf (Int32.of_int (String.length payload));
+  Buffer.add_int32_le buf (Int32.of_int (Checksum.string payload));
+  Buffer.add_string buf payload;
+  Buffer.contents buf
+
+let u32 s off = Int32.to_int (String.get_int32_le s off) land 0xffffffff
+
+(* Read one record; [None] marks a torn or corrupt tail (incomplete frame
+   header, truncated payload, checksum mismatch, unparseable payload). *)
+let read_record ic remaining =
+  if remaining < 8 then None
+  else
+    let header = really_input_string ic 8 in
+    let len = u32 header 0 and crc = u32 header 4 in
+    if len > remaining - 8 then None
+    else
+      let payload = really_input_string ic len in
+      if Checksum.string payload <> crc then None
+      else
+        match (Marshal.from_string payload 0 : record) with
+        | r -> Some r
+        | exception _ -> None
+
+(* --- reading ----------------------------------------------------------- *)
+
+let read_all path =
+  if not (Sys.file_exists path) then ([], true)
+  else
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let total = in_channel_length ic in
+        if total < String.length magic then corrupt "%s: missing header" path
+        else begin
+          let header = really_input_string ic (String.length magic) in
+          if not (String.equal header magic) then
+            corrupt "%s: not a WAL file" path;
+          let rec loop acc =
+            let remaining = total - pos_in ic in
+            if remaining = 0 then (List.rev acc, true)
+            else
+              match read_record ic remaining with
+              | Some r -> loop (r :: acc)
+              | None -> (List.rev acc, false)
+          in
+          loop []
+        end)
+
+(* --- writing ----------------------------------------------------------- *)
+
+type writer = { path : string; mutable oc : out_channel }
+
+let write_file path records =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc magic;
+      List.iter (fun r -> output_string oc (frame r)) records);
+  Sys.rename tmp path
+
+let open_append path =
+  let records, clean = read_all path in
+  (* a torn tail (or a missing file) is repaired by atomically rewriting the
+     valid prefix; appends then always start on a record boundary *)
+  if not (clean && Sys.file_exists path) then write_file path records;
+  { path; oc = open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path }
+
+let append w record =
+  output_string w.oc (frame record);
+  (* flush per record: the record must be durable before any engine applies
+     it, and a stale buffered channel must never hold undurable bytes *)
+  flush w.oc
+
+let truncate w =
+  close_out_noerr w.oc;
+  write_file w.path [];
+  w.oc <- open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 w.path
+
+let close w = close_out_noerr w.oc

@@ -1,0 +1,46 @@
+(** The warehouse's write-ahead log.
+
+    Accepted delta batches are appended (and flushed) here {e before} any
+    maintenance engine applies them; the append is the commit point. After a
+    crash, {!read_all} recovers the committed batches and {!Warehouse.recover}
+    replays the ones newer than the latest snapshot.
+
+    On-disk format: a ["minview-wal/1\n"] header followed by records, each
+    framed as [u32-le payload length], [u32-le CRC-32 of payload], payload
+    ([Marshal]ed {!record}). A torn final record — short frame, truncated
+    payload, checksum mismatch — is detected and dropped; {!open_append}
+    repairs the file by atomically rewriting the valid prefix. *)
+
+type record =
+  | Batch of { seq : int; deltas : Relational.Delta.t list }
+      (** batch [seq] was validated and committed *)
+  | Abort of { seq : int }
+      (** batch [seq] failed mid-apply after commit and was rolled back;
+          replay must skip its [Batch] record *)
+
+val seq_of : record -> int
+
+(** A structurally damaged log (bad header) — distinct from a torn tail,
+    which is tolerated. *)
+exception Corrupt of string
+
+(** [read_all path] returns the decodable records in order and whether the
+    file ended cleanly ([false] = torn tail dropped). A missing file reads
+    as [([], true)].
+    @raise Corrupt if the file exists but is not a WAL. *)
+val read_all : string -> record list * bool
+
+type writer
+
+(** Open for appending, creating the file (or repairing a torn tail) as
+    needed. @raise Corrupt as {!read_all}. *)
+val open_append : string -> writer
+
+(** Append one record and flush it to the OS. *)
+val append : writer -> record -> unit
+
+(** Atomically reset the log to empty (after a checkpoint made its records
+    redundant). *)
+val truncate : writer -> unit
+
+val close : writer -> unit

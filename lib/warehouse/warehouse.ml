@@ -37,8 +37,41 @@ end
 module Database = Relational.Database
 module Relation = Relational.Relation
 module Delta = Relational.Delta
+module Validator = Relational.Validator
 module View = Algebra.View
 module Engines = Maintenance.Engines
+module Faults = Maintenance.Faults
+
+(* --- errors ------------------------------------------------------------ *)
+
+type error_kind =
+  | Duplicate_view
+  | Unknown_view
+  | Not_aged
+  | Not_persistable
+  | Corrupt_state
+  | Incompatible_state
+  | Not_durable
+  | Io_error
+  | Invalid_request
+
+exception Error of { kind : error_kind; detail : string }
+
+let kind_label = function
+  | Duplicate_view -> "duplicate-view"
+  | Unknown_view -> "unknown-view"
+  | Not_aged -> "not-aged"
+  | Not_persistable -> "not-persistable"
+  | Corrupt_state -> "corrupt-state"
+  | Incompatible_state -> "incompatible-state"
+  | Not_durable -> "not-durable"
+  | Io_error -> "io-error"
+  | Invalid_request -> "invalid-request"
+
+let err kind fmt =
+  Format.kasprintf (fun detail -> raise (Error { kind; detail })) fmt
+
+(* --- state ------------------------------------------------------------- *)
 
 type strategy =
   | Minimal
@@ -55,16 +88,32 @@ type registered = {
 type t = {
   source : Database.t;
   mutable views : registered list;  (** newest first *)
+  validator : Validator.t;
+  mutable dead : Delta.rejection list;  (** newest first *)
+  mutable seq : int;  (** WAL-recorded batches (committed or aborted) *)
+  mutable wal : Wal.writer option;
+  mutable dir : string option;
+  mutable checkpoint_every : int option;
 }
 
-let create source = { source; views = [] }
+let create source =
+  {
+    source;
+    views = [];
+    validator = Validator.of_database source;
+    dead = [];
+    seq = 0;
+    wal = None;
+    dir = None;
+    checkpoint_every = None;
+  }
 
 let add_view ?(strategy = Minimal) t view =
   if
     List.exists
       (fun r -> String.equal r.view.View.name view.View.name)
       t.views
-  then failwith ("Warehouse.add_view: duplicate view " ^ view.View.name);
+  then err Duplicate_view "a view named %s is already registered" view.View.name;
   let engine =
     match strategy with
     | Minimal -> Engines.minimal t.source view
@@ -78,19 +127,17 @@ let add_view_sql ?strategy t sql =
   match Sqlfront.Parser.statement sql with
   | Sqlfront.Ast.Create_view { name; select } ->
     add_view ?strategy t (Sqlfront.Elaborate.view_of_select t.source ~name select)
-  | _ -> failwith "Warehouse.add_view_sql: expected CREATE VIEW"
-
-let ingest t deltas =
-  List.iter (fun r -> Engines.apply_batch r.engine deltas) t.views
+  | _ -> err Invalid_request "add_view_sql: expected CREATE VIEW"
 
 let view_names t = List.rev_map (fun r -> r.view.View.name) t.views
+let views t = List.rev_map (fun r -> r.view) t.views
 
 let find t name =
   match
     List.find_opt (fun r -> String.equal r.view.View.name name) t.views
   with
   | Some r -> r
-  | None -> raise Not_found
+  | None -> err Unknown_view "no view named %s is registered" name
 
 let query t name =
   let r = find t name in
@@ -102,7 +149,7 @@ let age_out t name facts =
   let r = find t name in
   match Engines.as_partitioned r.engine with
   | Some p -> Maintenance.Partitioned.age_out p facts
-  | None -> failwith ("Warehouse.age_out: view " ^ name ^ " is not Aged")
+  | None -> err Not_aged "view %s is not registered with the Aged strategy" name
 
 let detail_profile t =
   let qualify view_name (name, rows, fields) =
@@ -122,38 +169,274 @@ let strategy_name = function
 
 (* --- persistence ------------------------------------------------------- *)
 
-let magic = "minview-warehouse-state/1\n"
+let snapshot_magic = "minview-warehouse-state/2\n"
+let legacy_magic = "minview-warehouse-state/1\n"
 
 let save t path =
   List.iter
     (fun r ->
       match r.strategy with
       | Aged _ ->
-        failwith
-          ("Warehouse.save: view " ^ r.view.View.name
-         ^ " uses an Aged partition predicate and cannot be persisted")
+        err Not_persistable
+          "view %s uses an Aged partition predicate and cannot be persisted"
+          r.view.View.name
       | Minimal | Psj | Replicate -> ())
     t.views;
-  let oc = open_out_bin path in
+  let payload =
+    Marshal.to_string (t.views, t.source, t.validator, t.dead, t.seq) []
+  in
+  let header = Buffer.create 8 in
+  Buffer.add_int32_le header (Int32.of_int (String.length payload));
+  Buffer.add_int32_le header (Int32.of_int (Checksum.string payload));
+  let tmp = path ^ ".tmp" in
+  let oc = try open_out_bin tmp with Sys_error m -> err Io_error "%s" m in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
     (fun () ->
-      output_string oc magic;
-      Marshal.to_channel oc t [])
+      output_string oc snapshot_magic;
+      Buffer.output_buffer oc header;
+      (* crash point: half a payload behind a valid header — the torn temp
+         file must stay invisible to recovery (the rename never happens) *)
+      let half = String.length payload / 2 in
+      output_substring oc payload 0 half;
+      Faults.hit Faults.Mid_checkpoint;
+      output_substring oc payload half (String.length payload - half));
+  Sys.rename tmp path
 
 let load path =
-  let ic = open_in_bin path in
+  let ic = try open_in_bin path with Sys_error m -> err Io_error "%s" m in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () ->
-      let header = really_input_string ic (String.length magic) in
-      if not (String.equal header magic) then
-        failwith ("Warehouse.load: " ^ path ^ " is not a warehouse state file");
-      match (Marshal.from_channel ic : t) with
-      | t -> t
-      | exception (Failure _ as e) -> raise e
+      let total = in_channel_length ic in
+      let magic_len = String.length snapshot_magic in
+      if total < magic_len then
+        err Corrupt_state "%s: truncated header (%d bytes)" path total;
+      let header = really_input_string ic magic_len in
+      if String.equal header legacy_magic then
+        err Incompatible_state
+          "%s uses the unchecksummed version-1 format; re-save it with this \
+           build"
+          path;
+      if not (String.equal header snapshot_magic) then
+        err Corrupt_state "%s is not a warehouse state file" path;
+      if total - magic_len < 8 then
+        err Corrupt_state "%s: truncated frame header" path;
+      let frame = really_input_string ic 8 in
+      let u32 off =
+        Int32.to_int (String.get_int32_le frame off) land 0xffffffff
+      in
+      let len = u32 0 and crc = u32 4 in
+      if len > total - magic_len - 8 then
+        err Corrupt_state "%s: truncated payload (%d of %d bytes)" path
+          (total - magic_len - 8) len;
+      let payload = really_input_string ic len in
+      if Checksum.string payload <> crc then
+        err Corrupt_state "%s: checksum mismatch" path;
+      match
+        (Marshal.from_string payload 0
+          : registered list * Database.t * Validator.t * Delta.rejection list
+            * int)
+      with
+      | views, source, validator, dead, seq ->
+        {
+          source;
+          views;
+          validator;
+          dead;
+          seq;
+          wal = None;
+          dir = None;
+          checkpoint_every = None;
+        }
       | exception _ ->
-        failwith ("Warehouse.load: " ^ path ^ " is corrupt or incompatible"))
+        err Corrupt_state "%s: undecodable payload (incompatible build?)" path)
+
+(* --- durability: attach / checkpoint ----------------------------------- *)
+
+let wal_path dir = Filename.concat dir "wal.bin"
+let snapshot_path dir = Filename.concat dir "snapshot.bin"
+
+let checkpoint t =
+  match (t.dir, t.wal) with
+  | Some dir, Some wal ->
+    save t (snapshot_path dir);
+    (* crash point: new snapshot in place, WAL not yet truncated — replay
+       must recognize the WAL's batches as already checkpointed *)
+    Faults.hit Faults.Before_wal_truncate;
+    Wal.truncate wal
+  | _ ->
+    err Not_durable "checkpoint: attach the warehouse to a state directory first"
+
+let attach ?checkpoint_every t ~dir =
+  if t.wal <> None then
+    err Invalid_request "warehouse is already attached to %s"
+      (Option.value t.dir ~default:"a state directory");
+  (match Sys.is_directory dir with
+  | true -> ()
+  | false -> err Io_error "%s exists and is not a directory" dir
+  | exception Sys_error _ -> (
+    try Sys.mkdir dir 0o755 with Sys_error m -> err Io_error "%s" m));
+  t.dir <- Some dir;
+  t.checkpoint_every <- checkpoint_every;
+  (match Wal.open_append (wal_path dir) with
+  | w -> t.wal <- Some w
+  | exception Wal.Corrupt m -> err Corrupt_state "%s" m);
+  (* durable from the start: a crash right after attach recovers to here *)
+  checkpoint t
+
+let close t =
+  Option.iter Wal.close t.wal;
+  t.wal <- None;
+  t.dir <- None
+
+(* --- ingestion --------------------------------------------------------- *)
+
+type report = { batch : int; applied : int; rejected : Delta.rejection list }
+
+let dead_letters t = List.rev t.dead
+let clear_dead_letters t = t.dead <- []
+let quarantine t rejections = t.dead <- List.rev_append rejections t.dead
+let believed_source t = Validator.believed_source t.validator
+let ingested_batches t = t.seq
+
+(* Transactional apply: every engine absorbs the batch on a private copy;
+   the copies are swapped in only after all of them succeeded, so the
+   registered views can never disagree about which deltas they have seen. *)
+let apply_to_copies t deltas =
+  let staged = List.map (fun r -> Engines.copy r.engine) t.views in
+  List.iteri
+    (fun i engine ->
+      Engines.apply_batch engine deltas;
+      if i = 0 then Faults.hit Faults.Mid_engine_apply)
+    staged;
+  staged
+
+let swap_in t staged =
+  t.views <- List.map2 (fun r engine -> { r with engine }) t.views staged
+
+let engine_error_detail = function
+  | Maintenance.Engine.Invariant m -> m
+  | Failure m | Invalid_argument m -> m
+  | e -> Printexc.to_string e
+
+let ingest_report t deltas =
+  let saved = Validator.copy t.validator in
+  let accepted, rejected =
+    List.fold_left
+      (fun (acc, rej) d ->
+        match Validator.admit t.validator d with
+        | Ok d -> (d :: acc, rej)
+        | Error r -> (acc, r :: rej))
+      ([], []) deltas
+  in
+  let accepted = List.rev accepted and rejected = List.rev rejected in
+  quarantine t rejected;
+  if accepted = [] then { batch = t.seq; applied = 0; rejected }
+  else begin
+    let seq = t.seq + 1 in
+    Option.iter
+      (fun w ->
+        Wal.append w (Wal.Batch { seq; deltas = accepted });
+        (* the record is durable: this is the commit point *)
+        Faults.hit Faults.After_wal_append)
+      t.wal;
+    match apply_to_copies t accepted with
+    | staged ->
+      swap_in t staged;
+      t.seq <- seq;
+      (match t.checkpoint_every with
+      | Some n when n > 0 && t.seq mod n = 0 && t.wal <> None -> checkpoint t
+      | Some _ | None -> ());
+      { batch = seq; applied = List.length accepted; rejected }
+    | exception (Faults.Crash _ as crash) ->
+      (* a simulated process death: unwind without any cleanup *)
+      raise crash
+    | exception e ->
+      (* an engine failed mid-batch: no copy was swapped in, so every view
+         still reflects the pre-batch state; roll the shadow back, mark the
+         WAL record aborted and quarantine the whole batch *)
+      Validator.restore t.validator ~from:saved;
+      Option.iter (fun w -> Wal.append w (Wal.Abort { seq })) t.wal;
+      t.seq <- seq;
+      let detail = engine_error_detail e in
+      let aborted =
+        List.map
+          (fun d -> { Delta.delta = d; reason = Delta.Engine_failure; detail })
+          accepted
+      in
+      quarantine t aborted;
+      { batch = seq; applied = 0; rejected = rejected @ aborted }
+  end
+
+let ingest t deltas = ignore (ingest_report t deltas)
+
+(* --- recovery ----------------------------------------------------------- *)
+
+(* Replay one committed batch during recovery. The batch was validated when
+   first ingested; a failure here (diverged shadow, deterministic engine
+   bug) quarantines it instead of making recovery itself fail. *)
+let replay_batch t ~seq deltas =
+  let saved = Validator.copy t.validator in
+  let abandon detail =
+    Validator.restore t.validator ~from:saved;
+    quarantine t
+      (List.map
+         (fun d -> { Delta.delta = d; reason = Delta.Engine_failure; detail })
+         deltas)
+  in
+  (match
+     List.find_map
+       (fun d ->
+         match Validator.admit t.validator d with
+         | Ok _ -> None
+         | Error r -> Some r)
+       deltas
+   with
+  | Some r -> abandon ("replay validation failed: " ^ r.Delta.detail)
+  | None -> (
+    match apply_to_copies t deltas with
+    | staged -> swap_in t staged
+    | exception e -> abandon (engine_error_detail e)));
+  t.seq <- seq
+
+let recover ~dir =
+  let t = load (snapshot_path dir) in
+  let records =
+    match Wal.read_all (wal_path dir) with
+    | records, _clean -> records
+    | exception Wal.Corrupt m -> err Corrupt_state "%s" m
+  in
+  let aborted =
+    List.filter_map
+      (function Wal.Abort { seq } -> Some seq | Wal.Batch _ -> None)
+      records
+  in
+  List.iter
+    (function
+      | Wal.Abort { seq } -> t.seq <- max t.seq seq
+      | Wal.Batch { seq; deltas } ->
+        if seq > t.seq && not (List.mem seq aborted) then
+          replay_batch t ~seq deltas
+        else t.seq <- max t.seq seq)
+    records;
+  t.dir <- Some dir;
+  (match Wal.open_append (wal_path dir) with
+  | w -> t.wal <- Some w
+  | exception Wal.Corrupt m -> err Corrupt_state "%s" m);
+  t
+
+(* --- audit ------------------------------------------------------------- *)
+
+let audit t ~reference =
+  List.rev_map
+    (fun r ->
+      let got = Engines.view_contents r.engine in
+      let expected = Algebra.Eval.eval reference r.view in
+      (r.view.View.name, Relation.equal got expected))
+    t.views
+
+(* --- report ------------------------------------------------------------ *)
 
 let report t =
   let buf = Buffer.create 1024 in
@@ -166,11 +449,9 @@ let report t =
       (List.rev t.views)
   in
   if List.length named > 1 then begin
-    Buffer.add_string buf "#### sharing across summary tables
-";
+    Buffer.add_string buf "#### sharing across summary tables\n";
     Buffer.add_string buf (Mindetail.Sharing.report named);
-    Buffer.add_char buf '
-'
+    Buffer.add_char buf '\n'
   end;
   List.iter
     (fun r ->

@@ -26,13 +26,41 @@ module Storage : sig
   val render_profile : model -> (string * int * int) list -> string
 end
 
-(** The data warehouse of Figure 1: summarized data (materialized GPSJ views)
+(** {2 Errors} *)
+
+type error_kind =
+  | Duplicate_view  (** a view with that name is already registered *)
+  | Unknown_view  (** no view with that name is registered *)
+  | Not_aged  (** age-out requested on a non-[Aged] view *)
+  | Not_persistable  (** an [Aged] view (closure predicate) blocks [save] *)
+  | Corrupt_state  (** a state/WAL file failed integrity checks *)
+  | Incompatible_state  (** a state file from an unsupported format version *)
+  | Not_durable  (** a durability operation on an unattached warehouse *)
+  | Io_error  (** the underlying filesystem operation failed *)
+  | Invalid_request  (** a malformed request (bad SQL, double attach, ...) *)
+
+(** Every failure of the warehouse API. [detail] is a human-readable
+    message; [kind] is the machine-readable class (see {!kind_label}). *)
+exception Error of { kind : error_kind; detail : string }
+
+(** Stable kebab-case label of an {!error_kind} ("corrupt-state", ...). *)
+val kind_label : error_kind -> string
+
+(** {2 The warehouse}
+
+    The data warehouse of Figure 1: summarized data (materialized GPSJ views)
     over current detail data (the minimal auxiliary views), fed by the source
     delta stream.
 
     The warehouse reads the operational store exactly once per registered
     view — at registration, mirroring the initial extract — and afterwards
-    maintains everything from {!ingest}ed deltas alone. *)
+    maintains everything from {!ingest}ed deltas alone. Ingestion is
+    {e validated} (deltas are checked against the believed source state
+    before any engine sees them; rejects land in a dead-letter queue) and
+    {e transactional} (a batch is applied to every registered view or to
+    none). Attach a state directory ({!attach}) to make it durable:
+    accepted batches are written ahead to a log and {!recover} replays the
+    tail after a crash. *)
 
 type strategy =
   | Minimal  (** Algorithm 3.2 auxiliary views (the paper) *)
@@ -49,21 +77,67 @@ type t
 val create : Relational.Database.t -> t
 
 (** Register a summary table. Performs the initial load.
-    @raise Algebra.View.Invalid on malformed views, [Failure] on duplicate
-    names. *)
+    @raise Algebra.View.Invalid on malformed views, {!Error}
+    ([Duplicate_view]) on duplicate names. *)
 val add_view : ?strategy:strategy -> t -> Algebra.View.t -> unit
 
-(** Register a view given as SQL text ([CREATE VIEW ... AS SELECT ...;]). *)
+(** Register a view given as SQL text ([CREATE VIEW ... AS SELECT ...;]).
+    @raise Error ([Invalid_request]) if the statement is not CREATE VIEW. *)
 val add_view_sql : ?strategy:strategy -> t -> string -> unit
 
-(** Feed source changes to every registered view. The changes are assumed
-    already applied at (and validated by) the source. *)
+(** {2 Ingestion}
+
+    Deltas are validated against the warehouse's {e believed} source state —
+    the initial extract advanced by every previously accepted delta — before
+    any maintenance engine sees them: schema conformance, key constraints,
+    and referential integrity. Rejected deltas are quarantined in the
+    dead-letter queue with machine-readable reasons; valid deltas of the
+    same batch still apply (graceful degradation).
+
+    Accepted deltas apply {e atomically} across every registered view:
+    engines absorb the batch on private copies that are swapped in only once
+    all of them succeeded, so a mid-batch engine failure leaves every view
+    at its pre-batch state (and quarantines the batch). *)
+
+(** Outcome of one {!ingest_report} call: [batch] is the WAL sequence number
+    (unchanged if nothing was accepted), [applied] the number of deltas
+    applied to the views, [rejected] the quarantined deltas. *)
+type report = {
+  batch : int;
+  applied : int;
+  rejected : Relational.Delta.rejection list;
+}
+
+(** Feed source changes to every registered view (see above for the
+    validation and atomicity contract). *)
 val ingest : t -> Relational.Delta.t list -> unit
+
+(** As {!ingest}, returning what happened. *)
+val ingest_report : t -> Relational.Delta.t list -> report
+
+(** The dead-letter queue, oldest first. *)
+val dead_letters : t -> Relational.Delta.rejection list
+
+val clear_dead_letters : t -> unit
+
+(** The source state the warehouse believes in: the initial extract advanced
+    by every accepted delta. Audits compare view contents against views
+    evaluated over this. *)
+val believed_source : t -> Relational.Database.t
+
+(** Number of batches recorded so far (committed or aborted); after a
+    {!recover}, tells the ingestion driver where to resume. *)
+val ingested_batches : t -> int
+
+(** {2 Queries} *)
 
 val view_names : t -> string list
 
+(** Registered view definitions, in registration order. *)
+val views : t -> Algebra.View.t list
+
 (** Current contents of a view: output column names and rows.
-    @raise Not_found for unknown names. *)
+    @raise Error ([Unknown_view]) for unknown names. *)
 val query : t -> string -> string list * Relational.Relation.t
 
 (** The derivation behind a view (None for [Replicate]). *)
@@ -76,8 +150,13 @@ val detail_profile : t -> (string * int * int) list
     current partition into its append-only old partition (see
     {!Maintenance.Partitioned.age_out} for the boundary-consistency
     contract).
-    @raise Not_found for unknown views, [Failure] for non-[Aged] ones. *)
+    @raise Error ([Unknown_view] / [Not_aged]). *)
 val age_out : t -> string -> Relational.Tuple.t list -> unit
+
+(** [audit t ~reference] recomputes every registered view from scratch over
+    [reference] (typically {!believed_source} or the true operational store)
+    and reports, per view, whether the maintained contents match. *)
+val audit : t -> reference:Relational.Database.t -> (string * bool) list
 
 (** Full textual report: per-view derivation and storage. *)
 val report : t -> string
@@ -85,17 +164,54 @@ val report : t -> string
 (** {2 Persistence}
 
     A warehouse survives restarts: [save] writes the complete maintained
-    state — every view's groups and auxiliary views, plus the replicas of
-    [Replicate] views — and [load] restores it without touching any source.
-    Ingestion resumes from wherever the delta stream left off.
+    state — every view's groups and auxiliary views, the replicas of
+    [Replicate] views, the validator's believed source, the dead-letter
+    queue and the batch sequence number — and [load] restores it without
+    touching any source.
 
-    The format is OCaml's [Marshal] behind a versioned header: portable
-    across runs of the same binary, not across incompatible builds. [Aged]
-    views carry a partition predicate (a closure) and cannot be persisted;
-    [save] raises [Failure] if one is registered. *)
+    The format is OCaml's [Marshal] behind a versioned, CRC-32-checksummed
+    header: portable across runs of the same binary, not across incompatible
+    builds. Truncated or bit-rotted files are detected before unmarshalling
+    and reported as {!Error} ([Corrupt_state]). [Aged] views carry a
+    partition predicate (a closure) and cannot be persisted; [save] raises
+    {!Error} ([Not_persistable]) if one is registered. *)
 
+(** [save t path] snapshots the warehouse atomically (temp file + rename).
+    @raise Error ([Not_persistable] / [Io_error]). *)
 val save : t -> string -> unit
 
-(** [load path] restores a saved warehouse.
-    @raise Failure on a missing/foreign/incompatible file. *)
+(** [load path] restores a saved warehouse (not attached to a state
+    directory — see {!attach} / {!recover}).
+    @raise Error ([Io_error] on unreadable files, [Corrupt_state] on
+    truncated/garbage/checksum-mismatched ones, [Incompatible_state] on old
+    format versions). *)
 val load : string -> t
+
+(** {2 Durability}
+
+    An {e attached} warehouse writes every accepted batch to a write-ahead
+    log under its state directory before any engine applies it; the flushed
+    append is the commit point. {!checkpoint} snapshots the full state and
+    truncates the log; after a crash, {!recover} loads the latest snapshot
+    and replays the log tail — tolerating a torn final record — so the
+    warehouse comes back at the last committed batch. *)
+
+(** [attach t ~dir] makes [t] durable: creates [dir] if needed, opens (or
+    repairs) its WAL, and takes an initial checkpoint. With
+    [?checkpoint_every:n], every [n]-th batch checkpoints automatically.
+    @raise Error ([Invalid_request] if already attached, [Io_error],
+    [Corrupt_state], [Not_persistable]). *)
+val attach : ?checkpoint_every:int -> t -> dir:string -> unit
+
+(** Snapshot the state directory and truncate the WAL.
+    @raise Error ([Not_durable] if not attached). *)
+val checkpoint : t -> unit
+
+(** [recover ~dir] rebuilds the warehouse from [dir]: latest snapshot plus
+    replay of the committed WAL records newer than it (skipping aborted
+    batches and tolerating a torn tail). The result is attached to [dir].
+    @raise Error as {!load}. *)
+val recover : dir:string -> t
+
+(** Detach from the state directory, closing the WAL (no checkpoint). *)
+val close : t -> unit

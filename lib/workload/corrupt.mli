@@ -1,0 +1,48 @@
+(** Forged invalid deltas, for exercising the warehouse's validation layer
+    and dead-letter queue.
+
+    Each forgery pairs a delta with the {!Relational.Delta.reason} the
+    validator is expected to reject it for. The state-dependent forgeries
+    ([duplicate_key], [missing_row], [dangling_reference]) are built against
+    the given store snapshot and are only guaranteed invalid at that point
+    of the stream; the position-independent ones ([unknown_table],
+    [schema_mismatch]) are invalid anywhere, which is what {!sprinkle}
+    relies on. *)
+
+type forgery = {
+  delta : Relational.Delta.t;
+  reason : Relational.Delta.reason;  (** expected rejection reason *)
+}
+
+(** A change to a table the store has never heard of. *)
+val unknown_table : Prng.t -> forgery
+
+(** An insert with the wrong arity or a wrongly-typed column. *)
+val schema_mismatch : Prng.t -> Relational.Database.t -> forgery
+
+(** Re-insert of an existing row ([None] if the store is empty). *)
+val duplicate_key : Prng.t -> Relational.Database.t -> forgery option
+
+(** Delete of a conforming tuple whose key is not present ([None] if no
+    table supports forging a provably fresh key). *)
+val missing_row : Prng.t -> Relational.Database.t -> forgery option
+
+(** Insert whose foreign key points at no referent ([None] if no reference
+    constraints are declared). *)
+val dangling_reference : Prng.t -> Relational.Database.t -> forgery option
+
+(** A random forgery of any kind above (falls back to the
+    position-independent kinds when a state-dependent one is unavailable). *)
+val forge : Prng.t -> Relational.Database.t -> forgery
+
+(** [sprinkle rng db ~rate deltas] interleaves position-independent
+    forgeries into a valid stream — roughly [rate] forgeries per valid
+    delta — and returns the polluted stream plus the number injected. The
+    injected deltas are invalid at {e any} position, so a validating
+    consumer must reject exactly those and accept the rest. *)
+val sprinkle :
+  Prng.t ->
+  Relational.Database.t ->
+  rate:float ->
+  Relational.Delta.t list ->
+  Relational.Delta.t list * int

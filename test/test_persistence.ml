@@ -82,16 +82,17 @@ let tests =
         Warehouse.add_view ~strategy:(Warehouse.Aged (fun _ -> false)) wh
           mergeable;
         match Warehouse.save wh (tmp "wh_aged.bin") with
-        | exception Failure _ -> ()
-        | () -> Alcotest.fail "expected Failure");
+        | exception Warehouse.Error { kind = Warehouse.Not_persistable; _ } ->
+          ()
+        | () -> Alcotest.fail "expected Not_persistable");
     test "load rejects foreign files" (fun () ->
         let path = tmp "wh_bogus.bin" in
         let oc = open_out_bin path in
         output_string oc "definitely not a warehouse state file .........";
         close_out oc;
         (match Warehouse.load path with
-        | exception Failure _ -> ()
-        | _ -> Alcotest.fail "expected Failure");
+        | exception Warehouse.Error { kind = Warehouse.Corrupt_state; _ } -> ()
+        | _ -> Alcotest.fail "expected Corrupt_state");
         Sys.remove path);
     test "load rejects truncated files" (fun () ->
         let path = tmp "wh_short.bin" in
@@ -99,8 +100,8 @@ let tests =
         output_string oc "mini";
         close_out oc;
         (match Warehouse.load path with
-        | exception (Failure _ | End_of_file) -> ()
-        | _ -> Alcotest.fail "expected a failure");
+        | exception Warehouse.Error { kind = Warehouse.Corrupt_state; _ } -> ()
+        | _ -> Alcotest.fail "expected Corrupt_state");
         Sys.remove path);
   ]
 

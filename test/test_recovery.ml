@@ -1,0 +1,241 @@
+(* Crash-recovery tests: for every named crash point and several seeds, a
+   simulated crash followed by recovery and a resumed delta stream leaves the
+   warehouse exactly where an uninterrupted run would have — the WAL replay
+   is idempotent and the views match from-scratch recomputation. Plus
+   corruption tests for the snapshot format and the WAL tail. *)
+
+open Helpers
+module Faults = Maintenance.Faults
+
+let test case fn = Alcotest.test_case case `Quick fn
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+(* a state directory emptied of any previous run's leftovers *)
+let fresh_dir name =
+  let dir = tmp name in
+  if Sys.file_exists dir then
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat dir f))
+      (Sys.readdir dir);
+  dir
+
+let tiny =
+  {
+    Workload.Retail.days = 8;
+    stores = 2;
+    products = 12;
+    sold_per_store_day = 4;
+    tx_per_product = 2;
+    brands = 4;
+    seed = 31;
+  }
+
+let all_views =
+  [ Workload.Retail.product_sales; Workload.Retail.monthly_revenue;
+    Workload.Retail.sales_by_time ]
+
+let build () =
+  let db = Workload.Retail.load tiny in
+  let wh = Warehouse.create db in
+  Warehouse.add_view wh Workload.Retail.product_sales;
+  Warehouse.add_view ~strategy:Warehouse.Psj wh Workload.Retail.monthly_revenue;
+  Warehouse.add_view ~strategy:Warehouse.Replicate wh
+    Workload.Retail.sales_by_time;
+  (db, wh)
+
+let check_views wh db =
+  List.iter
+    (fun v ->
+      Alcotest.check relation v.View.name (Algebra.Eval.eval db v)
+        (snd (Warehouse.query wh v.View.name)))
+    all_views
+
+let reason_eq : Delta.reason Alcotest.testable =
+  Alcotest.testable
+    (fun ppf r -> Format.pp_print_string ppf (Delta.reason_label r))
+    ( = )
+
+(* The property: crash at [point] somewhere inside a batched ingestion run,
+   recover from disk, resume the stream from the batch count the recovered
+   warehouse reports — and end up indistinguishable from a run that never
+   crashed. *)
+let crash_and_recover point seed () =
+  let db, wh = build () in
+  let dir =
+    fresh_dir (Printf.sprintf "wh_crash_%s_%d" (Faults.to_string point) seed)
+  in
+  Warehouse.attach ~checkpoint_every:3 wh ~dir;
+  let rng = Workload.Prng.create seed in
+  (* generate everything up front: the batches evolve db to its final state,
+     which is the ground truth the recovered warehouse must reach *)
+  let batches = List.init 8 (fun _ -> Workload.Delta_gen.stream rng db ~n:12) in
+  let skip =
+    match point with
+    (* let attach's initial checkpoint through; crash on the first automatic
+       one (after the third batch) *)
+    | Faults.Mid_checkpoint | Faults.Before_wal_truncate -> 1
+    | Faults.After_wal_append | Faults.Mid_engine_apply -> 2
+  in
+  Faults.arm ~skip point;
+  let crashed = ref false in
+  (try List.iter (Warehouse.ingest wh) batches
+   with Faults.Crash p ->
+     crashed := true;
+     Alcotest.check
+       (Alcotest.testable
+          (fun ppf p -> Format.pp_print_string ppf (Faults.to_string p))
+          ( = ))
+       "crashed at the armed point" point p);
+  Faults.disarm ();
+  Alcotest.(check bool) "the armed fault fired" true !crashed;
+  Warehouse.close wh;
+  let wh' = Warehouse.recover ~dir in
+  Alcotest.(check (list reason_eq)) "no dead letters after replay" []
+    (List.map (fun r -> r.Delta.reason) (Warehouse.dead_letters wh'));
+  (* each batch bumps the count by exactly one, so it doubles as the resume
+     cursor into the stream *)
+  let already = Warehouse.ingested_batches wh' in
+  Alcotest.(check bool) "made progress before crashing" true (already >= 2);
+  List.iteri
+    (fun idx batch -> if idx >= already then Warehouse.ingest wh' batch)
+    batches;
+  check_views wh' db;
+  Warehouse.close wh'
+
+let crash_tests =
+  List.concat_map
+    (fun point ->
+      List.map
+        (fun seed ->
+          test
+            (Printf.sprintf "crash at %s, seed %d (recover == no crash)"
+               (Faults.to_string point) seed)
+            (crash_and_recover point seed))
+        [ 11; 12; 13 ])
+    Faults.all
+
+let durability_tests =
+  [
+    test "attach / checkpoint / recover round-trips" (fun () ->
+        let db, wh = build () in
+        let dir = fresh_dir "wh_roundtrip_dir" in
+        Warehouse.attach wh ~dir;
+        let rng = Workload.Prng.create 5 in
+        Warehouse.ingest wh (Workload.Delta_gen.stream rng db ~n:60);
+        Warehouse.checkpoint wh;
+        Warehouse.ingest wh (Workload.Delta_gen.stream rng db ~n:60);
+        Warehouse.close wh;
+        let wh' = Warehouse.recover ~dir in
+        Alcotest.(check int) "batch count" 2 (Warehouse.ingested_batches wh');
+        check_views wh' db;
+        Warehouse.close wh');
+    test "recovery tolerates a torn WAL tail" (fun () ->
+        let db, wh = build () in
+        let dir = fresh_dir "wh_torn_dir" in
+        Warehouse.attach wh ~dir;
+        let rng = Workload.Prng.create 6 in
+        for _ = 1 to 3 do
+          Warehouse.ingest wh (Workload.Delta_gen.stream rng db ~n:20)
+        done;
+        Warehouse.close wh;
+        (* a record that never finished hitting the disk *)
+        let oc =
+          open_out_gen
+            [ Open_wronly; Open_append; Open_binary ]
+            0o644
+            (Filename.concat dir "wal.bin")
+        in
+        output_string oc "garbage that is not a complete record";
+        close_out oc;
+        let wh' = Warehouse.recover ~dir in
+        Alcotest.(check int) "all full batches survive" 3
+          (Warehouse.ingested_batches wh');
+        check_views wh' db;
+        Warehouse.close wh');
+    test "checkpoint without attach is refused" (fun () ->
+        let _db, wh = build () in
+        match Warehouse.checkpoint wh with
+        | exception Warehouse.Error { kind = Warehouse.Not_durable; _ } -> ()
+        | () -> Alcotest.fail "expected Not_durable");
+    test "double attach is refused" (fun () ->
+        let _db, wh = build () in
+        let dir = fresh_dir "wh_double_dir" in
+        Warehouse.attach wh ~dir;
+        (match Warehouse.attach wh ~dir with
+        | exception Warehouse.Error { kind = Warehouse.Invalid_request; _ } ->
+          ()
+        | () -> Alcotest.fail "expected Invalid_request");
+        Warehouse.close wh);
+  ]
+
+(* --- snapshot corruption ------------------------------------------------ *)
+
+let saved_snapshot path =
+  let db = Workload.Retail.load tiny in
+  let wh = Warehouse.create db in
+  Warehouse.add_view wh Workload.Retail.product_sales;
+  Warehouse.save wh path
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+let expect_corrupt path =
+  match Warehouse.load path with
+  | exception Warehouse.Error { kind = Warehouse.Corrupt_state; _ } -> ()
+  | _ -> Alcotest.fail "expected Corrupt_state"
+
+let corruption_tests =
+  [
+    test "a flipped payload byte fails the checksum" (fun () ->
+        let path = tmp "wh_bitrot.bin" in
+        saved_snapshot path;
+        let s = Bytes.of_string (read_file path) in
+        let last = Bytes.length s - 1 in
+        Bytes.set s last (Char.chr (Char.code (Bytes.get s last) lxor 0xff));
+        write_file path (Bytes.to_string s);
+        expect_corrupt path;
+        Sys.remove path);
+    test "a truncated payload is detected before unmarshalling" (fun () ->
+        let path = tmp "wh_truncated.bin" in
+        saved_snapshot path;
+        let s = read_file path in
+        write_file path (String.sub s 0 (String.length s - 7));
+        expect_corrupt path;
+        Sys.remove path);
+    test "the unchecksummed v1 format is refused as incompatible" (fun () ->
+        let path = tmp "wh_v1.bin" in
+        write_file path ("minview-warehouse-state/1\n" ^ "anything");
+        (match Warehouse.load path with
+        | exception Warehouse.Error { kind = Warehouse.Incompatible_state; _ }
+          ->
+          ()
+        | _ -> Alcotest.fail "expected Incompatible_state");
+        Sys.remove path);
+    test "a garbage WAL header is refused" (fun () ->
+        let dir = fresh_dir "wh_badwal_dir" in
+        let path = tmp "wh_badwal_snap.bin" in
+        saved_snapshot path;
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        write_file (Filename.concat dir "snapshot.bin") (read_file path);
+        write_file (Filename.concat dir "wal.bin") "this is not a WAL file";
+        (match Warehouse.recover ~dir with
+        | exception Warehouse.Error { kind = Warehouse.Corrupt_state; _ } -> ()
+        | _ -> Alcotest.fail "expected Corrupt_state");
+        Sys.remove path);
+  ]
+
+let () =
+  Alcotest.run "recovery"
+    [
+      ("crash-points", crash_tests); ("durability", durability_tests);
+      ("snapshot-corruption", corruption_tests);
+    ]

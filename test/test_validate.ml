@@ -1,0 +1,210 @@
+(* Tests for the ingestion validation layer: invalid deltas land in the
+   dead-letter queue with the right machine-readable reason, valid deltas of
+   the same batch still apply, and an engine failure aborts the whole batch
+   atomically. *)
+
+open Helpers
+
+let test case fn = Alcotest.test_case case `Quick fn
+
+let setup () =
+  let db = paper_example_db () in
+  let wh = Warehouse.create db in
+  Warehouse.add_view wh Workload.Retail.product_sales;
+  Warehouse.add_view ~strategy:Warehouse.Psj wh Workload.Retail.monthly_revenue;
+  (db, wh)
+
+let reasons wh =
+  List.map (fun r -> r.Delta.reason) (Warehouse.dead_letters wh)
+
+let reason : Delta.reason Alcotest.testable =
+  Alcotest.testable
+    (fun ppf r -> Format.pp_print_string ppf (Delta.reason_label r))
+    ( = )
+
+(* every maintained view must agree with recomputation over the state the
+   warehouse believes the source is in *)
+let check_consistent wh =
+  let src = Warehouse.believed_source wh in
+  List.iter
+    (fun v ->
+      Alcotest.check relation v.View.name (Algebra.Eval.eval src v)
+        (snd (Warehouse.query wh v.View.name)))
+    [ Workload.Retail.product_sales; Workload.Retail.monthly_revenue ]
+
+let valid_sale id timeid price =
+  Delta.insert "sale" (row [ i id; i timeid; i 1; i 1; i price ])
+
+let tests =
+  [
+    test "mixed batch: invalid deltas quarantine, valid ones apply" (fun () ->
+        let _db, wh = setup () in
+        let batch =
+          [
+            valid_sale 100 1 42;
+            Delta.insert "time" (row [ i 1; i 1; i 1; i 1997 ]);
+            (* timeid 99 has no referent *)
+            Delta.insert "sale" (row [ i 101; i 99; i 1; i 1; i 5 ]);
+            Delta.insert "nonexistent" (row [ i 1 ]);
+            Delta.insert "sale" (row [ i 102; i 1 ]);
+            valid_sale 103 2 7;
+          ]
+        in
+        let r = Warehouse.ingest_report wh batch in
+        Alcotest.(check int) "applied" 2 r.Warehouse.applied;
+        Alcotest.(check (list reason))
+          "reasons"
+          [
+            Delta.Duplicate_key; Delta.Dangling_reference; Delta.Unknown_table;
+            Delta.Schema_mismatch;
+          ]
+          (reasons wh);
+        Alcotest.(check int) "sale rows"
+          9
+          (Database.row_count (Warehouse.believed_source wh) "sale");
+        check_consistent wh);
+    test "every constraint maps to its reason" (fun () ->
+        let _db, wh = setup () in
+        let cases =
+          [
+            (* delete of an absent tuple *)
+            ( Delta.delete "sale" (row [ i 999; i 1; i 1; i 1; i 10 ]),
+              Delta.Missing_row );
+            (* time 1 is still referenced by sales *)
+            ( Delta.delete "time" (row [ i 1; i 1; i 1; i 1997 ]),
+              Delta.Referenced_key );
+            (* time.day is not declared UPDATABLE *)
+            ( Delta.update "time"
+                ~before:(row [ i 1; i 1; i 1; i 1997 ])
+                ~after:(row [ i 1; i 2; i 1; i 1997 ]),
+              Delta.Not_updatable );
+          ]
+        in
+        List.iter
+          (fun (delta, expected) ->
+            let before = Warehouse.dead_letters wh in
+            let r = Warehouse.ingest_report wh [ delta ] in
+            Alcotest.(check int) "nothing applied" 0 r.Warehouse.applied;
+            match
+              List.filteri
+                (fun idx _ -> idx >= List.length before)
+                (Warehouse.dead_letters wh)
+            with
+            | [ rej ] ->
+              Alcotest.check reason
+                (Delta.reason_label expected)
+                expected rej.Delta.reason
+            | other ->
+              Alcotest.failf "expected one new dead letter, got %d"
+                (List.length other))
+          cases;
+        check_consistent wh);
+    test "engine failure aborts the whole batch atomically" (fun () ->
+        let db = paper_example_db () in
+        let wh = Warehouse.create db in
+        Warehouse.add_view wh Workload.Retail.product_sales;
+        (* old partition = cheap sales; price is updatable, so a price update
+           crossing the boundary passes validation and blows up the
+           partitioned engine *)
+        let is_old tup = match tup.(4) with Value.Int p -> p < 15 | _ -> false in
+        let aged =
+          { Workload.Retail.sales_by_time with View.name = "aged_sales" }
+        in
+        Warehouse.add_view ~strategy:(Warehouse.Aged is_old) wh aged;
+        let before_ps = snd (Warehouse.query wh "product_sales") in
+        let before_aged = snd (Warehouse.query wh "aged_sales") in
+        let boundary_crossing =
+          Delta.update "sale"
+            ~before:(row [ i 1; i 1; i 1; i 1; i 10 ])
+            ~after:(row [ i 1; i 1; i 1; i 1; i 50 ])
+        in
+        let r =
+          Warehouse.ingest_report wh [ valid_sale 200 1 12; boundary_crossing ]
+        in
+        Alcotest.(check int) "nothing applied" 0 r.Warehouse.applied;
+        Alcotest.(check (list reason))
+          "whole batch quarantined"
+          [ Delta.Engine_failure; Delta.Engine_failure ]
+          (reasons wh);
+        Alcotest.check relation "product_sales untouched" before_ps
+          (snd (Warehouse.query wh "product_sales"));
+        Alcotest.check relation "aged view untouched" before_aged
+          (snd (Warehouse.query wh "aged_sales"));
+        (* the validator rolled back too: the insert half of the batch is
+           still fresh and can be re-ingested on its own *)
+        let r2 = Warehouse.ingest_report wh [ valid_sale 200 1 12 ] in
+        Alcotest.(check int) "re-ingest applies" 1 r2.Warehouse.applied;
+        let src = Warehouse.believed_source wh in
+        Alcotest.check relation "aged view maintained"
+          (Algebra.Eval.eval src aged)
+          (snd (Warehouse.query wh "aged_sales")));
+    test "sprinkled stream: exactly the forged deltas are rejected" (fun () ->
+        let db = Workload.Retail.load Workload.Retail.small_params in
+        let wh = Warehouse.create db in
+        Warehouse.add_view wh Workload.Retail.product_sales;
+        Warehouse.add_view ~strategy:Warehouse.Psj wh
+          Workload.Retail.monthly_revenue;
+        let rng = Workload.Prng.create 7 in
+        let valid = Workload.Delta_gen.stream rng db ~n:120 in
+        let polluted, injected =
+          Workload.Corrupt.sprinkle rng db ~rate:0.2 valid
+        in
+        Alcotest.(check bool) "something injected" true (injected > 0);
+        let r = Warehouse.ingest_report wh polluted in
+        Alcotest.(check int) "all valid applied" (List.length valid)
+          r.Warehouse.applied;
+        Alcotest.(check int) "all forged quarantined" injected
+          (List.length (Warehouse.dead_letters wh));
+        List.iter
+          (fun rej ->
+            match rej.Delta.reason with
+            | Delta.Unknown_table | Delta.Schema_mismatch -> ()
+            | other ->
+              Alcotest.failf "unexpected reason %s" (Delta.reason_label other))
+          (Warehouse.dead_letters wh);
+        (* the stream was applied to db as it was generated, so the evolved
+           source is the ground truth *)
+        List.iter
+          (fun v ->
+            Alcotest.check relation v.View.name (Algebra.Eval.eval db v)
+              (snd (Warehouse.query wh v.View.name)))
+          [ Workload.Retail.product_sales; Workload.Retail.monthly_revenue ]);
+    test "forgeries are rejected for the advertised reason" (fun () ->
+        let db = paper_example_db () in
+        let validator = Relational.Validator.of_database db in
+        let check_forgery (f : Workload.Corrupt.forgery) =
+          match Relational.Validator.check validator f.Workload.Corrupt.delta with
+          | Ok _ ->
+            Alcotest.failf "forgery for %s was accepted"
+              (Delta.reason_label f.Workload.Corrupt.reason)
+          | Error rej ->
+            Alcotest.check reason
+              (Delta.reason_label f.Workload.Corrupt.reason)
+              f.Workload.Corrupt.reason rej.Delta.reason
+        in
+        for seed = 1 to 20 do
+          let rng = Workload.Prng.create seed in
+          check_forgery (Workload.Corrupt.unknown_table rng);
+          check_forgery (Workload.Corrupt.schema_mismatch rng db);
+          List.iter
+            (fun forge ->
+              match forge rng db with
+              | Some f -> check_forgery f
+              | None -> Alcotest.fail "forgery unavailable on a populated db")
+            [
+              Workload.Corrupt.duplicate_key; Workload.Corrupt.missing_row;
+              Workload.Corrupt.dangling_reference;
+            ];
+          check_forgery (Workload.Corrupt.forge rng db)
+        done);
+    test "dead letters come back oldest first and can be cleared" (fun () ->
+        let _db, wh = setup () in
+        Warehouse.ingest wh [ Delta.insert "nonexistent" (row [ i 1 ]) ];
+        Warehouse.ingest wh [ Delta.insert "sale" (row [ i 50; i 1 ]) ];
+        Alcotest.(check (list reason))
+          "order" [ Delta.Unknown_table; Delta.Schema_mismatch ] (reasons wh);
+        Warehouse.clear_dead_letters wh;
+        Alcotest.(check (list reason)) "cleared" [] (reasons wh));
+  ]
+
+let () = Alcotest.run "validate" [ ("dead-letter-queue", tests) ]

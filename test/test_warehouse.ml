@@ -76,14 +76,14 @@ let warehouse_tests =
         let wh = Warehouse.create db in
         Warehouse.add_view wh Workload.Retail.months;
         match Warehouse.add_view wh Workload.Retail.months with
-        | exception Failure _ -> ()
-        | _ -> Alcotest.fail "expected Failure");
-    test "query of unknown view raises Not_found" (fun () ->
+        | exception Warehouse.Error { kind = Warehouse.Duplicate_view; _ } -> ()
+        | _ -> Alcotest.fail "expected Duplicate_view");
+    test "query of unknown view raises Unknown_view" (fun () ->
         let db = Workload.Retail.load Workload.Retail.small_params in
         let wh = Warehouse.create db in
         match Warehouse.query wh "nosuch" with
-        | exception Not_found -> ()
-        | _ -> Alcotest.fail "expected Not_found");
+        | exception Warehouse.Error { kind = Warehouse.Unknown_view; _ } -> ()
+        | _ -> Alcotest.fail "expected Unknown_view");
     test "add_view_sql registers and maintains" (fun () ->
         let db = Workload.Retail.load Workload.Retail.small_params in
         let wh = Warehouse.create db in
@@ -165,8 +165,8 @@ let aged_tests =
         let wh = Warehouse.create db in
         Warehouse.add_view wh Workload.Retail.months;
         match Warehouse.age_out wh "months" [] with
-        | exception Failure _ -> ()
-        | () -> Alcotest.fail "expected Failure");
+        | exception Warehouse.Error { kind = Warehouse.Not_aged; _ } -> ()
+        | () -> Alcotest.fail "expected Not_aged");
   ]
 
 let () =
