@@ -708,6 +708,145 @@ let e15 () =
        ~header:[ "fact rows"; "indexed ms"; "scan ms"; "speedup" ]
        rows)
 
+(* ----------------------------------------------------- apply-scaling *)
+
+(* Batch apply latency as a function of resident rows (auxiliary view rows
+   plus materialized view groups). With undo journaling the transactional
+   apply is O(delta): a batch touching a bounded set of groups must cost the
+   same against 10k resident rows as against 1M. The "copy" series replays
+   the old copy-and-swap design (deep-copy the engine, apply to the copy) and
+   shows the O(state) cost the journal removes.
+
+   The instance is sales_by_time over a grown time dimension — a CSMAS view
+   whose auxiliary view and group count both scale with [days] — and the
+   delta stream is confined to a bounded (day, product) region so every grid
+   point applies the same per-batch work and working set.
+
+   Not part of the default run. Environment knobs:
+     BENCH_APPLY_SIZES  comma-separated resident-row targets
+                        (default 10000,100000,1000000)
+     BENCH_APPLY_OUT    output path (default BENCH_apply.json) *)
+
+let apply_scaling () =
+  header "apply-scaling: transactional apply vs resident rows";
+  (* the resident state is live for the whole run; keep the incremental
+     major GC from re-marking it on every batch (its slice time grows with
+     heap size and would masquerade as apply cost) *)
+  Gc.set
+    { (Gc.get ()) with Gc.minor_heap_size = 64 * 1024 * 1024;
+      space_overhead = 10_000 };
+  let sizes =
+    match Sys.getenv_opt "BENCH_APPLY_SIZES" with
+    | Some s ->
+      String.split_on_char ',' s
+      |> List.filter_map (fun x -> int_of_string_opt (String.trim x))
+    | None -> [ 10_000; 100_000; 1_000_000 ]
+  in
+  let batch_size = 64 in
+  (* fresh fact ids far above anything the loader produces *)
+  let next_id = ref 100_000_000 in
+  let confined rng ~n =
+    List.init n (fun _ ->
+        incr next_id;
+        Relational.Delta.insert "sale"
+          [| Value.Int !next_id;
+             Value.Int (Workload.Prng.int rng 5 + 1);
+             Value.Int (Workload.Prng.int rng 50 + 1);
+             Value.Int 1;
+             Value.Int (Workload.Prng.int rng 100 + 1) |])
+  in
+  (* Each sample times a run of consecutive batches in CPU time, well above
+     the clock granularity and the scheduler noise floor; the minimum over
+     samples estimates the true per-batch cost. The minor heap is emptied
+     before each sample and large enough to absorb a whole one, so GC does
+     not leak into the timings. *)
+  let best_of ~samples ~reps f =
+    let best = ref infinity in
+    for _ = 1 to samples do
+      Gc.minor ();
+      let t0 = Sys.time () in
+      for _ = 1 to reps do
+        f ()
+      done;
+      let dt = (Sys.time () -. t0) *. 1000. /. float_of_int reps in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let measure target =
+    (* resident rows = aux rows (one per day) + view groups (one per day) *)
+    let days = max 10 (target / 2) in
+    let p =
+      { R.days; stores = 1; products = 50; sold_per_store_day = 3;
+        tx_per_product = 1; brands = 5; seed = 7 }
+    in
+    let db = R.load p in
+    let e = Engines.minimal db R.sales_by_time in
+    let resident =
+      List.fold_left (fun acc (_, r, _) -> acc + r) 0
+        (Engines.detail_profile e)
+      + Relation.cardinality (Engines.view_contents e)
+    in
+    let rng = Workload.Prng.create 808 in
+    Engines.apply_batch e (confined rng ~n:batch_size) (* warm-up *);
+    let journal =
+      best_of ~samples:10 ~reps:25 (fun () ->
+          Engines.begin_txn e;
+          Engines.apply_batch e (confined rng ~n:batch_size);
+          Engines.commit e)
+    in
+    (* the pre-PR design: deep-copy the whole engine state, apply to the
+       copy, swap on success *)
+    let copy_reps = if target > 200_000 then 1 else 5 in
+    let copy =
+      best_of ~samples:3 ~reps:copy_reps (fun () ->
+          let c = Engines.copy e in
+          Engines.apply_batch c (confined rng ~n:batch_size))
+    in
+    (target, resident, journal, copy)
+  in
+  let points = List.map measure sizes in
+  let journals = List.map (fun (_, _, j, _) -> j) points in
+  let ratio =
+    List.fold_left Float.max 0. journals
+    /. Float.max 1e-9 (List.fold_left Float.min infinity journals)
+  in
+  let speedups =
+    List.map (fun (_, _, j, c) -> c /. Float.max 1e-9 j) points
+  in
+  print_string
+    (table
+       ~header:
+         [ "target"; "resident rows"; "journal ms/batch"; "copy ms/batch";
+           "speedup" ]
+       (List.map2
+          (fun (t, r, j, c) s ->
+            [ string_of_int t; string_of_int r; Printf.sprintf "%.4f" j;
+              Printf.sprintf "%.2f" c; Printf.sprintf "%.0fx" s ])
+          points speedups));
+  Printf.printf
+    "journal max/min over the grid: %.2fx (flat == O(delta) apply)\n" ratio;
+  let out =
+    Option.value (Sys.getenv_opt "BENCH_APPLY_OUT") ~default:"BENCH_apply.json"
+  in
+  let oc = open_out out in
+  Printf.fprintf oc
+    "{\n  \"benchmark\": \"apply-scaling\",\n  \"batch_size\": %d,\n  \
+     \"points\": [\n%s\n  ],\n  \"ratio_max_over_min\": %.4f\n}\n"
+    batch_size
+    (String.concat ",\n"
+       (List.map2
+          (fun (t, r, j, c) s ->
+            Printf.sprintf
+              "    { \"target\": %d, \"resident_rows\": %d, \
+               \"journal_ms\": %.4f, \"copy_ms\": %.4f, \
+               \"speedup\": %.1f }"
+              t r j c s)
+          points speedups))
+    ratio;
+  close_out oc;
+  Printf.printf "wrote %s\n" out
+
 (* -------------------------------------------------------- endurance *)
 
 (* Not part of the default run: 200k deltas through a three-view warehouse,
@@ -816,6 +955,7 @@ let experiments =
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15);
     ("timings", timings); ("endurance", endurance);
+    ("apply-scaling", apply_scaling);
   ]
 
 let () =
@@ -823,12 +963,19 @@ let () =
   let selected =
     match args with
     | [] ->
-      List.filter (fun (n, _) -> n <> "timings" && n <> "endurance") experiments
+      List.filter
+        (fun (n, _) ->
+          n <> "timings" && n <> "endurance" && n <> "apply-scaling")
+        experiments
       |> List.map fst
     | [ "all" ] ->
       (* endurance reports resident memory, which is only meaningful in a
-         fresh process: run it standalone *)
-      List.filter (fun (n, _) -> n <> "endurance") experiments |> List.map fst
+         fresh process: run it standalone; apply-scaling builds million-row
+         instances and is likewise opt-in *)
+      List.filter
+        (fun (n, _) -> n <> "endurance" && n <> "apply-scaling")
+        experiments
+      |> List.map fst
     | xs -> xs
   in
   List.iter

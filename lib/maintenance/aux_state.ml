@@ -24,6 +24,14 @@ type group = {
   exts : Value.t array;
 }
 
+(* First-touch before-image of one group, taken when an open transaction
+   first mutates it. [Absent] marks a group the batch created. *)
+type saved_group =
+  | Absent
+  | Present of { cnt : int; sums : Value.t array; exts : Value.t array }
+
+type txn = { saved : saved_group TH.t; total0 : int }
+
 type t = {
   spec : Auxview.t;
   plain_src : int array;  (** base-schema index of each Plain column *)
@@ -37,6 +45,7 @@ type t = {
       (** per indexed column: its position among plains, and value -> set of
           group keys *)
   mutable total : int;
+  mutable txn : txn option;
 }
 
 type row = { plains : Tuple.t; cnt : int; sums : Value.t array; exts : Value.t array }
@@ -49,11 +58,18 @@ let create ?(indexed_columns = []) spec schema =
     | None -> -1
   in
   let indexes =
-    List.filter_map
+    List.map
       (fun col ->
         match Auxview.plain_position spec col with
-        | Some pos -> Some (pos, VH.create 256)
-        | None -> None)
+        | Some pos -> (pos, VH.create 256)
+        | None ->
+          (* a misspelled index column must not degrade to a silent full
+             scan on every probe *)
+          invalid_arg
+            (Printf.sprintf
+               "Aux_state.create(%s): indexed column %s is not a plain \
+                column of the view"
+               spec.Auxview.name col))
       (List.sort_uniq String.compare indexed_columns)
   in
   {
@@ -70,6 +86,7 @@ let create ?(indexed_columns = []) spec schema =
     key_plain_pos;
     indexes;
     total = 0;
+    txn = None;
   }
 
 let spec s = s.spec
@@ -105,8 +122,109 @@ let combine_ext ~is_min cur v =
   let c = Value.compare v cur in
   if (is_min && c < 0) || ((not is_min) && c > 0) then v else cur
 
+(* --- transactions ------------------------------------------------------- *)
+
+let begin_txn s =
+  if s.txn <> None then
+    invalid_arg
+      (Printf.sprintf "Aux_state.begin_txn(%s): transaction already open"
+         s.spec.Auxview.name);
+  s.txn <- Some { saved = TH.create 64; total0 = s.total }
+
+(* Journal [key]'s before-image, once per transaction. Must run before any
+   mutation of the group (or its creation). *)
+let note s key =
+  match s.txn with
+  | None -> ()
+  | Some { saved; _ } ->
+    if not (TH.mem saved key) then
+      TH.add saved key
+        (match TH.find_opt s.groups key with
+        | None -> Absent
+        | Some g ->
+          Present
+            { cnt = g.cnt; sums = Array.copy g.sums; exts = Array.copy g.exts })
+
+let commit s =
+  if s.txn = None then
+    invalid_arg
+      (Printf.sprintf "Aux_state.commit(%s): no open transaction"
+         s.spec.Auxview.name);
+  s.txn <- None
+
+let rollback s =
+  match s.txn with
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Aux_state.rollback(%s): no open transaction"
+         s.spec.Auxview.name)
+  | Some { saved; total0 } ->
+    (* by_key and index membership are pure functions of the group key, so
+       restoring group presence restores them too. Two phases: first drop
+       every group created inside the transaction, then restore the
+       pre-existing ones — a created and a restored group can share a base
+       key value (e.g. a root-tuple update rewrote an aggregated column),
+       and removal must not clobber the restored by_key mapping. *)
+    TH.iter
+      (fun key before ->
+        match before, TH.find_opt s.groups key with
+        | Absent, Some _ ->
+          TH.remove s.groups key;
+          Option.iter
+            (fun by_key -> VH.remove by_key key.(s.key_plain_pos))
+            s.by_key;
+          index_remove s key
+        | Absent, None | Present _, _ -> ())
+      saved;
+    TH.iter
+      (fun key before ->
+        match before, TH.find_opt s.groups key with
+        | Absent, _ -> ()
+        | Present p, Some g ->
+          g.cnt <- p.cnt;
+          Array.blit p.sums 0 g.sums 0 (Array.length p.sums);
+          Array.blit p.exts 0 g.exts 0 (Array.length p.exts);
+          (* the mapping may have been stolen by a since-removed group *)
+          Option.iter
+            (fun by_key -> VH.replace by_key key.(s.key_plain_pos) key)
+            s.by_key
+        | Present p, None ->
+          TH.add s.groups key { cnt = p.cnt; sums = p.sums; exts = p.exts };
+          Option.iter
+            (fun by_key -> VH.replace by_key key.(s.key_plain_pos) key)
+            s.by_key;
+          index_add s key)
+      saved;
+    s.total <- total0;
+    s.txn <- None
+
+(* Reject NULL (and any other non-aggregatable value) in aggregated columns
+   before mutating anything, so a poisoned tuple cannot leave a group with
+   its count bumped but its sums untouched. *)
+let check_aggregands s op tup =
+  Array.iter
+    (fun src ->
+      if not (Value.is_numeric tup.(src)) then
+        invalid_arg
+          (Printf.sprintf
+             "Aux_state.%s(%s): %s value in summed column (index %d)" op
+             s.spec.Auxview.name
+             (Value.type_name tup.(src))
+             src))
+    s.sum_src;
+  Array.iter
+    (fun (src, _) ->
+      if Value.is_null tup.(src) then
+        invalid_arg
+          (Printf.sprintf
+             "Aux_state.%s(%s): NULL value in MIN/MAX column (index %d)" op
+             s.spec.Auxview.name src))
+    s.ext_src
+
 let insert_base s tup =
+  check_aggregands s "insert_base" tup;
   let key = group_key_of_base s tup in
+  note s key;
   (match TH.find_opt s.groups key with
   | Some g ->
     g.cnt <- g.cnt + 1;
@@ -136,6 +254,7 @@ let delete_base s tup =
       (Printf.sprintf
          "Aux_state.delete_base(%s): append-only view holds MIN/MAX columns"
          s.spec.Auxview.name);
+  check_aggregands s "delete_base" tup;
   let key = group_key_of_base s tup in
   match TH.find_opt s.groups key with
   | None ->
@@ -147,6 +266,7 @@ let delete_base s tup =
       invalid_arg
         (Printf.sprintf "Aux_state.delete_base(%s): count underflow"
            s.spec.Auxview.name);
+    note s key;
     g.cnt <- g.cnt - 1;
     Array.iteri
       (fun i src -> g.sums.(i) <- Value.sub g.sums.(i) tup.(src))
@@ -178,7 +298,51 @@ let copy s =
           VH.iter (fun v bucket -> VH.add index' v (TH.copy bucket)) index;
           (pos, index'))
         s.indexes;
+    txn = None;
   }
+
+let array_equal eq a b =
+  Array.length a = Array.length b
+  &&
+  let ok = ref true in
+  Array.iteri (fun i x -> if not (eq x b.(i)) then ok := false) a;
+  !ok
+
+let th_equal eq a b =
+  TH.length a = TH.length b
+  && TH.fold
+       (fun key x acc ->
+         acc
+         && match TH.find_opt b key with Some y -> eq x y | None -> false)
+       a true
+
+let vh_equal eq a b =
+  VH.length a = VH.length b
+  && VH.fold
+       (fun v x acc ->
+         acc && match VH.find_opt b v with Some y -> eq x y | None -> false)
+       a true
+
+let group_equal (g : group) (g' : group) =
+  g.cnt = g'.cnt
+  && array_equal Value.equal g.sums g'.sums
+  && array_equal Value.equal g.exts g'.exts
+
+(* Structural equality of the full resident state: groups (counts, sums,
+   extrema), the by-key map, every secondary index (positions and bucket
+   membership), and the base-row total. Open transactions are ignored. *)
+let equal a b =
+  a.total = b.total
+  && th_equal group_equal a.groups b.groups
+  && (match a.by_key, b.by_key with
+     | None, None -> true
+     | Some x, Some y -> vh_equal Tuple.equal x y
+     | Some _, None | None, Some _ -> false)
+  && List.length a.indexes = List.length b.indexes
+  && List.for_all2
+       (fun (pos, ix) (pos', ix') ->
+         pos = pos' && vh_equal (th_equal (fun () () -> true)) ix ix')
+       a.indexes b.indexes
 
 let row_count s = TH.length s.groups
 let base_count s = s.total

@@ -22,24 +22,57 @@ type row = {
     [indexed_columns] (plain columns, typically the foreign keys of a root
     view) get secondary indexes so {!rows_with} is O(matching groups) instead
     of a scan — the engine uses this to make dimension-update propagation
-    proportional to the affected rows. *)
+    proportional to the affected rows.
+    @raise Invalid_argument if an indexed column is not a plain column of
+    [spec] — a misspelled index column must not become a silent full scan. *)
 val create :
   ?indexed_columns:string list -> Mindetail.Auxview.t -> Relational.Schema.t -> t
 
 val spec : t -> Mindetail.Auxview.t
 
 (** Deep copy: groups, key index and secondary indexes are duplicated so the
-    copy and the original evolve independently (transactional rollback). *)
+    copy and the original evolve independently (snapshot checkpoints). The
+    copy carries no open transaction. *)
 val copy : t -> t
 
+(** Structural equality of the resident state: groups (count, sums, extrema),
+    by-key map, secondary-index membership, and the base-row total. Open
+    transactions are ignored. *)
+val equal : t -> t -> bool
+
+(** {2 Batch transactions}
+
+    The undo journal records a first-touch before-image of every group a
+    batch mutates (creation, count/sum/extremum changes — and with them the
+    implied by-key and index membership). [rollback] restores exactly the
+    touched groups, so aborting a batch costs O(delta), never O(state). *)
+
+(** Opens an undo journal; subsequent mutations are journaled.
+    @raise Invalid_argument if a transaction is already open. *)
+val begin_txn : t -> unit
+
+(** Discards the journal, keeping all mutations.
+    @raise Invalid_argument if no transaction is open. *)
+val commit : t -> unit
+
+(** Restores every group touched since {!begin_txn} to its before-image
+    (removing created groups, reinstating deleted ones, and repairing by-key
+    and secondary-index membership) and closes the journal.
+    @raise Invalid_argument if no transaction is open. *)
+val rollback : t -> unit
+
 (** [insert_base s tup] folds one base tuple in; the caller has already
-    checked local conditions and semijoin reductions. *)
+    checked local conditions and semijoin reductions.
+    @raise Invalid_argument (before any mutation — the group stays intact)
+    if a summed column holds a non-numeric value or a MIN/MAX column holds
+    NULL. *)
 val insert_base : t -> Relational.Tuple.t -> unit
 
 (** [delete_base s tup] removes one base tuple's contribution.
-    @raise Invalid_argument if the tuple's group is absent or underflows, or
-    if the view carries append-only MIN/MAX columns (which are not
-    maintainable under deletions — the engine never lets this happen). *)
+    @raise Invalid_argument if the tuple's group is absent or underflows, if
+    the view carries append-only MIN/MAX columns (which are not
+    maintainable under deletions — the engine never lets this happen), or —
+    before any mutation — if a summed column holds a non-numeric value. *)
 val delete_base : t -> Relational.Tuple.t -> unit
 
 (** Number of groups (= stored rows). *)

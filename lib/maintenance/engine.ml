@@ -69,6 +69,34 @@ let copy t =
   Hashtbl.iter (fun name st -> Hashtbl.add aux name (Aux_state.copy st)) t.aux;
   { t with aux; vstate = View_state.copy t.vstate }
 
+(* Structural equality of all mutable state: every auxiliary view (matched
+   by table) and the materialized view state. *)
+let equal_state a b =
+  Hashtbl.length a.aux = Hashtbl.length b.aux
+  && Hashtbl.fold
+       (fun name st acc ->
+         acc
+         &&
+         match Hashtbl.find_opt b.aux name with
+         | Some st' -> Aux_state.equal st st'
+         | None -> false)
+       a.aux true
+  && View_state.equal a.vstate b.vstate
+
+(* --- transactions ------------------------------------------------------- *)
+
+let begin_txn t =
+  Hashtbl.iter (fun _ st -> Aux_state.begin_txn st) t.aux;
+  View_state.begin_txn t.vstate
+
+let commit t =
+  Hashtbl.iter (fun _ st -> Aux_state.commit st) t.aux;
+  View_state.commit t.vstate
+
+let rollback t =
+  Hashtbl.iter (fun _ st -> Aux_state.rollback st) t.aux;
+  View_state.rollback t.vstate
+
 let schema t name = Hashtbl.find t.schemas name
 let aux_of t name = Hashtbl.find_opt t.aux name
 
@@ -680,10 +708,14 @@ let init ?(fk_index = true) db (d : Derive.t) =
         (* index every auxiliary view on its outgoing foreign keys so
            dimension-update propagation touches only the affected rows *)
         let indexed_columns =
+          (* only fk columns the spec actually keeps plainly can be indexed;
+             the rest are unreachable through this auxiliary view anyway *)
           if fk_index then
-            List.map
-              (fun (j : View.join) -> j.View.src.Attr.column)
-              (View.joins_from view tbl)
+            List.filter
+              (fun col -> Auxview.plain_position spec col <> None)
+              (List.map
+                 (fun (j : View.join) -> j.View.src.Attr.column)
+                 (View.joins_from view tbl))
           else []
         in
         let st = Aux_state.create ~indexed_columns spec (schema t tbl) in

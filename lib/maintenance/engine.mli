@@ -40,9 +40,32 @@ val init : ?fk_index:bool -> Relational.Database.t -> Mindetail.Derive.t -> t
 val derivation : t -> Mindetail.Derive.t
 
 (** Deep copy of the engine's mutable state (auxiliary views and view
-    groups); the derivation and plans are shared. Used for transactional
-    batch application: apply to the copy, swap on success. *)
+    groups); the derivation and plans are shared. Snapshot-grade (O(state)):
+    used for checkpoints, never on the batch path — batches run in place
+    under {!begin_txn}. *)
 val copy : t -> t
+
+(** Structural equality of the mutable state (auxiliary views and view
+    groups) of two engines over the same derivation. *)
+val equal_state : t -> t -> bool
+
+(** {2 Batch transactions}
+
+    O(delta) alternative to [copy]-and-swap: {!begin_txn} opens undo
+    journals in every auxiliary view and the view state; {!rollback}
+    restores exactly the groups the batch touched. *)
+
+(** Opens undo journals across all state.
+    @raise Invalid_argument if a transaction is already open. *)
+val begin_txn : t -> unit
+
+(** Discards the journals, keeping all mutations.
+    @raise Invalid_argument if no transaction is open. *)
+val commit : t -> unit
+
+(** Restores every touched group to its before-image and closes the
+    journals. @raise Invalid_argument if no transaction is open. *)
+val rollback : t -> unit
 
 (** Process one source change; non-CSMAS recomputation is flushed before
     returning.

@@ -1,12 +1,19 @@
 module Database = Relational.Database
 module Relation = Relational.Relation
 module Schema = Relational.Schema
+module Tuple = Relational.Tuple
+module Delta = Relational.Delta
 module View = Algebra.View
 module Derive = Mindetail.Derive
 
 type t =
   | Incremental of { name : string; engine : Engine.t }
-  | Recompute of { replica : Database.t; view : View.t }
+  | Recompute of {
+      replica : Database.t;
+      view : View.t;
+      (* undo journal: deltas applied since begin_txn, newest first *)
+      mutable txn : Delta.t list option;
+    }
   | Split of Partitioned.t
 
 let name = function
@@ -34,22 +41,85 @@ let as_partitioned = function
 
 let recompute db view =
   View.validate db view;
-  Recompute { replica = Database.copy db; view }
+  Recompute { replica = Database.copy db; view; txn = None }
 
 let copy = function
   | Incremental { name; engine } -> Incremental { name; engine = Engine.copy engine }
-  | Recompute { replica; view } -> Recompute { replica = Database.copy replica; view }
+  | Recompute { replica; view; txn = _ } ->
+    Recompute { replica = Database.copy replica; view; txn = None }
   | Split p -> Split (Partitioned.copy p)
+
+let db_equal a b =
+  let ta = List.sort String.compare (Database.table_names a) in
+  ta = List.sort String.compare (Database.table_names b)
+  && List.for_all
+       (fun tbl ->
+         let ki = Schema.key_index (Database.schema_of a tbl) in
+         Database.row_count a tbl = Database.row_count b tbl
+         && Database.fold a tbl
+              (fun tup acc ->
+                acc
+                &&
+                match Database.find_by_key b tbl tup.(ki) with
+                | Some tup' -> Tuple.equal tup tup'
+                | None -> false)
+              true)
+       ta
+
+let equal_state a b =
+  match a, b with
+  | Incremental { engine; _ }, Incremental { engine = engine'; _ } ->
+    Engine.equal_state engine engine'
+  | Recompute { replica; _ }, Recompute { replica = replica'; _ } ->
+    db_equal replica replica'
+  | Split p, Split p' -> Partitioned.equal_state p p'
+  | (Incremental _ | Recompute _ | Split _), _ -> false
+
+let begin_txn = function
+  | Incremental { engine; _ } -> Engine.begin_txn engine
+  | Recompute r ->
+    if r.txn <> None then invalid_arg "Engines.begin_txn: transaction open";
+    r.txn <- Some []
+  | Split p -> Partitioned.begin_txn p
+
+let commit = function
+  | Incremental { engine; _ } -> Engine.commit engine
+  | Recompute r ->
+    if r.txn = None then invalid_arg "Engines.commit: no open transaction";
+    r.txn <- None
+  | Split p -> Partitioned.commit p
+
+let rollback = function
+  | Incremental { engine; _ } -> Engine.rollback engine
+  | Recompute r -> (
+    match r.txn with
+    | None -> invalid_arg "Engines.rollback: no open transaction"
+    | Some journal ->
+      (* newest-first journal: applying the inverses in list order replays
+         the applied prefix backwards *)
+      List.iter (fun d -> Database.apply r.replica (Delta.invert d)) journal;
+      r.txn <- None)
+  | Split p -> Partitioned.rollback p
 
 let apply_batch t deltas =
   match t with
   | Incremental { engine; _ } -> Engine.apply_batch engine deltas
-  | Recompute { replica; _ } -> Database.apply_all replica deltas
+  | Recompute r -> (
+    match r.txn with
+    | None -> Database.apply_all r.replica deltas
+    | Some _ ->
+      List.iter
+        (fun d ->
+          Database.apply r.replica d;
+          match r.txn with
+          | Some journal -> r.txn <- Some (d :: journal)
+          | None -> assert false)
+        deltas)
   | Split p -> Partitioned.apply_batch p deltas
 
 let view_contents = function
   | Incremental { engine; _ } -> Engine.view_contents engine
-  | Recompute { replica; view } -> Algebra.Eval.eval replica view
+  | Recompute { replica; view; _ } -> Algebra.Eval.eval replica view
   | Split p -> Partitioned.view_contents p
 
 let detail_profile = function
@@ -59,7 +129,7 @@ let detail_profile = function
     | _view :: aux -> aux
     | [] -> [])
   | Split p -> Partitioned.detail_profile p
-  | Recompute { replica; view } ->
+  | Recompute { replica; view; _ } ->
     List.map
       (fun tbl ->
         ( tbl,

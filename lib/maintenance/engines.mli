@@ -45,10 +45,33 @@ val partitioned :
     warehouse-internal aging. *)
 val as_partitioned : t -> Partitioned.t option
 
-(** Deep copy of the configuration's mutable state. The warehouse applies
-    each batch to copies and swaps them in on success, so a failure mid-batch
-    can never leave views disagreeing about which deltas they have seen. *)
+(** Deep copy of the configuration's mutable state. Snapshot-grade
+    (O(state)): used for checkpoints and tests, never on the batch path —
+    the warehouse applies batches in place under {!begin_txn} and rolls
+    back only the touched groups on failure. *)
 val copy : t -> t
+
+(** Structural equality of the mutable state of two same-shaped
+    configurations (auxiliary views, view groups, replica contents). *)
+val equal_state : t -> t -> bool
+
+(** {2 Batch transactions}
+
+    O(delta) all-or-nothing batches: {!begin_txn} opens undo journals
+    across the configuration's state, {!apply_batch} records before-images
+    of exactly the groups (or replica rows) it touches, and {!rollback}
+    restores them; {!commit} discards the journals. A failure mid-batch can
+    therefore never leave views disagreeing about which deltas they have
+    seen, without cloning untouched state. *)
+
+(** @raise Invalid_argument if a transaction is already open. *)
+val begin_txn : t -> unit
+
+(** @raise Invalid_argument if no transaction is open. *)
+val commit : t -> unit
+
+(** @raise Invalid_argument if no transaction is open. *)
+val rollback : t -> unit
 
 (** Process a batch of source changes. *)
 val apply_batch : t -> Relational.Delta.t list -> unit

@@ -3,17 +3,22 @@ type point =
   | Mid_engine_apply
   | Mid_checkpoint
   | Before_wal_truncate
+  | After_truncate_rename
 
 exception Crash of point
 
 let all =
-  [ After_wal_append; Mid_engine_apply; Mid_checkpoint; Before_wal_truncate ]
+  [
+    After_wal_append; Mid_engine_apply; Mid_checkpoint; Before_wal_truncate;
+    After_truncate_rename;
+  ]
 
 let to_string = function
   | After_wal_append -> "after-wal-append"
   | Mid_engine_apply -> "mid-engine-apply"
   | Mid_checkpoint -> "mid-checkpoint"
   | Before_wal_truncate -> "before-wal-truncate"
+  | After_truncate_rename -> "after-truncate-rename"
 
 let of_string s = List.find_opt (fun p -> String.equal (to_string p) s) all
 

@@ -23,6 +23,10 @@ type point =
   | Before_wal_truncate
       (** the new snapshot is in place; the WAL still holds the batches the
           snapshot already contains *)
+  | After_truncate_rename
+      (** the truncated WAL was renamed into place but the directory entry
+          was not yet fsynced: after a power cut the old (stale) WAL may
+          reappear, and replay must still converge *)
 
 (** The simulated crash. Deliberately not an [Error]-style exception: only
     test harnesses and the CLI top level may catch it. *)

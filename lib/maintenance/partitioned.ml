@@ -115,6 +115,22 @@ let copy t =
     current_engine = Engine.copy t.current_engine;
   }
 
+let equal_state a b =
+  Engine.equal_state a.old_engine b.old_engine
+  && Engine.equal_state a.current_engine b.current_engine
+
+let begin_txn t =
+  Engine.begin_txn t.old_engine;
+  Engine.begin_txn t.current_engine
+
+let commit t =
+  Engine.commit t.old_engine;
+  Engine.commit t.current_engine
+
+let rollback t =
+  Engine.rollback t.old_engine;
+  Engine.rollback t.current_engine
+
 let age_out t facts =
   List.iter
     (fun tup ->

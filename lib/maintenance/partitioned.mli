@@ -42,8 +42,18 @@ val apply : t -> Relational.Delta.t -> unit
 val apply_batch : t -> Relational.Delta.t list -> unit
 
 (** Deep copy of both partition engines (the partition predicate is
-    shared). Used for transactional batch application. *)
+    shared). Snapshot-grade; batches run in place under {!begin_txn}. *)
 val copy : t -> t
+
+(** Structural equality of both partition engines' mutable state. *)
+val equal_state : t -> t -> bool
+
+(** Open / close undo journals in both partition engines (see
+    {!Engine.begin_txn}). *)
+
+val begin_txn : t -> unit
+val commit : t -> unit
+val rollback : t -> unit
 
 (** [age_out t facts] moves the given current-partition fact tuples into the
     old partition (delete from current, insert into old). A warehouse-internal

@@ -26,12 +26,20 @@ type agg_state =
 
 type group = { mutable cnt0 : int; accs : agg_state array }
 
+(* First-touch before-image of one group under an open transaction. *)
+type saved_group =
+  | Absent
+  | Present of { cnt0 : int; accs : agg_state array }
+
+type txn = { saved : saved_group TH.t; dirty0 : unit TH.t }
+
 type t = {
   view : View.t;
   determined : bool;
   items : Select_item.t array;
   groups : group TH.t;
   dirty : unit TH.t;
+  mutable txn : txn option;
 }
 
 let create view ~determined =
@@ -41,6 +49,7 @@ let create view ~determined =
     items = Array.of_list view.View.select;
     groups = TH.create 256;
     dirty = TH.create 16;
+    txn = None;
   }
 
 let copy t =
@@ -49,7 +58,49 @@ let copy t =
     (fun key (g : group) ->
       TH.add groups key { cnt0 = g.cnt0; accs = Array.copy g.accs })
     t.groups;
-  { t with groups; dirty = TH.copy t.dirty }
+  { t with groups; dirty = TH.copy t.dirty; txn = None }
+
+(* --- transactions ------------------------------------------------------- *)
+
+let begin_txn t =
+  if t.txn <> None then
+    invalid_arg "View_state.begin_txn: transaction already open";
+  (* the dirty set is saved whole: it is bounded by the groups pending
+     recompute, a handful at any moment, not by the resident state *)
+  t.txn <- Some { saved = TH.create 64; dirty0 = TH.copy t.dirty }
+
+let note t key =
+  match t.txn with
+  | None -> ()
+  | Some { saved; _ } ->
+    if not (TH.mem saved key) then
+      TH.add saved key
+        (match TH.find_opt t.groups key with
+        | None -> Absent
+        | Some g -> Present { cnt0 = g.cnt0; accs = Array.copy g.accs })
+
+let commit t =
+  if t.txn = None then invalid_arg "View_state.commit: no open transaction";
+  t.txn <- None
+
+let rollback t =
+  match t.txn with
+  | None -> invalid_arg "View_state.rollback: no open transaction"
+  | Some { saved; dirty0 } ->
+    TH.iter
+      (fun key before ->
+        match before, TH.find_opt t.groups key with
+        | Absent, None -> ()
+        | Absent, Some _ -> TH.remove t.groups key
+        | Present p, Some g ->
+          g.cnt0 <- p.cnt0;
+          Array.blit p.accs 0 g.accs 0 (Array.length p.accs)
+        | Present p, None ->
+          TH.add t.groups key { cnt0 = p.cnt0; accs = p.accs })
+      saved;
+    TH.reset t.dirty;
+    TH.iter (fun key () -> TH.add t.dirty key ()) dirty0;
+    t.txn <- None
 
 let view t = t.view
 let group_count t = TH.length t.groups
@@ -122,6 +173,7 @@ let apply_contrib t key ~sign g i (item : Select_item.t) contrib =
     invalid_arg "View_state: contribution does not match aggregate state"
 
 let feed t ~key ~cnt contribs =
+  note t key;
   let g =
     match TH.find_opt t.groups key with
     | Some g -> g
@@ -146,6 +198,7 @@ let unfeed t ~key ~cnt contribs =
          (Tuple.to_string key))
   | Some g ->
     if g.cnt0 < cnt then invalid_arg "View_state.unfeed: count underflow";
+    note t key;
     g.cnt0 <- g.cnt0 - cnt;
     if g.cnt0 = 0 then begin
       TH.remove t.groups key;
@@ -170,6 +223,7 @@ let set_value t ~key ~item v =
   match TH.find_opt t.groups key with
   | None -> ()
   | Some g -> (
+    note t key;
     match g.accs.(item) with
     | S_extremum _ -> g.accs.(item) <- S_extremum (Some v)
     | S_distinct _ -> g.accs.(item) <- S_distinct (Some v)
@@ -185,6 +239,8 @@ let adjust_group t ~key ~new_key updates =
       (Printf.sprintf "View_state.adjust_group: group %s absent"
          (Tuple.to_string key))
   | Some g ->
+    note t key;
+    if not (Tuple.equal key new_key) then note t new_key;
     List.iter
       (fun (i, upd) ->
         let agg =
@@ -216,6 +272,36 @@ let adjust_group t ~key ~new_key updates =
     end
 
 let fold_groups t f acc = TH.fold (fun k g acc -> f k g.cnt0 acc) t.groups acc
+
+let agg_state_equal a b =
+  match a, b with
+  | S_count n, S_count m -> n = m
+  | S_sum { sum; n }, S_sum { sum = sum'; n = m } ->
+    Value.equal sum sum' && n = m
+  | S_extremum x, S_extremum y | S_distinct x, S_distinct y ->
+    Option.equal Value.equal x y
+  | (S_count _ | S_sum _ | S_extremum _ | S_distinct _), _ -> false
+
+let group_equal (g : group) (g' : group) =
+  g.cnt0 = g'.cnt0
+  && Array.length g.accs = Array.length g'.accs
+  && Array.for_all2 agg_state_equal g.accs g'.accs
+
+(* Structural equality of the resident view state: groups (base counts and
+   every aggregate component) and the pending-recompute (dirty) set. Open
+   transactions are ignored. *)
+let equal a b =
+  TH.length a.groups = TH.length b.groups
+  && TH.fold
+       (fun key g acc ->
+         acc
+         &&
+         match TH.find_opt b.groups key with
+         | Some g' -> group_equal g g'
+         | None -> false)
+       a.groups true
+  && TH.length a.dirty = TH.length b.dirty
+  && TH.fold (fun key () acc -> acc && TH.mem b.dirty key) a.dirty true
 
 let render t =
   let result = Relation.create ~size_hint:(TH.length t.groups) () in

@@ -25,8 +25,32 @@ type t
 val create : Algebra.View.t -> determined:bool -> t
 
 (** Deep copy: groups (and their component arrays) and the dirty set are
-    duplicated so the copy and the original evolve independently. *)
+    duplicated so the copy and the original evolve independently (snapshot
+    checkpoints). The copy carries no open transaction. *)
 val copy : t -> t
+
+(** Structural equality of the resident state: groups (base count and every
+    aggregate component) and the dirty set. Open transactions are ignored. *)
+val equal : t -> t -> bool
+
+(** {2 Batch transactions}
+
+    First-touch undo journal over groups plus a saved dirty set; rollback
+    restores exactly the groups a batch touched — O(delta), never O(state). *)
+
+(** Opens an undo journal; subsequent {!feed}/{!unfeed}/{!set_value}/
+    {!adjust_group} calls are journaled.
+    @raise Invalid_argument if a transaction is already open. *)
+val begin_txn : t -> unit
+
+(** Discards the journal, keeping all mutations.
+    @raise Invalid_argument if no transaction is open. *)
+val commit : t -> unit
+
+(** Restores every touched group to its before-image, restores the dirty
+    set, and closes the journal.
+    @raise Invalid_argument if no transaction is open. *)
+val rollback : t -> unit
 
 val view : t -> Algebra.View.t
 val group_count : t -> int

@@ -23,6 +23,9 @@ let of_value = function
   | Value.Float _ -> TFloat
   | Value.String _ -> TString
   | Value.Bool _ -> TBool
+  | Value.Null -> invalid_arg "Datatype.of_value: NULL has no datatype"
 
-let check t v = equal t (of_value v)
+(* NULL inhabits no column type: the schema check is where the no-null
+   assumption (paper Section 2.1) is enforced at the ingestion boundary. *)
+let check t v = (not (Value.is_null v)) && equal t (of_value v)
 let is_numeric = function TInt | TFloat -> true | TString | TBool -> false

@@ -9,6 +9,15 @@ let insert table tup = { table; change = Insert tup }
 let delete table tup = { table; change = Delete tup }
 let update table ~before ~after = { table; change = Update { before; after } }
 
+let invert { table; change } =
+  let change =
+    match change with
+    | Insert tup -> Delete tup
+    | Delete tup -> Insert tup
+    | Update { before; after } -> Update { before = after; after = before }
+  in
+  { table; change }
+
 let as_delete_insert = function
   | Update { before; after } -> [ Delete before; Insert after ]
   | (Insert _ | Delete _) as c -> [ c ]

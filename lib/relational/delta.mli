@@ -16,6 +16,11 @@ val insert : string -> Tuple.t -> t
 val delete : string -> Tuple.t -> t
 val update : string -> before:Tuple.t -> after:Tuple.t -> t
 
+(** [invert d] is the change that undoes [d]: inserts become deletes and
+    vice versa, updates swap their before and after images. Applying the
+    inverses of a history in reverse order restores the original state. *)
+val invert : t -> t
+
 (** [as_delete_insert c] splits an update into its deletion and insertion
     parts; inserts/deletes are returned unchanged (singleton list). *)
 val as_delete_insert : change -> change list

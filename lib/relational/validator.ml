@@ -1,11 +1,34 @@
 (* Delta validation against a shadow of the source (see validator.mli). *)
 
-type t = { mutable shadow : Database.t }
+type t = {
+  mutable shadow : Database.t;
+  (* open undo journal: deltas admitted since [begin_txn], newest first.
+     [None] when no transaction is active. *)
+  mutable txn : Delta.t list option;
+}
 
-let of_database db = { shadow = Database.copy db }
-let copy v = { shadow = Database.copy v.shadow }
+let of_database db = { shadow = Database.copy db; txn = None }
+let copy v = { shadow = Database.copy v.shadow; txn = None }
 let restore v ~from = v.shadow <- from.shadow
 let believed_source v = Database.copy v.shadow
+
+let begin_txn v =
+  if v.txn <> None then invalid_arg "Validator.begin_txn: transaction open";
+  v.txn <- Some []
+
+let commit v =
+  if v.txn = None then invalid_arg "Validator.commit: no open transaction";
+  v.txn <- None
+
+let rollback v =
+  match v.txn with
+  | None -> invalid_arg "Validator.rollback: no open transaction"
+  | Some journal ->
+    (* the journal is newest-first, so applying each inverse in list order
+       replays the history backwards; every inverse is legal against the
+       shadow because the original made it so *)
+    List.iter (fun d -> Database.apply v.shadow (Delta.invert d)) journal;
+    v.txn <- None
 
 let reject delta reason fmt =
   Format.kasprintf
@@ -128,6 +151,10 @@ let admit v d =
     (* the checks above mirror the store's constraints exactly; a Violation
        here means they drifted apart — surface it rather than crash *)
     match Database.apply v.shadow d with
-    | () -> Ok d
+    | () ->
+      (match v.txn with
+      | Some journal -> v.txn <- Some (d :: journal)
+      | None -> ());
+      Ok d
     | exception Database.Violation msg ->
       reject d Delta.Engine_failure "shadow store refused the change: %s" msg)

@@ -16,11 +16,30 @@ type t
     later mutations of [db] are invisible to the validator. *)
 val of_database : Database.t -> t
 
-(** Deep copy, for transactional rollback of a batch. *)
+(** Deep copy (snapshot-grade; O(shadow)). The copy has no open
+    transaction. The hot batch path uses {!begin_txn}/{!rollback} instead. *)
 val copy : t -> t
 
 (** [restore v ~from] rolls [v] back to the state captured by [copy]. *)
 val restore : t -> from:t -> unit
+
+(** {2 Batch transactions}
+
+    O(delta) alternative to [copy]/[restore]: [begin_txn] opens an undo
+    journal, {!admit} records every accepted delta in it, and [rollback]
+    replays their inverses (newest first) against the shadow — undoing
+    exactly the admitted prefix of the batch without copying the shadow. *)
+
+(** Opens a journal. Raises [Invalid_argument] if one is already open. *)
+val begin_txn : t -> unit
+
+(** Discards the journal, keeping the admitted changes. Raises
+    [Invalid_argument] if no transaction is open. *)
+val commit : t -> unit
+
+(** Undoes every delta admitted since [begin_txn] and closes the journal.
+    Raises [Invalid_argument] if no transaction is open. *)
+val rollback : t -> unit
 
 (** A private copy of the shadow: the warehouse's belief of the current
     source contents (initial snapshot + every accepted delta). *)

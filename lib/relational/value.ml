@@ -1,4 +1,5 @@
 type t =
+  | Null
   | Int of int
   | Float of float
   | String of string
@@ -6,29 +7,39 @@ type t =
 
 let equal a b =
   match a, b with
+  | Null, Null -> true
   | Int x, Int y -> Int.equal x y
   | Float x, Float y -> Float.equal x y
   | String x, String y -> String.equal x y
   | Bool x, Bool y -> Bool.equal x y
-  | (Int _ | Float _ | String _ | Bool _), _ -> false
+  | (Null | Int _ | Float _ | String _ | Bool _), _ -> false
 
-let tag = function Int _ -> 0 | Float _ -> 1 | String _ -> 2 | Bool _ -> 3
+let tag = function
+  | Null -> 0
+  | Int _ -> 1
+  | Float _ -> 2
+  | String _ -> 3
+  | Bool _ -> 4
 
 let compare a b =
   match a, b with
+  | Null, Null -> 0
   | Int x, Int y -> Int.compare x y
   | Float x, Float y -> Float.compare x y
   | String x, String y -> String.compare x y
   | Bool x, Bool y -> Bool.compare x y
-  | (Int _ | Float _ | String _ | Bool _), _ -> Int.compare (tag a) (tag b)
+  | (Null | Int _ | Float _ | String _ | Bool _), _ ->
+    Int.compare (tag a) (tag b)
 
 let hash = function
+  | Null -> Hashtbl.hash (-1)
   | Int x -> Hashtbl.hash (0, x)
   | Float x -> Hashtbl.hash (1, x)
   | String x -> Hashtbl.hash (2, x)
   | Bool x -> Hashtbl.hash (3, x)
 
 let pp ppf = function
+  | Null -> Format.pp_print_string ppf "NULL"
   | Int x -> Format.pp_print_int ppf x
   | Float x -> Format.fprintf ppf "%g" x
   | String x -> Format.fprintf ppf "%s" x
@@ -37,10 +48,13 @@ let pp ppf = function
 let to_string v = Format.asprintf "%a" pp v
 
 let type_name = function
+  | Null -> "null"
   | Int _ -> "int"
   | Float _ -> "float"
   | String _ -> "string"
   | Bool _ -> "bool"
+
+let is_null = function Null -> true | Int _ | Float _ | String _ | Bool _ -> false
 
 let numeric_error op a b =
   invalid_arg
@@ -74,22 +88,24 @@ let mul a b =
 let zero_like = function
   | Float _ -> Float 0.
   | Int _ -> Int 0
-  | (String _ | Bool _) as v ->
+  | (Null | String _ | Bool _) as v ->
     invalid_arg ("Value.zero_like: non-numeric value " ^ to_string v)
 
-let is_numeric = function Int _ | Float _ -> true | String _ | Bool _ -> false
+let is_numeric = function
+  | Int _ | Float _ -> true
+  | Null | String _ | Bool _ -> false
 
 let scale v n =
   match v with
   | Int x -> Int (x * n)
   | Float x -> Float (x *. float_of_int n)
-  | String _ | Bool _ ->
+  | Null | String _ | Bool _ ->
     invalid_arg ("Value.scale: non-numeric value " ^ to_string v)
 
 let to_float = function
   | Int x -> float_of_int x
   | Float x -> x
-  | (String _ | Bool _) as v ->
+  | (Null | String _ | Bool _) as v ->
     invalid_arg ("Value.div_as_float: non-numeric value " ^ to_string v)
 
 let div_as_float a b = Float (to_float a /. to_float b)

@@ -1,10 +1,14 @@
 (** Atomic attribute values.
 
-    The paper assumes base tables contain no null values (Section 2.1), so
-    there is no [Null] constructor: absence is a schema-level error, not a
-    value. *)
+    The paper assumes base tables contain no null values (Section 2.1).
+    [Null] is representable only so that the ingestion boundary can express —
+    and reject — incoming source rows that carry one: [Datatype.check] fails
+    on it, so {!Validator} refuses any delta containing a [Null] before it
+    reaches a maintenance engine. No value at rest inside the warehouse is
+    ever [Null]. *)
 
 type t =
+  | Null
   | Int of int
   | Float of float
   | String of string
@@ -37,6 +41,7 @@ val mul : t -> t -> t
 val zero_like : t -> t
 
 val is_numeric : t -> bool
+val is_null : t -> bool
 
 (** [scale v n] is [v] added to itself [n] times ([mul v (Int n)], but total
     on numeric values and kept separate for readability at call sites that
@@ -46,6 +51,6 @@ val scale : t -> int -> t
 (** [div_as_float a b] is the float quotient, used for AVG. *)
 val div_as_float : t -> t -> t
 
-(** Name of the value's type ("int", "float", "string", "bool"), for
+(** Name of the value's type ("null", "int", "float", "string", "bool"), for
     diagnostics. *)
 val type_name : t -> string

@@ -70,6 +70,16 @@ let read_all path =
 
 type writer = { path : string; mutable oc : out_channel }
 
+(* Make a rename inside [path]'s directory durable: without the directory
+   fsync, a power cut can resurrect the replaced file. Best-effort — some
+   filesystems refuse directory fds or directory fsync. *)
+let fsync_dir path =
+  match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+
 let write_file path records =
   let tmp = path ^ ".tmp" in
   let oc = open_out_bin tmp in
@@ -77,14 +87,21 @@ let write_file path records =
     ~finally:(fun () -> close_out_noerr oc)
     (fun () ->
       output_string oc magic;
-      List.iter (fun r -> output_string oc (frame r)) records);
+      List.iter (fun r -> output_string oc (frame r)) records;
+      flush oc;
+      (* the content must be on disk before the rename publishes it *)
+      try Unix.fsync (Unix.descr_of_out_channel oc)
+      with Unix.Unix_error _ -> ());
   Sys.rename tmp path
 
 let open_append path =
   let records, clean = read_all path in
   (* a torn tail (or a missing file) is repaired by atomically rewriting the
      valid prefix; appends then always start on a record boundary *)
-  if not (clean && Sys.file_exists path) then write_file path records;
+  if not (clean && Sys.file_exists path) then begin
+    write_file path records;
+    fsync_dir path
+  end;
   { path; oc = open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path }
 
 let append w record =
@@ -96,6 +113,10 @@ let append w record =
 let truncate w =
   close_out_noerr w.oc;
   write_file w.path [];
+  (* the empty log is renamed into place, but until the directory entry is
+     synced a crash can bring the old log back — replay must converge then *)
+  Maintenance.Faults.hit Maintenance.Faults.After_truncate_rename;
+  fsync_dir w.path;
   w.oc <- open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 w.path
 
 let close w = close_out_noerr w.oc

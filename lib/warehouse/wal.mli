@@ -40,7 +40,14 @@ val open_append : string -> writer
 val append : writer -> record -> unit
 
 (** Atomically reset the log to empty (after a checkpoint made its records
-    redundant). *)
+    redundant). The replacement file is fsynced before the rename and the
+    containing directory after it, so the reset cannot be undone by a crash
+    (crash point: [Maintenance.Faults.After_truncate_rename]). *)
 val truncate : writer -> unit
 
 val close : writer -> unit
+
+(** [fsync_dir path] fsyncs the directory containing [path], making a
+    completed rename within it durable. Best-effort: errors from filesystems
+    that refuse directory fsync are swallowed. *)
+val fsync_dir : string -> unit

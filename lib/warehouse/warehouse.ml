@@ -200,8 +200,13 @@ let save t path =
       let half = String.length payload / 2 in
       output_substring oc payload 0 half;
       Faults.hit Faults.Mid_checkpoint;
-      output_substring oc payload half (String.length payload - half));
-  Sys.rename tmp path
+      output_substring oc payload half (String.length payload - half);
+      flush oc;
+      (* the snapshot must be on disk before the rename publishes it *)
+      (try Unix.fsync (Unix.descr_of_out_channel oc)
+       with Unix.Unix_error _ -> ()));
+  Sys.rename tmp path;
+  Wal.fsync_dir path
 
 let load path =
   let ic = try open_in_bin path with Sys_error m -> err Io_error "%s" m in
@@ -300,20 +305,22 @@ let quarantine t rejections = t.dead <- List.rev_append rejections t.dead
 let believed_source t = Validator.believed_source t.validator
 let ingested_batches t = t.seq
 
-(* Transactional apply: every engine absorbs the batch on a private copy;
-   the copies are swapped in only after all of them succeeded, so the
-   registered views can never disagree about which deltas they have seen. *)
-let apply_to_copies t deltas =
-  let staged = List.map (fun r -> Engines.copy r.engine) t.views in
+(* Transactional apply, in place: every engine opens an undo journal and
+   absorbs the batch directly; a mid-batch failure rolls back only the
+   touched groups, so the registered views can never disagree about which
+   deltas they have seen — at O(delta) cost. The hot path never deep-copies
+   engine state ([Engines.copy] is reserved for snapshot checkpoints). *)
+let apply_in_place t deltas =
+  List.iter (fun r -> Engines.begin_txn r.engine) t.views;
   List.iteri
-    (fun i engine ->
-      Engines.apply_batch engine deltas;
+    (fun i r ->
+      Engines.apply_batch r.engine deltas;
       if i = 0 then Faults.hit Faults.Mid_engine_apply)
-    staged;
-  staged
+    t.views
 
-let swap_in t staged =
-  t.views <- List.map2 (fun r engine -> { r with engine }) t.views staged
+let commit_engines t = List.iter (fun r -> Engines.commit r.engine) t.views
+
+let rollback_engines t = List.iter (fun r -> Engines.rollback r.engine) t.views
 
 let engine_error_detail = function
   | Maintenance.Engine.Invariant m -> m
@@ -321,7 +328,7 @@ let engine_error_detail = function
   | e -> Printexc.to_string e
 
 let ingest_report t deltas =
-  let saved = Validator.copy t.validator in
+  Validator.begin_txn t.validator;
   let accepted, rejected =
     List.fold_left
       (fun (acc, rej) d ->
@@ -332,7 +339,10 @@ let ingest_report t deltas =
   in
   let accepted = List.rev accepted and rejected = List.rev rejected in
   quarantine t rejected;
-  if accepted = [] then { batch = t.seq; applied = 0; rejected }
+  if accepted = [] then begin
+    Validator.commit t.validator;
+    { batch = t.seq; applied = 0; rejected }
+  end
   else begin
     let seq = t.seq + 1 in
     Option.iter
@@ -341,22 +351,26 @@ let ingest_report t deltas =
         (* the record is durable: this is the commit point *)
         Faults.hit Faults.After_wal_append)
       t.wal;
-    match apply_to_copies t accepted with
-    | staged ->
-      swap_in t staged;
+    match apply_in_place t accepted with
+    | () ->
+      commit_engines t;
+      Validator.commit t.validator;
       t.seq <- seq;
       (match t.checkpoint_every with
       | Some n when n > 0 && t.seq mod n = 0 && t.wal <> None -> checkpoint t
       | Some _ | None -> ());
       { batch = seq; applied = List.length accepted; rejected }
     | exception (Faults.Crash _ as crash) ->
-      (* a simulated process death: unwind without any cleanup *)
+      (* a simulated process death: unwind without any cleanup (the open
+         journals die with the process; recovery reloads from disk) *)
       raise crash
     | exception e ->
-      (* an engine failed mid-batch: no copy was swapped in, so every view
-         still reflects the pre-batch state; roll the shadow back, mark the
-         WAL record aborted and quarantine the whole batch *)
-      Validator.restore t.validator ~from:saved;
+      (* an engine failed mid-batch: roll every engine back to its
+         before-image (engines past the failure have empty journals), roll
+         the shadow back, mark the WAL record aborted and quarantine the
+         whole batch *)
+      rollback_engines t;
+      Validator.rollback t.validator;
       Option.iter (fun w -> Wal.append w (Wal.Abort { seq })) t.wal;
       t.seq <- seq;
       let detail = engine_error_detail e in
@@ -377,9 +391,10 @@ let ingest t deltas = ignore (ingest_report t deltas)
    first ingested; a failure here (diverged shadow, deterministic engine
    bug) quarantines it instead of making recovery itself fail. *)
 let replay_batch t ~seq deltas =
-  let saved = Validator.copy t.validator in
+  Validator.begin_txn t.validator;
   let abandon detail =
-    Validator.restore t.validator ~from:saved;
+    (* undoes the admitted prefix of a batch whose validation failed midway *)
+    Validator.rollback t.validator;
     quarantine t
       (List.map
          (fun d -> { Delta.delta = d; reason = Delta.Engine_failure; detail })
@@ -395,9 +410,14 @@ let replay_batch t ~seq deltas =
    with
   | Some r -> abandon ("replay validation failed: " ^ r.Delta.detail)
   | None -> (
-    match apply_to_copies t deltas with
-    | staged -> swap_in t staged
-    | exception e -> abandon (engine_error_detail e)));
+    match apply_in_place t deltas with
+    | () ->
+      commit_engines t;
+      Validator.commit t.validator
+    | exception (Faults.Crash _ as crash) -> raise crash
+    | exception e ->
+      rollback_engines t;
+      abandon (engine_error_detail e)));
   t.seq <- seq
 
 let recover ~dir =

@@ -74,7 +74,9 @@ let crash_and_recover point seed () =
     match point with
     (* let attach's initial checkpoint through; crash on the first automatic
        one (after the third batch) *)
-    | Faults.Mid_checkpoint | Faults.Before_wal_truncate -> 1
+    | Faults.Mid_checkpoint | Faults.Before_wal_truncate
+    | Faults.After_truncate_rename ->
+      1
     | Faults.After_wal_append | Faults.Mid_engine_apply -> 2
   in
   Faults.arm ~skip point;

@@ -1,0 +1,333 @@
+(* Transactional-apply tests: rollback after a mid-batch failure restores
+   state structurally identical to a pre-batch [Engines.copy] — groups,
+   by-key maps, secondary indexes, totals and the dirty set all compared —
+   for every engine configuration, across seeds and failure positions; plus
+   the NULL-poisoning regression, strict index-column validation, and the
+   warehouse-level all-or-nothing abort path. *)
+
+open Helpers
+module Engines = Maintenance.Engines
+module Aux_state = Maintenance.Aux_state
+module Derive = Mindetail.Derive
+module Validator = Relational.Validator
+
+let test case fn = Alcotest.test_case case `Quick fn
+
+let tiny =
+  {
+    Workload.Retail.days = 6;
+    stores = 2;
+    products = 10;
+    sold_per_store_day = 3;
+    tx_per_product = 2;
+    brands = 3;
+    seed = 7;
+  }
+
+(* fabricated sale rows use ids far above anything the generator produces *)
+let fresh_id = ref 1_000_000
+
+let next_id () =
+  incr fresh_id;
+  !fresh_id
+
+(* timeid 6 is in the 1997 half of the time dimension, so the tuple passes
+   every view's semijoins and reaches the aggregation before raising *)
+let null_price_insert () =
+  Delta.insert "sale" (row [ i (next_id ()); i 6; i 1; i 1; Value.Null ])
+
+let insert_only =
+  { Workload.Delta_gen.insert = 1; delete = 0; update = 0 }
+
+(* One engine configuration under test: how to build it, which view it
+   maintains, and a poison delta guaranteed to raise mid-apply. *)
+type case = {
+  cname : string;
+  build : Database.t -> Engines.t;
+  cview : View.t;
+  (* the old partition of [partitioned] is append-only, so its warm-up
+     stream must not delete or update fact rows *)
+  mix : Workload.Delta_gen.op_mix;
+}
+
+let cases =
+  [
+    {
+      cname = "minimal";
+      build = (fun db -> Engines.minimal db Workload.Retail.monthly_revenue);
+      cview = Workload.Retail.monthly_revenue;
+      mix = Workload.Delta_gen.default_mix;
+    };
+    {
+      cname = "minimal-distinct";
+      build = (fun db -> Engines.minimal db Workload.Retail.product_sales);
+      cview = Workload.Retail.product_sales;
+      mix = Workload.Delta_gen.default_mix;
+    };
+    {
+      cname = "psj";
+      build = (fun db -> Engines.psj db Workload.Retail.monthly_revenue);
+      cview = Workload.Retail.monthly_revenue;
+      mix = Workload.Delta_gen.default_mix;
+    };
+    {
+      cname = "recompute";
+      build = (fun db -> Engines.recompute db Workload.Retail.monthly_revenue);
+      cview = Workload.Retail.monthly_revenue;
+      mix = Workload.Delta_gen.default_mix;
+    };
+    {
+      cname = "partitioned";
+      build =
+        (fun db ->
+          Engines.partitioned db Workload.Retail.sales_by_time
+            ~is_old:(fun tup -> Value.compare tup.(1) (i 3) <= 0));
+      cview = Workload.Retail.sales_by_time;
+      mix = insert_only;
+    };
+  ]
+
+(* The property: warm the engine up, snapshot it, fail a batch after
+   [pos] valid deltas — rollback must restore the snapshot exactly, and the
+   engine must keep maintaining correctly afterwards. *)
+let rollback_restores case seed pos () =
+  let db = Workload.Retail.load { tiny with seed } in
+  let eng = case.build db in
+  let rng = Workload.Prng.create ((seed * 13) + 1) in
+  Engines.apply_batch eng
+    (Workload.Delta_gen.stream ~mix:case.mix rng db ~n:40);
+  let snapshot = Engines.copy eng in
+  Alcotest.(check bool)
+    "snapshot equals live state" true
+    (Engines.equal_state eng snapshot);
+  let valid = Workload.Delta_gen.stream ~mix:case.mix rng db ~n:12 in
+  let pos = min pos (List.length valid) in
+  let poisoned =
+    List.filteri (fun idx _ -> idx < pos) valid @ [ null_price_insert () ]
+  in
+  Engines.begin_txn eng;
+  (match Engines.apply_batch eng poisoned with
+  | () -> Alcotest.fail "the poisoned batch must raise"
+  | exception _ -> ());
+  Engines.rollback eng;
+  Alcotest.(check bool)
+    "rollback restores the pre-batch state" true
+    (Engines.equal_state eng snapshot);
+  (* the rolled-back engine stays fully usable *)
+  Engines.begin_txn eng;
+  Engines.apply_batch eng valid;
+  Engines.commit eng;
+  Alcotest.check relation "post-rollback maintenance tracks recomputation"
+    (Algebra.Eval.eval db case.cview)
+    (Engines.view_contents eng)
+
+let rollback_tests =
+  List.concat_map
+    (fun case ->
+      List.concat_map
+        (fun seed ->
+          List.map
+            (fun pos ->
+              test
+                (Printf.sprintf "%s: rollback == snapshot (seed %d, fail at %d)"
+                   case.cname seed pos)
+                (rollback_restores case seed pos))
+            [ 0; 6; 12 ])
+        [ 41; 42 ])
+    cases
+
+(* --- NULL poisoning regression ----------------------------------------- *)
+
+let null_tests =
+  [
+    test "NULL in a summed column is rejected atomically" (fun () ->
+        let db = Workload.Retail.load tiny in
+        let eng = Engines.minimal db Workload.Retail.monthly_revenue in
+        let snapshot = Engines.copy eng in
+        let null_tup = row [ i (next_id ()); i 1; i 1; i 1; Value.Null ] in
+        (* the historic bug: the raise fired after cnt was bumped, leaving
+           the group poisoned; both insert and delete must now reject the
+           tuple before touching anything *)
+        (match Engines.apply_batch eng [ Delta.insert "sale" null_tup ] with
+        | () -> Alcotest.fail "NULL insert must be rejected"
+        | exception Invalid_argument _ -> ());
+        (match Engines.apply_batch eng [ Delta.delete "sale" null_tup ] with
+        | () -> Alcotest.fail "NULL delete must be rejected"
+        | exception Invalid_argument _ -> ());
+        Alcotest.(check bool)
+          "state untouched by the rejected NULL tuple" true
+          (Engines.equal_state eng snapshot);
+        (* a valid insert-then-delete still round-trips to the snapshot *)
+        let tup = row [ i (next_id ()); i 1; i 1; i 1; i 42 ] in
+        Engines.apply_batch eng [ Delta.insert "sale" tup ];
+        Engines.apply_batch eng [ Delta.delete "sale" tup ];
+        Alcotest.(check bool)
+          "insert-then-delete returns to the snapshot" true
+          (Engines.equal_state eng snapshot));
+    test "warehouse quarantines NULL-valued deltas at validation" (fun () ->
+        let db = Workload.Retail.load tiny in
+        let wh = Warehouse.create db in
+        Warehouse.add_view wh Workload.Retail.monthly_revenue;
+        let before = snd (Warehouse.query wh "monthly_revenue") in
+        let report =
+          Warehouse.ingest_report wh [ null_price_insert () ]
+        in
+        Alcotest.(check int) "nothing applied" 0 report.Warehouse.applied;
+        (match Warehouse.dead_letters wh with
+        | [ r ] ->
+          Alcotest.(check string)
+            "rejected as a schema mismatch" "schema-mismatch"
+            (Delta.reason_label r.Delta.reason)
+        | dlq ->
+          Alcotest.fail
+            (Printf.sprintf "expected 1 dead letter, got %d"
+               (List.length dlq)));
+        Alcotest.check relation "view unchanged" before
+          (snd (Warehouse.query wh "monthly_revenue")));
+  ]
+
+(* --- strict indexed_columns -------------------------------------------- *)
+
+let index_tests =
+  [
+    test "a misspelled index column is refused at create" (fun () ->
+        let db = Workload.Retail.load tiny in
+        let d = Derive.derive db Workload.Retail.monthly_revenue in
+        let root = Derive.root d in
+        match Derive.spec_for d root with
+        | None -> Alcotest.fail "expected a root auxiliary view"
+        | Some spec -> (
+          let schema = Database.schema_of db root in
+          match
+            Aux_state.create ~indexed_columns:[ "no_such_column" ] spec schema
+          with
+          | exception Invalid_argument _ -> ()
+          | _ -> Alcotest.fail "expected Invalid_argument"));
+  ]
+
+(* --- validator undo journal -------------------------------------------- *)
+
+let db_relation db tbl =
+  let r = Relation.create () in
+  Database.fold db tbl (fun tup () -> Relation.insert r tup) ();
+  r
+
+let validator_tests =
+  [
+    test "rollback undoes the admitted prefix" (fun () ->
+        let db = Workload.Retail.load tiny in
+        let v = Validator.of_database db in
+        let before = Validator.believed_source v in
+        Validator.begin_txn v;
+        let tup = row [ i (next_id ()); i 1; i 1; i 1; i 33 ] in
+        (match Validator.admit v (Delta.insert "sale" tup) with
+        | Ok _ -> ()
+        | Error r ->
+          Alcotest.fail (Format.asprintf "%a" Delta.pp_rejection r));
+        (match Validator.admit v (Delta.delete "sale" tup) with
+        | Ok _ -> ()
+        | Error r ->
+          Alcotest.fail (Format.asprintf "%a" Delta.pp_rejection r));
+        (* a rejected delta must not land in the journal *)
+        (match Validator.admit v (Delta.insert "sale" tup) with
+        | Ok _ -> ()
+        | Error _ -> Alcotest.fail "re-insert after delete should be legal");
+        Validator.rollback v;
+        let after = Validator.believed_source v in
+        List.iter
+          (fun tbl ->
+            Alcotest.check relation
+              (Printf.sprintf "table %s restored" tbl)
+              (db_relation before tbl) (db_relation after tbl))
+          (Database.table_names before));
+    test "invert is an involution on every change shape" (fun () ->
+        let t1 = row [ i 1; i 2 ] and t2 = row [ i 1; i 3 ] in
+        List.iter
+          (fun d ->
+            Alcotest.(check bool)
+              "invert twice is the identity" true
+              (Delta.invert (Delta.invert d) = d))
+          [
+            Delta.insert "t" t1; Delta.delete "t" t1;
+            Delta.update "t" ~before:t1 ~after:t2;
+          ];
+        Alcotest.(check bool)
+          "insert inverts to delete" true
+          (Delta.invert (Delta.insert "t" t1) = Delta.delete "t" t1));
+  ]
+
+(* --- warehouse-level abort: all-or-nothing without copies --------------- *)
+
+let abort_tests =
+  [
+    test "a batch failing mid-apply rolls every view back" (fun () ->
+        let db = Workload.Retail.load tiny in
+        let wh = Warehouse.create db in
+        (* partition the facts by price so a legal price update can cross
+           the boundary — the validator accepts it (price is updatable) and
+           the partitioned engine raises mid-batch *)
+        Warehouse.add_view
+          ~strategy:
+            (Warehouse.Aged (fun tup -> Value.compare tup.(4) (i 50) <= 0))
+          wh Workload.Retail.sales_by_time;
+        Warehouse.add_view wh Workload.Retail.monthly_revenue;
+        let victim =
+          match
+            Database.fold db "sale"
+              (fun tup acc ->
+                match acc with
+                | Some _ -> acc
+                | None ->
+                  if Value.compare tup.(4) (i 50) <= 0 then Some tup else None)
+              None
+          with
+          | Some tup -> tup
+          | None -> Alcotest.fail "no sale under the price boundary"
+        in
+        let crossing =
+          let after = Array.copy victim in
+          after.(4) <- i 80;
+          Delta.update "sale" ~before:victim ~after
+        in
+        let prelude =
+          Delta.insert "sale" (row [ i (next_id ()); i 1; i 1; i 1; i 10 ])
+        in
+        let pre_sales = snd (Warehouse.query wh "sales_by_time") in
+        let pre_monthly = snd (Warehouse.query wh "monthly_revenue") in
+        let report = Warehouse.ingest_report wh [ prelude; crossing ] in
+        Alcotest.(check int) "nothing applied" 0 report.Warehouse.applied;
+        Alcotest.(check int) "whole batch quarantined" 2
+          (List.length (Warehouse.dead_letters wh));
+        List.iter
+          (fun r ->
+            Alcotest.(check string)
+              "quarantined as engine failure" "engine-failure"
+              (Delta.reason_label r.Delta.reason))
+          (Warehouse.dead_letters wh);
+        Alcotest.check relation "aged view rolled back" pre_sales
+          (snd (Warehouse.query wh "sales_by_time"));
+        Alcotest.check relation "sibling view rolled back" pre_monthly
+          (snd (Warehouse.query wh "monthly_revenue"));
+        (* the warehouse keeps working: a valid follow-up batch applies and
+           the views agree with the believed source *)
+        let follow =
+          Delta.insert "sale" (row [ i (next_id ()); i 2; i 2; i 1; i 90 ])
+        in
+        let report = Warehouse.ingest_report wh [ follow ] in
+        Alcotest.(check int) "follow-up applied" 1 report.Warehouse.applied;
+        List.iter
+          (fun (name, ok) ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s consistent with believed source" name)
+              true ok)
+          (Warehouse.audit wh ~reference:(Warehouse.believed_source wh)));
+  ]
+
+let () =
+  Alcotest.run "txn"
+    [
+      ("rollback-structural-equality", rollback_tests);
+      ("null-poisoning", null_tests); ("index-strictness", index_tests);
+      ("validator-journal", validator_tests);
+      ("warehouse-abort", abort_tests);
+    ]
