@@ -847,6 +847,244 @@ let apply_scaling () =
   close_out oc;
   Printf.printf "wrote %s\n" out
 
+(* -------------------------------------------------------- parallel *)
+
+(* Batch apply under the netted + shard-parallel fast path
+   ([Engine.apply_batch ?parallel]) against plain serial routing, over a
+   grid of batch size x domain count x resident rows, on two root-heavy
+   workloads:
+
+   - "uniform": fresh fact insertions drawn from a bounded
+     (timeid, productid, price) region, so many tuples agree on the
+     engine's read-set projection and merge into weighted operations;
+   - "zipf": a base set of insertions followed by a Zipf-skewed churn of
+     price updates over them — the net-effect compactor collapses each
+     row's history to a single insertion.
+
+   The engine state is held constant across samples by timing inside a
+   transaction and rolling back after each sample (rollback is exact — see
+   test_parallel.ml). Timings are wall-clock: domains burn CPU concurrently,
+   so process CPU time would charge the parallel path for its own overlap.
+
+   Not part of the default run. Environment knobs:
+     BENCH_PARALLEL_DOMAINS  comma-separated domain counts (default 1,2,4)
+     BENCH_PARALLEL_BATCHES  comma-separated batch sizes (default 10000,100000)
+     BENCH_PARALLEL_SIZES    resident-row targets (default 50000,500000)
+     BENCH_PARALLEL_OUT      output path (default BENCH_parallel.json) *)
+
+let parallel_scaling () =
+  header "parallel: net-effect compaction + shard-parallel apply";
+  Gc.set
+    { (Gc.get ()) with Gc.minor_heap_size = 64 * 1024 * 1024;
+      space_overhead = 10_000 };
+  let ints_env var default =
+    match Sys.getenv_opt var with
+    | Some s ->
+      String.split_on_char ',' s
+      |> List.filter_map (fun x -> int_of_string_opt (String.trim x))
+    | None -> default
+  in
+  let domain_counts = ints_env "BENCH_PARALLEL_DOMAINS" [ 1; 2; 4 ] in
+  let batch_sizes = ints_env "BENCH_PARALLEL_BATCHES" [ 10_000; 100_000 ] in
+  let sizes = ints_env "BENCH_PARALLEL_SIZES" [ 50_000; 500_000 ] in
+  let next_id = ref 500_000_000 in
+  (* fresh facts from a bounded region: at most 200 x 50 price points per
+     timeid share the read-set projection, so a large batch merges hard *)
+  let uniform rng ~days ~n =
+    List.init n (fun _ ->
+        incr next_id;
+        Relational.Delta.insert "sale"
+          [| Value.Int !next_id;
+             Value.Int (Workload.Prng.int rng (min 200 days) + 1);
+             Value.Int (Workload.Prng.int rng 50 + 1);
+             Value.Int 1;
+             Value.Int (Workload.Prng.int rng 50 + 1) |])
+  in
+  (* [rows] fresh facts, then [n] price updates whose victims follow a
+     Zipf(1) law over those facts: heavy churn on a few hot rows *)
+  let zipf_churn rng ~days ~rows ~n =
+    let base =
+      Array.init rows (fun _ ->
+          incr next_id;
+          [| Value.Int !next_id;
+             Value.Int (Workload.Prng.int rng (min 200 days) + 1);
+             Value.Int (Workload.Prng.int rng 50 + 1);
+             Value.Int 1;
+             Value.Int (Workload.Prng.int rng 50 + 1) |])
+    in
+    let cdf = Array.make rows 0. in
+    let acc = ref 0. in
+    Array.iteri
+      (fun r _ ->
+        acc := !acc +. (1. /. float_of_int (r + 1));
+        cdf.(r) <- !acc)
+      cdf;
+    let total = !acc in
+    let pick () =
+      let u =
+        total *. float_of_int (Workload.Prng.int rng 1_000_000) /. 1_000_000.
+      in
+      let lo = ref 0 and hi = ref (rows - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if cdf.(mid) > u then hi := mid else lo := mid + 1
+      done;
+      !lo
+    in
+    let inserts =
+      Array.to_list
+        (Array.map (fun t -> Relational.Delta.insert "sale" (Array.copy t)) base)
+    in
+    let churn =
+      List.init n (fun _ ->
+          let r = pick () in
+          let before = base.(r) in
+          let after = Array.copy before in
+          (after.(4) <-
+             (match before.(4) with Value.Int p -> Value.Int (p + 1) | v -> v));
+          base.(r) <- after;
+          Relational.Delta.update "sale" ~before ~after)
+    in
+    inserts @ churn
+  in
+  let module Engine = Maintenance.Engine in
+  let module Shard = Maintenance.Shard in
+  let best_ms e ~samples f =
+    let best = ref infinity in
+    for _ = 1 to samples do
+      Gc.minor ();
+      Engine.begin_txn e;
+      let t0 = Unix.gettimeofday () in
+      f ();
+      let dt = (Unix.gettimeofday () -. t0) *. 1000. in
+      Engine.rollback e;
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let results = ref [] in
+  let rows_out = ref [] in
+  (* one resident pool per domain count for the whole grid — worker domains
+     stay parked between grid points instead of piling up per measurement *)
+  let pools = List.map (fun d -> (d, Shard.create ~domains:d)) domain_counts in
+  List.iter
+    (fun target ->
+      let days = max 10 (target / 2) in
+      let p =
+        { R.days; stores = 1; products = 50; sold_per_store_day = 3;
+          tx_per_product = 1; brands = 5; seed = 7 }
+      in
+      let db = R.load p in
+      let e = Engine.init db (Derive.derive db R.sales_by_time) in
+      let resident =
+        List.fold_left (fun acc (_, r, _) -> acc + r) 0
+          (Engine.storage_profile e)
+      in
+      let measure workload batch =
+        let prof = Engine.net_profile e batch in
+        let n = prof.Engine.input in
+        let samples = if n >= 50_000 then 4 else 8 in
+        let serial_ms =
+          best_ms e ~samples (fun () -> Engine.apply_batch e batch)
+        in
+        let runs =
+          List.map
+            (fun (d, pool) ->
+              let ms =
+                best_ms e ~samples (fun () ->
+                    Engine.apply_batch ~parallel:pool e batch)
+              in
+              (d, ms, serial_ms /. Float.max 1e-9 ms))
+            pools
+        in
+        results :=
+          (resident, workload, prof, serial_ms, runs) :: !results;
+        List.iter
+          (fun (d, ms, sp) ->
+            rows_out :=
+              [ string_of_int resident; workload; string_of_int n;
+                string_of_int prof.Engine.applied;
+                Printf.sprintf "%.1f" serial_ms; string_of_int d;
+                Printf.sprintf "%.1f" ms; Printf.sprintf "%.1fx" sp ]
+              :: !rows_out)
+          runs
+      in
+      List.iter
+        (fun n ->
+          let rng = Workload.Prng.create (809 + n) in
+          measure "uniform" (uniform rng ~days ~n))
+        batch_sizes;
+      let rng = Workload.Prng.create 811 in
+      measure "zipf"
+        (zipf_churn rng ~days ~rows:2_000
+           ~n:(List.fold_left max 10_000 batch_sizes)))
+    sizes;
+  print_string
+    (table
+       ~header:
+         [ "resident"; "workload"; "input"; "applied"; "serial ms"; "domains";
+           "ms"; "speedup" ]
+       (List.rev !rows_out));
+  let results = List.rev !results in
+  let max_domains = List.fold_left max 1 domain_counts in
+  let biggest_batch = List.fold_left max 0 batch_sizes in
+  let root_heavy_speedup =
+    List.fold_left
+      (fun acc (_, w, (prof : Engine.batch_profile), _, runs) ->
+        if String.equal w "uniform" && prof.Engine.input = biggest_batch then
+          List.fold_left
+            (fun acc (d, _, sp) -> if d = max_domains then Float.max acc sp else acc)
+            acc runs
+        else acc)
+      0. results
+  in
+  let zipf_ratio =
+    List.fold_left
+      (fun acc (_, w, (prof : Engine.batch_profile), _, _) ->
+        if String.equal w "zipf" then
+          Float.max acc
+            (float_of_int prof.Engine.input
+            /. float_of_int (max 1 prof.Engine.applied))
+        else acc)
+      0. results
+  in
+  Printf.printf
+    "root-heavy %dk-delta speedup at %d domains: %.1fx\n\
+     zipf compaction input/applied: %.0fx\n"
+    (biggest_batch / 1000) max_domains root_heavy_speedup zipf_ratio;
+  let out =
+    Option.value
+      (Sys.getenv_opt "BENCH_PARALLEL_OUT")
+      ~default:"BENCH_parallel.json"
+  in
+  let oc = open_out out in
+  Printf.fprintf oc
+    "{\n  \"benchmark\": \"parallel-apply\",\n  \"domains\": [%s],\n  \
+     \"grid\": [\n%s\n  ],\n  \
+     \"root_heavy_speedup_at_max_domains\": %.2f,\n  \
+     \"zipf_compaction_ratio\": %.2f\n}\n"
+    (String.concat ", " (List.map string_of_int domain_counts))
+    (String.concat ",\n"
+       (List.map
+          (fun (resident, w, (prof : Engine.batch_profile), serial_ms, runs) ->
+            Printf.sprintf
+              "    { \"resident_rows\": %d, \"workload\": %S, \
+               \"input\": %d, \"netted\": %d, \"applied\": %d, \
+               \"serial_ms\": %.2f, \"runs\": [%s] }"
+              resident w prof.Engine.input prof.Engine.netted
+              prof.Engine.applied serial_ms
+              (String.concat ", "
+                 (List.map
+                    (fun (d, ms, sp) ->
+                      Printf.sprintf
+                        "{ \"domains\": %d, \"ms\": %.2f, \"speedup\": %.2f }"
+                        d ms sp)
+                    runs)))
+          results))
+    root_heavy_speedup zipf_ratio;
+  close_out oc;
+  Printf.printf "wrote %s\n" out
+
 (* -------------------------------------------------------- endurance *)
 
 (* Not part of the default run: 200k deltas through a three-view warehouse,
@@ -955,7 +1193,7 @@ let experiments =
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15);
     ("timings", timings); ("endurance", endurance);
-    ("apply-scaling", apply_scaling);
+    ("apply-scaling", apply_scaling); ("parallel", parallel_scaling);
   ]
 
 let () =
@@ -965,15 +1203,17 @@ let () =
     | [] ->
       List.filter
         (fun (n, _) ->
-          n <> "timings" && n <> "endurance" && n <> "apply-scaling")
+          n <> "timings" && n <> "endurance" && n <> "apply-scaling"
+          && n <> "parallel")
         experiments
       |> List.map fst
     | [ "all" ] ->
       (* endurance reports resident memory, which is only meaningful in a
-         fresh process: run it standalone; apply-scaling builds million-row
-         instances and is likewise opt-in *)
+         fresh process: run it standalone; apply-scaling and parallel build
+         million-row instances and are likewise opt-in *)
       List.filter
-        (fun (n, _) -> n <> "endurance" && n <> "apply-scaling")
+        (fun (n, _) ->
+          n <> "endurance" && n <> "apply-scaling" && n <> "parallel")
         experiments
       |> List.map fst
     | xs -> xs

@@ -18,15 +18,35 @@ type row = {
   exts : Relational.Value.t array;
 }
 
-(** [create ?indexed_columns spec schema] prepares empty state.
+(** [create ?indexed_columns ?shards spec schema] prepares empty state.
     [indexed_columns] (plain columns, typically the foreign keys of a root
     view) get secondary indexes so {!rows_with} is O(matching groups) instead
     of a scan — the engine uses this to make dimension-update propagation
     proportional to the affected rows.
+
+    [shards] (a power of two, default 1) splits every group-keyed structure
+    — groups, by-key map, secondary indexes, undo journal, totals — into
+    hash shards so a parallel applier can hand disjoint shards to disjoint
+    domains. Sharding is invisible to every accessor and to {!equal};
+    states with different shard counts compare structurally.
     @raise Invalid_argument if an indexed column is not a plain column of
-    [spec] — a misspelled index column must not become a silent full scan. *)
+    [spec] — a misspelled index column must not become a silent full scan —
+    or if [shards] is not a positive power of two. *)
 val create :
-  ?indexed_columns:string list -> Mindetail.Auxview.t -> Relational.Schema.t -> t
+  ?indexed_columns:string list ->
+  ?shards:int ->
+  Mindetail.Auxview.t ->
+  Relational.Schema.t ->
+  t
+
+val shard_count : t -> int
+
+(** Shard that owns the group of base tuple [tup] (computed without
+    materializing the projection). *)
+val shard_of_base : t -> Relational.Tuple.t -> int
+
+(** Shard that owns group key [key]. *)
+val shard_of_key : t -> Relational.Tuple.t -> int
 
 val spec : t -> Mindetail.Auxview.t
 
@@ -61,19 +81,24 @@ val commit : t -> unit
     @raise Invalid_argument if no transaction is open. *)
 val rollback : t -> unit
 
-(** [insert_base s tup] folds one base tuple in; the caller has already
-    checked local conditions and semijoin reductions.
+(** [insert_base ?count s tup] folds [count] (default 1) identical base
+    tuples in; the caller has already checked local conditions and semijoin
+    reductions. Weighted insertion is exact: COUNT gains [count] and each
+    SUM gains the value scaled by [count] — the compactor relies on this to
+    replay a merged duplicate class as one operation.
     @raise Invalid_argument (before any mutation — the group stays intact)
-    if a summed column holds a non-numeric value or a MIN/MAX column holds
-    NULL. *)
-val insert_base : t -> Relational.Tuple.t -> unit
+    if a summed column holds a non-numeric value, a MIN/MAX column holds
+    NULL, or [count < 1]. *)
+val insert_base : ?count:int -> t -> Relational.Tuple.t -> unit
 
-(** [delete_base s tup] removes one base tuple's contribution.
+(** [delete_base ?count s tup] removes [count] (default 1) identical base
+    tuples' contributions.
     @raise Invalid_argument if the tuple's group is absent or underflows, if
     the view carries append-only MIN/MAX columns (which are not
-    maintainable under deletions — the engine never lets this happen), or —
-    before any mutation — if a summed column holds a non-numeric value. *)
-val delete_base : t -> Relational.Tuple.t -> unit
+    maintainable under deletions — the engine never lets this happen), if
+    [count < 1], or — before any mutation — if a summed column holds a
+    non-numeric value. *)
+val delete_base : ?count:int -> t -> Relational.Tuple.t -> unit
 
 (** Number of groups (= stored rows). *)
 val row_count : t -> int

@@ -12,6 +12,7 @@ module Relation = Relational.Relation
 module Tuple = Relational.Tuple
 module Value = Relational.Value
 module Delta = Relational.Delta
+module Delta_batch = Relational.Delta_batch
 
 module TH = Hashtbl.Make (struct
   type t = Tuple.t
@@ -50,6 +51,14 @@ type t = {
       (** per table: view local conditions not enforced by its auxiliary
           view (non-empty only in the no-pushdown ablation) *)
   append_only : bool;
+  root_reads : int array;
+      (** root-schema positions the engine ever reads off a root base tuple
+          (group/aggregate/local/join-fk/aux columns): two root tuples equal
+          on this projection are interchangeable, so the fast path merges
+          them into one weighted operation *)
+  scratch_key : Tuple.t;  (** reusable group-key buffer, serial path only *)
+  scratch_cs : View_state.contrib option array;
+      (** reusable contribution buffer, serial path only *)
 }
 
 exception Invariant of string
@@ -67,7 +76,14 @@ let derivation t = t.d
 let copy t =
   let aux = Hashtbl.create (Hashtbl.length t.aux) in
   Hashtbl.iter (fun name st -> Hashtbl.add aux name (Aux_state.copy st)) t.aux;
-  { t with aux; vstate = View_state.copy t.vstate }
+  {
+    t with
+    aux;
+    vstate = View_state.copy t.vstate;
+    (* scratch buffers must never be shared between engines *)
+    scratch_key = Array.copy t.scratch_key;
+    scratch_cs = Array.copy t.scratch_cs;
+  }
 
 (* Structural equality of all mutable state: every auxiliary view (matched
    by table) and the materialized view state. *)
@@ -114,6 +130,13 @@ let read t env table column =
 
 let group_key t env =
   Array.map (fun (table, column) -> read t env table column) t.group_plan
+
+(* Allocation-free variant for the hot path; [dst] must not be retained by
+   the callee (View_state copies keys on retention). *)
+let group_key_into t env dst =
+  Array.iteri
+    (fun i (table, column) -> dst.(i) <- read t env table column)
+    t.group_plan
 
 (* View local conditions on [table] not already enforced by its auxiliary
    view, evaluated against an auxiliary row (the condition columns are kept
@@ -168,41 +191,44 @@ let value_contrib (agg : Aggregate.t) a ~cnt =
       (* COUNTs are planned as A_count *)
       assert false
 
-let contribs t env ~cnt =
-  Array.map
-    (fun plan ->
-      match plan with
-      | P_group _ -> None
-      | P_agg { agg; src } ->
-        Some
-          (match src with
-          | A_count -> View_state.C_count cnt
-          | A_attr { table; column } -> (
-            match List.assoc table env with
-            | Base tup ->
-              value_contrib agg
-                tup.(Schema.index_of (schema t table) column)
-                ~cnt
-            | Auxrow (st, row) ->
-              let spec = Aux_state.spec st in
-              if
-                is_csmas_sum agg
-                && Auxview.sum_position spec column <> None
-              then
-                View_state.C_sum
-                  { amount = Aux_state.sum_of st row column; n = cnt }
-              else if
-                (not agg.Aggregate.distinct)
-                && agg.Aggregate.func = Aggregate.Min
-                && Auxview.min_position spec column <> None
-              then View_state.C_value (Aux_state.min_of st row column)
-              else if
-                (not agg.Aggregate.distinct)
-                && agg.Aggregate.func = Aggregate.Max
-                && Auxview.max_position spec column <> None
-              then View_state.C_value (Aux_state.max_of st row column)
-              else value_contrib agg (Aux_state.plain_of st row column) ~cnt)))
-    t.plans
+let contrib_of t env ~cnt plan =
+  match plan with
+  | P_group _ -> None
+  | P_agg { agg; src } ->
+    Some
+      (match src with
+      | A_count -> View_state.C_count cnt
+      | A_attr { table; column } -> (
+        match List.assoc table env with
+        | Base tup ->
+          value_contrib agg
+            tup.(Schema.index_of (schema t table) column)
+            ~cnt
+        | Auxrow (st, row) ->
+          let spec = Aux_state.spec st in
+          if
+            is_csmas_sum agg
+            && Auxview.sum_position spec column <> None
+          then
+            View_state.C_sum
+              { amount = Aux_state.sum_of st row column; n = cnt }
+          else if
+            (not agg.Aggregate.distinct)
+            && agg.Aggregate.func = Aggregate.Min
+            && Auxview.min_position spec column <> None
+          then View_state.C_value (Aux_state.min_of st row column)
+          else if
+            (not agg.Aggregate.distinct)
+            && agg.Aggregate.func = Aggregate.Max
+            && Auxview.max_position spec column <> None
+          then View_state.C_value (Aux_state.max_of st row column)
+          else value_contrib agg (Aux_state.plain_of st row column) ~cnt))
+
+let contribs t env ~cnt = Array.map (contrib_of t env ~cnt) t.plans
+
+(* Allocation-free variant; [dst] is not retained by View_state. *)
+let contribs_into t env ~cnt dst =
+  Array.iteri (fun i plan -> dst.(i) <- contrib_of t env ~cnt plan) t.plans
 
 (* --- local conditions and semijoin membership ------------------------- *)
 
@@ -242,10 +268,13 @@ let root_view_feed t tup ~sign =
   match extend t [ (t.root, Base tup) ] t.root with
   | None -> ()
   | Some env ->
-    let key = group_key t env in
-    let cs = contribs t env ~cnt:1 in
-    if sign > 0 then View_state.feed t.vstate ~key ~cnt:1 cs
-    else View_state.unfeed t.vstate ~key ~cnt:1 cs
+    (* scratch buffers avoid a per-tuple key + contribution allocation;
+       View_state copies what it retains *)
+    let key = t.scratch_key in
+    group_key_into t env key;
+    contribs_into t env ~cnt:1 t.scratch_cs;
+    if sign > 0 then View_state.feed t.vstate ~key ~cnt:1 t.scratch_cs
+    else View_state.unfeed t.vstate ~key ~cnt:1 t.scratch_cs
 
 let root_insert t tup =
   if in_aux t t.root tup then
@@ -645,6 +674,11 @@ let post_order g =
   in
   walk (Join_graph.root g)
 
+(* Shard count for the root auxiliary view and the view state. A power of
+   two; dimension auxiliary views stay single-shard — they are join
+   destinations, and their by-key probe must remain a single lookup. *)
+let nshards = 16
+
 let init ?(fk_index = true) db (d : Derive.t) =
   let view = d.Derive.view in
   let root = Derive.root d in
@@ -684,6 +718,46 @@ let init ?(fk_index = true) db (d : Derive.t) =
   List.iter
     (fun tbl -> Hashtbl.add residuals tbl (Derive.residual_locals d tbl))
     view.View.tables;
+  (* Everything the engine can ever read off a root base tuple: group-by and
+     aggregate sources, view local-condition columns, outgoing join foreign
+     keys, and — when the root auxiliary view is retained — its kept,
+     summed, extremum, semijoin-fk and pushed-condition columns. Two root
+     tuples equal on this projection are indistinguishable to maintenance. *)
+  let root_reads =
+    let sch = Hashtbl.find schemas root in
+    let cols = ref [] in
+    let add_col c = cols := Schema.index_of sch c :: !cols in
+    Array.iter
+      (fun (tbl, col) -> if String.equal tbl root then add_col col)
+      group_plan;
+    Array.iter
+      (function
+        | P_agg { src = A_attr { table; column }; _ }
+          when String.equal table root ->
+          add_col column
+        | P_agg _ | P_group _ -> ())
+      plans;
+    List.iter add_col (View.local_columns view ~table:root);
+    List.iter
+      (fun (j : View.join) -> add_col j.View.src.Attr.column)
+      (View.joins_from view root);
+    (match Derive.spec_for d root with
+    | None -> ()
+    | Some spec ->
+      List.iter add_col (Auxview.group_columns spec);
+      List.iter add_col (Auxview.summed_columns spec);
+      List.iter (fun (c, _) -> add_col c) (Auxview.ext_columns spec);
+      List.iter
+        (fun (sj : Auxview.semijoin) -> add_col sj.Auxview.fk)
+        spec.Auxview.semijoins;
+      List.iter
+        (fun p ->
+          List.iter
+            (fun (a : Attr.t) -> add_col a.Attr.column)
+            (Predicate.attrs p))
+        spec.Auxview.locals);
+    Array.of_list (List.sort_uniq compare !cols)
+  in
   let t =
     {
       d;
@@ -691,12 +765,15 @@ let init ?(fk_index = true) db (d : Derive.t) =
       root;
       schemas;
       aux = Hashtbl.create 8;
-      vstate = View_state.create view ~determined;
+      vstate = View_state.create ~shards:nshards view ~determined;
       plans;
       group_plan;
       determined;
       residuals;
       append_only = d.Derive.options.Derive.append_only;
+      root_reads;
+      scratch_key = Array.make (Array.length group_plan) Value.Null;
+      scratch_cs = Array.make (Array.length plans) None;
     }
   in
   (* build auxiliary states children-first so semijoin targets exist *)
@@ -718,7 +795,11 @@ let init ?(fk_index = true) db (d : Derive.t) =
                  (View.joins_from view tbl))
           else []
         in
-        let st = Aux_state.create ~indexed_columns spec (schema t tbl) in
+        let st =
+          Aux_state.create ~indexed_columns
+            ~shards:(if String.equal tbl root then nshards else 1)
+            spec (schema t tbl)
+        in
         Hashtbl.add t.aux tbl st;
         Database.fold db tbl
           (fun tup () ->
@@ -772,9 +853,207 @@ let apply t delta =
   route t delta;
   flush t
 
-let apply_batch t deltas =
-  List.iter (route t) deltas;
+(* --- netted + shard-parallel batch fast path ---------------------------- *)
+
+(* One compacted root-table operation: [net] identical (on [root_reads])
+   tuples inserted (net > 0) or deleted (net < 0). The prepare phase fills
+   the placement fields; the apply phase consumes them. *)
+type root_op = {
+  rep : Tuple.t;  (** representative full root tuple of the duplicate class *)
+  mutable net : int;
+  mutable aux_shard : int;  (** owning shard of the root aux group, or -1 *)
+  mutable feed : (Tuple.t * View_state.contrib option array) option;
+  mutable view_shard : int;
+}
+
+let known_deltas t deltas =
+  List.filter
+    (fun (d : Delta.t) -> List.mem d.Delta.table t.view.View.tables)
+    deltas
+
+let net_batch t deltas =
+  Delta_batch.net
+    ~key_index:(fun tbl -> Schema.key_index (schema t tbl))
+    (known_deltas t deltas)
+
+(* Merge net root changes into signed weighted operations keyed by the
+   [root_reads] projection — the delta-stream counterpart of the paper's
+   smart duplicate compression: tuples that agree on every column the
+   engine reads collapse to one operation with a count. *)
+let root_merge t root_deltas =
+  (* sized for the worst case (no two deltas share a projection) so the
+     table never rehashes mid-merge *)
+  let merged : root_op TH.t = TH.create (max 1024 (List.length root_deltas)) in
+  let order = ref [] in
+  let add sign tup =
+    let proj = Tuple.project tup t.root_reads in
+    match TH.find_opt merged proj with
+    | Some op -> op.net <- op.net + sign
+    | None ->
+      let op =
+        { rep = tup; net = sign; aux_shard = -1; feed = None; view_shard = 0 }
+      in
+      TH.add merged proj op;
+      order := op :: !order
+  in
+  List.iter
+    (fun (d : Delta.t) ->
+      match d.Delta.change with
+      | Delta.Insert tup -> add 1 tup
+      | Delta.Delete tup -> add (-1) tup
+      | Delta.Update { before; after } ->
+        add (-1) before;
+        add 1 after)
+    root_deltas;
+  Array.of_list (List.rev !order)
+
+(* Below this many compacted root operations, domain spawns cost more than
+   they recover; the fast path then runs both phases inline. *)
+let par_threshold = 512
+
+let apply_root_ops t pool ops =
+  let n = Array.length ops in
+  let root_st = aux_of t t.root in
+  let nw =
+    if n < par_threshold then 1 else min (Shard.domains pool) nshards
+  in
+  (* Phase A — preparation, read-only on all shared state: membership
+     tests and join probes read dimension auxiliary views (concurrent pure
+     reads of hash tables are safe; nothing mutates during this phase),
+     group keys and contributions are materialized per operation. *)
+  Shard.run pool ~workers:nw (fun w ->
+      let lo = n * w / nw and hi = n * (w + 1) / nw in
+      for i = lo to hi - 1 do
+        let op = ops.(i) in
+        if op.net <> 0 then begin
+          (match root_st with
+          | Some st when in_aux t t.root op.rep ->
+            op.aux_shard <- Aux_state.shard_of_base st op.rep
+          | Some _ | None -> ());
+          if passes_locals t t.root op.rep then
+            match extend t [ (t.root, Base op.rep) ] t.root with
+            | None -> ()
+            | Some env ->
+              let key = group_key t env in
+              op.feed <- Some (key, contribs t env ~cnt:(abs op.net));
+              op.view_shard <- View_state.shard_of_key t.vstate key
+        end
+      done);
+  (* Phase B — application: every shard (root aux and view state) is owned
+     by exactly one worker, so no hash table is ever shared. Each worker
+     applies all positive operations before any negative one: counts then
+     stay at or above their final value throughout, so a group whose net
+     change is zero is never transiently destroyed (which would lose
+     extremum/DISTINCT components and dirty marks). *)
+  Shard.run pool ~workers:nw (fun w ->
+      let apply_op op =
+        let cnt = abs op.net in
+        (if op.aux_shard >= 0 && Shard.owns ~worker:w ~workers:nw op.aux_shard
+         then
+           let st = Option.get root_st in
+           if op.net > 0 then Aux_state.insert_base ~count:cnt st op.rep
+           else Aux_state.delete_base ~count:cnt st op.rep);
+        match op.feed with
+        | Some (key, cs) when Shard.owns ~worker:w ~workers:nw op.view_shard
+          ->
+          if op.net > 0 then View_state.feed t.vstate ~key ~cnt cs
+          else View_state.unfeed t.vstate ~key ~cnt cs
+        | Some _ | None -> ()
+      in
+      Array.iter (fun op -> if op.net > 0 then apply_op op) ops;
+      Array.iter (fun op -> if op.net < 0 then apply_op op) ops)
+
+(* Netted batch application: dimension phases run serially in join-tree
+   order (inserts leaves-first so join partners exist, deletes root-first so
+   references are gone), root operations run compacted and shard-parallel.
+   Equivalent to the serial replay for any batch that is legal against the
+   pre-batch state — see DESIGN.md, "Concurrency model". *)
+let apply_batch_parallel t pool deltas =
+  (* append-only violations must reject the batch whether or not the
+     offending change nets out — match the serial path's verdict *)
+  if t.append_only then
+    List.iter
+      (fun (d : Delta.t) ->
+        if String.equal d.Delta.table t.root then
+          match d.Delta.change with
+          | Delta.Insert _ -> ()
+          | Delta.Delete _ | Delta.Update _ ->
+            invariant
+              "append-only warehouse: root table %s received a deletion or \
+               update"
+              d.Delta.table)
+      deltas;
+  let net = net_batch t deltas in
+  let root_deltas = ref [] in
+  let dims = ref [] in
+  List.iter
+    (fun (tbl, ds) ->
+      if String.equal tbl t.root then root_deltas := ds
+      else dims := (List.length (path_to t tbl), tbl, ds) :: !dims)
+    net.Delta_batch.tables;
+  let deep_first =
+    List.sort (fun (a, _, _) (b, _, _) -> compare b a) (List.rev !dims)
+  in
+  let shallow_first = List.rev deep_first in
+  List.iter
+    (fun (_, tbl, ds) ->
+      List.iter
+        (fun (d : Delta.t) ->
+          match d.Delta.change with
+          | Delta.Insert tup -> dim_insert t tbl tup
+          | Delta.Delete _ | Delta.Update _ -> ())
+        ds)
+    deep_first;
+  List.iter
+    (fun (_, tbl, ds) ->
+      List.iter
+        (fun (d : Delta.t) ->
+          match d.Delta.change with
+          | Delta.Update { before; after } -> dim_update t tbl ~before ~after
+          | Delta.Insert _ | Delta.Delete _ -> ())
+        ds)
+    deep_first;
+  apply_root_ops t pool (root_merge t !root_deltas);
+  List.iter
+    (fun (_, tbl, ds) ->
+      List.iter
+        (fun (d : Delta.t) ->
+          match d.Delta.change with
+          | Delta.Delete tup -> dim_delete t tbl tup
+          | Delta.Insert _ | Delta.Update _ -> ())
+        ds)
+    shallow_first;
   flush t
+
+let apply_batch ?parallel t deltas =
+  match parallel with
+  | None ->
+    List.iter (route t) deltas;
+    flush t
+  | Some pool -> apply_batch_parallel t pool deltas
+
+type batch_profile = { input : int; netted : int; applied : int }
+
+(* Measure what compaction would do to [deltas] without applying them. *)
+let net_profile t deltas =
+  let net = net_batch t deltas in
+  let dim_ops, root_ds =
+    List.fold_left
+      (fun (dims, root) (tbl, ds) ->
+        if String.equal tbl t.root then (dims, ds)
+        else (dims + List.length ds, root))
+      (0, []) net.Delta_batch.tables
+  in
+  let root_ops =
+    Array.fold_left
+      (fun acc (op : root_op) -> if op.net <> 0 then acc + 1 else acc)
+      0 (root_merge t root_ds)
+  in
+  {
+    input = List.length deltas;
+    netted = net.Delta_batch.stats.Delta_batch.output;
+    applied = dim_ops + root_ops;
+  }
 
 (* --- inspection -------------------------------------------------------- *)
 

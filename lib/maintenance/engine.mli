@@ -78,8 +78,29 @@ val rollback : t -> unit
     to match existing state is indistinguishable from a legal one. *)
 val apply : t -> Relational.Delta.t -> unit
 
-(** Process a batch; recomputation is flushed once at the end. *)
-val apply_batch : t -> Relational.Delta.t list -> unit
+(** Process a batch; recomputation is flushed once at the end.
+
+    With [?parallel], the batch takes the compacted fast path: deltas are
+    netted per (table, key) ({!Relational.Delta_batch}), root-table changes
+    are merged into weighted operations keyed by the engine's read-set
+    projection (the paper's duplicate compression applied to the delta
+    stream), and the merged operations are applied across the given domain
+    pool — each domain owning a disjoint set of hash shards of the root
+    auxiliary view and the view state. Dimension changes and cross-group
+    work (key changes, regrouping updates, eliminated-root rewrites) run on
+    the calling domain. The final state is structurally equal to the serial
+    replay for any batch that is legal against the pre-batch state, and
+    {!begin_txn}/{!rollback} semantics are preserved: shard undo journals
+    are only ever touched by the shard's owning domain. *)
+val apply_batch : ?parallel:Shard.pool -> t -> Relational.Delta.t list -> unit
+
+(** What {!apply_batch}'s fast path would do to a batch, without applying
+    it: [input] raw deltas, [netted] after per-key compaction, [applied]
+    operations actually issued (net dimension deltas + merged weighted root
+    operations). *)
+type batch_profile = { input : int; netted : int; applied : int }
+
+val net_profile : t -> Relational.Delta.t list -> batch_profile
 
 (** Current view contents, in select-list order. *)
 val view_contents : t -> Relational.Relation.t

@@ -101,9 +101,9 @@ let rollback = function
       r.txn <- None)
   | Split p -> Partitioned.rollback p
 
-let apply_batch t deltas =
+let apply_batch ?parallel t deltas =
   match t with
-  | Incremental { engine; _ } -> Engine.apply_batch engine deltas
+  | Incremental { engine; _ } -> Engine.apply_batch ?parallel engine deltas
   | Recompute r -> (
     match r.txn with
     | None -> Database.apply_all r.replica deltas
@@ -115,7 +115,7 @@ let apply_batch t deltas =
           | Some journal -> r.txn <- Some (d :: journal)
           | None -> assert false)
         deltas)
-  | Split p -> Partitioned.apply_batch p deltas
+  | Split p -> Partitioned.apply_batch ?parallel p deltas
 
 let view_contents = function
   | Incremental { engine; _ } -> Engine.view_contents engine

@@ -73,8 +73,10 @@ val commit : t -> unit
 (** @raise Invalid_argument if no transaction is open. *)
 val rollback : t -> unit
 
-(** Process a batch of source changes. *)
-val apply_batch : t -> Relational.Delta.t list -> unit
+(** Process a batch of source changes. [?parallel] selects the compacted
+    shard-parallel fast path on incremental (and partitioned) engines — see
+    {!Engine.apply_batch}; the recompute baseline ignores it. *)
+val apply_batch : ?parallel:Shard.pool -> t -> Relational.Delta.t list -> unit
 
 (** Current contents of the materialized view. *)
 val view_contents : t -> Relational.Relation.t

@@ -4,13 +4,14 @@ type point =
   | Mid_checkpoint
   | Before_wal_truncate
   | After_truncate_rename
+  | Mid_group_commit
 
 exception Crash of point
 
 let all =
   [
     After_wal_append; Mid_engine_apply; Mid_checkpoint; Before_wal_truncate;
-    After_truncate_rename;
+    After_truncate_rename; Mid_group_commit;
   ]
 
 let to_string = function
@@ -19,6 +20,7 @@ let to_string = function
   | Mid_checkpoint -> "mid-checkpoint"
   | Before_wal_truncate -> "before-wal-truncate"
   | After_truncate_rename -> "after-truncate-rename"
+  | Mid_group_commit -> "mid-group-commit"
 
 let of_string s = List.find_opt (fun p -> String.equal (to_string p) s) all
 

@@ -27,6 +27,10 @@ type point =
       (** the truncated WAL was renamed into place but the directory entry
           was not yet fsynced: after a power cut the old (stale) WAL may
           reappear, and replay must still converge *)
+  | Mid_group_commit
+      (** a group commit flushed only part of its buffered frames to the OS
+          before the power cut: the WAL ends in a torn record and replay must
+          recover the durable prefix *)
 
 (** The simulated crash. Deliberately not an [Error]-style exception: only
     test harnesses and the CLI top level may catch it. *)

@@ -106,7 +106,37 @@ let apply t (d : Delta.t) =
     Engine.apply t.current_engine d
   end
 
-let apply_batch t = List.iter (apply t)
+let apply_batch ?parallel t deltas =
+  match parallel with
+  | None -> List.iter (apply t) deltas
+  | Some pool ->
+    (* pre-route every delta to its side (dimension changes go to both) so
+       each engine sees one batch and can take the compacted parallel fast
+       path; the boundary check keeps the serial path's verdict *)
+    let olds = ref [] and currents = ref [] in
+    List.iter
+      (fun (d : Delta.t) ->
+        if String.equal d.Delta.table t.root then begin
+          match d.Delta.change with
+          | Delta.Insert tup | Delta.Delete tup ->
+            if t.is_old tup then olds := d :: !olds
+            else currents := d :: !currents
+          | Delta.Update { before; after } ->
+            if t.is_old before <> t.is_old after then
+              raise
+                (Engine.Invariant
+                   "partitioned maintenance: update moves a root tuple \
+                    across the old/current boundary")
+            else if t.is_old before then olds := d :: !olds
+            else currents := d :: !currents
+        end
+        else begin
+          olds := d :: !olds;
+          currents := d :: !currents
+        end)
+      deltas;
+    Engine.apply_batch ~parallel:pool t.old_engine (List.rev !olds);
+    Engine.apply_batch ~parallel:pool t.current_engine (List.rev !currents)
 
 let copy t =
   {

@@ -39,7 +39,10 @@ val init :
     partition, or if an update would move a tuple across partitions. *)
 val apply : t -> Relational.Delta.t -> unit
 
-val apply_batch : t -> Relational.Delta.t list -> unit
+(** Process a batch. With [?parallel], deltas are pre-routed per partition
+    (dimension changes to both) and each engine applies its sub-batch via
+    the compacted shard-parallel fast path ({!Engine.apply_batch}). *)
+val apply_batch : ?parallel:Shard.pool -> t -> Relational.Delta.t list -> unit
 
 (** Deep copy of both partition engines (the partition predicate is
     shared). Snapshot-grade; batches run in place under {!begin_txn}. *)

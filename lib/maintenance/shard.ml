@@ -1,0 +1,110 @@
+(* Domain pool for shard-parallel maintenance.
+
+   Spawning a domain is far from free (it reserves a minor-heap arena and
+   registers with the stop-the-world machinery), so the pool keeps its
+   workers alive across phases: they are spawned lazily on the first
+   multi-worker [run] and then park on a condition variable between jobs.
+   A parked worker sits in [Condition.wait] — a blocking section — so it
+   neither burns CPU nor delays any other domain's minor collection.
+
+   With [domains = 1] (or a single-worker run) everything executes on the
+   calling domain and no domain is ever spawned.
+
+   Worker exceptions are captured and re-raised on the caller (lowest worker
+   index wins, deterministically), after every worker has finished its job,
+   so a failing phase never leaves a worker mid-run.
+
+   Workers are daemon-like: they are never joined, and the process exits
+   normally while they are parked.  A pool must only be driven from one
+   domain at a time (the engine's apply path already guarantees this). *)
+
+type worker = {
+  m : Mutex.t;
+  cv : Condition.t;  (* signalled both ways: job posted / job finished *)
+  mutable job : (int -> unit) option;
+  mutable busy : bool;
+  mutable error : exn option;
+}
+
+type pool = {
+  domains : int;
+  mutable workers : worker array;  (* empty until the first parallel run *)
+}
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Shard.create: domains must be >= 1";
+  { domains; workers = [||] }
+
+let domains t = t.domains
+
+let serial = { domains = 1; workers = [||] }
+
+let worker_loop w id =
+  Mutex.lock w.m;
+  while true do
+    while w.job = None do
+      Condition.wait w.cv w.m
+    done;
+    let f = Option.get w.job in
+    Mutex.unlock w.m;
+    let error = (try f id; None with exn -> Some exn) in
+    Mutex.lock w.m;
+    w.job <- None;
+    w.error <- error;
+    w.busy <- false;
+    Condition.signal w.cv
+  done
+
+let ensure_workers pool =
+  if Array.length pool.workers = 0 then
+    pool.workers <-
+      Array.init (pool.domains - 1) (fun i ->
+          let w =
+            {
+              m = Mutex.create ();
+              cv = Condition.create ();
+              job = None;
+              busy = false;
+              error = None;
+            }
+          in
+          ignore (Domain.spawn (fun () -> worker_loop w (i + 1)));
+          w)
+
+let post w f =
+  Mutex.lock w.m;
+  w.job <- Some f;
+  w.busy <- true;
+  w.error <- None;
+  Condition.signal w.cv;
+  Mutex.unlock w.m
+
+let await w =
+  Mutex.lock w.m;
+  while w.busy do
+    Condition.wait w.cv w.m
+  done;
+  let error = w.error in
+  Mutex.unlock w.m;
+  error
+
+(* [run pool n f] executes [f w] for workers [w = 0 .. n-1] where
+   [n = min pool.domains n_wanted]; worker 0 runs on the calling domain. *)
+let run pool ~workers:wanted f =
+  let n = min pool.domains (max 1 wanted) in
+  if n = 1 then f 0
+  else begin
+    ensure_workers pool;
+    for w = 1 to n - 1 do
+      post pool.workers.(w - 1) f
+    done;
+    let err0 = (try f 0; None with exn -> Some exn) in
+    let errors = Array.init (n - 1) (fun i -> await pool.workers.(i)) in
+    (match err0 with Some exn -> raise exn | None -> ());
+    Array.iter (function Some exn -> raise exn | None -> ()) errors
+  end
+
+(* Shard [s] of [nshards] belongs to worker [s mod n] — every worker owns a
+   disjoint, statically known set of shards, so two workers never touch the
+   same hash table. *)
+let owns ~worker ~workers shard = shard mod workers = worker

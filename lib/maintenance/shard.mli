@@ -1,0 +1,30 @@
+(** Domain pool for shard-parallel maintenance.
+
+    Worker domains are spawned lazily on the first multi-worker {!run} and
+    kept parked on a condition variable between jobs, so the (substantial)
+    domain-spawn cost is paid once per pool rather than once per phase.
+    Parked workers sit in a blocking section: they burn no CPU and do not
+    delay other domains' collections, and the process exits normally while
+    they are parked — pools need no explicit shutdown.
+
+    A pool must be driven from one domain at a time.  Pools are runtime-only
+    objects (they hold mutexes) and must not be marshalled. *)
+
+type pool
+
+(** @raise Invalid_argument if [domains < 1]. *)
+val create : domains:int -> pool
+
+val domains : pool -> int
+
+(** One-domain pool: {!run} executes inline on the calling domain. *)
+val serial : pool
+
+(** [run pool ~workers f] runs [f w] for [w = 0 .. min pool.domains workers - 1],
+    worker 0 on the calling domain, the rest on the pool's resident worker
+    domains.  Returns once every worker has finished; if any worker raised,
+    the exception of the lowest-indexed failing worker is re-raised. *)
+val run : pool -> workers:int -> (int -> unit) -> unit
+
+(** Static shard ownership: shard [s] belongs to worker [s mod workers]. *)
+val owns : worker:int -> workers:int -> int -> bool

@@ -33,77 +33,108 @@ type saved_group =
 
 type txn = { saved : saved_group TH.t; dirty0 : unit TH.t }
 
-type t = {
-  view : View.t;
-  determined : bool;
-  items : Select_item.t array;
+(* One hash-shard of the view state: groups, the dirty set and the undo
+   journal all live per shard so parallel appliers owning disjoint shards
+   never share a hash table. Group keys entering a shard's tables are
+   copied on retention, because callers may pass reused scratch buffers. *)
+type shard = {
   groups : group TH.t;
   dirty : unit TH.t;
   mutable txn : txn option;
 }
 
-let create view ~determined =
+type t = {
+  view : View.t;
+  determined : bool;
+  items : Select_item.t array;
+  mask : int;  (** shard count - 1 *)
+  shards : shard array;
+}
+
+let create ?(shards = 1) view ~determined =
+  if shards < 1 || shards land (shards - 1) <> 0 then
+    invalid_arg "View_state.create: shard count is not a power of two";
   {
     view;
     determined;
     items = Array.of_list view.View.select;
-    groups = TH.create 256;
-    dirty = TH.create 16;
-    txn = None;
+    mask = shards - 1;
+    shards =
+      Array.init shards (fun _ ->
+          { groups = TH.create 256; dirty = TH.create 16; txn = None });
   }
 
+let shard_count t = Array.length t.shards
+let shard_of_key t key = if t.mask = 0 then 0 else Tuple.hash key land t.mask
+let shard_for t key = t.shards.(shard_of_key t key)
+let find_group t key = TH.find_opt (shard_for t key).groups key
+
 let copy t =
-  let groups = TH.create (max 16 (TH.length t.groups)) in
-  TH.iter
-    (fun key (g : group) ->
-      TH.add groups key { cnt0 = g.cnt0; accs = Array.copy g.accs })
-    t.groups;
-  { t with groups; dirty = TH.copy t.dirty; txn = None }
+  let copy_shard sh =
+    let groups = TH.create (max 16 (TH.length sh.groups)) in
+    TH.iter
+      (fun key (g : group) ->
+        TH.add groups key { cnt0 = g.cnt0; accs = Array.copy g.accs })
+      sh.groups;
+    { groups; dirty = TH.copy sh.dirty; txn = None }
+  in
+  { t with shards = Array.map copy_shard t.shards }
 
 (* --- transactions ------------------------------------------------------- *)
 
 let begin_txn t =
-  if t.txn <> None then
+  if t.shards.(0).txn <> None then
     invalid_arg "View_state.begin_txn: transaction already open";
   (* the dirty set is saved whole: it is bounded by the groups pending
      recompute, a handful at any moment, not by the resident state *)
-  t.txn <- Some { saved = TH.create 64; dirty0 = TH.copy t.dirty }
+  Array.iter
+    (fun sh -> sh.txn <- Some { saved = TH.create 64; dirty0 = TH.copy sh.dirty })
+    t.shards
 
-let note t key =
-  match t.txn with
+(* [key] may alias a caller's scratch buffer; copied if retained. *)
+let note sh key =
+  match sh.txn with
   | None -> ()
   | Some { saved; _ } ->
     if not (TH.mem saved key) then
-      TH.add saved key
-        (match TH.find_opt t.groups key with
+      TH.add saved (Array.copy key)
+        (match TH.find_opt sh.groups key with
         | None -> Absent
         | Some g -> Present { cnt0 = g.cnt0; accs = Array.copy g.accs })
 
 let commit t =
-  if t.txn = None then invalid_arg "View_state.commit: no open transaction";
-  t.txn <- None
+  if t.shards.(0).txn = None then
+    invalid_arg "View_state.commit: no open transaction";
+  Array.iter (fun sh -> sh.txn <- None) t.shards
 
 let rollback t =
-  match t.txn with
-  | None -> invalid_arg "View_state.rollback: no open transaction"
-  | Some { saved; dirty0 } ->
-    TH.iter
-      (fun key before ->
-        match before, TH.find_opt t.groups key with
-        | Absent, None -> ()
-        | Absent, Some _ -> TH.remove t.groups key
-        | Present p, Some g ->
-          g.cnt0 <- p.cnt0;
-          Array.blit p.accs 0 g.accs 0 (Array.length p.accs)
-        | Present p, None ->
-          TH.add t.groups key { cnt0 = p.cnt0; accs = p.accs })
-      saved;
-    TH.reset t.dirty;
-    TH.iter (fun key () -> TH.add t.dirty key ()) dirty0;
-    t.txn <- None
+  if t.shards.(0).txn = None then
+    invalid_arg "View_state.rollback: no open transaction";
+  Array.iter
+    (fun sh ->
+      match sh.txn with
+      | None -> ()
+      | Some { saved; dirty0 } ->
+        TH.iter
+          (fun key before ->
+            match before, TH.find_opt sh.groups key with
+            | Absent, None -> ()
+            | Absent, Some _ -> TH.remove sh.groups key
+            | Present p, Some g ->
+              g.cnt0 <- p.cnt0;
+              Array.blit p.accs 0 g.accs 0 (Array.length p.accs)
+            | Present p, None ->
+              TH.add sh.groups key { cnt0 = p.cnt0; accs = p.accs })
+          saved;
+        TH.reset sh.dirty;
+        TH.iter (fun key () -> TH.add sh.dirty key ()) dirty0;
+        sh.txn <- None)
+    t.shards
 
 let view t = t.view
-let group_count t = TH.length t.groups
+
+let group_count t =
+  Array.fold_left (fun acc sh -> acc + TH.length sh.groups) 0 t.shards
 
 let initial_state (item : Select_item.t) =
   match item with
@@ -116,8 +147,8 @@ let initial_state (item : Select_item.t) =
       | Aggregate.Sum | Aggregate.Avg -> S_sum { sum = Value.Int 0; n = 0 }
       | Aggregate.Min | Aggregate.Max -> S_extremum None)
 
-let mark_dirty t key =
-  if not (TH.mem t.dirty key) then TH.add t.dirty key ()
+let mark_dirty sh key =
+  if not (TH.mem sh.dirty key) then TH.add sh.dirty (Array.copy key) ()
 
 let combine_extremum (agg : Aggregate.t) cur v =
   match cur with
@@ -140,7 +171,7 @@ let singleton_distinct (agg : Aggregate.t) v =
   | Aggregate.Avg -> Value.div_as_float v (Value.Int 1)
   | Aggregate.Count_star -> assert false
 
-let apply_contrib t key ~sign g i (item : Select_item.t) contrib =
+let apply_contrib t sh key ~sign g i (item : Select_item.t) contrib =
   let agg =
     match item with
     | Select_item.Agg a -> a
@@ -159,7 +190,7 @@ let apply_contrib t key ~sign g i (item : Select_item.t) contrib =
     else if not t.determined then begin
       (* deletion of the current extremum invalidates the component *)
       match cur with
-      | Some m when Value.equal m v -> mark_dirty t key
+      | Some m when Value.equal m v -> mark_dirty sh key
       | Some _ | None -> ()
     end
   | S_distinct cur, C_value v ->
@@ -168,62 +199,69 @@ let apply_contrib t key ~sign g i (item : Select_item.t) contrib =
          set is a singleton fixed at group creation *)
       if cur = None then g.accs.(i) <- S_distinct (Some (singleton_distinct agg v))
     end
-    else mark_dirty t key
+    else mark_dirty sh key
   | (S_count _ | S_sum _ | S_extremum _ | S_distinct _), _ ->
     invalid_arg "View_state: contribution does not match aggregate state"
 
 let feed t ~key ~cnt contribs =
-  note t key;
+  let sh = shard_for t key in
+  note sh key;
   let g =
-    match TH.find_opt t.groups key with
+    match TH.find_opt sh.groups key with
     | Some g -> g
     | None ->
       let g = { cnt0 = 0; accs = Array.map initial_state t.items } in
-      TH.add t.groups key g;
+      TH.add sh.groups (Array.copy key) g;
       g
   in
   g.cnt0 <- g.cnt0 + cnt;
   Array.iteri
     (fun i c ->
       match c with
-      | Some contrib -> apply_contrib t key ~sign:1 g i t.items.(i) contrib
+      | Some contrib -> apply_contrib t sh key ~sign:1 g i t.items.(i) contrib
       | None -> ())
     contribs
 
 let unfeed t ~key ~cnt contribs =
-  match TH.find_opt t.groups key with
+  let sh = shard_for t key in
+  match TH.find_opt sh.groups key with
   | None ->
     invalid_arg
       (Printf.sprintf "View_state.unfeed: group %s absent"
          (Tuple.to_string key))
   | Some g ->
     if g.cnt0 < cnt then invalid_arg "View_state.unfeed: count underflow";
-    note t key;
+    note sh key;
     g.cnt0 <- g.cnt0 - cnt;
     if g.cnt0 = 0 then begin
-      TH.remove t.groups key;
-      TH.remove t.dirty key
+      TH.remove sh.groups key;
+      TH.remove sh.dirty key
     end
     else
       Array.iteri
         (fun i c ->
           match c with
-          | Some contrib -> apply_contrib t key ~sign:(-1) g i t.items.(i) contrib
+          | Some contrib -> apply_contrib t sh key ~sign:(-1) g i t.items.(i) contrib
           | None -> ())
         contribs
 
 let take_dirty t =
-  let keys = TH.fold (fun k () acc -> k :: acc) t.dirty [] in
-  TH.reset t.dirty;
-  keys
+  Array.fold_left
+    (fun acc sh ->
+      let keys = TH.fold (fun k () acc -> k :: acc) sh.dirty acc in
+      TH.reset sh.dirty;
+      keys)
+    [] t.shards
 
-let is_dirty_pending t = TH.length t.dirty > 0
+let is_dirty_pending t =
+  Array.exists (fun sh -> TH.length sh.dirty > 0) t.shards
 
 let set_value t ~key ~item v =
-  match TH.find_opt t.groups key with
+  let sh = shard_for t key in
+  match TH.find_opt sh.groups key with
   | None -> ()
   | Some g -> (
-    note t key;
+    note sh key;
     match g.accs.(item) with
     | S_extremum _ -> g.accs.(item) <- S_extremum (Some v)
     | S_distinct _ -> g.accs.(item) <- S_distinct (Some v)
@@ -233,14 +271,17 @@ let set_value t ~key ~item v =
 type component_update = Shift_sum of Value.t | Set_current of Value.t
 
 let adjust_group t ~key ~new_key updates =
-  match TH.find_opt t.groups key with
+  let sh = shard_for t key in
+  match TH.find_opt sh.groups key with
   | None ->
     invalid_arg
       (Printf.sprintf "View_state.adjust_group: group %s absent"
          (Tuple.to_string key))
   | Some g ->
-    note t key;
-    if not (Tuple.equal key new_key) then note t new_key;
+    let moving = not (Tuple.equal key new_key) in
+    let sh' = if moving then shard_for t new_key else sh in
+    note sh key;
+    if moving then note sh' new_key;
     List.iter
       (fun (i, upd) ->
         let agg =
@@ -260,18 +301,21 @@ let adjust_group t ~key ~new_key updates =
         | (S_count _ | S_sum _ | S_extremum _ | S_distinct _), _ ->
           invalid_arg "View_state.adjust_group: update does not match state")
       updates;
-    if not (Tuple.equal key new_key) then begin
-      if TH.mem t.groups new_key then
+    if moving then begin
+      if TH.mem sh'.groups new_key then
         invalid_arg "View_state.adjust_group: new key collides";
-      TH.remove t.groups key;
-      TH.add t.groups new_key g;
-      if TH.mem t.dirty key then begin
-        TH.remove t.dirty key;
-        TH.add t.dirty new_key ()
+      TH.remove sh.groups key;
+      TH.add sh'.groups (Array.copy new_key) g;
+      if TH.mem sh.dirty key then begin
+        TH.remove sh.dirty key;
+        TH.add sh'.dirty (Array.copy new_key) ()
       end
     end
 
-let fold_groups t f acc = TH.fold (fun k g acc -> f k g.cnt0 acc) t.groups acc
+let fold_groups t f acc =
+  Array.fold_left
+    (fun acc sh -> TH.fold (fun k g acc -> f k g.cnt0 acc) sh.groups acc)
+    acc t.shards
 
 let agg_state_equal a b =
   match a, b with
@@ -287,51 +331,65 @@ let group_equal (g : group) (g' : group) =
   && Array.length g.accs = Array.length g'.accs
   && Array.for_all2 agg_state_equal g.accs g'.accs
 
+let dirty_count t =
+  Array.fold_left (fun acc sh -> acc + TH.length sh.dirty) 0 t.shards
+
 (* Structural equality of the resident view state: groups (base counts and
-   every aggregate component) and the pending-recompute (dirty) set. Open
-   transactions are ignored. *)
+   every aggregate component) and the pending-recompute (dirty) set.
+   Deliberately shard-layout-independent; open transactions are ignored. *)
 let equal a b =
-  TH.length a.groups = TH.length b.groups
-  && TH.fold
-       (fun key g acc ->
-         acc
-         &&
-         match TH.find_opt b.groups key with
-         | Some g' -> group_equal g g'
-         | None -> false)
-       a.groups true
-  && TH.length a.dirty = TH.length b.dirty
-  && TH.fold (fun key () acc -> acc && TH.mem b.dirty key) a.dirty true
+  group_count a = group_count b
+  && Array.for_all
+       (fun sh ->
+         TH.fold
+           (fun key g acc ->
+             acc
+             &&
+             match find_group b key with
+             | Some g' -> group_equal g g'
+             | None -> false)
+           sh.groups true)
+       a.shards
+  && dirty_count a = dirty_count b
+  && Array.for_all
+       (fun sh ->
+         TH.fold
+           (fun key () acc -> acc && TH.mem (shard_for b key).dirty key)
+           sh.dirty true)
+       a.shards
 
 let render t =
-  let result = Relation.create ~size_hint:(TH.length t.groups) () in
-  TH.iter
-    (fun key g ->
-      let gi = ref 0 in
-      let row =
-        Array.mapi
-          (fun i item ->
-            match item with
-            | Select_item.Group _ ->
-              let v = key.(!gi) in
-              incr gi;
-              v
-            | Select_item.Agg agg -> (
-              match g.accs.(i) with
-              | S_count n -> Value.Int n
-              | S_sum { sum; n } -> (
-                match agg.Aggregate.func with
-                | Aggregate.Sum -> sum
-                | Aggregate.Avg -> Value.div_as_float sum (Value.Int n)
-                | _ -> assert false)
-              | S_extremum (Some v) | S_distinct (Some v) -> v
-              | S_extremum None | S_distinct None ->
-                invalid_arg
-                  "View_state.render: non-CSMAS component pending recompute"))
-          t.items
-      in
-      Relation.insert result row)
-    t.groups;
+  let result = Relation.create ~size_hint:(group_count t) () in
+  Array.iter
+    (fun sh ->
+      TH.iter
+        (fun key g ->
+          let gi = ref 0 in
+          let row =
+            Array.mapi
+              (fun i item ->
+                match item with
+                | Select_item.Group _ ->
+                  let v = key.(!gi) in
+                  incr gi;
+                  v
+                | Select_item.Agg agg -> (
+                  match g.accs.(i) with
+                  | S_count n -> Value.Int n
+                  | S_sum { sum; n } -> (
+                    match agg.Aggregate.func with
+                    | Aggregate.Sum -> sum
+                    | Aggregate.Avg -> Value.div_as_float sum (Value.Int n)
+                    | _ -> assert false)
+                  | S_extremum (Some v) | S_distinct (Some v) -> v
+                  | S_extremum None | S_distinct None ->
+                    invalid_arg
+                      "View_state.render: non-CSMAS component pending recompute"))
+              t.items
+          in
+          Relation.insert result row)
+        sh.groups)
+    t.shards;
   (* restrictions on groups (HAVING) are applied at read time: the full group
      state is what gets maintained *)
   View.filter_having t.view result

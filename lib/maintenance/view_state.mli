@@ -21,8 +21,18 @@ type contrib =
 
 type t
 
-(** [create view ~determined] prepares empty state for a validated view. *)
-val create : Algebra.View.t -> determined:bool -> t
+(** [create ?shards view ~determined] prepares empty state for a validated
+    view. [shards] (a power of two, default 1) splits groups, the dirty set
+    and the undo journal into hash shards so a parallel applier can hand
+    disjoint shards to disjoint domains; sharding is invisible to accessors
+    and to {!equal}.
+    @raise Invalid_argument if [shards] is not a positive power of two. *)
+val create : ?shards:int -> Algebra.View.t -> determined:bool -> t
+
+val shard_count : t -> int
+
+(** Shard that owns group key [key]. *)
+val shard_of_key : t -> Relational.Tuple.t -> int
 
 (** Deep copy: groups (and their component arrays) and the dirty set are
     duplicated so the copy and the original evolve independently (snapshot

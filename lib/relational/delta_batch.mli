@@ -1,0 +1,28 @@
+(** Net-effect compaction of a delta batch.
+
+    Collapses successive changes to the same (table, primary key) slot into
+    their net effect before the batch reaches a maintenance engine — the
+    delta-stream analogue of the paper's smart duplicate compression of the
+    stored detail data (Section 3).  Key-changing updates are decomposed
+    into delete + insert so every slot's history is linear. *)
+
+type stats = { input : int  (** deltas fed in *); output : int  (** net deltas out *) }
+
+type t = {
+  tables : (string * Delta.t list) list;
+      (** net deltas grouped by table; tables and keys both appear in
+          first-touch order of the original batch *)
+  stats : stats;
+}
+
+(** [net ~key_index deltas] compacts a batch.  [key_index tbl] must give the
+    primary-key position in [tbl]'s tuple layout for every table that occurs
+    in the batch.
+
+    @raise Invalid_argument if the batch is not replayable against any
+    starting state (duplicate insert, double delete, change to a row the
+    batch itself netted out). *)
+val net : key_index:(string -> int) -> Delta.t list -> t
+
+(** Flattened net deltas, tables concatenated in first-touch order. *)
+val deltas : t -> Delta.t list

@@ -68,7 +68,13 @@ let read_all path =
 
 (* --- writing ----------------------------------------------------------- *)
 
-type writer = { path : string; mutable oc : out_channel }
+type writer = {
+  path : string;
+  mutable oc : out_channel;
+  (* frames accepted with [append ~sync:false] but not yet written — a group
+     commit pushes the whole buffer to the OS in one write and one fsync *)
+  pending : Buffer.t;
+}
 
 (* Make a rename inside [path]'s directory durable: without the directory
    fsync, a power cut can resurrect the replaced file. Best-effort — some
@@ -102,15 +108,42 @@ let open_append path =
     write_file path records;
     fsync_dir path
   end;
-  { path; oc = open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path }
+  {
+    path;
+    oc = open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path;
+    pending = Buffer.create 256;
+  }
 
-let append w record =
-  output_string w.oc (frame record);
-  (* flush per record: the record must be durable before any engine applies
-     it, and a stale buffered channel must never hold undurable bytes *)
-  flush w.oc
+let fsync_channel oc =
+  try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ()
+
+let sync w =
+  if Buffer.length w.pending > 0 then begin
+    let bytes = Buffer.contents w.pending in
+    Buffer.clear w.pending;
+    (* the crash point models a power cut mid-write: only a prefix of the
+       group's frames reached the OS, so the log ends in a torn record that
+       recovery must drop. Splitting the write in two halves (second half
+       only after the crash point) makes that state reachable from tests. *)
+    let half = String.length bytes / 2 in
+    output_string w.oc (String.sub bytes 0 half);
+    flush w.oc;
+    Maintenance.Faults.hit Maintenance.Faults.Mid_group_commit;
+    output_string w.oc (String.sub bytes half (String.length bytes - half));
+    flush w.oc
+  end;
+  (* the commit point: the records must survive a power cut, not just the
+     process, before any engine applies them *)
+  fsync_channel w.oc
+
+let append ?sync:(do_sync = true) w record =
+  Buffer.add_string w.pending (frame record);
+  if do_sync then sync w
 
 let truncate w =
+  (* anything still buffered belongs to batches the snapshot already
+     contains (the warehouse syncs before applying) — drop, don't replay *)
+  Buffer.clear w.pending;
   close_out_noerr w.oc;
   write_file w.path [];
   (* the empty log is renamed into place, but until the directory entry is
@@ -119,4 +152,7 @@ let truncate w =
   fsync_dir w.path;
   w.oc <- open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 w.path
 
-let close w = close_out_noerr w.oc
+let close w =
+  (* best-effort: push any un-synced frames out rather than losing them *)
+  (try sync w with _ -> ());
+  close_out_noerr w.oc

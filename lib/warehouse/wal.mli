@@ -36,15 +36,31 @@ type writer
     needed. @raise Corrupt as {!read_all}. *)
 val open_append : string -> writer
 
-(** Append one record and flush it to the OS. *)
-val append : writer -> record -> unit
+(** [append ?sync w r] stages one record. With [~sync:true] (the default)
+    the record — and anything staged before it — is immediately written and
+    fsynced: once [append] returns, the record survives a power cut. With
+    [~sync:false] the record only joins the writer's in-memory buffer;
+    nothing is durable (or even visible to {!read_all}) until the next
+    {!sync}. Group commit: stage every batch of an ingest burst with
+    [~sync:false], then pay one write and one fsync in a single {!sync}. *)
+val append : ?sync:bool -> writer -> record -> unit
+
+(** Write all buffered records to the OS in one write and fsync the log.
+    The durability barrier of a group commit (crash point:
+    [Maintenance.Faults.Mid_group_commit] — a power cut mid-write leaves a
+    torn tail that {!read_all} drops). A no-op buffer still fsyncs, so
+    [sync] is also a plain durability barrier. *)
+val sync : writer -> unit
 
 (** Atomically reset the log to empty (after a checkpoint made its records
-    redundant). The replacement file is fsynced before the rename and the
-    containing directory after it, so the reset cannot be undone by a crash
-    (crash point: [Maintenance.Faults.After_truncate_rename]). *)
+    redundant). Buffered-but-unsynced records are dropped — they describe
+    batches the checkpoint already contains. The replacement file is fsynced
+    before the rename and the containing directory after it, so the reset
+    cannot be undone by a crash (crash point:
+    [Maintenance.Faults.After_truncate_rename]). *)
 val truncate : writer -> unit
 
+(** Flushes buffered records (best-effort) and closes the file. *)
 val close : writer -> unit
 
 (** [fsync_dir path] fsyncs the directory containing [path], making a

@@ -94,6 +94,9 @@ type t = {
   mutable wal : Wal.writer option;
   mutable dir : string option;
   mutable checkpoint_every : int option;
+  (* runtime-only (like [wal]): never marshaled, so snapshots stay portable
+     to hosts with different core counts; [load]/[recover] reset it *)
+  mutable parallel : Maintenance.Shard.pool option;
 }
 
 let create source =
@@ -106,7 +109,10 @@ let create source =
     wal = None;
     dir = None;
     checkpoint_every = None;
+    parallel = None;
   }
+
+let set_parallel t pool = t.parallel <- pool
 
 let add_view ?(strategy = Minimal) t view =
   if
@@ -253,6 +259,7 @@ let load path =
           wal = None;
           dir = None;
           checkpoint_every = None;
+          parallel = None;
         }
       | exception _ ->
         err Corrupt_state "%s: undecodable payload (incompatible build?)" path)
@@ -314,7 +321,7 @@ let apply_in_place t deltas =
   List.iter (fun r -> Engines.begin_txn r.engine) t.views;
   List.iteri
     (fun i r ->
-      Engines.apply_batch r.engine deltas;
+      Engines.apply_batch ?parallel:t.parallel r.engine deltas;
       if i = 0 then Faults.hit Faults.Mid_engine_apply)
     t.views
 
@@ -327,7 +334,10 @@ let engine_error_detail = function
   | Failure m | Invalid_argument m -> m
   | e -> Printexc.to_string e
 
-let ingest_report t deltas =
+(* [~sync:false] stages the WAL records in the writer's buffer instead of
+   fsyncing per batch — the group-commit path of {!ingest_all}, which pays
+   one durability barrier for the whole burst. *)
+let ingest_report_with ~sync t deltas =
   Validator.begin_txn t.validator;
   let accepted, rejected =
     List.fold_left
@@ -347,8 +357,9 @@ let ingest_report t deltas =
     let seq = t.seq + 1 in
     Option.iter
       (fun w ->
-        Wal.append w (Wal.Batch { seq; deltas = accepted });
-        (* the record is durable: this is the commit point *)
+        Wal.append ~sync w (Wal.Batch { seq; deltas = accepted });
+        (* synced: the record is durable and this is the commit point;
+           unsynced: the group's final {!Wal.sync} is *)
         Faults.hit Faults.After_wal_append)
       t.wal;
     match apply_in_place t accepted with
@@ -371,7 +382,7 @@ let ingest_report t deltas =
          whole batch *)
       rollback_engines t;
       Validator.rollback t.validator;
-      Option.iter (fun w -> Wal.append w (Wal.Abort { seq })) t.wal;
+      Option.iter (fun w -> Wal.append ~sync w (Wal.Abort { seq })) t.wal;
       t.seq <- seq;
       let detail = engine_error_detail e in
       let aborted =
@@ -383,7 +394,19 @@ let ingest_report t deltas =
       { batch = seq; applied = 0; rejected = rejected @ aborted }
   end
 
+let ingest_report t deltas = ingest_report_with ~sync:true t deltas
 let ingest t deltas = ignore (ingest_report t deltas)
+
+(* Group commit: every batch of the burst stages its WAL record in the
+   writer's buffer; one [Wal.sync] then makes the whole burst durable with a
+   single write and fsync. Deferred acknowledgement — a crash inside the
+   burst can lose a suffix of the staged batches, but recovery always comes
+   back at a batch boundary of the durable prefix, so the resume cursor
+   ({!ingested_batches}) stays valid. *)
+let ingest_all t batches =
+  let reports = List.map (ingest_report_with ~sync:false t) batches in
+  Option.iter Wal.sync t.wal;
+  reports
 
 (* --- recovery ----------------------------------------------------------- *)
 

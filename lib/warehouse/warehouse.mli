@@ -115,6 +115,25 @@ val ingest : t -> Relational.Delta.t list -> unit
 (** As {!ingest}, returning what happened. *)
 val ingest_report : t -> Relational.Delta.t list -> report
 
+(** [ingest_all t batches] ingests a burst of batches under {e group
+    commit}: each batch stages its WAL record in the writer's buffer and a
+    single {!Wal.sync} — one write, one fsync — makes the whole burst
+    durable before the reports are returned. Durability acknowledgement is
+    deferred to that final sync: a crash inside the burst can lose staged
+    batches, but recovery still comes back at a batch boundary of the
+    durable prefix and {!ingested_batches} remains a valid resume cursor.
+    Validation, atomicity and quarantine behave exactly as [List.map
+    (ingest_report t) batches]. On an unattached warehouse the two are
+    indistinguishable. *)
+val ingest_all : t -> Relational.Delta.t list list -> report list
+
+(** [set_parallel t (Some pool)] makes every subsequent batch apply through
+    the compacted shard-parallel fast path ({!Maintenance.Engine.apply_batch}
+    with [?parallel]) on engines that support it; [None] (the initial state)
+    restores plain serial application. Runtime configuration, not state: it
+    is never persisted, and {!load}/{!recover} reset it to [None]. *)
+val set_parallel : t -> Maintenance.Shard.pool option -> unit
+
 (** The dead-letter queue, oldest first. *)
 val dead_letters : t -> Relational.Delta.rejection list
 

@@ -102,5 +102,5 @@ A corrupted snapshot is refused before anything is unmarshalled:
 An unknown crash point is rejected up front:
 
   $ MINVIEW_FAULT=bogus ../../bin/minview.exe demo
-  MINVIEW_FAULT: unknown crash point "bogus" (known: after-wal-append, mid-engine-apply, mid-checkpoint, before-wal-truncate, after-truncate-rename)
+  MINVIEW_FAULT: unknown crash point "bogus" (known: after-wal-append, mid-engine-apply, mid-checkpoint, before-wal-truncate, after-truncate-rename, mid-group-commit)
   [2]

@@ -1,0 +1,332 @@
+(* Parallel-apply determinism: the compacted shard-parallel fast path of
+   [Engine.apply_batch ?parallel] must leave state structurally identical
+   ([Engines.equal_state]) to serial application of the same batch — across
+   engine configurations, seeds, domain counts and batch shapes, including
+   a rejected batch rolled back under parallel apply. Plus unit tests for
+   the net-effect compactor ([Delta_batch]). *)
+
+open Helpers
+module Engines = Maintenance.Engines
+module Shard = Maintenance.Shard
+module Delta_batch = Relational.Delta_batch
+
+let test case fn = Alcotest.test_case case `Quick fn
+
+let tiny =
+  {
+    Workload.Retail.days = 6;
+    stores = 2;
+    products = 10;
+    sold_per_store_day = 3;
+    tx_per_product = 2;
+    brands = 3;
+    seed = 7;
+  }
+
+let insert_only = { Workload.Delta_gen.insert = 1; delete = 0; update = 0 }
+
+type case = {
+  cname : string;
+  build : Database.t -> Engines.t;
+  cview : View.t;
+  mix : Workload.Delta_gen.op_mix;
+}
+
+let cases =
+  [
+    {
+      cname = "minimal";
+      build = (fun db -> Engines.minimal db Workload.Retail.monthly_revenue);
+      cview = Workload.Retail.monthly_revenue;
+      mix = Workload.Delta_gen.default_mix;
+    };
+    {
+      cname = "minimal-distinct";
+      build = (fun db -> Engines.minimal db Workload.Retail.product_sales);
+      cview = Workload.Retail.product_sales;
+      mix = Workload.Delta_gen.default_mix;
+    };
+    {
+      cname = "psj";
+      build = (fun db -> Engines.psj db Workload.Retail.monthly_revenue);
+      cview = Workload.Retail.monthly_revenue;
+      mix = Workload.Delta_gen.default_mix;
+    };
+    {
+      cname = "sales-by-time";
+      build = (fun db -> Engines.minimal db Workload.Retail.sales_by_time);
+      cview = Workload.Retail.sales_by_time;
+      mix = Workload.Delta_gen.default_mix;
+    };
+    {
+      cname = "append-only";
+      build = (fun db -> Engines.append_only db Workload.Retail.monthly_revenue);
+      cview = Workload.Retail.monthly_revenue;
+      mix = insert_only;
+    };
+    {
+      cname = "partitioned";
+      build =
+        (fun db ->
+          Engines.partitioned db Workload.Retail.sales_by_time
+            ~is_old:(fun tup -> Value.compare tup.(1) (i 3) <= 0));
+      cview = Workload.Retail.sales_by_time;
+      mix = insert_only;
+    };
+  ]
+
+(* The property: warm an engine up, copy it, apply the same fresh batch
+   serially to one copy and through the pool to the other — the two must be
+   structurally equal, and both must match recomputation over the evolved
+   source. *)
+let parallel_matches_serial case seed domains n () =
+  let db = Workload.Retail.load { tiny with seed } in
+  let serial = case.build db in
+  let rng = Workload.Prng.create ((seed * 17) + domains) in
+  Engines.apply_batch serial
+    (Workload.Delta_gen.stream ~mix:case.mix rng db ~n:40);
+  let par = Engines.copy serial in
+  let batch = Workload.Delta_gen.stream ~mix:case.mix rng db ~n in
+  Engines.apply_batch serial batch;
+  let pool = Shard.create ~domains in
+  Engines.apply_batch ~parallel:pool par batch;
+  Alcotest.(check bool)
+    (Printf.sprintf "parallel(%d) state == serial state" domains)
+    true
+    (Engines.equal_state serial par);
+  Alcotest.check relation "parallel view tracks recomputation"
+    (Algebra.Eval.eval db case.cview)
+    (Engines.view_contents par)
+
+(* Push a batch past the engine's inline threshold (512 compacted root
+   operations) so both phases really fan out over worker domains: every
+   insert carries a distinct price, so no two merge and the op count stays
+   at 1000. *)
+let big_batch_parallel domains () =
+  let db = Workload.Retail.load tiny in
+  let serial = Engines.minimal db Workload.Retail.sales_by_time in
+  let rng = Workload.Prng.create 41 in
+  Engines.apply_batch serial (Workload.Delta_gen.stream rng db ~n:40);
+  let par = Engines.copy serial in
+  let batch =
+    List.init 1_000 (fun j ->
+        Delta.insert "sale"
+          (row
+             [ i (2_000_000 + j); i ((j mod 6) + 1); i ((j mod 10) + 1);
+               i ((j mod 2) + 1); i (j + 1) ]))
+  in
+  Engines.apply_batch serial batch;
+  Engines.apply_batch ~parallel:(Shard.create ~domains) par batch;
+  Alcotest.(check bool)
+    (Printf.sprintf "big-batch parallel(%d) == serial" domains)
+    true
+    (Engines.equal_state serial par)
+
+let determinism_tests =
+  List.concat_map
+    (fun case ->
+      List.concat_map
+        (fun seed ->
+          List.concat_map
+            (fun domains ->
+              List.map
+                (fun n ->
+                  test
+                    (Printf.sprintf "%s: seed %d, %d domains, batch %d"
+                       case.cname seed domains n)
+                    (parallel_matches_serial case seed domains n))
+                [ 1; 25; 200 ])
+            [ 1; 2; 4 ])
+        [ 3; 4 ])
+    cases
+  @ List.map
+      (fun domains ->
+        test
+          (Printf.sprintf "big batch crosses the inline threshold, %d domains"
+             domains)
+          (big_batch_parallel domains))
+      [ 2; 4 ]
+
+(* A poisoned batch (NULL in a summed column) must raise under parallel
+   apply exactly as under serial, and rollback must restore the pre-batch
+   state bit for bit. *)
+let parallel_rollback domains () =
+  let db = Workload.Retail.load tiny in
+  let eng = Engines.minimal db Workload.Retail.monthly_revenue in
+  let rng = Workload.Prng.create 23 in
+  Engines.apply_batch eng (Workload.Delta_gen.stream rng db ~n:40);
+  let snapshot = Engines.copy eng in
+  let valid = Workload.Delta_gen.stream rng db ~n:10 in
+  (* timeid 6 passes the view's 1997 semijoin, so the NULL price reaches
+     the aggregation *)
+  let poison =
+    Delta.insert "sale" (row [ i 1_000_001; i 6; i 1; i 1; Value.Null ])
+  in
+  let pool = Shard.create ~domains in
+  Engines.begin_txn eng;
+  (match Engines.apply_batch ~parallel:pool eng (valid @ [ poison ]) with
+  | () -> Alcotest.fail "the poisoned batch must raise"
+  | exception _ -> ());
+  Engines.rollback eng;
+  Alcotest.(check bool)
+    "rollback restores the pre-batch state" true
+    (Engines.equal_state eng snapshot);
+  (* the engine stays fully usable afterwards, serial and parallel *)
+  Engines.apply_batch ~parallel:pool eng valid;
+  Alcotest.check relation "post-rollback maintenance tracks recomputation"
+    (Algebra.Eval.eval db Workload.Retail.monthly_revenue)
+    (Engines.view_contents eng)
+
+let rollback_tests =
+  List.map
+    (fun domains ->
+      test
+        (Printf.sprintf "poisoned batch under %d domains rolls back" domains)
+        (parallel_rollback domains))
+    [ 1; 2; 4 ]
+
+(* --- Delta_batch unit tests --------------------------------------------- *)
+
+let sale id ?(timeid = 1) ?(price = 10) () =
+  row [ i id; i timeid; i 1; i 1; i price ]
+
+let key_index tbl =
+  Relational.Schema.key_index
+    (Database.schema_of (Workload.Retail.empty ()) tbl)
+
+let net deltas = Delta_batch.net ~key_index deltas
+
+let delta : Delta.t Alcotest.testable =
+  Alcotest.testable Delta.pp (fun a b ->
+      a.Delta.table = b.Delta.table
+      &&
+      match (a.Delta.change, b.Delta.change) with
+      | Delta.Insert x, Delta.Insert y | Delta.Delete x, Delta.Delete y ->
+        Tuple.equal x y
+      | Delta.Update u, Delta.Update v ->
+        Tuple.equal u.before v.before && Tuple.equal u.after v.after
+      | _ -> false)
+
+let compactor_tests =
+  [
+    test "insert then delete cancels" (fun () ->
+        let t =
+          net [ Delta.insert "sale" (sale 1 ());
+                Delta.delete "sale" (sale 1 ()) ]
+        in
+        Alcotest.(check (list delta)) "no net deltas" [] (Delta_batch.deltas t);
+        Alcotest.(check int) "stats.input" 2 t.Delta_batch.stats.input;
+        Alcotest.(check int) "stats.output" 0 t.Delta_batch.stats.output);
+    test "insert then update nets to one insert" (fun () ->
+        let t =
+          net
+            [ Delta.insert "sale" (sale 1 ~price:10 ());
+              Delta.update "sale" ~before:(sale 1 ~price:10 ())
+                ~after:(sale 1 ~price:25 ()) ]
+        in
+        Alcotest.(check (list delta))
+          "net insert of the after-image"
+          [ Delta.insert "sale" (sale 1 ~price:25 ()) ]
+          (Delta_batch.deltas t));
+    test "update chain composes endpoints" (fun () ->
+        let t =
+          net
+            [ Delta.update "sale" ~before:(sale 1 ~price:10 ())
+                ~after:(sale 1 ~price:20 ());
+              Delta.update "sale" ~before:(sale 1 ~price:20 ())
+                ~after:(sale 1 ~price:30 ()) ]
+        in
+        Alcotest.(check (list delta))
+          "one composed update"
+          [ Delta.update "sale" ~before:(sale 1 ~price:10 ())
+              ~after:(sale 1 ~price:30 ()) ]
+          (Delta_batch.deltas t));
+    test "a round-tripping update chain cancels" (fun () ->
+        let t =
+          net
+            [ Delta.update "sale" ~before:(sale 1 ~price:10 ())
+                ~after:(sale 1 ~price:20 ());
+              Delta.update "sale" ~before:(sale 1 ~price:20 ())
+                ~after:(sale 1 ~price:10 ()) ]
+        in
+        Alcotest.(check (list delta)) "no net deltas" [] (Delta_batch.deltas t));
+    test "delete then reinsert nets to an update" (fun () ->
+        let t =
+          net
+            [ Delta.delete "sale" (sale 1 ~price:10 ());
+              Delta.insert "sale" (sale 1 ~price:40 ()) ]
+        in
+        Alcotest.(check (list delta))
+          "one update"
+          [ Delta.update "sale" ~before:(sale 1 ~price:10 ())
+              ~after:(sale 1 ~price:40 ()) ]
+          (Delta_batch.deltas t));
+    test "delete then identical reinsert cancels" (fun () ->
+        let t =
+          net
+            [ Delta.delete "sale" (sale 1 ());
+                Delta.insert "sale" (sale 1 ()) ]
+        in
+        Alcotest.(check (list delta)) "no net deltas" [] (Delta_batch.deltas t));
+    test "a key-changing update decomposes into delete + insert" (fun () ->
+        let t =
+          net
+            [ Delta.update "sale" ~before:(sale 1 ~price:10 ())
+                ~after:(sale 2 ~price:10 ()) ]
+        in
+        Alcotest.(check (list delta))
+          "delete old slot, insert new slot"
+          [ Delta.delete "sale" (sale 1 ~price:10 ());
+            Delta.insert "sale" (sale 2 ~price:10 ()) ]
+          (Delta_batch.deltas t));
+    test "untouched slots pass through in first-touch order" (fun () ->
+        let ds =
+          [ Delta.insert "sale" (sale 3 ()); Delta.insert "sale" (sale 1 ());
+            Delta.insert "sale" (sale 2 ()) ]
+        in
+        Alcotest.(check (list delta)) "order preserved" ds
+          (Delta_batch.deltas (net ds)));
+    test "a duplicate insert is rejected" (fun () ->
+        (* the delete forces the table through the netting path; a
+           pure-insert batch passes through untouched, deferring duplicate
+           detection to the validator just like the serial path *)
+        match
+          net
+            [ Delta.delete "sale" (sale 9 ()); Delta.insert "sale" (sale 1 ());
+              Delta.insert "sale" (sale 1 ()) ]
+        with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument");
+    test "a double delete is rejected" (fun () ->
+        match net [ Delta.delete "sale" (sale 1 ()); Delta.delete "sale" (sale 1 ()) ] with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument");
+  ]
+
+(* net_profile mirrors what the fast path would do; on a heavily skewed
+   batch the applied count collapses *)
+let profile_tests =
+  [
+    test "net_profile collapses churn on one slot" (fun () ->
+        let db = Workload.Retail.load tiny in
+        let eng = Maintenance.Engine.init db (Mindetail.Derive.derive db Workload.Retail.monthly_revenue) in
+        let tup p = sale 1_000_002 ~timeid:2 ~price:p () in
+        let churn =
+          Delta.insert "sale" (tup 10)
+          :: List.concat_map
+               (fun p ->
+                 [ Delta.update "sale" ~before:(tup p) ~after:(tup (p + 1)) ])
+               (List.init 20 (fun k -> k + 10))
+        in
+        let prof = Maintenance.Engine.net_profile eng churn in
+        Alcotest.(check int) "input" 21 prof.Maintenance.Engine.input;
+        Alcotest.(check int) "netted" 1 prof.Maintenance.Engine.netted;
+        Alcotest.(check int) "applied" 1 prof.Maintenance.Engine.applied);
+  ]
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ("determinism", determinism_tests); ("parallel-rollback", rollback_tests);
+      ("delta-batch", compactor_tests); ("net-profile", profile_tests);
+    ]

@@ -77,7 +77,11 @@ let crash_and_recover point seed () =
     | Faults.Mid_checkpoint | Faults.Before_wal_truncate
     | Faults.After_truncate_rename ->
       1
-    | Faults.After_wal_append | Faults.Mid_engine_apply -> 2
+    | Faults.After_wal_append | Faults.Mid_engine_apply
+    (* every synced append passes the group-commit point; crash on the third
+       batch's write, leaving its frame torn on disk *)
+    | Faults.Mid_group_commit ->
+      2
   in
   Faults.arm ~skip point;
   let crashed = ref false in
@@ -153,6 +157,56 @@ let durability_tests =
         let wh' = Warehouse.recover ~dir in
         Alcotest.(check int) "all full batches survive" 3
           (Warehouse.ingested_batches wh');
+        check_views wh' db;
+        Warehouse.close wh');
+    test "group commit: one sync makes the whole burst durable" (fun () ->
+        let db, wh = build () in
+        let dir = fresh_dir "wh_group_commit_dir" in
+        Warehouse.attach wh ~dir;
+        let rng = Workload.Prng.create 9 in
+        let batches =
+          List.init 4 (fun _ -> Workload.Delta_gen.stream rng db ~n:15)
+        in
+        let reports = Warehouse.ingest_all wh batches in
+        Alcotest.(check (list int))
+          "sequence numbers" [ 1; 2; 3; 4 ]
+          (List.map (fun r -> r.Warehouse.batch) reports);
+        Warehouse.close wh;
+        let wh' = Warehouse.recover ~dir in
+        Alcotest.(check int) "all batches durable" 4
+          (Warehouse.ingested_batches wh');
+        check_views wh' db;
+        Warehouse.close wh');
+    test "crash mid group commit loses only a burst suffix" (fun () ->
+        let db, wh = build () in
+        let dir = fresh_dir "wh_group_crash_dir" in
+        Warehouse.attach wh ~dir;
+        let rng = Workload.Prng.create 10 in
+        let batches =
+          List.init 6 (fun _ -> Workload.Delta_gen.stream rng db ~n:15)
+        in
+        (* the staged appends never sync; the burst's one durability barrier
+           is the final Wal.sync, and the power cut hits mid-write there *)
+        Faults.arm Faults.Mid_group_commit;
+        (match Warehouse.ingest_all wh batches with
+        | _ -> Alcotest.fail "expected a crash"
+        | exception Faults.Crash p ->
+          Alcotest.(check bool)
+            "crashed at mid-group-commit" true
+            (p = Faults.Mid_group_commit));
+        Faults.disarm ();
+        Warehouse.close wh;
+        let wh' = Warehouse.recover ~dir in
+        (* the torn tail is dropped; what survives is a batch-boundary
+           prefix of the burst, and the resume cursor is exact *)
+        let already = Warehouse.ingested_batches wh' in
+        Alcotest.(check bool)
+          "a proper prefix survived" true
+          (already < 6);
+        List.iteri
+          (fun idx batch ->
+            if idx >= already then Warehouse.ingest wh' batch)
+          batches;
         check_views wh' db;
         Warehouse.close wh');
     test "checkpoint without attach is refused" (fun () ->
