@@ -59,6 +59,13 @@ type t = {
   scratch_key : Tuple.t;  (** reusable group-key buffer, serial path only *)
   scratch_cs : View_state.contrib option array;
       (** reusable contribution buffer, serial path only *)
+  obs_groups : Telemetry.Gauge.t;  (** resident view groups *)
+  mutable obs_aux :
+    (string * Telemetry.Gauge.t * Telemetry.Gauge.t * Telemetry.Gauge.t) list;
+      (** per auxiliary view, keyed by base table: resident rows, detail
+          rows represented, compression ratio (handles are process-global,
+          so engine copies share them; the table key makes the copy read
+          its own [aux] states) *)
 }
 
 exception Invariant of string
@@ -68,6 +75,63 @@ let invariant fmt = Format.kasprintf (fun s -> raise (Invariant s)) fmt
 let log_src = Logs.Src.create "mindetail.engine" ~doc:"self-maintenance engine"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* Telemetry handles, registered once at module load; counters and phase
+   histograms are process-global across engine instances (per-view storage
+   gauges live on [t] instead, keyed by view/aux labels). *)
+module Obs = struct
+  let phase p =
+    Telemetry.Histogram.make
+      ~labels:[ ("phase", p) ]
+      ~help:"Latency of one maintenance pipeline phase"
+      "minview_engine_phase_seconds"
+
+  let compact = phase "compact"
+  let weighted_merge = phase "weighted-merge"
+  let dim_apply = phase "dim-apply"
+  let prepare = phase "prepare"
+  let shard_apply = phase "shard-apply"
+  let view_update = phase "view-update"
+
+  let apply_mode m =
+    Telemetry.Histogram.make
+      ~labels:[ ("mode", m) ]
+      ~help:"End-to-end latency of Engine.apply_batch"
+      "minview_engine_apply_seconds"
+
+  let apply_serial = apply_mode "serial"
+  let apply_parallel = apply_mode "parallel"
+
+  let batches m =
+    Telemetry.Counter.make
+      ~labels:[ ("mode", m) ]
+      ~help:"Batches applied" "minview_engine_batches_total"
+
+  let batches_serial = batches "serial"
+  let batches_parallel = batches "parallel"
+
+  let deltas_total =
+    Telemetry.Counter.make
+      ~help:"Deltas received that touch a view table (both apply modes)"
+      "minview_engine_deltas_total"
+
+  let deltas_netted =
+    Telemetry.Counter.make
+      ~help:"Deltas surviving net-effect compaction (parallel path)"
+      "minview_engine_deltas_netted_total"
+
+  let ops_applied =
+    Telemetry.Counter.make
+      ~help:"Compacted operations actually applied (parallel path)"
+      "minview_engine_ops_applied_total"
+
+  let merge_folds =
+    Telemetry.Counter.make
+      ~help:
+        "Root changes folded away by the weighted duplicate merge (the \
+         paper's smart duplicate compression on the delta stream)"
+      "minview_engine_merge_folds_total"
+end
 
 let derivation t = t.d
 
@@ -560,7 +624,7 @@ let finalize_distinct (agg : Aggregate.t) set =
 
 type recompute_acc = R_extremum of Value.t option ref | R_distinct of VSet.t ref
 
-let flush t =
+let flush_dirty t =
   match View_state.take_dirty t.vstate with
   | [] -> ()
   | dirty_keys ->
@@ -665,6 +729,33 @@ let flush t =
               | None -> ()))
           targets)
       dirty
+
+(* The paper-facing dashboard: per auxiliary view, resident rows vs. the
+   detail rows they stand for (the sum of the stored count weights) — the
+   live analogue of the 245 GB → 167 MB table. [row_count]/[base_count] are
+   O(shards), so refreshing after every batch is cheap. *)
+let update_storage_gauges t =
+  if Telemetry.enabled () then begin
+    Telemetry.Gauge.set t.obs_groups
+      (float_of_int (View_state.group_count t.vstate));
+    List.iter
+      (fun (tbl, resident, detail, ratio) ->
+        match aux_of t tbl with
+        | None -> ()
+        | Some st ->
+          let rows = Aux_state.row_count st in
+          let base = Aux_state.base_count st in
+          Telemetry.Gauge.set resident (float_of_int rows);
+          Telemetry.Gauge.set detail (float_of_int base);
+          Telemetry.Gauge.set ratio
+            (if rows = 0 then 0.
+             else float_of_int base /. float_of_int rows))
+      t.obs_aux
+  end
+
+let flush t =
+  flush_dirty t;
+  update_storage_gauges t
 
 (* --- initialization ---------------------------------------------------- *)
 
@@ -774,6 +865,12 @@ let init ?(fk_index = true) db (d : Derive.t) =
       root_reads;
       scratch_key = Array.make (Array.length group_plan) Value.Null;
       scratch_cs = Array.make (Array.length plans) None;
+      obs_groups =
+        Telemetry.Gauge.make
+          ~labels:[ ("view", view.View.name) ]
+          ~help:"Resident groups of the materialized view"
+          "minview_view_groups";
+      obs_aux = [];
     }
   in
   (* build auxiliary states children-first so semijoin targets exist *)
@@ -807,6 +904,28 @@ let init ?(fk_index = true) db (d : Derive.t) =
               Aux_state.insert_base st tup)
           ())
     (post_order d.Derive.graph);
+  t.obs_aux <-
+    Hashtbl.fold
+      (fun tbl st acc ->
+        let labels =
+          [
+            ("view", view.View.name);
+            ("aux", (Aux_state.spec st).Auxview.name);
+            ("base", tbl);
+          ]
+        in
+        ( tbl,
+          Telemetry.Gauge.make ~labels
+            ~help:"Resident rows of the auxiliary view"
+            "minview_aux_resident_rows",
+          Telemetry.Gauge.make ~labels
+            ~help:"Detail (base) rows the auxiliary view represents"
+            "minview_aux_detail_rows",
+          Telemetry.Gauge.make ~labels
+            ~help:"Detail rows per resident row (compression factor)"
+            "minview_aux_compression_ratio" )
+        :: acc)
+      t.aux [];
   Log.info (fun m ->
       m "initializing %s: %d auxiliary view(s), %s"
         view.View.name (Hashtbl.length t.aux)
@@ -921,47 +1040,51 @@ let apply_root_ops t pool ops =
      tests and join probes read dimension auxiliary views (concurrent pure
      reads of hash tables are safe; nothing mutates during this phase),
      group keys and contributions are materialized per operation. *)
-  Shard.run pool ~workers:nw (fun w ->
-      let lo = n * w / nw and hi = n * (w + 1) / nw in
-      for i = lo to hi - 1 do
-        let op = ops.(i) in
-        if op.net <> 0 then begin
-          (match root_st with
-          | Some st when in_aux t t.root op.rep ->
-            op.aux_shard <- Aux_state.shard_of_base st op.rep
-          | Some _ | None -> ());
-          if passes_locals t t.root op.rep then
-            match extend t [ (t.root, Base op.rep) ] t.root with
-            | None -> ()
-            | Some env ->
-              let key = group_key t env in
-              op.feed <- Some (key, contribs t env ~cnt:(abs op.net));
-              op.view_shard <- View_state.shard_of_key t.vstate key
-        end
-      done);
+  Telemetry.with_phase Obs.prepare "engine.prepare" (fun () ->
+      Shard.run pool ~workers:nw (fun w ->
+          let lo = n * w / nw and hi = n * (w + 1) / nw in
+          for i = lo to hi - 1 do
+            let op = ops.(i) in
+            if op.net <> 0 then begin
+              (match root_st with
+              | Some st when in_aux t t.root op.rep ->
+                op.aux_shard <- Aux_state.shard_of_base st op.rep
+              | Some _ | None -> ());
+              if passes_locals t t.root op.rep then
+                match extend t [ (t.root, Base op.rep) ] t.root with
+                | None -> ()
+                | Some env ->
+                  let key = group_key t env in
+                  op.feed <- Some (key, contribs t env ~cnt:(abs op.net));
+                  op.view_shard <- View_state.shard_of_key t.vstate key
+            end
+          done));
   (* Phase B — application: every shard (root aux and view state) is owned
      by exactly one worker, so no hash table is ever shared. Each worker
      applies all positive operations before any negative one: counts then
      stay at or above their final value throughout, so a group whose net
      change is zero is never transiently destroyed (which would lose
      extremum/DISTINCT components and dirty marks). *)
-  Shard.run pool ~workers:nw (fun w ->
-      let apply_op op =
-        let cnt = abs op.net in
-        (if op.aux_shard >= 0 && Shard.owns ~worker:w ~workers:nw op.aux_shard
-         then
-           let st = Option.get root_st in
-           if op.net > 0 then Aux_state.insert_base ~count:cnt st op.rep
-           else Aux_state.delete_base ~count:cnt st op.rep);
-        match op.feed with
-        | Some (key, cs) when Shard.owns ~worker:w ~workers:nw op.view_shard
-          ->
-          if op.net > 0 then View_state.feed t.vstate ~key ~cnt cs
-          else View_state.unfeed t.vstate ~key ~cnt cs
-        | Some _ | None -> ()
-      in
-      Array.iter (fun op -> if op.net > 0 then apply_op op) ops;
-      Array.iter (fun op -> if op.net < 0 then apply_op op) ops)
+  Telemetry.with_phase Obs.shard_apply "engine.shard-apply" (fun () ->
+      Shard.run pool ~workers:nw (fun w ->
+          let apply_op op =
+            let cnt = abs op.net in
+            (if
+               op.aux_shard >= 0
+               && Shard.owns ~worker:w ~workers:nw op.aux_shard
+             then
+               let st = Option.get root_st in
+               if op.net > 0 then Aux_state.insert_base ~count:cnt st op.rep
+               else Aux_state.delete_base ~count:cnt st op.rep);
+            match op.feed with
+            | Some (key, cs)
+              when Shard.owns ~worker:w ~workers:nw op.view_shard ->
+              if op.net > 0 then View_state.feed t.vstate ~key ~cnt cs
+              else View_state.unfeed t.vstate ~key ~cnt cs
+            | Some _ | None -> ()
+          in
+          Array.iter (fun op -> if op.net > 0 then apply_op op) ops;
+          Array.iter (fun op -> if op.net < 0 then apply_op op) ops))
 
 (* Netted batch application: dimension phases run serially in join-tree
    order (inserts leaves-first so join partners exist, deletes root-first so
@@ -983,7 +1106,16 @@ let apply_batch_parallel t pool deltas =
                update"
               d.Delta.table)
       deltas;
-  let net = net_batch t deltas in
+  let net =
+    Telemetry.with_phase Obs.compact "engine.compact" (fun () ->
+        net_batch t deltas)
+  in
+  if Telemetry.enabled () then begin
+    Telemetry.Counter.inc Obs.deltas_total
+      net.Delta_batch.stats.Delta_batch.input;
+    Telemetry.Counter.inc Obs.deltas_netted
+      net.Delta_batch.stats.Delta_batch.output
+  end;
   let root_deltas = ref [] in
   let dims = ref [] in
   List.iter
@@ -995,42 +1127,83 @@ let apply_batch_parallel t pool deltas =
     List.sort (fun (a, _, _) (b, _, _) -> compare b a) (List.rev !dims)
   in
   let shallow_first = List.rev deep_first in
-  List.iter
-    (fun (_, tbl, ds) ->
+  Telemetry.with_phase Obs.dim_apply "engine.dim-apply" (fun () ->
       List.iter
-        (fun (d : Delta.t) ->
-          match d.Delta.change with
-          | Delta.Insert tup -> dim_insert t tbl tup
-          | Delta.Delete _ | Delta.Update _ -> ())
-        ds)
-    deep_first;
-  List.iter
-    (fun (_, tbl, ds) ->
+        (fun (_, tbl, ds) ->
+          List.iter
+            (fun (d : Delta.t) ->
+              match d.Delta.change with
+              | Delta.Insert tup -> dim_insert t tbl tup
+              | Delta.Delete _ | Delta.Update _ -> ())
+            ds)
+        deep_first;
       List.iter
-        (fun (d : Delta.t) ->
-          match d.Delta.change with
-          | Delta.Update { before; after } -> dim_update t tbl ~before ~after
-          | Delta.Insert _ | Delta.Delete _ -> ())
-        ds)
-    deep_first;
-  apply_root_ops t pool (root_merge t !root_deltas);
-  List.iter
-    (fun (_, tbl, ds) ->
+        (fun (_, tbl, ds) ->
+          List.iter
+            (fun (d : Delta.t) ->
+              match d.Delta.change with
+              | Delta.Update { before; after } ->
+                dim_update t tbl ~before ~after
+              | Delta.Insert _ | Delta.Delete _ -> ())
+            ds)
+        deep_first);
+  let ops =
+    Telemetry.with_phase Obs.weighted_merge "engine.weighted-merge" (fun () ->
+        root_merge t !root_deltas)
+  in
+  if Telemetry.enabled () then begin
+    let root_changes =
+      List.fold_left
+        (fun acc (d : Delta.t) ->
+          acc
+          + match d.Delta.change with Delta.Update _ -> 2 | _ -> 1)
+        0 !root_deltas
+    in
+    Telemetry.Counter.inc Obs.merge_folds (root_changes - Array.length ops);
+    let dim_ops =
+      List.fold_left
+        (fun acc (_, _, ds) -> acc + List.length ds)
+        0 deep_first
+    in
+    let root_ops =
+      Array.fold_left
+        (fun acc op -> if op.net <> 0 then acc + 1 else acc)
+        0 ops
+    in
+    Telemetry.Counter.inc Obs.ops_applied (dim_ops + root_ops)
+  end;
+  apply_root_ops t pool ops;
+  Telemetry.with_phase Obs.dim_apply "engine.dim-apply" (fun () ->
       List.iter
-        (fun (d : Delta.t) ->
-          match d.Delta.change with
-          | Delta.Delete tup -> dim_delete t tbl tup
-          | Delta.Insert _ | Delta.Update _ -> ())
-        ds)
-    shallow_first;
-  flush t
+        (fun (_, tbl, ds) ->
+          List.iter
+            (fun (d : Delta.t) ->
+              match d.Delta.change with
+              | Delta.Delete tup -> dim_delete t tbl tup
+              | Delta.Insert _ | Delta.Update _ -> ())
+            ds)
+        shallow_first);
+  Telemetry.with_phase Obs.view_update "engine.view-update" (fun () ->
+      flush t)
 
 let apply_batch ?parallel t deltas =
   match parallel with
   | None ->
-    List.iter (route t) deltas;
-    flush t
-  | Some pool -> apply_batch_parallel t pool deltas
+    Telemetry.Counter.one Obs.batches_serial;
+    if Telemetry.enabled () then
+      Telemetry.Counter.inc Obs.deltas_total
+        (List.length (known_deltas t deltas));
+    Telemetry.with_phase Obs.apply_serial "engine.apply-batch"
+      ~attrs:[ ("mode", "serial"); ("view", t.view.View.name) ]
+      (fun () ->
+        List.iter (route t) deltas;
+        Telemetry.with_phase Obs.view_update "engine.view-update" (fun () ->
+            flush t))
+  | Some pool ->
+    Telemetry.Counter.one Obs.batches_parallel;
+    Telemetry.with_phase Obs.apply_parallel "engine.apply-batch"
+      ~attrs:[ ("mode", "parallel"); ("view", t.view.View.name) ]
+      (fun () -> apply_batch_parallel t pool deltas)
 
 type batch_profile = { input : int; netted : int; applied : int }
 

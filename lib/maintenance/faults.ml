@@ -38,6 +38,12 @@ let hit point =
       (* disarm first: recovery code running in the same process after the
          simulated crash must not crash again at the same point *)
       disarm ();
+      (* registered lazily — crashes are rare and injected *)
+      Telemetry.Counter.one
+        (Telemetry.Counter.make
+           ~labels:[ ("point", to_string point) ]
+           ~help:"Injected crashes raised at this crash point"
+           "minview_faults_crashes_total");
       raise (Crash point)
     end
     else decr remaining

@@ -88,20 +88,64 @@ let await w =
   Mutex.unlock w.m;
   error
 
+module Obs = struct
+  let run_seconds =
+    Telemetry.Histogram.make
+      ~help:"Wall-clock latency of one multi-worker pool run"
+      "minview_shard_run_seconds"
+
+  let imbalance =
+    Telemetry.Gauge.make
+      ~help:"Busiest worker / mean worker busy time of the last pool run"
+      "minview_shard_imbalance_ratio"
+
+  (* registration is idempotent, so fetching the per-worker gauge by label
+     on every run is just a registry lookup (worker counts are small) *)
+  let busy w =
+    Telemetry.Gauge.make
+      ~labels:[ ("worker", string_of_int w) ]
+      ~help:"Cumulative busy time of this pool worker across runs"
+      "minview_shard_worker_busy_seconds_total"
+end
+
+let run_jobs pool n f =
+  ensure_workers pool;
+  for w = 1 to n - 1 do
+    post pool.workers.(w - 1) f
+  done;
+  let err0 = (try f 0; None with exn -> Some exn) in
+  let errors = Array.init (n - 1) (fun i -> await pool.workers.(i)) in
+  (match err0 with Some exn -> raise exn | None -> ());
+  Array.iter (function Some exn -> raise exn | None -> ()) errors
+
 (* [run pool n f] executes [f w] for workers [w = 0 .. n-1] where
    [n = min pool.domains n_wanted]; worker 0 runs on the calling domain. *)
 let run pool ~workers:wanted f =
   let n = min pool.domains (max 1 wanted) in
   if n = 1 then f 0
+  else if not (Telemetry.enabled ()) then run_jobs pool n f
   else begin
-    ensure_workers pool;
-    for w = 1 to n - 1 do
-      post pool.workers.(w - 1) f
-    done;
-    let err0 = (try f 0; None with exn -> Some exn) in
-    let errors = Array.init (n - 1) (fun i -> await pool.workers.(i)) in
-    (match err0 with Some exn -> raise exn | None -> ());
-    Array.iter (function Some exn -> raise exn | None -> ()) errors
+    (* each busy slot is written by exactly one domain, and the post/await
+       mutexes order those writes before the caller's read below *)
+    let busy = Array.make n 0. in
+    let timed w =
+      let t0 = Telemetry.now_s () in
+      Fun.protect
+        ~finally:(fun () -> busy.(w) <- Telemetry.now_s () -. t0)
+        (fun () -> f w)
+    in
+    let t0 = Telemetry.now_s () in
+    Fun.protect
+      ~finally:(fun () ->
+        Telemetry.Histogram.observe Obs.run_seconds
+          (Telemetry.now_s () -. t0);
+        let total = Array.fold_left ( +. ) 0. busy in
+        let max_busy = Array.fold_left Float.max 0. busy in
+        let mean = total /. float_of_int n in
+        Telemetry.Gauge.set Obs.imbalance
+          (if mean > 0. then max_busy /. mean else 1.);
+        Array.iteri (fun w d -> Telemetry.Gauge.add (Obs.busy w) d) busy)
+      (fun () -> run_jobs pool n timed)
   end
 
 (* Shard [s] of [nshards] belongs to worker [s mod n] — every worker owns a

@@ -1,0 +1,153 @@
+(* Library entry point: re-export the registry and tracer, and render
+   snapshots as JSON lines or Prometheus text exposition. *)
+
+module Metrics = Metrics
+module Trace = Trace
+module Counter = Metrics.Counter
+module Gauge = Metrics.Gauge
+module Histogram = Metrics.Histogram
+
+let enabled = Metrics.enabled
+
+(* Time [f] once and record it both as a histogram observation and as a
+   span — the common shape for pipeline phases. *)
+let with_phase ?(attrs = []) hist name f =
+  if not (Metrics.enabled ()) then f ()
+  else begin
+    let t0 = Metrics.now_s () in
+    let finish () =
+      let dur_s = Metrics.now_s () -. t0 in
+      Metrics.Histogram.observe hist dur_s;
+      Trace.record { Trace.name; start_s = t0; dur_s; attrs }
+    in
+    match f () with
+    | r ->
+      finish ();
+      r
+    | exception e ->
+      finish ();
+      raise e
+  end
+let set_enabled = Metrics.set_enabled
+let configure_from_env = Metrics.configure_from_env
+let now_s = Metrics.now_s
+let snapshot = Metrics.snapshot
+let reset = Metrics.reset
+
+(* JSON-safe float: JSON has no nan/inf, so map them to null / signed
+   "Inf" strings; integers render without an exponent. *)
+let json_float f =
+  if Float.is_nan f then "null"
+  else if f = infinity then "\"+Inf\""
+  else if f = neg_infinity then "\"-Inf\""
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.9g" f
+
+let json_labels labels =
+  labels
+  |> List.map (fun (k, v) ->
+         Printf.sprintf "\"%s\":\"%s\"" (Trace.json_escape k)
+           (Trace.json_escape v))
+  |> String.concat ","
+
+let snap_to_json (s : Metrics.snap) =
+  let common =
+    Printf.sprintf "\"name\":\"%s\",\"labels\":{%s}"
+      (Trace.json_escape s.s_name)
+      (json_labels s.s_labels)
+  in
+  match s.s_value with
+  | Metrics.Counter_v v ->
+    Printf.sprintf "{%s,\"type\":\"counter\",\"value\":%d}" common v
+  | Metrics.Gauge_v v ->
+    Printf.sprintf "{%s,\"type\":\"gauge\",\"value\":%s}" common (json_float v)
+  | Metrics.Histogram_v h ->
+    let buckets =
+      h.h_buckets |> Array.to_list
+      |> List.map (fun (le, n) ->
+             Printf.sprintf "{\"le\":%s,\"count\":%d}" (json_float le) n)
+      |> String.concat ","
+    in
+    Printf.sprintf
+      "{%s,\"type\":\"histogram\",\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s,\"buckets\":[%s]}"
+      common h.h_count (json_float h.h_sum) (json_float h.h_min)
+      (json_float h.h_max) buckets
+
+(* One metric per line: greppable, diffable, and a valid JSONL stream. *)
+let dump_json () =
+  snapshot () |> List.map snap_to_json |> String.concat "\n"
+
+(* --- Prometheus text exposition ----------------------------------------- *)
+
+let prom_float f =
+  if Float.is_nan f then "NaN"
+  else if f = infinity then "+Inf"
+  else if f = neg_infinity then "-Inf"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.9g" f
+
+let prom_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let prom_labels = function
+  | [] -> ""
+  | labels ->
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (prom_escape v))
+           labels)
+    ^ "}"
+
+let to_prometheus () =
+  let buf = Buffer.create 4096 in
+  let last_header = ref "" in
+  let header name help kind =
+    if !last_header <> name then begin
+      last_header := name;
+      if help <> "" then
+        Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+    end
+  in
+  List.iter
+    (fun (s : Metrics.snap) ->
+      let lbl extra = prom_labels (s.s_labels @ extra) in
+      match s.s_value with
+      | Metrics.Counter_v v ->
+        header s.s_name s.s_help "counter";
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s %d\n" s.s_name (lbl []) v)
+      | Metrics.Gauge_v v ->
+        header s.s_name s.s_help "gauge";
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s %s\n" s.s_name (lbl []) (prom_float v))
+      | Metrics.Histogram_v h ->
+        header s.s_name s.s_help "histogram";
+        let cum = ref 0 in
+        Array.iter
+          (fun (le, n) ->
+            cum := !cum + n;
+            Buffer.add_string buf
+              (Printf.sprintf "%s_bucket%s %d\n" s.s_name
+                 (lbl [ ("le", prom_float le) ])
+                 !cum))
+          h.h_buckets;
+        Buffer.add_string buf
+          (Printf.sprintf "%s_sum%s %s\n" s.s_name (lbl [])
+             (prom_float h.h_sum));
+        Buffer.add_string buf
+          (Printf.sprintf "%s_count%s %d\n" s.s_name (lbl []) h.h_count))
+    (snapshot ());
+  Buffer.contents buf

@@ -1,0 +1,49 @@
+(** Minview telemetry: domain-safe metrics + span tracing, rendered as
+    JSON lines or Prometheus text.
+
+    See {!Metrics} for the registry semantics (per-domain sharded cells,
+    idempotent registration, global enable switch) and {!Trace} for the
+    span ring and sinks. This module re-exports both plus the renderers
+    used by [minview metrics] / [minview trace]. *)
+
+module Metrics = Metrics
+module Trace = Trace
+
+(** Shorthand for {!Metrics.Counter} etc. *)
+
+module Counter = Metrics.Counter
+module Gauge = Metrics.Gauge
+module Histogram = Metrics.Histogram
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val configure_from_env : unit -> unit
+(** Disable collection when [$TELEMETRY] is [off]/[0]/[false]/[no]. *)
+
+val now_s : unit -> float
+
+val with_phase :
+  ?attrs:(string * string) list ->
+  Metrics.Histogram.t ->
+  string ->
+  (unit -> 'a) ->
+  'a
+(** Time the thunk once and record the duration both as a histogram
+    observation and as a span named [name] (also on exception). Runs the
+    thunk untimed when telemetry is disabled. *)
+
+val snapshot : unit -> Metrics.snap list
+
+val reset : unit -> unit
+(** Zero all metrics (for tests/benchmarks). *)
+
+val snap_to_json : Metrics.snap -> string
+(** One-line JSON object for a single metric. *)
+
+val dump_json : unit -> string
+(** All metrics, one JSON object per line, sorted by (name, labels). *)
+
+val to_prometheus : unit -> string
+(** Prometheus text exposition: [# HELP]/[# TYPE] headers, cumulative
+    [_bucket{le=...}] series plus [_sum]/[_count] for histograms. *)

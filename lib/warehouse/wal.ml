@@ -68,12 +68,36 @@ let read_all path =
 
 (* --- writing ----------------------------------------------------------- *)
 
+module Obs = struct
+  let appends =
+    Telemetry.Counter.make ~help:"WAL records appended"
+      "minview_wal_appends_total"
+
+  let syncs =
+    Telemetry.Counter.make ~help:"WAL durability barriers (fsync)"
+      "minview_wal_syncs_total"
+
+  let bytes =
+    Telemetry.Counter.make ~help:"WAL frame bytes pushed to the OS"
+      "minview_wal_bytes_written_total"
+
+  let fsync_seconds =
+    Telemetry.Histogram.make ~help:"fsync latency of WAL durability barriers"
+      "minview_wal_fsync_seconds"
+
+  let group_frames =
+    Telemetry.Histogram.make ~lo:1. ~factor:2. ~buckets:12
+      ~help:"Records made durable per group commit (burst size)"
+      "minview_wal_group_commit_frames"
+end
+
 type writer = {
   path : string;
   mutable oc : out_channel;
   (* frames accepted with [append ~sync:false] but not yet written — a group
      commit pushes the whole buffer to the OS in one write and one fsync *)
   pending : Buffer.t;
+  mutable staged : int;  (* records in [pending] — the group-commit burst *)
 }
 
 (* Make a rename inside [path]'s directory durable: without the directory
@@ -112,6 +136,7 @@ let open_append path =
     path;
     oc = open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path;
     pending = Buffer.create 256;
+    staged = 0;
   }
 
 let fsync_channel oc =
@@ -121,6 +146,9 @@ let sync w =
   if Buffer.length w.pending > 0 then begin
     let bytes = Buffer.contents w.pending in
     Buffer.clear w.pending;
+    Telemetry.Histogram.observe Obs.group_frames (float_of_int w.staged);
+    w.staged <- 0;
+    Telemetry.Counter.inc Obs.bytes (String.length bytes);
     (* the crash point models a power cut mid-write: only a prefix of the
        group's frames reached the OS, so the log ends in a torn record that
        recovery must drop. Splitting the write in two halves (second half
@@ -134,16 +162,20 @@ let sync w =
   end;
   (* the commit point: the records must survive a power cut, not just the
      process, before any engine applies them *)
-  fsync_channel w.oc
+  Telemetry.Counter.one Obs.syncs;
+  Telemetry.Histogram.time Obs.fsync_seconds (fun () -> fsync_channel w.oc)
 
 let append ?sync:(do_sync = true) w record =
   Buffer.add_string w.pending (frame record);
+  w.staged <- w.staged + 1;
+  Telemetry.Counter.one Obs.appends;
   if do_sync then sync w
 
 let truncate w =
   (* anything still buffered belongs to batches the snapshot already
      contains (the warehouse syncs before applying) — drop, don't replay *)
   Buffer.clear w.pending;
+  w.staged <- 0;
   close_out_noerr w.oc;
   write_file w.path [];
   (* the empty log is renamed into place, but until the directory entry is

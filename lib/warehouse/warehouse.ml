@@ -42,6 +42,49 @@ module View = Algebra.View
 module Engines = Maintenance.Engines
 module Faults = Maintenance.Faults
 
+let log_src =
+  Logs.Src.create "minview.warehouse" ~doc:"warehouse durability & ingestion"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+module Obs = struct
+  let commits =
+    Telemetry.Counter.make ~help:"Batches committed across all engines"
+      "minview_warehouse_txn_commits_total"
+
+  let rollbacks =
+    Telemetry.Counter.make
+      ~help:"Batches rolled back after a mid-batch engine failure"
+      "minview_warehouse_txn_rollbacks_total"
+
+  let recoveries =
+    Telemetry.Counter.make ~help:"Successful crash recoveries"
+      "minview_warehouse_recoveries_total"
+
+  let replayed =
+    Telemetry.Counter.make ~help:"WAL batches replayed during recovery"
+      "minview_warehouse_replayed_batches_total"
+
+  let quarantined =
+    Telemetry.Counter.make ~help:"Deltas quarantined to the dead-letter queue"
+      "minview_warehouse_quarantined_deltas_total"
+
+  let parallel_resets =
+    Telemetry.Counter.make
+      ~help:
+        "Snapshot loads that dropped a saved parallel pool (pools are \
+         runtime-only)"
+      "minview_warehouse_parallel_resets_total"
+
+  let checkpoint_seconds =
+    Telemetry.Histogram.make ~help:"Snapshot checkpoint latency"
+      "minview_warehouse_checkpoint_seconds"
+
+  let ingest_seconds =
+    Telemetry.Histogram.make ~help:"End-to-end latency of one ingested batch"
+      "minview_warehouse_ingest_seconds"
+end
+
 (* --- errors ------------------------------------------------------------ *)
 
 type error_kind =
@@ -175,7 +218,8 @@ let strategy_name = function
 
 (* --- persistence ------------------------------------------------------- *)
 
-let snapshot_magic = "minview-warehouse-state/2\n"
+let snapshot_magic = "minview-warehouse-state/3\n"
+let v2_magic = "minview-warehouse-state/2\n"
 let legacy_magic = "minview-warehouse-state/1\n"
 
 let save t path =
@@ -188,8 +232,17 @@ let save t path =
           r.view.View.name
       | Minimal | Psj | Replicate -> ())
     t.views;
+  (* the pool itself is runtime-only and never marshaled, but its size is
+     recorded so a later load can warn that it was not restored *)
+  let parallel_domains =
+    match t.parallel with
+    | Some pool -> Maintenance.Shard.domains pool
+    | None -> 0
+  in
   let payload =
-    Marshal.to_string (t.views, t.source, t.validator, t.dead, t.seq) []
+    Marshal.to_string
+      (t.views, t.source, t.validator, t.dead, t.seq, parallel_domains)
+      []
   in
   let header = Buffer.create 8 in
   Buffer.add_int32_le header (Int32.of_int (String.length payload));
@@ -214,7 +267,9 @@ let save t path =
   Sys.rename tmp path;
   Wal.fsync_dir path
 
-let load path =
+(* Load a snapshot; also returns the saved pool size so callers can warn
+   about the reset (the pool is never restored — see [warn_parallel_reset]). *)
+let load_with path =
   let ic = try open_in_bin path with Sys_error m -> err Io_error "%s" m in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
@@ -228,6 +283,11 @@ let load path =
         err Incompatible_state
           "%s uses the unchecksummed version-1 format; re-save it with this \
            build"
+          path;
+      if String.equal header v2_magic then
+        err Incompatible_state
+          "%s uses the version-2 format without the parallel-pool record; \
+           re-save it with this build"
           path;
       if not (String.equal header snapshot_magic) then
         err Corrupt_state "%s is not a warehouse state file" path;
@@ -247,22 +307,44 @@ let load path =
       match
         (Marshal.from_string payload 0
           : registered list * Database.t * Validator.t * Delta.rejection list
-            * int)
+            * int * int)
       with
-      | views, source, validator, dead, seq ->
-        {
-          source;
-          views;
-          validator;
-          dead;
-          seq;
-          wal = None;
-          dir = None;
-          checkpoint_every = None;
-          parallel = None;
-        }
+      | views, source, validator, dead, seq, parallel_domains ->
+        ( {
+            source;
+            views;
+            validator;
+            dead;
+            seq;
+            wal = None;
+            dir = None;
+            checkpoint_every = None;
+            parallel = None;
+          },
+          parallel_domains )
       | exception _ ->
         err Corrupt_state "%s: undecodable payload (incompatible build?)" path)
+
+(* The structured warning for the set_parallel/recover interaction: the
+   snapshot was taken by a warehouse with a domain pool, but pools are
+   runtime-only, so the loaded warehouse is serial until [set_parallel] is
+   called again. *)
+let warn_parallel_reset path domains =
+  if domains > 0 then begin
+    Log.warn (fun m ->
+        m
+          "%s was saved with a %d-domain parallel pool; pools are \
+           runtime-only and are not restored — call set_parallel again"
+          path domains);
+    Telemetry.Counter.one Obs.parallel_resets;
+    Telemetry.Trace.event "warehouse.parallel-reset"
+      ~attrs:[ ("path", path); ("domains", string_of_int domains) ]
+  end
+
+let load path =
+  let t, parallel_domains = load_with path in
+  warn_parallel_reset path parallel_domains;
+  t
 
 (* --- durability: attach / checkpoint ----------------------------------- *)
 
@@ -272,11 +354,14 @@ let snapshot_path dir = Filename.concat dir "snapshot.bin"
 let checkpoint t =
   match (t.dir, t.wal) with
   | Some dir, Some wal ->
-    save t (snapshot_path dir);
-    (* crash point: new snapshot in place, WAL not yet truncated — replay
-       must recognize the WAL's batches as already checkpointed *)
-    Faults.hit Faults.Before_wal_truncate;
-    Wal.truncate wal
+    Telemetry.with_phase Obs.checkpoint_seconds "warehouse.checkpoint"
+      ~attrs:[ ("dir", dir) ]
+      (fun () ->
+        save t (snapshot_path dir);
+        (* crash point: new snapshot in place, WAL not yet truncated — replay
+           must recognize the WAL's batches as already checkpointed *)
+        Faults.hit Faults.Before_wal_truncate;
+        Wal.truncate wal)
   | _ ->
     err Not_durable "checkpoint: attach the warehouse to a state directory first"
 
@@ -308,7 +393,10 @@ type report = { batch : int; applied : int; rejected : Delta.rejection list }
 
 let dead_letters t = List.rev t.dead
 let clear_dead_letters t = t.dead <- []
-let quarantine t rejections = t.dead <- List.rev_append rejections t.dead
+
+let quarantine t rejections =
+  Telemetry.Counter.inc Obs.quarantined (List.length rejections);
+  t.dead <- List.rev_append rejections t.dead
 let believed_source t = Validator.believed_source t.validator
 let ingested_batches t = t.seq
 
@@ -337,7 +425,7 @@ let engine_error_detail = function
 (* [~sync:false] stages the WAL records in the writer's buffer instead of
    fsyncing per batch — the group-commit path of {!ingest_all}, which pays
    one durability barrier for the whole burst. *)
-let ingest_report_with ~sync t deltas =
+let ingest_report_inner ~sync t deltas =
   Validator.begin_txn t.validator;
   let accepted, rejected =
     List.fold_left
@@ -366,6 +454,7 @@ let ingest_report_with ~sync t deltas =
     | () ->
       commit_engines t;
       Validator.commit t.validator;
+      Telemetry.Counter.one Obs.commits;
       t.seq <- seq;
       (match t.checkpoint_every with
       | Some n when n > 0 && t.seq mod n = 0 && t.wal <> None -> checkpoint t
@@ -382,6 +471,7 @@ let ingest_report_with ~sync t deltas =
          whole batch *)
       rollback_engines t;
       Validator.rollback t.validator;
+      Telemetry.Counter.one Obs.rollbacks;
       Option.iter (fun w -> Wal.append ~sync w (Wal.Abort { seq })) t.wal;
       t.seq <- seq;
       let detail = engine_error_detail e in
@@ -393,6 +483,10 @@ let ingest_report_with ~sync t deltas =
       quarantine t aborted;
       { batch = seq; applied = 0; rejected = rejected @ aborted }
   end
+
+let ingest_report_with ~sync t deltas =
+  Telemetry.with_phase Obs.ingest_seconds "warehouse.ingest" (fun () ->
+      ingest_report_inner ~sync t deltas)
 
 let ingest_report t deltas = ingest_report_with ~sync:true t deltas
 let ingest t deltas = ignore (ingest_report t deltas)
@@ -414,6 +508,7 @@ let ingest_all t batches =
    first ingested; a failure here (diverged shadow, deterministic engine
    bug) quarantines it instead of making recovery itself fail. *)
 let replay_batch t ~seq deltas =
+  Telemetry.Counter.one Obs.replayed;
   Validator.begin_txn t.validator;
   let abandon detail =
     (* undoes the admitted prefix of a batch whose validation failed midway *)
@@ -444,30 +539,36 @@ let replay_batch t ~seq deltas =
   t.seq <- seq
 
 let recover ~dir =
-  let t = load (snapshot_path dir) in
-  let records =
-    match Wal.read_all (wal_path dir) with
-    | records, _clean -> records
-    | exception Wal.Corrupt m -> err Corrupt_state "%s" m
-  in
-  let aborted =
-    List.filter_map
-      (function Wal.Abort { seq } -> Some seq | Wal.Batch _ -> None)
-      records
-  in
-  List.iter
-    (function
-      | Wal.Abort { seq } -> t.seq <- max t.seq seq
-      | Wal.Batch { seq; deltas } ->
-        if seq > t.seq && not (List.mem seq aborted) then
-          replay_batch t ~seq deltas
-        else t.seq <- max t.seq seq)
-    records;
-  t.dir <- Some dir;
-  (match Wal.open_append (wal_path dir) with
-  | w -> t.wal <- Some w
-  | exception Wal.Corrupt m -> err Corrupt_state "%s" m);
-  t
+  Telemetry.Trace.with_span "warehouse.recover"
+    ~attrs:[ ("dir", dir) ]
+    (fun () ->
+      let snapshot = snapshot_path dir in
+      let t, parallel_domains = load_with snapshot in
+      warn_parallel_reset snapshot parallel_domains;
+      let records =
+        match Wal.read_all (wal_path dir) with
+        | records, _clean -> records
+        | exception Wal.Corrupt m -> err Corrupt_state "%s" m
+      in
+      let aborted =
+        List.filter_map
+          (function Wal.Abort { seq } -> Some seq | Wal.Batch _ -> None)
+          records
+      in
+      List.iter
+        (function
+          | Wal.Abort { seq } -> t.seq <- max t.seq seq
+          | Wal.Batch { seq; deltas } ->
+            if seq > t.seq && not (List.mem seq aborted) then
+              replay_batch t ~seq deltas
+            else t.seq <- max t.seq seq)
+        records;
+      t.dir <- Some dir;
+      (match Wal.open_append (wal_path dir) with
+      | w -> t.wal <- Some w
+      | exception Wal.Corrupt m -> err Corrupt_state "%s" m);
+      Telemetry.Counter.one Obs.recoveries;
+      t)
 
 (* --- audit ------------------------------------------------------------- *)
 

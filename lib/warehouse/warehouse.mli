@@ -130,8 +130,13 @@ val ingest_all : t -> Relational.Delta.t list list -> report list
 (** [set_parallel t (Some pool)] makes every subsequent batch apply through
     the compacted shard-parallel fast path ({!Maintenance.Engine.apply_batch}
     with [?parallel]) on engines that support it; [None] (the initial state)
-    restores plain serial application. Runtime configuration, not state: it
-    is never persisted, and {!load}/{!recover} reset it to [None]. *)
+    restores plain serial application. Runtime configuration, not state: the
+    pool is never persisted, and {!load}/{!recover} reset it to [None] — a
+    recovered warehouse runs serially until [set_parallel] is called again.
+    Snapshots record the pool {e size}, so a load that drops a pool emits a
+    [minview.warehouse] warning, a [warehouse.parallel-reset] trace event and
+    bumps the [minview_warehouse_parallel_resets_total] counter instead of
+    resetting silently. *)
 val set_parallel : t -> Maintenance.Shard.pool option -> unit
 
 (** The dead-letter queue, oldest first. *)
@@ -229,6 +234,9 @@ val checkpoint : t -> unit
 (** [recover ~dir] rebuilds the warehouse from [dir]: latest snapshot plus
     replay of the committed WAL records newer than it (skipping aborted
     batches and tolerating a torn tail). The result is attached to [dir].
+    A parallel pool active when the snapshot was taken is {e not} restored
+    (see {!set_parallel}); the reset is reported through the warning event
+    and counter described there.
     @raise Error as {!load}. *)
 val recover : dir:string -> t
 

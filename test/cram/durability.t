@@ -91,6 +91,11 @@ A corrupted snapshot is refused before anything is unmarshalled:
   $ mkdir broken
   $ echo "minview-warehouse-state/2" > broken/snapshot.bin
   $ ../../bin/minview.exe audit broken
+  warehouse error [incompatible-state]: broken/snapshot.bin uses the version-2 format without the parallel-pool record; re-save it with this build
+  [1]
+
+  $ echo "minview-warehouse-state/3" > broken/snapshot.bin
+  $ ../../bin/minview.exe audit broken
   warehouse error [corrupt-state]: broken/snapshot.bin: truncated frame header
   [1]
 

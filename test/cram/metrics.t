@@ -1,0 +1,132 @@
+The telemetry verbs: the live compression dashboard and the span trace.
+
+  $ cat > schema.sql <<'SQL'
+  > CREATE TABLE region (id INT PRIMARY KEY, name TEXT, zone TEXT);
+  > CREATE TABLE shop (id INT PRIMARY KEY, regionid INT REFERENCES region,
+  >                    kind TEXT);
+  > CREATE TABLE txn (id INT PRIMARY KEY, shopid INT REFERENCES shop,
+  >                   amount INT UPDATABLE);
+  > INSERT INTO region VALUES (1, 'north', 'a');
+  > INSERT INTO region VALUES (2, 'south', 'b');
+  > INSERT INTO shop VALUES (1, 1, 'grocery');
+  > INSERT INTO shop VALUES (2, 2, 'kiosk');
+  > INSERT INTO txn VALUES (1, 1, 10);
+  > INSERT INTO txn VALUES (2, 2, 30);
+  > CREATE VIEW zone_revenue AS
+  >   SELECT zone, SUM(amount) AS revenue, COUNT(*) AS txns
+  >   FROM txn, shop, region
+  >   WHERE txn.shopid = shop.id AND shop.regionid = region.id
+  >   GROUP BY zone;
+  > SQL
+
+  $ cat > changes.sql <<'SQL'
+  > INSERT INTO txn VALUES (3, 1, 5);
+  > INSERT INTO txn VALUES (4, 2, 7);
+  > UPDATE txn SET amount = 12 WHERE id = 1;
+  > SQL
+
+The dashboard: per-auxview resident rows vs. the detail rows they stand
+for (the paper's compression table, measured live), plus maintenance
+counters. Timings are omitted; only observation counts are stable.
+
+  $ ../../bin/minview.exe metrics schema.sql --changes changes.sql
+  == detail compression (live) ==
+  +--------------+-----------+--------+---------------+-------------+-------+
+  | view         | aux view  | base   | resident rows | detail rows | ratio |
+  +--------------+-----------+--------+---------------+-------------+-------+
+  | zone_revenue | regionDTL | region | 2             | 2           | 1     |
+  | zone_revenue | shopDTL   | shop   | 2             | 2           | 1     |
+  | zone_revenue | txnDTL    | txn    | 2             | 4           | 2     |
+  +--------------+-----------+--------+---------------+-------------+-------+
+  == counters ==
+  minview_engine_batches_total{mode=parallel} 0
+  minview_engine_batches_total{mode=serial} 1
+  minview_engine_deltas_netted_total 0
+  minview_engine_deltas_total 3
+  minview_engine_merge_folds_total 0
+  minview_engine_ops_applied_total 0
+  minview_wal_appends_total 0
+  minview_wal_bytes_written_total 0
+  minview_wal_syncs_total 0
+  minview_warehouse_parallel_resets_total 0
+  minview_warehouse_quarantined_deltas_total 0
+  minview_warehouse_recoveries_total 0
+  minview_warehouse_replayed_batches_total 0
+  minview_warehouse_txn_commits_total 1
+  minview_warehouse_txn_rollbacks_total 0
+  == gauges ==
+  minview_shard_imbalance_ratio 0
+  minview_view_groups{view=zone_revenue} 2
+  == histograms (observation counts) ==
+  minview_engine_apply_seconds{mode=parallel} 0
+  minview_engine_apply_seconds{mode=serial} 1
+  minview_engine_phase_seconds{phase=compact} 0
+  minview_engine_phase_seconds{phase=dim-apply} 0
+  minview_engine_phase_seconds{phase=prepare} 0
+  minview_engine_phase_seconds{phase=shard-apply} 0
+  minview_engine_phase_seconds{phase=view-update} 1
+  minview_engine_phase_seconds{phase=weighted-merge} 0
+  minview_shard_run_seconds 0
+  minview_wal_fsync_seconds 0
+  minview_wal_group_commit_frames 0
+  minview_warehouse_checkpoint_seconds 0
+  minview_warehouse_ingest_seconds 1
+
+The machine-readable dump is one JSON object per line; counters and
+gauges carry no timing noise, so their lines are stable verbatim.
+
+  $ ../../bin/minview.exe metrics schema.sql --changes changes.sql --json \
+  >   | grep -E '"type":"(counter|gauge)"' | grep -v phase_seconds
+  {"name":"minview_aux_compression_ratio","labels":{"aux":"regionDTL","base":"region","view":"zone_revenue"},"type":"gauge","value":1.0}
+  {"name":"minview_aux_compression_ratio","labels":{"aux":"shopDTL","base":"shop","view":"zone_revenue"},"type":"gauge","value":1.0}
+  {"name":"minview_aux_compression_ratio","labels":{"aux":"txnDTL","base":"txn","view":"zone_revenue"},"type":"gauge","value":2.0}
+  {"name":"minview_aux_detail_rows","labels":{"aux":"regionDTL","base":"region","view":"zone_revenue"},"type":"gauge","value":2.0}
+  {"name":"minview_aux_detail_rows","labels":{"aux":"shopDTL","base":"shop","view":"zone_revenue"},"type":"gauge","value":2.0}
+  {"name":"minview_aux_detail_rows","labels":{"aux":"txnDTL","base":"txn","view":"zone_revenue"},"type":"gauge","value":4.0}
+  {"name":"minview_aux_resident_rows","labels":{"aux":"regionDTL","base":"region","view":"zone_revenue"},"type":"gauge","value":2.0}
+  {"name":"minview_aux_resident_rows","labels":{"aux":"shopDTL","base":"shop","view":"zone_revenue"},"type":"gauge","value":2.0}
+  {"name":"minview_aux_resident_rows","labels":{"aux":"txnDTL","base":"txn","view":"zone_revenue"},"type":"gauge","value":2.0}
+  {"name":"minview_engine_batches_total","labels":{"mode":"parallel"},"type":"counter","value":0}
+  {"name":"minview_engine_batches_total","labels":{"mode":"serial"},"type":"counter","value":1}
+  {"name":"minview_engine_deltas_netted_total","labels":{},"type":"counter","value":0}
+  {"name":"minview_engine_deltas_total","labels":{},"type":"counter","value":3}
+  {"name":"minview_engine_merge_folds_total","labels":{},"type":"counter","value":0}
+  {"name":"minview_engine_ops_applied_total","labels":{},"type":"counter","value":0}
+  {"name":"minview_shard_imbalance_ratio","labels":{},"type":"gauge","value":0.0}
+  {"name":"minview_view_groups","labels":{"view":"zone_revenue"},"type":"gauge","value":2.0}
+  {"name":"minview_wal_appends_total","labels":{},"type":"counter","value":0}
+  {"name":"minview_wal_bytes_written_total","labels":{},"type":"counter","value":0}
+  {"name":"minview_wal_syncs_total","labels":{},"type":"counter","value":0}
+  {"name":"minview_warehouse_parallel_resets_total","labels":{},"type":"counter","value":0}
+  {"name":"minview_warehouse_quarantined_deltas_total","labels":{},"type":"counter","value":0}
+  {"name":"minview_warehouse_recoveries_total","labels":{},"type":"counter","value":0}
+  {"name":"minview_warehouse_replayed_batches_total","labels":{},"type":"counter","value":0}
+  {"name":"minview_warehouse_txn_commits_total","labels":{},"type":"counter","value":1}
+  {"name":"minview_warehouse_txn_rollbacks_total","labels":{},"type":"counter","value":0}
+
+Prometheus exposition carries the same gauges with HELP/TYPE headers:
+
+  $ ../../bin/minview.exe metrics schema.sql --changes changes.sql --prometheus \
+  >   | grep -A 4 'HELP minview_aux_compression'
+  # HELP minview_aux_compression_ratio Detail rows per resident row (compression factor)
+  # TYPE minview_aux_compression_ratio gauge
+  minview_aux_compression_ratio{aux="regionDTL",base="region",view="zone_revenue"} 1
+  minview_aux_compression_ratio{aux="shopDTL",base="shop",view="zone_revenue"} 1
+  minview_aux_compression_ratio{aux="txnDTL",base="txn",view="zone_revenue"} 2
+
+The span trace shows the phase sequence of the pipeline (names and
+attributes only; --json adds the timings):
+
+  $ ../../bin/minview.exe trace schema.sql --changes changes.sql
+  engine.view-update
+  engine.apply-batch {mode=serial,view=zone_revenue}
+  warehouse.ingest
+
+TELEMETRY=off disables collection — counters stay at zero and no spans
+are recorded:
+
+  $ TELEMETRY=off ../../bin/minview.exe metrics schema.sql --changes changes.sql \
+  >   | grep txn_commits
+  minview_warehouse_txn_commits_total 0
+
+  $ TELEMETRY=off ../../bin/minview.exe trace schema.sql --changes changes.sql
