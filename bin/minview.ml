@@ -291,16 +291,35 @@ let recover_cmd =
     Term.(const run $ setup_term $ dir_arg)
 
 let audit_cmd =
-  let run () dir =
+  let sample_opt =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "sample" ] ~docv:"K"
+          ~doc:
+            "Drift-audit mode: instead of full recomputation, recompute \
+             $(docv) evenly sampled groups per view from the retained \
+             detail data and cross-check the maintained view.")
+  in
+  let run () dir sample =
     with_errors (fun () ->
         let wh = Warehouse.recover ~dir in
         let results =
-          Warehouse.audit wh ~reference:(Warehouse.believed_source wh)
+          Warehouse.audit ?sample wh ~reference:(Warehouse.believed_source wh)
         in
         List.iter
           (fun (name, ok) ->
             Printf.printf "%-24s %s\n" name (if ok then "OK" else "MISMATCH"))
           results;
+        (match sample with
+        | Some k ->
+          List.iter
+            (fun (name, checked, divergences) ->
+              Printf.printf
+                "%-24s checked %d sampled group(s), %d divergence(s)\n" name
+                checked divergences)
+            (Warehouse.self_audit wh ~sample:k)
+        | None -> ());
         let failures = List.filter (fun (_, ok) -> not ok) results in
         Printf.printf "%d batch(es) ingested, %d dead-letter(s), %d failure(s)\n"
           (Warehouse.ingested_batches wh)
@@ -313,9 +332,10 @@ let audit_cmd =
     (Cmd.info "audit"
        ~doc:
          "Recover a durable warehouse and compare every maintained view \
-          against from-scratch recomputation over the believed source state; \
-          exit non-zero on any mismatch.")
-    Term.(const run $ setup_term $ dir_arg)
+          against from-scratch recomputation over the believed source state \
+          (or, with --sample, against sampled recomputation from its own \
+          retained detail); exit non-zero on any mismatch.")
+    Term.(const run $ setup_term $ dir_arg $ sample_opt)
 
 (* --- telemetry: metrics / trace ----------------------------------------- *)
 
@@ -442,9 +462,14 @@ let print_metrics_human () =
     (fun (s : Telemetry.Metrics.snap) ->
       match s.Telemetry.Metrics.s_value with
       | Telemetry.Metrics.Histogram_v h ->
-        Printf.printf "%s%s %d\n" s.Telemetry.Metrics.s_name
+        let pct q =
+          let v = Telemetry.Metrics.percentile h q in
+          if Float.is_nan v then "-" else Printf.sprintf "%.3g" v
+        in
+        Printf.printf "%s%s %d p50=%s p95=%s p99=%s\n"
+          s.Telemetry.Metrics.s_name
           (labels_fmt s.Telemetry.Metrics.s_labels)
-          h.Telemetry.Metrics.h_count
+          h.Telemetry.Metrics.h_count (pct 0.50) (pct 0.95) (pct 0.99)
       | _ -> ())
     snaps
 
@@ -506,6 +531,138 @@ let trace_cmd =
     Term.(
       const run $ setup_term $ script_arg $ changes_opt $ strategy_arg
       $ json_flag)
+
+(* --- lineage / attribution / explain ------------------------------------ *)
+
+let lineage_cmd =
+  let txn_opt =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "txn" ] ~docv:"SEQ"
+          ~doc:"Only the record of WAL sequence number $(docv).")
+  in
+  let table_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "table" ] ~docv:"TABLE"
+          ~doc:"Only records whose batch touched base table $(docv).")
+  in
+  let run () script changes strategy txn table json =
+    with_errors (fun () ->
+        let wh = run_pipeline script changes strategy in
+        let records = Telemetry.Lineage.recent ?txn ?table () in
+        if records = [] then
+          print_endline
+            "no lineage records (nothing ingested, filtered out, or \
+             TELEMETRY=off)"
+        else
+          List.iter
+            (fun r ->
+              if json then print_endline (Telemetry.Lineage.record_to_json r)
+              else print_string (Mindetail.Explain.lineage_record r))
+            records;
+        Warehouse.close wh)
+  in
+  Cmd.v
+    (Cmd.info "lineage"
+       ~doc:
+         "Load the schema, register its views, optionally ingest a change \
+          script, then print the per-transaction lineage records: which \
+          base-table deltas each committed batch carried and how they \
+          flowed through netting, the auxiliary views (resident vs. detail \
+          vs. folded rows) and the view groups.")
+    Term.(
+      const run $ setup_term $ script_arg $ changes_opt $ strategy_arg
+      $ txn_opt $ table_opt $ json_flag)
+
+let attribute_cmd =
+  let run () script changes strategy json =
+    with_errors (fun () ->
+        let wh = run_pipeline script changes strategy in
+        let attrs = Warehouse.attribution wh in
+        if attrs = [] then
+          print_endline "no derivation-backed views to attribute";
+        if json then
+          List.iter
+            (fun (view, l) ->
+              List.iter
+                (fun a ->
+                  print_endline (Mindetail.Attribution.to_json ~view a))
+                l)
+            attrs
+        else begin
+          List.iter
+            (fun (view, l) ->
+              print_string (Mindetail.Attribution.render ~view l);
+              print_newline ())
+            attrs;
+          let recs = Warehouse.reconcile_attribution wh in
+          if recs <> [] then begin
+            print_endline
+              "reconciliation against live maintenance gauges (+-1 row):";
+            List.iter
+              (fun (r : Warehouse.reconciliation) ->
+                Printf.printf
+                  "  %s/%s: resident %d vs %d, detail %d vs %d  %s\n"
+                  r.Warehouse.rec_view r.Warehouse.rec_aux
+                  r.Warehouse.measured_resident r.Warehouse.gauge_resident
+                  r.Warehouse.measured_detail r.Warehouse.gauge_detail
+                  (if r.Warehouse.consistent then "OK" else "MISMATCH"))
+              recs;
+            if List.exists (fun r -> not r.Warehouse.consistent) recs then begin
+              Warehouse.close wh;
+              exit 1
+            end
+          end
+        end;
+        Warehouse.close wh)
+  in
+  Cmd.v
+    (Cmd.info "attribute"
+       ~doc:
+         "Load the schema, register its views, optionally ingest a change \
+          script, then print the paper's savings-attribution table: for \
+          every auxiliary view, the bytes removed by local selection, local \
+          projection, join reduction, duplicate compression and whole-view \
+          elimination, reconciled (+-1 row) against the live maintenance \
+          gauges; exit non-zero on a reconciliation mismatch.")
+    Term.(
+      const run $ setup_term $ script_arg $ changes_opt $ strategy_arg
+      $ json_flag)
+
+let explain_cmd =
+  let dot_flag =
+    Arg.(
+      value & flag
+      & info [ "dot" ]
+          ~doc:
+            "Graphviz DOT of the extended join graphs instead of the \
+             textual report.")
+  in
+  let run script dot =
+    with_errors (fun () ->
+        let db, views = load_script script in
+        if views = [] then prerr_endline "warning: script defines no views";
+        List.iter
+          (fun v ->
+            let d = Mindetail.Derive.derive db v in
+            if dot then
+              print_string
+                (Mindetail.Explain.join_graph_dot d.Mindetail.Derive.graph)
+            else begin
+              print_string (Mindetail.Explain.report d);
+              print_newline ()
+            end)
+          views)
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Explain every view in the script: the full derivation report, or \
+          with $(b,--dot) the extended join graphs in Graphviz DOT form.")
+    Term.(const run $ script_arg $ dot_flag)
 
 let demo_cmd =
   let run () =
@@ -572,8 +729,9 @@ let main =
          "Minimizing detail data in data warehouses: derive minimal \
           self-maintaining auxiliary views for GPSJ summary tables (Akinde, \
           Jensen & Böhlen, EDBT 1998).")
-    [ derive_cmd; dot_cmd; simulate_cmd; reconstruct_cmd; sharing_cmd;
-      verify_cmd; recover_cmd; audit_cmd; metrics_cmd; trace_cmd; demo_cmd ]
+    [ derive_cmd; dot_cmd; explain_cmd; simulate_cmd; reconstruct_cmd;
+      sharing_cmd; verify_cmd; recover_cmd; audit_cmd; metrics_cmd; trace_cmd;
+      lineage_cmd; attribute_cmd; demo_cmd ]
 
 let () =
   (* the fault-injection harness: MINVIEW_FAULT=<point>[:skip] arms a named

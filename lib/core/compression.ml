@@ -11,6 +11,24 @@ type usage = {
   csmas_funcs : Aggregate.func list;
 }
 
+(* Attribution counter: specs that actually got duplicate compression vs.
+   the tuple-level degenerate cases (key in the grouping columns, or
+   compression disabled). Both label values are registered eagerly so the
+   metric listing is stable. *)
+let specs_counter compressed =
+  Telemetry.Counter.make
+    ~help:"Auxview specs produced, by duplicate-compression outcome"
+    ~labels:[ ("compressed", string_of_bool compressed) ]
+    "minview_compression_specs_total"
+
+let specs_compressed = specs_counter true
+let specs_tuple_level = specs_counter false
+
+let count_spec (spec : Auxview.t) =
+  Telemetry.Counter.one
+    (if spec.Auxview.compressed then specs_compressed else specs_tuple_level);
+  spec
+
 let usage_of ?(append_only = false) (v : View.t) ~table ~column =
   let attr = Attr.make table column in
   let aggs_over =
@@ -89,7 +107,7 @@ let compress ?(enabled = true) ?(append_only = false) db (v : View.t)
   let schema = Database.schema_of db table in
   let key = schema.Schema.key in
   let semijoins = semijoins_of v red in
-  if not enabled then tuple_level ~with_key:true db red semijoins
+  if not enabled then count_spec (tuple_level ~with_key:true db red semijoins)
   else begin
     let usages =
       List.map
@@ -121,7 +139,7 @@ let compress ?(enabled = true) ?(append_only = false) db (v : View.t)
       (* Degenerate case: the grouping attributes include the key, so every
          group holds exactly one tuple; COUNT( * ) and the replacements are
          superfluous (Algorithm 3.1, step 2 note). *)
-      tuple_level ~with_key:false db red semijoins
+      count_spec (tuple_level ~with_key:false db red semijoins)
     else begin
       let taken = ref plain_cols in
       let agg_cols =
@@ -154,13 +172,14 @@ let compress ?(enabled = true) ?(append_only = false) db (v : View.t)
         @ agg_cols
         @ [ (fresh taken "cnt", Auxview.Count_star) ]
       in
-      {
-        Auxview.base = table;
-        name = Auxview.default_name table;
-        locals = red.Reduction.locals;
-        columns;
-        semijoins;
-        compressed = true;
-      }
+      count_spec
+        {
+          Auxview.base = table;
+          name = Auxview.default_name table;
+          locals = red.Reduction.locals;
+          columns;
+          semijoins;
+          compressed = true;
+        }
     end
   end

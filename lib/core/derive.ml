@@ -50,6 +50,15 @@ let non_csmas_tables ~append_only (v : View.t) =
            Option.map (fun (x : Attr.t) -> x.Attr.table) (Aggregate.attr a))
   |> List.sort_uniq String.compare
 
+let decisions_counter outcome =
+  Telemetry.Counter.make
+    ~help:"Auxview retention decisions made during derivation"
+    ~labels:[ ("decision", outcome) ]
+    "minview_derive_decisions_total"
+
+let decisions_retained = decisions_counter "retained"
+let decisions_omitted = decisions_counter "omitted"
+
 let derive_with options db (v : View.t) =
   View.validate db v;
   let graph = Join_graph.build db v in
@@ -92,15 +101,15 @@ let derive_with options db (v : View.t) =
            table)
     else retain table
   in
-  {
-    view = v;
-    graph;
-    needs;
-    exposed;
-    depends;
-    decisions = List.map (fun tbl -> (tbl, decide tbl)) v.View.tables;
-    options;
-  }
+  let decisions = List.map (fun tbl -> (tbl, decide tbl)) v.View.tables in
+  List.iter
+    (fun (_, dec) ->
+      Telemetry.Counter.one
+        (match dec with
+        | Retained _ -> decisions_retained
+        | Omitted _ -> decisions_omitted))
+    decisions;
+  { view = v; graph; needs; exposed; depends; decisions; options }
 
 let derive db v = derive_with default_options db v
 

@@ -87,3 +87,29 @@ let report (d : Derive.t) =
       "== reconstruction ==\nthe root auxiliary view is omitted: V is its \
        own record and is maintained directly\n");
   Buffer.contents buf
+
+(* Human rendering of one per-transaction lineage record: the batch's flow
+   through the pipeline, indented view-then-auxview. *)
+let lineage_record (r : Telemetry.Lineage.record) =
+  let buf = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "txn %d (%s)\n" r.Telemetry.Lineage.txn
+    (String.concat ", "
+       (List.map
+          (fun (t, n) -> Printf.sprintf "%s:%d" t n)
+          r.Telemetry.Lineage.tables));
+  List.iter
+    (fun (f : Telemetry.Lineage.view_flow) ->
+      add "  view %s [%s]: %d deltas -> %d netted -> %d applied, groups %+d\n"
+        f.Telemetry.Lineage.view f.Telemetry.Lineage.mode
+        f.Telemetry.Lineage.deltas_in f.Telemetry.Lineage.netted
+        f.Telemetry.Lineage.applied f.Telemetry.Lineage.group_delta;
+      List.iter
+        (fun (a : Telemetry.Lineage.aux_flow) ->
+          add "    %s <- %s: resident %+d, detail %+d, folded %d\n"
+            a.Telemetry.Lineage.aux a.Telemetry.Lineage.base
+            a.Telemetry.Lineage.resident_delta a.Telemetry.Lineage.detail_delta
+            a.Telemetry.Lineage.folded)
+        f.Telemetry.Lineage.aux_flows)
+    r.Telemetry.Lineage.flows;
+  Buffer.contents buf

@@ -12,3 +12,9 @@ val join_graph_dot : Join_graph.t -> string
     relation, Need sets, per-table decision, and CREATE VIEW statements for
     the retained auxiliary views. *)
 val report : Derive.t -> string
+
+(** Human rendering of one per-transaction lineage record (see
+    {!Telemetry.Lineage}): the base tables touched, then per view
+    [deltas -> netted -> applied] and the per-auxview resident/detail/fold
+    flow. Used by [minview lineage]. *)
+val lineage_record : Telemetry.Lineage.record -> string

@@ -27,4 +27,13 @@ let need g ri =
   |> List.filter (fun t -> not (String.equal t ri))
   |> List.sort_uniq String.compare
 
-let all g = List.map (fun t -> (t, need g t)) (Join_graph.tables g)
+let members_counter =
+  Telemetry.Counter.make
+    ~help:"Need-set memberships computed during derivation (Definition 3)"
+    "minview_need_members_total"
+
+let all g =
+  let needs = List.map (fun t -> (t, need g t)) (Join_graph.tables g) in
+  Telemetry.Counter.inc members_counter
+    (List.fold_left (fun acc (_, n) -> acc + List.length n) 0 needs);
+  needs

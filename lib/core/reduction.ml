@@ -11,6 +11,27 @@ type t = {
   depends_on : string list;
 }
 
+(* Derivation-time attribution counters: how much work each minimization
+   technique was given, before any data is touched. *)
+module Obs = struct
+  module Counter = Telemetry.Counter
+
+  let columns_dropped =
+    Counter.make
+      ~help:"Base-table columns dropped by local projection during derivation"
+      "minview_reduction_columns_dropped_total"
+
+  let conditions_pushed =
+    Counter.make
+      ~help:"View conditions pushed down into auxiliary views (local selection)"
+      "minview_reduction_conditions_pushed_total"
+
+  let semijoins_planned =
+    Counter.make
+      ~help:"Semijoin (join reduction) edges planned during derivation"
+      "minview_reduction_semijoins_planned_total"
+end
+
 let exposed_updates db (v : View.t) table =
   let updatable = Database.updatable_columns db table in
   let condition_cols =
@@ -54,9 +75,10 @@ let local ?(push_locals = true) ?(join_reductions = true) db (v : View.t)
         List.mem c preserved || List.mem c joins || List.mem c conditions)
       (Schema.column_names schema)
   in
-  {
-    table;
-    kept_columns;
-    locals = (if push_locals then View.locals_of v ~table else []);
-    depends_on = (if join_reductions then depends_on db v table else []);
-  }
+  let locals = if push_locals then View.locals_of v ~table else [] in
+  let depends_on = if join_reductions then depends_on db v table else [] in
+  Obs.Counter.inc Obs.columns_dropped
+    (List.length (Schema.column_names schema) - List.length kept_columns);
+  Obs.Counter.inc Obs.conditions_pushed (List.length locals);
+  Obs.Counter.inc Obs.semijoins_planned (List.length depends_on);
+  { table; kept_columns; locals; depends_on }

@@ -66,6 +66,9 @@ type t = {
           rows represented, compression ratio (handles are process-global,
           so engine copies share them; the table key makes the copy read
           its own [aux] states) *)
+  mutable last_flow : Telemetry.Lineage.view_flow option;
+      (** lineage flow of the most recent [apply_batch]; [None] before the
+          first batch and while telemetry is disabled *)
 }
 
 exception Invariant of string
@@ -871,6 +874,7 @@ let init ?(fk_index = true) db (d : Derive.t) =
           ~help:"Resident groups of the materialized view"
           "minview_view_groups";
       obs_aux = [];
+      last_flow = None;
     }
   in
   (* build auxiliary states children-first so semijoin targets exist *)
@@ -1091,6 +1095,59 @@ let apply_root_ops t pool ops =
    references are gone), root operations run compacted and shard-parallel.
    Equivalent to the serial replay for any batch that is legal against the
    pre-batch state — see DESIGN.md, "Concurrency model". *)
+(* --- lineage flow capture ---------------------------------------------- *)
+
+(* Cheap pre/post snapshots — O(auxviews x shards) per batch, nothing on
+   the per-row hot path — turn a batch into per-auxview net flows for the
+   lineage record the warehouse emits at commit. *)
+let flow_pre t =
+  if not (Telemetry.enabled ()) then None
+  else
+    Some
+      ( List.filter_map
+          (fun tbl ->
+            Option.map
+              (fun st ->
+                (tbl, Aux_state.row_count st, Aux_state.base_count st))
+              (aux_of t tbl))
+          t.view.View.tables,
+        View_state.group_count t.vstate )
+
+let flow_finish t pre ~mode ~deltas_in ~netted ~applied =
+  match pre with
+  | None -> ()
+  | Some (pre_aux, pre_groups) ->
+    let aux_flows =
+      List.filter_map
+        (fun (tbl, rows0, detail0) ->
+          Option.map
+            (fun st ->
+              let resident_delta = Aux_state.row_count st - rows0 in
+              let detail_delta = Aux_state.base_count st - detail0 in
+              {
+                Telemetry.Lineage.aux = (Aux_state.spec st).Auxview.name;
+                base = tbl;
+                resident_delta;
+                detail_delta;
+                folded = max 0 (detail_delta - resident_delta);
+              })
+            (aux_of t tbl))
+        pre_aux
+    in
+    t.last_flow <-
+      Some
+        {
+          Telemetry.Lineage.view = t.view.View.name;
+          mode;
+          deltas_in;
+          netted;
+          applied;
+          group_delta = View_state.group_count t.vstate - pre_groups;
+          aux_flows;
+        }
+
+let last_flow t = t.last_flow
+
 let apply_batch_parallel t pool deltas =
   (* append-only violations must reject the batch whether or not the
      offending change nets out — match the serial path's verdict *)
@@ -1106,6 +1163,7 @@ let apply_batch_parallel t pool deltas =
                update"
               d.Delta.table)
       deltas;
+  let pre_flow = flow_pre t in
   let net =
     Telemetry.with_phase Obs.compact "engine.compact" (fun () ->
         net_batch t deltas)
@@ -1151,6 +1209,7 @@ let apply_batch_parallel t pool deltas =
     Telemetry.with_phase Obs.weighted_merge "engine.weighted-merge" (fun () ->
         root_merge t !root_deltas)
   in
+  let applied_ops = ref 0 in
   if Telemetry.enabled () then begin
     let root_changes =
       List.fold_left
@@ -1170,7 +1229,8 @@ let apply_batch_parallel t pool deltas =
         (fun acc op -> if op.net <> 0 then acc + 1 else acc)
         0 ops
     in
-    Telemetry.Counter.inc Obs.ops_applied (dim_ops + root_ops)
+    applied_ops := dim_ops + root_ops;
+    Telemetry.Counter.inc Obs.ops_applied !applied_ops
   end;
   apply_root_ops t pool ops;
   Telemetry.with_phase Obs.dim_apply "engine.dim-apply" (fun () ->
@@ -1184,21 +1244,30 @@ let apply_batch_parallel t pool deltas =
             ds)
         shallow_first);
   Telemetry.with_phase Obs.view_update "engine.view-update" (fun () ->
-      flush t)
+      flush t);
+  flow_finish t pre_flow ~mode:"parallel"
+    ~deltas_in:net.Delta_batch.stats.Delta_batch.input
+    ~netted:net.Delta_batch.stats.Delta_batch.output ~applied:!applied_ops
 
 let apply_batch ?parallel t deltas =
   match parallel with
   | None ->
     Telemetry.Counter.one Obs.batches_serial;
-    if Telemetry.enabled () then
-      Telemetry.Counter.inc Obs.deltas_total
-        (List.length (known_deltas t deltas));
+    let known =
+      if Telemetry.enabled () then List.length (known_deltas t deltas) else 0
+    in
+    Telemetry.Counter.inc Obs.deltas_total known;
+    let pre_flow = flow_pre t in
     Telemetry.with_phase Obs.apply_serial "engine.apply-batch"
       ~attrs:[ ("mode", "serial"); ("view", t.view.View.name) ]
       (fun () ->
         List.iter (route t) deltas;
         Telemetry.with_phase Obs.view_update "engine.view-update" (fun () ->
-            flush t))
+            flush t));
+    (* the serial path neither compacts nor merges: every known delta is
+       applied as is *)
+    flow_finish t pre_flow ~mode:"serial" ~deltas_in:known ~netted:known
+      ~applied:known
   | Some pool ->
     Telemetry.Counter.one Obs.batches_parallel;
     Telemetry.with_phase Obs.apply_parallel "engine.apply-batch"
@@ -1251,3 +1320,88 @@ let storage_profile t =
                List.length (Aux_state.spec st).Auxview.columns ))
            (aux_of t tbl))
        t.view.View.tables
+
+(* --- drift auditor ------------------------------------------------------ *)
+
+(* Float aggregates are accumulated incrementally by maintenance but summed
+   in storage order by the recompute, so allow for rounding drift. *)
+let value_close a b =
+  match a, b with
+  | Value.Float x, Value.Float y ->
+    x = y
+    || Float.abs (x -. y)
+       <= 1e-9 *. Float.max 1. (Float.max (Float.abs x) (Float.abs y))
+  | _ -> Value.equal a b
+
+let audit ~sample t =
+  match aux_of t t.root with
+  | None -> None (* root auxview eliminated: no retained detail to recompute *)
+  | Some root_st ->
+    let keys =
+      Array.of_list
+        (View_state.fold_groups t.vstate
+           (fun key cnt acc -> (key, cnt) :: acc)
+           [])
+    in
+    let total = Array.length keys in
+    let idxs = Telemetry.Lineage.sample_indices ~sample ~total in
+    let sampled = TH.create (2 * List.length idxs) in
+    List.iter (fun i -> TH.replace sampled (fst keys.(i)) ()) idxs;
+    (* recompute the sampled groups from the retained detail: feed every
+       contributing root auxiliary row into a scratch view state, exactly
+       as the initial load does *)
+    let scratch = View_state.create t.view ~determined:false in
+    Aux_state.iter root_st (fun row ->
+        match extend_root t root_st row with
+        | None -> ()
+        | Some env ->
+          let key = group_key t env in
+          if TH.mem sampled key then
+            let cnt = row.Aux_state.cnt in
+            View_state.feed scratch ~key ~cnt (contribs t env ~cnt));
+    let expected_cnt = TH.create 64 in
+    View_state.fold_groups scratch
+      (fun key cnt () -> TH.replace expected_cnt key cnt)
+      ();
+    (* group-key positions in the rendered select row, for indexing *)
+    let key_positions =
+      Array.map
+        (fun (tbl, col) ->
+          let found = ref (-1) in
+          Array.iteri
+            (fun i plan ->
+              match plan with
+              | P_group { table; column }
+                when !found < 0 && String.equal table tbl
+                     && String.equal column col ->
+                found := i
+              | P_group _ | P_agg _ -> ())
+            t.plans;
+          assert (!found >= 0);
+          !found)
+        t.group_plan
+    in
+    let index_render rel =
+      let h = TH.create 64 in
+      Relation.iter
+        (fun row _m ->
+          TH.replace h (Array.map (fun i -> row.(i)) key_positions) row)
+        rel;
+      h
+    in
+    let expected = index_render (View_state.render scratch) in
+    let actual = index_render (View_state.render t.vstate) in
+    let rows_close a b =
+      Array.length a = Array.length b
+      && Array.for_all2 value_close a b
+    in
+    let check i =
+      let key, cnt = keys.(i) in
+      TH.find_opt expected_cnt key = Some cnt
+      &&
+      match TH.find_opt expected key, TH.find_opt actual key with
+      | Some erow, Some arow -> rows_close erow arow
+      | _, _ -> false
+    in
+    Some
+      (Telemetry.Lineage.audit ~view:t.view.View.name ~sample ~total ~check)

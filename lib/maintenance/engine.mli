@@ -111,3 +111,23 @@ val aux_contents : t -> (string * Relational.Relation.t) list
 (** (name, rows, fields-per-row) for every stored object: the view itself and
     each auxiliary view. Input to the storage model. *)
 val storage_profile : t -> (string * int * int) list
+
+(** {2 Lineage and drift auditing} *)
+
+(** Lineage flow of the most recent {!apply_batch}: deltas in -> netted ->
+    applied, plus the per-auxview net change in resident and represented
+    detail rows. [None] before the first batch and while telemetry is
+    disabled (capture costs two O(auxviews x shards) row-count sweeps per
+    batch, nothing on the per-row hot path). *)
+val last_flow : t -> Telemetry.Lineage.view_flow option
+
+(** [audit ~sample t] recomputes up to [sample] maintained group keys from
+    the retained detail (the root auxiliary view, joined through the
+    dimension auxiliary views exactly like the initial load) and
+    cross-checks the maintained view rows, via {!Telemetry.Lineage.audit}
+    — which emits the [minview_lineage_audit_*] counters and a
+    [lineage.audit] trace event. Returns [(checked, divergences)], or
+    [None] when the root auxiliary view was eliminated (there is no
+    retained detail to recompute from). Float aggregates are compared with
+    a relative tolerance of 1e-9 to absorb accumulation-order drift. *)
+val audit : sample:int -> t -> (int * int) option

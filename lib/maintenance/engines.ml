@@ -140,3 +140,11 @@ let detail_profile = function
 let derivation = function
   | Incremental { engine; _ } -> Some (Engine.derivation engine)
   | Recompute _ | Split _ -> None
+
+let last_flow = function
+  | Incremental { engine; _ } -> Engine.last_flow engine
+  | Recompute _ | Split _ -> None
+
+let self_audit ~sample = function
+  | Incremental { engine; _ } -> Engine.audit ~sample engine
+  | Recompute _ | Split _ -> None

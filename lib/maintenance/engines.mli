@@ -87,3 +87,12 @@ val detail_profile : t -> (string * int * int) list
 
 (** The derivation backing an incremental configuration, if any. *)
 val derivation : t -> Mindetail.Derive.t option
+
+(** Lineage flow of the most recent batch — see {!Engine.last_flow}.
+    [None] for the recompute baseline and partitioned configurations. *)
+val last_flow : t -> Telemetry.Lineage.view_flow option
+
+(** Sampled drift audit against retained detail — see {!Engine.audit}.
+    [None] when the configuration cannot recompute from retained detail
+    (recompute baseline, partitioned, or an eliminated root auxview). *)
+val self_audit : sample:int -> t -> (int * int) option

@@ -324,6 +324,39 @@ type histogram_snapshot = {
           last bound is [infinity] *)
 }
 
+(* Rank-based percentile estimate from the bucket counts: find the bucket
+   holding the q-th observation and interpolate linearly between its edges.
+   The first bucket's lower edge and the overflow bucket's upper edge are
+   unknown, so the tracked min/max observations stand in for them; the
+   result is always clamped to [h_min, h_max]. *)
+let percentile h q =
+  if h.h_count = 0 || Float.is_nan q then Float.nan
+  else begin
+    let q = Float.max 0. (Float.min 1. q) in
+    let target = q *. float_of_int h.h_count in
+    let n_buckets = Array.length h.h_buckets in
+    let rec go i cum =
+      if i >= n_buckets then h.h_max
+      else begin
+        let bound, n = h.h_buckets.(i) in
+        let cum' = cum + n in
+        if n > 0 && float_of_int cum' >= target then begin
+          let lo =
+            if i = 0 then h.h_min else fst h.h_buckets.(i - 1)
+          in
+          let hi = if bound = infinity then h.h_max else bound in
+          let frac = (target -. float_of_int cum) /. float_of_int n in
+          let est =
+            if hi <= lo then hi else lo +. (frac *. (hi -. lo))
+          in
+          Float.max h.h_min (Float.min h.h_max est)
+        end
+        else go (i + 1) cum'
+      end
+    in
+    go 0 0
+  end
+
 type value =
   | Counter_v of int
   | Gauge_v of float

@@ -103,6 +103,13 @@ type histogram_snapshot = {
           last bound is [infinity] *)
 }
 
+val percentile : histogram_snapshot -> float -> float
+(** [percentile h q] estimates the [q]-th ([0..1]) percentile from the
+    bucket counts by linear interpolation inside the bucket holding the
+    target rank. The estimate is clamped to the tracked [h_min]/[h_max]
+    (which also stand in for the unknown edges of the first and overflow
+    buckets); [nan] when the histogram is empty. *)
+
 type value =
   | Counter_v of int
   | Gauge_v of float

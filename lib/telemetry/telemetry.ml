@@ -3,6 +3,8 @@
 
 module Metrics = Metrics
 module Trace = Trace
+module Lineage = Lineage
+module Jsonl_sink = Jsonl_sink
 module Counter = Metrics.Counter
 module Gauge = Metrics.Gauge
 module Histogram = Metrics.Histogram
@@ -70,9 +72,13 @@ let snap_to_json (s : Metrics.snap) =
       |> String.concat ","
     in
     Printf.sprintf
-      "{%s,\"type\":\"histogram\",\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s,\"buckets\":[%s]}"
+      "{%s,\"type\":\"histogram\",\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s,\"p50\":%s,\"p95\":%s,\"p99\":%s,\"buckets\":[%s]}"
       common h.h_count (json_float h.h_sum) (json_float h.h_min)
-      (json_float h.h_max) buckets
+      (json_float h.h_max)
+      (json_float (Metrics.percentile h 0.50))
+      (json_float (Metrics.percentile h 0.95))
+      (json_float (Metrics.percentile h 0.99))
+      buckets
 
 (* One metric per line: greppable, diffable, and a valid JSONL stream. *)
 let dump_json () =
@@ -111,6 +117,7 @@ let prom_labels = function
     ^ "}"
 
 let to_prometheus () =
+  let snaps = snapshot () in
   let buf = Buffer.create 4096 in
   let last_header = ref "" in
   let header name help kind =
@@ -149,5 +156,31 @@ let to_prometheus () =
              (prom_float h.h_sum));
         Buffer.add_string buf
           (Printf.sprintf "%s_count%s %d\n" s.s_name (lbl []) h.h_count))
-    (snapshot ());
+    snaps;
+  (* percentile estimates as separate gauge families, grouped per quantile
+     so each synthetic family gets exactly one TYPE header *)
+  let histograms =
+    List.filter_map
+      (fun (s : Metrics.snap) ->
+        match s.s_value with
+        | Metrics.Histogram_v h -> Some (s, h)
+        | _ -> None)
+      snaps
+  in
+  if histograms <> [] then
+    List.iter
+      (fun (suffix, q) ->
+        last_header := "";
+        List.iter
+          (fun ((s : Metrics.snap), h) ->
+            let name = s.s_name ^ suffix in
+            header name
+              (Printf.sprintf "Estimated %g-quantile of %s" q s.s_name)
+              "gauge";
+            Buffer.add_string buf
+              (Printf.sprintf "%s%s %s\n" name
+                 (prom_labels s.s_labels)
+                 (prom_float (Metrics.percentile h q))))
+          histograms)
+      [ ("_p50", 0.50); ("_p95", 0.95); ("_p99", 0.99) ];
   Buffer.contents buf

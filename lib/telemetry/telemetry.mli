@@ -8,6 +8,8 @@
 
 module Metrics = Metrics
 module Trace = Trace
+module Lineage = Lineage
+module Jsonl_sink = Jsonl_sink
 
 (** Shorthand for {!Metrics.Counter} etc. *)
 
@@ -39,11 +41,15 @@ val reset : unit -> unit
 (** Zero all metrics (for tests/benchmarks). *)
 
 val snap_to_json : Metrics.snap -> string
-(** One-line JSON object for a single metric. *)
+(** One-line JSON object for a single metric. Histograms carry
+    [p50]/[p95]/[p99] percentile estimates (see {!Metrics.percentile})
+    next to [count]/[sum]/[min]/[max]. *)
 
 val dump_json : unit -> string
 (** All metrics, one JSON object per line, sorted by (name, labels). *)
 
 val to_prometheus : unit -> string
 (** Prometheus text exposition: [# HELP]/[# TYPE] headers, cumulative
-    [_bucket{le=...}] series plus [_sum]/[_count] for histograms. *)
+    [_bucket{le=...}] series plus [_sum]/[_count] for histograms,
+    followed by [NAME_p50]/[NAME_p95]/[NAME_p99] gauge families with the
+    per-label-set percentile estimates. *)

@@ -24,7 +24,9 @@ type state = {
   ring : span option array;
   mutable next : int;  (* ring slot for the next span *)
   mutable total : int; (* spans recorded since last [clear] *)
-  mutable jsonl_oc : out_channel option;
+  mutable jsonl : Jsonl_sink.t option;
+  mutable rotate_max_bytes : int;
+  mutable rotate_keep : int;
 }
 
 let state =
@@ -33,7 +35,9 @@ let state =
     ring = Array.make capacity None;
     next = 0;
     total = 0;
-    jsonl_oc = None;
+    jsonl = None;
+    rotate_max_bytes = Jsonl_sink.default_max_bytes;
+    rotate_keep = Jsonl_sink.default_keep;
   }
 
 let mutex = Mutex.create ()
@@ -69,23 +73,38 @@ let span_to_json s =
     (json_escape s.name) s.start_s s.dur_s attrs
 
 let close_jsonl () =
-  match state.jsonl_oc with
-  | Some oc ->
-    (try close_out oc with Sys_error _ -> ());
-    state.jsonl_oc <- None
+  match state.jsonl with
+  | Some s ->
+    Jsonl_sink.close s;
+    state.jsonl <- None
   | None -> ()
+
+let open_jsonl path =
+  state.jsonl <-
+    Some
+      (Jsonl_sink.open_ ~max_bytes:state.rotate_max_bytes
+         ~keep:state.rotate_keep path)
 
 let set_sink sink =
   locked (fun () ->
       close_jsonl ();
       state.sink <- sink;
       match sink with
-      | Jsonl path ->
-        state.jsonl_oc <-
-          Some (open_out_gen [ Open_append; Open_creat ] 0o644 path)
+      | Jsonl path -> open_jsonl path
       | Null | Memory -> ())
 
 let sink () = locked (fun () -> state.sink)
+
+let set_rotation ~max_bytes ~keep =
+  locked (fun () ->
+      state.rotate_max_bytes <- max_bytes;
+      state.rotate_keep <- max 1 keep;
+      (* reopen a live sink so the new caps take effect immediately *)
+      match state.sink with
+      | Jsonl path ->
+        close_jsonl ();
+        open_jsonl path
+      | Null | Memory -> ())
 
 let record span =
   locked (fun () ->
@@ -99,11 +118,8 @@ let record span =
         state.ring.(state.next) <- Some span;
         state.next <- (state.next + 1) mod capacity;
         state.total <- state.total + 1;
-        (match state.jsonl_oc with
-        | Some oc ->
-          output_string oc (span_to_json span);
-          output_char oc '\n';
-          flush oc
+        (match state.jsonl with
+        | Some s -> Jsonl_sink.write_line s (span_to_json span)
         | None -> ()))
 
 let with_span ?(attrs = []) name f =

@@ -350,6 +350,36 @@ let load path =
 
 let wal_path dir = Filename.concat dir "wal.bin"
 let snapshot_path dir = Filename.concat dir "snapshot.bin"
+let lineage_path dir = Filename.concat dir "lineage.jsonl"
+
+(* --- lineage ----------------------------------------------------------- *)
+
+let delta_table_counts deltas =
+  let counts = Hashtbl.create 8 in
+  List.iter
+    (fun (d : Delta.t) ->
+      let n =
+        Option.value (Hashtbl.find_opt counts d.Delta.table) ~default:0
+      in
+      Hashtbl.replace counts d.Delta.table (n + 1))
+    deltas;
+  Hashtbl.fold (fun tbl n acc -> (tbl, n) :: acc) counts []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* One lineage record per committed batch, keyed by its WAL sequence
+   number. Called only after [commit_engines] (never on the rollback or
+   quarantine paths), so every emitted record describes durable state. *)
+let emit_lineage t ~seq deltas =
+  if Telemetry.enabled () then
+    Telemetry.Lineage.emit
+      {
+        Telemetry.Lineage.txn = seq;
+        tables = delta_table_counts deltas;
+        flows =
+          List.filter_map
+            (fun r -> Engines.last_flow r.engine)
+            (List.rev t.views);
+      }
 
 let checkpoint t =
   match (t.dir, t.wal) with
@@ -379,11 +409,14 @@ let attach ?checkpoint_every t ~dir =
   (match Wal.open_append (wal_path dir) with
   | w -> t.wal <- Some w
   | exception Wal.Corrupt m -> err Corrupt_state "%s" m);
+  (* lineage records persist next to the WAL commit markers they mirror *)
+  Telemetry.Lineage.set_sink (Some (lineage_path dir));
   (* durable from the start: a crash right after attach recovers to here *)
   checkpoint t
 
 let close t =
   Option.iter Wal.close t.wal;
+  if t.dir <> None then Telemetry.Lineage.set_sink None;
   t.wal <- None;
   t.dir <- None
 
@@ -456,6 +489,7 @@ let ingest_report_inner ~sync t deltas =
       Validator.commit t.validator;
       Telemetry.Counter.one Obs.commits;
       t.seq <- seq;
+      emit_lineage t ~seq accepted;
       (match t.checkpoint_every with
       | Some n when n > 0 && t.seq mod n = 0 && t.wal <> None -> checkpoint t
       | Some _ | None -> ());
@@ -531,7 +565,8 @@ let replay_batch t ~seq deltas =
     match apply_in_place t deltas with
     | () ->
       commit_engines t;
-      Validator.commit t.validator
+      Validator.commit t.validator;
+      emit_lineage t ~seq deltas
     | exception (Faults.Crash _ as crash) -> raise crash
     | exception e ->
       rollback_engines t;
@@ -555,6 +590,9 @@ let recover ~dir =
           (function Wal.Abort { seq } -> Some seq | Wal.Batch _ -> None)
           records
       in
+      (* open the sink before replay so replayed batches leave their
+         lineage records in the same file as live ingestion *)
+      Telemetry.Lineage.set_sink (Some (lineage_path dir));
       List.iter
         (function
           | Wal.Abort { seq } -> t.seq <- max t.seq seq
@@ -572,13 +610,109 @@ let recover ~dir =
 
 (* --- audit ------------------------------------------------------------- *)
 
-let audit t ~reference =
+let full_audit reference r =
+  let got = Engines.view_contents r.engine in
+  let expected = Algebra.Eval.eval reference r.view in
+  Relation.equal got expected
+
+let audit ?sample t ~reference =
   List.rev_map
     (fun r ->
-      let got = Engines.view_contents r.engine in
-      let expected = Algebra.Eval.eval reference r.view in
-      (r.view.View.name, Relation.equal got expected))
+      let ok =
+        match sample with
+        | Some k -> (
+          (* the continuous drift auditor: recompute [k] sampled group
+             keys from the retained detail and cross-check the maintained
+             view; engines without retained detail (full replicas,
+             partitioned views) fall back to the full comparison *)
+          match Engines.self_audit ~sample:k r.engine with
+          | Some (_checked, divergences) -> divergences = 0
+          | None -> full_audit reference r)
+        | None -> full_audit reference r
+      in
+      (r.view.View.name, ok))
     t.views
+
+let self_audit t ~sample =
+  List.rev
+    (List.filter_map
+       (fun r ->
+         Option.map
+           (fun (checked, divergences) ->
+             (r.view.View.name, checked, divergences))
+           (Engines.self_audit ~sample r.engine))
+       t.views)
+
+(* --- attribution ------------------------------------------------------- *)
+
+type reconciliation = {
+  rec_view : string;
+  rec_aux : string;
+  rec_base : string;
+  measured_resident : int;
+  gauge_resident : int;
+  measured_detail : int;
+  gauge_detail : int;
+  consistent : bool;  (** both deltas within the +-1 row tolerance *)
+}
+
+let attribution t =
+  let source = believed_source t in
+  List.filter_map
+    (fun r ->
+      Option.map
+        (fun d ->
+          let attrs = Mindetail.Attribution.measure source d in
+          Mindetail.Attribution.set_gauges ~view:r.view.View.name attrs;
+          (r.view.View.name, attrs))
+        (Engines.derivation r.engine))
+    (List.rev t.views)
+
+(* Reconcile the recomputed attribution against the live aux gauges the
+   maintenance engines publish: the waterfall's survivor counts must land
+   within one row of what incremental maintenance actually stores.
+   Meaningful only while telemetry is enabled (the gauges self-gate). *)
+let reconcile_attribution t =
+  if not (Telemetry.enabled ()) then []
+  else
+    List.concat_map
+      (fun (view_name, attrs) ->
+        List.filter_map
+          (fun (a : Mindetail.Attribution.t) ->
+            if not a.Mindetail.Attribution.retained then None
+            else begin
+              let labels =
+                [
+                  ("view", view_name);
+                  ("aux", a.Mindetail.Attribution.aux);
+                  ("base", a.Mindetail.Attribution.table);
+                ]
+              in
+              let gauge name =
+                int_of_float
+                  (Float.round
+                     (Telemetry.Gauge.value (Telemetry.Gauge.make ~labels name)))
+              in
+              let gauge_resident = gauge "minview_aux_resident_rows" in
+              let gauge_detail = gauge "minview_aux_detail_rows" in
+              let measured_resident = a.Mindetail.Attribution.resident_rows in
+              let measured_detail = a.Mindetail.Attribution.rows_after_join in
+              Some
+                {
+                  rec_view = view_name;
+                  rec_aux = a.Mindetail.Attribution.aux;
+                  rec_base = a.Mindetail.Attribution.table;
+                  measured_resident;
+                  gauge_resident;
+                  measured_detail;
+                  gauge_detail;
+                  consistent =
+                    abs (measured_resident - gauge_resident) <= 1
+                    && abs (measured_detail - gauge_detail) <= 1;
+                }
+            end)
+          attrs)
+      (attribution t)
 
 (* --- report ------------------------------------------------------------ *)
 

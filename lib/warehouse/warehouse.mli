@@ -179,8 +179,56 @@ val age_out : t -> string -> Relational.Tuple.t list -> unit
 
 (** [audit t ~reference] recomputes every registered view from scratch over
     [reference] (typically {!believed_source} or the true operational store)
-    and reports, per view, whether the maintained contents match. *)
-val audit : t -> reference:Relational.Database.t -> (string * bool) list
+    and reports, per view, whether the maintained contents match.
+
+    With [?sample:k] the audit runs in {e continuous drift} mode instead:
+    each incremental engine recomputes [k] evenly sampled group keys from
+    its own retained detail (the auxiliary views) and cross-checks the
+    maintained groups — [reference] is only consulted for engines without
+    retained detail (full replicas, partitioned views). Divergences also
+    surface as [minview_lineage_audit_divergences_total] counters and
+    [lineage.audit] trace events (see {!Telemetry.Lineage.audit}). *)
+val audit :
+  ?sample:int -> t -> reference:Relational.Database.t -> (string * bool) list
+
+(** [self_audit t ~sample] is the reference-free drift check alone:
+    for every view whose engine retains detail data, recompute [sample]
+    sampled groups from it and return [(view, checked, divergences)].
+    Views without retained detail are skipped. *)
+val self_audit : t -> sample:int -> (string * int * int) list
+
+(** {2 Savings attribution}
+
+    The paper's byte accounting, measured live: how much of the raw
+    detail each minimization technique (local selection, local
+    projection, join reduction, duplicate compression, auxview
+    elimination) is currently saving, per auxiliary view. *)
+
+(** [attribution t] measures every derivation-backed view against the
+    believed source ({!Mindetail.Attribution.measure}) and refreshes the
+    [minview_attr_*] gauges. Views without a derivation ([Replicate],
+    [Aged]) are skipped. *)
+val attribution : t -> (string * Mindetail.Attribution.t list) list
+
+(** One reconciliation check: the attribution waterfall's survivor counts
+    for a retained auxview versus the live [minview_aux_resident_rows] /
+    [minview_aux_detail_rows] gauges maintained incrementally by the
+    engine. [consistent] tolerates a difference of at most one row. *)
+type reconciliation = {
+  rec_view : string;
+  rec_aux : string;
+  rec_base : string;
+  measured_resident : int;
+  gauge_resident : int;
+  measured_detail : int;
+  gauge_detail : int;
+  consistent : bool;  (** both deltas within the +-1 row tolerance *)
+}
+
+(** Cross-check {!attribution} against the engines' live gauges, one
+    record per retained auxview. Empty while telemetry is disabled (the
+    gauges are never set then, so there is nothing to reconcile). *)
+val reconcile_attribution : t -> reconciliation list
 
 (** Full textual report: per-view derivation and storage. *)
 val report : t -> string
@@ -223,6 +271,9 @@ val load : string -> t
 (** [attach t ~dir] makes [t] durable: creates [dir] if needed, opens (or
     repairs) its WAL, and takes an initial checkpoint. With
     [?checkpoint_every:n], every [n]-th batch checkpoints automatically.
+    Also points the lineage sink at [dir/lineage.jsonl], so every
+    committed batch leaves a lineage record next to its WAL commit marker
+    (see {!Telemetry.Lineage}).
     @raise Error ([Invalid_request] if already attached, [Io_error],
     [Corrupt_state], [Not_persistable]). *)
 val attach : ?checkpoint_every:int -> t -> dir:string -> unit

@@ -29,6 +29,7 @@ A simulate run attached to a state directory write-ahead logs the batch:
 
   $ ../../bin/minview.exe simulate schema.sql changes.sql --state state > /dev/null
   $ ls state
+  lineage.jsonl
   snapshot.bin
   wal.bin
 

@@ -27,9 +27,12 @@ The telemetry verbs: the live compression dashboard and the span trace.
 
 The dashboard: per-auxview resident rows vs. the detail rows they stand
 for (the paper's compression table, measured live), plus maintenance
-counters. Timings are omitted; only observation counts are stable.
+counters. Timings are noise: the histogram section keeps only the
+observation counts stable, so the p50/p95/p99 estimates are normalized
+to `_` here (their math is covered by the telemetry unit tests).
 
-  $ ../../bin/minview.exe metrics schema.sql --changes changes.sql
+  $ ../../bin/minview.exe metrics schema.sql --changes changes.sql \
+  >   | sed -E 's/(p50|p95|p99)=[0-9e.+-]+/\1=_/g'
   == detail compression (live) ==
   +--------------+-----------+--------+---------------+-------------+-------+
   | view         | aux view  | base   | resident rows | detail rows | ratio |
@@ -39,12 +42,21 @@ counters. Timings are omitted; only observation counts are stable.
   | zone_revenue | txnDTL    | txn    | 2             | 4           | 2     |
   +--------------+-----------+--------+---------------+-------------+-------+
   == counters ==
+  minview_compression_specs_total{compressed=false} 2
+  minview_compression_specs_total{compressed=true} 1
+  minview_derive_decisions_total{decision=omitted} 0
+  minview_derive_decisions_total{decision=retained} 3
   minview_engine_batches_total{mode=parallel} 0
   minview_engine_batches_total{mode=serial} 1
   minview_engine_deltas_netted_total 0
   minview_engine_deltas_total 3
   minview_engine_merge_folds_total 0
   minview_engine_ops_applied_total 0
+  minview_lineage_records_total 1
+  minview_need_members_total 6
+  minview_reduction_columns_dropped_total 3
+  minview_reduction_conditions_pushed_total 0
+  minview_reduction_semijoins_planned_total 2
   minview_wal_appends_total 0
   minview_wal_bytes_written_total 0
   minview_wal_syncs_total 0
@@ -58,19 +70,19 @@ counters. Timings are omitted; only observation counts are stable.
   minview_shard_imbalance_ratio 0
   minview_view_groups{view=zone_revenue} 2
   == histograms (observation counts) ==
-  minview_engine_apply_seconds{mode=parallel} 0
-  minview_engine_apply_seconds{mode=serial} 1
-  minview_engine_phase_seconds{phase=compact} 0
-  minview_engine_phase_seconds{phase=dim-apply} 0
-  minview_engine_phase_seconds{phase=prepare} 0
-  minview_engine_phase_seconds{phase=shard-apply} 0
-  minview_engine_phase_seconds{phase=view-update} 1
-  minview_engine_phase_seconds{phase=weighted-merge} 0
-  minview_shard_run_seconds 0
-  minview_wal_fsync_seconds 0
-  minview_wal_group_commit_frames 0
-  minview_warehouse_checkpoint_seconds 0
-  minview_warehouse_ingest_seconds 1
+  minview_engine_apply_seconds{mode=parallel} 0 p50=_ p95=_ p99=_
+  minview_engine_apply_seconds{mode=serial} 1 p50=_ p95=_ p99=_
+  minview_engine_phase_seconds{phase=compact} 0 p50=_ p95=_ p99=_
+  minview_engine_phase_seconds{phase=dim-apply} 0 p50=_ p95=_ p99=_
+  minview_engine_phase_seconds{phase=prepare} 0 p50=_ p95=_ p99=_
+  minview_engine_phase_seconds{phase=shard-apply} 0 p50=_ p95=_ p99=_
+  minview_engine_phase_seconds{phase=view-update} 1 p50=_ p95=_ p99=_
+  minview_engine_phase_seconds{phase=weighted-merge} 0 p50=_ p95=_ p99=_
+  minview_shard_run_seconds 0 p50=_ p95=_ p99=_
+  minview_wal_fsync_seconds 0 p50=_ p95=_ p99=_
+  minview_wal_group_commit_frames 0 p50=_ p95=_ p99=_
+  minview_warehouse_checkpoint_seconds 0 p50=_ p95=_ p99=_
+  minview_warehouse_ingest_seconds 1 p50=_ p95=_ p99=_
 
 The machine-readable dump is one JSON object per line; counters and
 gauges carry no timing noise, so their lines are stable verbatim.
@@ -86,12 +98,21 @@ gauges carry no timing noise, so their lines are stable verbatim.
   {"name":"minview_aux_resident_rows","labels":{"aux":"regionDTL","base":"region","view":"zone_revenue"},"type":"gauge","value":2.0}
   {"name":"minview_aux_resident_rows","labels":{"aux":"shopDTL","base":"shop","view":"zone_revenue"},"type":"gauge","value":2.0}
   {"name":"minview_aux_resident_rows","labels":{"aux":"txnDTL","base":"txn","view":"zone_revenue"},"type":"gauge","value":2.0}
+  {"name":"minview_compression_specs_total","labels":{"compressed":"false"},"type":"counter","value":2}
+  {"name":"minview_compression_specs_total","labels":{"compressed":"true"},"type":"counter","value":1}
+  {"name":"minview_derive_decisions_total","labels":{"decision":"omitted"},"type":"counter","value":0}
+  {"name":"minview_derive_decisions_total","labels":{"decision":"retained"},"type":"counter","value":3}
   {"name":"minview_engine_batches_total","labels":{"mode":"parallel"},"type":"counter","value":0}
   {"name":"minview_engine_batches_total","labels":{"mode":"serial"},"type":"counter","value":1}
   {"name":"minview_engine_deltas_netted_total","labels":{},"type":"counter","value":0}
   {"name":"minview_engine_deltas_total","labels":{},"type":"counter","value":3}
   {"name":"minview_engine_merge_folds_total","labels":{},"type":"counter","value":0}
   {"name":"minview_engine_ops_applied_total","labels":{},"type":"counter","value":0}
+  {"name":"minview_lineage_records_total","labels":{},"type":"counter","value":1}
+  {"name":"minview_need_members_total","labels":{},"type":"counter","value":6}
+  {"name":"minview_reduction_columns_dropped_total","labels":{},"type":"counter","value":3}
+  {"name":"minview_reduction_conditions_pushed_total","labels":{},"type":"counter","value":0}
+  {"name":"minview_reduction_semijoins_planned_total","labels":{},"type":"counter","value":2}
   {"name":"minview_shard_imbalance_ratio","labels":{},"type":"gauge","value":0.0}
   {"name":"minview_view_groups","labels":{"view":"zone_revenue"},"type":"gauge","value":2.0}
   {"name":"minview_wal_appends_total","labels":{},"type":"counter","value":0}
@@ -120,6 +141,7 @@ attributes only; --json adds the timings):
   $ ../../bin/minview.exe trace schema.sql --changes changes.sql
   engine.view-update
   engine.apply-batch {mode=serial,view=zone_revenue}
+  lineage.record {txn=1,tables=1,deltas=3}
   warehouse.ingest
 
 TELEMETRY=off disables collection — counters stay at zero and no spans

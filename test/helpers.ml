@@ -93,3 +93,31 @@ let check_view_maintained ?(rounds = 10) ?(per_round = 30) ?(seed = 0) db view
       (Printf.sprintf "%s round %d" view.View.name round)
       expected got
   done
+
+(* CI post-mortem hook: when MINVIEW_TEST_TELEMETRY_DIR is set (the CI
+   test step does), every test binary dumps its final metrics snapshot
+   and trace ring there on exit, so a failing `dune runtest` leaves
+   TELEMETRY_dump.json / trace JSONL artifacts to upload. *)
+let () =
+  match Sys.getenv_opt "MINVIEW_TEST_TELEMETRY_DIR" with
+  | None -> ()
+  | Some dir ->
+      at_exit (fun () ->
+          (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+          let base =
+            Filename.remove_extension (Filename.basename Sys.executable_name)
+          in
+          let write name contents =
+            try
+              let oc = open_out (Filename.concat dir name) in
+              output_string oc contents;
+              close_out oc
+            with Sys_error _ -> ()
+          in
+          write (base ^ "_TELEMETRY_dump.json") (Telemetry.dump_json ());
+          write
+            (base ^ "_trace.jsonl")
+            (String.concat ""
+               (List.map
+                  (fun s -> Telemetry.Trace.span_to_json s ^ "\n")
+                  (Telemetry.Trace.recent ()))))
