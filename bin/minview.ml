@@ -6,6 +6,8 @@
                                  — load, register, ingest, print views
    `minview recover state-dir`   — rebuild a durable warehouse after a crash
    `minview audit state-dir`     — check maintained views against recomputation
+   `minview fsck state-dir`      — read-only integrity check (exit 0/4/5)
+   `minview repair state-dir`    — quarantine whatever does not verify
    `minview demo`                — the paper's running example end to end *)
 
 open Cmdliner
@@ -271,7 +273,16 @@ let dir_arg =
            $(b,--state).")
 
 let recover_cmd =
-  let run () dir =
+  let checkpoint_flag =
+    Arg.(
+      value & flag
+      & info [ "checkpoint" ]
+          ~doc:
+            "Checkpoint the recovered state before exiting: the replayed WAL \
+             is archived into the generation chain and the next recovery \
+             starts from the fresh snapshot.")
+  in
+  let run () dir checkpoint =
     with_errors (fun () ->
         let wh = Warehouse.recover ~dir in
         Printf.printf "recovered %d view(s) at batch %d from %s\n"
@@ -280,6 +291,7 @@ let recover_cmd =
           dir;
         print_dead_letters wh;
         List.iter (print_view wh) (Warehouse.view_names wh);
+        if checkpoint then Warehouse.checkpoint wh;
         Warehouse.close wh)
   in
   Cmd.v
@@ -287,7 +299,89 @@ let recover_cmd =
        ~doc:
          "Rebuild a durable warehouse from its state directory — latest \
           snapshot plus write-ahead-log replay — and print the recovered \
-          views.")
+          views. With $(b,--checkpoint), snapshot the recovered state so \
+          the replayed log is archived into the generation chain.")
+    Term.(const run $ setup_term $ dir_arg $ checkpoint_flag)
+
+(* fsck/repair exit codes: 0 clean (or nothing to do), 4 damage found
+   (fsck) / damage repaired (repair), 5 unrecoverable — no snapshot
+   verifies, 1 operational error. Distinct from the generic codes so
+   operator scripts can branch on the outcome. *)
+let with_state_errors f =
+  try f () with
+  | Warehouse.Error { kind; detail } ->
+    Printf.eprintf "warehouse error [%s]: %s\n" (Warehouse.kind_label kind)
+      detail;
+    1
+  | Sys_error m ->
+    Printf.eprintf "i/o error: %s\n" m;
+    1
+
+let fsck_cmd =
+  let run () dir =
+    with_state_errors (fun () ->
+        let report = Warehouse.fsck ~dir in
+        List.iter
+          (fun (e : Warehouse.fsck_entry) ->
+            Printf.printf "%-36s %s  %s\n" e.Warehouse.f_file
+              (if e.Warehouse.f_ok then "ok     " else "DAMAGED")
+              e.Warehouse.f_detail)
+          report.Warehouse.fsck_entries;
+        if report.Warehouse.fsck_clean then begin
+          print_endline "state: clean";
+          0
+        end
+        else if report.Warehouse.fsck_recoverable then begin
+          print_endline
+            "state: damaged but recoverable (run `minview repair` to \
+             quarantine the damage)";
+          4
+        end
+        else begin
+          print_endline "state: unrecoverable (no snapshot verifies)";
+          5
+        end)
+  in
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:
+         "Read-only integrity check of a warehouse state directory: verify \
+          every snapshot (live and archived generations, CRC + decode) and \
+          scan every WAL segment for torn writes and bit flips. Exit 0 if \
+          clean, 4 if damaged but recoverable, 5 if no snapshot verifies, 1 \
+          on operational errors.")
+    Term.(const run $ setup_term $ dir_arg)
+
+let repair_cmd =
+  let run () dir =
+    with_state_errors (fun () ->
+        let r = Warehouse.repair ~dir in
+        List.iter
+          (fun (file, what) -> Printf.printf "%s: %s\n" file what)
+          r.Warehouse.repair_actions;
+        match (r.Warehouse.repair_actions, r.Warehouse.repair_recoverable) with
+        | [], true ->
+          print_endline "nothing to repair";
+          0
+        | actions, true ->
+          Printf.printf "repaired: %d file(s) quarantined; `minview recover` \
+                         will proceed\n"
+            (List.length actions);
+          4
+        | _, false ->
+          print_endline "unrepairable: no verifiable snapshot remains";
+          5)
+  in
+  Cmd.v
+    (Cmd.info "repair"
+       ~doc:
+         "Quarantine everything $(b,minview fsck) would flag: damaged WAL \
+          tails are salvaged (bad bytes preserved in .quarantine files), \
+          unverifiable snapshots and unreadable WAL files renamed aside, so \
+          a subsequent $(b,minview recover) succeeds from what remains. \
+          Never deletes data. Exit 0 if nothing to do, 4 if repairs were \
+          made, 5 if no verifiable snapshot remains, 1 on operational \
+          errors.")
     Term.(const run $ setup_term $ dir_arg)
 
 let audit_cmd =
@@ -351,12 +445,25 @@ let json_flag =
     value & flag
     & info [ "json" ] ~doc:"Machine-readable output (one JSON object per line).")
 
+let parallel_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "parallel" ] ~docv:"DOMAINS"
+        ~doc:
+          "Apply batches through a supervised shard-parallel pool of \
+           $(docv) domains (0 or 1 = serial). A worker failure rolls the \
+           batch back, re-applies it serially and degrades ingestion until \
+           re-promotion — see the minview_warehouse_parallel_* metrics.")
+
 (* Load, register, optionally ingest — the shared pipeline behind the
    telemetry verbs. *)
-let run_pipeline script changes strategy =
+let run_pipeline script changes strategy parallel =
   let db, views = load_script script in
   let wh = Warehouse.create db in
   List.iter (Warehouse.add_view ~strategy wh) views;
+  if parallel > 1 then
+    Warehouse.set_parallel wh
+      (Some (Maintenance.Shard.supervised ~domains:parallel ~deadline:10.));
   (match changes with
   | Some file ->
     let outcomes = Sqlfront.Elaborate.run_script db (read_file file) in
@@ -480,9 +587,9 @@ let metrics_cmd =
       & info [ "prometheus" ]
           ~doc:"Prometheus text exposition instead of the dashboard.")
   in
-  let run () script changes strategy json prometheus =
+  let run () script changes strategy parallel json prometheus =
     with_errors (fun () ->
-        let wh = run_pipeline script changes strategy in
+        let wh = run_pipeline script changes strategy parallel in
         if json then print_endline (Telemetry.dump_json ())
         else if prometheus then print_string (Telemetry.to_prometheus ())
         else print_metrics_human ();
@@ -498,12 +605,12 @@ let metrics_cmd =
           maintenance counters, and phase latency histograms.")
     Term.(
       const run $ setup_term $ script_arg $ changes_opt $ strategy_arg
-      $ json_flag $ prometheus_flag)
+      $ parallel_arg $ json_flag $ prometheus_flag)
 
 let trace_cmd =
-  let run () script changes strategy json =
+  let run () script changes strategy parallel json =
     with_errors (fun () ->
-        let wh = run_pipeline script changes strategy in
+        let wh = run_pipeline script changes strategy parallel in
         let spans = Telemetry.Trace.recent () in
         if json then
           List.iter
@@ -530,7 +637,7 @@ let trace_cmd =
           --json adds timings as JSONL).")
     Term.(
       const run $ setup_term $ script_arg $ changes_opt $ strategy_arg
-      $ json_flag)
+      $ parallel_arg $ json_flag)
 
 (* --- lineage / attribution / explain ------------------------------------ *)
 
@@ -549,9 +656,9 @@ let lineage_cmd =
       & info [ "table" ] ~docv:"TABLE"
           ~doc:"Only records whose batch touched base table $(docv).")
   in
-  let run () script changes strategy txn table json =
+  let run () script changes strategy parallel txn table json =
     with_errors (fun () ->
-        let wh = run_pipeline script changes strategy in
+        let wh = run_pipeline script changes strategy parallel in
         let records = Telemetry.Lineage.recent ?txn ?table () in
         if records = [] then
           print_endline
@@ -575,12 +682,12 @@ let lineage_cmd =
           vs. folded rows) and the view groups.")
     Term.(
       const run $ setup_term $ script_arg $ changes_opt $ strategy_arg
-      $ txn_opt $ table_opt $ json_flag)
+      $ parallel_arg $ txn_opt $ table_opt $ json_flag)
 
 let attribute_cmd =
-  let run () script changes strategy json =
+  let run () script changes strategy parallel json =
     with_errors (fun () ->
-        let wh = run_pipeline script changes strategy in
+        let wh = run_pipeline script changes strategy parallel in
         let attrs = Warehouse.attribution wh in
         if attrs = [] then
           print_endline "no derivation-backed views to attribute";
@@ -630,7 +737,7 @@ let attribute_cmd =
           gauges; exit non-zero on a reconciliation mismatch.")
     Term.(
       const run $ setup_term $ script_arg $ changes_opt $ strategy_arg
-      $ json_flag)
+      $ parallel_arg $ json_flag)
 
 let explain_cmd =
   let dot_flag =
@@ -730,8 +837,8 @@ let main =
           self-maintaining auxiliary views for GPSJ summary tables (Akinde, \
           Jensen & Böhlen, EDBT 1998).")
     [ derive_cmd; dot_cmd; explain_cmd; simulate_cmd; reconstruct_cmd;
-      sharing_cmd; verify_cmd; recover_cmd; audit_cmd; metrics_cmd; trace_cmd;
-      lineage_cmd; attribute_cmd; demo_cmd ]
+      sharing_cmd; verify_cmd; recover_cmd; audit_cmd; fsck_cmd; repair_cmd;
+      metrics_cmd; trace_cmd; lineage_cmd; attribute_cmd; demo_cmd ]
 
 let () =
   (* the fault-injection harness: MINVIEW_FAULT=<point>[:skip] arms a named

@@ -1031,14 +1031,24 @@ let root_merge t root_deltas =
   Array.of_list (List.rev !order)
 
 (* Below this many compacted root operations, domain spawns cost more than
-   they recover; the fast path then runs both phases inline. *)
-let par_threshold = 512
+   they recover; the fast path then runs both phases inline. Overridable
+   (MINVIEW_PAR_THRESHOLD) so fault-injection tests can reach the parallel
+   path with small batches; read per batch, so tests may set it late. *)
+let default_par_threshold = 512
+
+let par_threshold () =
+  match Sys.getenv_opt "MINVIEW_PAR_THRESHOLD" with
+  | None -> default_par_threshold
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n when n >= 0 -> n
+    | Some _ | None -> default_par_threshold)
 
 let apply_root_ops t pool ops =
   let n = Array.length ops in
   let root_st = aux_of t t.root in
   let nw =
-    if n < par_threshold then 1 else min (Shard.domains pool) nshards
+    if n < par_threshold () then 1 else min (Shard.domains pool) nshards
   in
   (* Phase A — preparation, read-only on all shared state: membership
      tests and join probes read dimension auxiliary views (concurrent pure

@@ -4,14 +4,21 @@ type point =
   | Mid_checkpoint
   | Before_wal_truncate
   | After_truncate_rename
+  | After_checkpoint_rename
   | Mid_group_commit
+  | In_shard_worker
+  | Wal_fsync
+
+type mode = Kill | Fail
 
 exception Crash of point
+exception Injected of point
 
 let all =
   [
     After_wal_append; Mid_engine_apply; Mid_checkpoint; Before_wal_truncate;
-    After_truncate_rename; Mid_group_commit;
+    After_truncate_rename; After_checkpoint_rename; Mid_group_commit;
+    In_shard_worker; Wal_fsync;
   ]
 
 let to_string = function
@@ -20,31 +27,40 @@ let to_string = function
   | Mid_checkpoint -> "mid-checkpoint"
   | Before_wal_truncate -> "before-wal-truncate"
   | After_truncate_rename -> "after-truncate-rename"
+  | After_checkpoint_rename -> "after-checkpoint-rename"
   | Mid_group_commit -> "mid-group-commit"
+  | In_shard_worker -> "in-shard-worker"
+  | Wal_fsync -> "wal-fsync"
 
 let of_string s = List.find_opt (fun p -> String.equal (to_string p) s) all
 
-(* armed point and number of hits to survive before crashing *)
-let state : (point * int ref) option ref = ref None
+(* armed point, failure mode, and number of hits to survive before firing *)
+let state : (point * mode * int ref) option ref = ref None
 
-let arm ?(skip = 0) point = state := Some (point, ref skip)
+let arm ?(skip = 0) ?(mode = Kill) point = state := Some (point, mode, ref skip)
 let disarm () = state := None
-let armed () = Option.map fst !state
+let armed () = Option.map (fun (p, _, _) -> p) !state
 
 let hit point =
   match !state with
-  | Some (p, remaining) when p = point ->
+  | Some (p, mode, remaining) when p = point ->
     if !remaining = 0 then begin
       (* disarm first: recovery code running in the same process after the
-         simulated crash must not crash again at the same point *)
+         simulated fault must not trip again at the same point *)
       disarm ();
-      (* registered lazily — crashes are rare and injected *)
+      (* registered lazily — faults are rare and injected *)
       Telemetry.Counter.one
         (Telemetry.Counter.make
-           ~labels:[ ("point", to_string point) ]
-           ~help:"Injected crashes raised at this crash point"
+           ~labels:
+             [
+               ("point", to_string point);
+               ("mode", match mode with Kill -> "kill" | Fail -> "fail");
+             ]
+           ~help:"Injected faults raised at this crash point"
            "minview_faults_crashes_total");
-      raise (Crash point)
+      match mode with
+      | Kill -> raise (Crash point)
+      | Fail -> raise (Injected point)
     end
     else decr remaining
   | Some _ | None -> ()
@@ -55,6 +71,18 @@ let arm_from_env () =
   match Sys.getenv_opt env_var with
   | None | Some "" -> ()
   | Some spec ->
+    (* "<point>[:skip]" kills the process at the point; "fail:<point>[:skip]"
+       raises the recoverable Injected fault instead *)
+    let mode, spec =
+      let prefix = "fail:" in
+      if
+        String.length spec > String.length prefix
+        && String.equal (String.sub spec 0 (String.length prefix)) prefix
+      then
+        (Fail, String.sub spec (String.length prefix)
+                 (String.length spec - String.length prefix))
+      else (Kill, spec)
+    in
     let name, skip =
       match String.index_opt spec ':' with
       | None -> (spec, 0)
@@ -70,7 +98,7 @@ let arm_from_env () =
               (Printf.sprintf "%s: bad skip count in %S" env_var spec) )
     in
     (match of_string name with
-    | Some p -> arm ~skip p
+    | Some p -> arm ~skip ~mode p
     | None ->
       invalid_arg
         (Printf.sprintf "%s: unknown crash point %S (known: %s)" env_var name

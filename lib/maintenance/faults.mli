@@ -1,12 +1,19 @@
 (** Fault injection: named crash points in the ingestion pipeline.
 
     A crash point marks a place where a real deployment could lose the
-    process — power cut, OOM kill, operator error. Tests (and the CLI, via
+    process — power cut, OOM kill, operator error — or hit a transient
+    failure (a flaky fsync, a worker domain dying). Tests (and the CLI, via
     the [MINVIEW_FAULT] environment variable) {!arm} a point; when the
-    pipeline reaches it, {!hit} raises {!Crash}, which the warehouse
-    deliberately never catches: the exception unwinds like a [kill -9],
-    leaving the on-disk state exactly as a real crash would. Recovery code
-    then has to cope with whatever was left behind.
+    pipeline reaches it, {!hit} raises.
+
+    Two failure modes:
+    - [Kill] (the default) raises {!Crash}, which the warehouse deliberately
+      never catches: the exception unwinds like a [kill -9], leaving the
+      on-disk state exactly as a real crash would. Recovery code then has to
+      cope with whatever was left behind.
+    - [Fail] raises {!Injected}, a {e recoverable} fault: the supervised
+      paths (WAL durability barriers, shard workers) catch it and exercise
+      their retry / rollback / degradation machinery instead of dying.
 
     The crash-point matrix (what is on disk when each point fires) is
     documented in DESIGN.md. *)
@@ -27,14 +34,32 @@ type point =
       (** the truncated WAL was renamed into place but the directory entry
           was not yet fsynced: after a power cut the old (stale) WAL may
           reappear, and replay must still converge *)
+  | After_checkpoint_rename
+      (** the new snapshot was renamed into place but the directory entry
+          was not yet fsynced: a power cut may resurrect the previous
+          snapshot, and the generation chain must still recover *)
   | Mid_group_commit
       (** a group commit flushed only part of its buffered frames to the OS
           before the power cut: the WAL ends in a torn record and replay must
           recover the durable prefix *)
+  | In_shard_worker
+      (** inside a shard worker's job, mid-parallel-apply: with [Fail] the
+          supervisor must roll the transaction back and degrade to serial *)
+  | Wal_fsync
+      (** at the WAL durability barrier: with [Fail] models a transient
+          fsync failure that the ingest retry policy must absorb *)
 
-(** The simulated crash. Deliberately not an [Error]-style exception: only
-    test harnesses and the CLI top level may catch it. *)
+(** How an armed point fires: [Kill] simulates process death ({!Crash},
+    never caught by the pipeline); [Fail] simulates a transient, recoverable
+    fault ({!Injected}, absorbed by supervision/retry). *)
+type mode = Kill | Fail
+
+(** The simulated process death. Deliberately not an [Error]-style
+    exception: only test harnesses and the CLI top level may catch it. *)
 exception Crash of point
+
+(** The simulated transient fault; supervised paths catch it. *)
+exception Injected of point
 
 val all : point list
 
@@ -43,10 +68,11 @@ val to_string : point -> string
 
 val of_string : string -> point option
 
-(** [arm ?skip p] makes the [(skip+1)]-th {!hit} of [p] raise {!Crash}.
-    Arming replaces any previously armed point; the trigger disarms itself
-    before raising, so post-crash recovery in the same process runs clean. *)
-val arm : ?skip:int -> point -> unit
+(** [arm ?skip ?mode p] makes the [(skip+1)]-th {!hit} of [p] fire with
+    [mode] (default [Kill]). Arming replaces any previously armed point; the
+    trigger disarms itself before raising, so post-fault code in the same
+    process runs clean. *)
+val arm : ?skip:int -> ?mode:mode -> point -> unit
 
 val disarm : unit -> unit
 val armed : unit -> point option
@@ -54,7 +80,8 @@ val armed : unit -> point option
 (** Called by the pipeline at each crash point; no-op unless armed. *)
 val hit : point -> unit
 
-(** ["MINVIEW_FAULT"] — set to ["<point>"] or ["<point>:<skip>"]. *)
+(** ["MINVIEW_FAULT"] — set to ["<point>"] or ["<point>:<skip>"] for a kill,
+    or ["fail:<point>[:<skip>]"] for a recoverable injected fault. *)
 val env_var : string
 
 (** Arm from the environment (CLI entry point).

@@ -10,9 +10,15 @@
    With [domains = 1] (or a single-worker run) everything executes on the
    calling domain and no domain is ever spawned.
 
-   Worker exceptions are captured and re-raised on the caller (lowest worker
-   index wins, deterministically), after every worker has finished its job,
-   so a failing phase never leaves a worker mid-run.
+   Supervision: worker exceptions are captured and re-raised on the caller
+   (lowest worker index wins, deterministically), after every worker has
+   finished its job, so a failing phase never leaves a worker mid-run. A
+   pool created with a [deadline] additionally bounds how long the caller
+   waits for each spawned worker; a worker that blows the deadline raises
+   [Wedged] on the caller and poisons the pool — the wedged domain cannot
+   be killed (OCaml domains are not cancellable), so it is abandoned and a
+   fresh worker set is spawned on the next multi-worker run. Both failure
+   kinds bump [minview_shard_worker_failures_total].
 
    Workers are daemon-like: they are never joined, and the process exits
    normally while they are parked.  A pool must only be driven from one
@@ -28,16 +34,27 @@ type worker = {
 
 type pool = {
   domains : int;
+  deadline : float option;  (* seconds the caller waits per worker per run *)
   mutable workers : worker array;  (* empty until the first parallel run *)
+  mutable poisoned : bool;  (* a worker wedged: abandon and respawn *)
 }
 
-let create ~domains =
+exception Wedged of { worker : int; waited : float }
+
+let make deadline domains =
   if domains < 1 then invalid_arg "Shard.create: domains must be >= 1";
-  { domains; workers = [||] }
+  (match deadline with
+  | Some d when d <= 0. -> invalid_arg "Shard.create: deadline must be > 0"
+  | Some _ | None -> ());
+  { domains; deadline; workers = [||]; poisoned = false }
+
+let create ~domains = make None domains
+let supervised ~domains ~deadline = make (Some deadline) domains
 
 let domains t = t.domains
+let deadline t = t.deadline
 
-let serial = { domains = 1; workers = [||] }
+let serial = { domains = 1; deadline = None; workers = [||]; poisoned = false }
 
 let worker_loop w id =
   Mutex.lock w.m;
@@ -56,6 +73,13 @@ let worker_loop w id =
   done
 
 let ensure_workers pool =
+  (* a poisoned pool abandons its workers (one of them is wedged inside a
+     job and can never be reused) and starts a fresh set; the wedged domain
+     leaks by design — OCaml offers no way to kill it *)
+  if pool.poisoned then begin
+    pool.workers <- [||];
+    pool.poisoned <- false
+  end;
   if Array.length pool.workers = 0 then
     pool.workers <-
       Array.init (pool.domains - 1) (fun i ->
@@ -88,6 +112,30 @@ let await w =
   Mutex.unlock w.m;
   error
 
+(* Deadline-bounded wait: [Condition] has no timed wait, so poll the busy
+   flag in short sleeps. Only the supervised (deadline) path pays this;
+   2 ms granularity is noise next to a multi-worker phase. *)
+let await_deadline w ~seconds =
+  let t0 = Unix.gettimeofday () in
+  let rec loop () =
+    Mutex.lock w.m;
+    if not w.busy then begin
+      let error = w.error in
+      Mutex.unlock w.m;
+      Ok error
+    end
+    else begin
+      Mutex.unlock w.m;
+      let waited = Unix.gettimeofday () -. t0 in
+      if waited > seconds then Error waited
+      else begin
+        Unix.sleepf 0.002;
+        loop ()
+      end
+    end
+  in
+  loop ()
+
 module Obs = struct
   let run_seconds =
     Telemetry.Histogram.make
@@ -106,17 +154,59 @@ module Obs = struct
       ~labels:[ ("worker", string_of_int w) ]
       ~help:"Cumulative busy time of this pool worker across runs"
       "minview_shard_worker_busy_seconds_total"
+
+  let failures kind =
+    Telemetry.Counter.make
+      ~labels:[ ("kind", kind) ]
+      ~help:"Shard workers that failed a pool run (raised or wedged)"
+      "minview_shard_worker_failures_total"
 end
+
+let raise_failure exn =
+  Telemetry.Counter.one (Obs.failures "raised");
+  raise exn
 
 let run_jobs pool n f =
   ensure_workers pool;
+  (* the injected worker fault: in [Fail] mode the supervisor above the
+     engine must roll the transaction back and degrade to serial apply *)
+  let f w =
+    Faults.hit Faults.In_shard_worker;
+    f w
+  in
   for w = 1 to n - 1 do
     post pool.workers.(w - 1) f
   done;
   let err0 = (try f 0; None with exn -> Some exn) in
-  let errors = Array.init (n - 1) (fun i -> await pool.workers.(i)) in
-  (match err0 with Some exn -> raise exn | None -> ());
-  Array.iter (function Some exn -> raise exn | None -> ()) errors
+  (match pool.deadline with
+  | None ->
+    let errors = Array.init (n - 1) (fun i -> await pool.workers.(i)) in
+    (match err0 with Some exn -> raise_failure exn | None -> ());
+    Array.iter
+      (function Some exn -> raise_failure exn | None -> ())
+      errors
+  | Some seconds ->
+    (* collect every worker that still answers before raising, so the pool
+       is quiescent when the supervisor sees the failure; the first wedge
+       stops the collection (the pool is poisoned anyway) *)
+    let errors = Array.make (n - 1) None in
+    let wedged = ref None in
+    (try
+       for i = 0 to n - 2 do
+         match await_deadline pool.workers.(i) ~seconds with
+         | Ok e -> errors.(i) <- e
+         | Error waited ->
+           pool.poisoned <- true;
+           Telemetry.Counter.one (Obs.failures "wedged");
+           wedged := Some (Wedged { worker = i + 1; waited });
+           raise Exit
+       done
+     with Exit -> ());
+    (match !wedged with Some exn -> raise exn | None -> ());
+    (match err0 with Some exn -> raise_failure exn | None -> ());
+    Array.iter
+      (function Some exn -> raise_failure exn | None -> ())
+      errors)
 
 (* [run pool n f] executes [f w] for workers [w = 0 .. n-1] where
    [n = min pool.domains n_wanted]; worker 0 runs on the calling domain. *)

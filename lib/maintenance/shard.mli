@@ -7,15 +7,33 @@
     delay other domains' collections, and the process exits normally while
     they are parked — pools need no explicit shutdown.
 
+    Supervision: a pool created with [?deadline] bounds how long the caller
+    waits for each spawned worker per {!run}. A worker that exceeds it is
+    {e wedged}: {!Wedged} is raised on the caller and the pool is poisoned —
+    the wedged domain cannot be cancelled, so it is abandoned (it leaks, by
+    design) and a fresh worker set is spawned on the next multi-worker run.
+    Worker failures of either kind are counted as
+    [minview_shard_worker_failures_total{kind="raised"|"wedged"}].
+
     A pool must be driven from one domain at a time.  Pools are runtime-only
     objects (they hold mutexes) and must not be marshalled. *)
 
 type pool
 
+(** A spawned worker did not finish its job within the pool's deadline.
+    The pool is poisoned when this is raised; the next {!run} respawns its
+    workers. *)
+exception Wedged of { worker : int; waited : float }
+
 (** @raise Invalid_argument if [domains < 1]. *)
 val create : domains:int -> pool
 
+(** As {!create}, with a per-worker-per-run [deadline] in seconds.
+    @raise Invalid_argument if [domains < 1] or [deadline <= 0]. *)
+val supervised : domains:int -> deadline:float -> pool
+
 val domains : pool -> int
+val deadline : pool -> float option
 
 (** One-domain pool: {!run} executes inline on the calling domain. *)
 val serial : pool
@@ -23,7 +41,13 @@ val serial : pool
 (** [run pool ~workers f] runs [f w] for [w = 0 .. min pool.domains workers - 1],
     worker 0 on the calling domain, the rest on the pool's resident worker
     domains.  Returns once every worker has finished; if any worker raised,
-    the exception of the lowest-indexed failing worker is re-raised. *)
+    the exception of the lowest-indexed failing worker is re-raised (after
+    all workers finished, so the pool is quiescent). With a pool deadline, a
+    worker that overruns it raises {!Wedged} instead.
+
+    Multi-worker runs pass the [Maintenance.Faults.In_shard_worker] fault
+    point inside every worker's job — arming it in [Fail] mode injects a
+    recoverable worker failure mid-parallel-apply. *)
 val run : pool -> workers:int -> (int -> unit) -> unit
 
 (** Static shard ownership: shard [s] belongs to worker [s mod workers]. *)

@@ -24,47 +24,98 @@ let frame record =
 
 let u32 s off = Int32.to_int (String.get_int32_le s off) land 0xffffffff
 
-(* Read one record; [None] marks a torn or corrupt tail (incomplete frame
-   header, truncated payload, checksum mismatch, unparseable payload). *)
+(* --- damage classification --------------------------------------------- *)
+
+type damage_kind = Torn_write | Bit_flip
+
+let damage_kind_label = function
+  | Torn_write -> "torn-write"
+  | Bit_flip -> "bit-flip"
+
+type damage = {
+  d_offset : int;  (** where the undecodable tail starts *)
+  d_bytes : int;  (** bytes from there to end of file *)
+  d_kind : damage_kind;
+  d_reason : string;
+}
+
+type scan = {
+  s_records : record list;
+  s_valid_bytes : int;  (** header + every decodable record *)
+  s_damage : damage option;
+}
+
+(* Read one record; [Error] describes why the tail starting at the current
+   frame is undecodable. A file that simply ends mid-frame is a torn write
+   (the crash artifact of an interrupted append); a full-length frame whose
+   checksum or payload is wrong is mid-stream bit rot. Frame boundaries
+   cannot be resynchronized past either (records carry no per-frame magic),
+   so everything from the damage offset belongs to the quarantined tail. *)
 let read_record ic remaining =
-  if remaining < 8 then None
+  if remaining < 8 then
+    Error (Torn_write, Printf.sprintf "incomplete frame header (%d bytes)" remaining)
   else
     let header = really_input_string ic 8 in
     let len = u32 header 0 and crc = u32 header 4 in
-    if len > remaining - 8 then None
+    if len > remaining - 8 then
+      Error
+        ( Torn_write,
+          Printf.sprintf "truncated payload (%d of %d bytes)" (remaining - 8)
+            len )
     else
       let payload = really_input_string ic len in
-      if Checksum.string payload <> crc then None
+      if Checksum.string payload <> crc then
+        Error (Bit_flip, "payload checksum mismatch")
       else
         match (Marshal.from_string payload 0 : record) with
-        | r -> Some r
-        | exception _ -> None
+        | r -> Ok r
+        | exception _ -> Error (Bit_flip, "checksummed payload is undecodable")
 
 (* --- reading ----------------------------------------------------------- *)
 
-let read_all path =
-  if not (Sys.file_exists path) then ([], true)
+let scan_channel path ic =
+  let total = in_channel_length ic in
+  if total < String.length magic then corrupt "%s: missing header" path
+  else begin
+    let header = really_input_string ic (String.length magic) in
+    if not (String.equal header magic) then corrupt "%s: not a WAL file" path;
+    let rec loop acc =
+      let at = pos_in ic in
+      let remaining = total - at in
+      if remaining = 0 then
+        { s_records = List.rev acc; s_valid_bytes = at; s_damage = None }
+      else
+        match read_record ic remaining with
+        | Ok r -> loop (r :: acc)
+        | Error (kind, reason) ->
+          {
+            s_records = List.rev acc;
+            s_valid_bytes = at;
+            s_damage =
+              Some
+                {
+                  d_offset = at;
+                  d_bytes = remaining;
+                  d_kind = kind;
+                  d_reason = reason;
+                };
+          }
+    in
+    loop []
+  end
+
+let scan path =
+  if not (Sys.file_exists path) then
+    { s_records = []; s_valid_bytes = 0; s_damage = None }
   else
     let ic = open_in_bin path in
     Fun.protect
       ~finally:(fun () -> close_in_noerr ic)
-      (fun () ->
-        let total = in_channel_length ic in
-        if total < String.length magic then corrupt "%s: missing header" path
-        else begin
-          let header = really_input_string ic (String.length magic) in
-          if not (String.equal header magic) then
-            corrupt "%s: not a WAL file" path;
-          let rec loop acc =
-            let remaining = total - pos_in ic in
-            if remaining = 0 then (List.rev acc, true)
-            else
-              match read_record ic remaining with
-              | Some r -> loop (r :: acc)
-              | None -> (List.rev acc, false)
-          in
-          loop []
-        end)
+      (fun () -> scan_channel path ic)
+
+let read_all path =
+  let s = scan path in
+  (s.s_records, s.s_damage = None)
 
 (* --- writing ----------------------------------------------------------- *)
 
@@ -89,6 +140,13 @@ module Obs = struct
     Telemetry.Histogram.make ~lo:1. ~factor:2. ~buckets:12
       ~help:"Records made durable per group commit (burst size)"
       "minview_wal_group_commit_frames"
+
+  (* registered lazily: salvage is a repair-path event *)
+  let salvaged kind =
+    Telemetry.Counter.make
+      ~labels:[ ("kind", damage_kind_label kind) ]
+      ~help:"WAL tails quarantined and salvaged, by damage kind"
+      "minview_wal_salvage_total"
 end
 
 type writer = {
@@ -124,20 +182,62 @@ let write_file path records =
       with Unix.Unix_error _ -> ());
   Sys.rename tmp path
 
+(* --- salvage ------------------------------------------------------------ *)
+
+let quarantine_path path = path ^ ".quarantine"
+
+let read_span path ~offset ~bytes =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      seek_in ic offset;
+      really_input_string ic bytes)
+
+(* Quarantine the undecodable tail beside the log, then atomically rewrite
+   the valid prefix. The quarantine file is written and fsynced before the
+   prefix rewrite discards the bad bytes, so no evidence is ever lost; both
+   renames are made durable with a directory fsync. *)
+let salvage path =
+  let s = scan path in
+  match s.s_damage with
+  | None -> (s, None)
+  | Some d ->
+    let tail = read_span path ~offset:d.d_offset ~bytes:d.d_bytes in
+    let qpath = quarantine_path path in
+    let qtmp = qpath ^ ".tmp" in
+    let oc = open_out_bin qtmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc tail;
+        flush oc;
+        try Unix.fsync (Unix.descr_of_out_channel oc)
+        with Unix.Unix_error _ -> ());
+    Sys.rename qtmp qpath;
+    fsync_dir qpath;
+    write_file path s.s_records;
+    fsync_dir path;
+    Telemetry.Counter.one (Obs.salvaged d.d_kind);
+    (s, Some qpath)
+
+let reopen path =
+  open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path
+
 let open_append path =
-  let records, clean = read_all path in
-  (* a torn tail (or a missing file) is repaired by atomically rewriting the
-     valid prefix; appends then always start on a record boundary *)
-  if not (clean && Sys.file_exists path) then begin
-    write_file path records;
-    fsync_dir path
-  end;
-  {
-    path;
-    oc = open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path;
-    pending = Buffer.create 256;
-    staged = 0;
-  }
+  let s =
+    if Sys.file_exists path then scan path
+    else begin
+      (* create the log so appends always start on a record boundary *)
+      write_file path [];
+      fsync_dir path;
+      { s_records = []; s_valid_bytes = 0; s_damage = None }
+    end
+  in
+  (* a damaged tail is repaired by quarantining the bad bytes and atomically
+     rewriting the valid prefix — see [salvage] *)
+  (match s.s_damage with Some _ -> ignore (salvage path) | None -> ());
+  { path; oc = reopen path; pending = Buffer.create 256; staged = 0 }
 
 let fsync_channel oc =
   try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ()
@@ -161,7 +261,11 @@ let sync w =
     flush w.oc
   end;
   (* the commit point: the records must survive a power cut, not just the
-     process, before any engine applies them *)
+     process, before any engine applies them. Wal_fsync sits right at the
+     barrier — in [Fail] mode the frames have reached the OS but the
+     durability acknowledgement is lost, the transient state the ingest
+     retry policy must absorb by issuing the barrier again. *)
+  Maintenance.Faults.hit Maintenance.Faults.Wal_fsync;
   Telemetry.Counter.one Obs.syncs;
   Telemetry.Histogram.time Obs.fsync_seconds (fun () -> fsync_channel w.oc)
 
@@ -182,7 +286,24 @@ let truncate w =
      synced a crash can bring the old log back — replay must converge then *)
   Maintenance.Faults.hit Maintenance.Faults.After_truncate_rename;
   fsync_dir w.path;
-  w.oc <- open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 w.path
+  w.oc <- reopen w.path
+
+let rotate w ~to_path =
+  (* like [truncate], buffered-but-unsynced frames describe batches the
+     just-taken checkpoint already contains — drop them *)
+  Buffer.clear w.pending;
+  w.staged <- 0;
+  close_out_noerr w.oc;
+  Sys.rename w.path to_path;
+  fsync_dir to_path;
+  if Filename.dirname to_path <> Filename.dirname w.path then
+    fsync_dir w.path;
+  write_file w.path [];
+  (* same exposure as a truncate: the fresh log was renamed into place but
+     a crash before the directory fsync may resurrect the old state *)
+  Maintenance.Faults.hit Maintenance.Faults.After_truncate_rename;
+  fsync_dir w.path;
+  w.oc <- reopen w.path
 
 let close w =
   (* best-effort: push any un-synced frames out rather than losing them *)

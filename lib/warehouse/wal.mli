@@ -7,9 +7,10 @@
 
     On-disk format: a ["minview-wal/1\n"] header followed by records, each
     framed as [u32-le payload length], [u32-le CRC-32 of payload], payload
-    ([Marshal]ed {!record}). A torn final record — short frame, truncated
-    payload, checksum mismatch — is detected and dropped; {!open_append}
-    repairs the file by atomically rewriting the valid prefix. *)
+    ([Marshal]ed {!record}). An undecodable tail is detected, classified
+    ({!damage_kind}) and — on the repair paths — quarantined next to the log
+    ({!salvage}); {!open_append} repairs the file by atomically rewriting the
+    valid prefix. *)
 
 type record =
   | Batch of { seq : int; deltas : Relational.Delta.t list }
@@ -20,20 +21,72 @@ type record =
 
 val seq_of : record -> int
 
-(** A structurally damaged log (bad header) — distinct from a torn tail,
-    which is tolerated. *)
+(** A structurally damaged log (bad header) — distinct from a damaged tail,
+    which is tolerated and salvageable. *)
 exception Corrupt of string
 
-(** [read_all path] returns the decodable records in order and whether the
-    file ended cleanly ([false] = torn tail dropped). A missing file reads
-    as [([], true)].
+(** {2 Damage classification}
+
+    Record frames carry no per-frame magic, so boundaries cannot be
+    resynchronized past a bad frame: everything from the first undecodable
+    byte is one quarantined tail. What distinguishes the two kinds is {e how}
+    that tail fails to decode. *)
+
+type damage_kind =
+  | Torn_write
+      (** the file simply ends mid-frame (incomplete header or truncated
+          payload) — the artifact of a crash during an append; the expected
+          state after a power cut, repaired automatically on reopen *)
+  | Bit_flip
+      (** a full-length frame whose checksum or payload is wrong — mid-stream
+          bit rot, which can hide committed batches after it; surfaced to the
+          operator ([minview fsck] / [minview repair]) rather than silently
+          dropped on the recovery path *)
+
+(** Stable kebab-case labels ("torn-write", "bit-flip"). *)
+val damage_kind_label : damage_kind -> string
+
+type damage = {
+  d_offset : int;  (** where the undecodable tail starts *)
+  d_bytes : int;  (** bytes from there to end of file *)
+  d_kind : damage_kind;
+  d_reason : string;  (** human-readable: what failed to decode *)
+}
+
+type scan = {
+  s_records : record list;  (** the decodable prefix, in order *)
+  s_valid_bytes : int;  (** header plus every decodable record *)
+  s_damage : damage option;  (** [None] = the file ended cleanly *)
+}
+
+(** [scan path] reads the decodable prefix and classifies whatever follows
+    it. A missing file scans as empty and clean.
     @raise Corrupt if the file exists but is not a WAL. *)
+val scan : string -> scan
+
+(** [read_all path] returns the decodable records in order and whether the
+    file ended cleanly ([false] = damaged tail present). A missing file reads
+    as [([], true)].
+    @raise Corrupt as {!scan}. *)
 val read_all : string -> record list * bool
+
+(** [quarantine_path path] is where {!salvage} puts the bad tail
+    ([path ^ ".quarantine"]). *)
+val quarantine_path : string -> string
+
+(** [salvage path] repairs a damaged log: the undecodable tail is copied to
+    {!quarantine_path} (fsynced before the log is touched, so the evidence
+    survives), the valid prefix is atomically rewritten in place, and both
+    renames are made durable with directory fsyncs. Returns the scan and the
+    quarantine path ([None] if the log was already clean and nothing was
+    written). Counted as [minview_wal_salvage_total{kind}].
+    @raise Corrupt as {!scan}. *)
+val salvage : string -> scan * string option
 
 type writer
 
-(** Open for appending, creating the file (or repairing a torn tail) as
-    needed. @raise Corrupt as {!read_all}. *)
+(** Open for appending, creating the file (or salvaging a damaged tail, with
+    quarantine) as needed. @raise Corrupt as {!scan}. *)
 val open_append : string -> writer
 
 (** [append ?sync w r] stages one record. With [~sync:true] (the default)
@@ -46,10 +99,12 @@ val open_append : string -> writer
 val append : ?sync:bool -> writer -> record -> unit
 
 (** Write all buffered records to the OS in one write and fsync the log.
-    The durability barrier of a group commit (crash point:
+    The durability barrier of a group commit (crash points:
     [Maintenance.Faults.Mid_group_commit] — a power cut mid-write leaves a
-    torn tail that {!read_all} drops). A no-op buffer still fsyncs, so
-    [sync] is also a plain durability barrier. *)
+    torn tail that recovery salvages — and [Maintenance.Faults.Wal_fsync] —
+    in [Fail] mode, a transient fsync failure the ingest retry policy
+    absorbs by calling [sync] again). A no-op buffer still fsyncs, so [sync]
+    is also a plain durability barrier. *)
 val sync : writer -> unit
 
 (** Atomically reset the log to empty (after a checkpoint made its records
@@ -59,6 +114,16 @@ val sync : writer -> unit
     cannot be undone by a crash (crash point:
     [Maintenance.Faults.After_truncate_rename]). *)
 val truncate : writer -> unit
+
+(** [rotate w ~to_path] archives the live log: the current file is renamed
+    to [to_path] (directory-fsynced), a fresh empty log is atomically
+    created in its place, and the writer continues on it. The checkpoint
+    generation chain uses this instead of {!truncate} so the replaced log's
+    records stay replayable from the archive. Buffered-but-unsynced records
+    are dropped as in {!truncate}; the same
+    [Maintenance.Faults.After_truncate_rename] crash point covers the fresh
+    log's publication. *)
+val rotate : writer -> to_path:string -> unit
 
 (** Flushes buffered records (best-effort) and closes the file. *)
 val close : writer -> unit

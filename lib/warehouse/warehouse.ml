@@ -76,6 +76,40 @@ module Obs = struct
          runtime-only)"
       "minview_warehouse_parallel_resets_total"
 
+  let snapshot_fallbacks =
+    Telemetry.Counter.make
+      ~help:
+        "Recoveries that fell back past an unverifiable snapshot to an \
+         older generation"
+      "minview_warehouse_snapshot_fallbacks_total"
+
+  let degradations =
+    Telemetry.Counter.make
+      ~help:
+        "Parallel-apply failures that rolled back and degraded ingestion \
+         to serial"
+      "minview_warehouse_parallel_degradations_total"
+
+  let promotions =
+    Telemetry.Counter.make
+      ~help:"Re-promotions from degraded serial apply back to parallel"
+      "minview_warehouse_parallel_promotions_total"
+
+  let degraded =
+    Telemetry.Gauge.make
+      ~help:"1 while ingestion is degraded to serial apply, else 0"
+      "minview_warehouse_parallel_degraded"
+
+  let ingest_retries =
+    Telemetry.Counter.make
+      ~help:"Transient ingest faults absorbed by the retry policy"
+      "minview_warehouse_ingest_retries_total"
+
+  let dead_letters_dropped =
+    Telemetry.Counter.make
+      ~help:"Oldest dead letters dropped past the dead-letter cap"
+      "minview_warehouse_dead_letters_dropped_total"
+
   let checkpoint_seconds =
     Telemetry.Histogram.make ~help:"Snapshot checkpoint latency"
       "minview_warehouse_checkpoint_seconds"
@@ -128,6 +162,26 @@ type registered = {
   engine : Engines.t;
 }
 
+(* Jittered exponential backoff for transient ingest faults (a failed WAL
+   durability barrier). The jitter keeps concurrent recovering writers from
+   hammering a struggling disk in lockstep. *)
+type retry = { attempts : int; base_delay : float; max_delay : float }
+
+let default_retry = { attempts = 4; base_delay = 0.002; max_delay = 0.25 }
+
+(* Supervision policy for parallel apply: after a worker failure the
+   warehouse runs serially for [backoff] clean batches (starting at
+   [initial_backoff], doubling per repeated failure up to [max_backoff]);
+   a failure arriving after [stable_parallel] clean parallel batches is
+   treated as fresh bad luck and the backoff resets. *)
+let initial_backoff = 4
+
+let max_backoff = 256
+let stable_parallel = 16
+
+(* Archived checkpoint generations kept beside the live snapshot. *)
+let default_keep_generations = 2
+
 type t = {
   source : Database.t;
   mutable views : registered list;  (** newest first *)
@@ -137,9 +191,18 @@ type t = {
   mutable wal : Wal.writer option;
   mutable dir : string option;
   mutable checkpoint_every : int option;
+  mutable keep_generations : int;
   (* runtime-only (like [wal]): never marshaled, so snapshots stay portable
      to hosts with different core counts; [load]/[recover] reset it *)
   mutable parallel : Maintenance.Shard.pool option;
+  mutable retry : retry;
+  mutable dead_cap : int option;
+  (* supervision state: [degraded_until] counts the serial batches left
+     before parallel apply is retried; [backoff] is the next degradation
+     period; [clean_parallel] the parallel batches since the last failure *)
+  mutable degraded_until : int;
+  mutable backoff : int;
+  mutable clean_parallel : int;
 }
 
 let create source =
@@ -152,10 +215,39 @@ let create source =
     wal = None;
     dir = None;
     checkpoint_every = None;
+    keep_generations = default_keep_generations;
     parallel = None;
+    retry = default_retry;
+    dead_cap = None;
+    degraded_until = 0;
+    backoff = initial_backoff;
+    clean_parallel = 0;
   }
 
-let set_parallel t pool = t.parallel <- pool
+let set_parallel t pool =
+  t.parallel <- pool;
+  (* a fresh pool starts with a clean supervision slate *)
+  t.degraded_until <- 0;
+  t.backoff <- initial_backoff;
+  t.clean_parallel <- 0;
+  Telemetry.Gauge.set Obs.degraded 0.
+
+type apply_mode =
+  | Serial
+  | Parallel
+  | Degraded of { remaining : int; next_backoff : int }
+
+let apply_mode t =
+  match t.parallel with
+  | None -> Serial
+  | Some _ when t.degraded_until > 0 ->
+    Degraded { remaining = t.degraded_until; next_backoff = t.backoff }
+  | Some _ -> Parallel
+
+let set_retry t retry =
+  if retry.attempts < 0 || retry.base_delay < 0. || retry.max_delay < 0. then
+    err Invalid_request "set_retry: attempts and delays must be non-negative";
+  t.retry <- retry
 
 let add_view ?(strategy = Minimal) t view =
   if
@@ -319,7 +411,13 @@ let load_with path =
             wal = None;
             dir = None;
             checkpoint_every = None;
+            keep_generations = default_keep_generations;
             parallel = None;
+            retry = default_retry;
+            dead_cap = None;
+            degraded_until = 0;
+            backoff = initial_backoff;
+            clean_parallel = 0;
           },
           parallel_domains )
       | exception _ ->
@@ -351,6 +449,83 @@ let load path =
 let wal_path dir = Filename.concat dir "wal.bin"
 let snapshot_path dir = Filename.concat dir "snapshot.bin"
 let lineage_path dir = Filename.concat dir "lineage.jsonl"
+
+(* --- checkpoint generation chain ---------------------------------------- *)
+
+(* Instead of truncate-on-checkpoint, the warehouse archives the outgoing
+   snapshot and its WAL segment under [dir/generations/] with a monotonic
+   chain index: [snapshot-<n>.bin] is the state before the checkpoint and
+   [wal-<n>.bin] the batches between it and the next snapshot in the chain.
+   Recovery can then fall back past an unverifiable snapshot to the newest
+   generation that still verifies and replay a longer WAL tail. The index
+   is allocated by scanning (max existing + 1), never reused, so a fallback
+   recovery can keep checkpointing without clobbering the chain. *)
+
+let generations_dir dir = Filename.concat dir "generations"
+
+let gen_snapshot_path dir n =
+  Filename.concat (generations_dir dir) (Printf.sprintf "snapshot-%08d.bin" n)
+
+let gen_wal_path dir n =
+  Filename.concat (generations_dir dir) (Printf.sprintf "wal-%08d.bin" n)
+
+(* "snapshot-<n>.bin" / "wal-<n>.bin", nothing else — quarantined copies and
+   temp files never parse as chain members. *)
+let parse_generation name =
+  let indexed prefix =
+    let plen = String.length prefix in
+    if String.length name > plen && String.equal (String.sub name 0 plen) prefix
+    then
+      Scanf.sscanf_opt
+        (String.sub name plen (String.length name - plen))
+        "%d.bin%!" Fun.id
+    else None
+  in
+  match indexed "snapshot-" with
+  | Some n -> Some (`Snapshot, n)
+  | None -> (
+    match indexed "wal-" with Some n -> Some (`Wal, n) | None -> None)
+
+let list_generations dir =
+  match Sys.readdir (generations_dir dir) with
+  | exception Sys_error _ -> []
+  | names -> List.filter_map parse_generation (Array.to_list names)
+
+(* (index, path), ascending chain order *)
+let generation_snapshots dir =
+  List.filter_map
+    (function `Snapshot, n -> Some (n, gen_snapshot_path dir n) | _ -> None)
+    (list_generations dir)
+  |> List.sort compare
+
+let generation_wals dir =
+  List.filter_map
+    (function `Wal, n -> Some (n, gen_wal_path dir n) | _ -> None)
+    (list_generations dir)
+  |> List.sort compare
+
+let next_generation_index dir =
+  1 + List.fold_left (fun acc (_, n) -> max acc n) 0 (list_generations dir)
+
+(* Retire everything older than the [keep]-th newest archived snapshot.
+   Safe by the chain invariant: sequence numbers grow along the chain, so a
+   WAL segment older than the oldest kept snapshot only holds batches that
+   snapshot already contains. *)
+let prune_generations dir ~keep =
+  if keep >= 1 then
+    match List.nth_opt (List.rev (generation_snapshots dir)) (keep - 1) with
+    | None -> ()
+    | Some (cutoff, _) ->
+      let stale =
+        List.filter (fun (n, _) -> n < cutoff)
+          (generation_snapshots dir @ generation_wals dir)
+      in
+      if stale <> [] then begin
+        List.iter
+          (fun (_, p) -> try Sys.remove p with Sys_error _ -> ())
+          stale;
+        Wal.fsync_dir (gen_snapshot_path dir 0)
+      end
 
 (* --- lineage ----------------------------------------------------------- *)
 
@@ -387,15 +562,47 @@ let checkpoint t =
     Telemetry.with_phase Obs.checkpoint_seconds "warehouse.checkpoint"
       ~attrs:[ ("dir", dir) ]
       (fun () ->
-        save t (snapshot_path dir);
-        (* crash point: new snapshot in place, WAL not yet truncated — replay
+        let snap = snapshot_path dir in
+        let fresh = snap ^ ".new" in
+        (* build the new snapshot off to the side: a crash while it is
+           written leaves the previous generation fully intact *)
+        save t fresh;
+        let n =
+          if not (t.keep_generations > 0 && Sys.file_exists snap) then None
+          else begin
+            (try Sys.mkdir (generations_dir dir) 0o755
+             with Sys_error _ -> ());
+            let n = next_generation_index dir in
+            (* the outgoing snapshot becomes generation [n]; its WAL segment
+               — the batches between it and the new snapshot — is archived
+               under the same index below *)
+            Sys.rename snap (gen_snapshot_path dir n);
+            Wal.fsync_dir (gen_snapshot_path dir n);
+            Wal.fsync_dir snap;
+            Some n
+          end
+        in
+        Sys.rename fresh snap;
+        (* crash point: the new snapshot is renamed into place but the
+           directory entry is not yet durable — a power cut can leave the
+           directory without snapshot.bin, which recovery must serve from
+           the generation chain plus the still-unrotated WAL *)
+        Faults.hit Faults.After_checkpoint_rename;
+        Wal.fsync_dir snap;
+        (* crash point: new snapshot in place, WAL not yet rotated — replay
            must recognize the WAL's batches as already checkpointed *)
         Faults.hit Faults.Before_wal_truncate;
-        Wal.truncate wal)
+        (match n with
+        | Some n -> Wal.rotate wal ~to_path:(gen_wal_path dir n)
+        | None ->
+          (* nothing was archived (first checkpoint, or the chain is
+             disabled): no older generation needs the replaced records *)
+          Wal.truncate wal);
+        prune_generations dir ~keep:t.keep_generations)
   | _ ->
     err Not_durable "checkpoint: attach the warehouse to a state directory first"
 
-let attach ?checkpoint_every t ~dir =
+let attach ?checkpoint_every ?keep_generations t ~dir =
   if t.wal <> None then
     err Invalid_request "warehouse is already attached to %s"
       (Option.value t.dir ~default:"a state directory");
@@ -406,6 +613,11 @@ let attach ?checkpoint_every t ~dir =
     try Sys.mkdir dir 0o755 with Sys_error m -> err Io_error "%s" m));
   t.dir <- Some dir;
   t.checkpoint_every <- checkpoint_every;
+  (match keep_generations with
+  | Some k when k < 0 ->
+    err Invalid_request "attach: keep_generations must be >= 0"
+  | Some k -> t.keep_generations <- k
+  | None -> ());
   (match Wal.open_append (wal_path dir) with
   | w -> t.wal <- Some w
   | exception Wal.Corrupt m -> err Corrupt_state "%s" m);
@@ -427,22 +639,79 @@ type report = { batch : int; applied : int; rejected : Delta.rejection list }
 let dead_letters t = List.rev t.dead
 let clear_dead_letters t = t.dead <- []
 
+let set_dead_letter_cap t cap =
+  (match cap with
+  | Some n when n < 1 ->
+    err Invalid_request "set_dead_letter_cap: cap must be >= 1"
+  | Some _ | None -> ());
+  t.dead_cap <- cap
+
 let quarantine t rejections =
   Telemetry.Counter.inc Obs.quarantined (List.length rejections);
-  t.dead <- List.rev_append rejections t.dead
+  t.dead <- List.rev_append rejections t.dead;
+  match t.dead_cap with
+  | Some cap when List.length t.dead > cap ->
+    (* graceful overflow: drop the oldest letters (the tail of the
+       newest-first list) rather than failing ingestion *)
+    let dropped = List.length t.dead - cap in
+    t.dead <- List.filteri (fun i _ -> i < cap) t.dead;
+    Telemetry.Counter.inc Obs.dead_letters_dropped dropped;
+    Log.warn (fun m ->
+        m "dead-letter queue over its cap (%d): dropped the %d oldest \
+           rejection(s)"
+          cap dropped)
+  | Some _ | None -> ()
+
 let believed_source t = Validator.believed_source t.validator
 let ingested_batches t = t.seq
+
+(* --- transient-fault retry ----------------------------------------------- *)
+
+let jitter_state = lazy (Random.State.make [| 0x6d76; 0x7265 |])
+
+(* Retry a transient durability barrier with jittered exponential backoff.
+   Only the barrier itself is ever retried — the WAL frames are already
+   staged (or written to the OS), so re-appending would duplicate records.
+   Transient faults surface as [Faults.Injected]; anything else, including
+   a simulated [Faults.Crash], propagates untouched. *)
+let with_retry t ~what f =
+  let rec go attempt =
+    match f () with
+    | () -> ()
+    | exception Faults.Injected point ->
+      if attempt >= t.retry.attempts then
+        err Io_error "%s: transient fault (%s) persisted after %d attempt(s)"
+          what (Faults.to_string point) t.retry.attempts;
+      Telemetry.Counter.one Obs.ingest_retries;
+      let cap =
+        Float.min t.retry.max_delay
+          (t.retry.base_delay *. (2. ** float_of_int attempt))
+      in
+      let delay =
+        cap *. (0.5 +. Random.State.float (Lazy.force jitter_state) 0.5)
+      in
+      Log.warn (fun m ->
+          m "%s: transient fault (%s); retry %d/%d in %.1f ms" what
+            (Faults.to_string point) (attempt + 1) t.retry.attempts
+            (delay *. 1000.));
+      if delay > 0. then (try Unix.sleepf delay with Unix.Unix_error _ -> ());
+      go (attempt + 1)
+  in
+  go 0
+
+let sync_wal t ~what =
+  Option.iter (fun w -> with_retry t ~what (fun () -> Wal.sync w)) t.wal
 
 (* Transactional apply, in place: every engine opens an undo journal and
    absorbs the batch directly; a mid-batch failure rolls back only the
    touched groups, so the registered views can never disagree about which
    deltas they have seen — at O(delta) cost. The hot path never deep-copies
    engine state ([Engines.copy] is reserved for snapshot checkpoints). *)
-let apply_in_place t deltas =
+let apply_in_place t ~pool deltas =
   List.iter (fun r -> Engines.begin_txn r.engine) t.views;
   List.iteri
     (fun i r ->
-      Engines.apply_batch ?parallel:t.parallel r.engine deltas;
+      Engines.apply_batch ?parallel:pool r.engine deltas;
       if i = 0 then Faults.hit Faults.Mid_engine_apply)
     t.views
 
@@ -452,8 +721,70 @@ let rollback_engines t = List.iter (fun r -> Engines.rollback r.engine) t.views
 
 let engine_error_detail = function
   | Maintenance.Engine.Invariant m -> m
+  | Maintenance.Shard.Wedged { worker; waited } ->
+    Printf.sprintf "shard worker %d wedged after %.3f s" worker waited
+  | Faults.Injected p -> "injected fault at " ^ Faults.to_string p
   | Failure m | Invalid_argument m -> m
   | e -> Printexc.to_string e
+
+(* --- supervised apply ---------------------------------------------------- *)
+
+let note_parallel_failure t detail =
+  Telemetry.Counter.one Obs.degradations;
+  Telemetry.Gauge.set Obs.degraded 1.;
+  (* a failure after a long clean parallel streak is fresh bad luck, not a
+     recurring problem: forgive the accumulated backoff *)
+  if t.clean_parallel >= stable_parallel then t.backoff <- initial_backoff;
+  t.degraded_until <- t.backoff;
+  t.backoff <- min (t.backoff * 2) max_backoff;
+  t.clean_parallel <- 0;
+  Log.warn (fun m ->
+      m "parallel apply failed (%s): rolled back, degrading to serial for %d \
+         batch(es)"
+        detail t.degraded_until)
+
+(* Apply one accepted batch under supervision. A parallel attempt that fails
+   (worker raised, or wedged past the pool deadline) is rolled back and the
+   batch is re-applied serially; ingestion then stays serial until
+   [t.degraded_until] clean batches have passed ([note_apply_outcome]).
+   Returns how the batch was finally applied. *)
+let apply_supervised t deltas =
+  match t.parallel with
+  | Some pool when t.degraded_until = 0 -> (
+    match apply_in_place t ~pool:(Some pool) deltas with
+    | () -> `Parallel
+    | exception (Faults.Crash _ as crash) -> raise crash
+    | exception e ->
+      (* the failed attempt left undo journals open on every engine; close
+         them before the serial retry opens fresh ones *)
+      rollback_engines t;
+      note_parallel_failure t (engine_error_detail e);
+      apply_in_place t ~pool:None deltas;
+      `Degraded)
+  | Some _ ->
+    apply_in_place t ~pool:None deltas;
+    `Degraded
+  | None ->
+    apply_in_place t ~pool:None deltas;
+    `Serial
+
+(* Post-commit bookkeeping for the degradation clock: every committed
+   serial-degraded batch brings re-promotion one step closer. *)
+let note_apply_outcome t = function
+  | `Serial -> ()
+  | `Parallel -> t.clean_parallel <- t.clean_parallel + 1
+  | `Degraded ->
+    if t.degraded_until > 0 then begin
+      t.degraded_until <- t.degraded_until - 1;
+      if t.degraded_until = 0 then begin
+        Telemetry.Counter.one Obs.promotions;
+        Telemetry.Gauge.set Obs.degraded 0.;
+        Log.info (fun m ->
+            m "degradation period over: re-promoting to parallel apply (next \
+               backoff %d batches)"
+              t.backoff)
+      end
+    end
 
 (* [~sync:false] stages the WAL records in the writer's buffer instead of
    fsyncing per batch — the group-commit path of {!ingest_all}, which pays
@@ -478,17 +809,20 @@ let ingest_report_inner ~sync t deltas =
     let seq = t.seq + 1 in
     Option.iter
       (fun w ->
-        Wal.append ~sync w (Wal.Batch { seq; deltas = accepted });
-        (* synced: the record is durable and this is the commit point;
+        Wal.append ~sync:false w (Wal.Batch { seq; deltas = accepted });
+        (* synced: the record is durable and this is the commit point
+           (transient fsync faults are absorbed by the retry policy);
            unsynced: the group's final {!Wal.sync} is *)
+        if sync then with_retry t ~what:"wal-commit" (fun () -> Wal.sync w);
         Faults.hit Faults.After_wal_append)
       t.wal;
-    match apply_in_place t accepted with
-    | () ->
+    match apply_supervised t accepted with
+    | mode ->
       commit_engines t;
       Validator.commit t.validator;
       Telemetry.Counter.one Obs.commits;
       t.seq <- seq;
+      note_apply_outcome t mode;
       emit_lineage t ~seq accepted;
       (match t.checkpoint_every with
       | Some n when n > 0 && t.seq mod n = 0 && t.wal <> None -> checkpoint t
@@ -499,14 +833,18 @@ let ingest_report_inner ~sync t deltas =
          journals die with the process; recovery reloads from disk) *)
       raise crash
     | exception e ->
-      (* an engine failed mid-batch: roll every engine back to its
-         before-image (engines past the failure have empty journals), roll
-         the shadow back, mark the WAL record aborted and quarantine the
-         whole batch *)
+      (* an engine failed mid-batch even after supervision's serial retry:
+         roll every engine back to its before-image (engines past the
+         failure have empty journals), roll the shadow back, mark the WAL
+         record aborted and quarantine the whole batch *)
       rollback_engines t;
       Validator.rollback t.validator;
       Telemetry.Counter.one Obs.rollbacks;
-      Option.iter (fun w -> Wal.append ~sync w (Wal.Abort { seq })) t.wal;
+      Option.iter
+        (fun w ->
+          Wal.append ~sync:false w (Wal.Abort { seq });
+          if sync then with_retry t ~what:"wal-abort" (fun () -> Wal.sync w))
+        t.wal;
       t.seq <- seq;
       let detail = engine_error_detail e in
       let aborted =
@@ -530,10 +868,26 @@ let ingest t deltas = ignore (ingest_report t deltas)
    single write and fsync. Deferred acknowledgement — a crash inside the
    burst can lose a suffix of the staged batches, but recovery always comes
    back at a batch boundary of the durable prefix, so the resume cursor
-   ({!ingested_batches}) stays valid. *)
-let ingest_all t batches =
-  let reports = List.map (ingest_report_with ~sync:false t) batches in
-  Option.iter Wal.sync t.wal;
+   ({!ingested_batches}) stays valid. [in_flight] bounds the exposure: an
+   intermediate durability barrier is issued before more than that many
+   batches ride on un-fsynced WAL frames. *)
+let ingest_all ?(in_flight = 64) t batches =
+  if in_flight < 1 then
+    err Invalid_request "ingest_all: in_flight must be >= 1";
+  let pending = ref 0 in
+  let reports =
+    List.map
+      (fun batch ->
+        let r = ingest_report_with ~sync:false t batch in
+        incr pending;
+        if !pending >= in_flight then begin
+          sync_wal t ~what:"wal-group-commit";
+          pending := 0
+        end;
+        r)
+      batches
+  in
+  if !pending > 0 || batches = [] then sync_wal t ~what:"wal-group-commit";
   reports
 
 (* --- recovery ----------------------------------------------------------- *)
@@ -562,7 +916,7 @@ let replay_batch t ~seq deltas =
    with
   | Some r -> abandon ("replay validation failed: " ^ r.Delta.detail)
   | None -> (
-    match apply_in_place t deltas with
+    match apply_in_place t ~pool:None deltas with
     | () ->
       commit_engines t;
       Validator.commit t.validator;
@@ -573,40 +927,306 @@ let replay_batch t ~seq deltas =
       abandon (engine_error_detail e)));
   t.seq <- seq
 
+(* Candidate snapshots, newest first: the live snapshot (if present), then
+   the archived generations in descending chain order. The paired index
+   decides which WAL segments the snapshot covers ([max_int]: the live
+   snapshot is newer than every archived segment). *)
+let snapshot_candidates dir =
+  let live = snapshot_path dir in
+  (if Sys.file_exists live then [ (max_int, live) ] else [])
+  @ List.rev (generation_snapshots dir)
+
+let quarantine_snapshot path =
+  let q = path ^ ".quarantine" in
+  (try Sys.rename path q with Sys_error _ -> ());
+  Wal.fsync_dir path;
+  q
+
+(* Read one WAL segment for replay under the damage policy:
+   - a torn tail on the live log is the expected artifact of a crash during
+     an append — salvage it (quarantining the tail) and keep the prefix;
+   - damage on a segment the restored snapshot does not cover may hide
+     committed batches — refuse, directing the operator to [minview repair];
+   - damage on a segment fully covered by the restored snapshot is harmless:
+     every record the segment could hold is skipped by replay anyway. *)
+let read_segment ~live ~needed path =
+  match Wal.scan path with
+  | { Wal.s_records; s_damage = None; _ } -> s_records
+  | { Wal.s_records; s_damage = Some d; _ } -> (
+    match d.Wal.d_kind with
+    | Wal.Torn_write when live ->
+      Log.warn (fun m ->
+          m "%s: torn tail (%s): salvaging, %d byte(s) quarantined to %s" path
+            d.Wal.d_reason d.Wal.d_bytes
+            (Wal.quarantine_path path));
+      ignore (Wal.salvage path);
+      s_records
+    | _ when not needed -> s_records
+    | kind ->
+      err Corrupt_state
+        "%s: %s at offset %d (%s) may hide committed batches — run `minview \
+         repair` to quarantine the damage, accepting the loss"
+        path (Wal.damage_kind_label kind) d.Wal.d_offset d.Wal.d_reason)
+  | exception Wal.Corrupt m ->
+    if needed then
+      err Corrupt_state "%s — run `minview repair` to quarantine the file" m
+    else []
+
+(* Forward declaration break: [recover] needs [attach] (empty-directory
+   initialization), which is defined above; nothing else is cyclic. *)
+
 let recover ~dir =
   Telemetry.Trace.with_span "warehouse.recover"
     ~attrs:[ ("dir", dir) ]
     (fun () ->
-      let snapshot = snapshot_path dir in
-      let t, parallel_domains = load_with snapshot in
-      warn_parallel_reset snapshot parallel_domains;
-      let records =
-        match Wal.read_all (wal_path dir) with
-        | records, _clean -> records
-        | exception Wal.Corrupt m -> err Corrupt_state "%s" m
+      let dir_exists =
+        try Sys.is_directory dir with Sys_error _ -> false
       in
-      let aborted =
-        List.filter_map
-          (function Wal.Abort { seq } -> Some seq | Wal.Batch _ -> None)
-          records
-      in
-      (* open the sink before replay so replayed batches leave their
-         lineage records in the same file as live ingestion *)
-      Telemetry.Lineage.set_sink (Some (lineage_path dir));
-      List.iter
-        (function
-          | Wal.Abort { seq } -> t.seq <- max t.seq seq
-          | Wal.Batch { seq; deltas } ->
-            if seq > t.seq && not (List.mem seq aborted) then
-              replay_batch t ~seq deltas
-            else t.seq <- max t.seq seq)
-        records;
-      t.dir <- Some dir;
-      (match Wal.open_append (wal_path dir) with
-      | w -> t.wal <- Some w
-      | exception Wal.Corrupt m -> err Corrupt_state "%s" m);
-      Telemetry.Counter.one Obs.recoveries;
-      t)
+      (* a missing (or non-directory) state dir keeps the original error
+         shape: attempting the load surfaces the OS-level Io_error *)
+      if not dir_exists then ignore (load_with (snapshot_path dir));
+      let candidates = snapshot_candidates dir in
+      if
+        candidates = []
+        && (not (Sys.file_exists (wal_path dir)))
+        && generation_wals dir = []
+      then begin
+        (* an existing-but-empty state directory is a valid cold start, not
+           corruption: initialize it in place *)
+        Log.info (fun m ->
+            m "%s: empty state directory — initializing a fresh warehouse"
+              dir);
+        let t = create (Database.create ()) in
+        attach t ~dir;
+        Telemetry.Counter.one Obs.recoveries;
+        t
+      end
+      else begin
+        (* walk the chain newest-first to the first snapshot that verifies;
+           remember the first failure so a chain with no survivors reports
+           the newest (most relevant) error *)
+        let first_failure = ref None in
+        let failed = ref [] in
+        let rec choose = function
+          | [] -> (
+            match !first_failure with
+            | Some exn -> raise exn
+            | None ->
+              err Corrupt_state
+                "%s holds WAL records but no snapshot to replay them onto"
+                dir)
+          | (gen, path) :: rest -> (
+            match load_with path with
+            | t, parallel_domains ->
+              warn_parallel_reset path parallel_domains;
+              (t, gen, path)
+            | exception (Error _ as exn) ->
+              if !first_failure = None then first_failure := Some exn;
+              failed := path :: !failed;
+              choose rest)
+        in
+        let t, chosen_gen, chosen_path = choose candidates in
+        (* only once a fallback has succeeded: move the unverifiable newer
+           snapshots aside, so the next checkpoint cannot archive them and
+           the next recovery skips them *)
+        List.iter
+          (fun path ->
+            Telemetry.Counter.one Obs.snapshot_fallbacks;
+            let q = quarantine_snapshot path in
+            Log.warn (fun m ->
+                m
+                  "%s failed verification: quarantined to %s; falling back \
+                   to %s"
+                  path q chosen_path))
+          !failed;
+        (* replay every archived segment in chain order, live log last;
+           replay is sequence-guarded, so segments older than the restored
+           snapshot contribute nothing *)
+        let segments =
+          List.map
+            (fun (n, p) -> (false, n >= chosen_gen, p))
+            (generation_wals dir)
+          @ [ (true, true, wal_path dir) ]
+        in
+        let records =
+          List.concat_map
+            (fun (live, needed, path) -> read_segment ~live ~needed path)
+            segments
+        in
+        let aborted =
+          List.filter_map
+            (function Wal.Abort { seq } -> Some seq | Wal.Batch _ -> None)
+            records
+        in
+        (* open the sink before replay so replayed batches leave their
+           lineage records in the same file as live ingestion *)
+        Telemetry.Lineage.set_sink (Some (lineage_path dir));
+        List.iter
+          (function
+            | Wal.Abort { seq } -> t.seq <- max t.seq seq
+            | Wal.Batch { seq; deltas } ->
+              if seq > t.seq && not (List.mem seq aborted) then
+                replay_batch t ~seq deltas
+              else t.seq <- max t.seq seq)
+          records;
+        t.dir <- Some dir;
+        (match Wal.open_append (wal_path dir) with
+        | w -> t.wal <- Some w
+        | exception Wal.Corrupt m -> err Corrupt_state "%s" m);
+        Telemetry.Counter.one Obs.recoveries;
+        t
+      end)
+
+(* --- fsck / repair ------------------------------------------------------- *)
+
+type fsck_entry = {
+  f_file : string;  (** relative to the state directory *)
+  f_ok : bool;
+  f_detail : string;
+}
+
+type fsck_report = {
+  fsck_entries : fsck_entry list;
+  fsck_recoverable : bool;
+  fsck_clean : bool;
+}
+
+let rel dir path =
+  let prefix = dir ^ Filename.dir_sep in
+  if String.starts_with ~prefix path then
+    String.sub path (String.length prefix)
+      (String.length path - String.length prefix)
+  else path
+
+let verify_snapshot path =
+  match load_with path with
+  | t, _ -> Ok t.seq
+  | exception Error { detail; _ } -> Error detail
+
+let describe_wal path =
+  match Wal.scan path with
+  | { Wal.s_records; s_damage = None; _ } ->
+    Ok
+      (Printf.sprintf "%d record(s)%s" (List.length s_records)
+         (match List.rev s_records with
+         | last :: _ -> Printf.sprintf ", through batch %d" (Wal.seq_of last)
+         | [] -> ""))
+  | { Wal.s_records; s_damage = Some d; _ } ->
+    Error
+      (Printf.sprintf "%s at offset %d: %s (%d intact record(s) before it)"
+         (Wal.damage_kind_label d.Wal.d_kind)
+         d.Wal.d_offset d.Wal.d_reason (List.length s_records))
+  | exception Wal.Corrupt m -> Error m
+
+let require_state_dir dir =
+  if not (try Sys.is_directory dir with Sys_error _ -> false) then
+    err Io_error "%s: not a state directory" dir
+
+let fsck ~dir =
+  require_state_dir dir;
+  let entry file = function
+    | Ok detail -> { f_file = file; f_ok = true; f_detail = detail }
+    | Error detail -> { f_file = file; f_ok = false; f_detail = detail }
+  in
+  let snap = snapshot_path dir in
+  let verified path =
+    entry (rel dir path)
+      (Result.map (Printf.sprintf "verified, batch %d") (verify_snapshot path))
+  in
+  let snap_entries =
+    if Sys.file_exists snap then
+      verified snap :: List.rev_map (fun (_, p) -> verified p)
+                         (generation_snapshots dir)
+    else if
+      Sys.file_exists (wal_path dir)
+      || generation_snapshots dir <> []
+      || generation_wals dir <> []
+    then
+      {
+        f_file = rel dir snap;
+        f_ok = false;
+        f_detail = "missing (recovery falls back to the generation chain)";
+      }
+      :: List.rev_map (fun (_, p) -> verified p) (generation_snapshots dir)
+    else []
+  in
+  let wal_entries =
+    List.map
+      (fun (_, p) -> entry (rel dir p) (describe_wal p))
+      (generation_wals dir)
+    @
+    if Sys.file_exists (wal_path dir) then
+      [ entry (rel dir (wal_path dir)) (describe_wal (wal_path dir)) ]
+    else []
+  in
+  let entries = snap_entries @ wal_entries in
+  let have_snapshot = List.exists (fun e -> e.f_ok) snap_entries in
+  {
+    fsck_entries = entries;
+    fsck_recoverable = have_snapshot || entries = [];
+    fsck_clean =
+      List.for_all (fun e -> e.f_ok) entries
+      && (have_snapshot || entries = []);
+  }
+
+type repair_report = {
+  repair_actions : (string * string) list;
+      (** (file relative to the state dir, what was done) *)
+  repair_recoverable : bool;
+}
+
+let repair ~dir =
+  require_state_dir dir;
+  let actions = ref [] in
+  let act file what = actions := (rel dir file, what) :: !actions in
+  (* WAL segments first: salvage damaged tails (quarantining the bad bytes),
+     quarantine wholly unreadable files *)
+  let heal_wal path =
+    if Sys.file_exists path then
+      match Wal.scan path with
+      | { Wal.s_damage = None; _ } -> ()
+      | { Wal.s_damage = Some d; _ } ->
+        ignore (Wal.salvage path);
+        act path
+          (Printf.sprintf "salvaged: %d byte(s) of %s tail quarantined to %s"
+             d.Wal.d_bytes
+             (Wal.damage_kind_label d.Wal.d_kind)
+             (rel dir (Wal.quarantine_path path)))
+      | exception Wal.Corrupt _ ->
+        let q = path ^ ".quarantine" in
+        (try Sys.rename path q with Sys_error _ -> ());
+        Wal.fsync_dir path;
+        act path ("unreadable: quarantined to " ^ rel dir q)
+  in
+  List.iter (fun (_, p) -> heal_wal p) (generation_wals dir);
+  heal_wal (wal_path dir);
+  (* snapshots: quarantine the unverifiable ones; at least one must survive
+     (or the directory must end up empty) for the store to be recoverable *)
+  let heal_snapshot path =
+    match verify_snapshot path with
+    | Ok _ -> true
+    | Error detail ->
+      let q = quarantine_snapshot path in
+      act path
+        (Printf.sprintf "unverifiable (%s): quarantined to %s" detail
+           (rel dir q));
+      false
+  in
+  let survivors =
+    List.filter heal_snapshot
+      ((if Sys.file_exists (snapshot_path dir) then [ snapshot_path dir ]
+        else [])
+      @ List.map snd (generation_snapshots dir))
+  in
+  let empty =
+    survivors = []
+    && (not (Sys.file_exists (wal_path dir)))
+    && generation_wals dir = []
+  in
+  {
+    repair_actions = List.rev !actions;
+    repair_recoverable = survivors <> [] || empty;
+  }
 
 (* --- audit ------------------------------------------------------------- *)
 

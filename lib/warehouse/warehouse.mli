@@ -122,10 +122,64 @@ val ingest_report : t -> Relational.Delta.t list -> report
     deferred to that final sync: a crash inside the burst can lose staged
     batches, but recovery still comes back at a batch boundary of the
     durable prefix and {!ingested_batches} remains a valid resume cursor.
-    Validation, atomicity and quarantine behave exactly as [List.map
-    (ingest_report t) batches]. On an unattached warehouse the two are
-    indistinguishable. *)
-val ingest_all : t -> Relational.Delta.t list list -> report list
+    [?in_flight] (default 64) bounds the exposure: an intermediate
+    durability barrier is issued before more than that many batches ride on
+    un-fsynced WAL frames. Validation, atomicity and quarantine behave
+    exactly as [List.map (ingest_report t) batches]. On an unattached
+    warehouse the two are indistinguishable.
+    @raise Error ([Invalid_request] if [in_flight < 1]). *)
+val ingest_all : ?in_flight:int -> t -> Relational.Delta.t list list -> report list
+
+(** {2 Fault tolerance}
+
+    Two layers keep ingestion going through recoverable trouble:
+
+    {e Transient faults} — a failed WAL durability barrier
+    ([Maintenance.Faults.Wal_fsync] in [Fail] mode models a transient fsync
+    failure) — are retried with jittered exponential backoff under the
+    warehouse's {!retry} policy. Only the barrier is retried, never the
+    append (the frames are already staged, so a re-append would duplicate
+    records); retries are counted as
+    [minview_warehouse_ingest_retries_total], and exhaustion surfaces as
+    {!Error} ([Io_error]).
+
+    {e Parallel-apply failures} — a shard worker that raises
+    ([Maintenance.Faults.In_shard_worker] in [Fail] mode) or wedges past a
+    supervised pool's deadline ({!Maintenance.Shard.Wedged}) — roll the
+    transaction back and re-apply the batch serially; ingestion then stays
+    serial until a backoff period of clean batches has passed, after which
+    parallel apply is retried (exponential period growth on repeated
+    failures, reset after a long clean streak). Counted as
+    [minview_warehouse_parallel_degradations_total] /
+    [..._promotions_total], with the [minview_warehouse_parallel_degraded]
+    gauge up while degraded. *)
+
+(** Retry policy for transient ingest faults: up to [attempts] retries, the
+    [k]-th delayed by [base_delay * 2^k] seconds (capped at [max_delay],
+    jittered). *)
+type retry = { attempts : int; base_delay : float; max_delay : float }
+
+val default_retry : retry
+
+(** @raise Error ([Invalid_request] on negative fields). *)
+val set_retry : t -> retry -> unit
+
+(** How the next batch will be applied (see the supervision contract
+    above). *)
+type apply_mode =
+  | Serial  (** no parallel pool configured *)
+  | Parallel
+  | Degraded of { remaining : int; next_backoff : int }
+      (** serial fallback: [remaining] clean batches until re-promotion *)
+
+val apply_mode : t -> apply_mode
+
+(** [set_dead_letter_cap t (Some n)] bounds the dead-letter queue to the [n]
+    newest rejections: quarantining past the cap drops the oldest letters
+    (counted as [minview_warehouse_dead_letters_dropped_total] and warned
+    about) instead of growing without bound. [None] (the default) removes
+    the cap. @raise Error ([Invalid_request] if [n < 1]). *)
+val set_dead_letter_cap : t -> int option -> unit
 
 (** [set_parallel t (Some pool)] makes every subsequent batch apply through
     the compacted shard-parallel fast path ({!Maintenance.Engine.apply_batch}
@@ -264,32 +318,91 @@ val load : string -> t
     An {e attached} warehouse writes every accepted batch to a write-ahead
     log under its state directory before any engine applies it; the flushed
     append is the commit point. {!checkpoint} snapshots the full state and
-    truncates the log; after a crash, {!recover} loads the latest snapshot
-    and replays the log tail — tolerating a torn final record — so the
-    warehouse comes back at the last committed batch. *)
+    {e rotates} the log into a checkpoint generation chain: the outgoing
+    snapshot and its WAL segment are archived under [dir/generations/]
+    (as [snapshot-<n>.bin] / [wal-<n>.bin], the last [keep_generations]
+    retained) instead of being destroyed. After a crash, {!recover} loads
+    the newest snapshot that passes its CRC check — falling back along the
+    chain past unverifiable ones — and replays the committed WAL records
+    newer than it (archived segments in chain order, then the live log,
+    skipping aborted batches and tolerating a torn tail on the live log),
+    so the warehouse comes back at the last committed batch even when the
+    latest snapshot is damaged. *)
 
 (** [attach t ~dir] makes [t] durable: creates [dir] if needed, opens (or
     repairs) its WAL, and takes an initial checkpoint. With
     [?checkpoint_every:n], every [n]-th batch checkpoints automatically.
-    Also points the lineage sink at [dir/lineage.jsonl], so every
-    committed batch leaves a lineage record next to its WAL commit marker
-    (see {!Telemetry.Lineage}).
-    @raise Error ([Invalid_request] if already attached, [Io_error],
-    [Corrupt_state], [Not_persistable]). *)
-val attach : ?checkpoint_every:int -> t -> dir:string -> unit
+    [?keep_generations] (default 2) sets how many archived checkpoint
+    generations survive pruning; [0] disables the chain (truncate on
+    checkpoint, the pre-chain behaviour). Also points the lineage sink at
+    [dir/lineage.jsonl], so every committed batch leaves a lineage record
+    next to its WAL commit marker (see {!Telemetry.Lineage}).
+    @raise Error ([Invalid_request] if already attached or
+    [keep_generations < 0], [Io_error], [Corrupt_state],
+    [Not_persistable]). *)
+val attach : ?checkpoint_every:int -> ?keep_generations:int -> t -> dir:string -> unit
 
-(** Snapshot the state directory and truncate the WAL.
+(** Snapshot the state directory, archive the previous generation and
+    rotate the WAL (see the chain contract above).
     @raise Error ([Not_durable] if not attached). *)
 val checkpoint : t -> unit
 
-(** [recover ~dir] rebuilds the warehouse from [dir]: latest snapshot plus
-    replay of the committed WAL records newer than it (skipping aborted
-    batches and tolerating a torn tail). The result is attached to [dir].
-    A parallel pool active when the snapshot was taken is {e not} restored
-    (see {!set_parallel}); the reset is reported through the warning event
-    and counter described there.
-    @raise Error as {!load}. *)
+(** [recover ~dir] rebuilds the warehouse from [dir] (see the chain
+    contract above) and attaches the result to it. An unverifiable
+    snapshot is quarantined (renamed aside with a [.quarantine] suffix,
+    counted as [minview_warehouse_snapshot_fallbacks_total]) once an older
+    generation has verified. An existing-but-empty state directory is a
+    valid cold start: it is initialized in place instead of reported as
+    corruption. A parallel pool active when the snapshot was taken is
+    {e not} restored (see {!set_parallel}); the reset is reported through
+    the warning event and counter described there.
+    @raise Error as {!load}; also [Corrupt_state] when WAL damage (a
+    mid-stream bit flip, or any damage on an archived segment the restored
+    snapshot does not cover) may hide committed batches — {!repair}
+    quarantines the damage explicitly, accepting the loss. *)
 val recover : dir:string -> t
 
 (** Detach from the state directory, closing the WAL (no checkpoint). *)
 val close : t -> unit
+
+(** {2 Integrity: fsck and repair}
+
+    Offline integrity checking of a state directory, exposed as
+    [minview fsck] / [minview repair]. {!fsck} only reads; {!repair}
+    quarantines whatever does not verify (WAL tails via {!Wal.salvage},
+    snapshots by renaming them aside) so that a subsequent {!recover}
+    succeeds from what remains. Neither ever deletes data: every damaged
+    byte ends up in a [.quarantine] file beside its source. *)
+
+type fsck_entry = {
+  f_file : string;  (** relative to the state directory *)
+  f_ok : bool;
+  f_detail : string;  (** verification result, human-readable *)
+}
+
+type fsck_report = {
+  fsck_entries : fsck_entry list;
+  fsck_recoverable : bool;
+      (** at least one snapshot verifies (or the directory is empty) *)
+  fsck_clean : bool;  (** every file verifies; nothing to repair *)
+}
+
+(** Read-only integrity check of every snapshot (live and archived, full
+    CRC + decode) and WAL segment (frame scan with damage classification).
+    @raise Error ([Io_error] if [dir] is not a directory). *)
+val fsck : dir:string -> fsck_report
+
+type repair_report = {
+  repair_actions : (string * string) list;
+      (** (file relative to the state dir, what was done) *)
+  repair_recoverable : bool;
+      (** a verifiable snapshot survived (or the directory is now empty) *)
+}
+
+(** Quarantine everything {!fsck} would flag: damaged WAL tails are
+    salvaged ({!Wal.salvage}), unreadable WAL files and unverifiable
+    snapshots renamed to [.quarantine]. Returns what was done;
+    [repair_recoverable = false] means no snapshot survived and the
+    directory cannot be recovered (beyond re-initializing).
+    @raise Error ([Io_error] if [dir] is not a directory). *)
+val repair : dir:string -> repair_report

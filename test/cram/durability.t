@@ -108,5 +108,5 @@ A corrupted snapshot is refused before anything is unmarshalled:
 An unknown crash point is rejected up front:
 
   $ MINVIEW_FAULT=bogus ../../bin/minview.exe demo
-  MINVIEW_FAULT: unknown crash point "bogus" (known: after-wal-append, mid-engine-apply, mid-checkpoint, before-wal-truncate, after-truncate-rename, mid-group-commit)
+  MINVIEW_FAULT: unknown crash point "bogus" (known: after-wal-append, mid-engine-apply, mid-checkpoint, before-wal-truncate, after-truncate-rename, after-checkpoint-rename, mid-group-commit, in-shard-worker, wal-fsync)
   [2]

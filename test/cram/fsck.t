@@ -1,0 +1,125 @@
+Self-healing storage through the CLI: the checkpoint generation chain,
+fsck/repair with their documented exit codes (0 clean, 4 damaged but
+recoverable / repaired, 5 unrecoverable), and snapshot-fallback recovery.
+
+  $ cat > schema.sql <<'SQL'
+  > CREATE TABLE region (id INT PRIMARY KEY, name TEXT, zone TEXT);
+  > CREATE TABLE shop (id INT PRIMARY KEY, regionid INT REFERENCES region,
+  >                    kind TEXT);
+  > CREATE TABLE txn (id INT PRIMARY KEY, shopid INT REFERENCES shop,
+  >                   amount INT UPDATABLE);
+  > INSERT INTO region VALUES (1, 'north', 'a');
+  > INSERT INTO region VALUES (2, 'south', 'b');
+  > INSERT INTO shop VALUES (1, 1, 'grocery');
+  > INSERT INTO shop VALUES (2, 2, 'kiosk');
+  > INSERT INTO txn VALUES (1, 1, 10);
+  > INSERT INTO txn VALUES (2, 2, 30);
+  > CREATE VIEW zone_revenue AS
+  >   SELECT zone, SUM(amount) AS revenue, COUNT(*) AS txns
+  >   FROM txn, shop, region
+  >   WHERE txn.shopid = shop.id AND shop.regionid = region.id
+  >   GROUP BY zone;
+  > SQL
+
+  $ cat > changes.sql <<'SQL'
+  > INSERT INTO txn VALUES (3, 1, 5);
+  > INSERT INTO txn VALUES (4, 2, 7);
+  > UPDATE txn SET amount = 12 WHERE id = 1;
+  > SQL
+
+Build a durable state directory, then checkpoint through recovery: the
+outgoing snapshot and the replayed WAL segment are archived as generation 1
+instead of being destroyed.
+
+  $ ../../bin/minview.exe simulate schema.sql changes.sql --state state > /dev/null
+  $ ../../bin/minview.exe recover state --checkpoint > /dev/null
+  $ ls state
+  generations
+  lineage.jsonl
+  snapshot.bin
+  wal.bin
+  $ ls state/generations
+  snapshot-00000001.bin
+  wal-00000001.bin
+
+A healthy directory is clean — exit code 0:
+
+  $ ../../bin/minview.exe fsck state
+  snapshot.bin                         ok       verified, batch 1
+  generations/snapshot-00000001.bin    ok       verified, batch 0
+  generations/wal-00000001.bin         ok       1 record(s), through batch 1
+  wal.bin                              ok       0 record(s)
+  state: clean
+
+A torn WAL tail (a record that never finished hitting the disk) is detected
+and classified — exit code 4, damaged but recoverable:
+
+  $ printf 'torn frame, never completed' >> state/wal.bin
+  $ ../../bin/minview.exe fsck state
+  snapshot.bin                         ok       verified, batch 1
+  generations/snapshot-00000001.bin    ok       verified, batch 0
+  generations/wal-00000001.bin         ok       1 record(s), through batch 1
+  wal.bin                              DAMAGED  torn-write at offset 14: truncated payload (19 of 1852993396 bytes) (0 intact record(s) before it)
+  state: damaged but recoverable (run `minview repair` to quarantine the damage)
+  [4]
+
+Repair salvages the valid prefix and quarantines the bad bytes next to the
+log — exit code 4, repairs made; a second fsck is clean again:
+
+  $ ../../bin/minview.exe repair state
+  wal.bin: salvaged: 27 byte(s) of torn-write tail quarantined to wal.bin.quarantine
+  repaired: 1 file(s) quarantined; `minview recover` will proceed
+  [4]
+  $ ../../bin/minview.exe fsck state > /dev/null
+  $ cat state/wal.bin.quarantine
+  torn frame, never completed
+
+Hand-corrupt the newest checkpoint: fsck flags it but the generation chain
+still holds a verifiable snapshot:
+
+  $ head -c 30 state/snapshot.bin > snap.tmp && mv snap.tmp state/snapshot.bin
+  $ ../../bin/minview.exe fsck state
+  snapshot.bin                         DAMAGED  state/snapshot.bin: truncated frame header
+  generations/snapshot-00000001.bin    ok       verified, batch 0
+  generations/wal-00000001.bin         ok       1 record(s), through batch 1
+  wal.bin                              ok       0 record(s)
+  state: damaged but recoverable (run `minview repair` to quarantine the damage)
+  [4]
+
+Recovery falls back to generation K-1 and replays its archived WAL segment:
+nothing committed is lost, and the unverifiable snapshot is quarantined:
+
+  $ ../../bin/minview.exe recover state --checkpoint
+  minview.exe: [WARNING] state/snapshot.bin failed verification: quarantined to state/snapshot.bin.quarantine; falling back to state/generations/snapshot-00000001.bin
+  recovered 1 view(s) at batch 1 from state
+  -- zone_revenue --
+  +------+---------+------+
+  | zone | revenue | txns |
+  +------+---------+------+
+  | a    | 17      | 2    |
+  | b    | 37      | 2    |
+  +------+---------+------+
+  $ ls state
+  generations
+  lineage.jsonl
+  snapshot.bin
+  snapshot.bin.quarantine
+  wal.bin
+  wal.bin.quarantine
+  $ ../../bin/minview.exe fsck state > /dev/null && echo clean
+  clean
+
+When no snapshot verifies at all, both verbs report the directory
+unrecoverable — exit code 5:
+
+  $ ../../bin/minview.exe simulate schema.sql changes.sql --state state2 > /dev/null
+  $ head -c 30 state2/snapshot.bin > snap.tmp && mv snap.tmp state2/snapshot.bin
+  $ ../../bin/minview.exe fsck state2
+  snapshot.bin                         DAMAGED  state2/snapshot.bin: truncated frame header
+  wal.bin                              ok       1 record(s), through batch 1
+  state: unrecoverable (no snapshot verifies)
+  [5]
+  $ ../../bin/minview.exe repair state2
+  snapshot.bin: unverifiable (state2/snapshot.bin: truncated frame header): quarantined to snapshot.bin.quarantine
+  unrepairable: no verifiable snapshot remains
+  [5]

@@ -60,15 +60,21 @@ to `_` here (their math is covered by the telemetry unit tests).
   minview_wal_appends_total 0
   minview_wal_bytes_written_total 0
   minview_wal_syncs_total 0
+  minview_warehouse_dead_letters_dropped_total 0
+  minview_warehouse_ingest_retries_total 0
+  minview_warehouse_parallel_degradations_total 0
+  minview_warehouse_parallel_promotions_total 0
   minview_warehouse_parallel_resets_total 0
   minview_warehouse_quarantined_deltas_total 0
   minview_warehouse_recoveries_total 0
   minview_warehouse_replayed_batches_total 0
+  minview_warehouse_snapshot_fallbacks_total 0
   minview_warehouse_txn_commits_total 1
   minview_warehouse_txn_rollbacks_total 0
   == gauges ==
   minview_shard_imbalance_ratio 0
   minview_view_groups{view=zone_revenue} 2
+  minview_warehouse_parallel_degraded 0
   == histograms (observation counts) ==
   minview_engine_apply_seconds{mode=parallel} 0 p50=_ p95=_ p99=_
   minview_engine_apply_seconds{mode=serial} 1 p50=_ p95=_ p99=_
@@ -118,10 +124,16 @@ gauges carry no timing noise, so their lines are stable verbatim.
   {"name":"minview_wal_appends_total","labels":{},"type":"counter","value":0}
   {"name":"minview_wal_bytes_written_total","labels":{},"type":"counter","value":0}
   {"name":"minview_wal_syncs_total","labels":{},"type":"counter","value":0}
+  {"name":"minview_warehouse_dead_letters_dropped_total","labels":{},"type":"counter","value":0}
+  {"name":"minview_warehouse_ingest_retries_total","labels":{},"type":"counter","value":0}
+  {"name":"minview_warehouse_parallel_degradations_total","labels":{},"type":"counter","value":0}
+  {"name":"minview_warehouse_parallel_degraded","labels":{},"type":"gauge","value":0.0}
+  {"name":"minview_warehouse_parallel_promotions_total","labels":{},"type":"counter","value":0}
   {"name":"minview_warehouse_parallel_resets_total","labels":{},"type":"counter","value":0}
   {"name":"minview_warehouse_quarantined_deltas_total","labels":{},"type":"counter","value":0}
   {"name":"minview_warehouse_recoveries_total","labels":{},"type":"counter","value":0}
   {"name":"minview_warehouse_replayed_batches_total","labels":{},"type":"counter","value":0}
+  {"name":"minview_warehouse_snapshot_fallbacks_total","labels":{},"type":"counter","value":0}
   {"name":"minview_warehouse_txn_commits_total","labels":{},"type":"counter","value":1}
   {"name":"minview_warehouse_txn_rollbacks_total","labels":{},"type":"counter","value":0}
 

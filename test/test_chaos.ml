@@ -1,0 +1,610 @@
+(* The chaos harness: a randomized crash-point x corruption-kind x seed
+   sweep over the self-healing storage stack. Every iteration crashes a
+   batched ingestion run at an armed fault point, optionally damages the
+   state directory the way real hardware would (torn tail, snapshot rot,
+   mid-WAL bit flip), recovers — through [Warehouse.repair] when recovery
+   refuses — resumes the stream, and cross-checks the result against a
+   serial no-fault oracle (from-scratch view evaluation over the evolved
+   source) plus lineage-file/WAL-sequence agreement.
+
+   Plus directed tests for the supervision machinery (worker failure ->
+   rollback -> serial degradation -> re-promotion), wedged-worker pools,
+   the transient-fault retry policy, group-commit exposure bounds, the
+   dead-letter cap, and a TELEMETRY=off regression sweep. *)
+
+open Helpers
+module Faults = Maintenance.Faults
+module Shard = Maintenance.Shard
+
+let test case fn = Alcotest.test_case case `Quick fn
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+(* state directories now contain generations/ — clean recursively, so a
+   previous run's archived segments cannot leak into this one *)
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
+let fresh_dir name =
+  let dir = tmp name in
+  if Sys.file_exists dir then rm_rf dir;
+  dir
+
+let tiny =
+  {
+    Workload.Retail.days = 6;
+    stores = 2;
+    products = 10;
+    sold_per_store_day = 3;
+    tx_per_product = 2;
+    brands = 3;
+    seed = 29;
+  }
+
+let all_views =
+  [ Workload.Retail.product_sales; Workload.Retail.monthly_revenue;
+    Workload.Retail.sales_by_time ]
+
+let build () =
+  let db = Workload.Retail.load tiny in
+  let wh = Warehouse.create db in
+  Warehouse.add_view wh Workload.Retail.product_sales;
+  Warehouse.add_view ~strategy:Warehouse.Psj wh Workload.Retail.monthly_revenue;
+  Warehouse.add_view ~strategy:Warehouse.Replicate wh
+    Workload.Retail.sales_by_time;
+  (db, wh)
+
+let check_views ?(what = "") wh db =
+  List.iter
+    (fun v ->
+      Alcotest.check relation (v.View.name ^ what) (Algebra.Eval.eval db v)
+        (snd (Warehouse.query wh v.View.name)))
+    all_views
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+let flip_byte path offset =
+  let s = Bytes.of_string (read_file path) in
+  Bytes.set s offset (Char.chr (Char.code (Bytes.get s offset) lxor 0x55));
+  write_file path (Bytes.to_string s)
+
+let append_garbage path =
+  let oc =
+    open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path
+  in
+  output_string oc "torn frame that never finished hitting the disk";
+  close_out oc
+
+(* highest committed transaction recorded in the lineage sink; every
+   committed batch leaves one line keyed by its WAL sequence number *)
+let max_lineage_txn dir =
+  let path = Filename.concat dir "lineage.jsonl" in
+  if not (Sys.file_exists path) then 0
+  else begin
+    let ic = open_in path in
+    let best = ref 0 in
+    (try
+       while true do
+         match Scanf.sscanf_opt (input_line ic) "{\"txn\":%d" Fun.id with
+         | Some n -> if n > !best then best := n
+         | None -> ()
+       done
+     with End_of_file -> ());
+    close_in ic;
+    !best
+  end
+
+(* --- the chaos property -------------------------------------------------- *)
+
+(* What the iteration does to the state directory after the crash, before
+   recovery — the damage a real deployment could find on disk. *)
+type corruption = Clean | Torn_tail | Flip_snapshot | Flip_wal
+
+let corruption_label = function
+  | Clean -> "clean"
+  | Torn_tail -> "torn-tail"
+  | Flip_snapshot -> "flip-snapshot"
+  | Flip_wal -> "flip-wal"
+
+let wal_header_len = String.length "minview-wal/1\n"
+
+let has_generation_snapshot dir =
+  let gdir = Filename.concat dir "generations" in
+  match Sys.readdir gdir with
+  | entries ->
+    Array.exists (fun f -> String.starts_with ~prefix:"snapshot-" f) entries
+  | exception Sys_error _ -> false
+
+(* Apply [kind] if its precondition holds (e.g. a snapshot flip without an
+   older generation to fall back to would be unrecoverable by design);
+   returns the corruption actually inflicted. *)
+let corrupt dir kind =
+  let wal = Filename.concat dir "wal.bin" in
+  let snap = Filename.concat dir "snapshot.bin" in
+  match kind with
+  | Clean -> Clean
+  | Torn_tail ->
+    if Sys.file_exists wal then begin
+      append_garbage wal;
+      Torn_tail
+    end
+    else Clean
+  | Flip_snapshot ->
+    if Sys.file_exists snap && has_generation_snapshot dir then begin
+      let len = String.length (read_file snap) in
+      flip_byte snap (len - 1);
+      Flip_snapshot
+    end
+    else Clean
+  | Flip_wal ->
+    let len = if Sys.file_exists wal then String.length (read_file wal) else 0 in
+    if len > wal_header_len + 8 then begin
+      flip_byte wal (wal_header_len + ((len - wal_header_len) / 2));
+      Flip_wal
+    end
+    else Clean
+
+(* Recovery under damage: [recover] either succeeds directly (clean state,
+   auto-salvaged torn tail, generation-chain fallback) or refuses with
+   [Corrupt_state] when damage may hide committed batches — then [repair]
+   must quarantine the damage and a second [recover] must succeed. *)
+let robust_recover dir =
+  match Warehouse.recover ~dir with
+  | wh -> wh
+  | exception Warehouse.Error { kind = Warehouse.Corrupt_state; _ } ->
+    let r = Warehouse.repair ~dir in
+    Alcotest.(check bool) "repair leaves a recoverable directory" true
+      r.Warehouse.repair_recoverable;
+    Alcotest.(check bool) "repair quarantined something" true
+      (r.Warehouse.repair_actions <> []);
+    Warehouse.recover ~dir
+
+let total_batches = 8
+
+(* One chaos iteration. [done_before_crash] counts the ingest calls that
+   returned: those batches are acknowledged-committed, and only a mid-WAL
+   bit flip (damage [repair] explicitly accepts losing data to) may lose
+   them. *)
+let chaos_iteration point kind seed =
+  let ctx =
+    Printf.sprintf " [%s/%s/seed %d]" (Faults.to_string point)
+      (corruption_label kind) seed
+  in
+  let db, wh = build () in
+  let dir =
+    fresh_dir
+      (Printf.sprintf "wh_chaos_%s_%s_%d" (Faults.to_string point)
+         (corruption_label kind) seed)
+  in
+  Warehouse.attach ~checkpoint_every:3 ~keep_generations:2 wh ~dir;
+  let rng = Workload.Prng.create seed in
+  (* generated up front: the stream evolves db to its final state, which is
+     the serial no-fault oracle the recovered warehouse must reach *)
+  let batches =
+    List.init total_batches (fun _ -> Workload.Delta_gen.stream rng db ~n:10)
+  in
+  let skip =
+    match point with
+    | Faults.Mid_checkpoint | Faults.Before_wal_truncate
+    | Faults.After_truncate_rename | Faults.After_checkpoint_rename ->
+      1 (* let attach's initial checkpoint through; die on the first
+           automatic one (after the third batch) *)
+    | Faults.After_wal_append | Faults.Mid_engine_apply
+    | Faults.Mid_group_commit | Faults.Wal_fsync ->
+      2 (* die on the third batch's append/commit *)
+    | Faults.In_shard_worker -> 0
+  in
+  Faults.arm ~skip point;
+  let done_before_crash = ref 0 in
+  let crashed = ref false in
+  (try
+     List.iter
+       (fun b ->
+         Warehouse.ingest wh b;
+         incr done_before_crash)
+       batches
+   with Faults.Crash _ -> crashed := true);
+  Faults.disarm ();
+  Alcotest.(check bool) ("the armed fault fired" ^ ctx) true !crashed;
+  Warehouse.close wh;
+  let inflicted = corrupt dir kind in
+  let wh' = robust_recover dir in
+  let already = Warehouse.ingested_batches wh' in
+  Alcotest.(check bool)
+    ("recovery never invents batches" ^ ctx)
+    true
+    (already <= total_batches);
+  (* the loss invariant: every acknowledged batch survives any crash and any
+     damage except a mid-stream WAL flip, where repair explicitly accepts
+     losing the records behind the flipped byte (still only a suffix: frames
+     cannot resync past damage, so the survivors are a prefix) *)
+  (match inflicted with
+  | Clean | Torn_tail | Flip_snapshot ->
+    Alcotest.(check bool)
+      ("no committed batch lost" ^ ctx)
+      true
+      (already >= !done_before_crash)
+  | Flip_wal -> ());
+  (* resume the stream where the recovered warehouse says it stands; the
+     result must be indistinguishable from a run that never crashed *)
+  List.iteri
+    (fun idx batch -> if idx >= already then Warehouse.ingest wh' batch)
+    batches;
+  Alcotest.(check int)
+    ("resume reaches the full stream" ^ ctx)
+    total_batches
+    (Warehouse.ingested_batches wh');
+  check_views ~what:ctx wh' db;
+  (* lineage / WAL-sequence agreement: the newest lineage record carries the
+     final WAL sequence number *)
+  Alcotest.(check int)
+    ("lineage agrees with the WAL sequence" ^ ctx)
+    total_batches (max_lineage_txn dir);
+  Warehouse.close wh';
+  rm_rf dir
+
+let chaos_seeds = [ 101; 102; 103; 104; 105; 106; 107 ]
+
+let chaos_tests =
+  (* In_shard_worker never fires on this serial matrix; its recoverable-mode
+     coverage is the supervision suite below *)
+  let points =
+    List.filter (fun p -> p <> Faults.In_shard_worker) Faults.all
+  in
+  let kinds = [ Clean; Torn_tail; Flip_snapshot; Flip_wal ] in
+  (* 8 points x 4 corruption kinds x 7 seeds = 224 iterations *)
+  List.concat_map
+    (fun point ->
+      List.map
+        (fun kind ->
+          test
+            (Printf.sprintf "crash at %s + %s damage (7 seeds)"
+               (Faults.to_string point) (corruption_label kind))
+            (fun () -> List.iter (chaos_iteration point kind) chaos_seeds))
+        kinds)
+    points
+
+(* --- supervised parallel apply ------------------------------------------- *)
+
+(* A batch of distinct-priced sale inserts: enough compacted root operations
+   to fan out once MINVIEW_PAR_THRESHOLD is lowered, and valid against the
+   tiny retail schema (timeid/productid/storeid all in range). *)
+let sale_batch k =
+  List.init 8 (fun j ->
+      Delta.insert "sale"
+        (row
+           [ i (3_000_000 + (k * 100) + j); i ((j mod tiny.Workload.Retail.days) + 1);
+             i ((j mod tiny.Workload.Retail.products) + 1);
+             i ((j mod tiny.Workload.Retail.stores) + 1); i (j + 1) ]))
+
+let with_par_threshold n f =
+  Unix.putenv "MINVIEW_PAR_THRESHOLD" (string_of_int n);
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "MINVIEW_PAR_THRESHOLD" "")
+    f
+
+let mode : Warehouse.apply_mode Alcotest.testable =
+  Alcotest.testable
+    (fun ppf -> function
+      | Warehouse.Serial -> Format.pp_print_string ppf "serial"
+      | Warehouse.Parallel -> Format.pp_print_string ppf "parallel"
+      | Warehouse.Degraded { remaining; next_backoff } ->
+        Format.fprintf ppf "degraded(%d,%d)" remaining next_backoff)
+    ( = )
+
+let supervision_tests =
+  [
+    test "worker failure: rollback, degrade to serial, re-promote" (fun () ->
+        with_par_threshold 1 @@ fun () ->
+        let _db, wh = build () in
+        Warehouse.set_parallel wh
+          (Some (Shard.supervised ~domains:2 ~deadline:10.));
+        Alcotest.check mode "starts parallel" Warehouse.Parallel
+          (Warehouse.apply_mode wh);
+        (* the injected worker failure is recoverable: the batch must still
+           commit (serially) and the warehouse must degrade *)
+        Faults.arm ~mode:Faults.Fail Faults.In_shard_worker;
+        Warehouse.ingest wh (sale_batch 0);
+        Faults.disarm ();
+        Alcotest.check mode "degraded after the failure"
+          (Warehouse.Degraded { remaining = 3; next_backoff = 8 })
+          (Warehouse.apply_mode wh);
+        check_views wh (Warehouse.believed_source wh);
+        (* three clean serial batches walk the degradation clock down *)
+        Warehouse.ingest wh (sale_batch 1);
+        Warehouse.ingest wh (sale_batch 2);
+        Alcotest.check mode "still degraded"
+          (Warehouse.Degraded { remaining = 1; next_backoff = 8 })
+          (Warehouse.apply_mode wh);
+        Warehouse.ingest wh (sale_batch 3);
+        Alcotest.check mode "re-promoted to parallel" Warehouse.Parallel
+          (Warehouse.apply_mode wh);
+        (* and the parallel path really is taken again, correctly *)
+        Warehouse.ingest wh (sale_batch 4);
+        check_views wh (Warehouse.believed_source wh));
+    test "repeated failures double the degradation period" (fun () ->
+        with_par_threshold 1 @@ fun () ->
+        let _db, wh = build () in
+        Warehouse.set_parallel wh
+          (Some (Shard.supervised ~domains:2 ~deadline:10.));
+        Faults.arm ~mode:Faults.Fail Faults.In_shard_worker;
+        Warehouse.ingest wh (sale_batch 0);
+        Faults.disarm ();
+        for k = 1 to 3 do
+          Warehouse.ingest wh (sale_batch k)
+        done;
+        (* promoted; fail again immediately: backoff doubles *)
+        Faults.arm ~mode:Faults.Fail Faults.In_shard_worker;
+        Warehouse.ingest wh (sale_batch 4);
+        Faults.disarm ();
+        Alcotest.check mode "second degradation runs twice as long"
+          (Warehouse.Degraded { remaining = 7; next_backoff = 16 })
+          (Warehouse.apply_mode wh);
+        check_views wh (Warehouse.believed_source wh));
+    test "set_parallel resets the supervision slate" (fun () ->
+        with_par_threshold 1 @@ fun () ->
+        let _db, wh = build () in
+        Warehouse.set_parallel wh
+          (Some (Shard.supervised ~domains:2 ~deadline:10.));
+        Faults.arm ~mode:Faults.Fail Faults.In_shard_worker;
+        Warehouse.ingest wh (sale_batch 0);
+        Faults.disarm ();
+        Warehouse.set_parallel wh (Some (Shard.create ~domains:2));
+        Alcotest.check mode "fresh pool starts parallel" Warehouse.Parallel
+          (Warehouse.apply_mode wh);
+        Warehouse.set_parallel wh None;
+        Alcotest.check mode "no pool is serial" Warehouse.Serial
+          (Warehouse.apply_mode wh));
+    test "a wedged worker raises Wedged and the pool respawns" (fun () ->
+        let pool = Shard.supervised ~domains:2 ~deadline:0.05 in
+        (match
+           Shard.run pool ~workers:2 (fun w ->
+               if w > 0 then Unix.sleepf 0.4)
+         with
+        | () -> Alcotest.fail "expected Wedged"
+        | exception Shard.Wedged { worker; waited } ->
+          Alcotest.(check int) "the spawned worker wedged" 1 worker;
+          Alcotest.(check bool) "waited at least the deadline" true
+            (waited >= 0.05));
+        (* the poisoned pool replaces its workers on the next run *)
+        let hits = Atomic.make 0 in
+        Shard.run pool ~workers:2 (fun _ -> Atomic.incr hits);
+        Alcotest.(check int) "respawned pool runs both workers" 2
+          (Atomic.get hits));
+  ]
+
+(* --- transient-fault retry ----------------------------------------------- *)
+
+let retry_tests =
+  [
+    test "a transient fsync failure is retried and absorbed" (fun () ->
+        let db, wh = build () in
+        let dir = fresh_dir "wh_retry_dir" in
+        Warehouse.attach wh ~dir;
+        Warehouse.set_retry wh
+          { Warehouse.attempts = 3; base_delay = 0.; max_delay = 0. };
+        let rng = Workload.Prng.create 3 in
+        let batch = Workload.Delta_gen.stream rng db ~n:20 in
+        Faults.arm ~mode:Faults.Fail Faults.Wal_fsync;
+        Warehouse.ingest wh batch;
+        Faults.disarm ();
+        Warehouse.close wh;
+        (* the retried barrier really made the batch durable *)
+        let wh' = Warehouse.recover ~dir in
+        Alcotest.(check int) "batch survived the flaky fsync" 1
+          (Warehouse.ingested_batches wh');
+        check_views wh' db;
+        Warehouse.close wh';
+        rm_rf dir);
+    test "retry exhaustion surfaces as Io_error" (fun () ->
+        let db, wh = build () in
+        let dir = fresh_dir "wh_retry_exhausted_dir" in
+        Warehouse.attach wh ~dir;
+        Warehouse.set_retry wh
+          { Warehouse.attempts = 0; base_delay = 0.; max_delay = 0. };
+        let rng = Workload.Prng.create 4 in
+        Faults.arm ~mode:Faults.Fail Faults.Wal_fsync;
+        (match Warehouse.ingest wh (Workload.Delta_gen.stream rng db ~n:10) with
+        | () -> Alcotest.fail "expected Io_error"
+        | exception Warehouse.Error { kind = Warehouse.Io_error; detail } ->
+          Alcotest.(check bool) "mentions the fault" true
+            (contains detail "wal-commit"));
+        Faults.disarm ();
+        Warehouse.close wh;
+        rm_rf dir);
+    test "set_retry rejects negative policies" (fun () ->
+        let _db, wh = build () in
+        match
+          Warehouse.set_retry wh
+            { Warehouse.attempts = -1; base_delay = 0.; max_delay = 0. }
+        with
+        | exception Warehouse.Error { kind = Warehouse.Invalid_request; _ } ->
+          ()
+        | () -> Alcotest.fail "expected Invalid_request");
+    test "group commit honours the in-flight budget" (fun () ->
+        let db, wh = build () in
+        let dir = fresh_dir "wh_inflight_dir" in
+        Warehouse.attach wh ~dir;
+        let rng = Workload.Prng.create 8 in
+        let batches =
+          List.init 5 (fun _ -> Workload.Delta_gen.stream rng db ~n:12)
+        in
+        let reports = Warehouse.ingest_all ~in_flight:2 wh batches in
+        Alcotest.(check (list int))
+          "sequence numbers" [ 1; 2; 3; 4; 5 ]
+          (List.map (fun r -> r.Warehouse.batch) reports);
+        Warehouse.close wh;
+        let wh' = Warehouse.recover ~dir in
+        Alcotest.(check int) "all batches durable" 5
+          (Warehouse.ingested_batches wh');
+        check_views wh' db;
+        Warehouse.close wh';
+        rm_rf dir);
+    test "a zero in-flight budget is refused" (fun () ->
+        let _db, wh = build () in
+        match Warehouse.ingest_all ~in_flight:0 wh [] with
+        | exception Warehouse.Error { kind = Warehouse.Invalid_request; _ } ->
+          ()
+        | _ -> Alcotest.fail "expected Invalid_request");
+    test "the dead-letter cap drops the oldest rejections" (fun () ->
+        let _db, wh = build () in
+        Warehouse.set_dead_letter_cap wh (Some 2);
+        (* three rejections: saleids duplicating existing rows would vary by
+           seed, so use unknown foreign keys — deterministic rejects *)
+        let bad j =
+          Delta.insert "sale" (row [ i (4_000_000 + j); i 999; i 1; i 1; i 5 ])
+        in
+        Warehouse.ingest wh [ bad 0 ];
+        Warehouse.ingest wh [ bad 1 ];
+        Warehouse.ingest wh [ bad 2 ];
+        let letters = Warehouse.dead_letters wh in
+        Alcotest.(check int) "capped at two letters" 2 (List.length letters);
+        (* oldest-first queue: the first rejection was dropped *)
+        let ids =
+          List.map
+            (fun r ->
+              match r.Delta.delta.Delta.change with
+              | Delta.Insert t -> t.(0)
+              | _ -> Value.Null)
+            letters
+        in
+        Alcotest.(check (list value))
+          "newest two survive"
+          [ i 4_000_001; i 4_000_002 ]
+          ids;
+        (match Warehouse.set_dead_letter_cap wh (Some 0) with
+        | exception Warehouse.Error { kind = Warehouse.Invalid_request; _ } ->
+          ()
+        | () -> Alcotest.fail "expected Invalid_request"));
+  ]
+
+(* --- fsck / repair ------------------------------------------------------- *)
+
+let fsck_tests =
+  [
+    test "a healthy directory is clean and recoverable" (fun () ->
+        let db, wh = build () in
+        let dir = fresh_dir "wh_fsck_clean_dir" in
+        Warehouse.attach ~checkpoint_every:2 wh ~dir;
+        let rng = Workload.Prng.create 12 in
+        for _ = 1 to 5 do
+          Warehouse.ingest wh (Workload.Delta_gen.stream rng db ~n:10)
+        done;
+        Warehouse.close wh;
+        let r = Warehouse.fsck ~dir in
+        Alcotest.(check bool) "clean" true r.Warehouse.fsck_clean;
+        Alcotest.(check bool) "recoverable" true r.Warehouse.fsck_recoverable;
+        Alcotest.(check bool) "every entry verifies" true
+          (List.for_all (fun e -> e.Warehouse.f_ok) r.Warehouse.fsck_entries);
+        (* repair on a clean directory is a no-op *)
+        let rep = Warehouse.repair ~dir in
+        Alcotest.(check int) "nothing to repair" 0
+          (List.length rep.Warehouse.repair_actions);
+        rm_rf dir);
+    test "snapshot rot is flagged, repaired and survived via the chain"
+      (fun () ->
+        let db, wh = build () in
+        let dir = fresh_dir "wh_fsck_rot_dir" in
+        Warehouse.attach ~keep_generations:2 wh ~dir;
+        let rng = Workload.Prng.create 13 in
+        Warehouse.ingest wh (Workload.Delta_gen.stream rng db ~n:10);
+        Warehouse.checkpoint wh;
+        Warehouse.ingest wh (Workload.Delta_gen.stream rng db ~n:10);
+        Warehouse.close wh;
+        let snap = Filename.concat dir "snapshot.bin" in
+        flip_byte snap (String.length (read_file snap) - 1);
+        let r = Warehouse.fsck ~dir in
+        Alcotest.(check bool) "not clean" false r.Warehouse.fsck_clean;
+        Alcotest.(check bool) "still recoverable (the chain holds)" true
+          r.Warehouse.fsck_recoverable;
+        let rep = Warehouse.repair ~dir in
+        Alcotest.(check bool) "repair quarantined the snapshot" true
+          (List.exists
+             (fun (f, _) -> f = "snapshot.bin")
+             rep.Warehouse.repair_actions);
+        Alcotest.(check bool) "recoverable after repair" true
+          rep.Warehouse.repair_recoverable;
+        let wh' = Warehouse.recover ~dir in
+        Alcotest.(check int) "both batches recovered from gen K-1" 2
+          (Warehouse.ingested_batches wh');
+        check_views wh' db;
+        Warehouse.close wh';
+        rm_rf dir);
+    test "an unrecoverable directory is reported as such" (fun () ->
+        let db, wh = build () in
+        let dir = fresh_dir "wh_fsck_dead_dir" in
+        Warehouse.attach ~keep_generations:0 wh ~dir;
+        let rng = Workload.Prng.create 14 in
+        Warehouse.ingest wh (Workload.Delta_gen.stream rng db ~n:10);
+        Warehouse.close wh;
+        let snap = Filename.concat dir "snapshot.bin" in
+        flip_byte snap (String.length (read_file snap) - 1);
+        let r = Warehouse.fsck ~dir in
+        Alcotest.(check bool) "not recoverable" false
+          r.Warehouse.fsck_recoverable;
+        let rep = Warehouse.repair ~dir in
+        Alcotest.(check bool) "repair cannot save it" false
+          rep.Warehouse.repair_recoverable;
+        rm_rf dir);
+    test "fsck refuses a non-directory" (fun () ->
+        match Warehouse.fsck ~dir:(tmp "wh_fsck_missing_dir") with
+        | exception Warehouse.Error { kind = Warehouse.Io_error; _ } -> ()
+        | _ -> Alcotest.fail "expected Io_error");
+  ]
+
+(* --- TELEMETRY=off regression -------------------------------------------- *)
+
+let telemetry_off_tests =
+  [
+    test "crash, fsck, repair and recovery stay green with telemetry off"
+      (fun () ->
+        Telemetry.set_enabled false;
+        Fun.protect ~finally:(fun () -> Telemetry.set_enabled true)
+        @@ fun () ->
+        let db, wh = build () in
+        let dir = fresh_dir "wh_telemetry_off_dir" in
+        Warehouse.attach ~checkpoint_every:3 ~keep_generations:2 wh ~dir;
+        let rng = Workload.Prng.create 21 in
+        let batches =
+          List.init 6 (fun _ -> Workload.Delta_gen.stream rng db ~n:10)
+        in
+        Faults.arm ~skip:1 Faults.After_checkpoint_rename;
+        (try List.iter (Warehouse.ingest wh) batches
+         with Faults.Crash _ -> ());
+        Faults.disarm ();
+        Warehouse.close wh;
+        append_garbage (Filename.concat dir "wal.bin");
+        let r = Warehouse.fsck ~dir in
+        Alcotest.(check bool) "recoverable" true r.Warehouse.fsck_recoverable;
+        ignore (Warehouse.repair ~dir);
+        let wh' = robust_recover dir in
+        let already = Warehouse.ingested_batches wh' in
+        List.iteri
+          (fun idx batch -> if idx >= already then Warehouse.ingest wh' batch)
+          batches;
+        check_views wh' db;
+        Warehouse.close wh';
+        rm_rf dir);
+  ]
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ("chaos", chaos_tests); ("supervision", supervision_tests);
+      ("retry", retry_tests); ("fsck", fsck_tests);
+      ("telemetry-off", telemetry_off_tests);
+    ]

@@ -11,13 +11,20 @@ let test case fn = Alcotest.test_case case `Quick fn
 
 let tmp name = Filename.concat (Filename.get_temp_dir_name ()) name
 
-(* a state directory emptied of any previous run's leftovers *)
+(* a state directory emptied of any previous run's leftovers — recursively,
+   because attached directories now grow a generations/ subdirectory whose
+   stale archived segments would otherwise poison a rerun *)
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
 let fresh_dir name =
   let dir = tmp name in
-  if Sys.file_exists dir then
-    Array.iter
-      (fun f -> Sys.remove (Filename.concat dir f))
-      (Sys.readdir dir);
+  if Sys.file_exists dir then rm_rf dir;
   dir
 
 let tiny =
@@ -75,13 +82,14 @@ let crash_and_recover point seed () =
     (* let attach's initial checkpoint through; crash on the first automatic
        one (after the third batch) *)
     | Faults.Mid_checkpoint | Faults.Before_wal_truncate
-    | Faults.After_truncate_rename ->
+    | Faults.After_truncate_rename | Faults.After_checkpoint_rename ->
       1
     | Faults.After_wal_append | Faults.Mid_engine_apply
     (* every synced append passes the group-commit point; crash on the third
        batch's write, leaving its frame torn on disk *)
-    | Faults.Mid_group_commit ->
+    | Faults.Mid_group_commit | Faults.Wal_fsync ->
       2
+    | Faults.In_shard_worker -> 0
   in
   Faults.arm ~skip point;
   let crashed = ref false in
@@ -110,6 +118,12 @@ let crash_and_recover point seed () =
   Warehouse.close wh'
 
 let crash_tests =
+  (* In_shard_worker only fires on the parallel apply path; the serial crash
+     matrix here never reaches it (it is covered by the supervision tests in
+     test_chaos.ml) *)
+  let serial_points =
+    List.filter (fun p -> p <> Faults.In_shard_worker) Faults.all
+  in
   List.concat_map
     (fun point ->
       List.map
@@ -119,7 +133,7 @@ let crash_tests =
                (Faults.to_string point) seed)
             (crash_and_recover point seed))
         [ 11; 12; 13 ])
-    Faults.all
+    serial_points
 
 let durability_tests =
   [
@@ -225,6 +239,120 @@ let durability_tests =
         Warehouse.close wh);
   ]
 
+(* --- checkpoint generation chain ---------------------------------------- *)
+
+let flip_last_byte path =
+  let ic = open_in_bin path in
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        Bytes.of_string (really_input_string ic (in_channel_length ic)))
+  in
+  let last = Bytes.length s - 1 in
+  Bytes.set s last (Char.chr (Char.code (Bytes.get s last) lxor 0xff));
+  let oc = open_out_bin path in
+  output_bytes oc s;
+  close_out oc
+
+let generation_files dir =
+  match Sys.readdir (Filename.concat dir "generations") with
+  | entries ->
+    let l = Array.to_list entries in
+    ( List.filter (String.starts_with ~prefix:"snapshot-") l,
+      List.filter (String.starts_with ~prefix:"wal-") l )
+  | exception Sys_error _ -> ([], [])
+
+let chain_tests =
+  [
+    test "a corrupt newest checkpoint recovers from generation K-1" (fun () ->
+        let db, wh = build () in
+        let dir = fresh_dir "wh_chain_fallback_dir" in
+        Warehouse.attach ~keep_generations:2 wh ~dir;
+        let rng = Workload.Prng.create 17 in
+        (* three checkpoints deep: gen chain holds the two older snapshots
+           with the WAL segments between them *)
+        for _ = 1 to 3 do
+          Warehouse.ingest wh (Workload.Delta_gen.stream rng db ~n:20);
+          Warehouse.checkpoint wh
+        done;
+        Warehouse.ingest wh (Workload.Delta_gen.stream rng db ~n:20);
+        Warehouse.close wh;
+        flip_last_byte (Filename.concat dir "snapshot.bin");
+        let wh' = Warehouse.recover ~dir in
+        (* the unverifiable newest snapshot fell back to gen K-1; replaying
+           its archived segment plus the live log reaches the full stream *)
+        Alcotest.(check int) "no committed batch lost" 4
+          (Warehouse.ingested_batches wh');
+        check_views wh' db;
+        Alcotest.(check bool) "the bad snapshot was quarantined" true
+          (Sys.file_exists (Filename.concat dir "snapshot.bin.quarantine"));
+        (* the healed warehouse checkpoints and keeps running *)
+        Warehouse.checkpoint wh';
+        Warehouse.ingest wh' (Workload.Delta_gen.stream rng db ~n:20);
+        check_views wh' db;
+        Warehouse.close wh');
+    test "pruning keeps exactly keep_generations archived snapshots"
+      (fun () ->
+        let db, wh = build () in
+        let dir = fresh_dir "wh_chain_prune_dir" in
+        Warehouse.attach ~keep_generations:2 wh ~dir;
+        let rng = Workload.Prng.create 18 in
+        for _ = 1 to 5 do
+          Warehouse.ingest wh (Workload.Delta_gen.stream rng db ~n:10);
+          Warehouse.checkpoint wh
+        done;
+        let snaps, wals = generation_files dir in
+        Alcotest.(check int) "two archived snapshots" 2 (List.length snaps);
+        Alcotest.(check int) "two archived WAL segments" 2 (List.length wals);
+        Warehouse.close wh;
+        let wh' = Warehouse.recover ~dir in
+        Alcotest.(check int) "all batches present" 5
+          (Warehouse.ingested_batches wh');
+        check_views wh' db;
+        Warehouse.close wh');
+    test "keep_generations:0 disables the chain (truncate on checkpoint)"
+      (fun () ->
+        let db, wh = build () in
+        let dir = fresh_dir "wh_chain_off_dir" in
+        Warehouse.attach ~keep_generations:0 wh ~dir;
+        let rng = Workload.Prng.create 19 in
+        for _ = 1 to 3 do
+          Warehouse.ingest wh (Workload.Delta_gen.stream rng db ~n:10);
+          Warehouse.checkpoint wh
+        done;
+        let snaps, wals = generation_files dir in
+        Alcotest.(check int) "no archived snapshots" 0 (List.length snaps);
+        Alcotest.(check int) "no archived WAL segments" 0 (List.length wals);
+        Warehouse.close wh;
+        let wh' = Warehouse.recover ~dir in
+        Alcotest.(check int) "recovery unaffected" 3
+          (Warehouse.ingested_batches wh');
+        check_views wh' db;
+        Warehouse.close wh');
+    test "negative keep_generations is refused" (fun () ->
+        let _db, wh = build () in
+        let dir = fresh_dir "wh_chain_neg_dir" in
+        match Warehouse.attach ~keep_generations:(-1) wh ~dir with
+        | exception Warehouse.Error { kind = Warehouse.Invalid_request; _ } ->
+          ()
+        | () -> Alcotest.fail "expected Invalid_request");
+    test "recover on an existing-but-empty directory is a cold start"
+      (fun () ->
+        let dir = fresh_dir "wh_empty_dir" in
+        Sys.mkdir dir 0o755;
+        let wh = Warehouse.recover ~dir in
+        Alcotest.(check int) "nothing ingested" 0
+          (Warehouse.ingested_batches wh);
+        Warehouse.close wh;
+        (* the cold start initialized the directory: a second recovery now
+           finds a live snapshot *)
+        let wh' = Warehouse.recover ~dir in
+        Alcotest.(check int) "still nothing ingested" 0
+          (Warehouse.ingested_batches wh');
+        Warehouse.close wh');
+  ]
+
 (* --- snapshot corruption ------------------------------------------------ *)
 
 let saved_snapshot path =
@@ -293,5 +421,6 @@ let () =
   Alcotest.run "recovery"
     [
       ("crash-points", crash_tests); ("durability", durability_tests);
+      ("generation-chain", chain_tests);
       ("snapshot-corruption", corruption_tests);
     ]

@@ -311,7 +311,7 @@ let warehouse_tests =
         Alcotest.(check int)
           "crash counted at its point" 1
           (counter_value
-             ~labels:[ ("point", "mid-engine-apply") ]
+             ~labels:[ ("point", "mid-engine-apply"); ("mode", "kill") ]
              "minview_faults_crashes_total");
         let wh2 = Warehouse.recover ~dir in
         Alcotest.(check int)
