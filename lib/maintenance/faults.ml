@@ -9,7 +9,7 @@ type point =
   | In_shard_worker
   | Wal_fsync
 
-type mode = Kill | Fail
+type mode = Kill | Fail | Stall of float
 
 exception Crash of point
 exception Injected of point
@@ -43,6 +43,9 @@ let armed () = Option.map (fun (p, _, _) -> p) !state
 
 let hit point =
   match !state with
+  (* a stall models a wedged *worker*: hits on the main domain neither fire
+     nor consume the trigger, so the sleep always lands on a spawned domain *)
+  | Some (p, Stall _, _) when p = point && Domain.is_main_domain () -> ()
   | Some (p, mode, remaining) when p = point ->
     if !remaining = 0 then begin
       (* disarm first: recovery code running in the same process after the
@@ -54,13 +57,18 @@ let hit point =
            ~labels:
              [
                ("point", to_string point);
-               ("mode", match mode with Kill -> "kill" | Fail -> "fail");
+               ( "mode",
+                 match mode with
+                 | Kill -> "kill"
+                 | Fail -> "fail"
+                 | Stall _ -> "stall" );
              ]
            ~help:"Injected faults raised at this crash point"
            "minview_faults_crashes_total");
       match mode with
       | Kill -> raise (Crash point)
       | Fail -> raise (Injected point)
+      | Stall seconds -> Unix.sleepf seconds
     end
     else decr remaining
   | Some _ | None -> ()

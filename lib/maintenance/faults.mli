@@ -6,7 +6,7 @@
     the [MINVIEW_FAULT] environment variable) {!arm} a point; when the
     pipeline reaches it, {!hit} raises.
 
-    Two failure modes:
+    Three failure modes:
     - [Kill] (the default) raises {!Crash}, which the warehouse deliberately
       never catches: the exception unwinds like a [kill -9], leaving the
       on-disk state exactly as a real crash would. Recovery code then has to
@@ -14,6 +14,10 @@
     - [Fail] raises {!Injected}, a {e recoverable} fault: the supervised
       paths (WAL durability barriers, shard workers) catch it and exercise
       their retry / rollback / degradation machinery instead of dying.
+    - [Stall seconds] sleeps at the point instead of raising, and only on a
+      spawned (non-main) domain: it wedges a shard worker past a supervised
+      pool's deadline while the worker eventually resumes — the
+      slow-but-alive domain the wedge remedy must survive.
 
     The crash-point matrix (what is on disk when each point fires) is
     documented in DESIGN.md. *)
@@ -51,8 +55,11 @@ type point =
 
 (** How an armed point fires: [Kill] simulates process death ({!Crash},
     never caught by the pipeline); [Fail] simulates a transient, recoverable
-    fault ({!Injected}, absorbed by supervision/retry). *)
-type mode = Kill | Fail
+    fault ({!Injected}, absorbed by supervision/retry); [Stall seconds]
+    sleeps at the point instead of raising — it models a wedged worker, so
+    it only fires on a spawned (non-main) domain, and hits on the main
+    domain neither fire nor consume the trigger. *)
+type mode = Kill | Fail | Stall of float
 
 (** The simulated process death. Deliberately not an [Error]-style
     exception: only test harnesses and the CLI top level may catch it. *)

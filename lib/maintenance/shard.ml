@@ -17,8 +17,12 @@
    waits for each spawned worker; a worker that blows the deadline raises
    [Wedged] on the caller and poisons the pool — the wedged domain cannot
    be killed (OCaml domains are not cancellable), so it is abandoned and a
-   fresh worker set is spawned on the next multi-worker run. Both failure
-   kinds bump [minview_shard_worker_failures_total].
+   fresh worker set is spawned on the next multi-worker run. Every worker
+   slot is still awaited before [Wedged] is raised, so all non-wedged
+   workers are quiescent — but the wedged domain itself may still be
+   executing the job, and callers must treat any state it closes over as
+   unsalvageable. Both failure kinds bump
+   [minview_shard_worker_failures_total].
 
    Workers are daemon-like: they are never joined, and the process exits
    normally while they are parked.  A pool must only be driven from one
@@ -186,22 +190,26 @@ let run_jobs pool n f =
       (function Some exn -> raise_failure exn | None -> ())
       errors
   | Some seconds ->
-    (* collect every worker that still answers before raising, so the pool
-       is quiescent when the supervisor sees the failure; the first wedge
-       stops the collection (the pool is poisoned anyway) *)
+    (* drain the await of every worker before raising — even after a wedge —
+       so every worker that still answers is provably quiescent when the
+       supervisor sees the failure. A wedge poisons the pool but does NOT
+       stop the collection: skipping the remaining awaits would leave
+       merely-slow workers running unobserved. Note that after [Wedged] the
+       pool is still not quiescent: the wedged domain itself cannot be
+       cancelled and may resume inside the job at any time, so the caller
+       must abandon (never roll back or reuse) any state the job closes
+       over. *)
     let errors = Array.make (n - 1) None in
     let wedged = ref None in
-    (try
-       for i = 0 to n - 2 do
-         match await_deadline pool.workers.(i) ~seconds with
-         | Ok e -> errors.(i) <- e
-         | Error waited ->
-           pool.poisoned <- true;
-           Telemetry.Counter.one (Obs.failures "wedged");
-           wedged := Some (Wedged { worker = i + 1; waited });
-           raise Exit
-       done
-     with Exit -> ());
+    for i = 0 to n - 2 do
+      match await_deadline pool.workers.(i) ~seconds with
+      | Ok e -> errors.(i) <- e
+      | Error waited ->
+        pool.poisoned <- true;
+        Telemetry.Counter.one (Obs.failures "wedged");
+        if Option.is_none !wedged then
+          wedged := Some (Wedged { worker = i + 1; waited })
+    done;
     (match !wedged with Some exn -> raise exn | None -> ());
     (match err0 with Some exn -> raise_failure exn | None -> ());
     Array.iter

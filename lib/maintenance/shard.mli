@@ -12,7 +12,13 @@
     {e wedged}: {!Wedged} is raised on the caller and the pool is poisoned —
     the wedged domain cannot be cancelled, so it is abandoned (it leaks, by
     design) and a fresh worker set is spawned on the next multi-worker run.
-    Worker failures of either kind are counted as
+    Every worker slot is drained (each within the deadline) before {!Wedged}
+    is raised, so all non-wedged workers are quiescent when the caller sees
+    the failure; the wedged domain itself, however, may still be executing
+    its job and can resume mutating whatever state the job closes over at
+    any later time — after {!Wedged}, callers must abandon that state
+    (replace it wholesale), never roll it back or re-apply over it in
+    place. Worker failures of either kind are counted as
     [minview_shard_worker_failures_total{kind="raised"|"wedged"}].
 
     A pool must be driven from one domain at a time.  Pools are runtime-only

@@ -361,11 +361,16 @@ let save t path =
 
 (* Load a snapshot; also returns the saved pool size so callers can warn
    about the reset (the pool is never restored — see [warn_parallel_reset]). *)
-let load_with path =
+let rec load_with path =
   let ic = try open_in_bin path with Sys_error m -> err Io_error "%s" m in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () ->
+      (* an OS-level read failure (EISDIR, EIO, ...) is operational, not
+         verification: it must surface as Io_error, never Corrupt_state *)
+      try load_channel path ic with Sys_error m -> err Io_error "%s" m)
+
+and load_channel path ic =
       let total = in_channel_length ic in
       let magic_len = String.length snapshot_magic in
       if total < magic_len then
@@ -421,7 +426,7 @@ let load_with path =
           },
           parallel_domains )
       | exception _ ->
-        err Corrupt_state "%s: undecodable payload (incompatible build?)" path)
+        err Corrupt_state "%s: undecodable payload (incompatible build?)" path
 
 (* The structured warning for the set_parallel/recover interaction: the
    snapshot was taken by a warehouse with a domain pool, but pools are
@@ -504,8 +509,36 @@ let generation_wals dir =
     (list_generations dir)
   |> List.sort compare
 
+(* The next chain index: one past the highest index embedded in {e any}
+   file of the generations directory — including quarantined copies
+   ("snapshot-<n>.bin.quarantine"), which [parse_generation] rejects as
+   chain members. A quarantined index must never be reallocated: the
+   re-used generation would pair a fresh snapshot with the old index's
+   archived [wal-<n>] segment, and the next WAL rotation would clobber
+   that segment's committed records. *)
+let generation_file_index name =
+  let num prefix =
+    let plen = String.length prefix in
+    if String.length name > plen && String.equal (String.sub name 0 plen) prefix
+    then
+      Scanf.sscanf_opt
+        (String.sub name plen (String.length name - plen))
+        "%d" Fun.id
+    else None
+  in
+  match num "snapshot-" with Some n -> Some n | None -> num "wal-"
+
 let next_generation_index dir =
-  1 + List.fold_left (fun acc (_, n) -> max acc n) 0 (list_generations dir)
+  match Sys.readdir (generations_dir dir) with
+  | exception Sys_error _ -> 1
+  | names ->
+    1
+    + Array.fold_left
+        (fun acc name ->
+          match generation_file_index name with
+          | Some n -> max acc n
+          | None -> acc)
+        0 names
 
 (* Retire everything older than the [keep]-th newest archived snapshot.
    Safe by the chain invariant: sequence numbers grow along the chain, so a
@@ -727,6 +760,32 @@ let engine_error_detail = function
   | Failure m | Invalid_argument m -> m
   | e -> Printexc.to_string e
 
+(* The wedge remedy. After [Shard.Wedged] the abandoned worker domain may
+   still be executing the batch against the engines its job closes over —
+   OCaml domains cannot be cancelled — so nothing that touches the current
+   engine state (rollback, serial re-apply) can run without racing it.
+   Instead the old engines are abandoned to the stray domain and every
+   registered view gets a fresh engine initialized from the validator's
+   committed shadow, exactly like registration: O(state), but paid only on
+   a wedge. Call with no validator transaction open (the shadow must be the
+   committed source). [Aged] views revert their current/old split to the
+   registration predicate — [age_out] placement is not derivable from
+   contents alone. *)
+let rebuild_engines t =
+  let source = Validator.believed_source t.validator in
+  t.views <-
+    List.map
+      (fun r ->
+        let engine =
+          match r.strategy with
+          | Minimal -> Engines.minimal source r.view
+          | Psj -> Engines.psj source r.view
+          | Replicate -> Engines.recompute source r.view
+          | Aged is_old -> Engines.partitioned source r.view ~is_old
+        in
+        { r with engine })
+      t.views
+
 (* --- supervised apply ---------------------------------------------------- *)
 
 let note_parallel_failure t detail =
@@ -743,20 +802,33 @@ let note_parallel_failure t detail =
          batch(es)"
         detail t.degraded_until)
 
-(* Apply one accepted batch under supervision. A parallel attempt that fails
-   (worker raised, or wedged past the pool deadline) is rolled back and the
-   batch is re-applied serially; ingestion then stays serial until
-   [t.degraded_until] clean batches have passed ([note_apply_outcome]).
-   Returns how the batch was finally applied. *)
+(* Apply one accepted batch under supervision. A parallel attempt whose
+   worker raised is rolled back and the batch is re-applied serially; a
+   *wedged* worker (deadline blown) re-raises instead — the batch is
+   aborted and quarantined by the ingest path and the engines are rebuilt,
+   because the stray domain forbids touching them in place. Either way
+   ingestion then stays serial until [t.degraded_until] clean batches have
+   passed ([note_apply_outcome]). Returns how the batch was finally
+   applied. *)
 let apply_supervised t deltas =
   match t.parallel with
   | Some pool when t.degraded_until = 0 -> (
     match apply_in_place t ~pool:(Some pool) deltas with
     | () -> `Parallel
     | exception (Faults.Crash _ as crash) -> raise crash
+    | exception (Maintenance.Shard.Wedged _ as wedge) ->
+      (* the wedged domain may still be executing the batch against the
+         engines, so neither an in-place rollback nor a serial re-apply is
+         safe here — degrade, and re-raise so ingest routes the batch to
+         the quarantine path, which rebuilds the engines instead of
+         touching them *)
+      note_parallel_failure t (engine_error_detail wedge);
+      raise wedge
     | exception e ->
-      (* the failed attempt left undo journals open on every engine; close
-         them before the serial retry opens fresh ones *)
+      (* a worker *raised*: the pool drained every worker before
+         re-raising, so the engines are quiescent. The failed attempt left
+         undo journals open on every engine; close them before the serial
+         retry opens fresh ones *)
       rollback_engines t;
       note_parallel_failure t (engine_error_detail e);
       apply_in_place t ~pool:None deltas;
@@ -807,15 +879,37 @@ let ingest_report_inner ~sync t deltas =
   end
   else begin
     let seq = t.seq + 1 in
-    Option.iter
-      (fun w ->
-        Wal.append ~sync:false w (Wal.Batch { seq; deltas = accepted });
-        (* synced: the record is durable and this is the commit point
-           (transient fsync faults are absorbed by the retry policy);
-           unsynced: the group's final {!Wal.sync} is *)
-        if sync then with_retry t ~what:"wal-commit" (fun () -> Wal.sync w);
-        Faults.hit Faults.After_wal_append)
-      t.wal;
+    (try
+       Option.iter
+         (fun w ->
+           Wal.append ~sync:false w (Wal.Batch { seq; deltas = accepted });
+           (* synced: the record is durable and this is the commit point
+              (transient fsync faults are absorbed by the retry policy);
+              unsynced: the group's final {!Wal.sync} is *)
+           if sync then with_retry t ~what:"wal-commit" (fun () -> Wal.sync w);
+           Faults.hit Faults.After_wal_append)
+         t.wal
+     with
+    | Faults.Crash _ as crash ->
+      (* simulated process death: no cleanup, recovery reloads from disk *)
+      raise crash
+    | e ->
+      (* retry exhaustion (or a Fail-mode injected fault): no engine has
+         seen the batch, only the validator transaction is open — close it
+         so the next ingest starts clean. The batch frame may already have
+         reached the OS even though the barrier failed, so consume the
+         sequence number under a best-effort abort marker rather than
+         letting replay resurrect a batch the caller was told failed. *)
+      Validator.rollback t.validator;
+      Option.iter
+        (fun w ->
+          try
+            Wal.append ~sync:false w (Wal.Abort { seq });
+            Wal.sync w
+          with _ -> ())
+        t.wal;
+      t.seq <- seq;
+      raise e);
     match apply_supervised t accepted with
     | mode ->
       commit_engines t;
@@ -836,9 +930,21 @@ let ingest_report_inner ~sync t deltas =
       (* an engine failed mid-batch even after supervision's serial retry:
          roll every engine back to its before-image (engines past the
          failure have empty journals), roll the shadow back, mark the WAL
-         record aborted and quarantine the whole batch *)
-      rollback_engines t;
-      Validator.rollback t.validator;
+         record aborted and quarantine the whole batch. A wedged pool is
+         the exception: the stray domain may still be mutating the engines,
+         so they cannot even be rolled back — abandon them and rebuild
+         from the committed shadow instead. *)
+      (match e with
+      | Maintenance.Shard.Wedged _ ->
+        Validator.rollback t.validator;
+        Log.warn (fun m ->
+            m
+              "wedged shard worker: abandoning the live engines to the \
+               stray domain and rebuilding them from the believed source");
+        rebuild_engines t
+      | _ ->
+        rollback_engines t;
+        Validator.rollback t.validator);
       Telemetry.Counter.one Obs.rollbacks;
       Option.iter
         (fun w ->
@@ -936,8 +1042,20 @@ let snapshot_candidates dir =
   (if Sys.file_exists live then [ (max_int, live) ] else [])
   @ List.rev (generation_snapshots dir)
 
+(* Quarantine names are never reused: if [path ^ ".quarantine"] already
+   holds earlier evidence (a previous fallback of the same path, or of a
+   reallocated generation index), a numbered suffix is chosen instead of
+   clobbering it — quarantining must never destroy bytes, including bytes
+   a previous quarantine preserved. *)
 let quarantine_snapshot path =
-  let q = path ^ ".quarantine" in
+  let rec fresh n =
+    let q =
+      if n = 0 then path ^ ".quarantine"
+      else Printf.sprintf "%s.quarantine.%d" path n
+    in
+    if Sys.file_exists q then fresh (n + 1) else q
+  in
+  let q = fresh 0 in
   (try Sys.rename path q with Sys_error _ -> ());
   Wal.fsync_dir path;
   q
@@ -1020,8 +1138,15 @@ let recover ~dir =
             | t, parallel_domains ->
               warn_parallel_reset path parallel_domains;
               (t, gen, path)
-            | exception (Error _ as exn) ->
-              if !first_failure = None then first_failure := Some exn;
+            (* only failed *verification* falls back down the chain: an
+               operational failure (EACCES, EMFILE, ...) says nothing about
+               the snapshot's integrity, so quarantining it and demoting to
+               an older generation would discard good live state — re-raise
+               and let the operator retry *)
+            | exception
+                (Error { kind = Corrupt_state | Incompatible_state; _ } as exn)
+              ->
+              if Option.is_none !first_failure then first_failure := Some exn;
               failed := path :: !failed;
               choose rest)
         in

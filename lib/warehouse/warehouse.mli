@@ -140,16 +140,26 @@ val ingest_all : ?in_flight:int -> t -> Relational.Delta.t list list -> report l
     warehouse's {!retry} policy. Only the barrier is retried, never the
     append (the frames are already staged, so a re-append would duplicate
     records); retries are counted as
-    [minview_warehouse_ingest_retries_total], and exhaustion surfaces as
-    {!Error} ([Io_error]).
+    [minview_warehouse_ingest_retries_total]. Exhaustion surfaces as
+    {!Error} ([Io_error]) after rolling the validator transaction back
+    (no engine has seen the batch at that point) and consuming the batch's
+    sequence number under a best-effort WAL abort marker, so a replay
+    cannot resurrect a batch the caller was told failed and the next
+    ingest starts clean.
 
-    {e Parallel-apply failures} — a shard worker that raises
-    ([Maintenance.Faults.In_shard_worker] in [Fail] mode) or wedges past a
-    supervised pool's deadline ({!Maintenance.Shard.Wedged}) — roll the
-    transaction back and re-apply the batch serially; ingestion then stays
-    serial until a backoff period of clean batches has passed, after which
-    parallel apply is retried (exponential period growth on repeated
-    failures, reset after a long clean streak). Counted as
+    {e Parallel-apply failures} — a shard worker that {e raises}
+    ([Maintenance.Faults.In_shard_worker] in [Fail] mode) leaves a
+    quiescent pool (every worker is awaited first), so the transaction is
+    rolled back and the batch re-applied serially. A worker that {e
+    wedges} past a supervised pool's deadline ({!Maintenance.Shard.Wedged})
+    may still be executing against the engines — the abandoned domain
+    cannot be cancelled — so the batch is aborted and quarantined instead
+    (reported as [Engine_failure] rejections, never re-applied in place)
+    and every registered engine is rebuilt from the validator's committed
+    shadow. Either way ingestion then stays serial until a backoff period
+    of clean batches has passed, after which parallel apply is retried
+    (exponential period growth on repeated failures, reset after a long
+    clean streak). Counted as
     [minview_warehouse_parallel_degradations_total] /
     [..._promotions_total], with the [minview_warehouse_parallel_degraded]
     gauge up while degraded. *)

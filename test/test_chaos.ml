@@ -369,6 +369,40 @@ let supervision_tests =
         Warehouse.set_parallel wh None;
         Alcotest.check mode "no pool is serial" Warehouse.Serial
           (Warehouse.apply_mode wh));
+    test "a wedge aborts the batch, rebuilds engines, keeps ingesting"
+      (fun () ->
+        with_par_threshold 1 @@ fun () ->
+        let _db, wh = build () in
+        Warehouse.set_parallel wh
+          (Some (Shard.supervised ~domains:2 ~deadline:0.05));
+        (* the stall outlives the deadline only on the spawned worker
+           domain: the caller sees Wedged while the stray domain is still
+           inside the batch, so nothing the batch touched may be reused —
+           the batch must abort and the engines must be rebuilt, never
+           rolled back or serially re-applied in place *)
+        Faults.arm ~mode:(Faults.Stall 0.3) Faults.In_shard_worker;
+        let r = Warehouse.ingest_report wh (sale_batch 0) in
+        Faults.disarm ();
+        Alcotest.(check int) "the wedged batch aborts" 0 r.Warehouse.applied;
+        Alcotest.(check bool) "the batch is quarantined as a wedge" true
+          (List.exists
+             (fun rj -> contains rj.Delta.detail "wedged")
+             r.Warehouse.rejected);
+        Alcotest.check mode "degraded after the wedge"
+          (Warehouse.Degraded { remaining = 4; next_backoff = 8 })
+          (Warehouse.apply_mode wh);
+        (* the rebuilt engines carry exactly the committed state — checked
+           while the stray domain may still be scribbling on the abandoned
+           ones *)
+        check_views wh (Warehouse.believed_source wh);
+        (* ingestion continues serially and re-promotes after the backoff *)
+        for k = 1 to 4 do
+          Warehouse.ingest wh (sale_batch k)
+        done;
+        Alcotest.check mode "re-promoted after the backoff" Warehouse.Parallel
+          (Warehouse.apply_mode wh);
+        Warehouse.ingest wh (sale_batch 5);
+        check_views wh (Warehouse.believed_source wh));
     test "a wedged worker raises Wedged and the pool respawns" (fun () ->
         let pool = Shard.supervised ~domains:2 ~deadline:0.05 in
         (match
@@ -425,6 +459,32 @@ let retry_tests =
             (contains detail "wal-commit"));
         Faults.disarm ();
         Warehouse.close wh;
+        rm_rf dir);
+    test "retry exhaustion rolls the validator back; ingestion continues"
+      (fun () ->
+        let _db, wh = build () in
+        let dir = fresh_dir "wh_retry_resume_dir" in
+        Warehouse.attach wh ~dir;
+        Warehouse.set_retry wh
+          { Warehouse.attempts = 0; base_delay = 0.; max_delay = 0. };
+        Faults.arm ~mode:Faults.Fail Faults.Wal_fsync;
+        (match Warehouse.ingest wh (sale_batch 0) with
+        | () -> Alcotest.fail "expected Io_error"
+        | exception Warehouse.Error { kind = Warehouse.Io_error; _ } -> ());
+        Faults.disarm ();
+        (* the validator transaction was rolled back: the next ingest must
+           work instead of raising Invalid_argument, and the shadow must
+           not contain the failed batch *)
+        Warehouse.ingest wh (sale_batch 1);
+        check_views wh (Warehouse.believed_source wh);
+        (* the failed batch consumed its sequence number under an abort
+           marker, so recovery cannot resurrect it either *)
+        Warehouse.close wh;
+        let wh' = Warehouse.recover ~dir in
+        Alcotest.(check int) "aborted + committed batches" 2
+          (Warehouse.ingested_batches wh');
+        check_views wh' (Warehouse.believed_source wh');
+        Warehouse.close wh';
         rm_rf dir);
     test "set_retry rejects negative policies" (fun () ->
         let _db, wh = build () in
@@ -564,6 +624,84 @@ let fsck_tests =
         match Warehouse.fsck ~dir:(tmp "wh_fsck_missing_dir") with
         | exception Warehouse.Error { kind = Warehouse.Io_error; _ } -> ()
         | _ -> Alcotest.fail "expected Io_error");
+    test "an operational load failure never demotes the snapshot" (fun () ->
+        let db, wh = build () in
+        let dir = fresh_dir "wh_io_error_dir" in
+        Warehouse.attach ~keep_generations:2 wh ~dir;
+        let rng = Workload.Prng.create 15 in
+        Warehouse.ingest wh (Workload.Delta_gen.stream rng db ~n:10);
+        Warehouse.checkpoint wh;
+        Warehouse.close wh;
+        (* make opening the live snapshot fail operationally (EISDIR) — an
+           OS-level failure, not failed verification *)
+        let snap = Filename.concat dir "snapshot.bin" in
+        Sys.remove snap;
+        Sys.mkdir snap 0o755;
+        (match Warehouse.recover ~dir with
+        | _ -> Alcotest.fail "expected Io_error"
+        | exception Warehouse.Error { kind = Warehouse.Io_error; _ } -> ());
+        (* the transient failure must not quarantine the live snapshot or
+           fall back to the older generation *)
+        Alcotest.(check bool) "nothing was quarantined" false
+          (Sys.file_exists (snap ^ ".quarantine"));
+        rm_rf dir);
+    test "repeated quarantines never clobber earlier evidence" (fun () ->
+        let db, wh = build () in
+        let dir = fresh_dir "wh_quarantine_unique_dir" in
+        Warehouse.attach ~keep_generations:4 wh ~dir;
+        let rng = Workload.Prng.create 16 in
+        let snap = Filename.concat dir "snapshot.bin" in
+        let corrupt_live () =
+          flip_byte snap (String.length (read_file snap) - 1)
+        in
+        Warehouse.ingest wh (Workload.Delta_gen.stream rng db ~n:10);
+        Warehouse.checkpoint wh;
+        Warehouse.close wh;
+        corrupt_live ();
+        let wh' = Warehouse.recover ~dir in
+        (* regrow the live snapshot, then rot it again *)
+        Warehouse.checkpoint wh';
+        Warehouse.close wh';
+        corrupt_live ();
+        let wh'' = Warehouse.recover ~dir in
+        check_views wh'' db;
+        Warehouse.close wh'';
+        Alcotest.(check bool) "first quarantine preserved" true
+          (Sys.file_exists (snap ^ ".quarantine"));
+        Alcotest.(check bool) "second quarantine got a fresh name" true
+          (Sys.file_exists (snap ^ ".quarantine.1"));
+        rm_rf dir);
+    test "a quarantined generation index is never reallocated" (fun () ->
+        let db, wh = build () in
+        let dir = fresh_dir "wh_gen_index_dir" in
+        Warehouse.attach ~keep_generations:4 wh ~dir;
+        let rng = Workload.Prng.create 17 in
+        Warehouse.ingest wh (Workload.Delta_gen.stream rng db ~n:10);
+        Warehouse.checkpoint wh;
+        (* archives generation 1 *)
+        Warehouse.ingest wh (Workload.Delta_gen.stream rng db ~n:10);
+        Warehouse.checkpoint wh;
+        (* archives generation 2 *)
+        let gdir = Filename.concat dir "generations" in
+        let gfile name = Filename.concat gdir name in
+        (* simulate a past fallback: generation 2's snapshot was quarantined
+           and its WAL segment never reached the disk (crash between the
+           snapshot rename and the rotation) *)
+        Sys.rename
+          (gfile "snapshot-00000002.bin")
+          (gfile "snapshot-00000002.bin.quarantine");
+        Sys.remove (gfile "wal-00000002.bin");
+        Warehouse.ingest wh (Workload.Delta_gen.stream rng db ~n:10);
+        Warehouse.checkpoint wh;
+        (* the quarantined index 2 must not be reallocated: a re-used index
+           would pair the new snapshot with the old wal-2 segment and the
+           rotation would clobber it *)
+        Alcotest.(check bool) "index 3 allocated" true
+          (Sys.file_exists (gfile "snapshot-00000003.bin"));
+        Alcotest.(check bool) "quarantined snapshot untouched" true
+          (Sys.file_exists (gfile "snapshot-00000002.bin.quarantine"));
+        Warehouse.close wh;
+        rm_rf dir);
   ]
 
 (* --- TELEMETRY=off regression -------------------------------------------- *)
