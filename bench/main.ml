@@ -1335,6 +1335,191 @@ let timings () =
   in
   print_string (table ~header:[ "benchmark"; "ns/run" ] rows)
 
+(* ----------------------------------------------------------- serve *)
+
+(* Mixed read/write workload over the epoch read path: the main domain
+   ingests continuously while N reader domains spin on epoch-served reads
+   of the same warehouse. Read latency percentiles come from the live
+   [minview_warehouse_read_seconds] histogram — the same one production
+   telemetry exposes — and the writer's throughput is compared against the
+   reader-free baseline: epoch publication is the writer's only read-side
+   cost, so readers must not slow ingestion down materially.
+
+   Readers are paced ([BENCH_SERVE_READ_QPS] per reader, default 1000):
+   epoch reads are sub-microsecond, so unpaced readers measure nothing but
+   CPU preemption of the writer on small machines. Pacing bounds the
+   readers' CPU draw so the ratio isolates actual blocking (of which the
+   epoch path has none — no lock is ever taken); set it to 0 for
+   spin-at-full-speed readers to measure raw read capacity instead.
+
+   Env:
+     BENCH_SERVE_READERS   comma-separated reader counts (default 0,1,4)
+     BENCH_SERVE_SECONDS   seconds per grid point (default 2.0)
+     BENCH_SERVE_BATCH     deltas per ingested batch (default 500)
+     BENCH_SERVE_READ_QPS  target reads/s per reader; 0 = unpaced (default 1000)
+     BENCH_SERVE_OUT       output path (default BENCH_serve.json) *)
+
+let serve_bench () =
+  header "serve: epoch reads under sustained ingest";
+  let ints_env var default =
+    match Sys.getenv_opt var with
+    | Some s ->
+      String.split_on_char ',' s
+      |> List.filter_map (fun x -> int_of_string_opt (String.trim x))
+    | None -> default
+  in
+  let reader_grid = ints_env "BENCH_SERVE_READERS" [ 0; 1; 4 ] in
+  let seconds =
+    match Sys.getenv_opt "BENCH_SERVE_SECONDS" with
+    | Some s -> (match float_of_string_opt s with Some f -> f | None -> 2.0)
+    | None -> 2.0
+  in
+  let batch_size =
+    match Sys.getenv_opt "BENCH_SERVE_BATCH" with
+    | Some s -> (match int_of_string_opt s with Some n -> n | None -> 500)
+    | None -> 500
+  in
+  let read_qps =
+    match Sys.getenv_opt "BENCH_SERVE_READ_QPS" with
+    | Some s -> (match int_of_string_opt s with Some n -> n | None -> 1000)
+    | None -> 1000
+  in
+  let pause = if read_qps > 0 then 1. /. float_of_int read_qps else 0. in
+  let next_id = ref 600_000_000 in
+  let fresh_batch rng n =
+    List.init n (fun _ ->
+        incr next_id;
+        Relational.Delta.insert "sale"
+          [| Value.Int !next_id;
+             Value.Int (Workload.Prng.int rng 40 + 1);
+             Value.Int (Workload.Prng.int rng 150 + 1);
+             Value.Int (Workload.Prng.int rng 4 + 1);
+             Value.Int (Workload.Prng.int rng 100 + 1) |])
+  in
+  let read_hist_snapshot () =
+    List.find_map
+      (fun (s : Telemetry.Metrics.snap) ->
+        if String.equal s.Telemetry.Metrics.s_name
+             "minview_warehouse_read_seconds"
+        then
+          match s.Telemetry.Metrics.s_value with
+          | Telemetry.Metrics.Histogram_v h -> Some h
+          | _ -> None
+        else None)
+      (Telemetry.snapshot ())
+  in
+  let run_point readers =
+    (* fresh instance per point: every grid point ingests into the same
+       resident-state ballpark *)
+    let db = R.load medium_params in
+    let wh = Warehouse.create db in
+    Warehouse.add_view wh R.product_sales;
+    Warehouse.add_view wh R.sales_by_time;
+    Telemetry.reset ();
+    let stop = Atomic.make false in
+    let reader_domains =
+      List.init readers (fun _ ->
+          Domain.spawn (fun () ->
+              let n = ref 0 in
+              while not (Atomic.get stop) do
+                Warehouse.with_snapshot wh (fun s ->
+                    ignore
+                      (Warehouse.read_view ~snapshot:s wh "product_sales"));
+                incr n;
+                if pause > 0. then
+                  try Unix.sleepf pause with Unix.Unix_error _ -> ()
+              done;
+              !n))
+    in
+    let rng = Workload.Prng.create (271 + readers) in
+    let t0 = Unix.gettimeofday () in
+    let t_end = t0 +. seconds in
+    let batches = ref 0 in
+    while Unix.gettimeofday () < t_end do
+      Warehouse.ingest wh (fresh_batch rng batch_size);
+      incr batches
+    done;
+    let elapsed = Unix.gettimeofday () -. t0 in
+    Atomic.set stop true;
+    let reads = List.fold_left (fun a d -> a + Domain.join d) 0 reader_domains in
+    let pct q =
+      match read_hist_snapshot () with
+      | Some h -> Telemetry.Metrics.percentile h q *. 1000.
+      | None -> Float.nan
+    in
+    let ingest_rows_per_s = float_of_int (!batches * batch_size) /. elapsed in
+    ( readers, !batches, ingest_rows_per_s,
+      reads, float_of_int reads /. elapsed,
+      pct 0.50, pct 0.95, pct 0.99 )
+  in
+  let points = List.map run_point reader_grid in
+  let baseline =
+    List.fold_left
+      (fun acc (r, _, rps, _, _, _, _, _) -> if r = 0 then Some rps else acc)
+      None points
+  in
+  let ratio rps =
+    match baseline with Some b when b > 0. -> rps /. b | _ -> Float.nan
+  in
+  let ms x = if Float.is_nan x then "-" else Printf.sprintf "%.3f" x in
+  print_string
+    (table
+       ~header:
+         [ "readers"; "batches"; "ingest rows/s"; "reads"; "reads/s";
+           "p50 ms"; "p95 ms"; "p99 ms"; "writer ratio" ]
+       (List.map
+          (fun (r, b, rps, reads, reads_s, p50, p95, p99) ->
+            [ string_of_int r; string_of_int b; Printf.sprintf "%.0f" rps;
+              string_of_int reads; Printf.sprintf "%.0f" reads_s;
+              ms p50; ms p95; ms p99;
+              (if r = 0 then "1.00" else Printf.sprintf "%.2f" (ratio rps)) ])
+          points));
+  let max_readers = List.fold_left max 0 reader_grid in
+  let ratio_at_max =
+    List.fold_left
+      (fun acc (r, _, rps, _, _, _, _, _) ->
+        if r = max_readers then ratio rps else acc)
+      Float.nan points
+  in
+  let cores = Domain.recommended_domain_count () in
+  if max_readers > 0 && not (Float.is_nan ratio_at_max) then begin
+    Printf.printf
+      "writer throughput at %d readers: %.0f%% of reader-free baseline\n"
+      max_readers (100. *. ratio_at_max);
+    if cores <= max_readers then
+      Printf.printf
+        "note: %d core(s) for %d domains — the ratio includes scheduling \
+         and GC-barrier overhead of oversubscription, not read-path \
+         blocking (the epoch path takes no lock)\n"
+        cores (max_readers + 1)
+  end;
+  let out =
+    Option.value (Sys.getenv_opt "BENCH_SERVE_OUT") ~default:"BENCH_serve.json"
+  in
+  let json_f x = if Float.is_nan x then "null" else Printf.sprintf "%.3f" x in
+  let oc = open_out out in
+  Printf.fprintf oc
+    "{\n  \"benchmark\": \"serve\",\n  \"seconds\": %.2f,\n  \
+     \"batch_size\": %d,\n  \"read_qps_per_reader\": %d,\n  \
+     \"cores\": %d,\n  \"grid\": [\n%s\n  ],\n  \
+     \"writer_ratio_at_max_readers\": %s\n}\n"
+    seconds batch_size read_qps cores
+    (String.concat ",\n"
+       (List.map
+          (fun (r, b, rps, reads, reads_s, p50, p95, p99) ->
+            Printf.sprintf
+              "    { \"readers\": %d, \"ingest_batches\": %d, \
+               \"ingest_rows_per_s\": %.0f, \"reads\": %d, \
+               \"reads_per_s\": %.0f, \"read_p50_ms\": %s, \
+               \"read_p95_ms\": %s, \"read_p99_ms\": %s, \
+               \"writer_ratio\": %s }"
+              r b rps reads reads_s (json_f p50) (json_f p95) (json_f p99)
+              (json_f (if r = 0 then 1.0 else ratio rps)))
+          points))
+    (json_f ratio_at_max);
+  close_out oc;
+  Printf.printf "wrote %s\n" out
+
 (* --------------------------------------------------------------- main *)
 
 let experiments =
@@ -1344,7 +1529,7 @@ let experiments =
     ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15);
     ("timings", timings); ("endurance", endurance);
     ("apply-scaling", apply_scaling); ("parallel", parallel_scaling);
-    ("overhead", overhead);
+    ("overhead", overhead); ("serve", serve_bench);
   ]
 
 let () =
@@ -1355,7 +1540,7 @@ let () =
       List.filter
         (fun (n, _) ->
           n <> "timings" && n <> "endurance" && n <> "apply-scaling"
-          && n <> "parallel" && n <> "overhead")
+          && n <> "parallel" && n <> "overhead" && n <> "serve")
         experiments
       |> List.map fst
     | [ "all" ] ->
@@ -1366,7 +1551,7 @@ let () =
       List.filter
         (fun (n, _) ->
           n <> "endurance" && n <> "apply-scaling" && n <> "parallel"
-          && n <> "overhead")
+          && n <> "overhead" && n <> "serve")
         experiments
       |> List.map fst
     | xs -> xs

@@ -8,6 +8,7 @@
    `minview audit state-dir`     — check maintained views against recomputation
    `minview fsck state-dir`      — read-only integrity check (exit 0/4/5)
    `minview repair state-dir`    — quarantine whatever does not verify
+   `minview serve schema.sql`    — line-protocol query server over read epochs
    `minview demo`                — the paper's running example end to end *)
 
 open Cmdliner
@@ -771,6 +772,70 @@ let explain_cmd =
           with $(b,--dot) the extended join graphs in Graphviz DOT form.")
     Term.(const run $ script_arg $ dot_flag)
 
+let serve_cmd =
+  let port_arg =
+    Arg.(
+      value & opt int 7171
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:
+            "TCP port to listen on (loopback only); $(b,0) picks an \
+             ephemeral port, printed on startup.")
+  in
+  let simulate_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "simulate" ] ~docv:"N"
+          ~doc:
+            "Live-ingest demo: between polls, generate and ingest a batch \
+             of $(docv) random valid source changes, so clients can watch \
+             epochs advance ($(b,PIN)/$(b,EPOCH)).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed for $(b,--simulate).")
+  in
+  let run () script port strategy simulate seed =
+    with_errors (fun () ->
+        let db, views = load_script script in
+        if views = [] then prerr_endline "warning: script defines no views";
+        let wh = Warehouse.create db in
+        List.iter (Warehouse.add_view ~strategy wh) views;
+        let srv = Serve.create ~port wh in
+        (* graceful shutdown: SIGINT/SIGTERM ask the loop to stop after the
+           current poll (one atomic store, async-signal-safe) *)
+        let stop _ = Serve.request_stop srv in
+        ignore (Sys.signal Sys.sigint (Sys.Signal_handle stop));
+        ignore (Sys.signal Sys.sigterm (Sys.Signal_handle stop));
+        Printf.printf "minview serve: listening on 127.0.0.1:%d (views: %s)\n%!"
+          (Serve.port srv)
+          (match Warehouse.view_names wh with
+          | [] -> "none"
+          | names -> String.concat ", " names);
+        let tick =
+          Option.map
+            (fun n ->
+              let rng = Workload.Prng.create seed in
+              fun () -> Warehouse.ingest wh (Workload.Delta_gen.stream rng db ~n))
+            simulate
+        in
+        Serve.run ?tick srv;
+        Printf.printf "minview serve: shut down after %d request(s)\n%!"
+          (Serve.requests srv))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve the warehouse over a TCP line protocol: $(b,QUERY) / \
+          $(b,RECONSTRUCT) / $(b,METRICS) / $(b,PING), with per-connection \
+          read epochs ($(b,PIN)/$(b,EPOCH)) and graceful shutdown \
+          ($(b,SHUTDOWN), SIGINT or SIGTERM). Reads are served from \
+          published read epochs, so they never block ingestion.")
+    Term.(
+      const run $ setup_term $ script_arg $ port_arg $ strategy_arg
+      $ simulate_arg $ seed_arg)
+
 let demo_cmd =
   let run () =
     with_errors (fun () ->
@@ -838,7 +903,8 @@ let main =
           Jensen & Böhlen, EDBT 1998).")
     [ derive_cmd; dot_cmd; explain_cmd; simulate_cmd; reconstruct_cmd;
       sharing_cmd; verify_cmd; recover_cmd; audit_cmd; fsck_cmd; repair_cmd;
-      metrics_cmd; trace_cmd; lineage_cmd; attribute_cmd; demo_cmd ]
+      metrics_cmd; trace_cmd; lineage_cmd; attribute_cmd; serve_cmd;
+      demo_cmd ]
 
 let () =
   (* the fault-injection harness: MINVIEW_FAULT=<point>[:skip] arms a named

@@ -168,6 +168,10 @@ let equal_state a b =
 
 (* --- transactions ------------------------------------------------------- *)
 
+(* Aux journals open and close in lockstep with the view state's, so the
+   view state alone answers for the whole engine. *)
+let in_txn t = View_state.in_txn t.vstate
+
 let begin_txn t =
   Hashtbl.iter (fun _ st -> Aux_state.begin_txn st) t.aux;
   View_state.begin_txn t.vstate

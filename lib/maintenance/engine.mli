@@ -55,6 +55,9 @@ val equal_state : t -> t -> bool
     journals in every auxiliary view and the view state; {!rollback}
     restores exactly the groups the batch touched. *)
 
+(** Whether undo journals are currently open. *)
+val in_txn : t -> bool
+
 (** Opens undo journals across all state.
     @raise Invalid_argument if a transaction is already open. *)
 val begin_txn : t -> unit

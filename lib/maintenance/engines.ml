@@ -75,6 +75,11 @@ let equal_state a b =
   | Split p, Split p' -> Partitioned.equal_state p p'
   | (Incremental _ | Recompute _ | Split _), _ -> false
 
+let in_txn = function
+  | Incremental { engine; _ } -> Engine.in_txn engine
+  | Recompute r -> r.txn <> None
+  | Split p -> Partitioned.in_txn p
+
 let begin_txn = function
   | Incremental { engine; _ } -> Engine.begin_txn engine
   | Recompute r ->
@@ -121,6 +126,16 @@ let view_contents = function
   | Incremental { engine; _ } -> Engine.view_contents engine
   | Recompute { replica; view; _ } -> Algebra.Eval.eval replica view
   | Split p -> Partitioned.view_contents p
+
+(* Epoch capture: [view_contents] behind a guard. Every rendering path
+   builds a fresh relation (new rows, never aliasing engine internals), so
+   the result is immutable-by-construction and safe to hand to concurrent
+   readers — but only if the engine is quiescent: rendering mid-transaction
+   would freeze uncommitted group state into the published epoch. *)
+let capture t =
+  if in_txn t then
+    invalid_arg "Engines.capture: transaction open (capture only at commit)";
+  view_contents t
 
 let detail_profile = function
   | Incremental { engine; _ } ->

@@ -64,6 +64,9 @@ val equal_state : t -> t -> bool
     therefore never leave views disagreeing about which deltas they have
     seen, without cloning untouched state. *)
 
+(** Whether a batch transaction is currently open. *)
+val in_txn : t -> bool
+
 (** @raise Invalid_argument if a transaction is already open. *)
 val begin_txn : t -> unit
 
@@ -78,8 +81,23 @@ val rollback : t -> unit
     {!Engine.apply_batch}; the recompute baseline ignores it. *)
 val apply_batch : ?parallel:Shard.pool -> t -> Relational.Delta.t list -> unit
 
-(** Current contents of the materialized view. *)
+(** Current contents of the materialized view.
+
+    The returned relation is freshly built on every call and never aliases
+    the engine's mutable internals. Its hash-iteration order
+    ({!Relational.Relation.fold}/[iter]) depends on insertion history —
+    serial and shard-parallel application of the same batches can differ —
+    so any consumer that needs a deterministic row order must use the
+    canonical order, {!Relational.Relation.to_sorted_list}
+    ([Tuple.compare] ascending). *)
 val view_contents : t -> Relational.Relation.t
+
+(** [capture t] is {!view_contents} for read-epoch publication: the fresh,
+    never-aliased relation is safe to share with concurrent readers for as
+    long as they like. Guarded — capturing under an open batch transaction
+    would publish uncommitted state.
+    @raise Invalid_argument if a transaction is open. *)
+val capture : t -> Relational.Relation.t
 
 (** (object name, rows, fields per row) of all detail data this
     configuration stores besides the view itself. *)

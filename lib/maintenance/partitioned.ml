@@ -149,6 +149,8 @@ let equal_state a b =
   Engine.equal_state a.old_engine b.old_engine
   && Engine.equal_state a.current_engine b.current_engine
 
+let in_txn t = Engine.in_txn t.current_engine
+
 let begin_txn t =
   Engine.begin_txn t.old_engine;
   Engine.begin_txn t.current_engine

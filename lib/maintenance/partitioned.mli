@@ -54,6 +54,7 @@ val equal_state : t -> t -> bool
 (** Open / close undo journals in both partition engines (see
     {!Engine.begin_txn}). *)
 
+val in_txn : t -> bool
 val begin_txn : t -> unit
 val commit : t -> unit
 val rollback : t -> unit

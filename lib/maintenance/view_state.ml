@@ -82,8 +82,10 @@ let copy t =
 
 (* --- transactions ------------------------------------------------------- *)
 
+let in_txn t = t.shards.(0).txn <> None
+
 let begin_txn t =
-  if t.shards.(0).txn <> None then
+  if in_txn t then
     invalid_arg "View_state.begin_txn: transaction already open";
   (* the dirty set is saved whole: it is bounded by the groups pending
      recompute, a handful at any moment, not by the resident state *)

@@ -48,6 +48,9 @@ val equal : t -> t -> bool
     First-touch undo journal over groups plus a saved dirty set; rollback
     restores exactly the groups a batch touched — O(delta), never O(state). *)
 
+(** Whether an undo journal is currently open. *)
+val in_txn : t -> bool
+
 (** Opens an undo journal; subsequent {!feed}/{!unfeed}/{!set_value}/
     {!adjust_group} calls are journaled.
     @raise Invalid_argument if a transaction is already open. *)

@@ -1,0 +1,288 @@
+module Relation = Relational.Relation
+module Value = Relational.Value
+module View = Algebra.View
+
+let log_src = Logs.Src.create "minview.serve" ~doc:"warehouse query front-end"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* Registered at [create], not at module load: binaries that link the
+   warehouse library but never serve should not grow serve metrics in
+   their dumps. Registration is idempotent, so repeated [create]s share
+   the handles. *)
+type obs = {
+  o_requests : Telemetry.Counter.t;
+  o_request_seconds : Telemetry.Histogram.t;
+  o_connections : Telemetry.Gauge.t;
+}
+
+let make_obs () =
+  {
+    o_requests =
+      Telemetry.Counter.make ~help:"Requests served by minview serve"
+        "minview_serve_requests_total";
+    o_request_seconds =
+      Telemetry.Histogram.make ~help:"Latency of one minview serve request"
+        "minview_serve_request_seconds";
+    o_connections =
+      Telemetry.Gauge.make ~help:"Open minview serve connections"
+        "minview_serve_connections";
+  }
+
+type conn = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;  (** bytes received ahead of the last complete line *)
+  mutable pinned : Warehouse.snapshot;
+  mutable closing : bool;
+}
+
+type t = {
+  wh : Warehouse.t;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  obs : obs;
+  stop : bool Atomic.t;
+  mutable conns : conn list;
+  mutable served : int;
+}
+
+let port t = t.bound_port
+let requests t = t.served
+let request_stop t = Atomic.set t.stop true
+
+let create ?(backlog = 16) ~port wh =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (match
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+     Unix.listen fd backlog
+   with
+  | () -> ()
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Warehouse.(
+      raise
+        (Error
+           {
+             kind = Io_error;
+             detail =
+               Printf.sprintf "serve: cannot listen on 127.0.0.1:%d: %s" port
+                 (Unix.error_message e);
+           })));
+  let bound_port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> port
+  in
+  {
+    wh;
+    listen_fd = fd;
+    bound_port;
+    obs = make_obs ();
+    stop = Atomic.make false;
+    conns = [];
+    served = 0;
+  }
+
+(* --- responses ----------------------------------------------------------- *)
+
+(* Small responses to loopback clients: a blocking [write] is fine (the
+   kernel buffer absorbs them); a peer that vanished surfaces as EPIPE /
+   ECONNRESET and marks the connection for closing. *)
+let send conn s =
+  if not conn.closing then
+    match
+      let b = Bytes.of_string s in
+      let rec go off =
+        if off < Bytes.length b then
+          go (off + Unix.write conn.fd b off (Bytes.length b - off))
+      in
+      go 0
+    with
+    | () -> ()
+    | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+      conn.closing <- true
+
+let line conn fmt = Printf.ksprintf (fun s -> send conn (s ^ "\n")) fmt
+
+(* A multi-line body sent as one write: the line count up front, the body,
+   and the [.] terminator. *)
+let body conn head lines =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "%s %d\n" head (List.length lines));
+  List.iter
+    (fun l ->
+      Buffer.add_string b l;
+      Buffer.add_char b '\n')
+    lines;
+  Buffer.add_string b ".\n";
+  send conn (Buffer.contents b)
+
+let err_line conn kind detail =
+  line conn "-ERR %s: %s" (Warehouse.kind_label kind) detail
+
+let epoch_line conn s =
+  line conn "+EPOCH %d %d" (Warehouse.snapshot_epoch s)
+    (Warehouse.snapshot_seq s)
+
+let render_row (tup, mult) =
+  String.concat "\t"
+    (string_of_int mult :: List.map Value.to_string (Array.to_list tup))
+
+let query_response conn t name =
+  let s = conn.pinned in
+  let columns, rows = Warehouse.read_view ~snapshot:s t.wh name in
+  let sorted = Relation.to_sorted_list rows in
+  let head =
+    Printf.sprintf "+ROWS %d %d %d" (List.length sorted)
+      (Warehouse.snapshot_epoch s) (Warehouse.snapshot_seq s)
+  in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (head ^ "\n");
+  Buffer.add_string b ("#\t" ^ String.concat "\t" columns ^ "\n");
+  List.iter
+    (fun row ->
+      Buffer.add_string b (render_row row);
+      Buffer.add_char b '\n')
+    sorted;
+  Buffer.add_string b ".\n";
+  send conn (Buffer.contents b)
+
+let split_lines s = String.split_on_char '\n' (String.trim s)
+
+(* --- request dispatch ---------------------------------------------------- *)
+
+let strip_cr s =
+  let n = String.length s in
+  if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s
+
+let handle_request t conn raw =
+  let req = strip_cr raw in
+  let verb, arg =
+    match String.index_opt req ' ' with
+    | Some i ->
+      ( String.uppercase_ascii (String.sub req 0 i),
+        String.trim (String.sub req i (String.length req - i)) )
+    | None -> (String.uppercase_ascii (String.trim req), "")
+  in
+  if verb <> "" then begin
+    t.served <- t.served + 1;
+    Telemetry.Counter.one t.obs.o_requests;
+    Telemetry.Histogram.time t.obs.o_request_seconds @@ fun () ->
+    match verb with
+    | "PING" -> line conn "+PONG"
+    | "EPOCH" -> epoch_line conn conn.pinned
+    | "PIN" ->
+      conn.pinned <- Warehouse.current_snapshot t.wh;
+      epoch_line conn conn.pinned
+    | "VIEWS" ->
+      body conn "+VIEWS"
+        (List.map
+           (fun v -> v.View.name)
+           (Warehouse.snapshot_views conn.pinned))
+    | "QUERY" -> (
+      match query_response conn t arg with
+      | () -> ()
+      | exception Warehouse.Error { kind; detail } -> err_line conn kind detail)
+    | "RECONSTRUCT" -> (
+      match Warehouse.derivation_of t.wh arg with
+      | Some d -> (
+        match Mindetail.Reconstruct.to_sql d with
+        | sql -> body conn "+SQL" (split_lines sql)
+        | exception Mindetail.Reconstruct.Not_reconstructible m ->
+          err_line conn Warehouse.Invalid_request ("not reconstructible: " ^ m))
+      | None ->
+        err_line conn Warehouse.Invalid_request
+          (Printf.sprintf
+             "view %s has no derivation (Replicate/Aged strategies cannot \
+              reconstruct)"
+             arg)
+      | exception Warehouse.Error { kind; detail } -> err_line conn kind detail)
+    | "METRICS" -> body conn "+METRICS" (split_lines (Telemetry.dump_json ()))
+    | "QUIT" ->
+      line conn "+BYE";
+      conn.closing <- true
+    | "SHUTDOWN" ->
+      line conn "+BYE";
+      Atomic.set t.stop true
+    | _ -> err_line conn Warehouse.Invalid_request ("unknown verb " ^ verb)
+  end
+
+(* --- the serving loop ---------------------------------------------------- *)
+
+let close_conn t conn =
+  (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+  t.conns <- List.filter (fun c -> c != conn) t.conns;
+  Telemetry.Gauge.set t.obs.o_connections (float_of_int (List.length t.conns))
+
+let accept_conn t =
+  match Unix.accept ~cloexec:true t.listen_fd with
+  | fd, _addr ->
+    (* pinned at accept: the connection reads one consistent commit point
+       until it sends PIN *)
+    let conn =
+      {
+        fd;
+        buf = Buffer.create 256;
+        pinned = Warehouse.current_snapshot t.wh;
+        closing = false;
+      }
+    in
+    t.conns <- conn :: t.conns;
+    Telemetry.Gauge.set t.obs.o_connections
+      (float_of_int (List.length t.conns))
+  | exception Unix.Unix_error _ -> ()
+
+let drain_conn t conn =
+  let chunk = Bytes.create 4096 in
+  match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+  | 0 -> conn.closing <- true
+  | n ->
+    Buffer.add_subbytes conn.buf chunk 0 n;
+    (* consume every complete line in the buffer *)
+    let data = Buffer.contents conn.buf in
+    let rec consume start =
+      match String.index_from_opt data start '\n' with
+      | Some i when not (Atomic.get t.stop) ->
+        handle_request t conn (String.sub data start (i - start));
+        consume (i + 1)
+      | Some _ | None ->
+        Buffer.clear conn.buf;
+        Buffer.add_substring conn.buf data start (String.length data - start)
+    in
+    consume 0
+  | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> conn.closing <- true
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+
+let run ?tick ?(tick_period = 0.05) t =
+  (* a client that disconnects mid-response must surface as EPIPE on the
+     write, not kill the process *)
+  (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+   with Invalid_argument _ -> ());
+  let timeout = if tick = None then 0.25 else tick_period in
+  let last_tick = ref (Unix.gettimeofday ()) in
+  Log.info (fun m -> m "listening on 127.0.0.1:%d" t.bound_port);
+  while not (Atomic.get t.stop) do
+    let fds = t.listen_fd :: List.map (fun c -> c.fd) t.conns in
+    (match Unix.select fds [] [] timeout with
+    | ready, _, _ ->
+      List.iter
+        (fun fd ->
+          if fd = t.listen_fd then accept_conn t
+          else
+            match List.find_opt (fun c -> c.fd = fd) t.conns with
+            | Some conn -> drain_conn t conn
+            | None -> ())
+        ready
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    List.iter (fun c -> if c.closing then close_conn t c) t.conns;
+    match tick with
+    | Some f when Unix.gettimeofday () -. !last_tick >= tick_period ->
+      last_tick := Unix.gettimeofday ();
+      f ()
+    | Some _ | None -> ()
+  done;
+  List.iter (fun c -> close_conn t c) t.conns;
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  Log.info (fun m ->
+      m "shutdown: %d request(s) served on port %d" t.served t.bound_port)

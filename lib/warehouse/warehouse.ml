@@ -117,6 +117,28 @@ module Obs = struct
   let ingest_seconds =
     Telemetry.Histogram.make ~help:"End-to-end latency of one ingested batch"
       "minview_warehouse_ingest_seconds"
+
+  let reads =
+    Telemetry.Counter.make ~help:"Epoch-served view reads"
+      "minview_warehouse_reads_total"
+
+  let read_seconds =
+    Telemetry.Histogram.make ~help:"Latency of one epoch-served view read"
+      "minview_warehouse_read_seconds"
+
+  let epoch_publications =
+    Telemetry.Counter.make
+      ~help:
+        "Read epochs published (one per committed batch, registration and \
+         recovery)"
+      "minview_warehouse_epoch_publications_total"
+
+  let epoch_lag =
+    Telemetry.Gauge.make
+      ~help:
+        "WAL-recorded batches (committed or aborted) ahead of the published \
+         read epoch, as of the most recent read"
+      "minview_warehouse_epoch_lag_batches"
 end
 
 (* --- errors ------------------------------------------------------------ *)
@@ -162,6 +184,27 @@ type registered = {
   engine : Engines.t;
 }
 
+(* --- read epochs -------------------------------------------------------- *)
+
+(* One view's state frozen into an epoch: the output columns and a relation
+   that is never mutated after publication ([Engines.capture] builds it
+   fresh, aliasing nothing the engines will touch again). *)
+type view_snap = {
+  snap_view : View.t;
+  snap_columns : string list;
+  snap_rows : Relation.t;
+}
+
+(* An immutable read epoch. Readers obtain the current one with a single
+   [Atomic.get] and then work entirely on frozen data: the writer can
+   commit, roll back, rebuild engines or crash without ever perturbing a
+   snapshot a reader holds. *)
+type snapshot = {
+  epoch : int;  (** monotonic publication counter, 0 before any publish *)
+  epoch_seq : int;  (** WAL sequence number the epoch reflects *)
+  epoch_views : view_snap list;  (** registration order *)
+}
+
 (* Jittered exponential backoff for transient ingest faults (a failed WAL
    durability barrier). The jitter keeps concurrent recovering writers from
    hammering a struggling disk in lockstep. *)
@@ -203,7 +246,13 @@ type t = {
   mutable degraded_until : int;
   mutable backoff : int;
   mutable clean_parallel : int;
+  (* the published read epoch: runtime-only (readers may be concurrent
+     domains, so the cell must be an [Atomic.t]); never marshaled —
+     [load]/[recover] republish from the restored engines *)
+  published : snapshot Atomic.t;
 }
+
+let empty_snapshot = { epoch = 0; epoch_seq = 0; epoch_views = [] }
 
 let create source =
   {
@@ -222,7 +271,51 @@ let create source =
     degraded_until = 0;
     backoff = initial_backoff;
     clean_parallel = 0;
+    published = Atomic.make empty_snapshot;
   }
+
+(* Publish a fresh read epoch from the current committed engine state.
+   Must only run with every engine transaction closed ([Engines.capture]
+   enforces it): at the commit point of ingestion, at registration, and
+   after load/recovery. The single [Atomic.set] is the publication point —
+   a reader sees the previous epoch in full or the new one in full, never a
+   mix.
+
+   [?touched] is the set of base tables the triggering batch wrote; a view
+   referencing none of them kept its contents, so its previous capture is
+   re-used instead of re-rendered (the common case for wide warehouses
+   where a batch hits one fact table). Omitting [touched] re-captures
+   everything. *)
+let publish_epoch ?touched t =
+  let prev = Atomic.get t.published in
+  let reused r =
+    match touched with
+    | None -> None
+    | Some tables ->
+      if List.exists (fun tbl -> List.mem tbl r.view.View.tables) tables then
+        None
+      else
+        List.find_opt
+          (fun vs -> String.equal vs.snap_view.View.name r.view.View.name)
+          prev.epoch_views
+  in
+  let epoch_views =
+    (* [t.views] is newest-first; rev_map restores registration order *)
+    List.rev_map
+      (fun r ->
+        match reused r with
+        | Some vs -> vs
+        | None ->
+          {
+            snap_view = r.view;
+            snap_columns = Algebra.Eval.output_columns r.view;
+            snap_rows = Engines.capture r.engine;
+          })
+      t.views
+  in
+  Atomic.set t.published
+    { epoch = prev.epoch + 1; epoch_seq = t.seq; epoch_views };
+  Telemetry.Counter.one Obs.epoch_publications
 
 let set_parallel t pool =
   t.parallel <- pool;
@@ -262,7 +355,10 @@ let add_view ?(strategy = Minimal) t view =
     | Replicate -> Engines.recompute t.source view
     | Aged is_old -> Engines.partitioned t.source view ~is_old
   in
-  t.views <- { view; strategy; engine } :: t.views
+  t.views <- { view; strategy; engine } :: t.views;
+  (* immediately visible to readers; previously registered views kept their
+     contents, so their captures carry over ([touched = []]) *)
+  publish_epoch ~touched:[] t
 
 let add_view_sql ?strategy t sql =
   match Sqlfront.Parser.statement sql with
@@ -280,9 +376,45 @@ let find t name =
   | Some r -> r
   | None -> err Unknown_view "no view named %s is registered" name
 
-let query t name =
-  let r = find t name in
-  (Algebra.Eval.output_columns r.view, Engines.view_contents r.engine)
+(* --- epoch-served reads -------------------------------------------------- *)
+
+let current_snapshot t = Atomic.get t.published
+let with_snapshot t f = f (Atomic.get t.published)
+let snapshot_epoch s = s.epoch
+let snapshot_seq s = s.epoch_seq
+let snapshot_views s = List.map (fun vs -> vs.snap_view) s.epoch_views
+
+let find_snap s name =
+  match
+    List.find_opt
+      (fun vs -> String.equal vs.snap_view.View.name name)
+      s.epoch_views
+  with
+  | Some vs -> vs
+  | None -> err Unknown_view "no view named %s is registered" name
+
+(* [t.seq] is a plain mutable int written by the writer domain; the
+   unsynchronized read here is a benign race (the lag gauge is advisory,
+   and OCaml's memory model keeps single-word reads untorn). *)
+let observe_read t s dt =
+  Telemetry.Counter.one Obs.reads;
+  Telemetry.Histogram.observe Obs.read_seconds dt;
+  Telemetry.Gauge.set Obs.epoch_lag (float_of_int (t.seq - s.epoch_seq))
+
+let read_view ?snapshot t name =
+  let t0 = Unix.gettimeofday () in
+  let s =
+    match snapshot with Some s -> s | None -> Atomic.get t.published
+  in
+  let vs = find_snap s name in
+  observe_read t s (Unix.gettimeofday () -. t0);
+  (vs.snap_columns, vs.snap_rows)
+
+let query t name = read_view t name
+
+let query_sorted t name =
+  let columns, rows = read_view t name in
+  (columns, Relation.to_sorted_list rows)
 
 let derivation_of t name = Engines.derivation (find t name).engine
 
@@ -423,6 +555,7 @@ and load_channel path ic =
             degraded_until = 0;
             backoff = initial_backoff;
             clean_parallel = 0;
+            published = Atomic.make empty_snapshot;
           },
           parallel_domains )
       | exception _ ->
@@ -447,6 +580,7 @@ let warn_parallel_reset path domains =
 let load path =
   let t, parallel_domains = load_with path in
   warn_parallel_reset path parallel_domains;
+  publish_epoch t;
   t
 
 (* --- durability: attach / checkpoint ----------------------------------- *)
@@ -917,6 +1051,11 @@ let ingest_report_inner ~sync t deltas =
       Telemetry.Counter.one Obs.commits;
       t.seq <- seq;
       note_apply_outcome t mode;
+      (* the read-side commit point: concurrent readers switch to the new
+         epoch here, atomically; until this set they keep serving the
+         previous committed state. Views whose tables the batch did not
+         touch carry their captures over. *)
+      publish_epoch ~touched:(List.map fst (delta_table_counts accepted)) t;
       emit_lineage t ~seq accepted;
       (match t.checkpoint_every with
       | Some n when n > 0 && t.seq mod n = 0 && t.wal <> None -> checkpoint t
@@ -1198,6 +1337,9 @@ let recover ~dir =
         (match Wal.open_append (wal_path dir) with
         | w -> t.wal <- Some w
         | exception Wal.Corrupt m -> err Corrupt_state "%s" m);
+        (* one publication for the whole recovery, not one per replayed
+           batch: readers only ever see the fully recovered state *)
+        publish_epoch t;
         Telemetry.Counter.one Obs.recoveries;
         t
       end)

@@ -217,16 +217,95 @@ val believed_source : t -> Relational.Database.t
     {!recover}, tells the ingestion driver where to resume. *)
 val ingested_batches : t -> int
 
-(** {2 Queries} *)
+(** {2 Queries: the epoch read path}
+
+    Reads are served from immutable {e read epochs}, never from the live
+    maintenance engines. Every commit — and every registration, load and
+    recovery — captures each view's output into a frozen snapshot and
+    publishes it with a single atomic pointer swap; {!query},
+    {!read_view} and {!with_snapshot} then work entirely on frozen data.
+    The contract this buys:
+
+    {ul
+    {- {e No torn reads.} A reader racing {!ingest} sees the state before
+       the batch or after it, never between: the publication swap at the
+       commit point is the only transition. Rollback, quarantine, engine
+       rebuild after a wedged shard worker, and crash recovery publish
+       nothing partial — an aborted batch is invisible to readers.}
+    {- {e Readers never block the writer} (and vice versa). A read is one
+       [Atomic.get] plus traversal of immutable data; readers may run on
+       any number of concurrent domains while ingestion commits continue.
+       Relations handed out by the read API are shared frozen state:
+       treat them as read-only.}
+    {- {e Bounded staleness, measured.} A snapshot pinned with
+       {!current_snapshot} serves the same bytes forever; the gap between
+       the WAL head and the epoch a read was served from is published as
+       the [minview_warehouse_epoch_lag_batches] gauge (0 on the default
+       path, since every commit publishes). Reads are counted as
+       [minview_warehouse_reads_total] and timed as
+       [minview_warehouse_read_seconds]; publications as
+       [minview_warehouse_epoch_publications_total].}}
+
+    {e Row order.} Relations iterate in hashtable order, which depends on
+    insertion history — serial and shard-parallel maintenance of identical
+    batches may iterate differently. The canonical order of a view's rows
+    is [Relational.Relation.to_sorted_list] ([Tuple.compare] ascending);
+    {!query_sorted} serves it directly, and the table printer and the
+    [minview serve] protocol always emit it, so their output is stable
+    across apply modes.
+
+    {e Aged views.} {!query} on a view registered with the {!Aged}
+    strategy returns the {e merged} contents: old-partition rows are
+    included, aggregated distributively with the current partition
+    (Section 4's reader sees one seamless summary). {!age_out} only moves
+    detail between partitions and is invisible to readers — the merged
+    contents, and therefore the published epoch, are unchanged. *)
 
 val view_names : t -> string list
 
 (** Registered view definitions, in registration order. *)
 val views : t -> Algebra.View.t list
 
-(** Current contents of a view: output column names and rows.
+(** Contents of a view as of the latest published epoch: output column
+    names and frozen rows (see the epoch contract above; treat the
+    relation as read-only).
     @raise Error ([Unknown_view]) for unknown names. *)
 val query : t -> string -> string list * Relational.Relation.t
+
+(** As {!query}, with the rows in canonical order ((tuple, multiplicity),
+    [Tuple.compare] ascending) — stable across serial and parallel apply. *)
+val query_sorted :
+  t -> string -> string list * (Relational.Tuple.t * int) list
+
+(** An immutable read epoch: the per-view output state captured at one
+    commit point. Snapshots are plain frozen values — hold one as long as
+    you like (a pinned snapshot is immune to later commits), share it
+    across domains, read it repeatedly for identical results. *)
+type snapshot
+
+(** The latest published epoch (one atomic load; never blocks). *)
+val current_snapshot : t -> snapshot
+
+(** [with_snapshot t f] runs [f] against the latest published epoch — all
+    reads inside [f] see one consistent commit point even while ingestion
+    continues concurrently. *)
+val with_snapshot : t -> (snapshot -> 'a) -> 'a
+
+(** [read_view t name] serves a view from the latest published epoch;
+    [read_view ~snapshot t name] from a pinned one. Counted and timed as
+    described above.
+    @raise Error ([Unknown_view]) if the view is not in the epoch. *)
+val read_view :
+  ?snapshot:snapshot -> t -> string -> string list * Relational.Relation.t
+
+(** Monotonic publication counter of an epoch (0 = nothing published). *)
+val snapshot_epoch : snapshot -> int
+
+(** The WAL sequence number ({!ingested_batches}) the epoch reflects. *)
+val snapshot_seq : snapshot -> int
+
+(** The view definitions frozen in an epoch, in registration order. *)
+val snapshot_views : snapshot -> Algebra.View.t list
 
 (** The derivation behind a view (None for [Replicate]). *)
 val derivation_of : t -> string -> Mindetail.Derive.t option
@@ -237,7 +316,8 @@ val detail_profile : t -> (string * int * int) list
 (** [age_out t view facts] moves the given fact tuples of an [Aged] view's
     current partition into its append-only old partition (see
     {!Maintenance.Partitioned.age_out} for the boundary-consistency
-    contract).
+    contract). Invisible to readers: {!query} merges both partitions, so
+    the view's contents — and the published epoch — are unchanged.
     @raise Error ([Unknown_view] / [Not_aged]). *)
 val age_out : t -> string -> Relational.Tuple.t list -> unit
 

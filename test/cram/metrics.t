@@ -61,11 +61,13 @@ to `_` here (their math is covered by the telemetry unit tests).
   minview_wal_bytes_written_total 0
   minview_wal_syncs_total 0
   minview_warehouse_dead_letters_dropped_total 0
+  minview_warehouse_epoch_publications_total 2
   minview_warehouse_ingest_retries_total 0
   minview_warehouse_parallel_degradations_total 0
   minview_warehouse_parallel_promotions_total 0
   minview_warehouse_parallel_resets_total 0
   minview_warehouse_quarantined_deltas_total 0
+  minview_warehouse_reads_total 0
   minview_warehouse_recoveries_total 0
   minview_warehouse_replayed_batches_total 0
   minview_warehouse_snapshot_fallbacks_total 0
@@ -74,6 +76,7 @@ to `_` here (their math is covered by the telemetry unit tests).
   == gauges ==
   minview_shard_imbalance_ratio 0
   minview_view_groups{view=zone_revenue} 2
+  minview_warehouse_epoch_lag_batches 0
   minview_warehouse_parallel_degraded 0
   == histograms (observation counts) ==
   minview_engine_apply_seconds{mode=parallel} 0 p50=_ p95=_ p99=_
@@ -89,6 +92,7 @@ to `_` here (their math is covered by the telemetry unit tests).
   minview_wal_group_commit_frames 0 p50=_ p95=_ p99=_
   minview_warehouse_checkpoint_seconds 0 p50=_ p95=_ p99=_
   minview_warehouse_ingest_seconds 1 p50=_ p95=_ p99=_
+  minview_warehouse_read_seconds 0 p50=_ p95=_ p99=_
 
 The machine-readable dump is one JSON object per line; counters and
 gauges carry no timing noise, so their lines are stable verbatim.
@@ -125,12 +129,15 @@ gauges carry no timing noise, so their lines are stable verbatim.
   {"name":"minview_wal_bytes_written_total","labels":{},"type":"counter","value":0}
   {"name":"minview_wal_syncs_total","labels":{},"type":"counter","value":0}
   {"name":"minview_warehouse_dead_letters_dropped_total","labels":{},"type":"counter","value":0}
+  {"name":"minview_warehouse_epoch_lag_batches","labels":{},"type":"gauge","value":0.0}
+  {"name":"minview_warehouse_epoch_publications_total","labels":{},"type":"counter","value":2}
   {"name":"minview_warehouse_ingest_retries_total","labels":{},"type":"counter","value":0}
   {"name":"minview_warehouse_parallel_degradations_total","labels":{},"type":"counter","value":0}
   {"name":"minview_warehouse_parallel_degraded","labels":{},"type":"gauge","value":0.0}
   {"name":"minview_warehouse_parallel_promotions_total","labels":{},"type":"counter","value":0}
   {"name":"minview_warehouse_parallel_resets_total","labels":{},"type":"counter","value":0}
   {"name":"minview_warehouse_quarantined_deltas_total","labels":{},"type":"counter","value":0}
+  {"name":"minview_warehouse_reads_total","labels":{},"type":"counter","value":0}
   {"name":"minview_warehouse_recoveries_total","labels":{},"type":"counter","value":0}
   {"name":"minview_warehouse_replayed_batches_total","labels":{},"type":"counter","value":0}
   {"name":"minview_warehouse_snapshot_fallbacks_total","labels":{},"type":"counter","value":0}

@@ -1,0 +1,292 @@
+(* Tests for the epoch read path: the torn-read regression (a reader racing
+   ingest must never observe a state between two commits, under serial and
+   shard-parallel apply), the publication discipline (epochs appear at
+   registration and commit only — rollback, rejection and age-out publish
+   nothing), pinned-snapshot immutability, and the snapshot/quiesced-query
+   equivalence property over random workloads. *)
+
+open Helpers
+module Shard = Maintenance.Shard
+module Faults = Maintenance.Faults
+
+let test case fn = Alcotest.test_case case `Quick fn
+
+(* --- a dedicated schema where tearing is arithmetically visible ----------
+
+   fact(id PK, k, v) summarized as GROUP BY k. Every batch inserts one row
+   for each of [groups_per_batch] brand-new keys, so at every commit point
+   the view's group count is a multiple of [groups_per_batch]. A reader
+   served anything mid-batch — the old direct path handed out the live
+   engine's mutable contents — sees a count that breaks the invariant. *)
+
+let groups_per_batch = 5
+
+let fact_db () =
+  let db = Database.create () in
+  Database.add_table db
+    (Schema.make ~name:"fact" ~key:"id"
+       [ { Schema.col_name = "id"; col_type = Datatype.TInt };
+         { Schema.col_name = "k"; col_type = Datatype.TInt };
+         { Schema.col_name = "v"; col_type = Datatype.TInt } ])
+    ~updatable:[ "v" ];
+  db
+
+let by_k =
+  {
+    View.name = "by_k";
+    select =
+      [ group (a "fact" "k"); sum ~alias:"total" (a "fact" "v");
+        count_star ~alias:"cnt" () ];
+    tables = [ "fact" ];
+    locals = [];
+    joins = [];
+    having = [];
+  }
+
+let fact_batch n =
+  List.init groups_per_batch (fun j ->
+      let g = (n * groups_per_batch) + j in
+      Delta.insert "fact" (row [ i g; i g; i (7 * g) ]))
+
+let with_par_threshold n f =
+  Unix.putenv "MINVIEW_PAR_THRESHOLD" (string_of_int n);
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "MINVIEW_PAR_THRESHOLD" "")
+    f
+
+let torn_read_run ~parallel =
+  let wh = Warehouse.create (fact_db ()) in
+  Warehouse.add_view wh by_k;
+  if parallel then Warehouse.set_parallel wh (Some (Shard.create ~domains:2));
+  let batches = 60 in
+  let stop = Atomic.make false in
+  let reader =
+    Domain.spawn (fun () ->
+        let reads = ref 0 and bad = ref None in
+        while not (Atomic.get stop) do
+          let _, rel = Warehouse.query wh "by_k" in
+          let n = Relation.cardinality rel in
+          if n mod groups_per_batch <> 0 && !bad = None then bad := Some n;
+          incr reads
+        done;
+        (!reads, !bad))
+  in
+  for n = 0 to batches - 1 do
+    Warehouse.ingest wh (fact_batch n)
+  done;
+  Atomic.set stop true;
+  let reads, bad = Domain.join reader in
+  if parallel then Warehouse.set_parallel wh None;
+  Alcotest.(check bool) "reader observed the run" true (reads > 0);
+  (match bad with
+  | None -> ()
+  | Some n ->
+    Alcotest.failf "torn read: %d groups is not a multiple of %d" n
+      groups_per_batch);
+  let _, final = Warehouse.query wh "by_k" in
+  Alcotest.(check int) "all batches landed" (batches * groups_per_batch)
+    (Relation.cardinality final)
+
+let torn_read_tests =
+  [
+    test "reader racing serial ingest never sees a torn state" (fun () ->
+        torn_read_run ~parallel:false);
+    test "reader racing shard-parallel ingest never sees a torn state"
+      (fun () ->
+        with_par_threshold 1 @@ fun () -> torn_read_run ~parallel:true);
+  ]
+
+(* --- publication discipline ---------------------------------------------- *)
+
+let epoch_of wh = Warehouse.snapshot_epoch (Warehouse.current_snapshot wh)
+let seq_of wh = Warehouse.snapshot_seq (Warehouse.current_snapshot wh)
+
+let publication_tests =
+  [
+    test "epochs publish at registration and commit, tracking the WAL seq"
+      (fun () ->
+        let wh = Warehouse.create (fact_db ()) in
+        Alcotest.(check int) "nothing published yet" 0 (epoch_of wh);
+        Alcotest.(check (list string)) "empty epoch" []
+          (List.map
+             (fun v -> v.View.name)
+             (Warehouse.snapshot_views (Warehouse.current_snapshot wh)));
+        Warehouse.add_view wh by_k;
+        Alcotest.(check int) "registration publishes" 1 (epoch_of wh);
+        Alcotest.(check int) "at seq 0" 0 (seq_of wh);
+        Warehouse.ingest wh (fact_batch 0);
+        Alcotest.(check int) "commit publishes" 2 (epoch_of wh);
+        Alcotest.(check int) "epoch seq is the batch seq"
+          (Warehouse.ingested_batches wh)
+          (seq_of wh));
+    test "a fully rejected batch publishes nothing" (fun () ->
+        let wh = Warehouse.create (fact_db ()) in
+        Warehouse.add_view wh by_k;
+        Warehouse.ingest wh (fact_batch 0);
+        let epoch = epoch_of wh and seq = seq_of wh in
+        (* every delta re-inserts an existing key: validation rejects all *)
+        let r = Warehouse.ingest_report wh (fact_batch 0) in
+        Alcotest.(check int) "nothing applied" 0 r.Warehouse.applied;
+        Alcotest.(check bool) "everything rejected" true
+          (List.length r.Warehouse.rejected = groups_per_batch);
+        Alcotest.(check int) "epoch unchanged" epoch (epoch_of wh);
+        Alcotest.(check int) "seq unchanged" seq (seq_of wh));
+    test "an engine failure rolls back without publishing; the next commit \
+          publishes once" (fun () ->
+        let wh = Warehouse.create (fact_db ()) in
+        Warehouse.add_view wh by_k;
+        Warehouse.ingest wh (fact_batch 0);
+        let epoch = epoch_of wh in
+        Faults.arm ~mode:Faults.Fail Faults.Mid_engine_apply;
+        let r = Warehouse.ingest_report wh (fact_batch 1) in
+        Faults.disarm ();
+        Alcotest.(check int) "aborted batch applied nothing" 0
+          r.Warehouse.applied;
+        Alcotest.(check int) "rollback published nothing" epoch (epoch_of wh);
+        let _, rel = Warehouse.query wh "by_k" in
+        Alcotest.(check int) "readers still see the pre-batch state"
+          groups_per_batch (Relation.cardinality rel);
+        Warehouse.ingest wh (fact_batch 2);
+        Alcotest.(check int) "the next good batch publishes exactly once"
+          (epoch + 1) (epoch_of wh);
+        let _, rel = Warehouse.query wh "by_k" in
+        Alcotest.(check int) "and its contents skip the aborted batch"
+          (2 * groups_per_batch) (Relation.cardinality rel));
+  ]
+
+(* --- pinned snapshots ----------------------------------------------------- *)
+
+let render_rows rel =
+  String.concat "\n"
+    (List.map
+       (fun (tup, m) -> Printf.sprintf "%d:%s" m (Tuple.to_string tup))
+       (Relation.to_sorted_list rel))
+
+let pinned_tests =
+  [
+    test "a pinned snapshot is immune to later commits" (fun () ->
+        let wh = Warehouse.create (fact_db ()) in
+        Warehouse.add_view wh by_k;
+        Warehouse.ingest wh (fact_batch 0);
+        let pin = Warehouse.current_snapshot wh in
+        let read_pinned () =
+          render_rows (snd (Warehouse.read_view ~snapshot:pin wh "by_k"))
+        in
+        let before = read_pinned () in
+        for n = 1 to 3 do
+          Warehouse.ingest wh (fact_batch n)
+        done;
+        Alcotest.(check string) "pinned bytes unchanged" before
+          (read_pinned ());
+        Alcotest.(check bool) "the live epoch moved on" true
+          (epoch_of wh > Warehouse.snapshot_epoch pin);
+        let _, live = Warehouse.query wh "by_k" in
+        Alcotest.(check int) "the live epoch has the new groups"
+          (4 * groups_per_batch) (Relation.cardinality live));
+  ]
+
+(* --- aged views ------------------------------------------------------------ *)
+
+let aged_tests =
+  [
+    test "age_out is invisible to readers and publishes no epoch" (fun () ->
+        let db = Workload.Retail.load Workload.Retail.small_params in
+        let boundary = ref 10 in
+        let is_old tup =
+          match tup.(1) with Value.Int t -> t <= !boundary | _ -> false
+        in
+        let wh = Warehouse.create db in
+        let view =
+          { Workload.Retail.sales_by_time with View.name = "aged_sales" }
+        in
+        Warehouse.add_view ~strategy:(Warehouse.Aged is_old) wh view;
+        let rng = Workload.Prng.create 7 in
+        let inserts =
+          { Workload.Delta_gen.insert = 1; delete = 0; update = 0 }
+        in
+        Warehouse.ingest wh
+          (Workload.Delta_gen.stream_for ~mix:inserts rng db
+             ~tables:[ "sale" ] ~n:150);
+        let epoch = epoch_of wh in
+        let before = render_rows (snd (Warehouse.query wh "aged_sales")) in
+        let aged =
+          Database.fold db "sale"
+            (fun tup acc ->
+              match tup.(1) with
+              | Value.Int t when t > 10 && t <= 12 -> tup :: acc
+              | _ -> acc)
+            []
+        in
+        Warehouse.age_out wh "aged_sales" aged;
+        boundary := 12;
+        Alcotest.(check int) "age_out publishes nothing" epoch (epoch_of wh);
+        Alcotest.(check string) "merged contents unchanged" before
+          (render_rows (snd (Warehouse.query wh "aged_sales")));
+        (* the next commit re-captures the view: the old partition's rows
+           must still be part of the merged answer *)
+        Warehouse.ingest wh
+          (Workload.Delta_gen.stream_for ~mix:inserts rng db
+             ~tables:[ "sale" ] ~n:50);
+        Alcotest.(check int) "the commit published" (epoch + 1) (epoch_of wh);
+        Alcotest.check relation "old partition still aggregated in"
+          (Algebra.Eval.eval (Warehouse.believed_source wh) view)
+          (snd (Warehouse.query wh "aged_sales")));
+  ]
+
+(* --- snapshot == quiesced recomputation (property) ------------------------- *)
+
+let prop_params =
+  {
+    Workload.Retail.days = 8;
+    stores = 2;
+    products = 10;
+    sold_per_store_day = 4;
+    tx_per_product = 2;
+    brands = 4;
+    seed = 23;
+  }
+
+let prop_snapshot_quiesced =
+  QCheck2.Test.make ~count:8
+    ~name:"with_snapshot == quiesced recomputation at the same WAL seq"
+    (QCheck2.Gen.int_range 0 10_000)
+    (fun seed ->
+      let db = Workload.Retail.load prop_params in
+      let wh = Warehouse.create db in
+      let views =
+        [ Workload.Retail.product_sales; Workload.Retail.sales_by_time ]
+      in
+      List.iter (Warehouse.add_view wh) views;
+      let rng = Workload.Prng.create seed in
+      for _round = 1 to 4 do
+        ignore (Warehouse.ingest_report wh (Workload.Delta_gen.stream rng db ~n:40));
+        Warehouse.with_snapshot wh (fun s ->
+            if Warehouse.snapshot_seq s <> Warehouse.ingested_batches wh then
+              QCheck2.Test.fail_reportf "epoch seq %d != WAL seq %d"
+                (Warehouse.snapshot_seq s)
+                (Warehouse.ingested_batches wh);
+            List.iter
+              (fun view ->
+                let _, rows =
+                  Warehouse.read_view ~snapshot:s wh view.View.name
+                in
+                let expected =
+                  Algebra.Eval.eval (Warehouse.believed_source wh) view
+                in
+                (* byte-identical in canonical order, not just bag-equal *)
+                if render_rows rows <> render_rows expected then
+                  QCheck2.Test.fail_reportf "%s: snapshot diverges:\n%s\n!=\n%s"
+                    view.View.name (render_rows rows) (render_rows expected))
+              views)
+      done;
+      true)
+
+let () =
+  Alcotest.run "epoch"
+    [
+      ("torn-reads", torn_read_tests);
+      ("publication", publication_tests);
+      ("pinned", pinned_tests);
+      ("aged", aged_tests);
+      ("properties", [ QCheck_alcotest.to_alcotest prop_snapshot_quiesced ]);
+    ]

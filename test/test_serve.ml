@@ -1,0 +1,180 @@
+(* Tests for the line-protocol query front-end: protocol smoke over a real
+   socket, per-connection epoch pinning against live ingest, error replies,
+   and graceful shutdown. The server runs on its own domain on an ephemeral
+   loopback port; the tests are the client. *)
+
+let test case fn = Alcotest.test_case case `Quick fn
+
+let build () =
+  let db = Workload.Retail.load Workload.Retail.small_params in
+  let wh = Warehouse.create db in
+  Warehouse.add_view wh Workload.Retail.product_sales;
+  Warehouse.add_view wh Workload.Retail.sales_by_time;
+  (db, wh)
+
+(* [with_server f] runs a server on an ephemeral port and hands [f] the
+   warehouse and port; the server is shut down (via the protocol) and its
+   domain joined before returning, even when [f] raises. *)
+let with_server f =
+  let db, wh = build () in
+  let srv = Serve.create ~port:0 wh in
+  let d = Domain.spawn (fun () -> Serve.run srv) in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.request_stop srv;
+      Domain.join d)
+    (fun () -> f db wh (Serve.port srv))
+
+let connect port =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  (* a wedged server must fail the test, not hang it *)
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.;
+  (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+
+let disconnect (fd, _, _) = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let send (_, _, oc) line =
+  output_string oc (line ^ "\n");
+  flush oc
+
+let recv (_, ic, _) = input_line ic
+
+(* Read a body response: the head line, then lines until the [.]
+   terminator (excluded). *)
+let recv_body conn =
+  let head = recv conn in
+  let rec go acc =
+    match recv conn with "." -> List.rev acc | l -> go (l :: acc)
+  in
+  (head, go [])
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let check_prefix what prefix s =
+  if not (starts_with prefix s) then
+    Alcotest.failf "%s: expected %S..., got %S" what prefix s
+
+let protocol_tests =
+  [
+    test "PING, EPOCH, VIEWS, QUERY, RECONSTRUCT over one connection"
+      (fun () ->
+        with_server @@ fun _db wh port ->
+        let c = connect port in
+        Fun.protect ~finally:(fun () -> disconnect c) @@ fun () ->
+        send c "PING";
+        Alcotest.(check string) "pong" "+PONG" (recv c);
+        send c "EPOCH";
+        let e =
+          Warehouse.snapshot_epoch (Warehouse.current_snapshot wh)
+        in
+        Alcotest.(check string) "epoch echoes the published epoch"
+          (Printf.sprintf "+EPOCH %d 0" e)
+          (recv c);
+        send c "VIEWS";
+        let head, names = recv_body c in
+        Alcotest.(check string) "views head" "+VIEWS 2" head;
+        Alcotest.(check (list string)) "view names"
+          [ "product_sales"; "sales_by_time" ]
+          names;
+        send c "QUERY product_sales";
+        let head, body = recv_body c in
+        check_prefix "query head" "+ROWS " head;
+        (match body with
+        | header :: rows ->
+          check_prefix "column header" "#\t" header;
+          let n =
+            match String.split_on_char ' ' head with
+            | _ :: n :: _ -> int_of_string n
+            | _ -> -1
+          in
+          Alcotest.(check int) "row count matches the head" n
+            (List.length rows);
+          let _, expected = Warehouse.query_sorted wh "product_sales" in
+          Alcotest.(check int) "every row served" (List.length expected) n
+        | [] -> Alcotest.fail "QUERY returned no header");
+        send c "RECONSTRUCT product_sales";
+        let head, sql = recv_body c in
+        check_prefix "sql head" "+SQL " head;
+        Alcotest.(check bool) "a SELECT came back" true
+          (List.exists (fun l -> starts_with "SELECT" (String.trim l)) sql);
+        send c "QUIT";
+        Alcotest.(check string) "bye" "+BYE" (recv c));
+    test "unknown views and unknown verbs answer -ERR" (fun () ->
+        with_server @@ fun _db _wh port ->
+        let c = connect port in
+        Fun.protect ~finally:(fun () -> disconnect c) @@ fun () ->
+        send c "QUERY no_such_view";
+        check_prefix "unknown view" "-ERR unknown-view:" (recv c);
+        send c "FROBNICATE now";
+        check_prefix "unknown verb" "-ERR invalid-request:" (recv c);
+        (* the connection survives errors *)
+        send c "PING";
+        Alcotest.(check string) "still alive" "+PONG" (recv c));
+  ]
+
+let pinning_tests =
+  [
+    test "connections pin their accept-time epoch until PIN" (fun () ->
+        with_server @@ fun db wh port ->
+        let a = connect port in
+        Fun.protect ~finally:(fun () -> disconnect a) @@ fun () ->
+        send a "EPOCH";
+        let before = recv a in
+        (* rows served from the pinned epoch *)
+        send a "QUERY sales_by_time";
+        let _, body_before = recv_body a in
+        (* commit a batch while the connection stays open *)
+        let rng = Workload.Prng.create 11 in
+        Warehouse.ingest wh (Workload.Delta_gen.stream rng db ~n:100);
+        send a "EPOCH";
+        Alcotest.(check string) "pinned epoch unchanged by the commit" before
+          (recv a);
+        send a "QUERY sales_by_time";
+        let _, body_after = recv_body a in
+        Alcotest.(check (list string)) "pinned rows unchanged by the commit"
+          body_before body_after;
+        (* a fresh connection sees the new epoch *)
+        let b = connect port in
+        Fun.protect ~finally:(fun () -> disconnect b) @@ fun () ->
+        send b "EPOCH";
+        let fresh = recv b in
+        Alcotest.(check bool) "a new connection pins the new epoch" true
+          (fresh <> before);
+        (* PIN re-pins the old connection to it *)
+        send a "PIN";
+        Alcotest.(check string) "PIN catches the connection up" fresh (recv a));
+  ]
+
+let shutdown_tests =
+  [
+    test "SHUTDOWN answers +BYE and stops the server" (fun () ->
+        let _db, wh = build () in
+        let srv = Serve.create ~port:0 wh in
+        let d = Domain.spawn (fun () -> Serve.run srv) in
+        let c = connect (Serve.port srv) in
+        send c "PING";
+        Alcotest.(check string) "served" "+PONG" (recv c);
+        send c "SHUTDOWN";
+        Alcotest.(check string) "bye" "+BYE" (recv c);
+        (* the run loop exits on its own: no request_stop from outside *)
+        Domain.join d;
+        disconnect c;
+        Alcotest.(check bool) "requests were counted" true
+          (Serve.requests srv >= 2);
+        match connect (Serve.port srv) with
+        | c2 ->
+          disconnect c2;
+          Alcotest.fail "the listening socket should be closed"
+        | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> ());
+  ]
+
+let () =
+  Alcotest.run "serve"
+    [
+      ("protocol", protocol_tests);
+      ("pinning", pinning_tests);
+      ("shutdown", shutdown_tests);
+    ]
