@@ -690,6 +690,13 @@ let attribute_cmd =
     with_errors (fun () ->
         let wh = run_pipeline script changes strategy parallel in
         let attrs = Warehouse.attribution wh in
+        (* exact resident bytes per auxview from the columnar byte
+           accounting; auxviews absent from the lookup render the
+           bytes-per-field estimate instead *)
+        let all_measured = Warehouse.measured_bytes wh in
+        let measured_for view name =
+          Option.bind (List.assoc_opt view all_measured) (List.assoc_opt name)
+        in
         if attrs = [] then
           print_endline "no derivation-backed views to attribute";
         if json then
@@ -697,13 +704,17 @@ let attribute_cmd =
             (fun (view, l) ->
               List.iter
                 (fun a ->
-                  print_endline (Mindetail.Attribution.to_json ~view a))
+                  print_endline
+                    (Mindetail.Attribution.to_json
+                       ~measured:(measured_for view) ~view a))
                 l)
             attrs
         else begin
           List.iter
             (fun (view, l) ->
-              print_string (Mindetail.Attribution.render ~view l);
+              print_string
+                (Mindetail.Attribution.render ~measured:(measured_for view)
+                   ~view l);
               print_newline ())
             attrs;
           let recs = Warehouse.reconcile_attribution wh in

@@ -200,12 +200,22 @@ let set_gauges ~view attrs =
 
 (* --- rendering ----------------------------------------------------------- *)
 
-let render ?(show_bytes = string_of_int) ~view attrs =
+let render ?(show_bytes = string_of_int) ?measured ~view attrs =
+  (* the measured column is an actual byte count from the columnar
+     segments; an auxview without one (omitted, or kept by an engine with
+     boxed state) falls back to the waterfall's bytes-per-field estimate *)
+  let measured_of a =
+    match measured with
+    | None -> None
+    | Some f ->
+      Some (match f a.aux with Some b -> b | None -> (bytes a).stored_bytes)
+  in
   let headers =
     [
       "table"; "aux view"; "raw"; "local sel"; "local proj"; "join red";
       "dup comp"; "eliminated"; "stored";
     ]
+    @ (if Option.is_some measured then [ "measured" ] else [])
   in
   let row_of a =
     let b = bytes a in
@@ -220,17 +230,20 @@ let render ?(show_bytes = string_of_int) ~view attrs =
       show_bytes b.elimination;
       show_bytes b.stored_bytes;
     ]
+    @ (match measured_of a with None -> [] | Some m -> [ show_bytes m ])
   in
   let total =
     List.fold_left
       (fun acc a ->
         let b = bytes a in
         List.map2 ( + ) acc
-          [
-            b.raw_bytes; b.local_selection; b.local_projection;
-            b.join_reduction; b.compression; b.elimination; b.stored_bytes;
-          ])
-      [ 0; 0; 0; 0; 0; 0; 0 ]
+          ([
+             b.raw_bytes; b.local_selection; b.local_projection;
+             b.join_reduction; b.compression; b.elimination; b.stored_bytes;
+           ]
+          @ match measured_of a with None -> [] | Some m -> [ m ]))
+      (if Option.is_some measured then [ 0; 0; 0; 0; 0; 0; 0; 0 ]
+       else [ 0; 0; 0; 0; 0; 0; 0 ])
       attrs
   in
   let total_row = "TOTAL" :: "" :: List.map show_bytes total in
@@ -274,13 +287,20 @@ let render ?(show_bytes = string_of_int) ~view attrs =
     attrs;
   Buffer.contents buf
 
-let to_json ~view a =
+let to_json ?measured ~view a =
   let esc = Telemetry.Trace.json_escape in
   let b = bytes a in
+  let measured_field =
+    match measured with
+    | None -> ""
+    | Some f ->
+      Printf.sprintf ",\"measured_stored\":%d"
+        (match f a.aux with Some m -> m | None -> b.stored_bytes)
+  in
   Printf.sprintf
-    "{\"view\":\"%s\",\"table\":\"%s\",\"aux\":\"%s\",\"retained\":%b,\"compressed\":%b,\"raw_rows\":%d,\"raw_fields\":%d,\"kept_fields\":%d,\"stored_fields\":%d,\"rows_after_local\":%d,\"rows_after_join\":%d,\"resident_rows\":%d,\"fold_factor\":%.6g,\"bytes\":{\"raw\":%d,\"local_selection\":%d,\"local_projection\":%d,\"join_reduction\":%d,\"compression\":%d,\"elimination\":%d,\"stored\":%d}}"
+    "{\"view\":\"%s\",\"table\":\"%s\",\"aux\":\"%s\",\"retained\":%b,\"compressed\":%b,\"raw_rows\":%d,\"raw_fields\":%d,\"kept_fields\":%d,\"stored_fields\":%d,\"rows_after_local\":%d,\"rows_after_join\":%d,\"resident_rows\":%d,\"fold_factor\":%.6g,\"bytes\":{\"raw\":%d,\"local_selection\":%d,\"local_projection\":%d,\"join_reduction\":%d,\"compression\":%d,\"elimination\":%d,\"stored\":%d%s}}"
     (esc view) (esc a.table) (esc a.aux) a.retained a.compressed a.raw_rows
     a.raw_fields a.kept_fields a.stored_fields a.rows_after_local
     a.rows_after_join a.resident_rows (fold_factor a) b.raw_bytes
     b.local_selection b.local_projection b.join_reduction b.compression
-    b.elimination b.stored_bytes
+    b.elimination b.stored_bytes measured_field

@@ -71,10 +71,22 @@ val set_gauges : view:string -> t list -> unit
     [minview_attr_rows_dropped{technique=...}]. No-op while telemetry is
     disabled. *)
 
-val render : ?show_bytes:(int -> string) -> view:string -> t list -> string
+val render :
+  ?show_bytes:(int -> string) ->
+  ?measured:(string -> int option) ->
+  view:string ->
+  t list ->
+  string
 (** The paper's Table-style breakdown: one row per auxview with
     per-technique byte savings, a TOTAL row, and the row-flow waterfall.
-    [show_bytes] formats byte counts (default [string_of_int]). *)
+    [show_bytes] formats byte counts (default [string_of_int]).
 
-val to_json : view:string -> t -> string
-(** One JSON object (single line) for one table's attribution. *)
+    [measured] maps an auxview name to its measured resident bytes (the
+    columnar segments' byte accounting, via
+    [Warehouse.measured_bytes]); when given, a "measured" column is
+    appended, falling back to the bytes-per-field estimate for auxviews
+    the lookup does not know (omitted, or stored boxed). *)
+
+val to_json : ?measured:(string -> int option) -> view:string -> t -> string
+(** One JSON object (single line) for one table's attribution. [measured]
+    as in {!render}: adds a ["measured_stored"] byte count. *)

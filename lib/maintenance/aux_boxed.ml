@@ -1,0 +1,572 @@
+module Auxview = Mindetail.Auxview
+module Schema = Relational.Schema
+module Relation = Relational.Relation
+module Tuple = Relational.Tuple
+module Value = Relational.Value
+
+module TH = Hashtbl.Make (struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+  let hash = Tuple.hash
+end)
+
+module VH = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+type group = {
+  mutable cnt : int;
+  sums : Value.t array;
+  exts : Value.t array;
+}
+
+(* First-touch before-image of one group, taken when an open transaction
+   first mutates it. [Absent] marks a group the batch created. *)
+type saved_group =
+  | Absent
+  | Present of { cnt : int; sums : Value.t array; exts : Value.t array }
+
+type txn = { saved : saved_group TH.t; total0 : int }
+
+(* One hash-shard of the resident state. Every structure keyed by group key
+   — groups, by_key, indexes, the undo journal, the base-row total — lives
+   per shard, so during a parallel apply each domain owns a disjoint set of
+   shards and never touches another domain's hash tables (stdlib [Hashtbl]
+   is not thread-safe, even for disjoint keys, because of resizing). *)
+type shard = {
+  groups : group TH.t;
+  by_key : Tuple.t VH.t option;  (** base key value -> group key *)
+  indexes : (int * unit TH.t VH.t) list;
+      (** per indexed column: its position among plains, and value -> set of
+          group keys *)
+  mutable total : int;
+  mutable txn : txn option;
+  scratch : Tuple.t;
+      (** reusable projection buffer for the probe path; copied only when a
+          key must be retained (group creation, first journal touch) *)
+}
+
+type t = {
+  spec : Auxview.t;
+  plain_src : int array;  (** base-schema index of each Plain column *)
+  sum_src : int array;  (** base-schema index of each Sum_of column *)
+  ext_src : (int * bool) array;
+      (** base-schema index and is-MIN flag of each extremum column *)
+  key_plain_pos : int;  (** position of the base key among plains, or -1 *)
+  mask : int;  (** shard count - 1; shard of a key is [hash land mask] *)
+  shards : shard array;
+}
+
+(* Mirrors the columnar implementation's cursor handle: the count is
+   snapshotted at creation, everything else reads through to the stored
+   group. *)
+type row = { key_ : Tuple.t; cnt_ : int; g_ : group }
+
+let create ?(indexed_columns = []) ?(shards = 1) spec schema =
+  if shards < 1 || shards land (shards - 1) <> 0 then
+    invalid_arg
+      (Printf.sprintf "Aux_boxed.create(%s): shard count %d is not a power of two"
+         spec.Auxview.name shards);
+  let idx c = Schema.index_of schema c in
+  let key_plain_pos =
+    match Auxview.plain_position spec schema.Schema.key with
+    | Some i -> i
+    | None -> -1
+  in
+  let plain_src =
+    Array.of_list (List.map idx (Auxview.group_columns spec))
+  in
+  let mk_shard () =
+    let indexes =
+      List.map
+        (fun col ->
+          match Auxview.plain_position spec col with
+          | Some pos -> (pos, VH.create 256)
+          | None ->
+            (* a misspelled index column must not degrade to a silent full
+               scan on every probe *)
+            invalid_arg
+              (Printf.sprintf
+                 "Aux_boxed.create(%s): indexed column %s is not a plain \
+                  column of the view"
+                 spec.Auxview.name col))
+        (List.sort_uniq String.compare indexed_columns)
+    in
+    {
+      groups = TH.create 256;
+      by_key = (if key_plain_pos >= 0 then Some (VH.create 256) else None);
+      indexes;
+      total = 0;
+      txn = None;
+      scratch = Array.make (Array.length plain_src) Value.Null;
+    }
+  in
+  {
+    spec;
+    plain_src;
+    sum_src = Array.of_list (List.map idx (Auxview.summed_columns spec));
+    ext_src =
+      Array.of_list
+        (List.map
+           (fun (c, is_min) -> (idx c, is_min))
+           (Auxview.ext_columns spec));
+    key_plain_pos;
+    mask = shards - 1;
+    shards = Array.init shards (fun _ -> mk_shard ());
+  }
+
+let spec s = s.spec
+let shard_count s = Array.length s.shards
+
+let group_key_of_base s tup = Tuple.project tup s.plain_src
+
+(* Shard routing must agree with [Tuple.hash (group_key_of_base s tup)]
+   without materializing the projection; this mirrors [Tuple.hash]'s fold. *)
+let hash_base s tup =
+  Array.fold_left (fun acc src -> (acc * 31) + Value.hash tup.(src)) 17 s.plain_src
+
+let shard_of_base s tup = if s.mask = 0 then 0 else hash_base s tup land s.mask
+let shard_of_key s key = if s.mask = 0 then 0 else Tuple.hash key land s.mask
+
+let find_group s key = TH.find_opt s.shards.(shard_of_key s key).groups key
+
+let index_add sh key =
+  List.iter
+    (fun (pos, index) ->
+      let v = key.(pos) in
+      let bucket =
+        match VH.find_opt index v with
+        | Some b -> b
+        | None ->
+          let b = TH.create 4 in
+          VH.add index v b;
+          b
+      in
+      TH.replace bucket key ())
+    sh.indexes
+
+let index_remove sh key =
+  List.iter
+    (fun (pos, index) ->
+      match VH.find_opt index key.(pos) with
+      | None -> ()
+      | Some bucket ->
+        TH.remove bucket key;
+        if TH.length bucket = 0 then VH.remove index key.(pos))
+    sh.indexes
+
+let combine_ext ~is_min cur v =
+  let c = Value.compare v cur in
+  if (is_min && c < 0) || ((not is_min) && c > 0) then v else cur
+
+(* --- transactions ------------------------------------------------------- *)
+
+let begin_txn s =
+  if s.shards.(0).txn <> None then
+    invalid_arg
+      (Printf.sprintf "Aux_boxed.begin_txn(%s): transaction already open"
+         s.spec.Auxview.name);
+  Array.iter
+    (fun sh -> sh.txn <- Some { saved = TH.create 64; total0 = sh.total })
+    s.shards
+
+(* Journal [key]'s before-image, once per transaction. Must run before any
+   mutation of the group (or its creation). [key] may alias a scratch
+   buffer; it is copied if retained. *)
+let note sh key =
+  match sh.txn with
+  | None -> ()
+  | Some { saved; _ } ->
+    if not (TH.mem saved key) then
+      TH.add saved (Array.copy key)
+        (match TH.find_opt sh.groups key with
+        | None -> Absent
+        | Some g ->
+          Present
+            { cnt = g.cnt; sums = Array.copy g.sums; exts = Array.copy g.exts })
+
+let commit s =
+  if s.shards.(0).txn = None then
+    invalid_arg
+      (Printf.sprintf "Aux_boxed.commit(%s): no open transaction"
+         s.spec.Auxview.name);
+  Array.iter (fun sh -> sh.txn <- None) s.shards
+
+let rollback_shard s sh =
+  match sh.txn with
+  | None -> ()
+  | Some { saved; total0 } ->
+    (* by_key and index membership are pure functions of the group key, so
+       restoring group presence restores them too. Two phases: first drop
+       every group created inside the transaction, then restore the
+       pre-existing ones — a created and a restored group can share a base
+       key value (e.g. a root-tuple update rewrote an aggregated column),
+       and removal must not clobber the restored by_key mapping. *)
+    TH.iter
+      (fun key before ->
+        match before, TH.find_opt sh.groups key with
+        | Absent, Some _ ->
+          TH.remove sh.groups key;
+          Option.iter
+            (fun by_key -> VH.remove by_key key.(s.key_plain_pos))
+            sh.by_key;
+          index_remove sh key
+        | Absent, None | Present _, _ -> ())
+      saved;
+    TH.iter
+      (fun key before ->
+        match before, TH.find_opt sh.groups key with
+        | Absent, _ -> ()
+        | Present p, Some g ->
+          g.cnt <- p.cnt;
+          Array.blit p.sums 0 g.sums 0 (Array.length p.sums);
+          Array.blit p.exts 0 g.exts 0 (Array.length p.exts);
+          (* the mapping may have been stolen by a since-removed group *)
+          Option.iter
+            (fun by_key -> VH.replace by_key key.(s.key_plain_pos) key)
+            sh.by_key
+        | Present p, None ->
+          TH.add sh.groups key { cnt = p.cnt; sums = p.sums; exts = p.exts };
+          Option.iter
+            (fun by_key -> VH.replace by_key key.(s.key_plain_pos) key)
+            sh.by_key;
+          index_add sh key)
+      saved;
+    sh.total <- total0;
+    sh.txn <- None
+
+let rollback s =
+  if s.shards.(0).txn = None then
+    invalid_arg
+      (Printf.sprintf "Aux_boxed.rollback(%s): no open transaction"
+         s.spec.Auxview.name);
+  Array.iter (rollback_shard s) s.shards
+
+(* Reject NULL (and any other non-aggregatable value) in aggregated columns
+   before mutating anything, so a poisoned tuple cannot leave a group with
+   its count bumped but its sums untouched. *)
+let check_aggregands s op tup =
+  Array.iter
+    (fun src ->
+      if not (Value.is_numeric tup.(src)) then
+        invalid_arg
+          (Printf.sprintf
+             "Aux_boxed.%s(%s): %s value in summed column (index %d)" op
+             s.spec.Auxview.name
+             (Value.type_name tup.(src))
+             src))
+    s.sum_src;
+  Array.iter
+    (fun (src, _) ->
+      if Value.is_null tup.(src) then
+        invalid_arg
+          (Printf.sprintf
+             "Aux_boxed.%s(%s): NULL value in MIN/MAX column (index %d)" op
+             s.spec.Auxview.name src))
+    s.ext_src
+
+(* Project [tup]'s group key into the shard's scratch buffer — valid only
+   until the next probe of the same shard, and only retained via copies. *)
+let scratch_key sh s tup =
+  let key = sh.scratch in
+  Array.iteri (fun i src -> key.(i) <- tup.(src)) s.plain_src;
+  key
+
+let insert_base ?(count = 1) s tup =
+  if count < 1 then invalid_arg "Aux_boxed.insert_base: count must be >= 1";
+  check_aggregands s "insert_base" tup;
+  let sh = s.shards.(shard_of_base s tup) in
+  let key = scratch_key sh s tup in
+  note sh key;
+  (match TH.find_opt sh.groups key with
+  | Some g ->
+    g.cnt <- g.cnt + count;
+    Array.iteri
+      (fun i src -> g.sums.(i) <- Value.add g.sums.(i) (Value.scale tup.(src) count))
+      s.sum_src;
+    Array.iteri
+      (fun i (src, is_min) ->
+        g.exts.(i) <- combine_ext ~is_min g.exts.(i) tup.(src))
+      s.ext_src
+  | None ->
+    let key = Array.copy key in
+    TH.add sh.groups key
+      {
+        cnt = count;
+        sums = Array.map (fun src -> Value.scale tup.(src) count) s.sum_src;
+        exts = Array.map (fun (src, _) -> tup.(src)) s.ext_src;
+      };
+    Option.iter
+      (fun by_key -> VH.replace by_key key.(s.key_plain_pos) key)
+      sh.by_key;
+    index_add sh key);
+  sh.total <- sh.total + count
+
+let delete_base ?(count = 1) s tup =
+  if count < 1 then invalid_arg "Aux_boxed.delete_base: count must be >= 1";
+  if Array.length s.ext_src > 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Aux_boxed.delete_base(%s): append-only view holds MIN/MAX columns"
+         s.spec.Auxview.name);
+  check_aggregands s "delete_base" tup;
+  let sh = s.shards.(shard_of_base s tup) in
+  let key = scratch_key sh s tup in
+  match TH.find_opt sh.groups key with
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Aux_boxed.delete_base(%s): group %s absent"
+         s.spec.Auxview.name (Tuple.to_string key))
+  | Some g ->
+    if g.cnt < count then
+      invalid_arg
+        (Printf.sprintf "Aux_boxed.delete_base(%s): count underflow"
+           s.spec.Auxview.name);
+    note sh key;
+    g.cnt <- g.cnt - count;
+    Array.iteri
+      (fun i src -> g.sums.(i) <- Value.sub g.sums.(i) (Value.scale tup.(src) count))
+      s.sum_src;
+    sh.total <- sh.total - count;
+    if g.cnt = 0 then begin
+      TH.remove sh.groups key;
+      Option.iter
+        (fun by_key ->
+          (* reordered replay (insertions before deletions) may have already
+             re-pointed this base key at the updated row's group; removing
+             unconditionally would clobber that live mapping *)
+          match VH.find_opt by_key key.(s.key_plain_pos) with
+          | Some gk when Tuple.equal gk key ->
+            VH.remove by_key key.(s.key_plain_pos)
+          | Some _ | None -> ())
+        sh.by_key;
+      index_remove sh key
+    end
+
+let copy s =
+  let copy_shard sh =
+    let groups = TH.create (max 16 (TH.length sh.groups)) in
+    TH.iter
+      (fun key (g : group) ->
+        TH.add groups key
+          { cnt = g.cnt; sums = Array.copy g.sums; exts = Array.copy g.exts })
+      sh.groups;
+    {
+      groups;
+      by_key = Option.map VH.copy sh.by_key;
+      indexes =
+        List.map
+          (fun (pos, index) ->
+            let index' = VH.create (max 16 (VH.length index)) in
+            VH.iter (fun v bucket -> VH.add index' v (TH.copy bucket)) index;
+            (pos, index'))
+          sh.indexes;
+      total = sh.total;
+      txn = None;
+      scratch = Array.copy sh.scratch;
+    }
+  in
+  { s with shards = Array.map copy_shard s.shards }
+
+let array_equal eq a b =
+  Array.length a = Array.length b
+  &&
+  let ok = ref true in
+  Array.iteri (fun i x -> if not (eq x b.(i)) then ok := false) a;
+  !ok
+
+let group_equal (g : group) (g' : group) =
+  g.cnt = g'.cnt
+  && array_equal Value.equal g.sums g'.sums
+  && array_equal Value.equal g.exts g'.exts
+
+let sum_over_shards s f = Array.fold_left (fun acc sh -> acc + f sh) 0 s.shards
+
+let group_count s = sum_over_shards s (fun sh -> TH.length sh.groups)
+
+let by_key_size s =
+  sum_over_shards s (fun sh ->
+      match sh.by_key with Some by_key -> VH.length by_key | None -> 0)
+
+(* b's by_key mapping for a base key lives in the shard of its *group* key. *)
+let by_key_mem b k gkey =
+  match b.shards.(shard_of_key b gkey).by_key with
+  | None -> false
+  | Some by_key -> (
+    match VH.find_opt by_key k with
+    | Some gkey' -> Tuple.equal gkey gkey'
+    | None -> false)
+
+let index_positions s =
+  match Array.to_list s.shards with
+  | [] -> []
+  | sh :: _ -> List.map fst sh.indexes
+
+let index_size s pos =
+  sum_over_shards s (fun sh ->
+      match List.assoc_opt pos sh.indexes with
+      | None -> 0
+      | Some index -> VH.fold (fun _ bucket acc -> acc + TH.length bucket) index 0)
+
+let index_mem b pos v key =
+  match List.assoc_opt pos b.shards.(shard_of_key b key).indexes with
+  | None -> false
+  | Some index -> (
+    match VH.find_opt index v with
+    | None -> false
+    | Some bucket -> TH.mem bucket key)
+
+(* Structural equality of the full resident state: groups (counts, sums,
+   extrema), the by-key map, every secondary index (positions and bucket
+   membership), and the base-row total. Deliberately independent of the
+   shard layout, so a 1-shard serial state compares equal to a 16-shard
+   parallel one. Open transactions are ignored. *)
+let equal a b =
+  sum_over_shards a (fun sh -> sh.total) = sum_over_shards b (fun sh -> sh.total)
+  && group_count a = group_count b
+  && Array.for_all
+       (fun sh ->
+         TH.fold
+           (fun key g acc ->
+             acc
+             &&
+             match find_group b key with
+             | Some g' -> group_equal g g'
+             | None -> false)
+           sh.groups true)
+       a.shards
+  && by_key_size a = by_key_size b
+  && Array.for_all
+       (fun sh ->
+         match sh.by_key with
+         | None -> true
+         | Some by_key ->
+           VH.fold (fun k gkey acc -> acc && by_key_mem b k gkey) by_key true)
+       a.shards
+  && (match a.shards.(0).by_key, b.shards.(0).by_key with
+     | None, None | Some _, Some _ -> true
+     | Some _, None | None, Some _ -> false)
+  && index_positions a = index_positions b
+  && List.for_all
+       (fun pos ->
+         index_size a pos = index_size b pos
+         && Array.for_all
+              (fun sh ->
+                match List.assoc_opt pos sh.indexes with
+                | None -> true
+                | Some index ->
+                  VH.fold
+                    (fun v bucket acc ->
+                      acc
+                      && TH.fold
+                           (fun key () acc ->
+                             acc && index_mem b pos v key)
+                           bucket true)
+                    index true)
+              a.shards)
+       (index_positions a)
+
+let row_count = group_count
+let base_count s = sum_over_shards s (fun sh -> sh.total)
+
+let row_of key (g : group) = { key_ = key; cnt_ = g.cnt; g_ = g }
+let cnt (r : row) = r.cnt_
+let plains _s (r : row) = r.key_
+let sums _s (r : row) = Array.copy r.g_.sums
+let exts _s (r : row) = Array.copy r.g_.exts
+
+let find_by_key s k =
+  if s.key_plain_pos < 0 then
+    invalid_arg
+      (Printf.sprintf "Aux_boxed.find_by_key(%s): key not kept"
+         s.spec.Auxview.name);
+  let n = Array.length s.shards in
+  let rec scan i =
+    if i >= n then None
+    else
+      match s.shards.(i).by_key with
+      | None -> None
+      | Some by_key -> (
+        match VH.find_opt by_key k with
+        | Some key -> Some (row_of key (TH.find s.shards.(i).groups key))
+        | None -> scan (i + 1))
+  in
+  scan 0
+
+let mem_key s k = find_by_key s k <> None
+
+let iter s f =
+  Array.iter
+    (fun sh -> TH.iter (fun key (g : group) -> f (row_of key g)) sh.groups)
+    s.shards
+
+let rows_with s ~column v =
+  match Auxview.plain_position s.spec column with
+  | None -> raise Not_found
+  | Some pos ->
+    Array.fold_left
+      (fun acc sh ->
+        match List.assoc_opt pos sh.indexes with
+        | Some index -> (
+          match VH.find_opt index v with
+          | None -> acc
+          | Some bucket ->
+            TH.fold
+              (fun key () acc -> row_of key (TH.find sh.groups key) :: acc)
+              bucket acc)
+        | None ->
+          (* unindexed fallback: scan *)
+          TH.fold
+            (fun key (g : group) acc ->
+              if Value.equal key.(pos) v then row_of key g :: acc else acc)
+            sh.groups acc)
+      [] s.shards
+
+let plain_of s (row : row) col =
+  match Auxview.plain_position s.spec col with
+  | Some i -> row.key_.(i)
+  | None -> raise Not_found
+
+let sum_of s (row : row) col =
+  match Auxview.sum_position s.spec col with
+  | Some i -> row.g_.sums.(i)
+  | None -> raise Not_found
+
+let min_of s (row : row) col =
+  match Auxview.min_position s.spec col with
+  | Some i -> row.g_.exts.(i)
+  | None -> raise Not_found
+
+let max_of s (row : row) col =
+  match Auxview.max_position s.spec col with
+  | Some i -> row.g_.exts.(i)
+  | None -> raise Not_found
+
+let to_relation s =
+  let rel = Relation.create ~size_hint:(group_count s) () in
+  iter s (fun r ->
+      let gi = ref 0 and si = ref 0 and ei = ref 0 in
+      let cell (_, def) =
+        match def with
+        | Auxview.Plain _ ->
+          let v = r.key_.(!gi) in
+          incr gi;
+          v
+        | Auxview.Sum_of _ ->
+          let v = r.g_.sums.(!si) in
+          incr si;
+          v
+        | Auxview.Min_of _ | Auxview.Max_of _ ->
+          let v = r.g_.exts.(!ei) in
+          incr ei;
+          v
+        | Auxview.Count_star -> Value.Int r.cnt_
+      in
+      let row = Array.of_list (List.map cell s.spec.Auxview.columns) in
+      if s.spec.Auxview.compressed then Relation.insert rel row
+      else Relation.insert ~count:r.cnt_ rel row);
+  rel

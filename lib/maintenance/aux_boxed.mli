@@ -1,47 +1,36 @@
-(** In-memory state of one materialized auxiliary view.
+(** Boxed reference implementation of {!Aux_state} (one record per group).
+
+    Kept as the oracle for the columnar storage equivalence tests and as
+    the baseline of [bench columnar]; not used by the engine itself.
 
     Rows are grouped by the spec's [Plain] columns; each group carries its
     ["COUNT(*)"] and the running [Sum_of] values. Degenerate (uncompressed)
     PSJ views use the same representation — their grouping key is the whole
-    kept tuple and the count is the tuple multiplicity.
-
-    Physically, groups live in typed columnar segments ({!Column}): one
-    column per view attribute plus a dense count column, with numeric cells
-    unboxed in Bigarrays and string cells dictionary-encoded ({!Dict}).
-    Groups are row ids into those columns; deletion swaps the last row into
-    the hole so segments stay dense. All of this is invisible at this
-    interface — accessors materialize the boxed {!row} record on demand —
-    but it is why resident bytes per row are a fraction of the boxed
-    representation (see DESIGN.md "Physical representation" and
-    [bench columnar]). *)
+    kept tuple and the count is the tuple multiplicity. *)
 
 type t
 
-(** One group of the auxiliary view — a cursor into the columnar segments,
-    not a materialized record. The group's count is snapshotted when the
-    handle is produced (so it survives later mutations); every other cell
-    is fetched on demand and a handle is positionally invalidated by the
-    next mutation of the owning state (deletion swaps rows). Read what you
-    need, then let the handle go: a count-only scan allocates nothing per
-    group beyond the handle itself. *)
+(** One group of the auxiliary view; same cursor-handle protocol as
+    {!Aux_state.row} so the two implementations stay interchangeable in the
+    equivalence tests. *)
 type row
 
 (** Snapshot of the group's ["COUNT(*)"] at handle creation. *)
 val cnt : row -> int
 
-(** Fresh boxed group key, in {!Mindetail.Auxview.group_columns} order. *)
+(** Group key, in {!Mindetail.Auxview.group_columns} order. Callers must
+    not mutate it. *)
 val plains : t -> row -> Relational.Tuple.t
 
-(** Fresh boxed running sums, in {!Mindetail.Auxview.summed_columns}
-    order. *)
+(** Fresh running sums, in {!Mindetail.Auxview.summed_columns} order. *)
 val sums : t -> row -> Relational.Value.t array
 
-(** Fresh boxed extrema, in {!Mindetail.Auxview.ext_columns} order. *)
+(** Fresh extrema, in {!Mindetail.Auxview.ext_columns} order. *)
 val exts : t -> row -> Relational.Value.t array
 
 (** [create ?indexed_columns ?shards spec schema] prepares empty state.
     [indexed_columns] (plain columns, typically the foreign keys of a root
-    view) get secondary indexes so {!rows_with} is O(matching groups) instead
+    view) get secondary indexes so rows_with is O(matching groups) instead
     of a scan — the engine uses this to make dimension-update propagation
     proportional to the affected rows.
 
@@ -50,19 +39,12 @@ val exts : t -> row -> Relational.Value.t array
     hash shards so a parallel applier can hand disjoint shards to disjoint
     domains. Sharding is invisible to every accessor and to {!equal};
     states with different shard counts compare structurally.
-
-    [dict_pool] shares string dictionaries per (base table, column) with
-    other states built from the same pool (the engine passes one pool per
-    warehouse so e.g. a dimension attribute kept in both an auxiliary view
-    and the view state interns each distinct string once). Without a pool,
-    string columns use private dictionaries.
     @raise Invalid_argument if an indexed column is not a plain column of
     [spec] — a misspelled index column must not become a silent full scan —
     or if [shards] is not a positive power of two. *)
 val create :
   ?indexed_columns:string list ->
   ?shards:int ->
-  ?dict_pool:Dict.pool ->
   Mindetail.Auxview.t ->
   Relational.Schema.t ->
   t
@@ -168,18 +150,3 @@ val group_key_of_base : t -> Relational.Tuple.t -> Relational.Tuple.t
 (** Contents in spec column order, as a relation (degenerate views expand the
     count into tuple multiplicity). *)
 val to_relation : t -> Relational.Relation.t
-
-(** {2 Byte accounting}
-
-    The columnar layout makes resident size measurable instead of estimated:
-    every column knows its allocated cell bytes. *)
-
-(** Resident bytes of this state: column cells (including off-heap Bigarray
-    payloads), the count column, key map, by-key map, secondary indexes and
-    string dictionaries (each dictionary counted once per state, even when
-    shared across shards). *)
-val byte_size : t -> int
-
-(** Off-heap (Bigarray payload) bytes only — the part of {!byte_size} that
-    [Obj.reachable_words] cannot see. *)
-val offheap_bytes : t -> int

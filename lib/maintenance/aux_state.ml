@@ -3,6 +3,7 @@ module Schema = Relational.Schema
 module Relation = Relational.Relation
 module Tuple = Relational.Tuple
 module Value = Relational.Value
+module Icol = Column.Icol
 
 module TH = Hashtbl.Make (struct
   type t = Tuple.t
@@ -18,36 +19,46 @@ module VH = Hashtbl.Make (struct
   let hash = Value.hash
 end)
 
-type group = {
-  mutable cnt : int;
-  sums : Value.t array;
-  exts : Value.t array;
-}
+(* Physical layout: groups are row ids into parallel typed columns (see
+   {!Column}) — one column per Plain / Sum_of / extremum attribute plus a
+   dense count column. [map] indexes group keys (stored in the plain
+   columns) to row ids; [by_key] and the secondary indexes likewise hold row
+   ids only. Deletion swaps the last row into the hole, so row ids are
+   internal and never escape: the public [row] record is materialized on
+   demand. *)
 
 (* First-touch before-image of one group, taken when an open transaction
-   first mutates it. [Absent] marks a group the batch created. *)
+   first mutates it. [Absent] marks a group the batch created. Before-images
+   are boxed (keyed by group key, not row id): swap-with-last deletion
+   renumbers rows, so only keys are stable across a batch. *)
 type saved_group =
   | Absent
   | Present of { cnt : int; sums : Value.t array; exts : Value.t array }
 
 type txn = { saved : saved_group TH.t; total0 : int }
 
-(* One hash-shard of the resident state. Every structure keyed by group key
-   — groups, by_key, indexes, the undo journal, the base-row total — lives
+(* One secondary index: per distinct column value, an [Icol] bucket of row
+   ids; [pos] is row-parallel and holds each row's offset within its bucket
+   so removal is O(1) swap-with-last on the bucket. *)
+type index = { buckets : Icol.t VH.t; pos : Icol.t }
+
+(* One hash-shard of the resident state. Every row-parallel structure lives
    per shard, so during a parallel apply each domain owns a disjoint set of
-   shards and never touches another domain's hash tables (stdlib [Hashtbl]
-   is not thread-safe, even for disjoint keys, because of resizing). *)
+   shards and never touches another domain's columns or tables. *)
 type shard = {
-  groups : group TH.t;
-  by_key : Tuple.t VH.t option;  (** base key value -> group key *)
-  indexes : (int * unit TH.t VH.t) list;
-      (** per indexed column: its position among plains, and value -> set of
-          group keys *)
+  plains : Column.t array;
+  sums : Column.t array;
+  exts : Column.t array;
+  cnts : Icol.t;
+  map : Rowmap.t;  (** group key (= plain cells) -> row id *)
+  by_key : Rowmap.t option;  (** base key value -> row id *)
+  indexes : (int * index) list;
+      (** per indexed column: its position among plains, and its index *)
   mutable total : int;
   mutable txn : txn option;
   scratch : Tuple.t;
-      (** reusable projection buffer for the probe path; copied only when a
-          key must be retained (group creation, first journal touch) *)
+      (** reusable projection buffer for the journal path; copied only when
+          a key must be retained *)
 }
 
 type t = {
@@ -61,9 +72,23 @@ type t = {
   shards : shard array;
 }
 
-type row = { plains : Tuple.t; cnt : int; sums : Value.t array; exts : Value.t array }
+(* A row is a cursor into a shard's columns, not a materialized record: a
+   count-only scan over a million groups allocates one 4-word handle per
+   group and nothing else. Accessors fetch (and box) cells on demand. The
+   snapshotted count keeps the handle meaningful for the engine's
+   capture-then-mutate pattern; positional cells are invalidated by the
+   next mutation of the owning state (swap-with-last moves rows). *)
+type row = { sh_ : shard; r_ : int; cnt_ : int }
 
-let create ?(indexed_columns = []) ?(shards = 1) spec schema =
+(* Row-key hash over the plain cells; must agree with [Tuple.hash] of the
+   materialized group key (shard routing and probes hash boxed tuples on
+   one side, stored cells on the other). *)
+let key_hash_cols (plains : Column.t array) r =
+  Array.fold_left (fun acc c -> (acc * 31) + Column.hash_cell c r) 17 plains
+
+let nrows sh = Icol.length sh.cnts
+
+let create ?(indexed_columns = []) ?(shards = 1) ?dict_pool spec schema =
   if shards < 1 || shards land (shards - 1) <> 0 then
     invalid_arg
       (Printf.sprintf "Aux_state.create(%s): shard count %d is not a power of two"
@@ -74,15 +99,23 @@ let create ?(indexed_columns = []) ?(shards = 1) spec schema =
     | Some i -> i
     | None -> -1
   in
-  let plain_src =
-    Array.of_list (List.map idx (Auxview.group_columns spec))
+  let plain_cols = Auxview.group_columns spec in
+  let plain_src = Array.of_list (List.map idx plain_cols) in
+  let dict_for col =
+    Option.map
+      (fun pool -> Dict.shared pool ~table:spec.Auxview.base ~column:col)
+      dict_pool
   in
   let mk_shard () =
+    let plains =
+      Array.of_list
+        (List.map (fun col -> Column.create ?dict:(dict_for col) ()) plain_cols)
+    in
     let indexes =
       List.map
         (fun col ->
           match Auxview.plain_position spec col with
-          | Some pos -> (pos, VH.create 256)
+          | Some pos -> (pos, { buckets = VH.create 64; pos = Icol.create () })
           | None ->
             (* a misspelled index column must not degrade to a silent full
                scan on every probe *)
@@ -94,8 +127,26 @@ let create ?(indexed_columns = []) ?(shards = 1) spec schema =
         (List.sort_uniq String.compare indexed_columns)
     in
     {
-      groups = TH.create 256;
-      by_key = (if key_plain_pos >= 0 then Some (VH.create 256) else None);
+      plains;
+      sums =
+        Array.of_list
+          (List.map
+             (fun col -> Column.create ?dict:(dict_for col) ())
+             (Auxview.summed_columns spec));
+      exts =
+        Array.of_list
+          (List.map
+             (fun (col, _) -> Column.create ?dict:(dict_for col) ())
+             (Auxview.ext_columns spec));
+      cnts = Icol.create ();
+      map = Rowmap.create ~hash:(fun r -> key_hash_cols plains r) ();
+      by_key =
+        (if key_plain_pos >= 0 then
+           Some
+             (Rowmap.create
+                ~hash:(fun r -> Column.hash_cell plains.(key_plain_pos) r)
+                ())
+         else None);
       indexes;
       total = 0;
       txn = None;
@@ -129,38 +180,150 @@ let hash_base s tup =
 let shard_of_base s tup = if s.mask = 0 then 0 else hash_base s tup land s.mask
 let shard_of_key s key = if s.mask = 0 then 0 else Tuple.hash key land s.mask
 
-let find_group s key = TH.find_opt s.shards.(shard_of_key s key).groups key
+(* --- probes -------------------------------------------------------------- *)
 
-let index_add sh key =
+let row_matches_base s (sh : shard) r tup =
+  let n = Array.length s.plain_src in
+  let rec ok i =
+    i >= n
+    || Column.equal_cell sh.plains.(i) r tup.(s.plain_src.(i)) && ok (i + 1)
+  in
+  ok 0
+
+let row_matches_key (sh : shard) r (key : Tuple.t) =
+  let n = Array.length key in
+  let rec ok i =
+    i >= n || Column.equal_cell sh.plains.(i) r key.(i) && ok (i + 1)
+  in
+  ok 0
+
+let find_row_base s sh ~hash tup =
+  Rowmap.find sh.map ~hash ~eq:(fun r -> row_matches_base s sh r tup)
+
+let find_row_key sh key =
+  Rowmap.find sh.map ~hash:(Tuple.hash key) ~eq:(fun r -> row_matches_key sh r key)
+
+let group_key_at (sh : shard) r =
+  Array.init (Array.length sh.plains) (fun i -> Column.get sh.plains.(i) r)
+
+(* --- secondary indexes --------------------------------------------------- *)
+
+let index_add_row (sh : shard) r =
   List.iter
-    (fun (pos, index) ->
-      let v = key.(pos) in
+    (fun (pos, idx) ->
+      let v = Column.get sh.plains.(pos) r in
       let bucket =
-        match VH.find_opt index v with
+        match VH.find_opt idx.buckets v with
         | Some b -> b
         | None ->
-          let b = TH.create 4 in
-          VH.add index v b;
+          let b = Icol.create () in
+          VH.add idx.buckets v b;
           b
       in
-      TH.replace bucket key ())
+      Icol.append bucket r;
+      Icol.append idx.pos (Icol.length bucket - 1))
     sh.indexes
 
-let index_remove sh key =
+(* Remove row [r] from every bucket (its [pos] slot is reclaimed by the
+   caller's row-parallel swap-delete). *)
+let index_remove_row (sh : shard) r =
   List.iter
-    (fun (pos, index) ->
-      match VH.find_opt index key.(pos) with
-      | None -> ()
-      | Some bucket ->
-        TH.remove bucket key;
-        if TH.length bucket = 0 then VH.remove index key.(pos))
+    (fun (pos, idx) ->
+      let v = Column.get sh.plains.(pos) r in
+      let bucket = VH.find idx.buckets v in
+      let p = Icol.get idx.pos r in
+      let last = Icol.length bucket - 1 in
+      let moved = Icol.get bucket last in
+      Icol.set bucket p moved;
+      Icol.set idx.pos moved p;
+      Icol.swap_delete bucket last;
+      if Icol.length bucket = 0 then VH.remove idx.buckets v)
     sh.indexes
 
-let combine_ext ~is_min cur v =
-  let c = Value.compare v cur in
-  if (is_min && c < 0) || ((not is_min) && c > 0) then v else cur
+(* --- row attach / detach ------------------------------------------------- *)
 
-(* --- transactions ------------------------------------------------------- *)
+let by_key_attach s (sh : shard) r =
+  Option.iter
+    (fun bk ->
+      let kp = s.key_plain_pos in
+      let v = Column.get sh.plains.(kp) r in
+      (* steal semantics: a new group with the same base key value takes
+         over the mapping *)
+      ignore
+        (Rowmap.replace bk
+           ~hash:(Column.hash_cell sh.plains.(kp) r)
+           ~eq:(fun r' -> Column.equal_cell sh.plains.(kp) r' v)
+           r))
+    sh.by_key
+
+let append_from_base s (sh : shard) ~hash tup count =
+  let r = nrows sh in
+  Array.iteri (fun i src -> Column.append sh.plains.(i) tup.(src)) s.plain_src;
+  Array.iteri
+    (fun i src -> Column.append sh.sums.(i) (Value.scale tup.(src) count))
+    s.sum_src;
+  Array.iteri (fun i (src, _) -> Column.append sh.exts.(i) tup.(src)) s.ext_src;
+  Icol.append sh.cnts count;
+  Rowmap.add sh.map ~hash r;
+  by_key_attach s sh r;
+  index_add_row sh r
+
+let append_from_values s (sh : shard) key cnt (sums : Value.t array) (exts : Value.t array) =
+  let r = nrows sh in
+  Array.iteri (fun i v -> Column.append sh.plains.(i) v) key;
+  Array.iteri (fun i v -> Column.append sh.sums.(i) v) sums;
+  Array.iteri (fun i v -> Column.append sh.exts.(i) v) exts;
+  Icol.append sh.cnts cnt;
+  Rowmap.add sh.map ~hash:(Tuple.hash key) r;
+  by_key_attach s sh r;
+  index_add_row sh r
+
+(* Swap-with-last removal of row [r], repairing every row-id holder: the
+   key map, by_key (both the deleted row's entry, if it still points here,
+   and the moved row's), and each secondary index. [hash] is row [r]'s
+   group-key hash, which every caller already has in hand. *)
+let delete_row s (sh : shard) ~hash r =
+  let l = nrows sh - 1 in
+  Option.iter
+    (fun bk ->
+      (* remove only if the mapping still points at this row — reordered
+         replay (insertions before deletions) may have re-pointed this base
+         key at the updated row's group, and that live mapping must not be
+         clobbered *)
+      ignore
+        (Rowmap.remove_value bk
+           ~hash:(Column.hash_cell sh.plains.(s.key_plain_pos) r)
+           r))
+    sh.by_key;
+  index_remove_row sh r;
+  ignore (Rowmap.remove_value sh.map ~hash r);
+  if r <> l then begin
+    (* row [l] is about to move into slot [r]; re-point its entries while
+       its cells are still readable at [l] *)
+    ignore
+      (Rowmap.rename_value sh.map ~hash:(key_hash_cols sh.plains l) ~old_row:l
+         ~new_row:r);
+    Option.iter
+      (fun bk ->
+        ignore
+          (Rowmap.rename_value bk
+             ~hash:(Column.hash_cell sh.plains.(s.key_plain_pos) l)
+             ~old_row:l ~new_row:r))
+      sh.by_key;
+    List.iter
+      (fun (pos, idx) ->
+        let v = Column.get sh.plains.(pos) l in
+        let bucket = VH.find idx.buckets v in
+        Icol.set bucket (Icol.get idx.pos l) r)
+      sh.indexes
+  end;
+  Array.iter (fun c -> Column.swap_delete c r) sh.plains;
+  Array.iter (fun c -> Column.swap_delete c r) sh.sums;
+  Array.iter (fun c -> Column.swap_delete c r) sh.exts;
+  Icol.swap_delete sh.cnts r;
+  List.iter (fun (_, idx) -> Icol.swap_delete idx.pos r) sh.indexes
+
+(* --- transactions -------------------------------------------------------- *)
 
 let begin_txn s =
   if s.shards.(0).txn <> None then
@@ -172,19 +335,27 @@ let begin_txn s =
     s.shards
 
 (* Journal [key]'s before-image, once per transaction. Must run before any
-   mutation of the group (or its creation). [key] may alias a scratch
-   buffer; it is copied if retained. *)
-let note sh key =
+   mutation of the group at [row] (or its creation). [key] may alias a
+   scratch buffer; it is copied if retained. *)
+let note_known (sh : shard) key row =
   match sh.txn with
   | None -> ()
   | Some { saved; _ } ->
     if not (TH.mem saved key) then
       TH.add saved (Array.copy key)
-        (match TH.find_opt sh.groups key with
+        (match row with
         | None -> Absent
-        | Some g ->
+        | Some r ->
           Present
-            { cnt = g.cnt; sums = Array.copy g.sums; exts = Array.copy g.exts })
+            {
+              cnt = Icol.get sh.cnts r;
+              sums =
+                Array.init (Array.length sh.sums) (fun i ->
+                    Column.get sh.sums.(i) r);
+              exts =
+                Array.init (Array.length sh.exts) (fun i ->
+                    Column.get sh.exts.(i) r);
+            })
 
 let commit s =
   if s.shards.(0).txn = None then
@@ -197,41 +368,29 @@ let rollback_shard s sh =
   match sh.txn with
   | None -> ()
   | Some { saved; total0 } ->
-    (* by_key and index membership are pure functions of the group key, so
-       restoring group presence restores them too. Two phases: first drop
-       every group created inside the transaction, then restore the
+    (* by_key and index membership are pure functions of the stored cells,
+       so restoring group presence restores them too. Two phases: first
+       drop every group created inside the transaction, then restore the
        pre-existing ones — a created and a restored group can share a base
        key value (e.g. a root-tuple update rewrote an aggregated column),
        and removal must not clobber the restored by_key mapping. *)
     TH.iter
       (fun key before ->
-        match before, TH.find_opt sh.groups key with
-        | Absent, Some _ ->
-          TH.remove sh.groups key;
-          Option.iter
-            (fun by_key -> VH.remove by_key key.(s.key_plain_pos))
-            sh.by_key;
-          index_remove sh key
+        match before, find_row_key sh key with
+        | Absent, Some r -> delete_row s sh ~hash:(Tuple.hash key) r
         | Absent, None | Present _, _ -> ())
       saved;
     TH.iter
       (fun key before ->
-        match before, TH.find_opt sh.groups key with
+        match before, find_row_key sh key with
         | Absent, _ -> ()
-        | Present p, Some g ->
-          g.cnt <- p.cnt;
-          Array.blit p.sums 0 g.sums 0 (Array.length p.sums);
-          Array.blit p.exts 0 g.exts 0 (Array.length p.exts);
+        | Present p, Some r ->
+          Icol.set sh.cnts r p.cnt;
+          Array.iteri (fun i v -> Column.set sh.sums.(i) r v) p.sums;
+          Array.iteri (fun i v -> Column.set sh.exts.(i) r v) p.exts;
           (* the mapping may have been stolen by a since-removed group *)
-          Option.iter
-            (fun by_key -> VH.replace by_key key.(s.key_plain_pos) key)
-            sh.by_key
-        | Present p, None ->
-          TH.add sh.groups key { cnt = p.cnt; sums = p.sums; exts = p.exts };
-          Option.iter
-            (fun by_key -> VH.replace by_key key.(s.key_plain_pos) key)
-            sh.by_key;
-          index_add sh key)
+          by_key_attach s sh r
+        | Present p, None -> append_from_values s sh key p.cnt p.sums p.exts)
       saved;
     sh.total <- total0;
     sh.txn <- None
@@ -267,7 +426,8 @@ let check_aggregands s op tup =
     s.ext_src
 
 (* Project [tup]'s group key into the shard's scratch buffer — valid only
-   until the next probe of the same shard, and only retained via copies. *)
+   until the next projection on the same shard, and only retained via
+   copies (the journal path). *)
 let scratch_key sh s tup =
   let key = sh.scratch in
   Array.iteri (fun i src -> key.(i) <- tup.(src)) s.plain_src;
@@ -277,30 +437,19 @@ let insert_base ?(count = 1) s tup =
   if count < 1 then invalid_arg "Aux_state.insert_base: count must be >= 1";
   check_aggregands s "insert_base" tup;
   let sh = s.shards.(shard_of_base s tup) in
-  let key = scratch_key sh s tup in
-  note sh key;
-  (match TH.find_opt sh.groups key with
-  | Some g ->
-    g.cnt <- g.cnt + count;
+  let hash = hash_base s tup in
+  let row = find_row_base s sh ~hash tup in
+  if sh.txn <> None then note_known sh (scratch_key sh s tup) row;
+  (match row with
+  | Some r ->
+    Icol.add sh.cnts r count;
     Array.iteri
-      (fun i src -> g.sums.(i) <- Value.add g.sums.(i) (Value.scale tup.(src) count))
+      (fun i src -> Column.add_cell sh.sums.(i) r tup.(src) count)
       s.sum_src;
     Array.iteri
-      (fun i (src, is_min) ->
-        g.exts.(i) <- combine_ext ~is_min g.exts.(i) tup.(src))
+      (fun i (src, is_min) -> Column.combine_ext sh.exts.(i) r tup.(src) ~is_min)
       s.ext_src
-  | None ->
-    let key = Array.copy key in
-    TH.add sh.groups key
-      {
-        cnt = count;
-        sums = Array.map (fun src -> Value.scale tup.(src) count) s.sum_src;
-        exts = Array.map (fun (src, _) -> tup.(src)) s.ext_src;
-      };
-    Option.iter
-      (fun by_key -> VH.replace by_key key.(s.key_plain_pos) key)
-      sh.by_key;
-    index_add sh key);
+  | None -> append_from_base s sh ~hash tup count);
   sh.total <- sh.total + count
 
 let delete_base ?(count = 1) s tup =
@@ -312,55 +461,48 @@ let delete_base ?(count = 1) s tup =
          s.spec.Auxview.name);
   check_aggregands s "delete_base" tup;
   let sh = s.shards.(shard_of_base s tup) in
-  let key = scratch_key sh s tup in
-  match TH.find_opt sh.groups key with
+  let hash = hash_base s tup in
+  match find_row_base s sh ~hash tup with
   | None ->
     invalid_arg
       (Printf.sprintf "Aux_state.delete_base(%s): group %s absent"
-         s.spec.Auxview.name (Tuple.to_string key))
-  | Some g ->
-    if g.cnt < count then
+         s.spec.Auxview.name
+         (Tuple.to_string (scratch_key sh s tup)))
+  | Some r ->
+    let cnt = Icol.get sh.cnts r in
+    if cnt < count then
       invalid_arg
         (Printf.sprintf "Aux_state.delete_base(%s): count underflow"
            s.spec.Auxview.name);
-    note sh key;
-    g.cnt <- g.cnt - count;
+    if sh.txn <> None then note_known sh (scratch_key sh s tup) (Some r);
+    Icol.set sh.cnts r (cnt - count);
     Array.iteri
-      (fun i src -> g.sums.(i) <- Value.sub g.sums.(i) (Value.scale tup.(src) count))
+      (fun i src -> Column.sub_cell sh.sums.(i) r tup.(src) count)
       s.sum_src;
     sh.total <- sh.total - count;
-    if g.cnt = 0 then begin
-      TH.remove sh.groups key;
-      Option.iter
-        (fun by_key ->
-          (* reordered replay (insertions before deletions) may have already
-             re-pointed this base key at the updated row's group; removing
-             unconditionally would clobber that live mapping *)
-          match VH.find_opt by_key key.(s.key_plain_pos) with
-          | Some gk when Tuple.equal gk key ->
-            VH.remove by_key key.(s.key_plain_pos)
-          | Some _ | None -> ())
-        sh.by_key;
-      index_remove sh key
-    end
+    if cnt = count then delete_row s sh ~hash r
 
 let copy s =
-  let copy_shard sh =
-    let groups = TH.create (max 16 (TH.length sh.groups)) in
-    TH.iter
-      (fun key (g : group) ->
-        TH.add groups key
-          { cnt = g.cnt; sums = Array.copy g.sums; exts = Array.copy g.exts })
-      sh.groups;
+  let copy_shard (sh : shard) =
+    let plains = Array.map Column.copy sh.plains in
     {
-      groups;
-      by_key = Option.map VH.copy sh.by_key;
+      plains;
+      sums = Array.map Column.copy sh.sums;
+      exts = Array.map Column.copy sh.exts;
+      cnts = Icol.copy sh.cnts;
+      map = Rowmap.copy sh.map ~hash:(fun r -> key_hash_cols plains r);
+      by_key =
+        Option.map
+          (fun bk ->
+            Rowmap.copy bk ~hash:(fun r ->
+                Column.hash_cell plains.(s.key_plain_pos) r))
+          sh.by_key;
       indexes =
         List.map
-          (fun (pos, index) ->
-            let index' = VH.create (max 16 (VH.length index)) in
-            VH.iter (fun v bucket -> VH.add index' v (TH.copy bucket)) index;
-            (pos, index'))
+          (fun (pos, idx) ->
+            let buckets = VH.create (max 16 (VH.length idx.buckets)) in
+            VH.iter (fun v b -> VH.add buckets v (Icol.copy b)) idx.buckets;
+            (pos, { buckets; pos = Icol.copy idx.pos }))
           sh.indexes;
       total = sh.total;
       txn = None;
@@ -369,33 +511,24 @@ let copy s =
   in
   { s with shards = Array.map copy_shard s.shards }
 
-let array_equal eq a b =
-  Array.length a = Array.length b
-  &&
-  let ok = ref true in
-  Array.iteri (fun i x -> if not (eq x b.(i)) then ok := false) a;
-  !ok
-
-let group_equal (g : group) (g' : group) =
-  g.cnt = g'.cnt
-  && array_equal Value.equal g.sums g'.sums
-  && array_equal Value.equal g.exts g'.exts
-
 let sum_over_shards s f = Array.fold_left (fun acc sh -> acc + f sh) 0 s.shards
-
-let group_count s = sum_over_shards s (fun sh -> TH.length sh.groups)
+let group_count s = sum_over_shards s nrows
 
 let by_key_size s =
   sum_over_shards s (fun sh ->
-      match sh.by_key with Some by_key -> VH.length by_key | None -> 0)
+      match sh.by_key with Some bk -> Rowmap.length bk | None -> 0)
 
 (* b's by_key mapping for a base key lives in the shard of its *group* key. *)
 let by_key_mem b k gkey =
-  match b.shards.(shard_of_key b gkey).by_key with
+  let sh = b.shards.(shard_of_key b gkey) in
+  match sh.by_key with
   | None -> false
-  | Some by_key -> (
-    match VH.find_opt by_key k with
-    | Some gkey' -> Tuple.equal gkey gkey'
+  | Some bk -> (
+    match
+      Rowmap.find bk ~hash:(Value.hash k) ~eq:(fun r ->
+          Column.equal_cell sh.plains.(b.key_plain_pos) r k)
+    with
+    | Some r -> row_matches_key sh r gkey
     | None -> false)
 
 let index_positions s =
@@ -407,42 +540,83 @@ let index_size s pos =
   sum_over_shards s (fun sh ->
       match List.assoc_opt pos sh.indexes with
       | None -> 0
-      | Some index -> VH.fold (fun _ bucket acc -> acc + TH.length bucket) index 0)
+      | Some idx ->
+        VH.fold (fun _ bucket acc -> acc + Icol.length bucket) idx.buckets 0)
 
 let index_mem b pos v key =
-  match List.assoc_opt pos b.shards.(shard_of_key b key).indexes with
+  let sh = b.shards.(shard_of_key b key) in
+  match List.assoc_opt pos sh.indexes with
   | None -> false
-  | Some index -> (
-    match VH.find_opt index v with
+  | Some idx -> (
+    match VH.find_opt idx.buckets v with
     | None -> false
-    | Some bucket -> TH.mem bucket key)
+    | Some bucket ->
+      let n = Icol.length bucket in
+      let rec scan i =
+        i < n
+        && (row_matches_key sh (Icol.get bucket i) key || scan (i + 1))
+      in
+      scan 0)
+
+let group_cells_equal (sh : shard) r (cnt, (sums : Value.t array), (exts : Value.t array)) =
+  Icol.get sh.cnts r = cnt
+  && Array.length sums = Array.length sh.sums
+  && Array.length exts = Array.length sh.exts
+  && Array.for_all
+       (fun i -> Column.equal_cell sh.sums.(i) r sums.(i))
+       (Array.init (Array.length sums) Fun.id)
+  && Array.for_all
+       (fun i -> Column.equal_cell sh.exts.(i) r exts.(i))
+       (Array.init (Array.length exts) Fun.id)
 
 (* Structural equality of the full resident state: groups (counts, sums,
    extrema), the by-key map, every secondary index (positions and bucket
    membership), and the base-row total. Deliberately independent of the
-   shard layout, so a 1-shard serial state compares equal to a 16-shard
-   parallel one. Open transactions are ignored. *)
+   shard layout and of physical row order, so a 1-shard serial state
+   compares equal to a 16-shard parallel one. Open transactions are
+   ignored. *)
 let equal a b =
   sum_over_shards a (fun sh -> sh.total) = sum_over_shards b (fun sh -> sh.total)
   && group_count a = group_count b
   && Array.for_all
        (fun sh ->
-         TH.fold
-           (fun key g acc ->
-             acc
-             &&
-             match find_group b key with
-             | Some g' -> group_equal g g'
-             | None -> false)
-           sh.groups true)
+         let ok = ref true in
+         for r = 0 to nrows sh - 1 do
+           if !ok then begin
+             let key = group_key_at sh r in
+             let sh' = b.shards.(shard_of_key b key) in
+             match find_row_key sh' key with
+             | Some r' ->
+               let cnt = Icol.get sh.cnts r in
+               let sums =
+                 Array.init (Array.length sh.sums) (fun i ->
+                     Column.get sh.sums.(i) r)
+               in
+               let exts =
+                 Array.init (Array.length sh.exts) (fun i ->
+                     Column.get sh.exts.(i) r)
+               in
+               if not (group_cells_equal sh' r' (cnt, sums, exts)) then
+                 ok := false
+             | None -> ok := false
+           end
+         done;
+         !ok)
        a.shards
   && by_key_size a = by_key_size b
   && Array.for_all
        (fun sh ->
          match sh.by_key with
          | None -> true
-         | Some by_key ->
-           VH.fold (fun k gkey acc -> acc && by_key_mem b k gkey) by_key true)
+         | Some bk ->
+           let ok = ref true in
+           Rowmap.iter bk (fun r ->
+               if !ok then begin
+                 let k = Column.get sh.plains.(a.key_plain_pos) r in
+                 let gkey = group_key_at sh r in
+                 if not (by_key_mem b k gkey) then ok := false
+               end);
+           !ok)
        a.shards
   && (match a.shards.(0).by_key, b.shards.(0).by_key with
      | None, None | Some _, Some _ -> true
@@ -455,23 +629,37 @@ let equal a b =
               (fun sh ->
                 match List.assoc_opt pos sh.indexes with
                 | None -> true
-                | Some index ->
+                | Some idx ->
                   VH.fold
                     (fun v bucket acc ->
                       acc
-                      && TH.fold
-                           (fun key () acc ->
-                             acc && index_mem b pos v key)
-                           bucket true)
-                    index true)
+                      &&
+                      let n = Icol.length bucket in
+                      let rec scan i =
+                        i >= n
+                        || index_mem b pos v
+                             (group_key_at sh (Icol.get bucket i))
+                           && scan (i + 1)
+                      in
+                      scan 0)
+                    idx.buckets true)
               a.shards)
        (index_positions a)
 
 let row_count = group_count
 let base_count s = sum_over_shards s (fun sh -> sh.total)
 
-let row_of key (g : group) =
-  { plains = key; cnt = g.cnt; sums = Array.copy g.sums; exts = Array.copy g.exts }
+let row_of (sh : shard) r : row = { sh_ = sh; r_ = r; cnt_ = Icol.get sh.cnts r }
+let cnt (row : row) = row.cnt_
+let plains _s (row : row) = group_key_at row.sh_ row.r_
+
+let sums _s (row : row) =
+  Array.init (Array.length row.sh_.sums) (fun i ->
+      Column.get row.sh_.sums.(i) row.r_)
+
+let exts _s (row : row) =
+  Array.init (Array.length row.sh_.exts) (fun i ->
+      Column.get row.sh_.exts.(i) row.r_)
 
 let find_by_key s k =
   if s.key_plain_pos < 0 then
@@ -482,11 +670,15 @@ let find_by_key s k =
   let rec scan i =
     if i >= n then None
     else
-      match s.shards.(i).by_key with
+      let sh = s.shards.(i) in
+      match sh.by_key with
       | None -> None
-      | Some by_key -> (
-        match VH.find_opt by_key k with
-        | Some key -> Some (row_of key (TH.find s.shards.(i).groups key))
+      | Some bk -> (
+        match
+          Rowmap.find bk ~hash:(Value.hash k) ~eq:(fun r ->
+              Column.equal_cell sh.plains.(s.key_plain_pos) r k)
+        with
+        | Some r -> Some (row_of sh r)
         | None -> scan (i + 1))
   in
   scan 0
@@ -495,7 +687,10 @@ let mem_key s k = find_by_key s k <> None
 
 let iter s f =
   Array.iter
-    (fun sh -> TH.iter (fun key (g : group) -> f (row_of key g)) sh.groups)
+    (fun sh ->
+      for r = 0 to nrows sh - 1 do
+        f (row_of sh r)
+      done)
     s.shards
 
 let rows_with s ~column v =
@@ -505,62 +700,116 @@ let rows_with s ~column v =
     Array.fold_left
       (fun acc sh ->
         match List.assoc_opt pos sh.indexes with
-        | Some index -> (
-          match VH.find_opt index v with
+        | Some idx -> (
+          match VH.find_opt idx.buckets v with
           | None -> acc
           | Some bucket ->
-            TH.fold
-              (fun key () acc -> row_of key (TH.find sh.groups key) :: acc)
-              bucket acc)
+            let acc = ref acc in
+            for i = 0 to Icol.length bucket - 1 do
+              acc := row_of sh (Icol.get bucket i) :: !acc
+            done;
+            !acc)
         | None ->
           (* unindexed fallback: scan *)
-          TH.fold
-            (fun key (g : group) acc ->
-              if Value.equal key.(pos) v then row_of key g :: acc else acc)
-            sh.groups acc)
+          let acc = ref acc in
+          for r = 0 to nrows sh - 1 do
+            if Column.equal_cell sh.plains.(pos) r v then
+              acc := row_of sh r :: !acc
+          done;
+          !acc)
       [] s.shards
 
-let plain_of s row col =
+let plain_of s (row : row) col =
   match Auxview.plain_position s.spec col with
-  | Some i -> row.plains.(i)
+  | Some i -> Column.get row.sh_.plains.(i) row.r_
   | None -> raise Not_found
 
-let sum_of s row col =
+let sum_of s (row : row) col =
   match Auxview.sum_position s.spec col with
-  | Some i -> row.sums.(i)
+  | Some i -> Column.get row.sh_.sums.(i) row.r_
   | None -> raise Not_found
 
-let min_of s row col =
+let min_of s (row : row) col =
   match Auxview.min_position s.spec col with
-  | Some i -> row.exts.(i)
+  | Some i -> Column.get row.sh_.exts.(i) row.r_
   | None -> raise Not_found
 
-let max_of s row col =
+let max_of s (row : row) col =
   match Auxview.max_position s.spec col with
-  | Some i -> row.exts.(i)
+  | Some i -> Column.get row.sh_.exts.(i) row.r_
   | None -> raise Not_found
 
 let to_relation s =
   let rel = Relation.create ~size_hint:(group_count s) () in
-  iter s (fun r ->
-      let gi = ref 0 and si = ref 0 and ei = ref 0 in
-      let cell (_, def) =
-        match def with
-        | Auxview.Plain _ ->
-          let v = r.plains.(!gi) in
-          incr gi;
-          v
-        | Auxview.Sum_of _ ->
-          let v = r.sums.(!si) in
-          incr si;
-          v
-        | Auxview.Min_of _ | Auxview.Max_of _ ->
-          let v = r.exts.(!ei) in
-          incr ei;
-          v
-        | Auxview.Count_star -> Value.Int r.cnt
-      in
-      let row = Array.of_list (List.map cell s.spec.Auxview.columns) in
-      if s.spec.Auxview.compressed then Relation.insert rel row
-      else Relation.insert ~count:r.cnt rel row);
+  Array.iter
+    (fun (sh : shard) ->
+      for r = 0 to nrows sh - 1 do
+        let gi = ref 0 and si = ref 0 and ei = ref 0 in
+        let cell (_, def) =
+          match def with
+          | Auxview.Plain _ ->
+            let v = Column.get sh.plains.(!gi) r in
+            incr gi;
+            v
+          | Auxview.Sum_of _ ->
+            let v = Column.get sh.sums.(!si) r in
+            incr si;
+            v
+          | Auxview.Min_of _ | Auxview.Max_of _ ->
+            let v = Column.get sh.exts.(!ei) r in
+            incr ei;
+            v
+          | Auxview.Count_star -> Value.Int (Icol.get sh.cnts r)
+        in
+        let row = Array.of_list (List.map cell s.spec.Auxview.columns) in
+        if s.spec.Auxview.compressed then Relation.insert rel row
+        else Relation.insert ~count:(Icol.get sh.cnts r) rel row
+      done)
+    s.shards;
   rel
+
+(* --- byte accounting ----------------------------------------------------- *)
+
+let fold_columns s f acc =
+  Array.fold_left
+    (fun acc (sh : shard) ->
+      let acc = Array.fold_left f acc sh.plains in
+      let acc = Array.fold_left f acc sh.sums in
+      Array.fold_left f acc sh.exts)
+    acc s.shards
+
+let offheap_bytes s =
+  fold_columns s (fun acc c -> acc + Column.offheap_bytes c) 0
+
+(* Per-entry estimate for a stdlib Hashtbl bucket (Cons: 4 words). *)
+let table_entry_bytes = 32
+
+let byte_size s =
+  let cells = fold_columns s (fun acc c -> acc + Column.byte_size c) 0 in
+  let structures =
+    Array.fold_left
+      (fun acc (sh : shard) ->
+        acc + Icol.byte_size sh.cnts + Rowmap.byte_size sh.map
+        + (match sh.by_key with Some bk -> Rowmap.byte_size bk | None -> 0)
+        + List.fold_left
+            (fun acc (_, idx) ->
+              VH.fold
+                (fun _ bucket acc ->
+                  acc + Icol.byte_size bucket + table_entry_bytes)
+                idx.buckets
+                (acc + Icol.byte_size idx.pos))
+            0 sh.indexes)
+      0 s.shards
+  in
+  (* dictionaries, deduplicated by physical identity: shards of one state
+     share per-column dictionaries (and pooled states share across states —
+     those are charged once per state here, which over-reports slightly) *)
+  let dicts =
+    fold_columns s
+      (fun acc c ->
+        match Column.dict c with
+        | Some d when not (List.memq d acc) -> d :: acc
+        | Some _ | None -> acc)
+      []
+  in
+  cells + structures + List.fold_left (fun acc d -> acc + Dict.byte_size d) 0 dicts

@@ -1,0 +1,312 @@
+module Value = Relational.Value
+module BA1 = Bigarray.Array1
+
+module Icol = struct
+  type t = { mutable len : int; mutable cells : int array }
+
+  let create () = { len = 0; cells = [||] }
+  let length c = c.len
+
+  let check c i op =
+    if i < 0 || i >= c.len then
+      invalid_arg (Printf.sprintf "Column.Icol.%s: row %d of %d" op i c.len)
+
+  let get c i =
+    check c i "get";
+    c.cells.(i)
+
+  let set c i v =
+    check c i "set";
+    c.cells.(i) <- v
+
+  let add c i d =
+    check c i "add";
+    c.cells.(i) <- c.cells.(i) + d
+
+  let append c v =
+    if c.len = Array.length c.cells then begin
+      let cells = Array.make (max 16 (2 * c.len)) 0 in
+      Array.blit c.cells 0 cells 0 c.len;
+      c.cells <- cells
+    end;
+    c.cells.(c.len) <- v;
+    c.len <- c.len + 1
+
+  let swap_delete c i =
+    check c i "swap_delete";
+    c.cells.(i) <- c.cells.(c.len - 1);
+    c.len <- c.len - 1
+
+  let copy c = { len = c.len; cells = Array.copy c.cells }
+  let byte_size c = 8 * Array.length c.cells
+end
+
+type int_ba = (int, Bigarray.int_elt, Bigarray.c_layout) BA1.t
+type float_ba = (float, Bigarray.float64_elt, Bigarray.c_layout) BA1.t
+type code_ba = (int32, Bigarray.int32_elt, Bigarray.c_layout) BA1.t
+
+(* Storage specializes on the first appended value; a later type mismatch
+   (or a NULL) demotes the whole column to boxed cells. The relational
+   layer's typed schemas make demotion rare in practice. *)
+type storage =
+  | S_empty
+  | S_int of int_ba
+  | S_float of float_ba
+  | S_dict of { codes : code_ba; dict : Dict.t }
+  | S_boxed of Value.t array
+
+type t = {
+  mutable len : int;
+  mutable storage : storage;
+  dict_hint : Dict.t option;
+  boxed_only : bool;
+}
+
+let create ?dict () =
+  { len = 0; storage = S_empty; dict_hint = dict; boxed_only = false }
+
+let create_boxed () =
+  { len = 0; storage = S_empty; dict_hint = None; boxed_only = true }
+
+let length c = c.len
+
+let check c i op =
+  if i < 0 || i >= c.len then
+    invalid_arg (Printf.sprintf "Column.%s: row %d of %d" op i c.len)
+
+let get c i =
+  check c i "get";
+  match c.storage with
+  | S_empty -> assert false
+  | S_int a -> Value.Int a.{i}
+  | S_float a -> Value.Float a.{i}
+  | S_dict { codes; dict } -> Value.String (Dict.decode dict (Int32.to_int codes.{i}))
+  | S_boxed a -> a.(i)
+
+let grow_int (a : int_ba) n : int_ba =
+  let b = BA1.create Bigarray.int Bigarray.c_layout (max 16 n) in
+  BA1.blit a (BA1.sub b 0 (BA1.dim a));
+  b
+
+let grow_float (a : float_ba) n : float_ba =
+  let b = BA1.create Bigarray.float64 Bigarray.c_layout (max 16 n) in
+  BA1.blit a (BA1.sub b 0 (BA1.dim a));
+  b
+
+let grow_codes (a : code_ba) n : code_ba =
+  let b = BA1.create Bigarray.int32 Bigarray.c_layout (max 16 n) in
+  BA1.blit a (BA1.sub b 0 (BA1.dim a));
+  b
+
+(* Demote to boxed cells, materializing what is already stored. *)
+let to_boxed c =
+  let cells = Array.make (max 16 (2 * c.len)) Value.Null in
+  (match c.storage with
+  | S_empty -> ()
+  | S_int a ->
+    for i = 0 to c.len - 1 do
+      cells.(i) <- Value.Int a.{i}
+    done
+  | S_float a ->
+    for i = 0 to c.len - 1 do
+      cells.(i) <- Value.Float a.{i}
+    done
+  | S_dict { codes; dict } ->
+    for i = 0 to c.len - 1 do
+      cells.(i) <- Value.String (Dict.decode dict (Int32.to_int codes.{i}))
+    done
+  | S_boxed a -> Array.blit a 0 cells 0 c.len);
+  c.storage <- S_boxed cells
+
+let specialize c v =
+  if c.boxed_only then to_boxed c
+  else
+    match v with
+    | Value.Int _ -> c.storage <- S_int (BA1.create Bigarray.int Bigarray.c_layout 16)
+    | Value.Float _ ->
+      c.storage <- S_float (BA1.create Bigarray.float64 Bigarray.c_layout 16)
+    | Value.String _ ->
+      let dict =
+        match c.dict_hint with Some d -> d | None -> Dict.create ()
+      in
+      c.storage <-
+        S_dict { codes = BA1.create Bigarray.int32 Bigarray.c_layout 16; dict }
+    | Value.Null | Value.Bool _ -> to_boxed c
+
+let intern_code dict s =
+  let code = Dict.intern dict s in
+  if code > 0x3FFFFFFF then
+    invalid_arg "Column: dictionary exceeded 2^30 distinct strings";
+  Int32.of_int code
+
+let rec append c v =
+  match c.storage, v with
+  | S_empty, _ ->
+    specialize c v;
+    append c v
+  | S_int a, Value.Int x ->
+    let a = if c.len = BA1.dim a then grow_int a (2 * c.len) else a in
+    a.{c.len} <- x;
+    c.storage <- S_int a;
+    c.len <- c.len + 1
+  | S_float a, Value.Float x ->
+    let a = if c.len = BA1.dim a then grow_float a (2 * c.len) else a in
+    a.{c.len} <- x;
+    c.storage <- S_float a;
+    c.len <- c.len + 1
+  | S_dict { codes; dict }, Value.String s ->
+    let codes =
+      if c.len = BA1.dim codes then grow_codes codes (2 * c.len) else codes
+    in
+    codes.{c.len} <- intern_code dict s;
+    c.storage <- S_dict { codes; dict };
+    c.len <- c.len + 1
+  | S_boxed a, _ ->
+    let a =
+      if c.len = Array.length a then begin
+        let b = Array.make (max 16 (2 * c.len)) Value.Null in
+        Array.blit a 0 b 0 c.len;
+        b
+      end
+      else a
+    in
+    a.(c.len) <- v;
+    c.storage <- S_boxed a;
+    c.len <- c.len + 1
+  | (S_int _ | S_float _ | S_dict _), _ ->
+    to_boxed c;
+    append c v
+
+let set c i v =
+  check c i "set";
+  match c.storage, v with
+  | S_empty, _ -> assert false
+  | S_int a, Value.Int x -> a.{i} <- x
+  | S_float a, Value.Float x -> a.{i} <- x
+  | S_dict { codes; dict }, Value.String s -> codes.{i} <- intern_code dict s
+  | S_boxed a, _ -> a.(i) <- v
+  | (S_int _ | S_float _ | S_dict _), _ -> (
+    to_boxed c;
+    match c.storage with S_boxed a -> a.(i) <- v | _ -> assert false)
+
+let swap_delete c i =
+  check c i "swap_delete";
+  let l = c.len - 1 in
+  (match c.storage with
+  | S_empty -> assert false
+  | S_int a -> a.{i} <- a.{l}
+  | S_float a -> a.{i} <- a.{l}
+  | S_dict { codes; _ } -> codes.{i} <- codes.{l}
+  | S_boxed a ->
+    a.(i) <- a.(l);
+    (* release the vacated box for the GC *)
+    a.(l) <- Value.Null);
+  c.len <- l
+
+let equal_cell c i v =
+  check c i "equal_cell";
+  match c.storage, v with
+  | S_empty, _ -> assert false
+  | S_int a, Value.Int x -> a.{i} = x
+  | S_float a, Value.Float x -> Float.equal a.{i} x
+  | S_dict { codes; dict }, Value.String s ->
+    String.equal (Dict.decode dict (Int32.to_int codes.{i})) s
+  | S_boxed a, _ -> Value.equal a.(i) v
+  | (S_int _ | S_float _ | S_dict _), _ -> false
+
+(* Must agree with [Value.hash] cell-for-cell: shard routing and map probes
+   hash boxed tuples on one side and stored cells on the other. *)
+let hash_cell c i =
+  check c i "hash_cell";
+  match c.storage with
+  | S_empty -> assert false
+  | S_int a -> Hashtbl.hash (0, a.{i})
+  | S_float a -> Hashtbl.hash (1, a.{i})
+  | S_dict { codes; dict } -> Dict.hash dict (Int32.to_int codes.{i})
+  | S_boxed a -> Value.hash a.(i)
+
+let add_cell c i v n =
+  check c i "add_cell";
+  match c.storage, v with
+  | S_int a, Value.Int x -> a.{i} <- a.{i} + (x * n)
+  | S_float a, Value.Float x -> a.{i} <- a.{i} +. (x *. float_of_int n)
+  | S_float a, Value.Int x -> a.{i} <- a.{i} +. float_of_int (x * n)
+  | _ ->
+    (* generic fallback; a type-changing result (Int cell + Float operand)
+       demotes the column via [set] *)
+    set c i (Value.add (get c i) (Value.scale v n))
+
+let sub_cell c i v n =
+  check c i "sub_cell";
+  match c.storage, v with
+  | S_int a, Value.Int x -> a.{i} <- a.{i} - (x * n)
+  | S_float a, Value.Float x -> a.{i} <- a.{i} -. (x *. float_of_int n)
+  | S_float a, Value.Int x -> a.{i} <- a.{i} -. float_of_int (x * n)
+  | _ -> set c i (Value.sub (get c i) (Value.scale v n))
+
+let combine_ext c i v ~is_min =
+  check c i "combine_ext";
+  match c.storage, v with
+  | S_int a, Value.Int x ->
+    if (is_min && x < a.{i}) || ((not is_min) && x > a.{i}) then a.{i} <- x
+  | _ ->
+    let cur = get c i in
+    let cmp = Value.compare v cur in
+    if (is_min && cmp < 0) || ((not is_min) && cmp > 0) then set c i v
+
+let copy c =
+  let storage =
+    match c.storage with
+    | S_empty -> S_empty
+    | S_int a ->
+      let b = BA1.create Bigarray.int Bigarray.c_layout (BA1.dim a) in
+      BA1.blit a b;
+      S_int b
+    | S_float a ->
+      let b = BA1.create Bigarray.float64 Bigarray.c_layout (BA1.dim a) in
+      BA1.blit a b;
+      S_float b
+    | S_dict { codes; dict } ->
+      let b = BA1.create Bigarray.int32 Bigarray.c_layout (BA1.dim codes) in
+      BA1.blit codes b;
+      S_dict { codes = b; dict }
+    | S_boxed a -> S_boxed (Array.copy a)
+  in
+  { c with storage }
+
+let boxed_bytes v =
+  match v with
+  | Value.Null -> 0
+  | Value.Int _ | Value.Float _ | Value.Bool _ -> 16
+  | Value.String s -> 24 + (String.length s / 8 * 8) + 8
+
+let offheap_bytes c =
+  match c.storage with
+  | S_empty | S_boxed _ -> 0
+  | S_int a -> 8 * BA1.dim a
+  | S_float a -> 8 * BA1.dim a
+  | S_dict { codes; _ } -> 4 * BA1.dim codes
+
+let byte_size c =
+  match c.storage with
+  | S_empty -> 0
+  | S_int _ | S_float _ | S_dict _ -> offheap_bytes c
+  | S_boxed a ->
+    let bytes = ref (8 * Array.length a) in
+    for i = 0 to c.len - 1 do
+      bytes := !bytes + boxed_bytes a.(i)
+    done;
+    !bytes
+
+let dict c =
+  match c.storage with
+  | S_dict { dict; _ } -> Some dict
+  | S_empty | S_int _ | S_float _ | S_boxed _ -> None
+
+let kind c =
+  match c.storage with
+  | S_empty -> "empty"
+  | S_int _ -> "int"
+  | S_float _ -> "float"
+  | S_dict _ -> "dict"
+  | S_boxed _ -> "boxed"

@@ -1,0 +1,92 @@
+module Value = Relational.Value
+
+type t = {
+  lock : Mutex.t;
+  codes : (string, int) Hashtbl.t;  (** guarded by [lock] *)
+  strings : string array Atomic.t;
+  hashes : int array Atomic.t;
+  size : int Atomic.t;
+      (** published last: slots below [size] are immutable and initialized *)
+}
+
+let create () =
+  {
+    lock = Mutex.create ();
+    codes = Hashtbl.create 64;
+    strings = Atomic.make (Array.make 16 "");
+    hashes = Atomic.make (Array.make 16 0);
+    size = Atomic.make 0;
+  }
+
+let size d = Atomic.get d.size
+
+let decode d c =
+  let n = Atomic.get d.size in
+  if c < 0 || c >= n then
+    invalid_arg (Printf.sprintf "Dict.decode: code %d of %d" c n);
+  (Atomic.get d.strings).(c)
+
+let hash d c =
+  let n = Atomic.get d.size in
+  if c < 0 || c >= n then
+    invalid_arg (Printf.sprintf "Dict.hash: code %d of %d" c n);
+  (Atomic.get d.hashes).(c)
+
+(* Grow-and-publish: the enlarged array (with every assigned slot blitted)
+   is installed with [Atomic.set] before the new code becomes visible via
+   [size], so lock-free readers never observe an unwritten slot. *)
+let ensure_capacity d n =
+  let cur = Atomic.get d.strings in
+  if Array.length cur < n then begin
+    let cap = max n (2 * Array.length cur) in
+    let strings = Array.make cap "" in
+    Array.blit cur 0 strings 0 (Array.length cur);
+    Atomic.set d.strings strings;
+    let hs = Atomic.get d.hashes in
+    let hashes = Array.make cap 0 in
+    Array.blit hs 0 hashes 0 (Array.length hs);
+    Atomic.set d.hashes hashes
+  end
+
+let intern d s =
+  Mutex.lock d.lock;
+  match Hashtbl.find_opt d.codes s with
+  | Some c ->
+    Mutex.unlock d.lock;
+    c
+  | None ->
+    let c = Atomic.get d.size in
+    ensure_capacity d (c + 1);
+    (Atomic.get d.strings).(c) <- s;
+    (Atomic.get d.hashes).(c) <- Value.hash (Value.String s);
+    Hashtbl.add d.codes s c;
+    Atomic.set d.size (c + 1);
+    Mutex.unlock d.lock;
+    c
+
+let string_bytes s = 24 + (String.length s / 8 * 8) + 8
+
+let byte_size d =
+  let n = Atomic.get d.size in
+  let cap = Array.length (Atomic.get d.strings) in
+  let strings = ref 0 in
+  let arr = Atomic.get d.strings in
+  for c = 0 to n - 1 do
+    strings := !strings + string_bytes arr.(c)
+  done;
+  (* both snapshots (strings + hashes) at 8 B/slot, the intern table at
+     ~3 words per binding, and the interned payloads *)
+  (16 * cap) + (24 * n) + !strings
+
+type pool = (string, t) Hashtbl.t
+
+let create_pool () : pool = Hashtbl.create 16
+
+let shared pool ~table ~column =
+  let key = table ^ "." ^ column in
+  match Hashtbl.find_opt pool key with
+  | Some d -> d
+  | None ->
+    let d = create () in
+    Hashtbl.add pool key d;
+    d

@@ -452,7 +452,7 @@ let dim_update_diff t table ~before ~after =
         match extend_root t root_st row with
         | None -> None
         | Some env ->
-          let cnt = row.Aux_state.cnt in
+          let cnt = Aux_state.cnt row in
           Some (group_key t env, cnt, contribs t env ~cnt))
       !affected
   in
@@ -466,7 +466,7 @@ let dim_update_diff t table ~before ~after =
         match extend_root t root_st row with
         | None -> None
         | Some env ->
-          let cnt = row.Aux_state.cnt in
+          let cnt = Aux_state.cnt row in
           Some (group_key t env, cnt, contribs t env ~cnt))
       !affected
   in
@@ -856,6 +856,10 @@ let init ?(fk_index = true) db (d : Derive.t) =
         spec.Auxview.locals);
     Array.of_list (List.sort_uniq compare !cols)
   in
+  (* one dictionary pool per engine: a string attribute kept in several
+     states (a dimension column in both its auxiliary view and the view
+     state, say) interns each distinct string once *)
+  let dict_pool = Dict.create_pool () in
   let t =
     {
       d;
@@ -863,7 +867,7 @@ let init ?(fk_index = true) db (d : Derive.t) =
       root;
       schemas;
       aux = Hashtbl.create 8;
-      vstate = View_state.create ~shards:nshards view ~determined;
+      vstate = View_state.create ~shards:nshards ~dict_pool view ~determined;
       plans;
       group_plan;
       determined;
@@ -903,7 +907,7 @@ let init ?(fk_index = true) db (d : Derive.t) =
         let st =
           Aux_state.create ~indexed_columns
             ~shards:(if String.equal tbl root then nshards else 1)
-            spec (schema t tbl)
+            ~dict_pool spec (schema t tbl)
         in
         Hashtbl.add t.aux tbl st;
         Database.fold db tbl
@@ -1048,12 +1052,70 @@ let par_threshold () =
     | Some n when n >= 0 -> n
     | Some _ | None -> default_par_threshold)
 
+(* Target slice per domain once dispatch does go parallel: below ~2k ops a
+   worker's share of the fixed costs (undo-journal bookkeeping, two shard
+   barriers, cache refill on its shard partition) outweighs its slice. *)
+let ops_per_domain = 2048
+
+(* How many workers to give a batch of [n] compacted root operations
+   against [resident] stored rows (root auxiliary groups + view groups).
+   1 means inline.
+
+   The old fixed [n < 512] cutoff mispredicts on large states: each
+   worker re-touches its whole shard partition's cache footprint, so the
+   break-even batch size grows with the resident state — measured on the
+   uniform parallel-scaling grid, 10k-op batches over 500k resident rows
+   run ~3x slower parallel than serial (BENCH_parallel.json). Hence the
+   serial floor scales as resident/32, and beyond it the worker count is
+   matched to the batch so each domain keeps >= [ops_per_domain] ops.
+
+   An explicit MINVIEW_PAR_THRESHOLD keeps the fixed-threshold behavior
+   exactly (tests rely on forcing the parallel path with tiny batches).
+   An empty value counts as unset — callers cannot portably remove an
+   environment variable from inside the process, so [putenv var ""] must
+   mean "back to auto dispatch", not "legacy with the default cutoff". *)
+let dispatch_workers ~pool ~resident n =
+  let cap = min (Shard.domains pool) nshards in
+  match Sys.getenv_opt "MINVIEW_PAR_THRESHOLD" with
+  | Some s when String.trim s <> "" ->
+    if n < par_threshold () then 1 else cap
+  | Some _ | None ->
+    let floor = max default_par_threshold (resident / 32) in
+    if n < floor then 1 else min cap (max 2 (n / ops_per_domain))
+
+(* Stored rows a batch's application can touch: view groups, the root
+   auxiliary view it writes, and the dimension auxiliary views the prepare
+   probes read — the cache footprint that sets the parallel break-even. *)
+let resident_rows t =
+  List.fold_left
+    (fun acc tbl ->
+      match aux_of t tbl with
+      | Some st -> acc + Aux_state.row_count st
+      | None -> acc)
+    (View_state.group_count t.vstate)
+    t.view.View.tables
+
+let root_change_count ds =
+  List.fold_left
+    (fun acc (d : Delta.t) ->
+      acc + match d.Delta.change with Delta.Update _ -> 2 | _ -> 1)
+    0 ds
+
+(* Whether a netted batch of [root_changes] raw root operations takes the
+   serial-floor direct path (auto dispatch only — an explicit
+   MINVIEW_PAR_THRESHOLD keeps the merged two-phase path reachable for any
+   batch size, which tests rely on). *)
+let direct_root_dispatch t ~root_changes =
+  (match Sys.getenv_opt "MINVIEW_PAR_THRESHOLD" with
+  | Some s when String.trim s <> "" -> false
+  | Some _ | None -> true)
+  && root_changes < max default_par_threshold (resident_rows t / 32)
+
 let apply_root_ops t pool ops =
   let n = Array.length ops in
   let root_st = aux_of t t.root in
-  let nw =
-    if n < par_threshold () then 1 else min (Shard.domains pool) nshards
-  in
+  let resident = resident_rows t in
+  let nw = dispatch_workers ~pool ~resident n in
   (* Phase A — preparation, read-only on all shared state: membership
      tests and join probes read dimension auxiliary views (concurrent pure
      reads of hash tables are safe; nothing mutates during this phase),
@@ -1103,6 +1165,49 @@ let apply_root_ops t pool ops =
           in
           Array.iter (fun op -> if op.net > 0 then apply_op op) ops;
           Array.iter (fun op -> if op.net < 0 then apply_op op) ops))
+
+(* Serial-floor fast path: in auto-dispatch mode, a batch whose raw
+   root-delta count is already below the serial floor skips the weighted
+   merge and the prepare/apply split — per operation, the dimension probes
+   feed the root-aux and view-state writes directly, with no op records,
+   no projection hashing and no shard-ownership hashing. Exactly
+   equivalent to [root_merge] + [apply_root_ops]: preparation reads only
+   dimension auxiliary views while application writes only the root
+   auxiliary view and the view state (so fusing them per operation changes
+   nothing), and a weighted fold of [k] identical projections equals [k]
+   unit operations. Positive changes still go before negative ones — the
+   same transient-group discipline as phase B. *)
+let apply_root_direct t root_deltas =
+  let root_st = aux_of t t.root in
+  let one sign tup =
+    (match root_st with
+    | Some st when in_aux t t.root tup ->
+      if sign > 0 then Aux_state.insert_base st tup
+      else Aux_state.delete_base st tup
+    | Some _ | None -> ());
+    if passes_locals t t.root tup then
+      match extend t [ (t.root, Base tup) ] t.root with
+      | None -> ()
+      | Some env ->
+        let key = group_key t env in
+        let cs = contribs t env ~cnt:1 in
+        if sign > 0 then View_state.feed t.vstate ~key ~cnt:1 cs
+        else View_state.unfeed t.vstate ~key ~cnt:1 cs
+  in
+  List.iter
+    (fun (d : Delta.t) ->
+      match d.Delta.change with
+      | Delta.Insert tup -> one 1 tup
+      | Delta.Update { after; _ } -> one 1 after
+      | Delta.Delete _ -> ())
+    root_deltas;
+  List.iter
+    (fun (d : Delta.t) ->
+      match d.Delta.change with
+      | Delta.Delete tup -> one (-1) tup
+      | Delta.Update { before; _ } -> one (-1) before
+      | Delta.Insert _ -> ())
+    root_deltas
 
 (* Netted batch application: dimension phases run serially in join-tree
    order (inserts leaves-first so join partners exist, deletes root-first so
@@ -1219,34 +1324,37 @@ let apply_batch_parallel t pool deltas =
               | Delta.Insert _ | Delta.Delete _ -> ())
             ds)
         deep_first);
-  let ops =
-    Telemetry.with_phase Obs.weighted_merge "engine.weighted-merge" (fun () ->
-        root_merge t !root_deltas)
+  let root_changes = root_change_count !root_deltas in
+  let dim_ops () =
+    List.fold_left (fun acc (_, _, ds) -> acc + List.length ds) 0 deep_first
   in
   let applied_ops = ref 0 in
-  if Telemetry.enabled () then begin
-    let root_changes =
-      List.fold_left
-        (fun acc (d : Delta.t) ->
-          acc
-          + match d.Delta.change with Delta.Update _ -> 2 | _ -> 1)
-        0 !root_deltas
+  if direct_root_dispatch t ~root_changes then begin
+    if Telemetry.enabled () then begin
+      applied_ops := dim_ops () + root_changes;
+      Telemetry.Counter.inc Obs.ops_applied !applied_ops
+    end;
+    Telemetry.with_phase Obs.shard_apply "engine.shard-apply" (fun () ->
+        apply_root_direct t !root_deltas)
+  end
+  else begin
+    let ops =
+      Telemetry.with_phase Obs.weighted_merge "engine.weighted-merge"
+        (fun () -> root_merge t !root_deltas)
     in
-    Telemetry.Counter.inc Obs.merge_folds (root_changes - Array.length ops);
-    let dim_ops =
-      List.fold_left
-        (fun acc (_, _, ds) -> acc + List.length ds)
-        0 deep_first
-    in
-    let root_ops =
-      Array.fold_left
-        (fun acc op -> if op.net <> 0 then acc + 1 else acc)
-        0 ops
-    in
-    applied_ops := dim_ops + root_ops;
-    Telemetry.Counter.inc Obs.ops_applied !applied_ops
+    if Telemetry.enabled () then begin
+      Telemetry.Counter.inc Obs.merge_folds
+        (root_changes - Array.length ops);
+      let root_ops =
+        Array.fold_left
+          (fun acc op -> if op.net <> 0 then acc + 1 else acc)
+          0 ops
+      in
+      applied_ops := dim_ops () + root_ops;
+      Telemetry.Counter.inc Obs.ops_applied !applied_ops
+    end;
+    apply_root_ops t pool ops
   end;
-  apply_root_ops t pool ops;
   Telemetry.with_phase Obs.dim_apply "engine.dim-apply" (fun () ->
       List.iter
         (fun (_, tbl, ds) ->
@@ -1300,10 +1408,15 @@ let net_profile t deltas =
         else (dims + List.length ds, root))
       (0, []) net.Delta_batch.tables
   in
+  let root_changes = root_change_count root_ds in
   let root_ops =
-    Array.fold_left
-      (fun acc (op : root_op) -> if op.net <> 0 then acc + 1 else acc)
-      0 (root_merge t root_ds)
+    (* mirror the dispatch: below the serial floor the fast path applies
+       the netted root deltas directly, without the weighted merge *)
+    if direct_root_dispatch t ~root_changes then root_changes
+    else
+      Array.fold_left
+        (fun acc (op : root_op) -> if op.net <> 0 then acc + 1 else acc)
+        0 (root_merge t root_ds)
   in
   {
     input = List.length deltas;
@@ -1332,6 +1445,20 @@ let storage_profile t =
              ( (Aux_state.spec st).Auxview.name,
                Aux_state.row_count st,
                List.length (Aux_state.spec st).Auxview.columns ))
+           (aux_of t tbl))
+       t.view.View.tables
+
+(* Measured resident bytes per stored object, in [storage_profile] order:
+   the columnar layout accounts allocated cell bytes per column (Bigarray
+   payloads included), so this is a measurement, not the bytes-per-field
+   estimate. *)
+let measured_bytes t =
+  (t.view.View.name, View_state.byte_size t.vstate)
+  :: List.filter_map
+       (fun tbl ->
+         Option.map
+           (fun st ->
+             ((Aux_state.spec st).Auxview.name, Aux_state.byte_size st))
            (aux_of t tbl))
        t.view.View.tables
 
@@ -1371,7 +1498,7 @@ let audit ~sample t =
         | Some env ->
           let key = group_key t env in
           if TH.mem sampled key then
-            let cnt = row.Aux_state.cnt in
+            let cnt = Aux_state.cnt row in
             View_state.feed scratch ~key ~cnt (contribs t env ~cnt));
     let expected_cnt = TH.create 64 in
     View_state.fold_groups scratch

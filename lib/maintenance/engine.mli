@@ -99,8 +99,10 @@ val apply_batch : ?parallel:Shard.pool -> t -> Relational.Delta.t list -> unit
 
 (** What {!apply_batch}'s fast path would do to a batch, without applying
     it: [input] raw deltas, [netted] after per-key compaction, [applied]
-    operations actually issued (net dimension deltas + merged weighted root
-    operations). *)
+    operations actually issued — net dimension deltas plus merged weighted
+    root operations, or the netted root deltas as-is when the batch sits
+    below the auto dispatcher's serial floor (where the fast path applies
+    them directly, skipping the weighted merge). *)
 type batch_profile = { input : int; netted : int; applied : int }
 
 val net_profile : t -> Relational.Delta.t list -> batch_profile
@@ -114,6 +116,12 @@ val aux_contents : t -> (string * Relational.Relation.t) list
 (** (name, rows, fields-per-row) for every stored object: the view itself and
     each auxiliary view. Input to the storage model. *)
 val storage_profile : t -> (string * int * int) list
+
+(** (name, resident bytes) for every stored object, in {!storage_profile}
+    order. Unlike the storage model's rows x fields x bytes-per-field
+    estimate, this is measured from the columnar segments' per-column byte
+    accounting ({!Aux_state.byte_size}, {!View_state.byte_size}). *)
+val measured_bytes : t -> (string * int) list
 
 (** {2 Lineage and drift auditing} *)
 

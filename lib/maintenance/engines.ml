@@ -152,6 +152,13 @@ let detail_profile = function
           Schema.arity (Database.schema_of replica tbl) ))
       view.View.tables
 
+(* Measured bytes only exist for columnar state; the recompute baseline
+   stores a boxed replica, so it keeps the estimate-only path. *)
+let measured_bytes = function
+  | Incremental { engine; _ } -> Some (Engine.measured_bytes engine)
+  | Split p -> Some (Partitioned.measured_bytes p)
+  | Recompute _ -> None
+
 let derivation = function
   | Incremental { engine; _ } -> Some (Engine.derivation engine)
   | Recompute _ | Split _ -> None

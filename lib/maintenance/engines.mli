@@ -103,6 +103,12 @@ val capture : t -> Relational.Relation.t
     configuration stores besides the view itself. *)
 val detail_profile : t -> (string * int * int) list
 
+(** Measured resident bytes per stored object (view first, then auxiliary
+    views), from the columnar segments' byte accounting. [None] for the
+    recompute baseline, whose boxed replica has no measured size — callers
+    fall back to the bytes-per-field estimate. *)
+val measured_bytes : t -> (string * int) list option
+
 (** The derivation backing an incremental configuration, if any. *)
 val derivation : t -> Mindetail.Derive.t option
 

@@ -226,3 +226,9 @@ let detail_profile t =
       (match Engine.storage_profile t.current_engine with
       | _ :: aux -> aux
       | [] -> [])
+
+let measured_bytes t =
+  List.map (fun (n, b) -> ("old/" ^ n, b)) (Engine.measured_bytes t.old_engine)
+  @ List.map
+      (fun (n, b) -> ("current/" ^ n, b))
+      (Engine.measured_bytes t.current_engine)

@@ -76,3 +76,8 @@ val view_contents : t -> Relational.Relation.t
 (** (name, rows, fields) across both partitions' detail data, with
     "old/"- and "current/"-prefixed object names. *)
 val detail_profile : t -> (string * int * int) list
+
+(** Measured resident bytes across both partitions' stored objects (views
+    included), with "old/"- and "current/"-prefixed names — see
+    {!Engine.measured_bytes}. *)
+val measured_bytes : t -> (string * int) list

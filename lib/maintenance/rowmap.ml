@@ -1,0 +1,134 @@
+(* Slots are 32-bit entries packed in [Bytes] — row ids are segment offsets
+   and stay far below 2^31, and halving the slot width matters: the slot
+   table is the largest per-row overhead of the columnar representation
+   (the bytes/aux-row numbers in BENCH_columnar.json count it).
+
+   Slot encoding: [empty] never held an entry (terminates probe chains);
+   [tombstone] held one once (does not terminate chains). *)
+let empty = -1
+let tombstone = -2
+
+type t = {
+  hash : int -> int;
+  mutable slots : Bytes.t;  (** 4 bytes per slot, native endian *)
+  mutable mask : int;
+  mutable live : int;
+  mutable fill : int;  (** live + tombstones *)
+}
+
+let slot_get slots i = Int32.to_int (Bytes.get_int32_ne slots (4 * i))
+let slot_set slots i v = Bytes.set_int32_ne slots (4 * i) (Int32.of_int v)
+
+(* every byte 0xff = each int32 slot reads as [empty] *)
+let make_slots cap = Bytes.make (4 * cap) '\xff'
+
+let rec pow2 n c = if c >= n then c else pow2 n (2 * c)
+
+let create ?(hint = 8) ~hash () =
+  let cap = pow2 (max 8 hint) 8 in
+  { hash; slots = make_slots cap; mask = cap - 1; live = 0; fill = 0 }
+
+let length t = t.live
+
+let rehash t cap =
+  let old = t.slots in
+  let slots = make_slots cap in
+  let mask = cap - 1 in
+  for s = 0 to (Bytes.length old / 4) - 1 do
+    let row = slot_get old s in
+    if row >= 0 then begin
+      let i = ref (t.hash row land mask) in
+      while slot_get slots !i <> empty do
+        i := (!i + 1) land mask
+      done;
+      slot_set slots !i row
+    end
+  done;
+  t.slots <- slots;
+  t.mask <- mask;
+  t.fill <- t.live
+
+(* Grow when 3/4 full (counting tombstones); shrink tombstone load by
+   rehashing in place when live entries alone would fit twice over. *)
+let maybe_grow t =
+  if 4 * (t.fill + 1) > 3 * (t.mask + 1) then
+    rehash t
+      (if 4 * (t.live + 1) > 3 * (t.mask + 1) / 2 then 2 * (t.mask + 1)
+       else t.mask + 1)
+
+let find t ~hash ~eq =
+  let mask = t.mask and slots = t.slots in
+  let rec probe i =
+    let s = slot_get slots i in
+    if s = empty then None
+    else if s >= 0 && eq s then Some s
+    else probe ((i + 1) land mask)
+  in
+  probe (hash land mask)
+
+let add t ~hash row =
+  maybe_grow t;
+  let mask = t.mask and slots = t.slots in
+  let rec probe i =
+    let s = slot_get slots i in
+    if s = empty || s = tombstone then begin
+      slot_set slots i row;
+      t.live <- t.live + 1;
+      if s = empty then t.fill <- t.fill + 1
+    end
+    else probe ((i + 1) land mask)
+  in
+  probe (hash land mask)
+
+let replace t ~hash ~eq row =
+  let mask = t.mask and slots = t.slots in
+  let rec probe i =
+    let s = slot_get slots i in
+    if s = empty then None
+    else if s >= 0 && eq s then begin
+      slot_set slots i row;
+      Some s
+    end
+    else probe ((i + 1) land mask)
+  in
+  match probe (hash land mask) with
+  | Some _ as prev -> prev
+  | None ->
+    add t ~hash row;
+    None
+
+let remove_value t ~hash row =
+  let mask = t.mask and slots = t.slots in
+  let rec probe i =
+    let s = slot_get slots i in
+    if s = empty then false
+    else if s = row then begin
+      slot_set slots i tombstone;
+      t.live <- t.live - 1;
+      true
+    end
+    else probe ((i + 1) land mask)
+  in
+  probe (hash land mask)
+
+let rename_value t ~hash ~old_row ~new_row =
+  let mask = t.mask and slots = t.slots in
+  let rec probe i =
+    let s = slot_get slots i in
+    if s = empty then false
+    else if s = old_row then begin
+      slot_set slots i new_row;
+      true
+    end
+    else probe ((i + 1) land mask)
+  in
+  probe (hash land mask)
+
+let iter t f =
+  for i = 0 to t.mask do
+    let s = slot_get t.slots i in
+    if s >= 0 then f s
+  done
+
+let copy t ~hash = { t with hash; slots = Bytes.copy t.slots }
+let byte_size t = Bytes.length t.slots

@@ -1,0 +1,48 @@
+(** Open-addressing hash index from keys stored {e in} columnar rows to row
+    ids.
+
+    A [Rowmap] never stores keys: a slot holds only a row id, and the key
+    lives in the owning state's columns. Probing therefore takes the key's
+    hash plus an equality closure over row ids; resizing rehashes via the
+    [hash] closure given at creation (which reads the current cells of a
+    row). Linear probing with tombstones — removals never break probe
+    chains. *)
+
+type t
+
+(** [create ~hash ()] with [hash row] = the hash of row [row]'s key cells
+    (must agree with the hash callers pass to the probe operations). *)
+val create : ?hint:int -> hash:(int -> int) -> unit -> t
+
+(** Number of live entries. *)
+val length : t -> int
+
+(** [find t ~hash ~eq] is the row of the unique entry whose key matches
+    ([eq row] decides), if present. *)
+val find : t -> hash:int -> eq:(int -> bool) -> int option
+
+(** [add t ~hash row] inserts an entry. The caller guarantees no entry with
+    an equal key exists. *)
+val add : t -> hash:int -> int -> unit
+
+(** [replace t ~hash ~eq row] upserts, returning the replaced entry's row
+    (steal semantics for by-key maps). *)
+val replace : t -> hash:int -> eq:(int -> bool) -> int -> int option
+
+(** [remove_value t ~hash row] removes the entry holding exactly [row]
+    (searched along [hash]'s probe chain); [false] if absent. *)
+val remove_value : t -> hash:int -> int -> bool
+
+(** [rename_value t ~hash ~old_row ~new_row] re-points the entry holding
+    [old_row] (searched along [hash]'s probe chain) at [new_row]; [false]
+    if absent. Used when swap-with-last deletion renumbers a row. *)
+val rename_value : t -> hash:int -> old_row:int -> new_row:int -> bool
+
+(** Iterate over live rows (arbitrary order). *)
+val iter : t -> (int -> unit) -> unit
+
+(** [copy t ~hash] duplicates the slot table; [hash] must read the {e new}
+    owner's columns. *)
+val copy : t -> hash:(int -> int) -> t
+
+val byte_size : t -> int

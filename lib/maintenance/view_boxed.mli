@@ -1,4 +1,7 @@
-(** Materialized state of the GPSJ view itself.
+(** Boxed reference implementation of {!View_state} (one record per group).
+
+    Kept as the oracle for the columnar storage equivalence tests and as
+    the baseline of [bench columnar]; not used by the engine itself.
 
     Following the paper's convention that view aggregates are replaced by
     their Table 2 distributive components before maintenance (Section 3.1),
@@ -26,14 +29,8 @@ type t
     and the undo journal into hash shards so a parallel applier can hand
     disjoint shards to disjoint domains; sharding is invisible to accessors
     and to {!equal}.
-
-    Groups are stored columnar ({!Column}): typed key and component columns
-    with row ids as group identity, materialized back to boxed tuples only
-    at the interface. [dict_pool] shares string dictionaries per
-    (table, column) with the auxiliary-view states built from the same pool.
     @raise Invalid_argument if [shards] is not a positive power of two. *)
-val create :
-  ?shards:int -> ?dict_pool:Dict.pool -> Algebra.View.t -> determined:bool -> t
+val create : ?shards:int -> Algebra.View.t -> determined:bool -> t
 
 val shard_count : t -> int
 
@@ -114,12 +111,3 @@ val fold_groups : t -> (Relational.Tuple.t -> int -> 'a -> 'a) -> 'a -> 'a
 
 (** Render the view contents in select-list order. *)
 val render : t -> Relational.Relation.t
-
-(** Resident bytes of this state: key and component columns (including
-    off-heap Bigarray payloads), count columns, key maps and string
-    dictionaries (each counted once per state). *)
-val byte_size : t -> int
-
-(** Off-heap (Bigarray payload) bytes only — the part of {!byte_size} that
-    [Obj.reachable_words] cannot see. *)
-val offheap_bytes : t -> int

@@ -1,9 +1,11 @@
 module View = Algebra.View
 module Select_item = Algebra.Select_item
 module Aggregate = Algebra.Aggregate
+module Attr = Algebra.Attr
 module Relation = Relational.Relation
 module Tuple = Relational.Tuple
 module Value = Relational.Value
+module Icol = Column.Icol
 
 module TH = Hashtbl.Make (struct
   type t = Tuple.t
@@ -17,28 +19,46 @@ type contrib =
   | C_sum of { amount : Value.t; n : int }
   | C_value of Value.t
 
-(* One aggregate's internal components within a group. *)
-type agg_state =
-  | S_count of int
-  | S_sum of { sum : Value.t; n : int }
-  | S_extremum of Value.t option
-  | S_distinct of Value.t option
+(* Physical layout mirrors {!Aux_state}: groups are row ids into parallel
+   typed columns — one column per group-key attribute plus per-aggregate
+   component columns ([slot]s below) and a dense base-row-count column.
+   Extremum and DISTINCT components live in boxed columns because they need
+   an absent state; [Value.Null] is the [None] sentinel (base data is
+   null-free, Section 2.1). *)
 
-type group = { mutable cnt0 : int; accs : agg_state array }
+(* One aggregate's component storage across all groups of a shard. *)
+type slot =
+  | L_group  (** group-by item: its cells live in the key columns *)
+  | L_count of Icol.t
+  | L_sum of { sum : Column.t; n : Icol.t }
+  | L_ext of Column.t  (** current extremum; [Null] = pending recompute *)
+  | L_dist of Column.t  (** DISTINCT result; [Null] = pending recompute *)
 
-(* First-touch before-image of one group under an open transaction. *)
+(* First-touch before-image of one group under an open transaction, keyed
+   by group key (row ids are renumbered by swap-with-last deletion, so only
+   keys are stable across a batch). *)
+type saved_acc =
+  | Sv_group
+  | Sv_count of int
+  | Sv_sum of { sum : Value.t; n : int }
+  | Sv_value of Value.t  (** extremum / distinct cell, [Null] = pending *)
+
 type saved_group =
   | Absent
-  | Present of { cnt0 : int; accs : agg_state array }
+  | Present of { cnt0 : int; accs : saved_acc array }
 
 type txn = { saved : saved_group TH.t; dirty0 : unit TH.t }
 
-(* One hash-shard of the view state: groups, the dirty set and the undo
-   journal all live per shard so parallel appliers owning disjoint shards
-   never share a hash table. Group keys entering a shard's tables are
-   copied on retention, because callers may pass reused scratch buffers. *)
+(* One hash-shard of the view state: key columns, component columns, the
+   dirty set and the undo journal all live per shard so parallel appliers
+   owning disjoint shards never share a structure. Group keys entering the
+   dirty set or the journal are copied on retention, because callers may
+   pass reused scratch buffers. *)
 type shard = {
-  groups : group TH.t;
+  keys : Column.t array;
+  slots : slot array;
+  cnt0 : Icol.t;
+  map : Rowmap.t;  (** group key (= key cells) -> row id *)
   dirty : unit TH.t;
   mutable txn : txn option;
 }
@@ -51,36 +71,176 @@ type t = {
   shards : shard array;
 }
 
-let create ?(shards = 1) view ~determined =
+(* Row-key hash over the key cells; must agree with [Tuple.hash] of the
+   boxed group key. *)
+let key_hash_cols (keys : Column.t array) r =
+  Array.fold_left (fun acc c -> (acc * 31) + Column.hash_cell c r) 17 keys
+
+let nrows (sh : shard) = Icol.length sh.cnt0
+
+let create ?(shards = 1) ?dict_pool view ~determined =
   if shards < 1 || shards land (shards - 1) <> 0 then
     invalid_arg "View_state.create: shard count is not a power of two";
+  let items = Array.of_list view.View.select in
+  let key_attrs = Array.of_list (View.group_attrs view) in
+  let mk_slot (item : Select_item.t) =
+    match item with
+    | Select_item.Group _ -> L_group
+    | Select_item.Agg agg -> (
+      if agg.Aggregate.distinct then L_dist (Column.create_boxed ())
+      else
+        match agg.Aggregate.func with
+        | Aggregate.Count | Aggregate.Count_star -> L_count (Icol.create ())
+        | Aggregate.Sum | Aggregate.Avg ->
+          L_sum { sum = Column.create (); n = Icol.create () }
+        | Aggregate.Min | Aggregate.Max -> L_ext (Column.create_boxed ()))
+  in
+  let mk_shard () =
+    let keys =
+      Array.map
+        (fun (a : Attr.t) ->
+          let dict =
+            Option.map
+              (fun pool -> Dict.shared pool ~table:a.Attr.table ~column:a.Attr.column)
+              dict_pool
+          in
+          Column.create ?dict ())
+        key_attrs
+    in
+    {
+      keys;
+      slots = Array.map mk_slot items;
+      cnt0 = Icol.create ();
+      map = Rowmap.create ~hash:(fun r -> key_hash_cols keys r) ();
+      dirty = TH.create 16;
+      txn = None;
+    }
+  in
   {
     view;
     determined;
-    items = Array.of_list view.View.select;
+    items;
     mask = shards - 1;
-    shards =
-      Array.init shards (fun _ ->
-          { groups = TH.create 256; dirty = TH.create 16; txn = None });
+    shards = Array.init shards (fun _ -> mk_shard ());
   }
 
 let shard_count t = Array.length t.shards
 let shard_of_key t key = if t.mask = 0 then 0 else Tuple.hash key land t.mask
 let shard_for t key = t.shards.(shard_of_key t key)
-let find_group t key = TH.find_opt (shard_for t key).groups key
+
+let row_matches_key (sh : shard) r (key : Tuple.t) =
+  let n = Array.length key in
+  let rec ok i =
+    i >= n || Column.equal_cell sh.keys.(i) r key.(i) && ok (i + 1)
+  in
+  ok 0
+
+let find_row (sh : shard) key =
+  Rowmap.find sh.map ~hash:(Tuple.hash key) ~eq:(fun r -> row_matches_key sh r key)
+
+let key_at (sh : shard) r =
+  Array.init (Array.length sh.keys) (fun i -> Column.get sh.keys.(i) r)
+
+(* --- row attach / detach ------------------------------------------------- *)
+
+let saved_accs (sh : shard) r =
+  Array.map
+    (function
+      | L_group -> Sv_group
+      | L_count c -> Sv_count (Icol.get c r)
+      | L_sum { sum; n } -> Sv_sum { sum = Column.get sum r; n = Icol.get n r }
+      | L_ext v | L_dist v -> Sv_value (Column.get v r))
+    sh.slots
+
+(* Append a group with explicit component values (journal restore, group
+   moves). *)
+let append_saved (sh : shard) key cnt0 accs =
+  let r = nrows sh in
+  Array.iteri (fun i v -> Column.append sh.keys.(i) v) key;
+  Array.iteri
+    (fun i slot ->
+      match slot, accs.(i) with
+      | L_group, Sv_group -> ()
+      | L_count c, Sv_count x -> Icol.append c x
+      | L_sum { sum; n }, Sv_sum { sum = s; n = m } ->
+        Column.append sum s;
+        Icol.append n m
+      | (L_ext v | L_dist v), Sv_value x -> Column.append v x
+      | (L_group | L_count _ | L_sum _ | L_ext _ | L_dist _), _ ->
+        assert false)
+    sh.slots;
+  Icol.append sh.cnt0 cnt0;
+  Rowmap.add sh.map ~hash:(Tuple.hash key) r;
+  r
+
+(* Append a fresh group. Sum components are seeded with the zero of their
+   first contribution's type so the column specializes to the right numeric
+   storage (a later type change demotes the column to boxed cells). *)
+let append_fresh (sh : shard) key (contribs : contrib option array) =
+  let r = nrows sh in
+  Array.iteri (fun i v -> Column.append sh.keys.(i) v) key;
+  Array.iteri
+    (fun i slot ->
+      match slot with
+      | L_group -> ()
+      | L_count c -> Icol.append c 0
+      | L_sum { sum; n } ->
+        let zero =
+          match contribs.(i) with
+          | Some (C_sum { amount; n = _ }) -> Value.zero_like amount
+          | Some (C_count _ | C_value _) | None -> Value.Int 0
+        in
+        Column.append sum zero;
+        Icol.append n 0
+      | L_ext v | L_dist v -> Column.append v Value.Null)
+    sh.slots;
+  Icol.append sh.cnt0 0;
+  Rowmap.add sh.map ~hash:(Tuple.hash key) r;
+  r
+
+(* Swap-with-last removal of row [r], re-pointing the moved row's map
+   entry. *)
+let delete_row (sh : shard) r =
+  let l = nrows sh - 1 in
+  ignore (Rowmap.remove_value sh.map ~hash:(key_hash_cols sh.keys r) r);
+  if r <> l then
+    ignore
+      (Rowmap.rename_value sh.map ~hash:(key_hash_cols sh.keys l) ~old_row:l
+         ~new_row:r);
+  Array.iter (fun c -> Column.swap_delete c r) sh.keys;
+  Array.iter
+    (function
+      | L_group -> ()
+      | L_count c -> Icol.swap_delete c r
+      | L_sum { sum; n } ->
+        Column.swap_delete sum r;
+        Icol.swap_delete n r
+      | L_ext v | L_dist v -> Column.swap_delete v r)
+    sh.slots;
+  Icol.swap_delete sh.cnt0 r
 
 let copy t =
-  let copy_shard sh =
-    let groups = TH.create (max 16 (TH.length sh.groups)) in
-    TH.iter
-      (fun key (g : group) ->
-        TH.add groups key { cnt0 = g.cnt0; accs = Array.copy g.accs })
-      sh.groups;
-    { groups; dirty = TH.copy sh.dirty; txn = None }
+  let copy_slot = function
+    | L_group -> L_group
+    | L_count c -> L_count (Icol.copy c)
+    | L_sum { sum; n } -> L_sum { sum = Column.copy sum; n = Icol.copy n }
+    | L_ext v -> L_ext (Column.copy v)
+    | L_dist v -> L_dist (Column.copy v)
+  in
+  let copy_shard (sh : shard) =
+    let keys = Array.map Column.copy sh.keys in
+    {
+      keys;
+      slots = Array.map copy_slot sh.slots;
+      cnt0 = Icol.copy sh.cnt0;
+      map = Rowmap.copy sh.map ~hash:(fun r -> key_hash_cols keys r);
+      dirty = TH.copy sh.dirty;
+      txn = None;
+    }
   in
   { t with shards = Array.map copy_shard t.shards }
 
-(* --- transactions ------------------------------------------------------- *)
+(* --- transactions -------------------------------------------------------- *)
 
 let in_txn t = t.shards.(0).txn <> None
 
@@ -93,16 +253,18 @@ let begin_txn t =
     (fun sh -> sh.txn <- Some { saved = TH.create 64; dirty0 = TH.copy sh.dirty })
     t.shards
 
-(* [key] may alias a caller's scratch buffer; copied if retained. *)
-let note sh key =
+(* Journal [key]'s before-image, once per transaction, before any mutation
+   of the group at [row] (or its creation). [key] may alias a caller's
+   scratch buffer; copied if retained. *)
+let note_known (sh : shard) key row =
   match sh.txn with
   | None -> ()
   | Some { saved; _ } ->
     if not (TH.mem saved key) then
       TH.add saved (Array.copy key)
-        (match TH.find_opt sh.groups key with
+        (match row with
         | None -> Absent
-        | Some g -> Present { cnt0 = g.cnt0; accs = Array.copy g.accs })
+        | Some r -> Present { cnt0 = Icol.get sh.cnt0 r; accs = saved_accs sh r })
 
 let commit t =
   if t.shards.(0).txn = None then
@@ -113,20 +275,36 @@ let rollback t =
   if t.shards.(0).txn = None then
     invalid_arg "View_state.rollback: no open transaction";
   Array.iter
-    (fun sh ->
+    (fun (sh : shard) ->
       match sh.txn with
       | None -> ()
       | Some { saved; dirty0 } ->
         TH.iter
           (fun key before ->
-            match before, TH.find_opt sh.groups key with
-            | Absent, None -> ()
-            | Absent, Some _ -> TH.remove sh.groups key
-            | Present p, Some g ->
-              g.cnt0 <- p.cnt0;
-              Array.blit p.accs 0 g.accs 0 (Array.length p.accs)
-            | Present p, None ->
-              TH.add sh.groups key { cnt0 = p.cnt0; accs = p.accs })
+            match before, find_row sh key with
+            | Absent, Some r -> delete_row sh r
+            | Absent, None | Present _, _ -> ())
+          saved;
+        TH.iter
+          (fun key before ->
+            match before, find_row sh key with
+            | Absent, _ -> ()
+            | Present p, Some r ->
+              Icol.set sh.cnt0 r p.cnt0;
+              Array.iteri
+                (fun i slot ->
+                  match slot, p.accs.(i) with
+                  | L_group, Sv_group -> ()
+                  | L_count c, Sv_count x -> Icol.set c r x
+                  | L_sum { sum; n }, Sv_sum { sum = s; n = m } ->
+                    Column.set sum r s;
+                    Icol.set n r m
+                  | (L_ext v | L_dist v), Sv_value x -> Column.set v r x
+                  | (L_group | L_count _ | L_sum _ | L_ext _ | L_dist _), _
+                    ->
+                    assert false)
+                sh.slots
+            | Present p, None -> ignore (append_saved sh key p.cnt0 p.accs))
           saved;
         TH.reset sh.dirty;
         TH.iter (fun key () -> TH.add sh.dirty key ()) dirty0;
@@ -134,35 +312,10 @@ let rollback t =
     t.shards
 
 let view t = t.view
+let group_count t = Array.fold_left (fun acc sh -> acc + nrows sh) 0 t.shards
 
-let group_count t =
-  Array.fold_left (fun acc sh -> acc + TH.length sh.groups) 0 t.shards
-
-let initial_state (item : Select_item.t) =
-  match item with
-  | Select_item.Group _ -> S_count 0 (* placeholder, never consulted *)
-  | Select_item.Agg agg -> (
-    if agg.Aggregate.distinct then S_distinct None
-    else
-      match agg.Aggregate.func with
-      | Aggregate.Count | Aggregate.Count_star -> S_count 0
-      | Aggregate.Sum | Aggregate.Avg -> S_sum { sum = Value.Int 0; n = 0 }
-      | Aggregate.Min | Aggregate.Max -> S_extremum None)
-
-let mark_dirty sh key =
+let mark_dirty (sh : shard) key =
   if not (TH.mem sh.dirty key) then TH.add sh.dirty (Array.copy key) ()
-
-let combine_extremum (agg : Aggregate.t) cur v =
-  match cur with
-  | None -> Some v
-  | Some m ->
-    let better =
-      match agg.Aggregate.func with
-      | Aggregate.Min -> Value.compare v m < 0
-      | Aggregate.Max -> Value.compare v m > 0
-      | _ -> assert false
-    in
-    Some (if better then v else m)
 
 (* The finalized value of a DISTINCT aggregate over a singleton value set —
    the determined case. *)
@@ -173,117 +326,123 @@ let singleton_distinct (agg : Aggregate.t) v =
   | Aggregate.Avg -> Value.div_as_float v (Value.Int 1)
   | Aggregate.Count_star -> assert false
 
-let apply_contrib t sh key ~sign g i (item : Select_item.t) contrib =
+let apply_contrib t (sh : shard) key ~sign r i (item : Select_item.t) contrib =
   let agg =
     match item with
     | Select_item.Agg a -> a
     | Select_item.Group _ -> assert false (* group items carry no contrib *)
   in
-  match g.accs.(i), contrib with
-  | S_count n, C_count d -> g.accs.(i) <- S_count (n + (sign * d))
-  | S_sum { sum; n }, C_sum { amount; n = dn } ->
-    let sum =
-      if sign > 0 then Value.add sum amount else Value.sub sum amount
-    in
-    g.accs.(i) <- S_sum { sum; n = n + (sign * dn) }
-  | S_extremum cur, C_value v ->
-    if sign > 0 then
-      g.accs.(i) <- S_extremum (combine_extremum agg cur v)
+  match sh.slots.(i), contrib with
+  | L_count c, C_count d -> Icol.add c r (sign * d)
+  | L_sum { sum; n }, C_sum { amount; n = dn } ->
+    if sign > 0 then Column.add_cell sum r amount 1
+    else Column.sub_cell sum r amount 1;
+    Icol.add n r (sign * dn)
+  | L_ext cell, C_value v ->
+    if sign > 0 then begin
+      match Column.get cell r with
+      | Value.Null -> Column.set cell r v
+      | cur ->
+        let better =
+          match agg.Aggregate.func with
+          | Aggregate.Min -> Value.compare v cur < 0
+          | Aggregate.Max -> Value.compare v cur > 0
+          | _ -> assert false
+        in
+        if better then Column.set cell r v
+    end
     else if not t.determined then begin
       (* deletion of the current extremum invalidates the component *)
-      match cur with
-      | Some m when Value.equal m v -> mark_dirty sh key
-      | Some _ | None -> ()
+      match Column.get cell r with
+      | Value.Null -> ()
+      | cur -> if Value.equal cur v then mark_dirty sh key
     end
-  | S_distinct cur, C_value v ->
+  | L_dist cell, C_value v ->
     if t.determined then begin
       (* the argument is functionally determined by the group key: the value
          set is a singleton fixed at group creation *)
-      if cur = None then g.accs.(i) <- S_distinct (Some (singleton_distinct agg v))
+      match Column.get cell r with
+      | Value.Null -> Column.set cell r (singleton_distinct agg v)
+      | _ -> ()
     end
     else mark_dirty sh key
-  | (S_count _ | S_sum _ | S_extremum _ | S_distinct _), _ ->
+  | (L_group | L_count _ | L_sum _ | L_ext _ | L_dist _), _ ->
     invalid_arg "View_state: contribution does not match aggregate state"
 
 let feed t ~key ~cnt contribs =
   let sh = shard_for t key in
-  note sh key;
-  let g =
-    match TH.find_opt sh.groups key with
-    | Some g -> g
-    | None ->
-      let g = { cnt0 = 0; accs = Array.map initial_state t.items } in
-      TH.add sh.groups (Array.copy key) g;
-      g
-  in
-  g.cnt0 <- g.cnt0 + cnt;
+  let row = find_row sh key in
+  note_known sh key row;
+  let r = match row with Some r -> r | None -> append_fresh sh key contribs in
+  Icol.add sh.cnt0 r cnt;
   Array.iteri
     (fun i c ->
       match c with
-      | Some contrib -> apply_contrib t sh key ~sign:1 g i t.items.(i) contrib
+      | Some contrib -> apply_contrib t sh key ~sign:1 r i t.items.(i) contrib
       | None -> ())
     contribs
 
 let unfeed t ~key ~cnt contribs =
   let sh = shard_for t key in
-  match TH.find_opt sh.groups key with
+  match find_row sh key with
   | None ->
     invalid_arg
       (Printf.sprintf "View_state.unfeed: group %s absent"
          (Tuple.to_string key))
-  | Some g ->
-    if g.cnt0 < cnt then invalid_arg "View_state.unfeed: count underflow";
-    note sh key;
-    g.cnt0 <- g.cnt0 - cnt;
-    if g.cnt0 = 0 then begin
-      TH.remove sh.groups key;
+  | Some r ->
+    if Icol.get sh.cnt0 r < cnt then
+      invalid_arg "View_state.unfeed: count underflow";
+    note_known sh key (Some r);
+    Icol.add sh.cnt0 r (-cnt);
+    if Icol.get sh.cnt0 r = 0 then begin
+      delete_row sh r;
       TH.remove sh.dirty key
     end
     else
       Array.iteri
         (fun i c ->
           match c with
-          | Some contrib -> apply_contrib t sh key ~sign:(-1) g i t.items.(i) contrib
+          | Some contrib ->
+            apply_contrib t sh key ~sign:(-1) r i t.items.(i) contrib
           | None -> ())
         contribs
 
 let take_dirty t =
   Array.fold_left
-    (fun acc sh ->
+    (fun acc (sh : shard) ->
       let keys = TH.fold (fun k () acc -> k :: acc) sh.dirty acc in
       TH.reset sh.dirty;
       keys)
     [] t.shards
 
 let is_dirty_pending t =
-  Array.exists (fun sh -> TH.length sh.dirty > 0) t.shards
+  Array.exists (fun (sh : shard) -> TH.length sh.dirty > 0) t.shards
 
 let set_value t ~key ~item v =
   let sh = shard_for t key in
-  match TH.find_opt sh.groups key with
+  match find_row sh key with
   | None -> ()
-  | Some g -> (
-    note sh key;
-    match g.accs.(item) with
-    | S_extremum _ -> g.accs.(item) <- S_extremum (Some v)
-    | S_distinct _ -> g.accs.(item) <- S_distinct (Some v)
-    | S_count _ | S_sum _ ->
+  | Some r -> (
+    note_known sh key (Some r);
+    match sh.slots.(item) with
+    | L_ext cell | L_dist cell -> Column.set cell r v
+    | L_group | L_count _ | L_sum _ ->
       invalid_arg "View_state.set_value: item is CSMAS-maintained")
 
 type component_update = Shift_sum of Value.t | Set_current of Value.t
 
 let adjust_group t ~key ~new_key updates =
   let sh = shard_for t key in
-  match TH.find_opt sh.groups key with
+  match find_row sh key with
   | None ->
     invalid_arg
       (Printf.sprintf "View_state.adjust_group: group %s absent"
          (Tuple.to_string key))
-  | Some g ->
+  | Some r ->
     let moving = not (Tuple.equal key new_key) in
     let sh' = if moving then shard_for t new_key else sh in
-    note sh key;
-    if moving then note sh' new_key;
+    note_known sh key (Some r);
+    if moving then note_known sh' new_key (find_row sh' new_key);
     List.iter
       (fun (i, upd) ->
         let agg =
@@ -291,23 +450,24 @@ let adjust_group t ~key ~new_key updates =
           | Select_item.Agg a -> Some a
           | Select_item.Group _ -> None
         in
-        match g.accs.(i), upd with
-        | S_sum { sum; n }, Shift_sum delta ->
-          g.accs.(i) <- S_sum { sum = Value.add sum (Value.scale delta n); n }
-        | S_extremum _, Set_current v -> g.accs.(i) <- S_extremum (Some v)
-        | S_distinct _, Set_current v ->
-          (* the caller passes the witnessed (determined) value; finalize the
-             singleton DISTINCT here *)
-          g.accs.(i) <-
-            S_distinct (Some (singleton_distinct (Option.get agg) v))
-        | (S_count _ | S_sum _ | S_extremum _ | S_distinct _), _ ->
+        match sh.slots.(i), upd with
+        | L_sum { sum; n }, Shift_sum delta ->
+          Column.add_cell sum r delta (Icol.get n r)
+        | L_ext cell, Set_current v -> Column.set cell r v
+        | L_dist cell, Set_current v ->
+          (* the caller passes the witnessed (determined) value; finalize
+             the singleton DISTINCT here *)
+          Column.set cell r (singleton_distinct (Option.get agg) v)
+        | (L_group | L_count _ | L_sum _ | L_ext _ | L_dist _), _ ->
           invalid_arg "View_state.adjust_group: update does not match state")
       updates;
     if moving then begin
-      if TH.mem sh'.groups new_key then
+      if find_row sh' new_key <> None then
         invalid_arg "View_state.adjust_group: new key collides";
-      TH.remove sh.groups key;
-      TH.add sh'.groups (Array.copy new_key) g;
+      let cnt0 = Icol.get sh.cnt0 r in
+      let accs = saved_accs sh r in
+      delete_row sh r;
+      ignore (append_saved sh' new_key cnt0 accs);
       if TH.mem sh.dirty key then begin
         TH.remove sh.dirty key;
         TH.add sh'.dirty (Array.copy new_key) ()
@@ -316,45 +476,55 @@ let adjust_group t ~key ~new_key updates =
 
 let fold_groups t f acc =
   Array.fold_left
-    (fun acc sh -> TH.fold (fun k g acc -> f k g.cnt0 acc) sh.groups acc)
+    (fun acc (sh : shard) ->
+      let acc = ref acc in
+      for r = 0 to nrows sh - 1 do
+        acc := f (key_at sh r) (Icol.get sh.cnt0 r) !acc
+      done;
+      !acc)
     acc t.shards
 
-let agg_state_equal a b =
+let saved_acc_equal a b =
   match a, b with
-  | S_count n, S_count m -> n = m
-  | S_sum { sum; n }, S_sum { sum = sum'; n = m } ->
+  | Sv_group, Sv_group -> true
+  | Sv_count n, Sv_count m -> n = m
+  | Sv_sum { sum; n }, Sv_sum { sum = sum'; n = m } ->
     Value.equal sum sum' && n = m
-  | S_extremum x, S_extremum y | S_distinct x, S_distinct y ->
-    Option.equal Value.equal x y
-  | (S_count _ | S_sum _ | S_extremum _ | S_distinct _), _ -> false
-
-let group_equal (g : group) (g' : group) =
-  g.cnt0 = g'.cnt0
-  && Array.length g.accs = Array.length g'.accs
-  && Array.for_all2 agg_state_equal g.accs g'.accs
+  | Sv_value x, Sv_value y -> Value.equal x y
+  | (Sv_group | Sv_count _ | Sv_sum _ | Sv_value _), _ -> false
 
 let dirty_count t =
-  Array.fold_left (fun acc sh -> acc + TH.length sh.dirty) 0 t.shards
+  Array.fold_left (fun acc (sh : shard) -> acc + TH.length sh.dirty) 0 t.shards
 
 (* Structural equality of the resident view state: groups (base counts and
    every aggregate component) and the pending-recompute (dirty) set.
-   Deliberately shard-layout-independent; open transactions are ignored. *)
+   Deliberately independent of the shard layout and of physical row order;
+   open transactions are ignored. *)
 let equal a b =
   group_count a = group_count b
   && Array.for_all
-       (fun sh ->
-         TH.fold
-           (fun key g acc ->
-             acc
-             &&
-             match find_group b key with
-             | Some g' -> group_equal g g'
-             | None -> false)
-           sh.groups true)
+       (fun (sh : shard) ->
+         let ok = ref true in
+         for r = 0 to nrows sh - 1 do
+           if !ok then begin
+             let key = key_at sh r in
+             let sh' = shard_for b key in
+             match find_row sh' key with
+             | Some r' ->
+               if
+                 not
+                   (Icol.get sh.cnt0 r = Icol.get sh'.cnt0 r'
+                   && Array.for_all2 saved_acc_equal (saved_accs sh r)
+                        (saved_accs sh' r'))
+               then ok := false
+             | None -> ok := false
+           end
+         done;
+         !ok)
        a.shards
   && dirty_count a = dirty_count b
   && Array.for_all
-       (fun sh ->
+       (fun (sh : shard) ->
          TH.fold
            (fun key () acc -> acc && TH.mem (shard_for b key).dirty key)
            sh.dirty true)
@@ -363,35 +533,83 @@ let equal a b =
 let render t =
   let result = Relation.create ~size_hint:(group_count t) () in
   Array.iter
-    (fun sh ->
-      TH.iter
-        (fun key g ->
-          let gi = ref 0 in
-          let row =
-            Array.mapi
-              (fun i item ->
-                match item with
-                | Select_item.Group _ ->
-                  let v = key.(!gi) in
-                  incr gi;
-                  v
-                | Select_item.Agg agg -> (
-                  match g.accs.(i) with
-                  | S_count n -> Value.Int n
-                  | S_sum { sum; n } -> (
-                    match agg.Aggregate.func with
-                    | Aggregate.Sum -> sum
-                    | Aggregate.Avg -> Value.div_as_float sum (Value.Int n)
-                    | _ -> assert false)
-                  | S_extremum (Some v) | S_distinct (Some v) -> v
-                  | S_extremum None | S_distinct None ->
+    (fun (sh : shard) ->
+      for r = 0 to nrows sh - 1 do
+        let gi = ref 0 in
+        let row =
+          Array.mapi
+            (fun i item ->
+              match (item : Select_item.t) with
+              | Select_item.Group _ ->
+                let v = Column.get sh.keys.(!gi) r in
+                incr gi;
+                v
+              | Select_item.Agg agg -> (
+                match sh.slots.(i) with
+                | L_group -> assert false
+                | L_count c -> Value.Int (Icol.get c r)
+                | L_sum { sum; n } -> (
+                  match agg.Aggregate.func with
+                  | Aggregate.Sum -> Column.get sum r
+                  | Aggregate.Avg ->
+                    Value.div_as_float (Column.get sum r)
+                      (Value.Int (Icol.get n r))
+                  | _ -> assert false)
+                | L_ext cell | L_dist cell -> (
+                  match Column.get cell r with
+                  | Value.Null ->
                     invalid_arg
-                      "View_state.render: non-CSMAS component pending recompute"))
-              t.items
-          in
-          Relation.insert result row)
-        sh.groups)
+                      "View_state.render: non-CSMAS component pending recompute"
+                  | v -> v)))
+            t.items
+        in
+        Relation.insert result row
+      done)
     t.shards;
   (* restrictions on groups (HAVING) are applied at read time: the full group
      state is what gets maintained *)
   View.filter_having t.view result
+
+(* --- byte accounting ----------------------------------------------------- *)
+
+let fold_columns t f acc =
+  Array.fold_left
+    (fun acc (sh : shard) ->
+      let acc = Array.fold_left f acc sh.keys in
+      Array.fold_left
+        (fun acc slot ->
+          match slot with
+          | L_group | L_count _ -> acc
+          | L_sum { sum; _ } -> f acc sum
+          | L_ext v | L_dist v -> f acc v)
+        acc sh.slots)
+    acc t.shards
+
+let offheap_bytes t =
+  fold_columns t (fun acc c -> acc + Column.offheap_bytes c) 0
+
+let byte_size t =
+  let cells = fold_columns t (fun acc c -> acc + Column.byte_size c) 0 in
+  let icols =
+    Array.fold_left
+      (fun acc (sh : shard) ->
+        Array.fold_left
+          (fun acc slot ->
+            match slot with
+            | L_group | L_ext _ | L_dist _ -> acc
+            | L_count c -> acc + Icol.byte_size c
+            | L_sum { n; _ } -> acc + Icol.byte_size n)
+          (acc + Icol.byte_size sh.cnt0 + Rowmap.byte_size sh.map)
+          sh.slots)
+      0 t.shards
+  in
+  let dicts =
+    fold_columns t
+      (fun acc c ->
+        match Column.dict c with
+        | Some d when not (List.memq d acc) -> d :: acc
+        | Some _ | None -> acc)
+      []
+  in
+  cells + icols
+  + List.fold_left (fun acc d -> acc + Dict.byte_size d) 0 dicts

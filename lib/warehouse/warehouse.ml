@@ -434,6 +434,18 @@ let detail_profile t =
       List.map (qualify r.view.View.name) (Engines.detail_profile r.engine))
     (List.rev t.views)
 
+(* Measured resident bytes per view: every stored object of the view's
+   engine (the view state first, then its auxiliary views), from the
+   columnar byte accounting. Views without measured state (the recompute
+   baseline) are omitted — their footprint only exists as an estimate. *)
+let measured_bytes t =
+  List.filter_map
+    (fun r ->
+      Option.map
+        (fun objs -> (r.view.View.name, objs))
+        (Engines.measured_bytes r.engine))
+    (List.rev t.views)
+
 let strategy_name = function
   | Minimal -> "minimal (Algorithm 3.2)"
   | Psj -> "PSJ (Quass et al.)"
@@ -442,7 +454,8 @@ let strategy_name = function
 
 (* --- persistence ------------------------------------------------------- *)
 
-let snapshot_magic = "minview-warehouse-state/3\n"
+let snapshot_magic = "minview-warehouse-state/4\n"
+let v3_magic = "minview-warehouse-state/3\n"
 let v2_magic = "minview-warehouse-state/2\n"
 let legacy_magic = "minview-warehouse-state/1\n"
 
@@ -463,9 +476,20 @@ let save t path =
     | Some pool -> Maintenance.Shard.domains pool
     | None -> 0
   in
+  (* The version-4 payload never marshals engine state: the columnar
+     storage layer holds closures and Bigarray segments that [Marshal]
+     rejects, and snapshots are taken between batches, when every engine is
+     a pure function of the validator's committed shadow (the audit verb
+     checks exactly this). [load] rebuilds the engines from that shadow,
+     which also keeps snapshots portable across storage-layout changes. *)
   let payload =
     Marshal.to_string
-      (t.views, t.source, t.validator, t.dead, t.seq, parallel_domains)
+      ( List.map (fun r -> (r.view, r.strategy)) t.views,
+        t.source,
+        t.validator,
+        t.dead,
+        t.seq,
+        parallel_domains )
       []
   in
   let header = Buffer.create 8 in
@@ -490,6 +514,39 @@ let save t path =
        with Unix.Unix_error _ -> ()));
   Sys.rename tmp path;
   Wal.fsync_dir path
+
+(* The version-3 payload stored the [registered] list with each engine's
+   state marshaled inline. Its engine field is decoded as an opaque value
+   that is never touched — engines are rebuilt from the validator either
+   way — so pre-columnar snapshots stay loadable across the storage
+   change. *)
+type v3_registered = {
+  v3_view : View.t;
+  v3_strategy : strategy;
+  v3_engine : Obj.t;
+}
+[@@warning "-69"]
+
+(* Rebuild every engine from the validator's committed shadow, exactly like
+   [rebuild_engines] (below): registration-time initialization from the
+   believed source. Valid because [save] only runs between batches, when
+   engine state is derivable from the committed source. *)
+let engines_of_persisted validator persisted =
+  let source = Validator.believed_source validator in
+  List.map
+    (fun (view, strategy) ->
+      let engine =
+        match strategy with
+        | Minimal -> Engines.minimal source view
+        | Psj -> Engines.psj source view
+        | Replicate -> Engines.recompute source view
+        | Aged _ ->
+          (* [save] refuses aged views; only a crafted file gets here *)
+          err Corrupt_state "view %s: aged views cannot appear in a snapshot"
+            view.View.name
+      in
+      { view; strategy; engine })
+    persisted
 
 (* Load a snapshot; also returns the saved pool size so callers can warn
    about the reset (the pool is never restored — see [warn_parallel_reset]). *)
@@ -518,8 +575,11 @@ and load_channel path ic =
           "%s uses the version-2 format without the parallel-pool record; \
            re-save it with this build"
           path;
-      if not (String.equal header snapshot_magic) then
-        err Corrupt_state "%s is not a warehouse state file" path;
+      let version =
+        if String.equal header snapshot_magic then `V4
+        else if String.equal header v3_magic then `V3
+        else err Corrupt_state "%s is not a warehouse state file" path
+      in
       if total - magic_len < 8 then
         err Corrupt_state "%s: truncated frame header" path;
       let frame = really_input_string ic 8 in
@@ -533,12 +593,37 @@ and load_channel path ic =
       let payload = really_input_string ic len in
       if Checksum.string payload <> crc then
         err Corrupt_state "%s: checksum mismatch" path;
-      match
-        (Marshal.from_string payload 0
-          : registered list * Database.t * Validator.t * Delta.rejection list
-            * int * int)
-      with
-      | views, source, validator, dead, seq, parallel_domains ->
+      let decoded =
+        match version with
+        | `V4 -> (
+          match
+            (Marshal.from_string payload 0
+              : (View.t * strategy) list * Database.t * Validator.t
+                * Delta.rejection list * int * int)
+          with
+          | persisted -> Some persisted
+          | exception _ -> None)
+        | `V3 -> (
+          match
+            (Marshal.from_string payload 0
+              : v3_registered list * Database.t * Validator.t
+                * Delta.rejection list * int * int)
+          with
+          | olds, source, validator, dead, seq, domains ->
+            Some
+              ( List.map (fun o -> (o.v3_view, o.v3_strategy)) olds,
+                source,
+                validator,
+                dead,
+                seq,
+                domains )
+          | exception _ -> None)
+      in
+      match decoded with
+      | None ->
+        err Corrupt_state "%s: undecodable payload (incompatible build?)" path
+      | Some (persisted, source, validator, dead, seq, parallel_domains) ->
+        let views = engines_of_persisted validator persisted in
         ( {
             source;
             views;
@@ -558,8 +643,6 @@ and load_channel path ic =
             published = Atomic.make empty_snapshot;
           },
           parallel_domains )
-      | exception _ ->
-        err Corrupt_state "%s: undecodable payload (incompatible build?)" path
 
 (* The structured warning for the set_parallel/recover interaction: the
    snapshot was taken by a warehouse with a domain pool, but pools are

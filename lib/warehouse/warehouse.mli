@@ -313,6 +313,13 @@ val derivation_of : t -> string -> Mindetail.Derive.t option
 (** Detail-data storage profile across all views: (object, rows, fields). *)
 val detail_profile : t -> (string * int * int) list
 
+(** Measured resident bytes per view: [(view, (object, bytes) list)] with
+    the view state first and its auxiliary views after, from the columnar
+    segments' per-column byte accounting (see {!Maintenance.Engine
+    .measured_bytes}). Views without measured state (the [Replicate]
+    baseline stores a boxed replica) are omitted. *)
+val measured_bytes : t -> (string * (string * int) list) list
+
 (** [age_out t view facts] moves the given fact tuples of an [Aged] view's
     current partition into its append-only old partition (see
     {!Maintenance.Partitioned.age_out} for the boundary-consistency

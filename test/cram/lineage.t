@@ -58,14 +58,14 @@ the measured survivor counts against the live maintenance gauges:
 
   $ ../../bin/minview.exe attribute schema.sql --changes changes.sql
   == savings attribution (view zone_revenue, bytes) ==
-  +--------+-----------+-----+-----------+------------+----------+----------+------------+--------+
-  | table  | aux view  | raw | local sel | local proj | join red | dup comp | eliminated | stored |
-  +--------+-----------+-----+-----------+------------+----------+----------+------------+--------+
-  | txn    | txnDTL    | 96  | 0         | 0          | 0        | 48       | 0          | 48     |
-  | shop   | shopDTL   | 48  | 0         | 16         | 0        | 0        | 0          | 32     |
-  | region | regionDTL | 48  | 0         | 16         | 0        | 0        | 0          | 32     |
-  | TOTAL  |           | 192 | 0         | 32         | 0        | 48       | 0          | 112    |
-  +--------+-----------+-----+-----------+------------+----------+----------+------------+--------+
+  +--------+-----------+-----+-----------+------------+----------+----------+------------+--------+----------+
+  | table  | aux view  | raw | local sel | local proj | join red | dup comp | eliminated | stored | measured |
+  +--------+-----------+-----+-----------+------------+----------+----------+------------+--------+----------+
+  | txn    | txnDTL    | 96  | 0         | 0          | 0        | 48       | 0          | 48     | 1856     |
+  | shop   | shopDTL   | 48  | 0         | 16         | 0        | 0        | 0          | 32     | 896      |
+  | region | regionDTL | 48  | 0         | 16         | 0        | 0        | 0          | 32     | 752      |
+  | TOTAL  |           | 192 | 0         | 32         | 0        | 48       | 0          | 112    | 3504     |
+  +--------+-----------+-----+-----------+------------+----------+----------+------------+--------+----------+
   row flow:
     txn: 4 rows -> local 4 -> join 4 -> resident 2 (fold 2x, 2 of 3 columns kept)
     shop: 2 rows -> local 2 -> join 2 -> resident 2 (fold 1x, 2 of 3 columns kept)
@@ -78,9 +78,9 @@ the measured survivor counts against the live maintenance gauges:
 
 
   $ ../../bin/minview.exe attribute schema.sql --changes changes.sql --json
-  {"view":"zone_revenue","table":"txn","aux":"txnDTL","retained":true,"compressed":true,"raw_rows":4,"raw_fields":3,"kept_fields":2,"stored_fields":3,"rows_after_local":4,"rows_after_join":4,"resident_rows":2,"fold_factor":2,"bytes":{"raw":96,"local_selection":0,"local_projection":0,"join_reduction":0,"compression":48,"elimination":0,"stored":48}}
-  {"view":"zone_revenue","table":"shop","aux":"shopDTL","retained":true,"compressed":false,"raw_rows":2,"raw_fields":3,"kept_fields":2,"stored_fields":2,"rows_after_local":2,"rows_after_join":2,"resident_rows":2,"fold_factor":1,"bytes":{"raw":48,"local_selection":0,"local_projection":16,"join_reduction":0,"compression":0,"elimination":0,"stored":32}}
-  {"view":"zone_revenue","table":"region","aux":"regionDTL","retained":true,"compressed":false,"raw_rows":2,"raw_fields":3,"kept_fields":2,"stored_fields":2,"rows_after_local":2,"rows_after_join":2,"resident_rows":2,"fold_factor":1,"bytes":{"raw":48,"local_selection":0,"local_projection":16,"join_reduction":0,"compression":0,"elimination":0,"stored":32}}
+  {"view":"zone_revenue","table":"txn","aux":"txnDTL","retained":true,"compressed":true,"raw_rows":4,"raw_fields":3,"kept_fields":2,"stored_fields":3,"rows_after_local":4,"rows_after_join":4,"resident_rows":2,"fold_factor":2,"bytes":{"raw":96,"local_selection":0,"local_projection":0,"join_reduction":0,"compression":48,"elimination":0,"stored":48,"measured_stored":1856}}
+  {"view":"zone_revenue","table":"shop","aux":"shopDTL","retained":true,"compressed":false,"raw_rows":2,"raw_fields":3,"kept_fields":2,"stored_fields":2,"rows_after_local":2,"rows_after_join":2,"resident_rows":2,"fold_factor":1,"bytes":{"raw":48,"local_selection":0,"local_projection":16,"join_reduction":0,"compression":0,"elimination":0,"stored":32,"measured_stored":896}}
+  {"view":"zone_revenue","table":"region","aux":"regionDTL","retained":true,"compressed":false,"raw_rows":2,"raw_fields":3,"kept_fields":2,"stored_fields":2,"rows_after_local":2,"rows_after_join":2,"resident_rows":2,"fold_factor":1,"bytes":{"raw":48,"local_selection":0,"local_projection":16,"join_reduction":0,"compression":0,"elimination":0,"stored":32,"measured_stored":752}}
 
 The explain verb: the derivation report, or the extended join graph in
 Graphviz DOT form:

@@ -1,0 +1,657 @@
+(* Columnar storage equivalence: the typed-segment Aux_state / View_state
+   must be observationally identical to the boxed reference implementations
+   (Aux_boxed / View_boxed) under random insert/delete/update/rollback
+   sequences, serial and parallel. Plus directed tests for the physical
+   layer: dictionary growth (including concurrent intern), column
+   specialization and demotion, swap-with-last index repair, and
+   undo-journal cell restoration. *)
+
+open Helpers
+module AS = Maintenance.Aux_state
+module AB = Maintenance.Aux_boxed
+module VS = Maintenance.View_state
+module VB = Maintenance.View_boxed
+module Column = Maintenance.Column
+module Icol = Maintenance.Column.Icol
+module Dict = Maintenance.Dict
+module Rowmap = Maintenance.Rowmap
+module Engines = Maintenance.Engines
+module Shard = Maintenance.Shard
+module Derive = Mindetail.Derive
+module Auxview = Mindetail.Auxview
+module Prng = Workload.Prng
+module Gen = QCheck2.Gen
+
+let test case fn = Alcotest.test_case case `Quick fn
+
+(* QCHECK_COUNT=500 dune exec test/test_columnar.exe  — soak mode *)
+let count =
+  match Sys.getenv_opt "QCHECK_COUNT" with
+  | Some n -> int_of_string n
+  | None -> 40
+
+let tiny_params =
+  {
+    Workload.Retail.days = 8;
+    stores = 2;
+    products = 12;
+    sold_per_store_day = 4;
+    tx_per_product = 2;
+    brands = 4;
+    seed = 17;
+  }
+
+(* product_sales: SUM / COUNT( * ) / COUNT(DISTINCT product.brand) — no
+   append-only extrema anywhere, so every auxview supports deletions. *)
+let specs_for table =
+  let db = Workload.Retail.load tiny_params in
+  let d = Derive.derive db Workload.Retail.product_sales in
+  match Derive.spec_for d table with
+  | Some spec -> (spec, Database.schema_of db table)
+  | None -> Alcotest.fail (table ^ ": expected a retained auxview")
+
+(* rows materialized through either implementation, as comparable data *)
+let as_rows st =
+  let acc = ref [] in
+  AS.iter st (fun r -> acc := (AS.plains st r, AS.cnt r, AS.sums st r, AS.exts st r) :: !acc);
+  List.sort compare !acc
+
+let ab_rows st =
+  let acc = ref [] in
+  AB.iter st (fun r -> acc := (AB.plains st r, AB.cnt r, AB.sums st r, AB.exts st r) :: !acc);
+  List.sort compare !acc
+
+(* --- random aux-state equivalence matrix -------------------------------- *)
+
+(* Drive a 1-shard columnar state, a 4-shard columnar state and the boxed
+   oracle through the same random weighted insert/delete stream, in
+   committed and rolled-back transaction segments, comparing the full
+   observable state after every segment. *)
+let aux_matrix ~gen_tup seed (spec, schema) =
+  let st1 = AS.create spec schema in
+  let st4 = AS.create ~shards:4 spec schema in
+  let oracle = AB.create spec schema in
+  let rng = Prng.create seed in
+  let present = ref [] in
+  let ok = ref true in
+  let check () =
+    ok :=
+      !ok
+      && Relation.equal (AS.to_relation st1) (AB.to_relation oracle)
+      && as_rows st1 = ab_rows oracle
+      && AS.equal st1 st4
+      && AS.row_count st1 = AB.row_count oracle
+      && AS.base_count st1 = AB.base_count oracle
+  in
+  let op () =
+    let n = List.length !present in
+    if n > 0 && Prng.int rng 3 = 0 then begin
+      let idx = Prng.int rng n in
+      let tup, cnt = List.nth !present idx in
+      present := List.filteri (fun j _ -> j <> idx) !present;
+      AS.delete_base ~count:cnt st1 tup;
+      AS.delete_base ~count:cnt st4 tup;
+      AB.delete_base ~count:cnt oracle tup
+    end
+    else begin
+      let tup = gen_tup rng in
+      let cnt = 1 + Prng.int rng 3 in
+      present := (tup, cnt) :: !present;
+      AS.insert_base ~count:cnt st1 tup;
+      AS.insert_base ~count:cnt st4 tup;
+      AB.insert_base ~count:cnt oracle tup
+    end
+  in
+  let all3 f g = f st1; f st4; g oracle in
+  for _ = 1 to 3 do
+    all3 AS.begin_txn AB.begin_txn;
+    for _ = 1 to 15 do op () done;
+    all3 AS.commit AB.commit;
+    check ();
+    let saved = !present in
+    all3 AS.begin_txn AB.begin_txn;
+    for _ = 1 to 15 do op () done;
+    all3 AS.rollback AB.rollback;
+    present := saved;
+    check ()
+  done;
+  !ok
+
+(* small key spaces so folds, underflows-to-zero and re-creations all occur *)
+let sale_tup rng =
+  row
+    [
+      i (1000 + Prng.int rng 60); i (1 + Prng.int rng 4); i (1 + Prng.int rng 5);
+      i (1 + Prng.int rng 2); i (Prng.int rng 20);
+    ]
+
+(* dimension tuples are functionally determined by their key, as in any
+   keyed base table — two tuples with one id must be the same tuple *)
+let product_tup rng =
+  let id = 1 + Prng.int rng 30 in
+  row
+    [
+      i id;
+      s (Printf.sprintf "brand-%d" (id mod 5));
+      s (Printf.sprintf "cat-%d" (id mod 3));
+    ]
+
+let prop_aux_root =
+  QCheck2.Test.make ~count ~name:"aux state == boxed oracle (root, int columns)"
+    ~print:string_of_int (Gen.int_bound 100_000) (fun seed ->
+      aux_matrix ~gen_tup:sale_tup seed (specs_for "sale"))
+
+let prop_aux_dimension =
+  QCheck2.Test.make ~count
+    ~name:"aux state == boxed oracle (dimension, dictionary columns)"
+    ~print:string_of_int (Gen.int_bound 100_000) (fun seed ->
+      aux_matrix ~gen_tup:product_tup seed (specs_for "product"))
+
+(* --- random view-state equivalence matrix ------------------------------- *)
+
+(* group g, SUM(v), COUNT( * ), AVG(v), MAX(v), COUNT(DISTINCT lbl): CSMAS
+   components plus both non-CSMAS kinds (extremum + distinct). *)
+let vview =
+  {
+    View.name = "v";
+    having = [];
+    select =
+      [
+        group (a "t" "g");
+        sum ~alias:"s" (a "t" "v");
+        count_star ~alias:"c" ();
+        avg ~alias:"av" (a "t" "v");
+        max_ ~alias:"mx" (a "t" "v");
+        count_distinct ~alias:"cd" (a "t" "lbl");
+      ];
+    tables = [ "t" ];
+    locals = [];
+    joins = [];
+  }
+
+let vs_contribs ~v ~lbl =
+  [|
+    None;
+    Some (VS.C_sum { amount = i v; n = 1 });
+    Some (VS.C_count 1);
+    Some (VS.C_sum { amount = i v; n = 1 });
+    Some (VS.C_value (i v));
+    Some (VS.C_value (s lbl));
+  |]
+
+let vb_contribs ~v ~lbl =
+  [|
+    None;
+    Some (VB.C_sum { amount = i v; n = 1 });
+    Some (VB.C_count 1);
+    Some (VB.C_sum { amount = i v; n = 1 });
+    Some (VB.C_value (i v));
+    Some (VB.C_value (s lbl));
+  |]
+
+let vs_groups st = List.sort compare (VS.fold_groups st (fun k c acc -> (k, c) :: acc) [])
+let vb_groups st = List.sort compare (VB.fold_groups st (fun k c acc -> (k, c) :: acc) [])
+
+let view_matrix seed =
+  let s1 = VS.create vview ~determined:false in
+  let s4 = VS.create ~shards:4 vview ~determined:false in
+  let oracle = VB.create vview ~determined:false in
+  let rng = Prng.create seed in
+  let present = ref [] in
+  let ok = ref true in
+  let key k = row [ i k ] in
+  let feed_all (k, v, lbl, cnt) =
+    VS.feed s1 ~key:(key k) ~cnt (vs_contribs ~v ~lbl);
+    VS.feed s4 ~key:(key k) ~cnt (vs_contribs ~v ~lbl);
+    VB.feed oracle ~key:(key k) ~cnt (vb_contribs ~v ~lbl)
+  in
+  let unfeed_all (k, v, lbl, cnt) =
+    VS.unfeed s1 ~key:(key k) ~cnt (vs_contribs ~v ~lbl);
+    VS.unfeed s4 ~key:(key k) ~cnt (vs_contribs ~v ~lbl);
+    VB.unfeed oracle ~key:(key k) ~cnt (vb_contribs ~v ~lbl)
+  in
+  let op () =
+    let n = List.length !present in
+    if n > 0 && Prng.int rng 3 = 0 then begin
+      let idx = Prng.int rng n in
+      let entry = List.nth !present idx in
+      present := List.filteri (fun j _ -> j <> idx) !present;
+      unfeed_all entry
+    end
+    else begin
+      let entry =
+        ( Prng.int rng 5, Prng.int rng 25,
+          Printf.sprintf "l%d" (Prng.int rng 4), 1 + Prng.int rng 3 )
+      in
+      present := entry :: !present;
+      feed_all entry
+    end
+  in
+  (* stand-in for the engine's non-CSMAS recomputation: the three states
+     must dirty the same groups; resolve them all to the same value so
+     renders stay comparable *)
+  let resolve () =
+    let d1 = List.sort Tuple.compare (VS.take_dirty s1) in
+    let d4 = List.sort Tuple.compare (VS.take_dirty s4) in
+    let db_ = List.sort Tuple.compare (VB.take_dirty oracle) in
+    ok := !ok && List.equal Tuple.equal d1 d4 && List.equal Tuple.equal d1 db_;
+    List.iter
+      (fun k ->
+        List.iter
+          (fun item ->
+            VS.set_value s1 ~key:k ~item (i 7);
+            VS.set_value s4 ~key:k ~item (i 7);
+            VB.set_value oracle ~key:k ~item (i 7))
+          [ 4; 5 ])
+      d1
+  in
+  let check () =
+    resolve ();
+    ok :=
+      !ok
+      && Relation.equal (VS.render s1) (VB.render oracle)
+      && VS.equal s1 s4
+      && vs_groups s1 = vb_groups oracle
+      && VS.group_count s1 = VB.group_count oracle
+  in
+  for _ = 1 to 3 do
+    VS.begin_txn s1; VS.begin_txn s4; VB.begin_txn oracle;
+    for _ = 1 to 15 do op () done;
+    VS.commit s1; VS.commit s4; VB.commit oracle;
+    check ();
+    let saved = !present in
+    VS.begin_txn s1; VS.begin_txn s4; VB.begin_txn oracle;
+    for _ = 1 to 15 do op () done;
+    VS.rollback s1; VS.rollback s4; VB.rollback oracle;
+    present := saved;
+    (* rollback also restores the (empty, post-resolve) dirty sets *)
+    ok := !ok && (not (VS.is_dirty_pending s1)) && not (VB.is_dirty_pending oracle);
+    check ()
+  done;
+  !ok
+
+let prop_view_matrix =
+  QCheck2.Test.make ~count ~name:"view state == boxed oracle (random feeds)"
+    ~print:string_of_int (Gen.int_bound 100_000) view_matrix
+
+(* --- forced-parallel engine equivalence --------------------------------- *)
+
+let with_par_threshold n fn =
+  Unix.putenv "MINVIEW_PAR_THRESHOLD" (string_of_int n);
+  Fun.protect ~finally:(fun () -> Unix.putenv "MINVIEW_PAR_THRESHOLD" "") fn
+
+let prop_parallel_equivalence =
+  QCheck2.Test.make ~count:(max 15 (count / 2))
+    ~name:"columnar engines: forced-parallel == serial (random streams)"
+    ~print:string_of_int (Gen.int_bound 100_000) (fun seed ->
+      with_par_threshold 0 (fun () ->
+          let db = Workload.Retail.load tiny_params in
+          let ser = Engines.minimal db Workload.Retail.product_sales in
+          let par = Engines.minimal db Workload.Retail.product_sales in
+          let pool = Shard.create ~domains:4 in
+          let rng = Prng.create seed in
+          let ok = ref true in
+          for _ = 1 to 3 do
+            let deltas = Workload.Delta_gen.stream rng db ~n:25 in
+            Engines.apply_batch ser deltas;
+            Engines.apply_batch ~parallel:pool par deltas;
+            ok :=
+              !ok
+              && Relation.equal (Engines.view_contents ser)
+                   (Engines.view_contents par)
+              && Engines.equal_state ser par
+          done;
+          !ok))
+
+(* --- directed: dictionaries --------------------------------------------- *)
+
+let dict_tests =
+  [
+    test "dictionary growth keeps codes dense and stable" (fun () ->
+        let d = Dict.create () in
+        let n = 5_000 in
+        (* growth doubles several times; codes stay dense and first-come *)
+        for k = 0 to n - 1 do
+          Alcotest.(check int) "dense code" k
+            (Dict.intern d (Printf.sprintf "key-%d" k))
+        done;
+        Alcotest.(check int) "size" n (Dict.size d);
+        for k = 0 to n - 1 do
+          let str = Printf.sprintf "key-%d" k in
+          Alcotest.(check int) "re-intern is stable" k (Dict.intern d str);
+          Alcotest.(check string) "decode round-trips" str (Dict.decode d k);
+          Alcotest.(check int) "hash matches Value.hash"
+            (Value.hash (s str)) (Dict.hash d k)
+        done;
+        Alcotest.(check bool) "byte accounting nonzero" true (Dict.byte_size d > 0));
+    test "concurrent intern with lock-free decode" (fun () ->
+        let d = Dict.create () in
+        let n = 2_000 in
+        let writers =
+          List.init 4 (fun w ->
+              Domain.spawn (fun () ->
+                  for k = 0 to n - 1 do
+                    ignore (Dict.intern d (Printf.sprintf "key-%d" ((k + (w * 97)) mod n)))
+                  done))
+        in
+        (* reader races the writers: any code below the observed size must
+           decode to a fully-initialized slot *)
+        for _ = 1 to 20_000 do
+          let sz = Dict.size d in
+          if sz > 0 then begin
+            let c = sz - 1 in
+            if not (String.length (Dict.decode d c) > 0) then
+              Alcotest.fail "torn decode";
+            ignore (Dict.hash d c)
+          end
+        done;
+        List.iter Domain.join writers;
+        Alcotest.(check int) "each string interned once" n (Dict.size d);
+        for k = 0 to n - 1 do
+          let str = Printf.sprintf "key-%d" k in
+          Alcotest.(check string) "round trip" str (Dict.decode d (Dict.intern d str))
+        done);
+    test "pooled dictionaries are shared per (table, column)" (fun () ->
+        let pool = Dict.create_pool () in
+        let d1 = Dict.shared pool ~table:"product" ~column:"brand" in
+        let d2 = Dict.shared pool ~table:"product" ~column:"brand" in
+        let other = Dict.shared pool ~table:"product" ~column:"category" in
+        Alcotest.(check bool) "same instance" true (d1 == d2);
+        Alcotest.(check bool) "distinct column, distinct dict" true (d1 != other);
+        let c1 = Column.create ~dict:d1 () and c2 = Column.create ~dict:d2 () in
+        Column.append c1 (s "acme");
+        Column.append c2 (s "acme");
+        Column.append c2 (s "apex");
+        Alcotest.(check string) "dict storage" "dict" (Column.kind c1);
+        Alcotest.(check int) "interned once across columns" 2 (Dict.size d1);
+        Alcotest.check value "decode through the column" (s "acme") (Column.get c2 0));
+  ]
+
+(* --- directed: columns --------------------------------------------------- *)
+
+let column_tests =
+  [
+    test "int column: specialization, cell arithmetic, swap-delete" (fun () ->
+        let c = Column.create () in
+        Alcotest.(check string) "untyped" "empty" (Column.kind c);
+        for k = 0 to 99 do Column.append c (i k) done;
+        Alcotest.(check string) "specialized" "int" (Column.kind c);
+        Column.add_cell c 5 (i 10) 3;
+        Alcotest.check value "add_cell folds scaled value" (i 35) (Column.get c 5);
+        Column.sub_cell c 5 (i 10) 3;
+        Alcotest.check value "sub_cell reverses" (i 5) (Column.get c 5);
+        Alcotest.(check bool) "equal_cell" true (Column.equal_cell c 7 (i 7));
+        Alcotest.(check bool) "equal_cell mismatch" false (Column.equal_cell c 7 (i 8));
+        Alcotest.(check int) "hash_cell" (Value.hash (i 7)) (Column.hash_cell c 7);
+        Column.swap_delete c 0;
+        Alcotest.(check int) "length after delete" 99 (Column.length c);
+        Alcotest.check value "last cell moved into the hole" (i 99) (Column.get c 0);
+        Alcotest.(check bool) "off-heap payload" true (Column.offheap_bytes c > 0));
+    test "type mismatch demotes to boxed, preserving cells" (fun () ->
+        let c = Column.create () in
+        for k = 0 to 49 do Column.append c (i k) done;
+        Column.append c (f 1.5);
+        Alcotest.(check string) "demoted" "boxed" (Column.kind c);
+        Alcotest.check value "old cell survives" (i 42) (Column.get c 42);
+        Alcotest.check value "new cell stored" (f 1.5) (Column.get c 50);
+        Column.add_cell c 42 (i 1) 2;
+        Alcotest.check value "generic add_cell still works" (i 44) (Column.get c 42));
+    test "float column: unboxed arithmetic, int operands" (fun () ->
+        let c = Column.create () in
+        Column.append c (f 1.0);
+        Column.append c (f 2.0);
+        Alcotest.(check string) "specialized" "float" (Column.kind c);
+        Column.add_cell c 0 (f 0.5) 2;
+        Alcotest.check value "float add" (f 2.0) (Column.get c 0);
+        Column.add_cell c 0 (i 2) 3;
+        Alcotest.check value "int operand on float storage" (f 8.0) (Column.get c 0);
+        Column.set c 1 (f 9.5);
+        Alcotest.check value "set" (f 9.5) (Column.get c 1));
+    test "boxed sentinel column represents absent values" (fun () ->
+        let c = Column.create_boxed () in
+        Column.append c Value.Null;
+        Column.append c (i 3);
+        Alcotest.(check string) "forced boxed" "boxed" (Column.kind c);
+        Alcotest.check value "sentinel" Value.Null (Column.get c 0);
+        Column.combine_ext c 1 (i 7) ~is_min:false;
+        Alcotest.check value "max combine" (i 7) (Column.get c 1);
+        Column.combine_ext c 1 (i 5) ~is_min:true;
+        Alcotest.check value "min combine" (i 5) (Column.get c 1));
+    test "copy is independent; shared dictionary stays shared" (fun () ->
+        let d = Dict.create () in
+        let c = Column.create ~dict:d () in
+        Column.append c (s "x");
+        let c' = Column.copy c in
+        Column.append c' (s "y");
+        Alcotest.(check int) "copy grew" 2 (Column.length c');
+        Alcotest.(check int) "original untouched" 1 (Column.length c);
+        Alcotest.(check bool) "dictionary shared" true
+          (match Column.dict c' with Some d' -> d' == d | None -> false));
+    test "Icol: dense int cells with grow and swap-delete" (fun () ->
+        let c = Icol.create () in
+        for k = 0 to 999 do Icol.append c (k * 2) done;
+        Alcotest.(check int) "length" 1000 (Icol.length c);
+        Alcotest.(check int) "get" 84 (Icol.get c 42);
+        Icol.add c 42 5;
+        Alcotest.(check int) "add" 89 (Icol.get c 42);
+        Icol.set c 42 84;
+        Icol.swap_delete c 0;
+        Alcotest.(check int) "swap-delete" 1998 (Icol.get c 0);
+        Alcotest.(check int) "shrunk" 999 (Icol.length c);
+        let c' = Icol.copy c in
+        Icol.set c' 0 (-1);
+        Alcotest.(check int) "copy independent" 1998 (Icol.get c 0));
+  ]
+
+(* --- directed: rowmap ---------------------------------------------------- *)
+
+let rowmap_tests =
+  [
+    test "rowmap: find, steal, rename, tombstone churn" (fun () ->
+        (* keys live outside the map, as in the columnar states *)
+        let keys = Hashtbl.create 64 in
+        let key_of r = Hashtbl.find keys r in
+        let m = Rowmap.create ~hash:(fun r -> Hashtbl.hash (key_of r)) () in
+        let add r k =
+          Hashtbl.replace keys r k;
+          Rowmap.add m ~hash:(Hashtbl.hash k) r
+        in
+        let find k =
+          Rowmap.find m ~hash:(Hashtbl.hash k) ~eq:(fun r -> key_of r = k)
+        in
+        for r = 0 to 99 do add r (1000 + r) done;
+        Alcotest.(check int) "live entries" 100 (Rowmap.length m);
+        for r = 0 to 99 do
+          Alcotest.(check (option int)) "find" (Some r) (find (1000 + r))
+        done;
+        Alcotest.(check (option int)) "absent" None (find 42);
+        (* steal: replace the entry for key 1000 with a new row *)
+        Hashtbl.replace keys 500 1000;
+        (match
+           Rowmap.replace m ~hash:(Hashtbl.hash 1000)
+             ~eq:(fun r -> key_of r = 1000)
+             500
+         with
+        | Some prev -> Alcotest.(check int) "stole row 0" 0 prev
+        | None -> Alcotest.fail "expected a steal");
+        Alcotest.(check (option int)) "stolen" (Some 500) (find 1000);
+        (* rename: swap-with-last renumbers a row *)
+        Alcotest.(check bool) "rename" true
+          (Rowmap.rename_value m ~hash:(Hashtbl.hash 1001) ~old_row:1 ~new_row:700);
+        Hashtbl.replace keys 700 1001;
+        Alcotest.(check (option int)) "renamed" (Some 700) (find 1001);
+        (* churn: repeated add/remove forces resizes through tombstones *)
+        for cycle = 0 to 50 do
+          for j = 0 to 63 do
+            let r = 10_000 + (cycle * 64) + j in
+            add r r
+          done;
+          for j = 0 to 63 do
+            if j mod 2 = 0 then begin
+              let r = 10_000 + (cycle * 64) + j in
+              Alcotest.(check bool) "remove" true
+                (Rowmap.remove_value m ~hash:(Hashtbl.hash (key_of r)) r)
+            end
+          done
+        done;
+        Alcotest.(check int) "live after churn" (100 + (51 * 32)) (Rowmap.length m);
+        Alcotest.(check (option int)) "survivor found" (Some 10_001) (find 10_001);
+        Alcotest.(check (option int)) "victim gone" None (find 10_002);
+        let seen = ref 0 in
+        Rowmap.iter m (fun _ -> incr seen);
+        Alcotest.(check int) "iter visits live rows" (Rowmap.length m) !seen);
+  ]
+
+(* --- directed: swap-delete index repair ---------------------------------- *)
+
+let row_sig st (r : AS.row) = (AS.plains st r, AS.cnt r, AS.sums st r, AS.exts st r)
+
+(* rows_with through the secondary index vs. a full scan: must agree after
+   swap-with-last deletions renumber rows *)
+let check_index st ~column values =
+  List.iter
+    (fun v ->
+      let indexed = List.sort compare (List.map (row_sig st) (AS.rows_with st ~column v)) in
+      let scanned = ref [] in
+      AS.iter st (fun r ->
+          if Value.equal (AS.plain_of st r column) v then
+            scanned := row_sig st r :: !scanned);
+      Alcotest.(check bool)
+        (Printf.sprintf "index agrees with scan for %s=%s" column (Value.to_string v))
+        true
+        (indexed = List.sort compare !scanned))
+    values
+
+let index_tests =
+  [
+    test "swap-delete repairs secondary indexes" (fun () ->
+        let spec, schema = specs_for "sale" in
+        let column = List.hd (Auxview.group_columns spec) in
+        let st = AS.create ~indexed_columns:[ column ] spec schema in
+        let rng = Prng.create 99 in
+        let present = ref [] in
+        let values = List.init 4 (fun k -> i (k + 1)) in
+        for round = 1 to 6 do
+          for _ = 1 to 20 do
+            let tup = sale_tup rng in
+            present := tup :: !present;
+            AS.insert_base st tup
+          done;
+          (* delete a scattered half; swap-with-last renumbers rows *)
+          let victims, keep =
+            List.partition (fun _ -> Prng.int rng 2 = 0) !present
+          in
+          List.iter (AS.delete_base st) victims;
+          present := keep;
+          check_index st ~column values;
+          (* a rolled-back wave of deletions must also leave the index intact *)
+          if round mod 2 = 0 && !present <> [] then begin
+            AS.begin_txn st;
+            List.iter (AS.delete_base st) !present;
+            Alcotest.(check int) "emptied in txn" 0 (AS.row_count st);
+            AS.rollback st;
+            check_index st ~column values
+          end
+        done);
+  ]
+
+(* --- directed: undo-journal cell restoration ------------------------------ *)
+
+let undo_tests =
+  [
+    test "aux rollback restores cells, indexes and totals" (fun () ->
+        let spec, schema = specs_for "sale" in
+        let column = List.hd (Auxview.group_columns spec) in
+        let st = AS.create ~indexed_columns:[ column ] ~shards:2 spec schema in
+        let rng = Prng.create 7 in
+        let committed = List.init 30 (fun _ -> sale_tup rng) in
+        List.iter (AS.insert_base st) committed;
+        let snap = AS.copy st in
+        AS.begin_txn st;
+        (* touch existing cells, create new groups, delete groups to zero *)
+        List.iteri (fun k tup -> if k mod 2 = 0 then AS.insert_base ~count:3 st tup) committed;
+        List.iter (fun k -> AS.delete_base st (List.nth committed k)) [ 0; 2; 4 ];
+        for _ = 1 to 20 do AS.insert_base st (sale_tup rng) done;
+        Alcotest.(check bool) "mutated" false (AS.equal st snap);
+        AS.rollback st;
+        Alcotest.(check bool) "structurally restored" true (AS.equal st snap);
+        Alcotest.check relation "contents restored" (AS.to_relation snap)
+          (AS.to_relation st);
+        Alcotest.(check int) "base total restored" (AS.base_count snap)
+          (AS.base_count st);
+        check_index st ~column (List.init 4 (fun k -> i (k + 1))));
+    test "dimension aux rollback restores dictionary-encoded cells" (fun () ->
+        let spec, schema = specs_for "product" in
+        let st = AS.create spec schema in
+        let rng = Prng.create 11 in
+        let committed = List.init 20 (fun _ -> product_tup rng) in
+        List.iter (AS.insert_base st) committed;
+        let snap = AS.copy st in
+        AS.begin_txn st;
+        for _ = 1 to 25 do AS.insert_base st (product_tup rng) done;
+        List.iter (fun k -> AS.delete_base st (List.nth committed k)) [ 1; 3 ];
+        AS.rollback st;
+        Alcotest.(check bool) "restored" true (AS.equal st snap);
+        Alcotest.check relation "contents restored" (AS.to_relation snap)
+          (AS.to_relation st));
+    test "view rollback restores components and the dirty set" (fun () ->
+        let st = VS.create ~shards:2 vview ~determined:false in
+        let feed k v lbl = VS.feed st ~key:(row [ i k ]) ~cnt:1 (vs_contribs ~v ~lbl) in
+        feed 1 10 "a";
+        feed 1 20 "b";
+        feed 2 5 "a";
+        (* leave group 1 dirty on purpose: rollback must restore the set *)
+        let snap = VS.copy st in
+        Alcotest.(check bool) "dirty before txn" true (VS.is_dirty_pending st);
+        VS.begin_txn st;
+        ignore (VS.take_dirty st);
+        feed 3 7 "c";
+        VS.unfeed st ~key:(row [ i 1 ]) ~cnt:1 (vs_contribs ~v:20 ~lbl:"b");
+        VS.set_value st ~key:(row [ i 2 ]) ~item:4 (i 999);
+        VS.rollback st;
+        Alcotest.(check bool) "structurally restored" true (VS.equal st snap);
+        Alcotest.(check bool) "dirty set restored" true (VS.is_dirty_pending st);
+        Alcotest.(check int) "group count restored" 2 (VS.group_count st));
+  ]
+
+(* --- byte accounting ------------------------------------------------------ *)
+
+let accounting_tests =
+  [
+    test "byte accounting grows with content and survives copy" (fun () ->
+        let spec, schema = specs_for "product" in
+        let st = AS.create spec schema in
+        let empty_bytes = AS.byte_size st in
+        let rng = Prng.create 3 in
+        for _ = 1 to 200 do AS.insert_base st (product_tup rng) done;
+        Alcotest.(check bool) "bytes grew" true (AS.byte_size st > empty_bytes);
+        let snap = AS.copy st in
+        Alcotest.(check int) "copy accounts the same" (AS.byte_size st)
+          (AS.byte_size snap);
+        let vs = VS.create vview ~determined:false in
+        let before = VS.byte_size vs in
+        for k = 0 to 199 do
+          VS.feed vs ~key:(row [ i k ]) ~cnt:1 (vs_contribs ~v:k ~lbl:"x")
+        done;
+        Alcotest.(check bool) "view bytes grew" true (VS.byte_size vs > before);
+        Alcotest.(check bool) "view off-heap payload" true (VS.offheap_bytes vs > 0));
+  ]
+
+let () =
+  Alcotest.run "columnar"
+    [
+      ( "equivalence",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_aux_root;
+            prop_aux_dimension;
+            prop_view_matrix;
+            prop_parallel_equivalence;
+          ] );
+      ("dict", dict_tests);
+      ("column", column_tests);
+      ("rowmap", rowmap_tests);
+      ("index-repair", index_tests);
+      ("undo-journal", undo_tests);
+      ("accounting", accounting_tests);
+    ]

@@ -417,10 +417,136 @@ let corruption_tests =
         Sys.remove path);
   ]
 
+(* --- version-3 snapshot compatibility ------------------------------------ *)
+
+(* CRC-32 (IEEE, reflected), mirroring lib/warehouse/checksum.ml — needed to
+   reframe a crafted legacy payload with a valid frame header. *)
+let crc32 s =
+  let table =
+    Array.init 256 (fun n ->
+        let c = ref n in
+        for _ = 0 to 7 do
+          c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+        done;
+        !c)
+  in
+  let crc = ref 0xffffffff in
+  String.iter
+    (fun ch -> crc := table.((!crc lxor Char.code ch) land 0xff) lxor (!crc lsr 8))
+    s;
+  !crc lxor 0xffffffff
+
+(* Rewrite a version-4 snapshot into the version-3 format the boxed builds
+   wrote: three-field registration records { view; strategy; engine } with
+   the marshaled engine state in the last field. The v4 loader must ignore
+   that field entirely, so a placeholder stands in for the engine graph. *)
+let to_v3 path =
+  let v4_magic = "minview-warehouse-state/4\n" in
+  let v3_magic = "minview-warehouse-state/3\n" in
+  let s = read_file path in
+  let mlen = String.length v4_magic in
+  if not (String.length s > mlen + 8 && String.sub s 0 mlen = v4_magic) then
+    Alcotest.fail (path ^ ": not a version-4 snapshot");
+  let payload = String.sub s (mlen + 8) (String.length s - mlen - 8) in
+  let persisted, source, validator, dead, seq, domains =
+    (Marshal.from_string payload 0
+      : Obj.t list * Obj.t * Obj.t * Obj.t * Obj.t * Obj.t)
+  in
+  let olds =
+    List.map
+      (fun p ->
+        let r = Obj.new_block 0 3 in
+        Obj.set_field r 0 (Obj.field p 0);
+        Obj.set_field r 1 (Obj.field p 1);
+        Obj.set_field r 2 (Obj.repr "boxed engine state (ignored)");
+        r)
+      persisted
+  in
+  let payload' =
+    Marshal.to_string (olds, source, validator, dead, seq, domains) []
+  in
+  let b = Buffer.create (String.length payload' + mlen + 8) in
+  Buffer.add_string b v3_magic;
+  Buffer.add_int32_le b (Int32.of_int (String.length payload'));
+  Buffer.add_int32_le b (Int32.of_int (crc32 payload'));
+  Buffer.add_string b payload';
+  write_file path (Buffer.contents b)
+
+let v3_tests =
+  [
+    test "a version-3 snapshot loads and rebuilds engines" (fun () ->
+        let db = Workload.Retail.load tiny in
+        let wh = Warehouse.create db in
+        Warehouse.add_view wh Workload.Retail.product_sales;
+        Warehouse.add_view ~strategy:Warehouse.Psj wh
+          Workload.Retail.monthly_revenue;
+        let rng = Workload.Prng.create 23 in
+        Warehouse.ingest wh (Workload.Delta_gen.stream rng db ~n:30);
+        let path = tmp "wh_v3_compat.bin" in
+        Warehouse.save wh path;
+        to_v3 path;
+        let wh' = Warehouse.load path in
+        List.iter
+          (fun (v : View.t) ->
+            Alcotest.check relation v.View.name
+              (snd (Warehouse.query wh v.View.name))
+              (snd (Warehouse.query wh' v.View.name)))
+          [ Workload.Retail.product_sales; Workload.Retail.monthly_revenue ];
+        (* the rebuilt engines keep maintaining the views *)
+        Warehouse.ingest wh' (Workload.Delta_gen.stream rng db ~n:20);
+        Alcotest.check relation "still maintained"
+          (Algebra.Eval.eval db Workload.Retail.product_sales)
+          (snd (Warehouse.query wh' "product_sales"));
+        Sys.remove path);
+    test "recover replays a generation chain of version-3 snapshots"
+      (fun () ->
+        let db, wh = build () in
+        let dir = fresh_dir "wh_v3_chain_dir" in
+        Warehouse.attach ~keep_generations:2 wh ~dir;
+        let rng = Workload.Prng.create 29 in
+        for _ = 1 to 3 do
+          Warehouse.ingest wh (Workload.Delta_gen.stream rng db ~n:15);
+          Warehouse.checkpoint wh
+        done;
+        Warehouse.ingest wh (Workload.Delta_gen.stream rng db ~n:15);
+        Warehouse.close wh;
+        (* the deployment that wrote this chain ran a boxed build: every
+           snapshot on disk — live and archived — is version-3 *)
+        to_v3 (Filename.concat dir "snapshot.bin");
+        let gens = Filename.concat dir "generations" in
+        Array.iter
+          (fun f_name ->
+            if String.starts_with ~prefix:"snapshot-" f_name then
+              to_v3 (Filename.concat gens f_name))
+          (try Sys.readdir gens with Sys_error _ -> [||]);
+        let report = Warehouse.fsck ~dir in
+        Alcotest.(check bool) "v3 chain verifies" true
+          report.Warehouse.fsck_clean;
+        let wh' = Warehouse.recover ~dir in
+        Alcotest.(check int) "no committed batch lost" 4
+          (Warehouse.ingested_batches wh');
+        check_views wh' db;
+        Warehouse.close wh';
+        (* corrupt the (v3) newest snapshot: recovery must fall back to the
+           v3 generation K-1 and replay its archived WAL segment *)
+        flip_last_byte (Filename.concat dir "snapshot.bin");
+        let wh'' = Warehouse.recover ~dir in
+        Alcotest.(check int) "generation K-1 replayed" 4
+          (Warehouse.ingested_batches wh'');
+        check_views wh'' db;
+        (* the healed warehouse checkpoints in the current format and keeps
+           running *)
+        Warehouse.checkpoint wh'';
+        Warehouse.ingest wh'' (Workload.Delta_gen.stream rng db ~n:15);
+        check_views wh'' db;
+        Warehouse.close wh'');
+  ]
+
 let () =
   Alcotest.run "recovery"
     [
       ("crash-points", crash_tests); ("durability", durability_tests);
       ("generation-chain", chain_tests);
       ("snapshot-corruption", corruption_tests);
+      ("v3-compat", v3_tests);
     ]
