@@ -1957,6 +1957,267 @@ let columnar_bench () =
       best_improvement min_improvement;
   if not (bytes_ok && phase_ok && dispatch_ok) then exit 1
 
+(* --- E21: bench history + regression gate --------------------------------
+
+   [history] distills the key metrics out of whatever BENCH_*.json result
+   files the other experiments left behind (plus the overhead gate's
+   telemetry dump) into one schema-versioned JSONL record — git sha, date,
+   cores, flat metric map — appended to a history file. [regress] compares
+   the current result files against the last recorded baseline and exits 1
+   when any metric moved in its bad direction by more than the tolerance
+   AND more than a per-metric absolute floor (so microscopic baselines
+   cannot produce giant relative "regressions").
+
+   Env knobs:
+     BENCH_HISTORY_OUT           history path (default BENCH_history.jsonl)
+     BENCH_REGRESS_TOLERANCE_PCT relative tolerance (default 10)
+   The BENCH_*_OUT knobs of the producing experiments are honoured when
+   locating the result files. *)
+
+module J = Telemetry.Json
+
+type direction = Higher_better | Lower_better
+
+let history_schema = 1
+
+let history_path () =
+  Option.value (Sys.getenv_opt "BENCH_HISTORY_OUT")
+    ~default:"BENCH_history.jsonl"
+
+let read_file_opt path =
+  if Sys.file_exists path then
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> Some (really_input_string ic (in_channel_length ic)))
+  else None
+
+let git_sha () =
+  let from_git () =
+    try
+      let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+      let line = try input_line ic with End_of_file -> "" in
+      match Unix.close_process_in ic with
+      | Unix.WEXITED 0 when line <> "" -> Some (String.trim line)
+      | _ -> None
+    with _ -> None
+  in
+  match from_git () with
+  | Some sha -> sha
+  | None -> (
+    match Sys.getenv_opt "MINVIEW_BUILD_SHA" with
+    | Some s when s <> "" -> s
+    | Some _ | None -> "unknown")
+
+let iso_date () =
+  let tm = Unix.gmtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+(* The tracked metrics: (key, direction, absolute floor). Extraction pulls
+   each one from its producing experiment's result file when present —
+   records carry whatever subset of the registry was found, so partial
+   bench runs still produce comparable history. *)
+let extract_metrics () =
+  let out = ref [] in
+  let add key dir floor = function
+    | Some v when Float.is_finite v -> out := (key, dir, floor, v) :: !out
+    | Some _ | None -> ()
+  in
+  let with_json env default f =
+    match
+      Option.bind
+        (read_file_opt (Option.value (Sys.getenv_opt env) ~default))
+        (fun s -> Result.to_option (J.parse s))
+    with
+    | Some j -> f j
+    | None -> ()
+  in
+  let num j k = Option.bind (J.member k j) J.to_float in
+  with_json "BENCH_APPLY_OUT" "BENCH_apply.json" (fun j ->
+      add "apply.journal_ratio_max_over_min" Lower_better 0.3
+        (num j "ratio_max_over_min"));
+  with_json "BENCH_PARALLEL_OUT" "BENCH_parallel.json" (fun j ->
+      add "parallel.root_heavy_speedup" Higher_better 0.2
+        (num j "root_heavy_speedup_at_max_domains");
+      add "parallel.zipf_compaction_ratio" Higher_better 0.5
+        (num j "zipf_compaction_ratio"));
+  with_json "BENCH_OVERHEAD_OUT" "BENCH_overhead.json" (fun j ->
+      add "overhead.overhead_pct" Lower_better 1.0 (num j "overhead_pct"));
+  with_json "BENCH_SERVE_OUT" "BENCH_serve.json" (fun j ->
+      add "serve.writer_ratio_at_max_readers" Higher_better 0.1
+        (num j "writer_ratio_at_max_readers");
+      let at_max =
+        List.fold_left
+          (fun best entry ->
+            match num entry "readers" with
+            | Some r when r > 0. -> (
+              match best with
+              | Some (br, _) when br >= r -> best
+              | _ -> Some (r, entry))
+            | _ -> best)
+          None
+          (J.to_list (Option.value ~default:J.Null (J.member "grid" j)))
+      in
+      match at_max with
+      | Some (_, entry) ->
+        add "serve.read_p95_ms_at_max_readers" Lower_better 0.5
+          (num entry "read_p95_ms")
+      | None -> ());
+  with_json "BENCH_COLUMNAR_OUT" "BENCH_columnar.json" (fun j ->
+      add "columnar.bytes_ratio_overall" Higher_better 0.2
+        (num j "bytes_ratio_overall");
+      add "columnar.best_improvement" Higher_better 0.2
+        (num j "best_improvement_vs_baseline");
+      List.iter
+        (fun entry ->
+          match Option.bind (J.member "case" entry) J.to_string with
+          | Some case ->
+            add
+              (Printf.sprintf "columnar.bytes_per_row.%s" case)
+              Lower_better 2.0
+              (num entry "columnar_bytes_per_row")
+          | None -> ())
+        (J.to_list (Option.value ~default:J.Null (J.member "bytes" j))));
+  (* phase p95s from the overhead gate's telemetry dump (one JSON object
+     per line) *)
+  (match
+     read_file_opt
+       (Option.value
+          (Sys.getenv_opt "BENCH_OVERHEAD_DUMP")
+          ~default:"TELEMETRY_dump.json")
+   with
+  | Some dump ->
+    List.iter
+      (fun line ->
+        match J.parse (String.trim line) with
+        | Ok j
+          when Option.bind (J.member "name" j) J.to_string
+               = Some "minview_engine_phase_seconds" -> (
+          match Option.bind (J.path [ "labels"; "phase" ] j) J.to_string with
+          | Some phase ->
+            add
+              (Printf.sprintf "phase_p95_ms.%s" phase)
+              Lower_better 1.0
+              (Option.map
+                 (fun s -> s *. 1000.)
+                 (Option.bind (J.member "p95" j) J.to_float))
+          | None -> ())
+        | Ok _ | Error _ -> ())
+      (String.split_on_char '\n' dump)
+  | None -> ());
+  List.sort (fun (a, _, _, _) (b, _, _, _) -> compare a b) !out
+
+let history_record metrics =
+  Printf.sprintf
+    "{\"schema\":%d,\"sha\":\"%s\",\"date\":\"%s\",\"cores\":%d,\"metrics\":{%s}}"
+    history_schema (git_sha ()) (iso_date ())
+    (Domain.recommended_domain_count ())
+    (String.concat ","
+       (List.map
+          (fun (k, _, _, v) -> Printf.sprintf "\"%s\":%.6g" k v)
+          metrics))
+
+let append_history metrics =
+  let path = history_path () in
+  let oc =
+    open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
+  in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> Printf.fprintf oc "%s\n" (history_record metrics));
+  path
+
+let bench_history () =
+  let metrics = extract_metrics () in
+  if metrics = [] then
+    Printf.eprintf
+      "warning: no BENCH_*.json result files found — recording an empty \
+       history entry\n";
+  let path = append_history metrics in
+  Printf.printf "appended %d metric(s) to %s\n" (List.length metrics) path
+
+(* the newest parseable record with a metrics object wins *)
+let last_baseline () =
+  Option.bind (read_file_opt (history_path ())) (fun data ->
+      List.fold_left
+        (fun acc line ->
+          match J.parse (String.trim line) with
+          | Ok j when J.member "metrics" j <> None -> Some j
+          | Ok _ | Error _ -> acc)
+        None
+        (String.split_on_char '\n' data))
+
+let bench_regress () =
+  let tolerance =
+    match
+      Option.bind
+        (Sys.getenv_opt "BENCH_REGRESS_TOLERANCE_PCT")
+        float_of_string_opt
+    with
+    | Some t when t >= 0. -> t
+    | Some _ | None -> 10.
+  in
+  let current = extract_metrics () in
+  match last_baseline () with
+  | None ->
+    let path = append_history current in
+    Printf.printf
+      "no baseline in %s: recorded the current run as the initial baseline \
+       (%d metrics)\n"
+      path (List.length current)
+  | Some base ->
+    let base_sha =
+      Option.value ~default:"?"
+        (Option.bind (J.member "sha" base) J.to_string)
+    in
+    let base_of k = Option.bind (J.path [ "metrics"; k ] base) J.to_float in
+    Printf.printf
+      "regression gate: tolerance %.0f%% against baseline %s (%s)\n%-42s %12s \
+       %12s %9s  %s\n"
+      tolerance base_sha
+      (Option.value ~default:"?"
+         (Option.bind (J.member "date" base) J.to_string))
+      "metric" "baseline" "current" "delta" "status";
+    let failures =
+      List.fold_left
+        (fun failures (key, dir, floor, cur) ->
+          match base_of key with
+          | None ->
+            Printf.printf "%-42s %12s %12.4g %9s  new\n" key "-" cur "-";
+            failures
+          | Some bv ->
+            let worsening =
+              match dir with
+              | Lower_better -> cur -. bv
+              | Higher_better -> bv -. cur
+            in
+            let rel_pct =
+              worsening /. Float.max (Float.abs bv) 1e-9 *. 100.
+            in
+            let regressed = rel_pct > tolerance && worsening > floor in
+            Printf.printf "%-42s %12.4g %12.4g %8.1f%%  %s\n" key bv cur
+              rel_pct
+              (if regressed then "REGRESSED"
+               else if rel_pct > tolerance then "ok (within floor)"
+               else "ok");
+            if regressed then (key, bv, cur, rel_pct) :: failures
+            else failures)
+        [] current
+    in
+    if failures = [] then
+      Printf.printf "regression gate passed (%d metric(s) compared)\n"
+        (List.length current)
+    else begin
+      List.iter
+        (fun (key, bv, cur, pct) ->
+          Printf.eprintf "FAIL: %s regressed %.1f%% (%.4g -> %.4g)\n" key pct
+            bv cur)
+        (List.rev failures);
+      exit 1
+    end
+
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
@@ -1965,7 +2226,8 @@ let experiments =
     ("timings", timings); ("endurance", endurance);
     ("apply-scaling", apply_scaling); ("parallel", parallel_scaling);
     ("overhead", overhead); ("serve", serve_bench);
-    ("columnar", columnar_bench);
+    ("columnar", columnar_bench); ("history", bench_history);
+    ("regress", bench_regress);
   ]
 
 let () =
@@ -1977,18 +2239,20 @@ let () =
         (fun (n, _) ->
           n <> "timings" && n <> "endurance" && n <> "apply-scaling"
           && n <> "parallel" && n <> "overhead" && n <> "serve"
-          && n <> "columnar")
+          && n <> "columnar" && n <> "history" && n <> "regress")
         experiments
       |> List.map fst
     | [ "all" ] ->
       (* endurance reports resident memory, which is only meaningful in a
          fresh process: run it standalone; apply-scaling and parallel build
          million-row instances and are likewise opt-in; overhead is the CI
-         gate and toggles the global telemetry switch *)
+         gate and toggles the global telemetry switch; history/regress only
+         read the other experiments' result files *)
       List.filter
         (fun (n, _) ->
           n <> "endurance" && n <> "apply-scaling" && n <> "parallel"
-          && n <> "overhead" && n <> "serve" && n <> "columnar")
+          && n <> "overhead" && n <> "serve" && n <> "columnar"
+          && n <> "history" && n <> "regress")
         experiments
       |> List.map fst
     | xs -> xs

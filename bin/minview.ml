@@ -807,13 +807,52 @@ let serve_cmd =
       value & opt int 42
       & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed for $(b,--simulate).")
   in
-  let run () script port strategy simulate seed =
+  let metrics_port_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "metrics-port" ] ~docv:"PORT"
+          ~doc:
+            "Also export observability over HTTP on 127.0.0.1:$(docv) \
+             ($(b,0) picks an ephemeral port, printed on startup): \
+             $(b,GET /metrics) (Prometheus text, runtime GC and off-heap \
+             gauges included), $(b,GET /healthz) (200/503 with JSON \
+             checks) and $(b,GET /profile). The exporter runs on its own \
+             domain; runtime gauges are sampled on every committed batch.")
+  in
+  let slowlog_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "slowlog" ] ~docv:"PATH"
+          ~doc:
+            "Append a JSON line per slow QUERY/RECONSTRUCT to $(docv) \
+             (size-capped, rotated shift-style). Inspect with $(b,minview \
+             slowlog).")
+  in
+  let slow_ms_arg =
+    Arg.(
+      value & opt float 100.
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:"Slow-query threshold in milliseconds (default 100).")
+  in
+  let run () script port strategy simulate seed metrics_port slowlog slow_ms =
     with_errors (fun () ->
         let db, views = load_script script in
         if views = [] then prerr_endline "warning: script defines no views";
         let wh = Warehouse.create db in
         List.iter (Warehouse.add_view ~strategy wh) views;
-        let srv = Serve.create ~port wh in
+        let sink =
+          Option.map
+            (fun path ->
+              Telemetry.Jsonl_sink.open_ ~max_bytes:(4 * 1024 * 1024) ~keep:4
+                path)
+            slowlog
+        in
+        let srv =
+          Serve.create ?slowlog:sink ~slow_threshold_s:(slow_ms /. 1000.)
+            ~port wh
+        in
         (* graceful shutdown: SIGINT/SIGTERM ask the loop to stop after the
            current poll (one atomic store, async-signal-safe) *)
         let stop _ = Serve.request_stop srv in
@@ -824,6 +863,27 @@ let serve_cmd =
           (match Warehouse.view_names wh with
           | [] -> "none"
           | names -> String.concat ", " names);
+        (* the performance observatory: runtime gauges sampled on every
+           commit (and primed once now, before any batch lands), off-heap
+           bytes sourced from this warehouse, the exporter on its own
+           domain so scrapes never block the serving loop *)
+        let exporter =
+          Option.map
+            (fun mport ->
+              let exp =
+                Telemetry.Http_exporter.create ~port:mport
+                  ~health:(fun () -> Warehouse.health wh)
+                  ()
+              in
+              Warehouse.publish_offheap wh;
+              Telemetry.Runtime.set_auto_sample true;
+              Telemetry.Runtime.sample ();
+              Printf.printf
+                "minview serve: exporting metrics on 127.0.0.1:%d\n%!"
+                (Telemetry.Http_exporter.port exp);
+              (exp, Domain.spawn (fun () -> Telemetry.Http_exporter.run exp)))
+            metrics_port
+        in
         let tick =
           Option.map
             (fun n ->
@@ -832,6 +892,12 @@ let serve_cmd =
             simulate
         in
         Serve.run ?tick srv;
+        Option.iter
+          (fun (exp, dom) ->
+            Telemetry.Http_exporter.request_stop exp;
+            Domain.join dom)
+          exporter;
+        Option.iter Telemetry.Jsonl_sink.close sink;
         Printf.printf "minview serve: shut down after %d request(s)\n%!"
           (Serve.requests srv))
   in
@@ -842,10 +908,132 @@ let serve_cmd =
           $(b,RECONSTRUCT) / $(b,METRICS) / $(b,PING), with per-connection \
           read epochs ($(b,PIN)/$(b,EPOCH)) and graceful shutdown \
           ($(b,SHUTDOWN), SIGINT or SIGTERM). Reads are served from \
-          published read epochs, so they never block ingestion.")
+          published read epochs, so they never block ingestion. With \
+          $(b,--metrics-port) the performance observatory is exported over \
+          HTTP next to the serving loop; with $(b,--slowlog) slow queries \
+          are journaled for $(b,minview slowlog).")
     Term.(
       const run $ setup_term $ script_arg $ port_arg $ strategy_arg
-      $ simulate_arg $ seed_arg)
+      $ simulate_arg $ seed_arg $ metrics_port_arg $ slowlog_arg $ slow_ms_arg)
+
+let export_cmd =
+  let port_arg =
+    Arg.(
+      value & opt int 9171
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:
+            "HTTP port to export on (loopback only); $(b,0) picks an \
+             ephemeral port, printed on startup.")
+  in
+  let run () script changes strategy port =
+    with_errors (fun () ->
+        let wh = run_pipeline script changes strategy 0 in
+        let exp =
+          Telemetry.Http_exporter.create ~port
+            ~health:(fun () -> Warehouse.health wh)
+            ()
+        in
+        Warehouse.publish_offheap wh;
+        (* no writer domain here: leave auto-sampling off so every scrape
+           takes a fresh runtime sample *)
+        let stop _ = Telemetry.Http_exporter.request_stop exp in
+        ignore (Sys.signal Sys.sigint (Sys.Signal_handle stop));
+        ignore (Sys.signal Sys.sigterm (Sys.Signal_handle stop));
+        Printf.printf "minview export: serving metrics on 127.0.0.1:%d\n%!"
+          (Telemetry.Http_exporter.port exp);
+        Telemetry.Http_exporter.run exp;
+        Printf.printf "minview export: shut down after %d request(s)\n%!"
+          (Telemetry.Http_exporter.requests exp);
+        Warehouse.close wh)
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:
+         "Load the schema, register its views, optionally ingest a change \
+          script, then export the telemetry over HTTP until interrupted: \
+          $(b,GET /metrics) (Prometheus text exposition), $(b,GET /healthz) \
+          and $(b,GET /profile) on 127.0.0.1.")
+    Term.(
+      const run $ setup_term $ script_arg $ changes_opt $ strategy_arg
+      $ port_arg)
+
+let slowlog_cmd =
+  let path_arg =
+    Arg.(
+      value
+      & pos 0 string "slowlog.jsonl"
+      & info [] ~docv:"PATH"
+          ~doc:"Slowlog file written by $(b,minview serve --slowlog).")
+  in
+  let run () path json =
+    with_errors (fun () ->
+        let lines =
+          if not (Sys.file_exists path) then
+            raise
+              (Sys_error (Printf.sprintf "%s: no such slowlog (nothing slow \
+                                          yet, or wrong path?)" path))
+          else begin
+            let ic = open_in path in
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () ->
+                let rec go acc =
+                  match input_line ic with
+                  | l -> go (if String.trim l = "" then acc else l :: acc)
+                  | exception End_of_file -> List.rev acc
+                in
+                go [])
+          end
+        in
+        if json then List.iter print_endline lines
+        else begin
+          let module J = Telemetry.Json in
+          let field j k = Option.bind (J.member k j) J.to_float in
+          let str j k = Option.bind (J.member k j) J.to_string in
+          let rows =
+            List.filter_map
+              (fun l ->
+                match J.parse l with
+                | Error _ -> None
+                | Ok j ->
+                  let num k =
+                    match field j k with
+                    | Some f when Float.is_integer f ->
+                      Printf.sprintf "%.0f" f
+                    | Some f -> Printf.sprintf "%g" f
+                    | None -> "?"
+                  in
+                  Some
+                    [
+                      (match field j "ts" with
+                      | Some ts -> Printf.sprintf "%.3f" ts
+                      | None -> "?");
+                      Option.value ~default:"?" (str j "verb");
+                      Option.value ~default:"?" (str j "view");
+                      num "epoch"; num "rows";
+                      (match field j "dur_s" with
+                      | Some d -> Printf.sprintf "%.1f" (d *. 1000.)
+                      | None -> "?");
+                    ])
+              lines
+          in
+          Printf.printf "%d slow quer%s in %s\n" (List.length rows)
+            (if List.length rows = 1 then "y" else "ies")
+            path;
+          if rows <> [] then
+            print_string
+              (Relational.Table_printer.render
+                 ~header:[ "ts"; "verb"; "view"; "epoch"; "rows"; "ms" ]
+                 rows)
+        end)
+  in
+  Cmd.v
+    (Cmd.info "slowlog"
+       ~doc:
+         "Inspect a slow-query log written by $(b,minview serve --slowlog): \
+          a human table by default, the raw JSON lines with $(b,--json). \
+          Rotated generations (PATH.1, PATH.2, ...) hold older entries.")
+    Term.(const run $ setup_term $ path_arg $ json_flag)
 
 let demo_cmd =
   let run () =
@@ -915,7 +1103,7 @@ let main =
     [ derive_cmd; dot_cmd; explain_cmd; simulate_cmd; reconstruct_cmd;
       sharing_cmd; verify_cmd; recover_cmd; audit_cmd; fsck_cmd; repair_cmd;
       metrics_cmd; trace_cmd; lineage_cmd; attribute_cmd; serve_cmd;
-      demo_cmd ]
+      export_cmd; slowlog_cmd; demo_cmd ]
 
 let () =
   (* the fault-injection harness: MINVIEW_FAULT=<point>[:skip] arms a named

@@ -96,6 +96,23 @@ module Obs = struct
   let shard_apply = phase "shard-apply"
   let view_update = phase "view-update"
 
+  (* Allocation profile next to the latency profile: the coordinating
+     domain's [Gc.allocated_bytes] delta over each phase (worker-domain
+     allocations in sharded phases are not attributed). Log-scale from
+     4 KiB: phase footprints span batch sizes, not microseconds. *)
+  let phase_alloc p =
+    Telemetry.Histogram.make
+      ~labels:[ ("phase", p) ]
+      ~help:"Bytes allocated during one maintenance pipeline phase"
+      ~lo:4096. ~factor:4. ~buckets:24 "minview_engine_phase_alloc_bytes"
+
+  let compact_alloc = phase_alloc "compact"
+  let weighted_merge_alloc = phase_alloc "weighted-merge"
+  let dim_apply_alloc = phase_alloc "dim-apply"
+  let prepare_alloc = phase_alloc "prepare"
+  let shard_apply_alloc = phase_alloc "shard-apply"
+  let view_update_alloc = phase_alloc "view-update"
+
   let apply_mode m =
     Telemetry.Histogram.make
       ~labels:[ ("mode", m) ]
@@ -1120,7 +1137,8 @@ let apply_root_ops t pool ops =
      tests and join probes read dimension auxiliary views (concurrent pure
      reads of hash tables are safe; nothing mutates during this phase),
      group keys and contributions are materialized per operation. *)
-  Telemetry.with_phase Obs.prepare "engine.prepare" (fun () ->
+  Telemetry.with_phase Obs.prepare ~alloc:Obs.prepare_alloc "engine.prepare"
+    (fun () ->
       Shard.run pool ~workers:nw (fun w ->
           let lo = n * w / nw and hi = n * (w + 1) / nw in
           for i = lo to hi - 1 do
@@ -1145,7 +1163,8 @@ let apply_root_ops t pool ops =
      stay at or above their final value throughout, so a group whose net
      change is zero is never transiently destroyed (which would lose
      extremum/DISTINCT components and dirty marks). *)
-  Telemetry.with_phase Obs.shard_apply "engine.shard-apply" (fun () ->
+  Telemetry.with_phase Obs.shard_apply ~alloc:Obs.shard_apply_alloc
+    "engine.shard-apply" (fun () ->
       Shard.run pool ~workers:nw (fun w ->
           let apply_op op =
             let cnt = abs op.net in
@@ -1284,8 +1303,8 @@ let apply_batch_parallel t pool deltas =
       deltas;
   let pre_flow = flow_pre t in
   let net =
-    Telemetry.with_phase Obs.compact "engine.compact" (fun () ->
-        net_batch t deltas)
+    Telemetry.with_phase Obs.compact ~alloc:Obs.compact_alloc "engine.compact"
+      (fun () -> net_batch t deltas)
   in
   if Telemetry.enabled () then begin
     Telemetry.Counter.inc Obs.deltas_total
@@ -1304,7 +1323,8 @@ let apply_batch_parallel t pool deltas =
     List.sort (fun (a, _, _) (b, _, _) -> compare b a) (List.rev !dims)
   in
   let shallow_first = List.rev deep_first in
-  Telemetry.with_phase Obs.dim_apply "engine.dim-apply" (fun () ->
+  Telemetry.with_phase Obs.dim_apply ~alloc:Obs.dim_apply_alloc
+    "engine.dim-apply" (fun () ->
       List.iter
         (fun (_, tbl, ds) ->
           List.iter
@@ -1334,13 +1354,13 @@ let apply_batch_parallel t pool deltas =
       applied_ops := dim_ops () + root_changes;
       Telemetry.Counter.inc Obs.ops_applied !applied_ops
     end;
-    Telemetry.with_phase Obs.shard_apply "engine.shard-apply" (fun () ->
-        apply_root_direct t !root_deltas)
+    Telemetry.with_phase Obs.shard_apply ~alloc:Obs.shard_apply_alloc
+      "engine.shard-apply" (fun () -> apply_root_direct t !root_deltas)
   end
   else begin
     let ops =
-      Telemetry.with_phase Obs.weighted_merge "engine.weighted-merge"
-        (fun () -> root_merge t !root_deltas)
+      Telemetry.with_phase Obs.weighted_merge ~alloc:Obs.weighted_merge_alloc
+        "engine.weighted-merge" (fun () -> root_merge t !root_deltas)
     in
     if Telemetry.enabled () then begin
       Telemetry.Counter.inc Obs.merge_folds
@@ -1355,7 +1375,8 @@ let apply_batch_parallel t pool deltas =
     end;
     apply_root_ops t pool ops
   end;
-  Telemetry.with_phase Obs.dim_apply "engine.dim-apply" (fun () ->
+  Telemetry.with_phase Obs.dim_apply ~alloc:Obs.dim_apply_alloc
+    "engine.dim-apply" (fun () ->
       List.iter
         (fun (_, tbl, ds) ->
           List.iter
@@ -1365,8 +1386,8 @@ let apply_batch_parallel t pool deltas =
               | Delta.Insert _ | Delta.Update _ -> ())
             ds)
         shallow_first);
-  Telemetry.with_phase Obs.view_update "engine.view-update" (fun () ->
-      flush t);
+  Telemetry.with_phase Obs.view_update ~alloc:Obs.view_update_alloc
+    "engine.view-update" (fun () -> flush t);
   flow_finish t pre_flow ~mode:"parallel"
     ~deltas_in:net.Delta_batch.stats.Delta_batch.input
     ~netted:net.Delta_batch.stats.Delta_batch.output ~applied:!applied_ops
@@ -1384,8 +1405,8 @@ let apply_batch ?parallel t deltas =
       ~attrs:[ ("mode", "serial"); ("view", t.view.View.name) ]
       (fun () ->
         List.iter (route t) deltas;
-        Telemetry.with_phase Obs.view_update "engine.view-update" (fun () ->
-            flush t));
+        Telemetry.with_phase Obs.view_update ~alloc:Obs.view_update_alloc
+          "engine.view-update" (fun () -> flush t));
     (* the serial path neither compacts nor merges: every known delta is
        applied as is *)
     flow_finish t pre_flow ~mode:"serial" ~deltas_in:known ~netted:known
@@ -1461,6 +1482,17 @@ let measured_bytes t =
              ((Aux_state.spec st).Auxview.name, Aux_state.byte_size st))
            (aux_of t tbl))
        t.view.View.tables
+
+(* Off-heap (Bigarray) bytes across the view state and every auxiliary
+   view — the columnar payloads the GC gauges cannot see. *)
+let offheap_bytes t =
+  List.fold_left
+    (fun acc tbl ->
+      match aux_of t tbl with
+      | Some st -> acc + Aux_state.offheap_bytes st
+      | None -> acc)
+    (View_state.offheap_bytes t.vstate)
+    t.view.View.tables
 
 (* --- drift auditor ------------------------------------------------------ *)
 

@@ -123,6 +123,10 @@ val storage_profile : t -> (string * int * int) list
     accounting ({!Aux_state.byte_size}, {!View_state.byte_size}). *)
 val measured_bytes : t -> (string * int) list
 
+(** Off-heap (Bigarray) bytes across the view state and every auxiliary
+    view — the columnar payloads the GC heap gauges cannot see. *)
+val offheap_bytes : t -> int
+
 (** {2 Lineage and drift auditing} *)
 
 (** Lineage flow of the most recent {!apply_batch}: deltas in -> netted ->

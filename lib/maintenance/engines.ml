@@ -159,6 +159,13 @@ let measured_bytes = function
   | Split p -> Some (Partitioned.measured_bytes p)
   | Recompute _ -> None
 
+(* Off-heap bytes exist only where columnar state does; the boxed-replica
+   baseline contributes zero. *)
+let offheap_bytes = function
+  | Incremental { engine; _ } -> Engine.offheap_bytes engine
+  | Split p -> Partitioned.offheap_bytes p
+  | Recompute _ -> 0
+
 let derivation = function
   | Incremental { engine; _ } -> Some (Engine.derivation engine)
   | Recompute _ | Split _ -> None

@@ -109,6 +109,10 @@ val detail_profile : t -> (string * int * int) list
     fall back to the bytes-per-field estimate. *)
 val measured_bytes : t -> (string * int) list option
 
+(** Off-heap (Bigarray) bytes held by this configuration's columnar
+    storage; [0] for the recompute baseline. *)
+val offheap_bytes : t -> int
+
 (** The derivation backing an incremental configuration, if any. *)
 val derivation : t -> Mindetail.Derive.t option
 

@@ -232,3 +232,6 @@ let measured_bytes t =
   @ List.map
       (fun (n, b) -> ("current/" ^ n, b))
       (Engine.measured_bytes t.current_engine)
+
+let offheap_bytes t =
+  Engine.offheap_bytes t.old_engine + Engine.offheap_bytes t.current_engine

@@ -81,3 +81,7 @@ val detail_profile : t -> (string * int * int) list
     included), with "old/"- and "current/"-prefixed names — see
     {!Engine.measured_bytes}. *)
 val measured_bytes : t -> (string * int) list
+
+(** Off-heap (Bigarray) bytes across both partitions — see
+    {!Engine.offheap_bytes}. *)
+val offheap_bytes : t -> int

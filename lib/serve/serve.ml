@@ -14,6 +14,7 @@ type obs = {
   o_requests : Telemetry.Counter.t;
   o_request_seconds : Telemetry.Histogram.t;
   o_connections : Telemetry.Gauge.t;
+  o_slow_queries : Telemetry.Counter.t;
 }
 
 let make_obs () =
@@ -27,6 +28,10 @@ let make_obs () =
     o_connections =
       Telemetry.Gauge.make ~help:"Open minview serve connections"
         "minview_serve_connections";
+    o_slow_queries =
+      Telemetry.Counter.make
+        ~help:"QUERY/RECONSTRUCT requests at or above the slow threshold"
+        "minview_serve_slow_queries_total";
   }
 
 type conn = {
@@ -42,6 +47,8 @@ type t = {
   bound_port : int;
   obs : obs;
   stop : bool Atomic.t;
+  slowlog : Telemetry.Jsonl_sink.t option;
+  slow_threshold_s : float;
   mutable conns : conn list;
   mutable served : int;
 }
@@ -50,7 +57,7 @@ let port t = t.bound_port
 let requests t = t.served
 let request_stop t = Atomic.set t.stop true
 
-let create ?(backlog = 16) ~port wh =
+let create ?(backlog = 16) ?slowlog ?(slow_threshold_s = 0.1) ~port wh =
   let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
   (match
      Unix.setsockopt fd Unix.SO_REUSEADDR true;
@@ -80,6 +87,8 @@ let create ?(backlog = 16) ~port wh =
     bound_port;
     obs = make_obs ();
     stop = Atomic.make false;
+    slowlog;
+    slow_threshold_s;
     conns = [];
     served = 0;
   }
@@ -133,9 +142,10 @@ let query_response conn t name =
   let s = conn.pinned in
   let columns, rows = Warehouse.read_view ~snapshot:s t.wh name in
   let sorted = Relation.to_sorted_list rows in
+  let n = List.length sorted in
   let head =
-    Printf.sprintf "+ROWS %d %d %d" (List.length sorted)
-      (Warehouse.snapshot_epoch s) (Warehouse.snapshot_seq s)
+    Printf.sprintf "+ROWS %d %d %d" n (Warehouse.snapshot_epoch s)
+      (Warehouse.snapshot_seq s)
   in
   let b = Buffer.create 1024 in
   Buffer.add_string b (head ^ "\n");
@@ -146,9 +156,47 @@ let query_response conn t name =
       Buffer.add_char b '\n')
     sorted;
   Buffer.add_string b ".\n";
-  send conn (Buffer.contents b)
+  send conn (Buffer.contents b);
+  n
 
 let split_lines s = String.split_on_char '\n' (String.trim s)
+
+(* Per-query observability: a span per QUERY/RECONSTRUCT, plus a slowlog
+   line when the request crossed the threshold and a sink is configured.
+   Slowlog writes must never take the connection down with them. *)
+let note_query t conn ~span ~verb ~view ~rows ~start_s =
+  let dur_s = Telemetry.now_s () -. start_s in
+  let epoch = Warehouse.snapshot_epoch conn.pinned in
+  let seq = Warehouse.snapshot_seq conn.pinned in
+  if Telemetry.enabled () then
+    Telemetry.Trace.record
+      {
+        Telemetry.Trace.name = span;
+        start_s;
+        dur_s;
+        attrs =
+          [
+            ("verb", verb);
+            ("view", view);
+            ("epoch", string_of_int epoch);
+            ("seq", string_of_int seq);
+            ("rows", string_of_int rows);
+          ];
+      };
+  if dur_s >= t.slow_threshold_s then begin
+    Telemetry.Counter.one t.obs.o_slow_queries;
+    Option.iter
+      (fun sink ->
+        try
+          Telemetry.Jsonl_sink.write_line sink
+            (Printf.sprintf
+               "{\"ts\":%.6f,\"verb\":\"%s\",\"view\":\"%s\",\"epoch\":%d,\"seq\":%d,\"rows\":%d,\"dur_s\":%.6f}"
+               start_s verb
+               (Telemetry.Trace.json_escape view)
+               epoch seq rows dur_s)
+        with Sys_error _ -> ())
+      t.slowlog
+  end
 
 (* --- request dispatch ---------------------------------------------------- *)
 
@@ -181,14 +229,22 @@ let handle_request t conn raw =
            (fun v -> v.View.name)
            (Warehouse.snapshot_views conn.pinned))
     | "QUERY" -> (
+      let start_s = Telemetry.now_s () in
       match query_response conn t arg with
-      | () -> ()
+      | rows ->
+        note_query t conn ~span:"serve.query" ~verb:"QUERY" ~view:arg ~rows
+          ~start_s
       | exception Warehouse.Error { kind; detail } -> err_line conn kind detail)
     | "RECONSTRUCT" -> (
+      let start_s = Telemetry.now_s () in
       match Warehouse.derivation_of t.wh arg with
       | Some d -> (
         match Mindetail.Reconstruct.to_sql d with
-        | sql -> body conn "+SQL" (split_lines sql)
+        | sql ->
+          let lines = split_lines sql in
+          body conn "+SQL" lines;
+          note_query t conn ~span:"serve.reconstruct" ~verb:"RECONSTRUCT"
+            ~view:arg ~rows:(List.length lines) ~start_s
         | exception Mindetail.Reconstruct.Not_reconstructible m ->
           err_line conn Warehouse.Invalid_request ("not reconstructible: " ^ m))
       | None ->

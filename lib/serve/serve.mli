@@ -39,8 +39,25 @@ type t
 (** [create ~port wh] binds and listens on [127.0.0.1:port] ([port = 0]
     picks an ephemeral port — read it back with {!port}). Registers the
     [minview_serve_*] metrics.
+
+    Every [QUERY]/[RECONSTRUCT] records a [serve.query] /
+    [serve.reconstruct] span (attrs: verb, view, epoch, seq, rows). A
+    request taking at least [?slow_threshold_s] seconds (default 0.1)
+    additionally bumps [minview_serve_slow_queries_total] and — when
+    [?slowlog] is given — appends one JSON line
+    [{"ts","verb","view","epoch","seq","rows","dur_s"}] to the sink,
+    whose size cap/rotation the caller controls
+    ({!Telemetry.Jsonl_sink.open_}). The sink is written from the serving
+    domain only; the caller remains its owner and closes it after {!run}
+    returns.
     @raise Warehouse.Error ([Io_error]) when binding fails. *)
-val create : ?backlog:int -> port:int -> Warehouse.t -> t
+val create :
+  ?backlog:int ->
+  ?slowlog:Telemetry.Jsonl_sink.t ->
+  ?slow_threshold_s:float ->
+  port:int ->
+  Warehouse.t ->
+  t
 
 (** The bound port (the actual one when created with [port = 0]). *)
 val port : t -> int

@@ -1,0 +1,190 @@
+(* Minimal JSON reader for the repo's own machine output (bench result
+   files, slowlog/lineage JSONL, telemetry dumps). Zero dependencies;
+   recursive descent over a string. Accepts exactly RFC 8259 syntax with
+   two liberties that match our writers: top-level scalars are allowed,
+   and [\uXXXX] escapes outside ASCII decode to ['?'] (none of our
+   writers emit them). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+type cursor = { s : string; mutable i : int }
+
+let error c fmt =
+  Printf.ksprintf (fun m -> raise (Parse_error (Printf.sprintf "at %d: %s" c.i m))) fmt
+
+let peek c = if c.i < String.length c.s then Some c.s.[c.i] else None
+
+let skip_ws c =
+  while
+    c.i < String.length c.s
+    && match c.s.[c.i] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    c.i <- c.i + 1
+  done
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> c.i <- c.i + 1
+  | Some x -> error c "expected %c, got %c" ch x
+  | None -> error c "expected %c, got end of input" ch
+
+let literal c word v =
+  let n = String.length word in
+  if c.i + n <= String.length c.s && String.sub c.s c.i n = word then begin
+    c.i <- c.i + n;
+    v
+  end
+  else error c "unrecognized literal"
+
+let hex_digit = function
+  | '0' .. '9' as ch -> Char.code ch - Char.code '0'
+  | 'a' .. 'f' as ch -> Char.code ch - Char.code 'a' + 10
+  | 'A' .. 'F' as ch -> Char.code ch - Char.code 'A' + 10
+  | _ -> -1
+
+let parse_string c =
+  expect c '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    if c.i >= String.length c.s then error c "unterminated string";
+    match c.s.[c.i] with
+    | '"' -> c.i <- c.i + 1
+    | '\\' ->
+      c.i <- c.i + 1;
+      (if c.i >= String.length c.s then error c "unterminated escape";
+       match c.s.[c.i] with
+       | '"' -> Buffer.add_char b '"'; c.i <- c.i + 1
+       | '\\' -> Buffer.add_char b '\\'; c.i <- c.i + 1
+       | '/' -> Buffer.add_char b '/'; c.i <- c.i + 1
+       | 'n' -> Buffer.add_char b '\n'; c.i <- c.i + 1
+       | 't' -> Buffer.add_char b '\t'; c.i <- c.i + 1
+       | 'r' -> Buffer.add_char b '\r'; c.i <- c.i + 1
+       | 'b' -> Buffer.add_char b '\b'; c.i <- c.i + 1
+       | 'f' -> Buffer.add_char b '\012'; c.i <- c.i + 1
+       | 'u' ->
+         if c.i + 4 >= String.length c.s then error c "truncated \\u escape";
+         let v =
+           List.fold_left
+             (fun acc k ->
+               let d = hex_digit c.s.[c.i + k] in
+               if d < 0 then error c "bad \\u escape" else (acc * 16) + d)
+             0 [ 1; 2; 3; 4 ]
+         in
+         Buffer.add_char b (if v < 0x80 then Char.chr v else '?');
+         c.i <- c.i + 5
+       | ch -> error c "bad escape \\%c" ch);
+      go ()
+    | ch ->
+      Buffer.add_char b ch;
+      c.i <- c.i + 1;
+      go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number c =
+  let start = c.i in
+  let num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while c.i < String.length c.s && num_char c.s.[c.i] do
+    c.i <- c.i + 1
+  done;
+  match float_of_string_opt (String.sub c.s start (c.i - start)) with
+  | Some f -> Num f
+  | None -> error c "bad number"
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> error c "unexpected end of input"
+  | Some '"' -> Str (parse_string c)
+  | Some '{' ->
+    c.i <- c.i + 1;
+    skip_ws c;
+    if peek c = Some '}' then begin
+      c.i <- c.i + 1;
+      Obj []
+    end
+    else begin
+      let rec members acc =
+        skip_ws c;
+        let k = parse_string c in
+        skip_ws c;
+        expect c ':';
+        let v = parse_value c in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          c.i <- c.i + 1;
+          members ((k, v) :: acc)
+        | Some '}' ->
+          c.i <- c.i + 1;
+          List.rev ((k, v) :: acc)
+        | _ -> error c "expected , or } in object"
+      in
+      Obj (members [])
+    end
+  | Some '[' ->
+    c.i <- c.i + 1;
+    skip_ws c;
+    if peek c = Some ']' then begin
+      c.i <- c.i + 1;
+      Arr []
+    end
+    else begin
+      let rec elements acc =
+        let v = parse_value c in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          c.i <- c.i + 1;
+          elements (v :: acc)
+        | Some ']' ->
+          c.i <- c.i + 1;
+          List.rev (v :: acc)
+        | _ -> error c "expected , or ] in array"
+      in
+      Arr (elements [])
+    end
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some ch -> error c "unexpected character %c" ch
+
+let parse s =
+  let c = { s; i = 0 } in
+  match parse_value c with
+  | v ->
+    skip_ws c;
+    if c.i <> String.length s then Error "trailing garbage after JSON value"
+    else Ok v
+  | exception Parse_error m -> Error m
+
+let parse_exn s =
+  match parse s with Ok v -> v | Error m -> raise (Parse_error m)
+
+(* --- accessors ----------------------------------------------------------- *)
+
+let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+
+let path keys j =
+  List.fold_left (fun acc k -> Option.bind acc (member k)) (Some j) keys
+
+let to_float = function
+  | Num f -> Some f
+  | Bool b -> Some (if b then 1. else 0.)
+  | _ -> None
+
+let to_string = function Str s -> Some s | _ -> None
+let to_list = function Arr l -> l | _ -> []

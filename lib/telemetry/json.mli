@@ -1,0 +1,35 @@
+(** Minimal JSON reader for the repo's own machine output (bench result
+    files, slowlog/lineage JSONL, telemetry dumps). Zero dependencies.
+
+    Numbers are represented as [float] — our writers never emit integers
+    outside the exact-double range. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val parse : string -> (t, string) result
+(** Parse one complete JSON value; trailing non-whitespace is an error. *)
+
+val parse_exn : string -> t
+(** @raise Parse_error on malformed input. *)
+
+val member : string -> t -> t option
+(** Object field lookup; [None] on missing key or non-object. *)
+
+val path : string list -> t -> t option
+(** Nested {!member}: [path ["a"; "b"] j] is [j.a.b]. *)
+
+val to_float : t -> float option
+(** [Num] as-is; [Bool] as 0/1; everything else [None]. *)
+
+val to_string : t -> string option
+
+val to_list : t -> t list
+(** Array elements, [[]] for non-arrays. *)

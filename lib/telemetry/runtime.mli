@@ -1,0 +1,35 @@
+(** Runtime profiling gauges: [Gc.quick_stat] counters and the columnar
+    store's off-heap bytes, published under [minview_runtime_*].
+
+    Registration is lazy (first {!sample}), so binaries that never sample
+    keep their metric dumps unchanged. Two call paths feed the gauges:
+    the warehouse commit hook ({!tick}, armed via {!set_auto_sample})
+    samples from the writer domain on every published epoch, and a scrape
+    ({!scrape_sample}) samples only when no commit hook is armed — OCaml 5
+    reports allocation counters for the calling domain, so scrape-domain
+    samples must not overwrite commit-time ones. *)
+
+val sample : unit -> unit
+(** Publish the current [Gc.quick_stat] (and off-heap bytes, when a
+    source is registered) unconditionally. No-op when telemetry is
+    disabled. *)
+
+val tick : unit -> unit
+(** {!sample} if auto-sampling is armed, else nothing — the per-commit
+    hook. *)
+
+val scrape_sample : unit -> unit
+(** {!sample} if auto-sampling is {e not} armed, else nothing — the
+    scrape-time hook (see the precedence rule above). *)
+
+val set_auto_sample : bool -> unit
+(** Arm/disarm the per-commit hook. Armed by [minview serve
+    --metrics-port]; everything else leaves it off. *)
+
+val auto_sample : unit -> bool
+
+val set_offheap_source : (unit -> int) option -> unit
+(** Register the off-heap byte source (the warehouse's summed columnar
+    Bigarray payload). The thunk runs during {!sample} on the sampling
+    domain and must therefore be safe there; exceptions it raises are
+    swallowed. Process-global: the last registration wins. *)

@@ -1,10 +1,14 @@
-(* Library entry point: re-export the registry and tracer, and render
-   snapshots as JSON lines or Prometheus text exposition. *)
+(* Library entry point: re-export the registry, tracer, renderers, and the
+   runtime/export surfaces added for the performance observatory. *)
 
 module Metrics = Metrics
 module Trace = Trace
 module Lineage = Lineage
 module Jsonl_sink = Jsonl_sink
+module Render = Render
+module Runtime = Runtime
+module Http_exporter = Http_exporter
+module Json = Json
 module Counter = Metrics.Counter
 module Gauge = Metrics.Gauge
 module Histogram = Metrics.Histogram
@@ -12,14 +16,20 @@ module Histogram = Metrics.Histogram
 let enabled = Metrics.enabled
 
 (* Time [f] once and record it both as a histogram observation and as a
-   span — the common shape for pipeline phases. *)
-let with_phase ?(attrs = []) hist name f =
+   span — the common shape for pipeline phases. When [alloc] is given, the
+   calling domain's [Gc.allocated_bytes] delta over the thunk is observed
+   too, so phases report bytes-allocated next to latency. *)
+let with_phase ?(attrs = []) ?alloc hist name f =
   if not (Metrics.enabled ()) then f ()
   else begin
     let t0 = Metrics.now_s () in
+    let a0 = match alloc with Some _ -> Gc.allocated_bytes () | None -> 0. in
     let finish () =
       let dur_s = Metrics.now_s () -. t0 in
       Metrics.Histogram.observe hist dur_s;
+      (match alloc with
+      | Some h -> Metrics.Histogram.observe h (Gc.allocated_bytes () -. a0)
+      | None -> ());
       Trace.record { Trace.name; start_s = t0; dur_s; attrs }
     in
     match f () with
@@ -30,157 +40,15 @@ let with_phase ?(attrs = []) hist name f =
       finish ();
       raise e
   end
+
 let set_enabled = Metrics.set_enabled
 let configure_from_env = Metrics.configure_from_env
 let now_s = Metrics.now_s
 let snapshot = Metrics.snapshot
 let reset = Metrics.reset
 
-(* JSON-safe float: JSON has no nan/inf, so map them to null / signed
-   "Inf" strings; integers render without an exponent. *)
-let json_float f =
-  if Float.is_nan f then "null"
-  else if f = infinity then "\"+Inf\""
-  else if f = neg_infinity then "\"-Inf\""
-  else if Float.is_integer f && Float.abs f < 1e15 then
-    Printf.sprintf "%.1f" f
-  else Printf.sprintf "%.9g" f
-
-let json_labels labels =
-  labels
-  |> List.map (fun (k, v) ->
-         Printf.sprintf "\"%s\":\"%s\"" (Trace.json_escape k)
-           (Trace.json_escape v))
-  |> String.concat ","
-
-let snap_to_json (s : Metrics.snap) =
-  let common =
-    Printf.sprintf "\"name\":\"%s\",\"labels\":{%s}"
-      (Trace.json_escape s.s_name)
-      (json_labels s.s_labels)
-  in
-  match s.s_value with
-  | Metrics.Counter_v v ->
-    Printf.sprintf "{%s,\"type\":\"counter\",\"value\":%d}" common v
-  | Metrics.Gauge_v v ->
-    Printf.sprintf "{%s,\"type\":\"gauge\",\"value\":%s}" common (json_float v)
-  | Metrics.Histogram_v h ->
-    let buckets =
-      h.h_buckets |> Array.to_list
-      |> List.map (fun (le, n) ->
-             Printf.sprintf "{\"le\":%s,\"count\":%d}" (json_float le) n)
-      |> String.concat ","
-    in
-    Printf.sprintf
-      "{%s,\"type\":\"histogram\",\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s,\"p50\":%s,\"p95\":%s,\"p99\":%s,\"buckets\":[%s]}"
-      common h.h_count (json_float h.h_sum) (json_float h.h_min)
-      (json_float h.h_max)
-      (json_float (Metrics.percentile h 0.50))
-      (json_float (Metrics.percentile h 0.95))
-      (json_float (Metrics.percentile h 0.99))
-      buckets
-
-(* One metric per line: greppable, diffable, and a valid JSONL stream. *)
-let dump_json () =
-  snapshot () |> List.map snap_to_json |> String.concat "\n"
-
-(* --- Prometheus text exposition ----------------------------------------- *)
-
-let prom_float f =
-  if Float.is_nan f then "NaN"
-  else if f = infinity then "+Inf"
-  else if f = neg_infinity then "-Inf"
-  else if Float.is_integer f && Float.abs f < 1e15 then
-    Printf.sprintf "%.0f" f
-  else Printf.sprintf "%.9g" f
-
-let prom_escape s =
-  let b = Buffer.create (String.length s) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
-let prom_labels = function
-  | [] -> ""
-  | labels ->
-    "{"
-    ^ String.concat ","
-        (List.map
-           (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (prom_escape v))
-           labels)
-    ^ "}"
-
-let to_prometheus () =
-  let snaps = snapshot () in
-  let buf = Buffer.create 4096 in
-  let last_header = ref "" in
-  let header name help kind =
-    if !last_header <> name then begin
-      last_header := name;
-      if help <> "" then
-        Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
-      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
-    end
-  in
-  List.iter
-    (fun (s : Metrics.snap) ->
-      let lbl extra = prom_labels (s.s_labels @ extra) in
-      match s.s_value with
-      | Metrics.Counter_v v ->
-        header s.s_name s.s_help "counter";
-        Buffer.add_string buf
-          (Printf.sprintf "%s%s %d\n" s.s_name (lbl []) v)
-      | Metrics.Gauge_v v ->
-        header s.s_name s.s_help "gauge";
-        Buffer.add_string buf
-          (Printf.sprintf "%s%s %s\n" s.s_name (lbl []) (prom_float v))
-      | Metrics.Histogram_v h ->
-        header s.s_name s.s_help "histogram";
-        let cum = ref 0 in
-        Array.iter
-          (fun (le, n) ->
-            cum := !cum + n;
-            Buffer.add_string buf
-              (Printf.sprintf "%s_bucket%s %d\n" s.s_name
-                 (lbl [ ("le", prom_float le) ])
-                 !cum))
-          h.h_buckets;
-        Buffer.add_string buf
-          (Printf.sprintf "%s_sum%s %s\n" s.s_name (lbl [])
-             (prom_float h.h_sum));
-        Buffer.add_string buf
-          (Printf.sprintf "%s_count%s %d\n" s.s_name (lbl []) h.h_count))
-    snaps;
-  (* percentile estimates as separate gauge families, grouped per quantile
-     so each synthetic family gets exactly one TYPE header *)
-  let histograms =
-    List.filter_map
-      (fun (s : Metrics.snap) ->
-        match s.s_value with
-        | Metrics.Histogram_v h -> Some (s, h)
-        | _ -> None)
-      snaps
-  in
-  if histograms <> [] then
-    List.iter
-      (fun (suffix, q) ->
-        last_header := "";
-        List.iter
-          (fun ((s : Metrics.snap), h) ->
-            let name = s.s_name ^ suffix in
-            header name
-              (Printf.sprintf "Estimated %g-quantile of %s" q s.s_name)
-              "gauge";
-            Buffer.add_string buf
-              (Printf.sprintf "%s%s %s\n" name
-                 (prom_labels s.s_labels)
-                 (prom_float (Metrics.percentile h q))))
-          histograms)
-      [ ("_p50", 0.50); ("_p95", 0.95); ("_p99", 0.99) ];
-  Buffer.contents buf
+(* Renderers live in [Render] (so [Http_exporter] can use them without a
+   cycle through this facade); the historical names stay. *)
+let snap_to_json = Render.snap_to_json
+let dump_json = Render.dump_json
+let to_prometheus = Render.to_prometheus

@@ -4,12 +4,19 @@
     See {!Metrics} for the registry semantics (per-domain sharded cells,
     idempotent registration, global enable switch) and {!Trace} for the
     span ring and sinks. This module re-exports both plus the renderers
-    used by [minview metrics] / [minview trace]. *)
+    used by [minview metrics] / [minview trace], the {!Runtime} profiling
+    gauges, and the {!Http_exporter} scrape endpoint. *)
 
 module Metrics = Metrics
 module Trace = Trace
 module Lineage = Lineage
 module Jsonl_sink = Jsonl_sink
+module Render = Render
+module Runtime = Runtime
+module Http_exporter = Http_exporter
+
+module Json = Json
+(** Minimal JSON reader for the repo's own machine output. *)
 
 (** Shorthand for {!Metrics.Counter} etc. *)
 
@@ -27,13 +34,17 @@ val now_s : unit -> float
 
 val with_phase :
   ?attrs:(string * string) list ->
+  ?alloc:Metrics.Histogram.t ->
   Metrics.Histogram.t ->
   string ->
   (unit -> 'a) ->
   'a
 (** Time the thunk once and record the duration both as a histogram
-    observation and as a span named [name] (also on exception). Runs the
-    thunk untimed when telemetry is disabled. *)
+    observation and as a span named [name] (also on exception). When
+    [alloc] is given, additionally observe the calling domain's
+    [Gc.allocated_bytes] delta over the thunk into it — the per-phase
+    allocation profile. Runs the thunk untimed when telemetry is
+    disabled. *)
 
 val snapshot : unit -> Metrics.snap list
 
@@ -41,15 +52,10 @@ val reset : unit -> unit
 (** Zero all metrics (for tests/benchmarks). *)
 
 val snap_to_json : Metrics.snap -> string
-(** One-line JSON object for a single metric. Histograms carry
-    [p50]/[p95]/[p99] percentile estimates (see {!Metrics.percentile})
-    next to [count]/[sum]/[min]/[max]. *)
+(** {!Render.snap_to_json}. *)
 
 val dump_json : unit -> string
-(** All metrics, one JSON object per line, sorted by (name, labels). *)
+(** {!Render.dump_json}. *)
 
 val to_prometheus : unit -> string
-(** Prometheus text exposition: [# HELP]/[# TYPE] headers, cumulative
-    [_bucket{le=...}] series plus [_sum]/[_count] for histograms,
-    followed by [NAME_p50]/[NAME_p95]/[NAME_p99] gauge families with the
-    per-label-set percentile estimates. *)
+(** {!Render.to_prometheus}. *)

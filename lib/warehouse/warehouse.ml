@@ -118,6 +118,11 @@ module Obs = struct
     Telemetry.Histogram.make ~help:"End-to-end latency of one ingested batch"
       "minview_warehouse_ingest_seconds"
 
+  let ingest_alloc =
+    Telemetry.Histogram.make
+      ~help:"Bytes allocated on the ingesting domain during one batch"
+      ~lo:4096. ~factor:4. ~buckets:24 "minview_warehouse_ingest_alloc_bytes"
+
   let reads =
     Telemetry.Counter.make ~help:"Epoch-served view reads"
       "minview_warehouse_reads_total"
@@ -246,6 +251,9 @@ type t = {
   mutable degraded_until : int;
   mutable backoff : int;
   mutable clean_parallel : int;
+  (* wall-clock time of the last committed batch, 0. before the first:
+     feeds the health endpoint's commit-age check; runtime-only *)
+  mutable last_commit_s : float;
   (* the published read epoch: runtime-only (readers may be concurrent
      domains, so the cell must be an [Atomic.t]); never marshaled —
      [load]/[recover] republish from the restored engines *)
@@ -271,6 +279,7 @@ let create source =
     degraded_until = 0;
     backoff = initial_backoff;
     clean_parallel = 0;
+    last_commit_s = 0.;
     published = Atomic.make empty_snapshot;
   }
 
@@ -315,7 +324,10 @@ let publish_epoch ?touched t =
   in
   Atomic.set t.published
     { epoch = prev.epoch + 1; epoch_seq = t.seq; epoch_views };
-  Telemetry.Counter.one Obs.epoch_publications
+  Telemetry.Counter.one Obs.epoch_publications;
+  (* the per-commit runtime sample (GC + off-heap gauges): a no-op unless
+     [Runtime.set_auto_sample true] armed it (serve --metrics-port) *)
+  Telemetry.Runtime.tick ()
 
 let set_parallel t pool =
   t.parallel <- pool;
@@ -336,6 +348,79 @@ let apply_mode t =
   | Some _ when t.degraded_until > 0 ->
     Degraded { remaining = t.degraded_until; next_backoff = t.backoff }
   | Some _ -> Parallel
+
+(* --- health and runtime profiling hooks --------------------------------- *)
+
+let wal_attached t = t.wal <> None
+
+let last_commit_age_s t =
+  if t.last_commit_s = 0. then None
+  else Some (Unix.gettimeofday () -. t.last_commit_s)
+
+let offheap_bytes t =
+  List.fold_left (fun acc r -> acc + Engines.offheap_bytes r.engine) 0 t.views
+
+let publish_offheap t =
+  Telemetry.Runtime.set_offheap_source (Some (fun () -> offheap_bytes t))
+
+(* Health checks for the /healthz endpoint. Exporter-domain reads of the
+   writer's mutable fields are racy by design: a stale answer is at most
+   one batch old, and every read is a single word (no torn state). *)
+let health ?(require_wal = false) ?max_commit_age_s ?max_epoch_lag t =
+  let open Telemetry.Http_exporter in
+  let wal_check =
+    let attached = wal_attached t in
+    {
+      check_name = "wal";
+      check_ok = attached || not require_wal;
+      check_detail = (if attached then "attached" else "not attached");
+    }
+  in
+  let apply_check =
+    match apply_mode t with
+    | Serial ->
+      { check_name = "apply"; check_ok = true; check_detail = "serial" }
+    | Parallel ->
+      { check_name = "apply"; check_ok = true; check_detail = "parallel" }
+    | Degraded { remaining; next_backoff } ->
+      {
+        check_name = "apply";
+        check_ok = false;
+        check_detail =
+          Printf.sprintf
+            "degraded to serial (%d clean batches before retry, next backoff \
+             %d)"
+            remaining next_backoff;
+      }
+  in
+  let age_check =
+    match last_commit_age_s t with
+    | None ->
+      {
+        check_name = "last_commit";
+        check_ok = true;
+        check_detail = "no commits yet";
+      }
+    | Some age ->
+      {
+        check_name = "last_commit";
+        check_ok =
+          (match max_commit_age_s with
+          | Some limit -> age <= limit
+          | None -> true);
+        check_detail = Printf.sprintf "%.1fs ago" age;
+      }
+  in
+  let lag_check =
+    let lag = t.seq - (Atomic.get t.published).epoch_seq in
+    {
+      check_name = "epoch_lag";
+      check_ok =
+        (match max_epoch_lag with Some limit -> lag <= limit | None -> true);
+      check_detail = Printf.sprintf "%d batch(es)" lag;
+    }
+  in
+  [ wal_check; apply_check; age_check; lag_check ]
 
 let set_retry t retry =
   if retry.attempts < 0 || retry.base_delay < 0. || retry.max_delay < 0. then
@@ -640,6 +725,7 @@ and load_channel path ic =
             degraded_until = 0;
             backoff = initial_backoff;
             clean_parallel = 0;
+            last_commit_s = 0.;
             published = Atomic.make empty_snapshot;
           },
           parallel_domains )
@@ -1133,6 +1219,7 @@ let ingest_report_inner ~sync t deltas =
       Validator.commit t.validator;
       Telemetry.Counter.one Obs.commits;
       t.seq <- seq;
+      t.last_commit_s <- Unix.gettimeofday ();
       note_apply_outcome t mode;
       (* the read-side commit point: concurrent readers switch to the new
          epoch here, atomically; until this set they keep serving the
@@ -1185,8 +1272,8 @@ let ingest_report_inner ~sync t deltas =
   end
 
 let ingest_report_with ~sync t deltas =
-  Telemetry.with_phase Obs.ingest_seconds "warehouse.ingest" (fun () ->
-      ingest_report_inner ~sync t deltas)
+  Telemetry.with_phase Obs.ingest_seconds ~alloc:Obs.ingest_alloc
+    "warehouse.ingest" (fun () -> ingest_report_inner ~sync t deltas)
 
 let ingest_report t deltas = ingest_report_with ~sync:true t deltas
 let ingest t deltas = ignore (ingest_report t deltas)

@@ -184,6 +184,42 @@ type apply_mode =
 
 val apply_mode : t -> apply_mode
 
+(** {2 Health and runtime profiling}
+
+    Hooks for the performance observatory: the HTTP exporter's [/healthz]
+    checks and the [minview_runtime_offheap_bytes] gauge. *)
+
+(** Whether a durability directory is attached (see {!attach}). *)
+val wal_attached : t -> bool
+
+(** Seconds since the last committed batch; [None] before the first
+    commit in this process (loads and recoveries start fresh). *)
+val last_commit_age_s : t -> float option
+
+(** Off-heap (Bigarray) bytes across every registered view's columnar
+    storage — see {!Maintenance.Engines.offheap_bytes}. Walks live engine
+    state: call it from the ingesting domain (or while no ingest runs). *)
+val offheap_bytes : t -> int
+
+(** Register this warehouse as the {!Telemetry.Runtime} off-heap source,
+    so runtime samples publish its {!offheap_bytes}. Process-global, last
+    registration wins. *)
+val publish_offheap : t -> unit
+
+(** Health checks for {!Telemetry.Http_exporter}. Always four checks:
+    [wal] (fails only with [~require_wal:true] and no directory attached),
+    [apply] (fails while ingestion is degraded to serial), [last_commit]
+    (fails when [?max_commit_age_s] is given and exceeded; "no commits
+    yet" passes) and [epoch_lag] (fails when [?max_epoch_lag] batches is
+    given and exceeded). Safe to call from another domain: every read is
+    one word, at worst one batch stale. *)
+val health :
+  ?require_wal:bool ->
+  ?max_commit_age_s:float ->
+  ?max_epoch_lag:int ->
+  t ->
+  Telemetry.Http_exporter.check list
+
 (** [set_dead_letter_cap t (Some n)] bounds the dead-letter queue to the [n]
     newest rejections: quarantining past the cap drops the oldest letters
     (counted as [minview_warehouse_dead_letters_dropped_total] and warned

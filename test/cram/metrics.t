@@ -81,6 +81,12 @@ to `_` here (their math is covered by the telemetry unit tests).
   == histograms (observation counts) ==
   minview_engine_apply_seconds{mode=parallel} 0 p50=_ p95=_ p99=_
   minview_engine_apply_seconds{mode=serial} 1 p50=_ p95=_ p99=_
+  minview_engine_phase_alloc_bytes{phase=compact} 0 p50=_ p95=_ p99=_
+  minview_engine_phase_alloc_bytes{phase=dim-apply} 0 p50=_ p95=_ p99=_
+  minview_engine_phase_alloc_bytes{phase=prepare} 0 p50=_ p95=_ p99=_
+  minview_engine_phase_alloc_bytes{phase=shard-apply} 0 p50=_ p95=_ p99=_
+  minview_engine_phase_alloc_bytes{phase=view-update} 1 p50=_ p95=_ p99=_
+  minview_engine_phase_alloc_bytes{phase=weighted-merge} 0 p50=_ p95=_ p99=_
   minview_engine_phase_seconds{phase=compact} 0 p50=_ p95=_ p99=_
   minview_engine_phase_seconds{phase=dim-apply} 0 p50=_ p95=_ p99=_
   minview_engine_phase_seconds{phase=prepare} 0 p50=_ p95=_ p99=_
@@ -91,6 +97,7 @@ to `_` here (their math is covered by the telemetry unit tests).
   minview_wal_fsync_seconds 0 p50=_ p95=_ p99=_
   minview_wal_group_commit_frames 0 p50=_ p95=_ p99=_
   minview_warehouse_checkpoint_seconds 0 p50=_ p95=_ p99=_
+  minview_warehouse_ingest_alloc_bytes 1 p50=_ p95=_ p99=_
   minview_warehouse_ingest_seconds 1 p50=_ p95=_ p99=_
   minview_warehouse_read_seconds 0 p50=_ p95=_ p99=_
 

@@ -171,10 +171,92 @@ let shutdown_tests =
         | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> ());
   ]
 
+let slowlog_tests =
+  [
+    test "slow queries are logged with rotation and traced as spans"
+      (fun () ->
+        let dir = Filename.temp_file "minview_slowlog" "" in
+        Sys.remove dir;
+        Sys.mkdir dir 0o700;
+        let path = Filename.concat dir "slowlog.jsonl" in
+        (* a tiny cap so a short burst of queries forces a rotation *)
+        let sink = Telemetry.Jsonl_sink.open_ ~max_bytes:2048 ~keep:3 path in
+        let _db, wh = build () in
+        (* threshold 0: every query counts as slow *)
+        let srv = Serve.create ~slowlog:sink ~slow_threshold_s:0. ~port:0 wh in
+        let d = Domain.spawn (fun () -> Serve.run srv) in
+        Fun.protect
+          ~finally:(fun () ->
+            Serve.request_stop srv;
+            Domain.join d;
+            Telemetry.Jsonl_sink.close sink)
+          (fun () ->
+            let c = connect (Serve.port srv) in
+            Fun.protect ~finally:(fun () -> disconnect c) @@ fun () ->
+            for _ = 1 to 60 do
+              send c "QUERY product_sales";
+              let _head, _body = recv_body c in
+              ()
+            done);
+        Alcotest.(check bool) "active slowlog exists" true
+          (Sys.file_exists path);
+        Alcotest.(check bool) "sixty ~100-byte lines rotated a 2 KiB cap"
+          true
+          (Sys.file_exists (path ^ ".1"));
+        (* the newest line parses and carries the query's identity *)
+        let last_line =
+          let ic = open_in path in
+          Fun.protect
+            ~finally:(fun () -> close_in ic)
+            (fun () ->
+              let rec go last =
+                match input_line ic with
+                | l -> go (Some l)
+                | exception End_of_file -> last
+              in
+              match go None with
+              | Some l -> l
+              | None -> Alcotest.fail "active slowlog is empty")
+        in
+        let j = Telemetry.Json.parse_exn last_line in
+        let str k =
+          match Option.bind (Telemetry.Json.member k j) Telemetry.Json.to_string
+          with
+          | Some s -> s
+          | None -> Alcotest.failf "slowlog line lacks string %S: %s" k last_line
+        in
+        let num k =
+          match Option.bind (Telemetry.Json.member k j) Telemetry.Json.to_float
+          with
+          | Some f -> f
+          | None -> Alcotest.failf "slowlog line lacks number %S: %s" k last_line
+        in
+        Alcotest.(check string) "verb" "QUERY" (str "verb");
+        Alcotest.(check string) "view" "product_sales" (str "view");
+        Alcotest.(check bool) "rows counted" true (num "rows" >= 0.);
+        Alcotest.(check bool) "duration recorded" true (num "dur_s" >= 0.);
+        Alcotest.(check bool) "epoch recorded" true (num "epoch" >= 0.);
+        (* the serving path also traced the query *)
+        Alcotest.(check bool) "a serve.query span was recorded" true
+          (List.exists
+             (fun (s : Telemetry.Trace.span) -> s.name = "serve.query")
+             (Telemetry.Trace.recent ()));
+        Alcotest.(check bool) "slow-query counter bumped" true
+          (List.exists
+             (fun (snap : Telemetry.Metrics.snap) ->
+               snap.s_name = "minview_serve_slow_queries_total"
+               &&
+               match snap.s_value with
+               | Telemetry.Metrics.Counter_v n -> n >= 60
+               | _ -> false)
+             (Telemetry.Metrics.snapshot ())));
+  ]
+
 let () =
   Alcotest.run "serve"
     [
       ("protocol", protocol_tests);
       ("pinning", pinning_tests);
       ("shutdown", shutdown_tests);
+      ("slowlog", slowlog_tests);
     ]
