@@ -1235,6 +1235,257 @@ let overhead () =
   Printf.printf "wrote %s\n" dump;
   if not pass then exit 1
 
+(* ------------------------------------------------- workload sketches *)
+
+(* Not part of the default run: accuracy and cost of the workload
+   intelligence sketches (Telemetry.Sketch) against an exact oracle on
+   three stream shapes — zipfian, uniform, and a churning key space — plus
+   the marginal cost of the engine's workload feeds, measured with the
+   same interleaved on/off discipline as the overhead gate. Hard gates
+   (exit 1): every guaranteed heavy hitter (true count > n/k) is tracked,
+   count-min never under-estimates, the Space-Saving per-entry bounds
+   hold, the zipf stream shows more hot-key skew than the uniform one, and
+   the pipeline feed cost stays within the budget. CI runs this and feeds
+   BENCH_workload.json into the history/regression gate.
+
+   Environment knobs:
+     BENCH_WORKLOAD_N                stream length per shape (default 200000)
+     BENCH_WORKLOAD_MAX_OVERHEAD_PCT pipeline feed budget (default 3.0)
+     BENCH_WORKLOAD_OUT              output path (default BENCH_workload.json) *)
+
+let workload_bench () =
+  header "workload: sketch accuracy and feed cost";
+  let module Sketch = Telemetry.Sketch in
+  Telemetry.set_enabled true;
+  let n =
+    match Sys.getenv_opt "BENCH_WORKLOAD_N" with
+    | Some s -> (try max 1_000 (int_of_string (String.trim s)) with _ -> 200_000)
+    | None -> 200_000
+  in
+  let budget_pct =
+    match Sys.getenv_opt "BENCH_WORKLOAD_MAX_OVERHEAD_PCT" with
+    | Some s -> (try float_of_string (String.trim s) with _ -> 3.0)
+    | None -> 3.0
+  in
+  let k = 64 in
+  let universe = 10_000 in
+  (* zipf-ish: exponentiating a uniform [0,1) draw makes low keys
+     exponentially more likely (log-uniform ranks) *)
+  let zipfish rng range =
+    let u = float_of_int (Workload.Prng.int rng 1_000_000) /. 1e6 in
+    int_of_float (float_of_int range ** u) - 1
+  in
+  let streams =
+    [ ("zipf", fun rng _ -> zipfish rng universe);
+      ("uniform", fun rng _ -> Workload.Prng.int rng universe);
+      (* ten disjoint key phases: hot keys from early phases must age out
+         of the summary as later phases take over *)
+      ("churn",
+       fun rng idx ->
+         let phase = idx * 10 / n in
+         (phase * universe) + zipfish rng 1_000) ]
+  in
+  let results =
+    List.map
+      (fun (stream, gen) ->
+        let rng = Workload.Prng.create 97 in
+        let keys = Array.init n (fun idx -> gen rng idx) in
+        let truth = Hashtbl.create (2 * universe) in
+        Array.iter
+          (fun key ->
+            Hashtbl.replace truth key
+              (1 + Option.value ~default:0 (Hashtbl.find_opt truth key)))
+          keys;
+        let ss = Sketch.Space_saving.create ~k in
+        let cms = Sketch.Count_min.create () in
+        Gc.minor ();
+        let t0 = Sys.time () in
+        Array.iter
+          (fun key ->
+            Sketch.Space_saving.touch ss ~hash:key ~label:(fun () ->
+                string_of_int key);
+            Sketch.Count_min.add cms ~hash:key)
+          keys;
+        let ns_per_op = (Sys.time () -. t0) *. 1e9 /. float_of_int n in
+        let entries = Sketch.Space_saving.top ~n:max_int ss in
+        let true_count key =
+          Option.value ~default:0 (Hashtbl.find_opt truth key)
+        in
+        let tracked = Hashtbl.create k in
+        List.iter
+          (fun e -> Hashtbl.replace tracked e.Sketch.Space_saving.e_hash ())
+          entries;
+        let guaranteed = ref 0 and missed = ref 0 in
+        Hashtbl.iter
+          (fun key c ->
+            if c * k > n then begin
+              incr guaranteed;
+              if not (Hashtbl.mem tracked key) then incr missed
+            end)
+          truth;
+        let recall =
+          if !guaranteed = 0 then 1.0
+          else float_of_int (!guaranteed - !missed) /. float_of_int !guaranteed
+        in
+        let bound_violations, max_err =
+          List.fold_left
+            (fun (viol, err) e ->
+              let t = true_count e.Sketch.Space_saving.e_hash in
+              ( (if
+                   e.Sketch.Space_saving.e_est < t
+                   || e.Sketch.Space_saving.e_est - e.Sketch.Space_saving.e_err
+                      > t
+                 then viol + 1
+                 else viol),
+                Float.max err (float_of_int (e.Sketch.Space_saving.e_est - t))
+              ))
+            (0, 0.) entries
+        in
+        let max_err_ratio = max_err /. float_of_int n in
+        let underestimates =
+          Hashtbl.fold
+            (fun key c acc ->
+              if Sketch.Count_min.estimate cms ~hash:key < c then acc + 1
+              else acc)
+            truth 0
+        in
+        let hot_share =
+          let top8 = Sketch.Space_saving.top ~n:8 ss in
+          let s =
+            List.fold_left
+              (fun acc e -> acc + e.Sketch.Space_saving.e_est)
+              0 top8
+          in
+          Float.min 1.0 (float_of_int s /. float_of_int n)
+        in
+        ( stream,
+          Hashtbl.length truth,
+          recall,
+          !guaranteed,
+          max_err_ratio,
+          underestimates,
+          bound_violations,
+          hot_share,
+          ns_per_op ))
+      streams
+  in
+  print_string
+    (table
+       ~header:
+         [ "stream"; "distinct"; "recall"; "hitters"; "max err"; "under";
+           "hot share"; "ns/op" ]
+       (List.map
+          (fun (stream, distinct, recall, hitters, err, under, _, share, ns) ->
+            [ stream; string_of_int distinct; Printf.sprintf "%.3f" recall;
+              string_of_int hitters; Printf.sprintf "%.5f" err;
+              string_of_int under; Printf.sprintf "%.2f" share;
+              Printf.sprintf "%.0f" ns ])
+          results));
+  (* the engine pipeline with the workload feeds: interleaved on/off
+     best-of, the overhead gate's discipline on one serial point *)
+  let module Engine = Maintenance.Engine in
+  let db = R.load medium_params in
+  let e = Engine.init db (Derive.derive db R.product_sales) in
+  let rng = Workload.Prng.create 4711 in
+  let next_id = ref 0 in
+  let batch = batch_of_inserts db rng ~n:500 ~next_id in
+  let run reps =
+    Engine.begin_txn e;
+    for _ = 1 to reps do
+      Engine.apply_batch e batch
+    done;
+    Engine.rollback e
+  in
+  run 1 (* warm-up *);
+  let best_on = ref infinity and best_off = ref infinity in
+  for _ = 1 to 9 do
+    Telemetry.set_enabled true;
+    Gc.minor ();
+    let t0 = Sys.time () in
+    run 4;
+    if Sys.time () -. t0 < !best_on then best_on := Sys.time () -. t0;
+    Telemetry.set_enabled false;
+    Gc.minor ();
+    let t1 = Sys.time () in
+    run 4;
+    if Sys.time () -. t1 < !best_off then best_off := Sys.time () -. t1;
+    Telemetry.set_enabled true
+  done;
+  let overhead_pct = 100. *. (!best_on -. !best_off) /. !best_off in
+  let skew_of name =
+    List.fold_left
+      (fun acc (s, _, _, _, _, _, _, share, _) ->
+        if String.equal s name then share else acc)
+      0. results
+  in
+  let recall_min =
+    List.fold_left
+      (fun acc (_, _, r, _, _, _, _, _, _) -> Float.min acc r)
+      1.0 results
+  in
+  let err_max =
+    List.fold_left
+      (fun acc (_, _, _, _, e', _, _, _, _) -> Float.max acc e')
+      0. results
+  in
+  let ns_max =
+    List.fold_left
+      (fun acc (_, _, _, _, _, _, _, _, ns) -> Float.max acc ns)
+      0. results
+  in
+  let under_total =
+    List.fold_left
+      (fun acc (_, _, _, _, _, u, _, _, _) -> acc + u)
+      0 results
+  in
+  let viol_total =
+    List.fold_left
+      (fun acc (_, _, _, _, _, _, v, _, _) -> acc + v)
+      0 results
+  in
+  let skew_ordered = skew_of "zipf" > skew_of "uniform" in
+  let pass =
+    recall_min >= 1.0 && under_total = 0 && viol_total = 0 && skew_ordered
+    && overhead_pct <= budget_pct
+  in
+  Printf.printf
+    "guaranteed-hitter recall %.3f, cms underestimates %d, bound violations \
+     %d\nzipf hot share %.2f vs uniform %.2f, pipeline feed overhead %+.2f%% \
+     (budget %.1f%%) -> %s\n"
+    recall_min under_total viol_total (skew_of "zipf") (skew_of "uniform")
+    overhead_pct budget_pct
+    (if pass then "PASS" else "FAIL");
+  let out =
+    Option.value
+      (Sys.getenv_opt "BENCH_WORKLOAD_OUT")
+      ~default:"BENCH_workload.json"
+  in
+  let oc = open_out out in
+  Printf.fprintf oc
+    "{\n  \"benchmark\": \"workload-sketches\",\n  \"n\": %d,\n  \"k\": %d,\n\
+    \  \"streams\": [\n%s\n  ],\n  \"topk_recall_min\": %.4f,\n  \
+     \"max_err_ratio\": %.6f,\n  \"cms_underestimates\": %d,\n  \
+     \"bound_violations\": %d,\n  \"sketch_ns_per_op\": %.1f,\n  \
+     \"skew_zipf_gt_uniform\": %b,\n  \"pipeline_overhead_pct\": %.4f,\n  \
+     \"budget_pct\": %.2f,\n  \"pass\": %b\n}\n"
+    n k
+    (String.concat ",\n"
+       (List.map
+          (fun (stream, distinct, recall, hitters, err, under, viol, share, ns)
+               ->
+            Printf.sprintf
+              "    { \"stream\": %S, \"distinct\": %d, \"recall\": %.4f, \
+               \"guaranteed_hitters\": %d, \"max_err_ratio\": %.6f, \
+               \"cms_underestimates\": %d, \"bound_violations\": %d, \
+               \"hot_key_share\": %.4f, \"sketch_ns_per_op\": %.1f }"
+              stream distinct recall hitters err under viol share ns)
+          results))
+    recall_min err_max under_total viol_total ns_max skew_ordered overhead_pct
+    budget_pct pass;
+  close_out oc;
+  Printf.printf "wrote %s\n" out;
+  if not pass then exit 1
+
 (* -------------------------------------------------------- endurance *)
 
 (* Not part of the default run: 200k deltas through a three-view warehouse,
@@ -2065,6 +2316,14 @@ let extract_metrics () =
         add "serve.read_p95_ms_at_max_readers" Lower_better 0.5
           (num entry "read_p95_ms")
       | None -> ());
+  with_json "BENCH_WORKLOAD_OUT" "BENCH_workload.json" (fun j ->
+      add "workload.topk_recall_min" Higher_better 0.01
+        (num j "topk_recall_min");
+      add "workload.max_err_ratio" Lower_better 0.005 (num j "max_err_ratio");
+      add "workload.sketch_ns_per_op" Lower_better 50.
+        (num j "sketch_ns_per_op");
+      add "workload.pipeline_overhead_pct" Lower_better 1.0
+        (num j "pipeline_overhead_pct"));
   with_json "BENCH_COLUMNAR_OUT" "BENCH_columnar.json" (fun j ->
       add "columnar.bytes_ratio_overall" Higher_better 0.2
         (num j "bytes_ratio_overall");
@@ -2226,8 +2485,8 @@ let experiments =
     ("timings", timings); ("endurance", endurance);
     ("apply-scaling", apply_scaling); ("parallel", parallel_scaling);
     ("overhead", overhead); ("serve", serve_bench);
-    ("columnar", columnar_bench); ("history", bench_history);
-    ("regress", bench_regress);
+    ("columnar", columnar_bench); ("workload", workload_bench);
+    ("history", bench_history); ("regress", bench_regress);
   ]
 
 let () =
@@ -2239,7 +2498,8 @@ let () =
         (fun (n, _) ->
           n <> "timings" && n <> "endurance" && n <> "apply-scaling"
           && n <> "parallel" && n <> "overhead" && n <> "serve"
-          && n <> "columnar" && n <> "history" && n <> "regress")
+          && n <> "columnar" && n <> "workload" && n <> "history"
+          && n <> "regress")
         experiments
       |> List.map fst
     | [ "all" ] ->
@@ -2252,7 +2512,7 @@ let () =
         (fun (n, _) ->
           n <> "endurance" && n <> "apply-scaling" && n <> "parallel"
           && n <> "overhead" && n <> "serve" && n <> "columnar"
-          && n <> "history" && n <> "regress")
+          && n <> "workload" && n <> "history" && n <> "regress")
         experiments
       |> List.map fst
     | xs -> xs

@@ -640,6 +640,200 @@ let trace_cmd =
       const run $ setup_term $ script_arg $ changes_opt $ strategy_arg
       $ parallel_arg $ json_flag)
 
+(* --- workload profile ---------------------------------------------------- *)
+
+(* Human rendering parses the same profile JSON the machine path emits, so
+   the live-pipeline and --dir (persisted file) modes share one renderer. *)
+let print_profile_human ~top raw =
+  let module J = Telemetry.Json in
+  let j =
+    match J.parse raw with
+    | Ok j -> j
+    | Error m -> raise (Sys_error ("workload profile: " ^ m))
+  in
+  let fnum ?(default = 0.) node path =
+    Option.value ~default (Option.bind (J.path path node) J.to_float)
+  in
+  let fstr ?(default = "?") node path =
+    Option.value ~default (Option.bind (J.path path node) J.to_string)
+  in
+  let jlist node path =
+    Option.value ~default:[] (Option.map J.to_list (J.path path node))
+  in
+  let count v = Printf.sprintf "%.0f" v in
+  Printf.printf "== workload profile (schema %.0f, %.1fs observed) ==\n"
+    (fnum j [ "schema" ])
+    (fnum j [ "elapsed_s" ]);
+  let views = jlist j [ "views" ] in
+  if views = [] then print_endline "(no recorded workload)"
+  else begin
+    print_string
+      (Relational.Table_printer.render
+         ~header:
+           [ "view"; "writes"; "reads"; "upd/read"; "hot-key share";
+             "compaction" ]
+         (List.map
+            (fun vj ->
+              [
+                fstr vj [ "view" ];
+                count (fnum vj [ "writes" ]);
+                count
+                  (fnum vj [ "reads"; "query" ]
+                  +. fnum vj [ "reads"; "reconstruct" ]);
+                Printf.sprintf "%.2f" (fnum vj [ "update_read_ratio" ]);
+                Printf.sprintf "%.2f" (fnum vj [ "skew"; "hot_key_share" ]);
+                Printf.sprintf "%.2f" (fnum vj [ "skew"; "compaction_ratio" ]);
+              ])
+            views));
+    List.iter
+      (fun vj ->
+        let keys = jlist vj [ "hot_keys" ] in
+        if keys <> [] then begin
+          Printf.printf "== top keys: %s ==\n" (fstr vj [ "view" ]);
+          print_string
+            (Relational.Table_printer.render ~header:[ "key"; "est"; "err" ]
+               (List.filteri
+                  (fun i _ -> i < top)
+                  (List.map
+                     (fun kj ->
+                       [
+                         fstr kj [ "key" ]; count (fnum kj [ "est" ]);
+                         count (fnum kj [ "err" ]);
+                       ])
+                     keys)))
+        end)
+      views
+  end;
+  let lag_count = fnum j [ "epoch_lag"; "count" ] in
+  if lag_count > 0. then
+    Printf.printf
+      "== epoch lag (batches behind head) ==\n\
+       reads %.0f p50=%.3g p95=%.3g p99=%.3g max=%.3g\n"
+      lag_count
+      (fnum j [ "epoch_lag"; "p50" ])
+      (fnum j [ "epoch_lag"; "p95" ])
+      (fnum j [ "epoch_lag"; "p99" ])
+      (fnum j [ "epoch_lag"; "max" ]);
+  let runs = fnum j [ "shards"; "runs" ] in
+  if runs > 0. then begin
+    Printf.printf "== shard heat (%.0f parallel dispatch(es)) ==\n" runs;
+    let busy = jlist j [ "shards"; "busy_s" ] in
+    let ops = jlist j [ "shards"; "ops" ] in
+    let f v = Option.value ~default:0. (J.to_float v) in
+    print_string
+      (Relational.Table_printer.render ~header:[ "shard"; "busy_s"; "ops" ]
+         (List.mapi
+            (fun i b ->
+              [
+                string_of_int i;
+                Printf.sprintf "%.4f" (f b);
+                count (match List.nth_opt ops i with Some o -> f o | None -> 0.);
+              ])
+            busy));
+    let recent = jlist j [ "shards"; "recent_imbalance" ] in
+    if recent <> [] then
+      Printf.printf "recent imbalance (max/mean busy): %s\n"
+        (String.concat " "
+           (List.map (fun v -> Printf.sprintf "%.2f" (f v)) recent))
+  end
+
+let profile_cmd =
+  let script_opt =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"SCHEMA.SQL"
+          ~doc:
+            "SQL script to load and profile; omit it and pass $(b,--dir) to \
+             read a persisted profile instead.")
+  in
+  let dir_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"STATE_DIR"
+          ~doc:
+            "Read $(b,workload_profile.json) from this state directory (as \
+             written by checkpoints and $(b,--state)) instead of running a \
+             pipeline.")
+  in
+  let n_arg =
+    Arg.(
+      value & opt int 500
+      & info [ "n" ] ~docv:"N"
+          ~doc:
+            "Size of the generated change stream when no $(b,--changes) \
+             script is given.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Seed of the generated stream.")
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"N"
+          ~doc:"Hot keys to print per view (human output).")
+  in
+  let run () script dir changes n seed strategy parallel state as_json top =
+    with_errors (fun () ->
+        let raw =
+          match (dir, script) with
+          | Some d, _ ->
+            let path = Warehouse.workload_profile_path d in
+            if not (Sys.file_exists path) then
+              raise
+                (Sys_error
+                   (path
+                  ^ ": no workload profile (checkpoint the warehouse, or run \
+                     minview profile --state, first)"));
+            read_file path
+          | None, Some script ->
+            let db, views = load_script script in
+            let wh = Warehouse.create db in
+            List.iter (Warehouse.add_view ~strategy wh) views;
+            Option.iter (fun dir -> Warehouse.attach wh ~dir) state;
+            if parallel > 1 then
+              Warehouse.set_parallel wh
+                (Some
+                   (Maintenance.Shard.supervised ~domains:parallel
+                      ~deadline:10.));
+            let deltas =
+              match changes with
+              | Some file ->
+                Sqlfront.Elaborate.changes
+                  (Sqlfront.Elaborate.run_script db (read_file file))
+              | None ->
+                Workload.Delta_gen.stream (Workload.Prng.create seed) db ~n
+            in
+            ignore (Warehouse.ingest_report wh deltas);
+            let raw = Telemetry.Workload.profile_json () in
+            if state <> None then ignore (Warehouse.write_workload_profile wh);
+            Warehouse.close wh;
+            raw
+          | None, None ->
+            raise
+              (Sys_error
+                 "profile: pass SCHEMA.SQL to run a pipeline, or --dir to \
+                  read a persisted profile")
+        in
+        if as_json then print_endline (String.trim raw)
+        else print_profile_human ~top raw)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "The workload profile: per-view read/write rates, top-k hot group \
+          keys with sketch error bounds, update/read ratio, skew \
+          coefficient, and the shard heat map. Runs a pipeline (generated \
+          or scripted changes) or, with $(b,--dir), prints the profile a \
+          checkpoint persisted.")
+    Term.(
+      const run $ setup_term $ script_opt $ dir_opt $ changes_opt $ n_arg
+      $ seed_arg $ strategy_arg $ parallel_arg $ state_arg $ json_flag
+      $ top_arg)
+
 (* --- lineage / attribution / explain ------------------------------------ *)
 
 let lineage_cmd =
@@ -1102,7 +1296,8 @@ let main =
           Jensen & Böhlen, EDBT 1998).")
     [ derive_cmd; dot_cmd; explain_cmd; simulate_cmd; reconstruct_cmd;
       sharing_cmd; verify_cmd; recover_cmd; audit_cmd; fsck_cmd; repair_cmd;
-      metrics_cmd; trace_cmd; lineage_cmd; attribute_cmd; serve_cmd;
+      metrics_cmd; trace_cmd; profile_cmd; lineage_cmd; attribute_cmd;
+      serve_cmd;
       export_cmd; slowlog_cmd; demo_cmd ]
 
 let () =

@@ -69,6 +69,19 @@ type t = {
   mutable last_flow : Telemetry.Lineage.view_flow option;
       (** lineage flow of the most recent [apply_batch]; [None] before the
           first batch and while telemetry is disabled *)
+  wk : Telemetry.Workload.view_stats;
+      (** process-global workload accumulator for this view (hot group
+          keys, netting skew, batch counts) *)
+  mutable wk_live : bool;
+      (** false while [init] seeds the view from base rows — seeding is
+          not workload *)
+  mutable wk_writes : int;
+      (** netted write weight accumulated since the last batch flush;
+          plain fields — one domain drives an engine's apply path — so
+          the per-tuple accounting touches nothing shared *)
+  mutable wk_events : int;
+      (** group-key touches since the last batch flush; also the sketch
+          sampling phase (feed when [wk_events land sample_mask = 0]) *)
 }
 
 exception Invariant of string
@@ -360,6 +373,17 @@ let root_view_feed t tup ~sign =
        View_state copies what it retains *)
     let key = t.scratch_key in
     group_key_into t env key;
+    (* the label thunk is forced synchronously (only on a top-k miss), so
+       handing it the reused scratch buffer is safe; hashing and the
+       closure are only paid on sampled events, and the exact counts go
+       through plain fields flushed once per batch *)
+    if t.wk_live && Telemetry.enabled () then begin
+      if t.wk_events land Telemetry.Workload.sample_mask = 0 then
+        Telemetry.Workload.note_hot_key t.wk ~hash:(Tuple.hash key)
+          ~label:(fun () -> Tuple.to_string key);
+      t.wk_writes <- t.wk_writes + 1;
+      t.wk_events <- t.wk_events + 1
+    end;
     contribs_into t env ~cnt:1 t.scratch_cs;
     if sign > 0 then View_state.feed t.vstate ~key ~cnt:1 t.scratch_cs
     else View_state.unfeed t.vstate ~key ~cnt:1 t.scratch_cs
@@ -900,6 +924,10 @@ let init ?(fk_index = true) db (d : Derive.t) =
           "minview_view_groups";
       obs_aux = [];
       last_flow = None;
+      wk = Telemetry.Workload.view view.View.name;
+      wk_live = false;
+      wk_writes = 0;
+      wk_events = 0;
     }
   in
   (* build auxiliary states children-first so semijoin targets exist *)
@@ -965,6 +993,7 @@ let init ?(fk_index = true) db (d : Derive.t) =
       if passes_locals t root tup then root_view_feed t tup ~sign:1)
     ();
   flush t;
+  t.wk_live <- true;
   t
 
 (* --- delta routing ----------------------------------------------------- *)
@@ -1157,6 +1186,27 @@ let apply_root_ops t pool ops =
                   op.view_shard <- View_state.shard_of_key t.vstate key
             end
           done));
+  (* Workload accounting between the phases, on the coordinator: netted
+     weights per group key plus the per-shard op heat of this batch. *)
+  if t.wk_live && Telemetry.enabled () then begin
+    let per_shard = Array.make nshards 0 in
+    Array.iter
+      (fun op ->
+        match op.feed with
+        | Some (key, _) when op.net <> 0 ->
+          if t.wk_events land Telemetry.Workload.sample_mask = 0 then
+            Telemetry.Workload.note_hot_key ~weight:(abs op.net) t.wk
+              ~hash:(Tuple.hash key)
+              ~label:(fun () -> Tuple.to_string key);
+          t.wk_writes <- t.wk_writes + abs op.net;
+          t.wk_events <- t.wk_events + 1;
+          let sh = op.view_shard in
+          if sh >= 0 && sh < nshards then
+            per_shard.(sh) <- per_shard.(sh) + abs op.net
+        | Some _ | None -> ())
+      ops;
+    Telemetry.Workload.note_shard_ops per_shard
+  end;
   (* Phase B — application: every shard (root aux and view state) is owned
      by exactly one worker, so no hash table is ever shared. Each worker
      applies all positive operations before any negative one: counts then
@@ -1209,6 +1259,13 @@ let apply_root_direct t root_deltas =
       | None -> ()
       | Some env ->
         let key = group_key t env in
+        if t.wk_live && Telemetry.enabled () then begin
+          if t.wk_events land Telemetry.Workload.sample_mask = 0 then
+            Telemetry.Workload.note_hot_key t.wk ~hash:(Tuple.hash key)
+              ~label:(fun () -> Tuple.to_string key);
+          t.wk_writes <- t.wk_writes + 1;
+          t.wk_events <- t.wk_events + 1
+        end;
         let cs = contribs t env ~cnt:1 in
         if sign > 0 then View_state.feed t.vstate ~key ~cnt:1 cs
         else View_state.unfeed t.vstate ~key ~cnt:1 cs
@@ -1255,6 +1312,13 @@ let flow_finish t pre ~mode ~deltas_in ~netted ~applied =
   match pre with
   | None -> ()
   | Some (pre_aux, pre_groups) ->
+    if t.wk_live then begin
+      Telemetry.Workload.note_batch t.wk ~deltas_in ~netted ~applied;
+      Telemetry.Workload.flush_writes t.wk ~writes:t.wk_writes
+        ~events:t.wk_events;
+      t.wk_writes <- 0;
+      t.wk_events <- 0
+    end;
     let aux_flows =
       List.filter_map
         (fun (tbl, rows0, detail0) ->

@@ -242,7 +242,10 @@ let run pool ~workers:wanted f =
         let mean = total /. float_of_int n in
         Telemetry.Gauge.set Obs.imbalance
           (if mean > 0. then max_busy /. mean else 1.);
-        Array.iteri (fun w d -> Telemetry.Gauge.add (Obs.busy w) d) busy)
+        Array.iteri (fun w d -> Telemetry.Gauge.add (Obs.busy w) d) busy;
+        (* the workload profile keeps the imbalance time series the scalar
+           gauge above overwrites *)
+        Telemetry.Workload.note_shard_run ~workers:n ~busy)
       (fun () -> run_jobs pool n timed)
   end
 

@@ -15,7 +15,17 @@ type obs = {
   o_request_seconds : Telemetry.Histogram.t;
   o_connections : Telemetry.Gauge.t;
   o_slow_queries : Telemetry.Counter.t;
+  o_reads : (string, Telemetry.Counter.t) Hashtbl.t;
+      (** per-(verb,view) read counters, keyed ["verb\x00view"]; the view
+          label is bounded — see [read_counter] *)
+  o_read_views : (string, unit) Hashtbl.t;
+      (** views granted their own label so far *)
 }
+
+(* Label-cardinality cap for minview_serve_reads_total: verbs are a closed
+   set, and at most this many distinct views get their own label — later
+   ones share view="_other" (same bounding rule as the workload registry). *)
+let max_read_views = 32
 
 let make_obs () =
   {
@@ -32,7 +42,34 @@ let make_obs () =
       Telemetry.Counter.make
         ~help:"QUERY/RECONSTRUCT requests at or above the slow threshold"
         "minview_serve_slow_queries_total";
+    o_reads = Hashtbl.create 16;
+    o_read_views = Hashtbl.create 16;
   }
+
+(* The serve loop is single-domain, so the caches need no lock. *)
+let read_counter obs ~verb ~view =
+  let view =
+    if Hashtbl.mem obs.o_read_views view then view
+    else if Hashtbl.length obs.o_read_views < max_read_views then begin
+      Hashtbl.replace obs.o_read_views view ();
+      view
+    end
+    else "_other"
+  in
+  let key = verb ^ "\x00" ^ view in
+  match Hashtbl.find_opt obs.o_reads key with
+  | Some c -> c
+  | None ->
+    let c =
+      Telemetry.Counter.make
+        ~labels:[ ("verb", verb); ("view", view) ]
+        ~help:
+          "Serve reads by verb and view (bounded: overflow views land in \
+           _other)"
+        "minview_serve_reads_total"
+    in
+    Hashtbl.replace obs.o_reads key c;
+    c
 
 type conn = {
   fd : Unix.file_descr;
@@ -168,6 +205,16 @@ let note_query t conn ~span ~verb ~view ~rows ~start_s =
   let dur_s = Telemetry.now_s () -. start_s in
   let epoch = Warehouse.snapshot_epoch conn.pinned in
   let seq = Warehouse.snapshot_seq conn.pinned in
+  if Telemetry.enabled () then begin
+    Telemetry.Counter.one
+      (read_counter t.obs ~verb:(String.lowercase_ascii verb) ~view);
+    (* read-epoch lag: commits published since this connection pinned *)
+    let head = Warehouse.snapshot_seq (Warehouse.current_snapshot t.wh) in
+    Telemetry.Workload.note_read
+      (Telemetry.Workload.view view)
+      ~verb:(if String.equal verb "QUERY" then `Query else `Reconstruct)
+      ~lag:(head - seq)
+  end;
   if Telemetry.enabled () then
     Telemetry.Trace.record
       {
@@ -255,6 +302,8 @@ let handle_request t conn raw =
              arg)
       | exception Warehouse.Error { kind; detail } -> err_line conn kind detail)
     | "METRICS" -> body conn "+METRICS" (split_lines (Telemetry.dump_json ()))
+    | "PROFILE" ->
+      body conn "+PROFILE" [ Telemetry.Workload.profile_json () ]
     | "QUIT" ->
       line conn "+BYE";
       conn.closing <- true

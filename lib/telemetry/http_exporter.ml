@@ -1,6 +1,6 @@
 (* A zero-dependency HTTP exporter for scrapes: GET /metrics (Prometheus
    text), GET /healthz (JSON, 200/503), GET /profile (on-demand GC +
-   histogram dump). Same single-domain [Unix.select] style as the serve
+   histogram dump), GET /workload (the workload profile JSON). Same single-domain [Unix.select] style as the serve
    front-end, but strictly request/response: one request per connection,
    [Connection: close], no keep-alive — exactly what Prometheus and curl
    need, and nothing that can wedge the loop. *)
@@ -27,6 +27,7 @@ let make_obs () =
   let metrics = mk "metrics"
   and healthz = mk "healthz"
   and profile = mk "profile"
+  and workload = mk "workload"
   and other = mk "other" in
   {
     o_requests =
@@ -34,6 +35,7 @@ let make_obs () =
       | "metrics" -> metrics
       | "healthz" -> healthz
       | "profile" -> profile
+      | "workload" -> workload
       | _ -> other);
   }
 
@@ -193,6 +195,8 @@ let handle t fd =
     | "/metrics" ->
       count "metrics";
       Runtime.scrape_sample ();
+      (* freshen the minview_workload_* gauges before rendering *)
+      Workload.refresh_gauges ();
       respond fd ~status:200
         ~content_type:"text/plain; version=0.0.4; charset=utf-8"
         (Render.to_prometheus ())
@@ -206,10 +210,15 @@ let handle t fd =
       count "profile";
       Runtime.scrape_sample ();
       respond fd ~status:200 ~content_type:"application/json" (profile_json ())
+    | "/workload" ->
+      count "workload";
+      respond fd ~status:200 ~content_type:"application/json"
+        (Workload.profile_json () ^ "\n")
     | _ ->
       count "other";
       respond fd ~status:404 ~content_type:"text/plain; charset=utf-8"
-        (Printf.sprintf "no route for %s (try /metrics, /healthz, /profile)\n"
+        (Printf.sprintf
+           "no route for %s (try /metrics, /healthz, /profile, /workload)\n"
            path)
 
 (* --- the accept loop ----------------------------------------------------- *)

@@ -1,0 +1,83 @@
+(** Domain-safe streaming sketches over integer-hashed keys: Space-Saving
+    top-k heavy hitters and a count-min frequency sketch. Both use fixed
+    memory regardless of stream length and split their hot state across
+    per-domain cells merged on read — the same write-contention model as
+    the {!Metrics} registry, except each cell is a multi-word structure, so
+    cells are mutex-guarded rather than atomic (the writer's own cell lock
+    is uncontended in the common case of one resident writer per domain).
+
+    Updates are keyed by an integer hash supplied by the caller (e.g.
+    [Tuple.hash] of a group key); the printable label is only materialized
+    — via the [label] thunk — when a key first enters a Space-Saving
+    summary, so hits on already-tracked hot keys never touch a string.
+    Distinct keys with colliding hashes are conflated; with 63-bit hashes
+    this is an accepted approximation, not an error source worth a second
+    hash. All updates are dropped while {!Metrics.enabled} is false. *)
+
+module Space_saving : sig
+  type t
+
+  val create : k:int -> t
+  (** [k >= 1] counters per cell. @raise Invalid_argument otherwise. *)
+
+  val capacity : t -> int
+
+  val touch : ?weight:int -> t -> hash:int -> label:(unit -> string) -> unit
+  (** Count [weight] (default 1) occurrences of the key; non-positive
+      weights are ignored. O(log k) against the calling domain's cell. *)
+
+  type entry = {
+    e_key : string;  (** label captured when the key entered the summary *)
+    e_hash : int;
+    e_est : int;  (** estimated count; never below the true count *)
+    e_err : int;  (** overestimation bound: [e_est - e_err <= true count] *)
+  }
+
+  val top : ?n:int -> t -> entry list
+  (** Merged across cells, descending estimate, at most [n] (default [k])
+      entries. The conservative cell merge sums estimates and error terms,
+      charging a key absent from a full cell that cell's minimum counter —
+      so the per-entry bounds above survive the merge. Any key whose true
+      frequency exceeds [total t / k] is present in the unlimited
+      ([n = max_int]) merged list. *)
+
+  val total : t -> int
+  (** Stream length seen (sum of all weights, all cells). *)
+
+  val restore : t -> entry list -> total:int -> unit
+  (** Additively merge a persisted summary into the calling domain's cell
+      (entries beyond [k] are dropped lowest-first); used to re-seed the
+      sketch from a saved workload profile on recovery. *)
+
+  val reset : t -> unit
+end
+
+module Count_min : sig
+  type t
+
+  val create : ?depth:int -> ?width:int -> unit -> t
+  (** [depth] hash rows (default 3) x [width] counters (default 512,
+      rounded up to a power of two). Estimates overshoot by at most
+      [e * total / width] with probability [1 - e^-depth].
+      @raise Invalid_argument when either is < 1. *)
+
+  val depth : t -> int
+  val width : t -> int
+
+  val add : ?weight:int -> t -> hash:int -> unit
+  (** Non-positive weights are ignored. O(depth), no allocation. *)
+
+  val estimate : t -> hash:int -> int
+  (** Merged over cells (matrix addition); never under-estimates. *)
+
+  val rows : t -> int array array
+  (** The merged [depth x width] counter matrix, for persistence. *)
+
+  val total : t -> int
+
+  val restore : t -> rows:int array array -> total:int -> unit
+  (** Additively merge a persisted matrix into the calling domain's cell;
+      rows/columns beyond this sketch's shape are ignored. *)
+
+  val reset : t -> unit
+end

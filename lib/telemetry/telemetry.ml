@@ -9,6 +9,8 @@ module Render = Render
 module Runtime = Runtime
 module Http_exporter = Http_exporter
 module Json = Json
+module Sketch = Sketch
+module Workload = Workload
 module Counter = Metrics.Counter
 module Gauge = Metrics.Gauge
 module Histogram = Metrics.Histogram

@@ -18,6 +18,12 @@ module Http_exporter = Http_exporter
 module Json = Json
 (** Minimal JSON reader for the repo's own machine output. *)
 
+module Sketch = Sketch
+(** Streaming heavy-hitter / frequency sketches. *)
+
+module Workload = Workload
+(** Per-view access accounting and the persisted workload profile. *)
+
 (** Shorthand for {!Metrics.Counter} etc. *)
 
 module Counter = Metrics.Counter

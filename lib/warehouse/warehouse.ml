@@ -757,6 +757,7 @@ let load path =
 let wal_path dir = Filename.concat dir "wal.bin"
 let snapshot_path dir = Filename.concat dir "snapshot.bin"
 let lineage_path dir = Filename.concat dir "lineage.jsonl"
+let workload_profile_path dir = Filename.concat dir "workload_profile.json"
 
 (* --- checkpoint generation chain ---------------------------------------- *)
 
@@ -934,9 +935,27 @@ let checkpoint t =
           (* nothing was archived (first checkpoint, or the chain is
              disabled): no older generation needs the replaced records *)
           Wal.truncate wal);
-        prune_generations dir ~keep:t.keep_generations)
+        prune_generations dir ~keep:t.keep_generations;
+        (* the workload profile is advisory state: write it beside the WAL
+           at every checkpoint, but never fail the checkpoint over it *)
+        (try
+           Telemetry.Workload.write_profile
+             ~path:(workload_profile_path dir)
+         with Sys_error _ | Unix.Unix_error _ -> ()))
   | _ ->
     err Not_durable "checkpoint: attach the warehouse to a state directory first"
+
+(* On-demand profile write (the CLI's [minview profile --state] and the
+   serve PROFILE verb persist through this). *)
+let write_workload_profile t =
+  match t.dir with
+  | Some dir ->
+    let path = workload_profile_path dir in
+    Telemetry.Workload.write_profile ~path;
+    path
+  | None ->
+    err Not_durable
+      "workload profile: attach the warehouse to a state directory first"
 
 let attach ?checkpoint_every ?keep_generations t ~dir =
   if t.wal <> None then
@@ -1492,6 +1511,17 @@ let recover ~dir =
             (function Wal.Abort { seq } -> Some seq | Wal.Batch _ -> None)
             records
         in
+        (* restore the persisted workload profile before replay — the same
+           snapshot + WAL discipline as the data: replay re-feeds the
+           sketches with post-checkpoint batches on top of the restored
+           counts. (After a generation fallback the profile may predate the
+           chosen snapshot and over-count the replayed span; the sketches'
+           estimates remain upper bounds, so that is acceptable drift.) *)
+        (try
+           ignore
+             (Telemetry.Workload.load_profile
+                ~path:(workload_profile_path dir))
+         with Sys_error _ -> ());
         (* open the sink before replay so replayed batches leave their
            lineage records in the same file as live ingestion *)
         Telemetry.Lineage.set_sink (Some (lineage_path dir));

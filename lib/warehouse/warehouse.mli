@@ -476,9 +476,20 @@ val load : string -> t
 val attach : ?checkpoint_every:int -> ?keep_generations:int -> t -> dir:string -> unit
 
 (** Snapshot the state directory, archive the previous generation and
-    rotate the WAL (see the chain contract above).
+    rotate the WAL (see the chain contract above). Also writes the current
+    workload profile beside the WAL (best-effort — a failed profile write
+    never fails the checkpoint).
     @raise Error ([Not_durable] if not attached). *)
 val checkpoint : t -> unit
+
+(** Where {!checkpoint} persists the workload profile
+    ([dir/workload_profile.json]). *)
+val workload_profile_path : string -> string
+
+(** Write the current workload profile to the attached state directory on
+    demand and return its path.
+    @raise Error ([Not_durable] if not attached). *)
+val write_workload_profile : t -> string
 
 (** [recover ~dir] rebuilds the warehouse from [dir] (see the chain
     contract above) and attaches the result to it. An unverifiable

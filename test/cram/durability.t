@@ -32,6 +32,7 @@ A simulate run attached to a state directory write-ahead logs the batch:
   lineage.jsonl
   snapshot.bin
   wal.bin
+  workload_profile.json
 
 The warehouse recovers from the directory alone, and the audit confirms the
 maintained views equal from-scratch recomputation:

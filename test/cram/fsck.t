@@ -38,6 +38,7 @@ instead of being destroyed.
   lineage.jsonl
   snapshot.bin
   wal.bin
+  workload_profile.json
   $ ls state/generations
   snapshot-00000001.bin
   wal-00000001.bin
@@ -106,6 +107,7 @@ nothing committed is lost, and the unverifiable snapshot is quarantined:
   snapshot.bin.quarantine
   wal.bin
   wal.bin.quarantine
+  workload_profile.json
   $ ../../bin/minview.exe fsck state > /dev/null && echo clean
   clean
 
